@@ -1,0 +1,43 @@
+// Ablation: Walsh-Hadamard closed-form response vectors vs bucket
+// enumeration.  The WHT path is what lets the figure benches evaluate
+// ground-truth optimality on bucket spaces no enumeration could touch.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/fast_response.h"
+#include "core/registry.h"
+
+namespace {
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+void BM_ResponseByEnumeration(benchmark::State& state) {
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto fx = MakeDistribution(spec, "fx-iu2").value();
+  const std::uint64_t mask = 0b111111;  // whole file: 2M buckets
+  auto query = PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeResponseVector(*fx, query).Max());
+  }
+}
+BENCHMARK(BM_ResponseByEnumeration)->Unit(benchmark::kMillisecond);
+
+void BM_ResponseByWht(benchmark::State& state) {
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto fx = MakeDistribution(spec, "fx-iu2").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaskResponse(*fx, 0b111111).Max());
+  }
+}
+BENCHMARK(BM_ResponseByWht);
+
+void BM_ResponseAdditiveConvolution(benchmark::State& state) {
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto gdm = MakeDistribution(spec, "gdm1").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaskResponse(*gdm, 0b111111).Max());
+  }
+}
+BENCHMARK(BM_ResponseAdditiveConvolution);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Ablation / extension: searched transformation plans vs the theory plan.
+//
+// The paper's conclusion flags the open regime — many fields all far below
+// M — and promises "more general transformation functions".  Here we keep
+// the paper's function families but *search* the per-field assignment,
+// scoring candidates by ground-truth optimal-mask fraction (closed-form
+// WHT response vectors).  The searched plan can only match or beat the
+// round-robin theory plan; the gap measures how much headroom the
+// published planning rule leaves.
+
+#include <iostream>
+
+#include "analysis/plan_search.h"
+#include "util/table_printer.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+int main() {
+  struct Setup {
+    const char* label;
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t m;
+  };
+  const Setup setups[] = {
+      {"easy: pairwise products >= M", {8, 8, 8, 8}, 32},
+      {"hard: all fields << M", {4, 4, 4, 4}, 256},
+      {"hard: all fields << M, wider", {8, 8, 8, 8}, 512},
+      {"mixed sizes", {2, 4, 8, 16}, 256},
+      {"Table 9 regime (2^n masks, 6 fields)", {8, 8, 8, 16, 16, 16}, 512},
+  };
+
+  TablePrinter table({"file system", "theory plan %", "searched plan %",
+                      "searched plan", "plans tried"});
+  for (const Setup& s : setups) {
+    auto spec = FieldSpec::Create(s.sizes, s.m).value();
+    PlanSearchOptions options;
+    options.exhaustive_budget = 1 << 12;  // 4^6 for the last setup
+    auto result = SearchTransformPlan(spec, options).value();
+    table.AddRow({std::string(s.label) + " " + spec.ToString(),
+                  TablePrinter::Cell(100.0 * result.theory_fraction, 1),
+                  TablePrinter::Cell(100.0 * result.optimal_mask_fraction, 1),
+                  result.plan.ToString(),
+                  TablePrinter::Cell(result.plans_evaluated)});
+  }
+  std::cout << "=== Transformation plan search (paper §6 future work) ==="
+            << "\n";
+  table.Print(std::cout);
+  std::cout << "\nSearch uses the paper's own families {I, U, IU1, IU2}; "
+               "gains over the theory plan come\npurely from better "
+               "per-field assignment in regimes the sufficient conditions "
+               "leave open.\n";
+  return 0;
+}

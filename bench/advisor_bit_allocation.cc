@@ -1,0 +1,60 @@
+// Companion experiment: directory sizing from query statistics
+// (Rothnie & Lozano 1974 / Aho & Ullman 1979, the paper's intro
+// references), then FX declustering on top of the advised sizes.
+//
+// Shows the full pipeline a practitioner would run: query stats ->
+// optimal bit allocation -> FieldSpec -> FX plan -> optimality profile.
+
+#include <iostream>
+
+#include "analysis/bit_allocation.h"
+#include "analysis/plan_search.h"
+#include "core/transform.h"
+#include "util/table_printer.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+int main() {
+  struct Workload {
+    const char* label;
+    std::vector<double> probs;
+  };
+  const Workload workloads[] = {
+      {"uniform stats", {0.5, 0.5, 0.5, 0.5}},
+      {"one hot key", {0.95, 0.3, 0.3, 0.3}},
+      {"two rare fields", {0.7, 0.7, 0.1, 0.1}},
+  };
+  constexpr unsigned kTotalBits = 16;
+  constexpr std::uint64_t kDevices = 64;
+
+  TablePrinter table({"workload", "bits per field", "E[|R(q)|]",
+                      "naive E[|R(q)|]", "FX optimal masks %"});
+  for (const Workload& w : workloads) {
+    auto alloc = AllocateFieldBits(w.probs, kTotalBits).value();
+    // Naive baseline: equal split.
+    const std::vector<unsigned> equal(w.probs.size(),
+                                      kTotalBits /
+                                          static_cast<unsigned>(
+                                              w.probs.size()));
+    std::string bits;
+    for (unsigned b : alloc.bits) {
+      bits += (bits.empty() ? "" : "/") + std::to_string(b);
+    }
+    auto spec = FieldSpec::Create(alloc.FieldSizes(), kDevices).value();
+    const double fx =
+        PlanOptimalMaskFraction(TransformPlan::Plan(spec));
+    table.AddRow({w.label, bits,
+                  TablePrinter::Cell(alloc.expected_qualified, 1),
+                  TablePrinter::Cell(
+                      ExpectedQualifiedBuckets(w.probs, equal), 1),
+                  TablePrinter::Cell(100.0 * fx, 1)});
+  }
+  std::cout << "=== Directory sizing advisor + FX declustering ===\n";
+  std::cout << "total bits = " << kTotalBits << ", M = " << kDevices
+            << "\n";
+  table.Print(std::cout);
+  std::cout << "\nSkewed specification stats shift directory bits toward "
+               "frequently-specified fields,\nshrinking expected qualified "
+               "buckets before declustering even starts.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared runners for the paper-reproduction bench binaries.
+
+#ifndef FXDIST_BENCH_COMMON_H_
+#define FXDIST_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/field_spec.h"
+#include "core/transform.h"
+
+namespace fxdist::bench {
+
+/// Parameters of one probability-of-optimality figure (Figures 1-4).
+struct FigureConfig {
+  std::string title;
+  unsigned num_fields = 6;
+  std::uint64_t small_size = 8;
+  std::uint64_t big_size = 64;
+  std::uint64_t num_devices = 64;
+  PlanFamily family = PlanFamily::kIU1;
+  /// Also compute the empirical (ground-truth) FX column via the WHT fast
+  /// path.  Exact while M * prod(F) stays within 126 bits.
+  bool with_empirical = true;
+  /// Basename for CSV export (written into $FXDIST_CSV_DIR when that
+  /// environment variable is set; empty = no export).
+  std::string csv_name;
+};
+
+/// Prints %strict-optimal for Modulo (MD) and FX (FD) as the number of
+/// small fields L sweeps 0..n, exactly the x-axis of Figures 1-4.
+void RunOptimalityFigure(const FigureConfig& config);
+
+/// Parameters of one largest-response table (Tables 7-9).
+struct TableConfig {
+  std::string title;
+  std::vector<std::uint64_t> field_sizes;
+  std::uint64_t num_devices = 32;
+  /// Registry spec for the FX column ("fx-iu1" for Tables 7-8, "fx-iu2"
+  /// for Table 9).
+  std::string fx_spec = "fx-iu1";
+  unsigned k_min = 2;
+  unsigned k_max = 6;
+  /// Basename for CSV export (see FigureConfig::csv_name).
+  std::string csv_name;
+};
+
+/// Prints average largest response size for Modulo, GDM1-3, FX and the
+/// Optimal bound, rows k = k_min..k_max unspecified fields.
+void RunLargestResponseTable(const TableConfig& config);
+
+}  // namespace fxdist::bench
+
+#endif  // FXDIST_BENCH_COMMON_H_

@@ -1,0 +1,101 @@
+// Microbenchmarks of the core kernels: field transformations, bucket
+// linearization, inverse-mapping residue lookups, and record insertion
+// throughput of the two file implementations.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fx.h"
+#include "core/registry.h"
+#include "sim/dynamic_parallel_file.h"
+#include "sim/parallel_file.h"
+#include "util/random.h"
+#include "workload/record_gen.h"
+
+namespace {
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+void BM_TransformApply(benchmark::State& state, TransformKind kind) {
+  auto t = FieldTransform::Create(kind, 64, 4096).value();
+  std::uint64_t l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Apply(l));
+    l = (l + 1) & 63;
+  }
+}
+BENCHMARK_CAPTURE(BM_TransformApply, U, TransformKind::kU);
+BENCHMARK_CAPTURE(BM_TransformApply, IU1, TransformKind::kIU1);
+BENCHMARK_CAPTURE(BM_TransformApply, IU2, TransformKind::kIU2);
+
+void BM_LinearIndexRoundTrip(benchmark::State& state) {
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  std::uint64_t i = 0;
+  const std::uint64_t total = spec.TotalBuckets();
+  for (auto _ : state) {
+    const BucketId b = BucketFromLinear(spec, i);
+    benchmark::DoNotOptimize(LinearIndex(spec, b));
+    i = (i + 4097) % total;
+  }
+}
+BENCHMARK(BM_LinearIndexRoundTrip);
+
+void BM_ParallelFileInsert(benchmark::State& state) {
+  auto schema = Schema::Create({{"a", ValueType::kInt64, 16},
+                                {"b", ValueType::kString, 8},
+                                {"c", ValueType::kDouble, 8}})
+                    .value();
+  auto gen = RecordGenerator::Uniform(schema, 3).value();
+  const auto records = gen.Take(8192);
+  auto file = ParallelFile::Create(schema, 16, "fx-iu2").value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.Insert(records[i]).ok());
+    i = (i + 1) & 8191;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParallelFileInsert);
+
+void BM_DynamicParallelFileInsert(benchmark::State& state) {
+  auto gen_schema = Schema::Create({{"a", ValueType::kInt64, 2},
+                                    {"b", ValueType::kString, 2},
+                                    {"c", ValueType::kDouble, 2}})
+                        .value();
+  auto gen = RecordGenerator::Uniform(gen_schema, 3).value();
+  const auto records = gen.Take(8192);
+  auto file = DynamicParallelFile::Create({{"a", ValueType::kInt64},
+                                           {"b", ValueType::kString},
+                                           {"c", ValueType::kDouble}},
+                                          16, 8)
+                  .value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.Insert(records[i]).ok());
+    i = (i + 1) & 8191;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynamicParallelFileInsert);
+
+void BM_QueryExecution(benchmark::State& state) {
+  auto schema = Schema::Create({{"a", ValueType::kInt64, 8},
+                                {"b", ValueType::kInt64, 8},
+                                {"c", ValueType::kInt64, 8}})
+                    .value();
+  auto gen = RecordGenerator::Uniform(schema, 5).value();
+  const auto records = gen.Take(20000);
+  auto file = ParallelFile::Create(schema, 16, "fx-iu2").value();
+  for (const auto& r : records) {
+    if (!file.Insert(r).ok()) state.SkipWithError("insert failed");
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ValueQuery q(3);
+    q[0] = records[i][0];
+    benchmark::DoNotOptimize(file.Execute(q).value().records.size());
+    i = (i + 7) % records.size();
+  }
+}
+BENCHMARK(BM_QueryExecution)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

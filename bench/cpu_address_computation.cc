@@ -1,0 +1,52 @@
+// §5.2.2, measured: wall-clock google-benchmark of the DeviceOf kernels.
+// Complements sec522_cycle_model (the paper's MC68000 cycle accounting)
+// with real hardware numbers.  On modern cores multiplication is cheap, so
+// the FX-vs-GDM gap narrows relative to 1988 — the *shape* to check is
+// that FX stays at least as fast as GDM and within a small factor of
+// Modulo, while delivering far better distribution.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/registry.h"
+#include "util/random.h"
+
+namespace {
+
+using fxdist::BucketId;
+using fxdist::FieldSpec;
+using fxdist::MakeDistribution;
+
+std::vector<BucketId> RandomBuckets(const FieldSpec& spec, std::size_t n) {
+  fxdist::Xoshiro256 rng(1234);
+  std::vector<BucketId> buckets(n, BucketId(spec.num_fields()));
+  for (auto& bucket : buckets) {
+    for (unsigned i = 0; i < spec.num_fields(); ++i) {
+      bucket[i] = rng.NextBounded(spec.field_size(i));
+    }
+  }
+  return buckets;
+}
+
+void BM_DeviceOf(benchmark::State& state, const char* dist) {
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto method = MakeDistribution(spec, dist).value();
+  const auto buckets = RandomBuckets(spec, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method->DeviceOf(buckets[i]));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK_CAPTURE(BM_DeviceOf, modulo, "modulo");
+BENCHMARK_CAPTURE(BM_DeviceOf, gdm1, "gdm1");
+BENCHMARK_CAPTURE(BM_DeviceOf, gdm3, "gdm3");
+BENCHMARK_CAPTURE(BM_DeviceOf, fx_basic, "fx-basic");
+BENCHMARK_CAPTURE(BM_DeviceOf, fx_iu1, "fx-iu1");
+BENCHMARK_CAPTURE(BM_DeviceOf, fx_iu2, "fx-iu2");
+
+}  // namespace

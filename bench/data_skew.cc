@@ -1,0 +1,67 @@
+// Data skew: what declustering can and cannot fix.
+//
+// The paper's optimality is *bucket*-level.  With Zipf-skewed attribute
+// values, a few buckets hold most records; a bucket is atomic, so device
+// *record* balance degrades no matter which method places the buckets.
+// This bench separates the two effects: bucket placement balance
+// (method-controlled) vs record balance under value skew
+// (hash/data-controlled) — an honest boundary of the paper's guarantees.
+
+#include <iostream>
+
+#include "analysis/balance.h"
+#include "sim/parallel_file.h"
+#include "util/table_printer.h"
+#include "workload/record_gen.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+namespace {
+
+BalanceReport BuildAndMeasure(const Schema& schema, const char* dist,
+                              double zipf_theta) {
+  std::vector<FieldDistribution> dists(schema.num_fields());
+  for (auto& d : dists) {
+    if (zipf_theta > 0) {
+      d.kind = FieldDistribution::Kind::kZipf;
+      d.zipf_theta = zipf_theta;
+    }
+    d.domain = 256;
+  }
+  auto gen = RecordGenerator::Create(schema, dists, /*seed=*/7).value();
+  auto file = ParallelFile::Create(schema, 16, dist).value();
+  for (const Record& r : gen.Take(40000)) {
+    if (!file.Insert(r).ok()) std::abort();
+  }
+  return AnalyzeBalance(file.RecordCountsPerDevice());
+}
+
+}  // namespace
+
+int main() {
+  auto schema = Schema::Create({{"a", ValueType::kInt64, 8},
+                                {"b", ValueType::kInt64, 8},
+                                {"c", ValueType::kInt64, 8}})
+                    .value();
+  TablePrinter table({"data", "method", "records max/mean", "CV", "Gini"});
+  for (double theta : {0.0, 0.8, 1.2}) {
+    for (const char* dist : {"fx-iu2", "modulo", "random"}) {
+      const BalanceReport r = BuildAndMeasure(schema, dist, theta);
+      table.AddRow({theta == 0.0 ? "uniform"
+                                 : ("zipf " + TablePrinter::Cell(theta, 1)),
+                    dist, TablePrinter::Cell(r.peak_over_mean, 3),
+                    TablePrinter::Cell(r.cv, 3),
+                    TablePrinter::Cell(r.gini, 3)});
+    }
+  }
+  std::cout << "=== Storage balance under data skew (40k records, 16 "
+               "devices) ===\n";
+  table.Print(std::cout);
+  std::cout << "\nUniform data: every method stores evenly (0-optimality)."
+               "  Zipf data: hot buckets\nare atomic, so imbalance appears "
+               "for *every* method — declustering places buckets,\nit "
+               "cannot split them.  Fixing that needs hash-level remedies "
+               "(wider directories via\nadvise-bits, or salting), not a "
+               "different allocation function.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension: response balance after a device failure.
+//
+// When a device fails, its share of every query re-routes to its
+// replicas, and the degraded system's largest response decides latency.
+// Mirrored placement dumps the orphaned load on one survivor (~2x on
+// balanced classes); chained declustering spreads it (~M/(M-1)x).
+// Either way, the *absolute* degraded load still tracks declustering
+// quality — FX enters the failure with less to re-route.
+
+#include <iostream>
+
+#include "analysis/availability.h"
+#include "core/registry.h"
+#include "util/table_printer.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+int main() {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  std::cout << "=== Degraded-mode largest response (" << spec.ToString()
+            << ", one failed device, averaged over classes and failure "
+               "sites) ===\n";
+  TablePrinter table({"k", "method", "healthy", "mirrored degraded",
+                      "chained degraded", "chained factor"});
+  for (unsigned k = 2; k <= 4; ++k) {
+    for (const char* name : {"fx-iu1", "gdm1", "modulo"}) {
+      auto method = MakeDistribution(spec, name).value();
+      const auto mirrored =
+          AnalyzeDegradedMode(*method, k, ReplicaPlacement::kMirrored)
+              .value();
+      const auto chained =
+          AnalyzeDegradedMode(*method, k, ReplicaPlacement::kChained)
+              .value();
+      table.AddRow({std::to_string(k), method->name(),
+                    TablePrinter::Cell(mirrored.healthy_largest, 1),
+                    TablePrinter::Cell(mirrored.degraded_largest, 1),
+                    TablePrinter::Cell(chained.degraded_largest, 1),
+                    TablePrinter::Cell(chained.degradation_factor, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nChained re-routing keeps the failure penalty near "
+               "M/(M-1); the ordering between\nmethods — FX lowest — "
+               "survives into degraded mode.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 1: % of strict-optimal partial match queries, Modulo (MD) vs
+// FX (FD), n = 6 fields, any pair of fields with F_p * F_q >= M,
+// I/U/IU1 transformations.  x-axis: number of fields with F < M.
+
+#include "common.h"
+
+int main() {
+  fxdist::bench::FigureConfig config;
+  config.title =
+      "Figure 1: probability of strict optimality (n=6, FpFq >= M)";
+  config.num_fields = 6;
+  config.small_size = 8;   // 8 * 8 = 64 >= M
+  config.big_size = 64;
+  config.num_devices = 64;
+  config.family = fxdist::PlanFamily::kIU1;
+  config.with_empirical = true;
+  config.csv_name = "fig1";
+  fxdist::bench::RunOptimalityFigure(config);
+  return 0;
+}

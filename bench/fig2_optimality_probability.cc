@@ -1,0 +1,18 @@
+// Figure 2: as Figure 1 with n = 10 fields.
+
+#include "common.h"
+
+int main() {
+  fxdist::bench::FigureConfig config;
+  config.title =
+      "Figure 2: probability of strict optimality (n=10, FpFq >= M)";
+  config.num_fields = 10;
+  config.small_size = 8;
+  config.big_size = 64;
+  config.num_devices = 64;
+  config.family = fxdist::PlanFamily::kIU1;
+  config.with_empirical = true;
+  config.csv_name = "fig2";
+  fxdist::bench::RunOptimalityFigure(config);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 3: % of strict-optimal queries when every field pair has
+// F_p * F_q < M but every triple has F_p * F_q * F_r >= M; FX uses
+// I/U/IU2 transformations.  n = 6 fields.
+
+#include "common.h"
+
+int main() {
+  fxdist::bench::FigureConfig config;
+  config.title =
+      "Figure 3: probability of strict optimality (n=6, FpFq < M <= FpFqFr)";
+  config.num_fields = 6;
+  config.small_size = 16;    // 16^2 = 256 < M, 16^3 = 4096 >= M
+  config.big_size = 4096;
+  config.num_devices = 4096;
+  config.family = fxdist::PlanFamily::kIU2;
+  config.with_empirical = true;
+  config.csv_name = "fig3";
+  fxdist::bench::RunOptimalityFigure(config);
+  return 0;
+}

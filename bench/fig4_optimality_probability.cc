@@ -1,0 +1,24 @@
+// Figure 4: as Figure 3 with n = 10 fields.
+//
+// The empirical column is omitted: with ten 4096-wide fields the exact
+// WHT counts would overflow 128-bit integers for the widest masks (the
+// analytic sufficient-condition columns are exactly what the paper
+// plotted anyway).
+
+#include "common.h"
+
+int main() {
+  fxdist::bench::FigureConfig config;
+  config.title =
+      "Figure 4: probability of strict optimality (n=10, FpFq < M <= "
+      "FpFqFr)";
+  config.num_fields = 10;
+  config.small_size = 16;
+  config.big_size = 4096;
+  config.num_devices = 4096;
+  config.family = fxdist::PlanFamily::kIU2;
+  config.with_empirical = false;
+  config.csv_name = "fig4";
+  fxdist::bench::RunOptimalityFigure(config);
+  return 0;
+}

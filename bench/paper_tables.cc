@@ -1,0 +1,97 @@
+// Reprints the paper's worked examples, Tables 1-6: the bucket-by-bucket
+// device assignments of Basic and Extended FX (plus Table 2's Modulo
+// contrast).  These are validated entry-for-entry by
+// tests/core/golden_tables_test.cc; this binary renders them for
+// side-by-side comparison with the paper.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "core/fx.h"
+#include "core/modulo.h"
+#include "util/bitops.h"
+#include "util/table_printer.h"
+
+namespace fxdist {
+namespace {
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& field_headers,
+                const DistributionMethod& primary,
+                const DistributionMethod* contrast = nullptr,
+                const std::string& contrast_name = "") {
+  std::cout << "=== " << title << " ===\n";
+  const FieldSpec& spec = primary.spec();
+  std::vector<std::string> headers = field_headers;
+  headers.push_back("Device No");
+  if (contrast != nullptr) headers.push_back(contrast_name);
+  TablePrinter table(headers);
+  ForEachBucket(spec, [&](const BucketId& bucket) {
+    std::vector<std::string> row;
+    for (unsigned i = 0; i < spec.num_fields(); ++i) {
+      row.push_back(
+          BitString(bucket[i], std::max(1u, spec.field_bits(i))));
+    }
+    row.push_back(std::to_string(primary.DeviceOf(bucket)));
+    if (contrast != nullptr) {
+      row.push_back(std::to_string(contrast->DeviceOf(bucket)));
+    }
+    table.AddRow(std::move(row));
+    return true;
+  });
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+std::unique_ptr<FXDistribution> Fx(const FieldSpec& spec,
+                                   std::vector<TransformKind> kinds) {
+  return FXDistribution::WithPlan(
+      TransformPlan::Create(spec, std::move(kinds)).value());
+}
+
+}  // namespace
+}  // namespace fxdist
+
+int main() {
+  using namespace fxdist;  // NOLINT(build/namespaces)
+  using K = TransformKind;
+
+  {
+    auto spec = FieldSpec::Create({2, 8}, 4).value();
+    auto fx = FXDistribution::Basic(spec);
+    PrintTable("Table 1: Basic FX distribution (M=4)", {"f1", "f2"}, *fx);
+  }
+  {
+    auto spec = FieldSpec::Create({4, 4}, 16).value();
+    auto fx = Fx(spec, {K::kIdentity, K::kU});
+    ModuloDistribution md(spec);
+    PrintTable("Table 2: FX with I and U transformation (M=16)",
+               {"I(f1)", "U(f2)"}, *fx, &md, "Device No (Modulo)");
+  }
+  {
+    auto spec = FieldSpec::Create({4, 4}, 16).value();
+    auto fx = Fx(spec, {K::kIdentity, K::kIU1});
+    PrintTable("Table 3: FX with I and IU1 transformation (M=16)",
+               {"I(f1)", "IU1(f2)"}, *fx);
+  }
+  {
+    auto spec = FieldSpec::Create({2, 4, 2}, 8).value();
+    auto fx = Fx(spec, {K::kIdentity, K::kU, K::kIU1});
+    PrintTable("Table 4: FX with I, U and IU1 transformation (M=8)",
+               {"I(f1)", "U(f2)", "IU1(f3)"}, *fx);
+  }
+  {
+    auto spec = FieldSpec::Create({8, 2}, 16).value();
+    auto fx = Fx(spec, {K::kIdentity, K::kIU2});
+    PrintTable("Table 5: FX with I and IU2 transformation (M=16)",
+               {"I(f1)", "IU2(f2)"}, *fx);
+  }
+  {
+    auto spec = FieldSpec::Create({4, 2, 2}, 16).value();
+    auto fx = Fx(spec, {K::kIdentity, K::kU, K::kIU2});
+    PrintTable("Table 6: FX with I, U and IU2 transformation (M=16)",
+               {"I(f1)", "U(f2)", "IU2(f3)"}, *fx);
+  }
+  return 0;
+}

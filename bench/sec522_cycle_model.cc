@@ -1,0 +1,93 @@
+// §5.2.2: CPU computation time for bucket address calculation under the
+// paper's MC68000 cycle model (XOR 8, ADD 4, AND 4, n-bit shift 6 + 2n,
+// MUL 70 cycles).  The paper's claim: FX takes about one third of GDM;
+// Modulo is cheapest but distributes poorly.
+
+#include <iostream>
+
+#include "analysis/cycles.h"
+#include "core/registry.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace fxdist;  // NOLINT(build/namespaces)
+
+  struct Setup {
+    const char* title;
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t m;
+  };
+  const Setup setups[] = {
+      {"Tables 7/8 file system (F=8 x6)", {8, 8, 8, 8, 8, 8}, 32},
+      {"Table 9 file system (F=8x3,16x3, M=512)",
+       {8, 8, 8, 16, 16, 16},
+       512},
+  };
+
+  for (const Setup& setup : setups) {
+    auto spec = FieldSpec::Create(setup.sizes, setup.m).value();
+    std::cout << "=== Section 5.2.2 cycle model: " << setup.title
+              << " ===\n";
+    TablePrinter table({"method", "XOR", "ADD", "AND", "MUL", "shifts",
+                        "total cycles", "vs GDM1"});
+    const auto gdm_cost =
+        EstimateAddressCost(*MakeDistribution(spec, "gdm1").value());
+    for (const char* name :
+         {"modulo", "gdm1", "gdm3", "fx-basic", "fx-iu1", "fx-iu2"}) {
+      auto method = MakeDistribution(spec, name).value();
+      const AddressComputationCost cost = EstimateAddressCost(*method);
+      table.AddRow({cost.method_name, TablePrinter::Cell(cost.xors),
+                    TablePrinter::Cell(cost.adds),
+                    TablePrinter::Cell(cost.ands),
+                    TablePrinter::Cell(cost.muls),
+                    TablePrinter::Cell(cost.shifts),
+                    TablePrinter::Cell(cost.total_cycles),
+                    TablePrinter::Cell(
+                        static_cast<double>(cost.total_cycles) /
+                            static_cast<double>(gdm_cost.total_cycles),
+                        2)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  // Architecture sweep: the same operation counts priced under the
+  // paper's MC68000, the contemporary 80286 (the paper: "the ratios of
+  // clock cycles ... are almost similar"), and a modern pipelined core.
+  {
+    auto spec = FieldSpec::Uniform(6, 8, 32).value();
+    auto fx = MakeDistribution(spec, "fx-iu1").value();
+    auto md = MakeDistribution(spec, "modulo").value();
+    auto gdm = MakeDistribution(spec, "gdm1").value();
+    struct Preset {
+      const char* label;
+      CycleModel model;
+    };
+    const Preset presets[] = {
+        {"MC68000 (paper)", Mc68000CycleModel()},
+        {"Intel 80286", I80286CycleModel()},
+        {"modern pipelined", ModernCycleModel()},
+    };
+    std::cout << "=== Architecture sweep (same op counts, different "
+                 "per-op cycles) ===\n";
+    TablePrinter table({"CPU model", "Modulo", "FX planned", "GDM1",
+                        "FX / GDM ratio"});
+    for (const Preset& p : presets) {
+      const auto md_c = EstimateAddressCost(*md, p.model).total_cycles;
+      const auto fx_c = EstimateAddressCost(*fx, p.model).total_cycles;
+      const auto gdm_c = EstimateAddressCost(*gdm, p.model).total_cycles;
+      table.AddRow({p.label, TablePrinter::Cell(md_c),
+                    TablePrinter::Cell(fx_c), TablePrinter::Cell(gdm_c),
+                    TablePrinter::Cell(static_cast<double>(fx_c) /
+                                           static_cast<double>(gdm_c),
+                                       2)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Paper's headline: FX address computation costs about one "
+               "third of GDM's on MC68000-class CPUs;\nthe advantage is "
+               "architecture-bound and fades on cores with cheap "
+               "multiplication.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Selectivity sweep: expected query cost as the per-field specification
+// probability p varies.
+//
+// The paper's figures evaluate a single query population (p = 1/2); this
+// sweep draws the full curve.  Low p = broad queries (many wildcards,
+// everything is large and every method converges toward |R|/M); high p =
+// selective queries, where declustering differences dominate.
+
+#include <iostream>
+
+#include "analysis/expectation.h"
+#include "core/registry.h"
+#include "util/table_printer.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+int main() {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  std::cout << "=== Selectivity sweep on " << spec.ToString()
+            << " (expected largest response / P(optimal)) ===\n";
+  TablePrinter table({"p(specified)", "E[qualified]", "FX E[max]",
+                      "Modulo E[max]", "GDM1 E[max]", "FX P(opt)",
+                      "Modulo P(opt)"});
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  auto gdm = MakeDistribution(spec, "gdm1").value();
+  for (double p : {0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}) {
+    const auto fx_cost = ComputeExpectedCost(*fx, p).value();
+    const auto md_cost = ComputeExpectedCost(*md, p).value();
+    const auto gdm_cost = ComputeExpectedCost(*gdm, p).value();
+    table.AddRow(
+        {TablePrinter::Cell(p, 2),
+         TablePrinter::Cell(fx_cost.expected_qualified, 1),
+         TablePrinter::Cell(fx_cost.expected_largest_response, 2),
+         TablePrinter::Cell(md_cost.expected_largest_response, 2),
+         TablePrinter::Cell(gdm_cost.expected_largest_response, 2),
+         TablePrinter::Cell(fx_cost.probability_optimal, 3),
+         TablePrinter::Cell(md_cost.probability_optimal, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nBroad queries (small p) are big for everyone; the "
+               "methods separate on selective\nworkloads, where FX's "
+               "balanced classes keep E[max] near E[qualified]/M.\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Table 7: average largest response size, M = 32, F_1..6 = 8.
+//
+// Paper's rows (for comparison):
+//   k  Modulo  GDM1   GDM2   GDM3   FX     Optimal
+//   2     8.0   3.3    3.6    3.7   3.2    2.0
+//   3    48.0  18.1   16.0   18.9  18.9   16.0   (FX/GDM columns garbled in
+//   4   344.0 130.5  132.7  132.5 128.0  128.0    the original printing;
+//   5  2460.0 1026.3 1029.7 1031.7 1024.0 1024.0  see EXPERIMENTS.md)
+//   6 18152.0 8196.0 8198.0 8202.0 8192.0 8192.0
+
+#include "common.h"
+
+int main() {
+  fxdist::bench::TableConfig config;
+  config.title = "Table 7: average largest response size";
+  config.field_sizes = {8, 8, 8, 8, 8, 8};
+  config.num_devices = 32;
+  config.fx_spec = "fx-iu1";
+  config.csv_name = "table7";
+  fxdist::bench::RunLargestResponseTable(config);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Table 8: average largest response size, M = 64, F_1..6 = 8.
+
+#include "common.h"
+
+int main() {
+  fxdist::bench::TableConfig config;
+  config.title = "Table 8: average largest response size";
+  config.field_sizes = {8, 8, 8, 8, 8, 8};
+  config.num_devices = 64;
+  config.fx_spec = "fx-iu1";
+  config.csv_name = "table8";
+  fxdist::bench::RunLargestResponseTable(config);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Table 9: average largest response size, M = 512,
+// F_1..3 = 8 and F_4..6 = 16; FX uses IU2 instead of IU1.
+
+#include "common.h"
+
+int main() {
+  fxdist::bench::TableConfig config;
+  config.title = "Table 9: average largest response size";
+  config.field_sizes = {8, 8, 8, 16, 16, 16};
+  config.num_devices = 512;
+  config.fx_spec = "fx-iu2";
+  config.csv_name = "table9";
+  fxdist::bench::RunLargestResponseTable(config);
+  return 0;
+}

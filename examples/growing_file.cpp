@@ -1,0 +1,72 @@
+// Growing file: FX declustering over extendible-hash directories.
+//
+// The paper assumes power-of-two field sizes because dynamic hashing makes
+// them so — but dynamic directories *grow*.  This example inserts a stream
+// of records into a DynamicParallelFile and charts what happens at each
+// directory doubling: the bucket space, the FX transformation plan, and
+// the redistribution cost, plus a query probe showing retrieval stays
+// exact throughout.
+//
+//   $ ./build/examples/growing_file
+
+#include <iostream>
+
+#include "sim/dynamic_parallel_file.h"
+#include "util/table_printer.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+int main() {
+  auto file = DynamicParallelFile::Create(
+                  {{"sensor", ValueType::kInt64},
+                   {"metric", ValueType::kString},
+                   {"site", ValueType::kInt64}},
+                  /*num_devices=*/16, /*page_capacity=*/4)
+                  .value();
+
+  const char* metrics[] = {"temp", "rpm", "volt", "amps", "psi"};
+  TablePrinter table({"records", "bucket space", "FX plan", "rebuilds",
+                      "records moved", "probe matches"});
+
+  std::uint64_t last_rebuilds = 0;
+  for (int i = 1; i <= 3000; ++i) {
+    Record r{std::int64_t{i % 97}, std::string(metrics[i % 5]),
+             std::int64_t{i % 13}};
+    if (auto st = file.Insert(std::move(r)); !st.ok()) {
+      std::cerr << "insert failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    const bool grew = file.num_rebuilds() != last_rebuilds;
+    if (grew || i == 3000) {
+      last_rebuilds = file.num_rebuilds();
+      // Probe: all "temp" readings for sensor 42.
+      ValueQuery q(3);
+      q[0] = FieldValue{std::int64_t{42}};
+      q[1] = FieldValue{std::string("temp")};
+      const auto probe = file.Execute(q).value();
+      table.AddRow({std::to_string(file.num_records()),
+                    file.spec().ToString(),
+                    file.method().plan().ToString(),
+                    std::to_string(file.num_rebuilds()),
+                    std::to_string(file.records_moved()),
+                    std::to_string(probe.records.size())});
+    }
+  }
+
+  std::cout << "Dynamic parallel file over 16 devices "
+               "(extendible hashing, page capacity 4)\n\n";
+  table.Print(std::cout);
+
+  const auto counts = file.RecordCountsPerDevice();
+  std::uint64_t min = counts[0], max = counts[0];
+  for (std::uint64_t c : counts) {
+    min = std::min(min, c);
+    max = std::max(max, c);
+  }
+  std::cout << "\nFinal storage balance across 16 devices: min " << min
+            << ", max " << max << " records\n";
+  std::cout << "Every directory doubling re-plans the FX transformations "
+               "for the new field sizes\nand redistributes — the plan "
+               "column shows fields graduating from small to large.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Parts warehouse on parallel disks: FX vs Modulo under a realistic
+// partial match mix.
+//
+// The classic partial-match workload (Rothnie & Lozano's attribute-based
+// retrieval): a parts file keyed on several attributes, queried with
+// varying subsets specified.  We build the same file twice — once
+// declustered with FX, once with Modulo — replay an identical query mix,
+// and compare largest response sizes and modeled disk time.
+//
+//   $ ./build/examples/parts_warehouse
+
+#include <iostream>
+
+#include "sim/parallel_file.h"
+#include "util/table_printer.h"
+#include "workload/query_gen.h"
+#include "workload/record_gen.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct MixResult {
+  double avg_largest = 0.0;
+  double avg_parallel_ms = 0.0;
+  double avg_speedup = 0.0;
+  int strict_optimal = 0;
+};
+
+MixResult Replay(ParallelFile* file, const std::vector<ValueQuery>& mix) {
+  MixResult out;
+  for (const ValueQuery& q : mix) {
+    const QueryStats stats = file->Execute(q).value().stats;
+    out.avg_largest += static_cast<double>(stats.largest_response);
+    out.avg_parallel_ms += stats.disk_timing.parallel_ms;
+    out.avg_speedup += stats.disk_timing.speedup;
+    if (stats.strict_optimal) ++out.strict_optimal;
+  }
+  const auto n = static_cast<double>(mix.size());
+  out.avg_largest /= n;
+  out.avg_parallel_ms /= n;
+  out.avg_speedup /= n;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Deliberately small directories relative to the 32 disks: the regime
+  // where Modulo struggles and FX's transformations matter.
+  auto schema = Schema::Create({
+                                   {"part_no", ValueType::kInt64, 8},
+                                   {"supplier", ValueType::kString, 8},
+                                   {"warehouse", ValueType::kString, 8},
+                                   {"bin", ValueType::kInt64, 8},
+                               })
+                    .value();
+  constexpr std::uint64_t kDisks = 32;
+
+  auto gen = RecordGenerator::Uniform(schema, /*seed=*/2024).value();
+  const std::vector<Record> inventory = gen.Take(5000);
+
+  // One query mix for both systems: 2 or 3 wildcarded attributes.
+  auto qgen = QueryGenerator::Create(&inventory, 0.5, /*seed=*/77).value();
+  std::vector<ValueQuery> mix;
+  for (int i = 0; i < 60; ++i) mix.push_back(qgen.NextWithUnspecified(2));
+  for (int i = 0; i < 40; ++i) mix.push_back(qgen.NextWithUnspecified(3));
+
+  TablePrinter table({"method", "avg largest response", "avg parallel ms",
+                      "avg speedup", "strict-optimal queries"});
+  for (const char* dist : {"fx-iu1", "modulo", "gdm1"}) {
+    auto file = ParallelFile::Create(schema, kDisks, dist).value();
+    for (const Record& r : inventory) {
+      if (auto st = file.Insert(r); !st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+    }
+    const MixResult r = Replay(&file, mix);
+    table.AddRow({file.method().name(), TablePrinter::Cell(r.avg_largest, 2),
+                  TablePrinter::Cell(r.avg_parallel_ms, 1),
+                  TablePrinter::Cell(r.avg_speedup, 2),
+                  std::to_string(r.strict_optimal) + "/" +
+                      std::to_string(mix.size())});
+  }
+
+  std::cout << "Parts warehouse: " << inventory.size() << " records on "
+            << kDisks << " disks, " << mix.size()
+            << " partial match queries\n\n";
+  table.Print(std::cout);
+  std::cout << "\nFX keeps the per-disk load near |R(q)|/M, so the slowest "
+               "disk finishes sooner:\nlower largest response -> lower "
+               "parallel response time.\n";
+  return 0;
+}

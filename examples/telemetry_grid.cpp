@@ -1,0 +1,55 @@
+// Main-memory telemetry store on a massively parallel machine.
+//
+// The paper motivates FX for Butterfly-class multiprocessors: many
+// processing nodes (M = 512), every field directory *smaller* than M, and
+// response time dominated by CPU work (bucket address computation +
+// inverse mapping) rather than disk I/O.  This example sizes that
+// scenario: a telemetry cube declustered over 512 nodes, comparing
+// methods on (a) distribution quality and (b) modeled CPU time per query
+// using the MC68000 cycle model of §5.2.2.
+//
+//   $ ./build/examples/telemetry_grid
+
+#include <iostream>
+
+#include "analysis/cycles.h"
+#include "analysis/fast_response.h"
+#include "analysis/response.h"
+#include "core/registry.h"
+#include "sim/timing.h"
+#include "util/table_printer.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+int main() {
+  // Six telemetry dimensions, all with small hash directories (8 or 16
+  // values) against 512 nodes — exactly Table 9's file system.
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  std::cout << "Telemetry cube " << spec.ToString() << " ("
+            << spec.TotalBuckets() << " buckets over "
+            << spec.num_devices() << " memory nodes)\n\n";
+
+  TablePrinter table({"method", "addr cycles/bucket",
+                      "avg largest (k=3)", "avg largest (k=4)",
+                      "modeled query ms (k=4)"});
+  const MemoryTimingModel memory_model;
+  for (const char* dist : {"modulo", "gdm1", "gdm3", "fx-iu2"}) {
+    auto method = MakeDistribution(spec, dist).value();
+    const AddressComputationCost cost = EstimateAddressCost(*method);
+    const double k3 = AverageLargestResponse(*method, 3).average;
+    const double k4 = AverageLargestResponse(*method, 4).average;
+    // Each node inverse-maps its share of qualified buckets: model the
+    // parallel CPU time as (largest response) * (address + probe cycles).
+    const QueryTiming t = MemoryQueryTiming(
+        {static_cast<std::uint64_t>(k4)}, cost.total_cycles, memory_model);
+    table.AddRow({method->name(), TablePrinter::Cell(cost.total_cycles),
+                  TablePrinter::Cell(k3, 1), TablePrinter::Cell(k4, 1),
+                  TablePrinter::Cell(t.parallel_ms, 3)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nTwo effects compound for FX here: fewer buckets on the "
+               "busiest node (better declustering)\nand cheaper per-bucket "
+               "address computation than GDM (shift/XOR vs multiply).\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Runs every bench binary (skipping cmake artifacts); used to produce
+# bench_output.txt.  google-benchmark binaries run with a short min_time
+# so the full sweep stays fast.
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b ====="
+  case "$(basename "$b")" in
+    core_kernels|cpu_address_computation|ablation_inverse_mapping|ablation_fast_response)
+      "$b" --benchmark_min_time=0.05 ;;
+    *)
+      "$b" ;;
+  esac
+  echo
+done

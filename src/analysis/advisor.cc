@@ -1,0 +1,45 @@
+#include "analysis/advisor.h"
+
+#include <algorithm>
+
+#include "analysis/cycles.h"
+#include "core/registry.h"
+
+namespace fxdist {
+
+Result<MethodRecommendation> RecommendMethod(
+    const FieldSpec& spec, double specified_probability,
+    std::vector<std::string> candidates) {
+  if (candidates.empty()) candidates = KnownDistributionNames();
+
+  MethodRecommendation out;
+  for (const std::string& name : candidates) {
+    auto method = MakeDistribution(spec, name);
+    if (!method.ok()) continue;
+    auto cost = ComputeExpectedCost(**method, specified_probability);
+    if (!cost.ok()) continue;
+    CandidateEvaluation eval;
+    eval.method_spec = name;
+    eval.cost = *cost;
+    eval.address_cycles = EstimateAddressCost(**method).total_cycles;
+    out.ranking.push_back(std::move(eval));
+  }
+  if (out.ranking.empty()) {
+    return Status::InvalidArgument("no candidate evaluable on " +
+                                   spec.ToString());
+  }
+  std::stable_sort(out.ranking.begin(), out.ranking.end(),
+                   [](const CandidateEvaluation& a,
+                      const CandidateEvaluation& b) {
+                     if (a.cost.expected_largest_response !=
+                         b.cost.expected_largest_response) {
+                       return a.cost.expected_largest_response <
+                              b.cost.expected_largest_response;
+                     }
+                     return a.address_cycles < b.address_cycles;
+                   });
+  out.recommended = out.ranking.front().method_spec;
+  return out;
+}
+
+}  // namespace fxdist

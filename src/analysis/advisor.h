@@ -1,0 +1,44 @@
+// Method advisor: which declustering fits this file and workload?
+//
+// Given the file system and the per-field specification probability (the
+// workload statistic the paper's §5 model uses), evaluate every candidate
+// method's exact expected largest response, optimality probability and
+// address cost, and recommend.  The ranking is expected largest response
+// first (the disk-regime bottleneck), address cycles as tie-break (the
+// main-memory regime) — the two §5.2 criteria, mechanized.
+
+#ifndef FXDIST_ANALYSIS_ADVISOR_H_
+#define FXDIST_ANALYSIS_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/expectation.h"
+#include "core/field_spec.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct CandidateEvaluation {
+  std::string method_spec;
+  ExpectedQueryCost cost;
+  std::uint64_t address_cycles = 0;
+};
+
+struct MethodRecommendation {
+  /// The winner's registry spec string.
+  std::string recommended;
+  /// All candidates that evaluated successfully, best first.
+  std::vector<CandidateEvaluation> ranking;
+};
+
+/// Evaluates `candidates` (default: every argument-free registry method)
+/// on `spec` under the given workload statistic and ranks them.
+/// Candidates that fail to construct or evaluate are skipped.
+Result<MethodRecommendation> RecommendMethod(
+    const FieldSpec& spec, double specified_probability,
+    std::vector<std::string> candidates = {});
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_ADVISOR_H_

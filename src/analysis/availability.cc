@@ -1,0 +1,94 @@
+#include "analysis/availability.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/fast_response.h"
+#include "util/math.h"
+
+namespace fxdist {
+
+namespace {
+
+/// Max load over survivors after failing device `failed` and re-routing
+/// its `loads[failed]` buckets per `placement`.
+double DegradedMax(const std::vector<std::uint64_t>& loads,
+                   std::uint64_t failed, ReplicaPlacement placement) {
+  const std::uint64_t m = loads.size();
+  std::vector<double> degraded(m);
+  for (std::uint64_t d = 0; d < m; ++d) {
+    degraded[d] = static_cast<double>(loads[d]);
+  }
+  const double orphaned = degraded[failed];
+  degraded[failed] = 0.0;
+  switch (placement) {
+    case ReplicaPlacement::kMirrored:
+      degraded[(failed + m / 2) % m] += orphaned;
+      break;
+    case ReplicaPlacement::kChained: {
+      // Ideal chained declustering: the survivors share the orphaned
+      // work evenly by shifting primary/backup responsibility around the
+      // chain — the standard idealized model charges each of the m-1
+      // survivors an equal slice.
+      const double slice = orphaned / static_cast<double>(m - 1);
+      for (std::uint64_t d = 0; d < m; ++d) {
+        if (d != failed) degraded[d] += slice;
+      }
+      break;
+    }
+  }
+  double max = 0.0;
+  for (std::uint64_t d = 0; d < m; ++d) {
+    max = std::max(max, degraded[d]);
+  }
+  return max;
+}
+
+}  // namespace
+
+Result<DegradedModeReport> AnalyzeDegradedMode(
+    const DistributionMethod& method, unsigned k,
+    ReplicaPlacement placement) {
+  const FieldSpec& spec = method.spec();
+  const std::uint64_t m = spec.num_devices();
+  if (m < 2) {
+    return Status::InvalidArgument("degraded mode needs at least 2 devices");
+  }
+  if (k > spec.num_fields()) {
+    return Status::InvalidArgument("k exceeds the field count");
+  }
+
+  DegradedModeReport report;
+  double healthy_sum = 0.0;
+  double degraded_sum = 0.0;
+  ForEachSubsetOfSize(spec.num_fields(), k,
+                      [&](const std::vector<unsigned>& subset) {
+    std::uint64_t mask = 0;
+    for (unsigned f : subset) mask |= std::uint64_t{1} << f;
+    const std::vector<std::uint64_t> loads =
+        MaskResponse(method, mask).per_device;
+    healthy_sum += static_cast<double>(
+        *std::max_element(loads.begin(), loads.end()));
+    // Average over which device fails.
+    double over_failures = 0.0;
+    for (std::uint64_t failed = 0; failed < m; ++failed) {
+      over_failures += DegradedMax(loads, failed, placement);
+    }
+    degraded_sum += over_failures / static_cast<double>(m);
+    ++report.classes;
+    return true;
+  });
+  if (report.classes > 0) {
+    report.healthy_largest =
+        healthy_sum / static_cast<double>(report.classes);
+    report.degraded_largest =
+        degraded_sum / static_cast<double>(report.classes);
+    if (report.healthy_largest > 0.0) {
+      report.degradation_factor =
+          report.degraded_largest / report.healthy_largest;
+    }
+  }
+  return report;
+}
+
+}  // namespace fxdist

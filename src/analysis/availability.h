@@ -1,0 +1,55 @@
+// Degraded-mode analysis: response balance after a device failure.
+//
+// Parallel files replicate for availability; when device f fails, its
+// share of every query re-routes to wherever the copies live, and the
+// declustering question returns in degraded form: how lopsided is the
+// load now?  Two classic replica placements are modeled:
+//
+//  * mirrored   — bucket's backup lives on (primary + M/2) mod M; the
+//                 mirror absorbs the failed device's entire share.
+//  * chained    — backup on (primary + 1) mod M (Hsiao & DeWitt's
+//                 chained declustering, the canonical fix): in degraded
+//                 mode the surviving devices can re-balance primary vs
+//                 backup work around the chain, spreading the failed
+//                 node's load across *all* survivors.
+//
+// The analysis is exact: it reuses the closed-form response vectors and
+// applies the degraded re-routing to each query class.  This extends the
+// paper (which does not treat failures) with the 1990s literature that
+// grew out of it.
+
+#ifndef FXDIST_ANALYSIS_AVAILABILITY_H_
+#define FXDIST_ANALYSIS_AVAILABILITY_H_
+
+#include <cstdint>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+enum class ReplicaPlacement {
+  kMirrored,  ///< backup at primary + M/2
+  kChained,   ///< backup at primary + 1, ideal chain re-balancing
+};
+
+struct DegradedModeReport {
+  /// avg over k-unspecified classes of max device load, healthy.
+  double healthy_largest = 0.0;
+  /// Same with one device failed and its load re-routed.
+  double degraded_largest = 0.0;
+  /// degraded / healthy — the failure penalty multiplier.
+  double degradation_factor = 1.0;
+  std::uint64_t classes = 0;
+};
+
+/// Evaluates the degraded-mode largest response over all classes with
+/// exactly `k` unspecified fields, failing each device in turn and
+/// averaging.  Requires M >= 2.
+Result<DegradedModeReport> AnalyzeDegradedMode(
+    const DistributionMethod& method, unsigned k,
+    ReplicaPlacement placement);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_AVAILABILITY_H_

@@ -1,0 +1,45 @@
+#include "analysis/balance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxdist {
+
+BalanceReport AnalyzeBalance(const std::vector<std::uint64_t>& counts) {
+  BalanceReport report;
+  report.devices = counts.size();
+  if (counts.empty()) return report;
+
+  report.min = counts[0];
+  report.max = counts[0];
+  for (std::uint64_t c : counts) {
+    report.total += c;
+    report.min = std::min(report.min, c);
+    report.max = std::max(report.max, c);
+  }
+  const auto n = static_cast<double>(counts.size());
+  report.mean = static_cast<double>(report.total) / n;
+  if (report.mean > 0.0) {
+    double variance = 0.0;
+    for (std::uint64_t c : counts) {
+      const double d = static_cast<double>(c) - report.mean;
+      variance += d * d;
+    }
+    variance /= n;
+    report.cv = std::sqrt(variance) / report.mean;
+    report.peak_over_mean = static_cast<double>(report.max) / report.mean;
+
+    // Gini via the sorted mean-difference formula.
+    std::vector<std::uint64_t> sorted = counts;
+    std::sort(sorted.begin(), sorted.end());
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) *
+                  static_cast<double>(sorted[i]);
+    }
+    report.gini = weighted / (n * static_cast<double>(report.total));
+  }
+  return report;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,37 @@
+// Load-balance statistics over per-device counts.
+//
+// Bucket-level optimality (the paper's metric) assumes each bucket holds
+// comparable data.  Real data skews: hot values pile records into a few
+// buckets, and no bucket-to-device map can split a single hot bucket.
+// These statistics quantify the resulting device imbalance for any count
+// vector — records per device, qualified buckets per device, busy time
+// per device — so the examples and benches can report balance uniformly.
+
+#ifndef FXDIST_ANALYSIS_BALANCE_H_
+#define FXDIST_ANALYSIS_BALANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fxdist {
+
+struct BalanceReport {
+  std::uint64_t devices = 0;
+  std::uint64_t total = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  /// Coefficient of variation (stddev / mean); 0 = perfectly even.
+  double cv = 0.0;
+  /// max / mean; 1 = perfectly even.  The parallel-response multiplier.
+  double peak_over_mean = 0.0;
+  /// Gini coefficient in [0, 1); 0 = perfectly even.
+  double gini = 0.0;
+};
+
+/// Computes the report for any per-device count vector.
+BalanceReport AnalyzeBalance(const std::vector<std::uint64_t>& counts);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_BALANCE_H_

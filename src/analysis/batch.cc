@@ -1,0 +1,57 @@
+#include "analysis/batch.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/math.h"
+
+namespace fxdist {
+
+Result<BatchStats> AnalyzeBatch(const DistributionMethod& method,
+                                const std::vector<PartialMatchQuery>& batch,
+                                std::uint64_t budget) {
+  const FieldSpec& spec = method.spec();
+  std::uint64_t total = 0;
+  for (const PartialMatchQuery& q : batch) {
+    if (q.num_fields() != spec.num_fields()) {
+      return Status::InvalidArgument("query arity mismatch in batch");
+    }
+    total += q.NumQualifiedBuckets(spec);
+    if (total > budget) {
+      return Status::InvalidArgument(
+          "batch enumeration exceeds the budget");
+    }
+  }
+
+  BatchStats stats;
+  stats.total_bucket_requests = total;
+  stats.distinct_per_device.assign(spec.num_devices(), 0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(total));
+  for (const PartialMatchQuery& q : batch) {
+    ForEachQualifiedBucket(spec, q, [&](const BucketId& bucket) {
+      const std::uint64_t linear = LinearIndex(spec, bucket);
+      if (seen.insert(linear).second) {
+        ++stats.distinct_per_device[method.DeviceOf(bucket)];
+      }
+      return true;
+    });
+  }
+  stats.distinct_buckets = seen.size();
+  stats.largest_device_share =
+      stats.distinct_per_device.empty()
+          ? 0
+          : *std::max_element(stats.distinct_per_device.begin(),
+                              stats.distinct_per_device.end());
+  stats.sharing_factor =
+      stats.distinct_buckets == 0
+          ? 1.0
+          : static_cast<double>(total) /
+                static_cast<double>(stats.distinct_buckets);
+  stats.balanced =
+      stats.largest_device_share <=
+      CeilDiv(stats.distinct_buckets, spec.num_devices());
+  return stats;
+}
+
+}  // namespace fxdist

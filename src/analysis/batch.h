@@ -1,0 +1,46 @@
+// Batch partial-match analysis: shared bucket fetches.
+//
+// Real workloads issue query *batches*; overlapping queries qualify the
+// same buckets, and a device only needs to fetch each bucket once per
+// batch.  The per-device cost of a batch is therefore the size of the
+// *union* of its queries' device shares, not the sum.  This module
+// computes those unions and the resulting balance — declustering quality
+// has to hold up for unions too, which no single-query theorem speaks to
+// (another place where measurement complements the paper's §4 theory).
+
+#ifndef FXDIST_ANALYSIS_BATCH_H_
+#define FXDIST_ANALYSIS_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distribution.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct BatchStats {
+  /// Sum over queries of |R(q)| — the no-sharing cost.
+  std::uint64_t total_bucket_requests = 0;
+  /// |union of R(q)| — what actually has to be fetched.
+  std::uint64_t distinct_buckets = 0;
+  /// Distinct buckets per device.
+  std::vector<std::uint64_t> distinct_per_device;
+  std::uint64_t largest_device_share = 0;
+  /// requests / distinct (>= 1; higher = more sharing exploited).
+  double sharing_factor = 1.0;
+  /// Is the union spread within ceil(distinct / M) per device?
+  bool balanced = false;
+};
+
+/// Analyzes a batch against `method`.  Enumerates each query's qualified
+/// buckets; refuses batches whose total enumeration exceeds `budget`.
+Result<BatchStats> AnalyzeBatch(
+    const DistributionMethod& method,
+    const std::vector<PartialMatchQuery>& batch,
+    std::uint64_t budget = std::uint64_t{1} << 24);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_BATCH_H_

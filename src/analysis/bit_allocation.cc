@@ -1,0 +1,80 @@
+#include "analysis/bit_allocation.h"
+
+#include <cmath>
+
+namespace fxdist {
+
+namespace {
+
+double Factor(double p, unsigned bits) {
+  return p + (1.0 - p) * std::ldexp(1.0, static_cast<int>(bits));
+}
+
+double Ratio(double p, unsigned bits) {
+  return Factor(p, bits + 1) / Factor(p, bits);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> BitAllocation::FieldSizes() const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(bits.size());
+  for (unsigned b : bits) sizes.push_back(std::uint64_t{1} << b);
+  return sizes;
+}
+
+double ExpectedQualifiedBuckets(
+    const std::vector<double>& specified_probability,
+    const std::vector<unsigned>& bits) {
+  double product = 1.0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    product *= Factor(specified_probability[i], bits[i]);
+  }
+  return product;
+}
+
+Result<BitAllocation> AllocateFieldBits(
+    const std::vector<double>& specified_probability, unsigned total_bits,
+    unsigned max_bits_per_field) {
+  if (specified_probability.empty()) {
+    return Status::InvalidArgument("need at least one field");
+  }
+  for (double p : specified_probability) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "specification probabilities must be in [0, 1]");
+    }
+  }
+  const unsigned cap = max_bits_per_field == 0 ? 40 : max_bits_per_field;
+  if (total_bits > cap * specified_probability.size()) {
+    return Status::InvalidArgument(
+        "total bits exceed the per-field caps times the field count");
+  }
+
+  BitAllocation out;
+  out.bits.assign(specified_probability.size(), 0);
+  for (unsigned assigned = 0; assigned < total_bits; ++assigned) {
+    // Give the next bit to the field whose factor grows the least —
+    // i.e. the field most likely to be unspecified benefits least from
+    // more buckets... inverted: a *specified* field absorbs bits with
+    // ratio near (close to 1 when p is high), so high-p fields soak up
+    // bits first, exactly the classic result.
+    std::size_t best = specified_probability.size();
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < specified_probability.size(); ++i) {
+      if (out.bits[i] >= cap) continue;
+      const double r = Ratio(specified_probability[i], out.bits[i]);
+      if (best == specified_probability.size() || r < best_ratio) {
+        best = i;
+        best_ratio = r;
+      }
+    }
+    FXDIST_DCHECK(best < specified_probability.size());
+    ++out.bits[best];
+  }
+  out.expected_qualified =
+      ExpectedQualifiedBuckets(specified_probability, out.bits);
+  return out;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,55 @@
+// Field directory sizing from query statistics.
+//
+// Before distribution even starts, a multi-key hash file must decide how
+// many directory bits each field gets — the problem of Rothnie & Lozano
+// (1974) and Aho & Ullman (1979), which the paper cites as the classic
+// companion question (and which [Du85] showed is NP-hard in general; for
+// independently specified fields the greedy below is exact).
+//
+// Model: field i is specified independently with probability p_i.  With
+// b_i bits on field i, a query's expected qualified-bucket count is
+//     E[|R(q)|] = prod_i ( p_i + (1 - p_i) * 2^{b_i} )
+// (specified fields contribute one coordinate, unspecified ones the whole
+// 2^{b_i} directory).  Each additional bit on field i multiplies its
+// factor by
+//     r_i(b) = (p_i + (1-p_i) * 2^{b+1}) / (p_i + (1-p_i) * 2^b),
+// which is increasing in b, so greedily assigning each of the B bits to
+// the field with the smallest current ratio minimizes the product — the
+// textbook exact solution for this separable convex objective.
+
+#ifndef FXDIST_ANALYSIS_BIT_ALLOCATION_H_
+#define FXDIST_ANALYSIS_BIT_ALLOCATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/field_spec.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct BitAllocation {
+  /// Bits per field; field sizes are 2^bits.
+  std::vector<unsigned> bits;
+  /// E[|R(q)|] under the model.
+  double expected_qualified = 0.0;
+
+  std::vector<std::uint64_t> FieldSizes() const;
+};
+
+/// Allocates `total_bits` directory bits over fields with specification
+/// probabilities `specified_probability` (each in [0, 1]), minimizing the
+/// expected qualified-bucket count.  `max_bits_per_field` caps any single
+/// directory (0 = unlimited up to 40 bits).
+Result<BitAllocation> AllocateFieldBits(
+    const std::vector<double>& specified_probability, unsigned total_bits,
+    unsigned max_bits_per_field = 0);
+
+/// Expected qualified buckets for an explicit allocation (model above).
+double ExpectedQualifiedBuckets(
+    const std::vector<double>& specified_probability,
+    const std::vector<unsigned>& bits);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_BIT_ALLOCATION_H_

@@ -1,0 +1,107 @@
+#include "analysis/conditions.h"
+
+#include <optional>
+
+namespace fxdist {
+
+namespace {
+
+/// True when {a, b, c} carry methods {I, U, IU2} (one each), the IU2 field
+/// is a genuine IU2 (F^2 < M, otherwise it collapses to IU1 and Lemma 9.1
+/// does not apply), and the IU2 field is at least as large as the U field.
+bool IsTheorem9Triple(const FieldSpec& spec,
+                      const std::vector<TransformKind>& kinds, unsigned a,
+                      unsigned b, unsigned c) {
+  std::optional<unsigned> id_field, u_field, iu2_field;
+  for (unsigned f : {a, b, c}) {
+    switch (kinds[f]) {
+      case TransformKind::kIdentity:
+        if (id_field) return false;
+        id_field = f;
+        break;
+      case TransformKind::kU:
+        if (u_field) return false;
+        u_field = f;
+        break;
+      case TransformKind::kIU2:
+        if (iu2_field) return false;
+        iu2_field = f;
+        break;
+      case TransformKind::kIU1:
+        return false;
+    }
+  }
+  if (!id_field || !u_field || !iu2_field) return false;
+  const std::uint64_t f_iu2 = spec.field_size(*iu2_field);
+  const std::uint64_t f_u = spec.field_size(*u_field);
+  if (f_iu2 * f_iu2 >= spec.num_devices()) return false;
+  return f_iu2 >= f_u;
+}
+
+}  // namespace
+
+bool FxStrictOptimalSufficient(const FieldSpec& spec,
+                               const std::vector<TransformKind>& kinds,
+                               const std::vector<unsigned>& unspecified) {
+  const std::uint64_t m = spec.num_devices();
+  const std::size_t k = unspecified.size();
+
+  // (1) Theorem 1: at most one unspecified field.
+  if (k <= 1) return true;
+
+  // (2) Theorem 2: some unspecified field with F >= M.
+  for (unsigned f : unspecified) {
+    if (spec.field_size(f) >= m) return true;
+  }
+
+  // All unspecified fields are small from here on.
+  // (3) two unspecified fields with different methods.
+  if (k == 2) {
+    return AreDifferentMethods(kinds[unspecified[0]], kinds[unspecified[1]]);
+  }
+
+  // (4a)/(5a): a pair with F_p * F_q >= M and different methods.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const unsigned p = unspecified[i], q = unspecified[j];
+      if (spec.field_size(p) * spec.field_size(q) >= m &&
+          AreDifferentMethods(kinds[p], kinds[q])) {
+        return true;
+      }
+    }
+  }
+
+  if (k == 3) {
+    // (4b) Lemma 9.1: the three methods are I, U, IU2 with the size rule.
+    return IsTheorem9Triple(spec, kinds, unspecified[0], unspecified[1],
+                            unspecified[2]);
+  }
+
+  // (5b) |q(f)| >= 4: some triple with F_i*F_j*F_k >= M that satisfies the
+  // I/U/IU2 rule.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      for (std::size_t l = j + 1; l < k; ++l) {
+        const unsigned a = unspecified[i], b = unspecified[j],
+                       c = unspecified[l];
+        if (spec.field_size(a) * spec.field_size(b) * spec.field_size(c) >=
+                m &&
+            IsTheorem9Triple(spec, kinds, a, b, c)) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool ModuloStrictOptimalSufficient(const FieldSpec& spec,
+                                   const std::vector<unsigned>& unspecified) {
+  if (unspecified.size() <= 1) return true;
+  for (unsigned f : unspecified) {
+    if (spec.field_size(f) % spec.num_devices() == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace fxdist

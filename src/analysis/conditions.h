@@ -1,0 +1,46 @@
+// Analytic sufficient conditions for strict optimality (paper §4.2).
+//
+// These predicates answer "does the theory *guarantee* strict optimality
+// for this unspecified-field set?" without touching a single bucket.  They
+// are deliberately exactly the paper's published conditions — the
+// probability figures (1-4) are computed from them, as in the paper — and
+// are cross-validated against the exhaustive checker in the test suite
+// (sufficient ⇒ actually optimal).
+
+#ifndef FXDIST_ANALYSIS_CONDITIONS_H_
+#define FXDIST_ANALYSIS_CONDITIONS_H_
+
+#include <vector>
+
+#include "core/field_spec.h"
+#include "core/transform.h"
+
+namespace fxdist {
+
+/// FX distribution with the per-field methods `kinds` (identity on fields
+/// with F >= M).  Returns true iff one of the paper's conditions
+/// (§4.2 (1)-(5)) guarantees strict optimality for every query whose
+/// unspecified fields are exactly `unspecified`.
+///
+/// Conditions implemented:
+///  (1) |q(f)| <= 1                                       [Theorem 1]
+///  (2) some unspecified field has F >= M                 [Theorem 2]
+///  (3) |q(f)| = 2 with different methods                 [Thms 4-8]
+///  (4a/5a) two unspecified fields with F_p * F_q >= M and different
+///      methods (IU1+IU2 does not count as different)     [Cor 6.1/9.1]
+///  (4b) |q(f)| = 3, methods are exactly {I, U, IU2} with the IU2 field a
+///      genuine IU2 (F^2 < M) no smaller than the U field [Lemma 9.1]
+///  (5b) |q(f)| >= 4 and some triple i,j,k with F_i*F_j*F_k >= M whose
+///      methods are {I, U, IU2} under the same size rule  [Cor 9.1]
+bool FxStrictOptimalSufficient(const FieldSpec& spec,
+                               const std::vector<TransformKind>& kinds,
+                               const std::vector<unsigned>& unspecified);
+
+/// Disk Modulo (DuSo82) sufficient condition: at most one unspecified
+/// field, or some unspecified field whose size is a multiple of M.
+bool ModuloStrictOptimalSufficient(const FieldSpec& spec,
+                                   const std::vector<unsigned>& unspecified);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_CONDITIONS_H_

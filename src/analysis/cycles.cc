@@ -1,0 +1,148 @@
+#include "analysis/cycles.h"
+
+#include "core/afx.h"
+#include "core/fx.h"
+#include "core/gdm.h"
+#include "core/modulo.h"
+#include "util/bitops.h"
+
+namespace fxdist {
+
+namespace {
+
+void AddTransformOps(const FieldTransform& t, const CycleModel& model,
+                     AddressComputationCost* cost) {
+  switch (t.kind()) {
+    case TransformKind::kIdentity:
+      break;
+    case TransformKind::kU:
+      ++cost->shifts;
+      cost->shift_cycles += model.ShiftCost(Log2Exact(t.d1()));
+      break;
+    case TransformKind::kIU1:
+      ++cost->shifts;
+      cost->shift_cycles += model.ShiftCost(Log2Exact(t.d1()));
+      ++cost->xors;
+      break;
+    case TransformKind::kIU2:
+      ++cost->shifts;
+      cost->shift_cycles += model.ShiftCost(Log2Exact(t.d1()));
+      ++cost->xors;
+      if (t.d2() != 0) {
+        ++cost->shifts;
+        cost->shift_cycles += model.ShiftCost(Log2Exact(t.d2()));
+        ++cost->xors;
+      }
+      break;
+  }
+}
+
+void Finalize(AddressComputationCost* cost, const CycleModel& model) {
+  cost->total_cycles = cost->xors * model.xor_cycles +
+                       cost->adds * model.add_cycles +
+                       cost->ands * model.and_cycles +
+                       cost->muls * model.mul_cycles + cost->shift_cycles;
+}
+
+AddressComputationCost CostForFx(const FXDistribution& fx,
+                                 const CycleModel& model) {
+  AddressComputationCost cost;
+  const FieldSpec& spec = fx.spec();
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    AddTransformOps(fx.plan().transform(i), model, &cost);
+  }
+  // Fold the n transformed values with n-1 XORs, then T_M as one AND.
+  cost.xors += spec.num_fields() - 1;
+  cost.ands += 1;
+  Finalize(&cost, model);
+  return cost;
+}
+
+AddressComputationCost CostForAfx(const AdditiveFoldDistribution& afx,
+                                  const CycleModel& model) {
+  AddressComputationCost cost;
+  const FieldSpec& spec = afx.spec();
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    AddTransformOps(afx.plan().transform(i), model, &cost);
+  }
+  // Additive fold: n-1 ADDs; mod M is one AND (M is a power of two).
+  cost.adds += spec.num_fields() - 1;
+  cost.ands += 1;
+  Finalize(&cost, model);
+  return cost;
+}
+
+AddressComputationCost CostForModulo(const ModuloDistribution& modulo,
+                                     const CycleModel& model) {
+  AddressComputationCost cost;
+  // n-1 ADDs, then mod M as one AND (M is a power of two).
+  cost.adds = modulo.spec().num_fields() - 1;
+  cost.ands = 1;
+  Finalize(&cost, model);
+  return cost;
+}
+
+AddressComputationCost CostForGdm(const GDMDistribution& gdm,
+                                  const CycleModel& model) {
+  AddressComputationCost cost;
+  // One MUL per field (multipliers are odd/prime: no shift substitution),
+  // n-1 ADDs, mod M as one AND.
+  cost.muls = gdm.spec().num_fields();
+  cost.adds = gdm.spec().num_fields() - 1;
+  cost.ands = 1;
+  Finalize(&cost, model);
+  return cost;
+}
+
+}  // namespace
+
+CycleModel Mc68000CycleModel() { return CycleModel{}; }
+
+CycleModel I80286CycleModel() {
+  CycleModel model;
+  model.xor_cycles = 2;
+  model.add_cycles = 2;
+  model.and_cycles = 2;
+  model.mul_cycles = 21;  // IMUL r16
+  model.shift_base_cycles = 5;
+  model.shift_per_bit_cycles = 1;
+  return model;
+}
+
+CycleModel ModernCycleModel() {
+  CycleModel model;
+  model.xor_cycles = 1;
+  model.add_cycles = 1;
+  model.and_cycles = 1;
+  model.mul_cycles = 3;  // pipelined integer multiply
+  model.shift_base_cycles = 1;
+  model.shift_per_bit_cycles = 0;  // barrel shifter
+  return model;
+}
+
+AddressComputationCost EstimateAddressCost(const DistributionMethod& method,
+                                           const CycleModel& model) {
+  AddressComputationCost cost;
+  if (const auto* fx = dynamic_cast<const FXDistribution*>(&method)) {
+    cost = CostForFx(*fx, model);
+  } else if (const auto* afx =
+                 dynamic_cast<const AdditiveFoldDistribution*>(&method)) {
+    cost = CostForAfx(*afx, model);
+  } else if (const auto* modulo =
+                 dynamic_cast<const ModuloDistribution*>(&method)) {
+    cost = CostForModulo(*modulo, model);
+  } else if (const auto* gdm =
+                 dynamic_cast<const GDMDistribution*>(&method)) {
+    cost = CostForGdm(*gdm, model);
+  } else {
+    // Unknown method: price as multiply-accumulate.
+    cost.muls = method.spec().num_fields();
+    cost.adds = method.spec().num_fields() - 1;
+    cost.ands = 1;
+    Finalize(&cost, model);
+  }
+  cost.method_name = method.name();
+  return cost;
+}
+
+}  // namespace fxdist

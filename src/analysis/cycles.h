@@ -1,0 +1,64 @@
+// CPU cost model for bucket address computation (paper §5.2.2).
+//
+// In main-memory databases the per-bucket device computation (and its
+// inverse mapping) dominates, so the paper compares instruction-cycle
+// budgets on an MC68000: XOR 8 cycles, ADD 4, AND 4, n-bit shift 6 + 2n,
+// MUL 70.  FX needs only XOR/shift/AND (all multipliers are powers of
+// two); Modulo needs ADD/AND; GDM needs genuine multiplies because its
+// multipliers are odd/prime.  The model reproduces the paper's claim that
+// FX costs about one third of GDM.
+
+#ifndef FXDIST_ANALYSIS_CYCLES_H_
+#define FXDIST_ANALYSIS_CYCLES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/distribution.h"
+
+namespace fxdist {
+
+/// Per-operation cycle costs.  Defaults are the paper's MC68000 numbers.
+struct CycleModel {
+  std::uint64_t xor_cycles = 8;
+  std::uint64_t add_cycles = 4;
+  std::uint64_t and_cycles = 4;
+  std::uint64_t mul_cycles = 70;
+  std::uint64_t shift_base_cycles = 6;
+  std::uint64_t shift_per_bit_cycles = 2;
+
+  std::uint64_t ShiftCost(unsigned bits) const {
+    return shift_base_cycles + shift_per_bit_cycles * bits;
+  }
+};
+
+/// Operation counts + modeled cycles for computing one bucket's device
+/// number.
+struct AddressComputationCost {
+  std::string method_name;
+  std::uint64_t xors = 0;
+  std::uint64_t adds = 0;
+  std::uint64_t ands = 0;
+  std::uint64_t muls = 0;
+  std::uint64_t shifts = 0;        ///< count of shift instructions
+  std::uint64_t shift_cycles = 0;  ///< their total cycle cost
+  std::uint64_t total_cycles = 0;
+};
+
+/// Statically analyses `method` (FX / Modulo / GDM) and prices one
+/// DeviceOf() evaluation under `model`.  Unknown method types are priced
+/// pessimistically as GDM-style multiply-accumulate.
+AddressComputationCost EstimateAddressCost(const DistributionMethod& method,
+                                           const CycleModel& model = {});
+
+/// Named presets.  MC68000 is the paper's table; the 80286 numbers are
+/// the contemporary Intel costs the paper says give "almost similar"
+/// ratios; the modern preset reflects a pipelined core where
+/// multiplication is cheap — under it GDM's §5.2.2 penalty disappears.
+CycleModel Mc68000CycleModel();
+CycleModel I80286CycleModel();
+CycleModel ModernCycleModel();
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_CYCLES_H_

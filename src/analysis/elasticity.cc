@@ -1,0 +1,56 @@
+#include "analysis/elasticity.h"
+
+#include "analysis/fast_response.h"
+#include "core/registry.h"
+
+namespace fxdist {
+
+Result<ElasticityReport> DeviceDoublingReport(const FieldSpec& spec,
+                                              const std::string& method_spec,
+                                              std::uint64_t budget) {
+  if (spec.TotalBuckets() > budget) {
+    return Status::InvalidArgument("bucket space exceeds the budget");
+  }
+  auto doubled_spec =
+      FieldSpec::Create(spec.field_sizes(), spec.num_devices() * 2);
+  FXDIST_RETURN_NOT_OK(doubled_spec.status());
+  auto before = MakeDistribution(spec, method_spec);
+  FXDIST_RETURN_NOT_OK(before.status());
+  auto after = MakeDistribution(*doubled_spec, method_spec);
+  FXDIST_RETURN_NOT_OK(after.status());
+
+  ElasticityReport report;
+  const std::uint64_t m = spec.num_devices();
+  ForEachBucket(spec, [&](const BucketId& bucket) {
+    const std::uint64_t old_device = (*before)->DeviceOf(bucket);
+    const std::uint64_t new_device = (*after)->DeviceOf(bucket);
+    ++report.buckets;
+    if (new_device == old_device) return true;
+    ++report.moved;
+    if (new_device == old_device + m) {
+      ++report.split_moves;
+    } else {
+      ++report.cross_moves;
+    }
+    return true;
+  });
+  if (report.buckets > 0) {
+    report.moved_fraction = static_cast<double>(report.moved) /
+                            static_cast<double>(report.buckets);
+    report.cross_fraction = static_cast<double>(report.cross_moves) /
+                            static_cast<double>(report.buckets);
+  }
+
+  // Quality after doubling.
+  const unsigned n = spec.num_fields();
+  std::uint64_t optimal = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    if (IsMaskStrictOptimal(**after, mask)) ++optimal;
+  }
+  report.optimal_fraction_after = static_cast<double>(optimal) /
+                                  static_cast<double>(std::uint64_t{1}
+                                                      << n);
+  return report;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,60 @@
+// Elastic scale-out: what moves when the machine doubles?
+//
+// Growing from M to 2M devices reassigns buckets.  For the mod/XOR
+// methods the new device id extends the old one by a single bit —
+// `T_2M(x) mod M == T_M(x)`, `(s mod 2M) mod M == s mod M` — so every
+// bucket either stays put or *splits off* to its old device's new sibling
+// (old id + M): no traffic between old devices, exactly the
+// consistent-hashing-style minimal movement one wants from declustering.
+//
+// Extended FX complicates this: the transformations are parameterized by
+// M (`d = M/F` changes), so a re-planned FX reshuffles buckets between
+// old devices.  The report separates "split" moves (to the sibling) from
+// "cross" moves (anything else), quantifying the price of re-planning —
+// and the planner's option of *keeping* the old plan (valid, since every
+// X^{M,F} image is also a subset of Z_2M) trades balance for zero cross
+// traffic.
+//
+// Note the perhaps-surprising corollary covered in the tests: *any*
+// method that truncates a fixed per-bucket quantity (including seeded
+// random hashing and even the round-robin spanning-path table, whose
+// path ignores M) is split-only; cross traffic appears exactly when the
+// allocation function itself is recomputed for the new M — re-planned
+// Extended FX being the canonical case.
+
+#ifndef FXDIST_ANALYSIS_ELASTICITY_H_
+#define FXDIST_ANALYSIS_ELASTICITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/field_spec.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct ElasticityReport {
+  std::uint64_t buckets = 0;
+  /// Buckets whose device changed at all.
+  std::uint64_t moved = 0;
+  /// Moves to the old device's sibling (old id + M) — cheap splits.
+  std::uint64_t split_moves = 0;
+  /// Moves anywhere else — expensive cross-device traffic.
+  std::uint64_t cross_moves = 0;
+  double moved_fraction = 0.0;
+  double cross_fraction = 0.0;
+  /// Strict-optimal class fraction after doubling (the quality side of
+  /// the trade-off).
+  double optimal_fraction_after = 0.0;
+};
+
+/// Compares `method_spec` instantiated on M vs 2M devices over the whole
+/// bucket space.  Enumerates every bucket; refuses spaces larger than
+/// `budget`.
+Result<ElasticityReport> DeviceDoublingReport(
+    const FieldSpec& spec, const std::string& method_spec,
+    std::uint64_t budget = std::uint64_t{1} << 22);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_ELASTICITY_H_

@@ -1,0 +1,57 @@
+#include "analysis/expectation.h"
+
+#include <cmath>
+
+#include "analysis/fast_response.h"
+#include "util/math.h"
+
+namespace fxdist {
+
+Result<ExpectedQueryCost> ComputeExpectedCost(
+    const DistributionMethod& method, double specified_probability,
+    double per_bucket_ms) {
+  const FieldSpec& spec = method.spec();
+  const unsigned n = spec.num_fields();
+  if (n >= 20) {
+    return Status::InvalidArgument("mask sweep is 2^n; too many fields");
+  }
+  if (specified_probability < 0.0 || specified_probability > 1.0) {
+    return Status::InvalidArgument("probability must be in [0, 1]");
+  }
+  const double p = specified_probability;
+
+  ExpectedQueryCost cost;
+  double weight_sum = 0.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    unsigned unspecified = 0;
+    std::uint64_t qualified = 1;
+    for (unsigned i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) {
+        ++unspecified;
+        qualified *= spec.field_size(i);
+      }
+    }
+    const double weight =
+        std::pow(p, static_cast<double>(n - unspecified)) *
+        std::pow(1.0 - p, static_cast<double>(unspecified));
+    if (weight == 0.0) continue;
+    weight_sum += weight;
+    const std::uint64_t largest = MaskResponse(method, mask).Max();
+    cost.expected_largest_response +=
+        weight * static_cast<double>(largest);
+    cost.expected_qualified += weight * static_cast<double>(qualified);
+    if (largest <= CeilDiv(qualified, spec.num_devices())) {
+      cost.probability_optimal += weight;
+    }
+  }
+  if (weight_sum > 0.0) {
+    cost.expected_largest_response /= weight_sum;
+    cost.expected_qualified /= weight_sum;
+    cost.probability_optimal /= weight_sum;
+  }
+  cost.expected_parallel_ms =
+      cost.expected_largest_response * per_bucket_ms;
+  return cost;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,44 @@
+// Expected query cost under the independent-specification model.
+//
+// The paper's §5 assumes each field is specified independently with equal
+// probability.  For a given per-field probability p, every quantity of
+// interest is a weighted sum over the 2^n unspecified-field classes
+// (weight p^{#spec} (1-p)^{#unspec}), and the per-class largest response
+// comes from the closed-form response vectors — so the whole
+// "selectivity sweep" is exact and instant.  This generalizes the
+// figures' single p = 1/2 point into full curves
+// (bench/selectivity_sweep).
+
+#ifndef FXDIST_ANALYSIS_EXPECTATION_H_
+#define FXDIST_ANALYSIS_EXPECTATION_H_
+
+#include <cstdint>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct ExpectedQueryCost {
+  /// E[max_i r_i(q)] — expected largest response (buckets).
+  double expected_largest_response = 0.0;
+  /// E[|R(q)|] — expected qualified buckets (method-independent).
+  double expected_qualified = 0.0;
+  /// Expected parallel disk time, E[max r_i] * per-bucket cost.
+  double expected_parallel_ms = 0.0;
+  /// P(strict optimal) under the same weighting.
+  double probability_optimal = 0.0;
+};
+
+/// Exact expectation over all query classes for per-field specification
+/// probability `specified_probability`.  The method must have a
+/// closed-form or enumerable response (all built-ins qualify; see
+/// MaskResponse).  `per_bucket_ms` prices a device's bucket access
+/// (positioning + transfer; default matches sim/timing.h's disk model).
+Result<ExpectedQueryCost> ComputeExpectedCost(
+    const DistributionMethod& method, double specified_probability,
+    double per_bucket_ms = 30.0);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_EXPECTATION_H_

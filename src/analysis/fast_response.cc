@@ -1,0 +1,157 @@
+#include "analysis/fast_response.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/afx.h"
+#include "core/gdm.h"
+#include "core/modulo.h"
+#include "util/math.h"
+
+namespace fxdist {
+
+namespace {
+
+// GCC/Clang extension; suppress -Wpedantic for the typedef only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+using Int128 = __int128;
+#pragma GCC diagnostic pop
+
+/// In-place Walsh-Hadamard transform (no normalization); size must be a
+/// power of two.  Self-inverse up to a factor of size.
+void Wht(std::vector<Int128>* a) {
+  const std::size_t n = a->size();
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t i = 0; i < n; i += len << 1) {
+      for (std::size_t j = i; j < i + len; ++j) {
+        const Int128 u = (*a)[j];
+        const Int128 v = (*a)[j + len];
+        (*a)[j] = u + v;
+        (*a)[j + len] = u - v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ResponseVector FxMaskResponse(const FXDistribution& fx,
+                              std::uint64_t unspecified_mask) {
+  const FieldSpec& spec = fx.spec();
+  const std::uint64_t m = spec.num_devices();
+  // Start from the delta at device 0 (all specified values zero fold to 0);
+  // its WHT is the all-ones vector.
+  std::vector<Int128> acc(m, 1);
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if (((unspecified_mask >> i) & 1u) == 0) continue;
+    std::vector<std::uint64_t> hist = fx.ResidueHistogram(i);
+    std::vector<Int128> h(m);
+    for (std::uint64_t z = 0; z < m; ++z) {
+      h[z] = static_cast<Int128>(hist[z]);
+    }
+    Wht(&h);
+    for (std::uint64_t z = 0; z < m; ++z) acc[z] *= h[z];
+  }
+  Wht(&acc);
+  ResponseVector rv;
+  rv.per_device.resize(m);
+  for (std::uint64_t z = 0; z < m; ++z) {
+    const Int128 count = acc[z] / static_cast<Int128>(m);
+    FXDIST_DCHECK(count >= 0);
+    FXDIST_DCHECK(acc[z] % static_cast<Int128>(m) == 0);
+    rv.per_device[z] = static_cast<std::uint64_t>(count);
+  }
+  return rv;
+}
+
+ResponseVector CyclicMaskResponse(
+    const FieldSpec& spec,
+    const std::vector<std::vector<std::uint64_t>>& histograms,
+    std::uint64_t unspecified_mask) {
+  FXDIST_DCHECK(histograms.size() == spec.num_fields());
+  const std::uint64_t m = spec.num_devices();
+  std::vector<std::uint64_t> acc(m, 0);
+  acc[0] = 1;
+  std::vector<std::uint64_t> next(m);
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if (((unspecified_mask >> i) & 1u) == 0) continue;
+    const std::vector<std::uint64_t>& hist = histograms[i];
+    FXDIST_DCHECK(hist.size() == m);
+    std::fill(next.begin(), next.end(), 0);
+    for (std::uint64_t a = 0; a < m; ++a) {
+      if (acc[a] == 0) continue;
+      for (std::uint64_t b = 0; b < m; ++b) {
+        if (hist[b] == 0) continue;
+        next[(a + b) % m] += acc[a] * hist[b];
+      }
+    }
+    acc.swap(next);
+  }
+  ResponseVector rv;
+  rv.per_device = std::move(acc);
+  return rv;
+}
+
+ResponseVector AdditiveMaskResponse(
+    const FieldSpec& spec, const std::vector<std::uint64_t>& multipliers,
+    std::uint64_t unspecified_mask) {
+  FXDIST_DCHECK(multipliers.size() == spec.num_fields());
+  const std::uint64_t m = spec.num_devices();
+  std::vector<std::vector<std::uint64_t>> histograms(spec.num_fields());
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    histograms[i].assign(m, 0);
+    for (std::uint64_t l = 0; l < spec.field_size(i); ++l) {
+      ++histograms[i][(multipliers[i] * l) % m];
+    }
+  }
+  return CyclicMaskResponse(spec, histograms, unspecified_mask);
+}
+
+ResponseVector MaskResponse(const DistributionMethod& method,
+                            std::uint64_t unspecified_mask) {
+  if (const auto* fx = dynamic_cast<const FXDistribution*>(&method)) {
+    return FxMaskResponse(*fx, unspecified_mask);
+  }
+  if (dynamic_cast<const ModuloDistribution*>(&method) != nullptr) {
+    return AdditiveMaskResponse(
+        method.spec(),
+        std::vector<std::uint64_t>(method.spec().num_fields(), 1),
+        unspecified_mask);
+  }
+  if (const auto* gdm = dynamic_cast<const GDMDistribution*>(&method)) {
+    return AdditiveMaskResponse(method.spec(), gdm->multipliers(),
+                                unspecified_mask);
+  }
+  if (const auto* afx =
+          dynamic_cast<const AdditiveFoldDistribution*>(&method)) {
+    std::vector<std::vector<std::uint64_t>> histograms;
+    for (unsigned i = 0; i < method.spec().num_fields(); ++i) {
+      histograms.push_back(afx->ResidueHistogram(i));
+    }
+    return CyclicMaskResponse(method.spec(), histograms, unspecified_mask);
+  }
+  auto query = PartialMatchQuery::FromUnspecifiedMaskZero(method.spec(),
+                                                          unspecified_mask);
+  FXDIST_DCHECK(query.ok());
+  return ComputeResponseVector(method, *query);
+}
+
+bool IsMaskStrictOptimal(const DistributionMethod& method,
+                         std::uint64_t unspecified_mask) {
+  const FieldSpec& spec = method.spec();
+  // 128-bit: |R(q)| can exceed 2^64 (e.g. six 4096-wide fields), even
+  // though the per-device counts it divides into still fit in 64 bits.
+  Int128 qualified = 1;
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if ((unspecified_mask >> i) & 1u) {
+      qualified *= static_cast<Int128>(spec.field_size(i));
+    }
+  }
+  const Int128 m = static_cast<Int128>(spec.num_devices());
+  const Int128 bound = (qualified + m - 1) / m;
+  return static_cast<Int128>(
+             MaskResponse(method, unspecified_mask).Max()) <= bound;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,60 @@
+// Closed-form response vectors without bucket enumeration.
+//
+// For shift-invariant methods the response vector of a query class (an
+// unspecified-field mask, specified values taken as zero) factors over the
+// fields:
+//
+//  * FX:      counts = XOR-convolution of the unspecified fields' residue
+//             histograms.  Computed with a Walsh-Hadamard transform in
+//             O(n*M + M log M) using 128-bit integers — exact while
+//             M * prod(F_unspecified) < 2^126.
+//  * Modulo / GDM: counts = cyclic (additive) convolution of the
+//             histograms of (a_i * l) mod M, O(n * M^2).
+//
+// This is what makes the Figure 1-4 benches able to evaluate *empirical*
+// optimality for bucket spaces of 4096^10 buckets in microseconds, and is
+// itself an interesting ablation against plain enumeration (the
+// ablation_fast_response bench).
+
+#ifndef FXDIST_ANALYSIS_FAST_RESPONSE_H_
+#define FXDIST_ANALYSIS_FAST_RESPONSE_H_
+
+#include <cstdint>
+
+#include "analysis/optimality.h"
+#include "core/distribution.h"
+#include "core/fx.h"
+
+namespace fxdist {
+
+/// FX response vector for the representative query of `unspecified_mask`
+/// via Walsh-Hadamard transform.
+ResponseVector FxMaskResponse(const FXDistribution& fx,
+                              std::uint64_t unspecified_mask);
+
+/// Modulo/GDM response vector for the representative query via cyclic
+/// convolution.  `multipliers` has one entry per field (all 1 for Modulo).
+ResponseVector AdditiveMaskResponse(const FieldSpec& spec,
+                                    const std::vector<std::uint64_t>&
+                                        multipliers,
+                                    std::uint64_t unspecified_mask);
+
+/// General cyclic-convolution form: per-field histograms of (whatever the
+/// method adds) mod M.  Used by GDM/Modulo and the additive-fold ablation.
+ResponseVector CyclicMaskResponse(
+    const FieldSpec& spec,
+    const std::vector<std::vector<std::uint64_t>>& histograms,
+    std::uint64_t unspecified_mask);
+
+/// Dispatch: FX -> WHT, Modulo/GDM -> cyclic convolution, anything else ->
+/// plain enumeration of the representative query.
+ResponseVector MaskResponse(const DistributionMethod& method,
+                            std::uint64_t unspecified_mask);
+
+/// Strict-optimality of the query class using MaskResponse.
+bool IsMaskStrictOptimal(const DistributionMethod& method,
+                         std::uint64_t unspecified_mask);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_FAST_RESPONSE_H_

@@ -1,0 +1,129 @@
+#include "analysis/gdm_search.h"
+
+#include <algorithm>
+
+#include "analysis/fast_response.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace fxdist {
+
+namespace {
+
+/// Lower score is better: primary = non-optimal mask fraction, secondary =
+/// mean overload.  Packed as a pair for lexicographic comparison.
+struct Score {
+  double non_optimal_fraction = 1.0;
+  double mean_overload = 1e30;
+
+  bool operator<(const Score& other) const {
+    if (non_optimal_fraction != other.non_optimal_fraction) {
+      return non_optimal_fraction < other.non_optimal_fraction;
+    }
+    return mean_overload < other.mean_overload;
+  }
+};
+
+Score Evaluate(const FieldSpec& spec,
+               const std::vector<std::uint64_t>& multipliers) {
+  const unsigned n = spec.num_fields();
+  std::uint64_t optimal = 0;
+  double overload_sum = 0.0;
+  const std::uint64_t total = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    std::uint64_t qualified = 1;
+    for (unsigned i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) qualified *= spec.field_size(i);
+    }
+    const std::uint64_t bound = CeilDiv(qualified, spec.num_devices());
+    const std::uint64_t largest =
+        AdditiveMaskResponse(spec, multipliers, mask).Max();
+    if (largest <= bound) ++optimal;
+    overload_sum +=
+        static_cast<double>(largest) / static_cast<double>(bound);
+  }
+  Score s;
+  s.non_optimal_fraction =
+      1.0 - static_cast<double>(optimal) / static_cast<double>(total);
+  s.mean_overload = overload_sum / static_cast<double>(total);
+  return s;
+}
+
+}  // namespace
+
+GdmSearchResult ScoreGdmMultipliers(
+    const FieldSpec& spec, const std::vector<std::uint64_t>& multipliers) {
+  const Score s = Evaluate(spec, multipliers);
+  GdmSearchResult out;
+  out.multipliers = multipliers;
+  out.optimal_mask_fraction = 1.0 - s.non_optimal_fraction;
+  out.mean_overload = s.mean_overload;
+  out.candidates_evaluated = 1;
+  return out;
+}
+
+Result<GdmSearchResult> SearchGdmMultipliers(const FieldSpec& spec,
+                                             const GdmSearchOptions& options) {
+  if (spec.num_fields() >= 20) {
+    return Status::InvalidArgument(
+        "mask sweep is 2^n; too many fields for GDM search");
+  }
+  if (options.max_multiplier < 1) {
+    return Status::InvalidArgument("max_multiplier must be >= 1");
+  }
+  // All multipliers 1..max.  Even values matter: tiling Z_M with short
+  // arithmetic progressions needs stride jumps (the paper's own perfect
+  // example for F1=F2=4, M=16 multiplies by 3 and 4).
+  std::vector<std::uint64_t> candidates;
+  for (std::uint64_t m = 1; m <= options.max_multiplier; ++m) {
+    candidates.push_back(m);
+  }
+
+  Xoshiro256 rng(options.seed);
+  const unsigned n = spec.num_fields();
+  GdmSearchResult best;
+  Score best_score;
+  std::uint64_t evaluated = 0;
+
+  for (unsigned restart = 0; restart < options.restarts; ++restart) {
+    std::vector<std::uint64_t> current(n);
+    for (auto& m : current) {
+      m = candidates[rng.NextBounded(candidates.size())];
+    }
+    Score current_score = Evaluate(spec, current);
+    ++evaluated;
+
+    for (unsigned sweep = 0; sweep < options.sweeps; ++sweep) {
+      bool improved = false;
+      for (unsigned field = 0; field < n; ++field) {
+        const std::uint64_t original = current[field];
+        std::uint64_t best_here = original;
+        for (std::uint64_t cand : candidates) {
+          if (cand == original) continue;
+          current[field] = cand;
+          const Score s = Evaluate(spec, current);
+          ++evaluated;
+          if (s < current_score) {
+            current_score = s;
+            best_here = cand;
+            improved = true;
+          }
+        }
+        current[field] = best_here;
+      }
+      if (!improved) break;
+    }
+
+    if (restart == 0 || current_score < best_score) {
+      best_score = current_score;
+      best.multipliers = current;
+    }
+  }
+
+  best.optimal_mask_fraction = 1.0 - best_score.non_optimal_fraction;
+  best.mean_overload = best_score.mean_overload;
+  best.candidates_evaluated = evaluated;
+  return best;
+}
+
+}  // namespace fxdist

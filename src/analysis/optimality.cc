@@ -1,0 +1,130 @@
+#include "analysis/optimality.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/math.h"
+
+namespace fxdist {
+
+std::uint64_t ResponseVector::Max() const {
+  return per_device.empty()
+             ? 0
+             : *std::max_element(per_device.begin(), per_device.end());
+}
+
+std::uint64_t ResponseVector::Total() const {
+  return std::accumulate(per_device.begin(), per_device.end(),
+                         std::uint64_t{0});
+}
+
+ResponseVector ComputeResponseVector(const DistributionMethod& method,
+                                     const PartialMatchQuery& query) {
+  ResponseVector rv;
+  rv.per_device.assign(method.spec().num_devices(), 0);
+  ForEachQualifiedBucket(method.spec(), query, [&](const BucketId& bucket) {
+    ++rv.per_device[method.DeviceOf(bucket)];
+    return true;
+  });
+  return rv;
+}
+
+std::uint64_t LargestResponseSize(const DistributionMethod& method,
+                                  const PartialMatchQuery& query) {
+  return ComputeResponseVector(method, query).Max();
+}
+
+std::uint64_t StrictOptimalBound(const FieldSpec& spec,
+                                 const PartialMatchQuery& query) {
+  return CeilDiv(query.NumQualifiedBuckets(spec), spec.num_devices());
+}
+
+bool IsStrictOptimal(const DistributionMethod& method,
+                     const PartialMatchQuery& query) {
+  return LargestResponseSize(method, query) <=
+         StrictOptimalBound(method.spec(), query);
+}
+
+namespace {
+
+/// Invokes `fn(query)` for every query with unspecified set = `free_fields`.
+/// With `one_representative`, only the all-zero specified assignment is
+/// visited.  fn returning false stops the sweep.
+template <typename Fn>
+void ForEachQueryWithUnspecified(const FieldSpec& spec,
+                                 const std::vector<unsigned>& free_fields,
+                                 bool one_representative, Fn&& fn) {
+  const unsigned n = spec.num_fields();
+  std::vector<bool> is_free(n, false);
+  for (unsigned f : free_fields) is_free[f] = true;
+
+  PartialMatchQuery query(n);
+  BucketId specified(n, 0);
+  while (true) {
+    for (unsigned i = 0; i < n; ++i) {
+      if (is_free[i]) {
+        query.Unspecify(i);
+      } else {
+        query.Specify(i, specified[i]);
+      }
+    }
+    if (!fn(static_cast<const PartialMatchQuery&>(query))) return;
+    if (one_representative) return;
+    // Odometer over the *specified* fields only.
+    unsigned i = n;
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (is_free[i]) continue;
+      if (++specified[i] < spec.field_size(i)) {
+        advanced = true;
+        break;
+      }
+      specified[i] = 0;
+    }
+    if (!advanced) return;
+  }
+}
+
+}  // namespace
+
+OptimalityReport CheckKOptimal(const DistributionMethod& method, unsigned k,
+                               bool force_exhaustive) {
+  const FieldSpec& spec = method.spec();
+  const bool one_representative =
+      method.IsShiftInvariant() && !force_exhaustive;
+  OptimalityReport report;
+  ForEachSubsetOfSize(spec.num_fields(), k,
+                      [&](const std::vector<unsigned>& subset) {
+    ForEachQueryWithUnspecified(
+        spec, subset, one_representative,
+        [&](const PartialMatchQuery& query) {
+          ++report.queries_checked;
+          if (!IsStrictOptimal(method, query)) {
+            report.optimal = false;
+            report.counterexample = query;
+            return false;
+          }
+          return true;
+        });
+    return report.optimal;
+  });
+  return report;
+}
+
+OptimalityReport CheckPerfectOptimal(const DistributionMethod& method,
+                                     bool force_exhaustive) {
+  OptimalityReport report;
+  for (unsigned k = 0; k <= method.spec().num_fields(); ++k) {
+    OptimalityReport sub = CheckKOptimal(method, k, force_exhaustive);
+    report.queries_checked += sub.queries_checked;
+    if (!sub.optimal) {
+      report.optimal = false;
+      report.counterexample = sub.counterexample;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace fxdist

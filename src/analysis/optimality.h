@@ -1,0 +1,73 @@
+// Exhaustive optimality checking.
+//
+// Definitions from the paper (§2):
+//  * A distribution is *strict optimal* for query q when no device holds
+//    more than ceil(|R(q)| / M) qualified buckets.
+//  * It is *k-optimal* when it is strict optimal for every query with
+//    exactly k unspecified fields.
+//  * It is *perfect optimal* when it is k-optimal for all k = 0..n.
+//
+// The checker enumerates qualified buckets directly.  For shift-invariant
+// methods (FX / Modulo / GDM), the per-device response multiset does not
+// depend on the specified values, so one representative query per
+// unspecified-field set suffices; otherwise every specified-value
+// combination is enumerated.
+
+#ifndef FXDIST_ANALYSIS_OPTIMALITY_H_
+#define FXDIST_ANALYSIS_OPTIMALITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/distribution.h"
+#include "core/query.h"
+
+namespace fxdist {
+
+/// Per-device qualified-bucket counts for one query.
+struct ResponseVector {
+  std::vector<std::uint64_t> per_device;
+
+  std::uint64_t Max() const;
+  std::uint64_t Total() const;
+};
+
+/// Counts R(q)'s buckets per device by enumeration.
+ResponseVector ComputeResponseVector(const DistributionMethod& method,
+                                     const PartialMatchQuery& query);
+
+/// max_i r_i(q) — the paper's "largest response size".
+std::uint64_t LargestResponseSize(const DistributionMethod& method,
+                                  const PartialMatchQuery& query);
+
+/// ceil(|R(q)| / M), the strict-optimal bound.
+std::uint64_t StrictOptimalBound(const FieldSpec& spec,
+                                 const PartialMatchQuery& query);
+
+/// True iff no device exceeds the strict-optimal bound for `query`.
+bool IsStrictOptimal(const DistributionMethod& method,
+                     const PartialMatchQuery& query);
+
+/// Outcome of a k-/perfect-optimality sweep.
+struct OptimalityReport {
+  bool optimal = true;
+  /// A witness query that violated the bound, when !optimal.
+  std::optional<PartialMatchQuery> counterexample;
+  std::uint64_t queries_checked = 0;
+};
+
+/// Checks strict optimality for every query with exactly `k` unspecified
+/// fields.  Uses the one-representative-per-mask fast path when
+/// `method.IsShiftInvariant()`; set `force_exhaustive` to enumerate every
+/// specified-value combination regardless (cross-validation in tests).
+OptimalityReport CheckKOptimal(const DistributionMethod& method, unsigned k,
+                               bool force_exhaustive = false);
+
+/// Checks all k = 0..n.
+OptimalityReport CheckPerfectOptimal(const DistributionMethod& method,
+                                     bool force_exhaustive = false);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_OPTIMALITY_H_

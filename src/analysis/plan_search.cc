@@ -1,0 +1,158 @@
+#include "analysis/plan_search.h"
+
+#include <algorithm>
+
+#include "analysis/fast_response.h"
+#include "core/fx.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace fxdist {
+
+namespace {
+
+struct Score {
+  double non_optimal_fraction = 1.0;
+  double mean_overload = 1e30;
+
+  bool operator<(const Score& other) const {
+    if (non_optimal_fraction != other.non_optimal_fraction) {
+      return non_optimal_fraction < other.non_optimal_fraction;
+    }
+    return mean_overload < other.mean_overload;
+  }
+};
+
+Score EvaluateKinds(const FieldSpec& spec,
+                    const std::vector<TransformKind>& kinds) {
+  auto plan = TransformPlan::Create(spec, kinds);
+  FXDIST_DCHECK(plan.ok());
+  auto fx = FXDistribution::WithPlan(*std::move(plan));
+  const unsigned n = spec.num_fields();
+  const std::uint64_t total = std::uint64_t{1} << n;
+  std::uint64_t optimal = 0;
+  double overload_sum = 0.0;
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    std::uint64_t qualified = 1;
+    for (unsigned i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) qualified *= spec.field_size(i);
+    }
+    const std::uint64_t bound = CeilDiv(qualified, spec.num_devices());
+    const std::uint64_t largest = FxMaskResponse(*fx, mask).Max();
+    if (largest <= bound) ++optimal;
+    overload_sum +=
+        static_cast<double>(largest) / static_cast<double>(bound);
+  }
+  Score s;
+  s.non_optimal_fraction =
+      1.0 - static_cast<double>(optimal) / static_cast<double>(total);
+  s.mean_overload = overload_sum / static_cast<double>(total);
+  return s;
+}
+
+constexpr TransformKind kAllKinds[4] = {
+    TransformKind::kIdentity, TransformKind::kU, TransformKind::kIU1,
+    TransformKind::kIU2};
+
+}  // namespace
+
+double PlanOptimalMaskFraction(const TransformPlan& plan) {
+  return 1.0 -
+         EvaluateKinds(plan.spec(), plan.kinds()).non_optimal_fraction;
+}
+
+Result<PlanSearchResult> SearchTransformPlan(
+    const FieldSpec& spec, const PlanSearchOptions& options) {
+  if (spec.num_fields() >= 20) {
+    return Status::InvalidArgument(
+        "mask sweep is 2^n; too many fields for plan search");
+  }
+  const std::vector<unsigned> small = spec.SmallFields();
+  const std::size_t L = small.size();
+
+  // Theory baseline.
+  const TransformPlan theory = TransformPlan::Plan(spec, PlanFamily::kIU2);
+  Score best_score = EvaluateKinds(spec, theory.kinds());
+  std::vector<TransformKind> best_kinds = theory.kinds();
+  const double theory_fraction = 1.0 - best_score.non_optimal_fraction;
+  std::uint64_t evaluated = 1;
+
+  // 4^L candidate assignments over the small fields.
+  double exhaustive_size = 1.0;
+  for (std::size_t i = 0; i < L; ++i) exhaustive_size *= 4.0;
+
+  if (exhaustive_size <= static_cast<double>(options.exhaustive_budget)) {
+    std::vector<TransformKind> kinds(spec.num_fields(),
+                                     TransformKind::kIdentity);
+    std::vector<unsigned> digits(L, 0);
+    while (true) {
+      for (std::size_t i = 0; i < L; ++i) {
+        kinds[small[i]] = kAllKinds[digits[i]];
+      }
+      const Score s = EvaluateKinds(spec, kinds);
+      ++evaluated;
+      if (s < best_score) {
+        best_score = s;
+        best_kinds = kinds;
+      }
+      // Advance the base-4 odometer.
+      std::size_t pos = 0;
+      while (pos < L && ++digits[pos] == 4) {
+        digits[pos] = 0;
+        ++pos;
+      }
+      if (pos == L) break;
+      if (L == 0) break;
+    }
+  } else {
+    Xoshiro256 rng(options.seed);
+    for (unsigned restart = 0; restart < options.restarts; ++restart) {
+      std::vector<TransformKind> current(spec.num_fields(),
+                                         TransformKind::kIdentity);
+      if (restart == 0) {
+        current = theory.kinds();
+      } else {
+        for (unsigned f : small) {
+          current[f] = kAllKinds[rng.NextBounded(4)];
+        }
+      }
+      Score current_score = EvaluateKinds(spec, current);
+      ++evaluated;
+      for (unsigned sweep = 0; sweep < options.sweeps; ++sweep) {
+        bool improved = false;
+        for (unsigned f : small) {
+          const TransformKind original = current[f];
+          TransformKind best_here = original;
+          for (TransformKind cand : kAllKinds) {
+            if (cand == original) continue;
+            current[f] = cand;
+            const Score s = EvaluateKinds(spec, current);
+            ++evaluated;
+            if (s < current_score) {
+              current_score = s;
+              best_here = cand;
+              improved = true;
+            }
+          }
+          current[f] = best_here;
+        }
+        if (!improved) break;
+      }
+      if (current_score < best_score) {
+        best_score = current_score;
+        best_kinds = current;
+      }
+    }
+  }
+
+  auto plan = TransformPlan::Create(spec, best_kinds);
+  FXDIST_RETURN_NOT_OK(plan.status());
+  PlanSearchResult out{*std::move(plan)};
+  out.optimal_mask_fraction = 1.0 - best_score.non_optimal_fraction;
+  out.mean_overload = best_score.mean_overload;
+  out.plans_evaluated = evaluated;
+  out.theory_fraction = theory_fraction;
+  return out;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,65 @@
+// Search-based transformation planning — the paper's stated future work.
+//
+// §6: "current FX distribution does not guarantee strict optimal
+// distribution when the number of parallel devices [is] quite large and
+// all field sizes are much smaller ... We are developing more general
+// transformation functions to achieve optimal data distribution for much
+// larger class of partial match queries."
+//
+// The theory picks transformations by sufficient conditions; nothing stops
+// us from *measuring* instead.  This module searches over per-field
+// assignments of {I, U, IU1, IU2}, scoring each candidate plan by its
+// ground-truth strict-optimal mask fraction (closed-form WHT response
+// vectors, so a candidate costs O(2^n * M log M), not a bucket sweep).
+// Small field counts are searched exhaustively (4^L plans); larger ones by
+// seeded hill-climbing from the theory plan.
+//
+// On the paper's own hard regime (Table 9-like: every field far below M)
+// the searched plan often strictly beats the round-robin theory plan —
+// see bench/ablation_plan_search.
+
+#ifndef FXDIST_ANALYSIS_PLAN_SEARCH_H_
+#define FXDIST_ANALYSIS_PLAN_SEARCH_H_
+
+#include <cstdint>
+
+#include "core/field_spec.h"
+#include "core/transform.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct PlanSearchOptions {
+  /// Exhaustive search when 4^(small fields) stays within this budget;
+  /// hill-climbing otherwise.
+  std::uint64_t exhaustive_budget = 1 << 10;
+  /// Hill-climbing restarts (first restart seeds from the theory plan).
+  unsigned restarts = 4;
+  unsigned sweeps = 4;
+  std::uint64_t seed = 1;
+  /// Weight of each mask: true = uniform over masks (p = 0.5); the
+  /// optimal fraction reported is always uniform.
+  double specified_probability = 0.5;
+};
+
+struct PlanSearchResult {
+  TransformPlan plan;
+  double optimal_mask_fraction = 0.0;
+  /// Mean largest-response overload (1.0 = every mask optimal).
+  double mean_overload = 0.0;
+  std::uint64_t plans_evaluated = 0;
+  /// The theory (round-robin / Theorem 9) plan's fraction, for reference.
+  double theory_fraction = 0.0;
+};
+
+/// Searches transformation assignments for `spec`.  Fails if n >= 20
+/// (the mask sweep is 2^n).
+Result<PlanSearchResult> SearchTransformPlan(
+    const FieldSpec& spec, const PlanSearchOptions& options = {});
+
+/// Scores one plan with the search's metric (uniform mask weighting).
+double PlanOptimalMaskFraction(const TransformPlan& plan);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_PLAN_SEARCH_H_

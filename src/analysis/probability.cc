@@ -1,0 +1,115 @@
+#include "analysis/probability.h"
+
+#include <cmath>
+
+#include "analysis/conditions.h"
+#include "analysis/optimality.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+OptimalityProbability OptimalityProbabilityOver(
+    const FieldSpec& spec, const MaskPredicate& is_optimal,
+    double specified_probability) {
+  const unsigned n = spec.num_fields();
+  FXDIST_DCHECK(n < 64);
+  const double p = specified_probability;
+  OptimalityProbability out;
+  double weight_sum = 0.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    std::vector<unsigned> unspecified;
+    for (unsigned i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) unspecified.push_back(i);
+    }
+    const auto k = static_cast<double>(unspecified.size());
+    const double weight =
+        std::pow(p, static_cast<double>(n) - k) * std::pow(1.0 - p, k);
+    weight_sum += weight;
+    ++out.total_masks;
+    if (is_optimal(unspecified)) {
+      ++out.optimal_masks;
+      out.probability += weight;
+    }
+  }
+  if (weight_sum > 0) out.probability /= weight_sum;
+  return out;
+}
+
+OptimalityProbability FxAnalyticOptimality(
+    const FieldSpec& spec, const std::vector<TransformKind>& kinds,
+    double specified_probability) {
+  return OptimalityProbabilityOver(
+      spec,
+      [&](const std::vector<unsigned>& unspecified) {
+        return FxStrictOptimalSufficient(spec, kinds, unspecified);
+      },
+      specified_probability);
+}
+
+OptimalityProbability ModuloAnalyticOptimality(const FieldSpec& spec,
+                                               double specified_probability) {
+  return OptimalityProbabilityOver(
+      spec,
+      [&](const std::vector<unsigned>& unspecified) {
+        return ModuloStrictOptimalSufficient(spec, unspecified);
+      },
+      specified_probability);
+}
+
+Result<OptimalityProbability> MonteCarloOptimality(
+    const DistributionMethod& method, std::uint64_t samples,
+    std::uint64_t seed, double specified_probability,
+    std::uint64_t per_query_budget) {
+  const FieldSpec& spec = method.spec();
+  if (samples == 0) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+  if (specified_probability < 0.0 || specified_probability > 1.0) {
+    return Status::InvalidArgument("probability must be in [0, 1]");
+  }
+  Xoshiro256 rng(seed);
+  OptimalityProbability out;
+  std::uint64_t optimal = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    PartialMatchQuery query(spec.num_fields());
+    std::uint64_t qualified = 1;
+    for (unsigned i = 0; i < spec.num_fields(); ++i) {
+      if (rng.NextBool(specified_probability)) {
+        query.Specify(i, rng.NextBounded(spec.field_size(i)));
+      } else {
+        qualified *= spec.field_size(i);
+      }
+    }
+    if (qualified > per_query_budget) {
+      return Status::InvalidArgument(
+          "sampled query exceeds the per-query enumeration budget");
+    }
+    ++out.total_masks;
+    if (IsStrictOptimal(method, query)) {
+      ++optimal;
+      ++out.optimal_masks;
+    }
+  }
+  out.probability =
+      static_cast<double>(optimal) / static_cast<double>(samples);
+  return out;
+}
+
+OptimalityProbability EmpiricalOptimality(const DistributionMethod& method,
+                                          double specified_probability) {
+  const FieldSpec& spec = method.spec();
+  FXDIST_DCHECK(method.IsShiftInvariant());
+  return OptimalityProbabilityOver(
+      spec,
+      [&](const std::vector<unsigned>& unspecified) {
+        std::uint64_t mask = 0;
+        for (unsigned f : unspecified) mask |= (std::uint64_t{1} << f);
+        auto query = PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask);
+        FXDIST_DCHECK(query.ok());
+        return IsStrictOptimal(method, *query);
+      },
+      specified_probability);
+}
+
+}  // namespace fxdist

@@ -1,0 +1,75 @@
+// Probability of strict optimality over the space of partial match queries
+// (paper §5.1, Figures 1-4).
+//
+// Following the paper, each field is specified independently with the same
+// probability; the default 0.5 weights all 2^n unspecified-field sets
+// equally (which is what "percentage of strict optimal distribution for
+// all possible partial match queries" counts).  Two evaluation modes:
+//
+//  * Analytic  — per unspecified set, ask a sufficient-condition predicate
+//                (exactly how the paper computed its figures).
+//  * Empirical — per unspecified set, run the exhaustive checker on a
+//                shift-invariant method (ground truth; can only be *higher*
+//                than the analytic number since conditions are sufficient,
+//                not necessary).
+
+#ifndef FXDIST_ANALYSIS_PROBABILITY_H_
+#define FXDIST_ANALYSIS_PROBABILITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/distribution.h"
+#include "core/field_spec.h"
+#include "core/transform.h"
+
+namespace fxdist {
+
+struct OptimalityProbability {
+  /// Probability-weighted fraction of strict-optimal queries.
+  double probability = 0.0;
+  /// Unweighted counts of unspecified-field sets (masks).
+  std::uint64_t optimal_masks = 0;
+  std::uint64_t total_masks = 0;
+};
+
+/// Decides optimality per unspecified-field set.
+using MaskPredicate =
+    std::function<bool(const std::vector<unsigned>& unspecified)>;
+
+/// Sweeps all 2^n unspecified-field sets, weighting each by
+/// p^{#specified} * (1-p)^{#unspecified} with p = `specified_probability`.
+OptimalityProbability OptimalityProbabilityOver(
+    const FieldSpec& spec, const MaskPredicate& is_optimal,
+    double specified_probability = 0.5);
+
+/// Analytic FX probability from the §4.2 sufficient conditions.
+OptimalityProbability FxAnalyticOptimality(
+    const FieldSpec& spec, const std::vector<TransformKind>& kinds,
+    double specified_probability = 0.5);
+
+/// Analytic Modulo probability from the DuSo82 sufficient condition.
+OptimalityProbability ModuloAnalyticOptimality(
+    const FieldSpec& spec, double specified_probability = 0.5);
+
+/// Ground truth for a shift-invariant method by exhaustive checking of one
+/// representative query per unspecified set.
+OptimalityProbability EmpiricalOptimality(const DistributionMethod& method,
+                                          double specified_probability = 0.5);
+
+/// Monte Carlo estimate over fully random queries (each field specified
+/// with probability p, specified values uniform).  The only general
+/// option for methods that are neither shift-invariant nor closed-form,
+/// and a sampling cross-check for the exact calculators.  Each sampled
+/// query is evaluated by enumeration; queries with |R(q)| above
+/// `per_query_budget` are rejected with an error (choose a smaller spec
+/// or budget accordingly).
+Result<OptimalityProbability> MonteCarloOptimality(
+    const DistributionMethod& method, std::uint64_t samples,
+    std::uint64_t seed, double specified_probability = 0.5,
+    std::uint64_t per_query_budget = std::uint64_t{1} << 22);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_PROBABILITY_H_

@@ -1,0 +1,80 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+
+#include "analysis/cycles.h"
+#include "analysis/fast_response.h"
+#include "analysis/optimality.h"
+#include "core/registry.h"
+#include "util/math.h"
+
+namespace fxdist {
+
+Result<MethodReport> EvaluateMethod(const DistributionMethod& method,
+                                    const ReportOptions& options) {
+  const FieldSpec& spec = method.spec();
+  const unsigned n = spec.num_fields();
+  if (n >= 20) {
+    return Status::InvalidArgument("mask sweep is 2^n; too many fields");
+  }
+  if (!method.IsShiftInvariant() &&
+      spec.TotalBuckets() > options.enumeration_budget) {
+    return Status::InvalidArgument(
+        method.name() +
+        " is not shift-invariant and the bucket space exceeds the "
+        "enumeration budget");
+  }
+
+  MethodReport report;
+  report.method_name = method.name();
+  report.address_cycles = EstimateAddressCost(method).total_cycles;
+  report.k_min = options.k_min;
+  const unsigned k_max =
+      options.k_max == 0 ? n : std::min(options.k_max, n);
+
+  // Optimal-class fraction over all masks.  For non-shift-invariant
+  // methods this is the zero-specified representative — an optimistic
+  // proxy, which is fine for a comparison table (noted in the bench).
+  std::uint64_t optimal = 0;
+  const std::uint64_t total_masks = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < total_masks; ++mask) {
+    if (IsMaskStrictOptimal(method, mask)) ++optimal;
+  }
+  report.optimal_class_fraction =
+      static_cast<double>(optimal) / static_cast<double>(total_masks);
+
+  for (unsigned k = options.k_min; k <= k_max; ++k) {
+    double sum = 0.0;
+    std::uint64_t subsets = 0;
+    ForEachSubsetOfSize(n, k, [&](const std::vector<unsigned>& subset) {
+      std::uint64_t mask = 0;
+      for (unsigned f : subset) mask |= std::uint64_t{1} << f;
+      sum += static_cast<double>(MaskResponse(method, mask).Max());
+      ++subsets;
+      return true;
+    });
+    report.avg_largest_by_k.push_back(
+        subsets == 0 ? 0.0 : sum / static_cast<double>(subsets));
+  }
+  return report;
+}
+
+Result<std::vector<MethodReport>> CompareMethods(
+    const FieldSpec& spec, const std::vector<std::string>& method_specs,
+    const ReportOptions& options) {
+  std::vector<MethodReport> out;
+  for (const std::string& name : method_specs) {
+    auto method = MakeDistribution(spec, name);
+    if (!method.ok()) continue;  // e.g. spanning on a huge space
+    auto report = EvaluateMethod(**method, options);
+    if (!report.ok()) continue;
+    out.push_back(*std::move(report));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("no method evaluable on " +
+                                   spec.ToString());
+  }
+  return out;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,57 @@
+// Method comparison reports.
+//
+// One call that characterizes a distribution method on a file system the
+// way §5 of the paper does: strict-optimal query-class fraction, average
+// largest response per unspecified-field count, and the address
+// computation cycle budget.  Used by the method_matrix bench and the
+// examples; kept in the library so downstream users can run the same
+// evaluation on their own specs.
+
+#ifndef FXDIST_ANALYSIS_REPORT_H_
+#define FXDIST_ANALYSIS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct MethodReport {
+  std::string method_name;
+  /// Fraction of the 2^n unspecified-field classes that are strict
+  /// optimal (ground truth; shift-invariant methods use closed forms,
+  /// others enumerate the representative query).
+  double optimal_class_fraction = 0.0;
+  /// avg largest response, indexed by k = number of unspecified fields
+  /// (entry 0 = k_min).
+  std::vector<double> avg_largest_by_k;
+  unsigned k_min = 0;
+  /// Modeled MC68000 cycles for one DeviceOf evaluation.
+  std::uint64_t address_cycles = 0;
+};
+
+struct ReportOptions {
+  unsigned k_min = 2;
+  unsigned k_max = 0;  ///< 0 = num_fields
+  /// Non-shift-invariant methods need one full response enumeration per
+  /// mask; refuse specs with more buckets than this.
+  std::uint64_t enumeration_budget = std::uint64_t{1} << 22;
+};
+
+/// Evaluates `method` on its own spec.
+Result<MethodReport> EvaluateMethod(const DistributionMethod& method,
+                                    const ReportOptions& options = {});
+
+/// Convenience: build each named method via the registry and evaluate it.
+/// Methods that fail to construct for this spec (e.g. "spanning" on a
+/// huge bucket space) are skipped.
+Result<std::vector<MethodReport>> CompareMethods(
+    const FieldSpec& spec, const std::vector<std::string>& method_specs,
+    const ReportOptions& options = {});
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_REPORT_H_

@@ -1,0 +1,84 @@
+#include "analysis/response.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/fast_response.h"
+#include "analysis/optimality.h"
+#include "util/math.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+namespace {
+
+template <typename PerSubset>
+LargestResponseStats AverageOverSubsets(const FieldSpec& spec, unsigned k,
+                                        PerSubset&& largest_for_subset) {
+  LargestResponseStats stats;
+  double sum = 0.0;
+  ForEachSubsetOfSize(spec.num_fields(), k,
+                      [&](const std::vector<unsigned>& subset) {
+    const std::uint64_t largest = largest_for_subset(subset);
+    sum += static_cast<double>(largest);
+    stats.max = std::max(stats.max, largest);
+    ++stats.queries;
+    return true;
+  });
+  if (stats.queries > 0) {
+    stats.average = sum / static_cast<double>(stats.queries);
+  }
+  return stats;
+}
+
+std::uint64_t MaskOf(const std::vector<unsigned>& subset) {
+  std::uint64_t mask = 0;
+  for (unsigned f : subset) mask |= (std::uint64_t{1} << f);
+  return mask;
+}
+
+}  // namespace
+
+LargestResponseStats AverageLargestResponse(const DistributionMethod& method,
+                                            unsigned k) {
+  const FieldSpec& spec = method.spec();
+  FXDIST_DCHECK(method.IsShiftInvariant());
+  return AverageOverSubsets(
+      spec, k, [&](const std::vector<unsigned>& subset) {
+        auto query =
+            PartialMatchQuery::FromUnspecifiedMaskZero(spec, MaskOf(subset));
+        FXDIST_DCHECK(query.ok());
+        return LargestResponseSize(method, *query);
+      });
+}
+
+LargestResponseStats OptimalLargestResponse(const FieldSpec& spec,
+                                            unsigned k) {
+  return AverageOverSubsets(
+      spec, k, [&](const std::vector<unsigned>& subset) {
+        std::uint64_t qualified = 1;
+        for (unsigned f : subset) qualified *= spec.field_size(f);
+        return CeilDiv(qualified, spec.num_devices());
+      });
+}
+
+ResponsePercentiles LargestResponsePercentiles(
+    const DistributionMethod& method, unsigned k) {
+  const FieldSpec& spec = method.spec();
+  std::vector<std::uint64_t> maxima;
+  ForEachSubsetOfSize(spec.num_fields(), k,
+                      [&](const std::vector<unsigned>& subset) {
+    maxima.push_back(MaskResponse(method, MaskOf(subset)).Max());
+    return true;
+  });
+  ResponsePercentiles out;
+  out.classes = maxima.size();
+  if (maxima.empty()) return out;
+  std::sort(maxima.begin(), maxima.end());
+  out.p50 = static_cast<double>(maxima[maxima.size() / 2]);
+  out.p95 = static_cast<double>(maxima[maxima.size() * 95 / 100]);
+  out.max = static_cast<double>(maxima.back());
+  return out;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,52 @@
+// Largest-response-size statistics (paper §5.2.1, Tables 7-9).
+//
+// For a query q, device i's response size r_i(q) is the number of qualified
+// buckets it holds; the query's parallel response is governed by
+// max_i r_i(q).  The tables average that maximum over every query with
+// exactly k unspecified fields.
+
+#ifndef FXDIST_ANALYSIS_RESPONSE_H_
+#define FXDIST_ANALYSIS_RESPONSE_H_
+
+#include <cstdint>
+
+#include "core/distribution.h"
+#include "core/field_spec.h"
+
+namespace fxdist {
+
+struct LargestResponseStats {
+  double average = 0.0;       ///< mean over the query population
+  std::uint64_t max = 0;      ///< worst query
+  std::uint64_t queries = 0;  ///< population size (subsets evaluated)
+};
+
+/// Average/max largest response size over all C(n, k) unspecified-field
+/// subsets with exactly `k` unspecified fields.  The method must be
+/// shift-invariant (FX/Modulo/GDM are), so one representative query per
+/// subset is exact — this matches how the paper's Tables 7-9 are averaged.
+LargestResponseStats AverageLargestResponse(const DistributionMethod& method,
+                                            unsigned k);
+
+/// The unbeatable baseline: average of ceil(|R(q)| / M) over the same
+/// population (the tables' "Optimal" column).
+LargestResponseStats OptimalLargestResponse(const FieldSpec& spec,
+                                            unsigned k);
+
+/// Distribution (not just mean) of the largest response over the C(n, k)
+/// query classes — a mean can hide a catastrophic class; the tail cannot.
+struct ResponsePercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  std::uint64_t classes = 0;
+};
+
+/// Percentiles of largest response size over all k-unspecified classes,
+/// via the closed-form response vectors (fast for FX/Modulo/GDM/AFX).
+ResponsePercentiles LargestResponsePercentiles(
+    const DistributionMethod& method, unsigned k);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_RESPONSE_H_

@@ -1,0 +1,51 @@
+#include "core/afx.h"
+
+#include <utility>
+
+namespace fxdist {
+
+AdditiveFoldDistribution::AdditiveFoldDistribution(TransformPlan plan)
+    : DistributionMethod(plan.spec()), plan_(std::move(plan)) {}
+
+std::unique_ptr<AdditiveFoldDistribution> AdditiveFoldDistribution::Basic(
+    const FieldSpec& spec) {
+  return std::unique_ptr<AdditiveFoldDistribution>(
+      new AdditiveFoldDistribution(TransformPlan::Basic(spec)));
+}
+
+std::unique_ptr<AdditiveFoldDistribution> AdditiveFoldDistribution::Planned(
+    const FieldSpec& spec, PlanFamily family) {
+  return std::unique_ptr<AdditiveFoldDistribution>(
+      new AdditiveFoldDistribution(TransformPlan::Plan(spec, family)));
+}
+
+std::unique_ptr<AdditiveFoldDistribution>
+AdditiveFoldDistribution::WithPlan(TransformPlan plan) {
+  return std::unique_ptr<AdditiveFoldDistribution>(
+      new AdditiveFoldDistribution(std::move(plan)));
+}
+
+std::uint64_t AdditiveFoldDistribution::DeviceOf(
+    const BucketId& bucket) const {
+  FXDIST_DCHECK(IsValidBucket(spec_, bucket));
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    sum += plan_.transform(i).Apply(bucket[i]);
+  }
+  return sum % spec_.num_devices();
+}
+
+std::string AdditiveFoldDistribution::name() const {
+  return "AFX" + plan_.ToString();
+}
+
+std::vector<std::uint64_t> AdditiveFoldDistribution::ResidueHistogram(
+    unsigned field) const {
+  std::vector<std::uint64_t> hist(spec_.num_devices(), 0);
+  for (std::uint64_t l = 0; l < spec_.field_size(field); ++l) {
+    ++hist[plan_.transform(field).Apply(l) % spec_.num_devices()];
+  }
+  return hist;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,57 @@
+// AdditiveFoldDistribution: the "FX without the X" ablation.
+//
+// Identical to Extended FX — same field transformations, same planner —
+// except the transformed values are *summed* (mod M) instead of
+// XOR-folded:
+//
+//     device(<J1..Jn>) = ( X1(J1) + ... + Xn(Jn) ) mod M
+//
+// This is not from the paper; it exists to isolate the paper's central
+// algebraic insight.  Theorems 1-9 all stand on Lemma 1.1
+// (`Z_M [+] k = Z_M` — XOR by any constant permutes the device set) *and*
+// Lemma 4.1 (XOR of an aligned interval stays an aligned interval).
+// Addition shares the first property (rotation) but not the second:
+// interval images wrap and overlap, so several of the transformation
+// optimality arguments break.  bench/ablation_fold_operator measures how
+// much that costs.
+
+#ifndef FXDIST_CORE_AFX_H_
+#define FXDIST_CORE_AFX_H_
+
+#include <memory>
+#include <string>
+
+#include "core/distribution.h"
+#include "core/transform.h"
+
+namespace fxdist {
+
+class AdditiveFoldDistribution final : public DistributionMethod {
+ public:
+  static std::unique_ptr<AdditiveFoldDistribution> Basic(
+      const FieldSpec& spec);
+  static std::unique_ptr<AdditiveFoldDistribution> Planned(
+      const FieldSpec& spec, PlanFamily family = PlanFamily::kIU2);
+  static std::unique_ptr<AdditiveFoldDistribution> WithPlan(
+      TransformPlan plan);
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override;
+  std::string name() const override;
+  /// Additive constant from specified fields is a rotation mod M.
+  bool IsShiftInvariant() const override { return true; }
+
+  const TransformPlan& plan() const { return plan_; }
+
+  /// Histogram of field i's transformed values mod M (for the cyclic
+  /// convolution closed form).
+  std::vector<std::uint64_t> ResidueHistogram(unsigned field) const;
+
+ private:
+  explicit AdditiveFoldDistribution(TransformPlan plan);
+
+  TransformPlan plan_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_AFX_H_

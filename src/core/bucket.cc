@@ -1,0 +1,50 @@
+#include "core/bucket.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/bitops.h"
+
+namespace fxdist {
+
+bool IsValidBucket(const FieldSpec& spec, const BucketId& bucket) {
+  if (bucket.size() != spec.num_fields()) return false;
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if (bucket[i] >= spec.field_size(i)) return false;
+  }
+  return true;
+}
+
+std::uint64_t LinearIndex(const FieldSpec& spec, const BucketId& bucket) {
+  FXDIST_DCHECK(IsValidBucket(spec, bucket));
+  std::uint64_t index = 0;
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    index = index * spec.field_size(i) + bucket[i];
+  }
+  return index;
+}
+
+BucketId BucketFromLinear(const FieldSpec& spec, std::uint64_t index) {
+  const unsigned n = spec.num_fields();
+  BucketId bucket(n);
+  for (unsigned i = n; i > 0; --i) {
+    const std::uint64_t size = spec.field_size(i - 1);
+    bucket[i - 1] = index % size;
+    index /= size;
+  }
+  FXDIST_DCHECK(index == 0);
+  return bucket;
+}
+
+std::string BucketToString(const FieldSpec& spec, const BucketId& bucket) {
+  std::ostringstream oss;
+  oss << '<';
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if (i != 0) oss << ',';
+    oss << BitString(bucket[i], std::max(1u, spec.field_bits(i)));
+  }
+  oss << '>';
+  return oss.str();
+}
+
+}  // namespace fxdist

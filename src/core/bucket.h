@@ -1,0 +1,55 @@
+// BucketId and bucket-space iteration.
+//
+// A bucket is one point of the cartesian bucket space f_1 x ... x f_n.
+// Buckets also have a canonical *linear index* (row-major, field 0 most
+// significant) used by the simulator's storage maps.
+
+#ifndef FXDIST_CORE_BUCKET_H_
+#define FXDIST_CORE_BUCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/field_spec.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// One hashed field value per field.
+using BucketId = std::vector<std::uint64_t>;
+
+/// True iff `bucket` has one value per field, each within its field domain.
+bool IsValidBucket(const FieldSpec& spec, const BucketId& bucket);
+
+/// Row-major linear index of `bucket` (field 0 most significant).
+std::uint64_t LinearIndex(const FieldSpec& spec, const BucketId& bucket);
+
+/// Inverse of LinearIndex.
+BucketId BucketFromLinear(const FieldSpec& spec, std::uint64_t index);
+
+/// "<001,110>"-style rendering using the paper's binary field notation.
+std::string BucketToString(const FieldSpec& spec, const BucketId& bucket);
+
+/// Invokes `fn(const BucketId&)` for every bucket in the space, in linear
+/// index order.  `fn` returning false stops early.
+template <typename Fn>
+void ForEachBucket(const FieldSpec& spec, Fn&& fn) {
+  const unsigned n = spec.num_fields();
+  BucketId bucket(n, 0);
+  while (true) {
+    if (!fn(static_cast<const BucketId&>(bucket))) return;
+    // Odometer increment, last field fastest.
+    unsigned i = n;
+    while (i > 0) {
+      --i;
+      if (++bucket[i] < spec.field_size(i)) break;
+      bucket[i] = 0;
+      if (i == 0) return;
+    }
+  }
+}
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_BUCKET_H_

@@ -1,0 +1,16 @@
+#include "core/distribution.h"
+
+namespace fxdist {
+
+void DistributionMethod::ForEachQualifiedBucketOnDevice(
+    const PartialMatchQuery& query, std::uint64_t device,
+    const std::function<bool(const BucketId&)>& fn) const {
+  ForEachQualifiedBucket(spec_, query, [&](const BucketId& bucket) {
+    if (DeviceOf(bucket) == device) {
+      return fn(bucket);
+    }
+    return true;
+  });
+}
+
+}  // namespace fxdist

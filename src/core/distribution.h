@@ -1,0 +1,59 @@
+// DistributionMethod: the common interface of all bucket-to-device
+// allocation strategies (FX, Modulo, GDM, ...).
+
+#ifndef FXDIST_CORE_DISTRIBUTION_H_
+#define FXDIST_CORE_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/bucket.h"
+#include "core/field_spec.h"
+#include "core/query.h"
+
+namespace fxdist {
+
+/// Maps every bucket of a FieldSpec's bucket space to a device in
+/// [0, M).  Implementations are immutable and thread-safe after
+/// construction.
+class DistributionMethod {
+ public:
+  explicit DistributionMethod(FieldSpec spec) : spec_(std::move(spec)) {}
+  virtual ~DistributionMethod() = default;
+
+  DistributionMethod(const DistributionMethod&) = delete;
+  DistributionMethod& operator=(const DistributionMethod&) = delete;
+
+  const FieldSpec& spec() const { return spec_; }
+
+  /// Device number of `bucket` (must be valid for spec()).
+  virtual std::uint64_t DeviceOf(const BucketId& bucket) const = 0;
+
+  /// Short stable name, e.g. "FX[I,U,IU1]", "Modulo", "GDM{2,3,5,7,11,13}".
+  virtual std::string name() const = 0;
+
+  /// True when the per-device response *multiset* of a query is invariant
+  /// under the choice of specified values — i.e. changing a specified value
+  /// only permutes devices.  Holds for FX (XOR by a constant) and for
+  /// Modulo/GDM (rotation by an additive constant mod M).  The analysis
+  /// layer uses this to evaluate one representative per unspecified-field
+  /// set instead of every query.
+  virtual bool IsShiftInvariant() const { return false; }
+
+  /// Enumerates the qualified buckets of `query` that this method placed on
+  /// `device` ("inverse mapping", §4.2).  The default implementation
+  /// filters the full qualified set; subclasses may override with a faster
+  /// path.  `fn` returning false stops early.
+  virtual void ForEachQualifiedBucketOnDevice(
+      const PartialMatchQuery& query, std::uint64_t device,
+      const std::function<bool(const BucketId&)>& fn) const;
+
+ protected:
+  FieldSpec spec_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_DISTRIBUTION_H_

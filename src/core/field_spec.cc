@@ -1,0 +1,70 @@
+#include "core/field_spec.h"
+
+#include <sstream>
+
+#include "util/bitops.h"
+#include "util/math.h"
+
+namespace fxdist {
+
+Result<FieldSpec> FieldSpec::Create(std::vector<std::uint64_t> field_sizes,
+                                    std::uint64_t num_devices) {
+  if (field_sizes.empty()) {
+    return Status::InvalidArgument("a file needs at least one field");
+  }
+  for (std::size_t i = 0; i < field_sizes.size(); ++i) {
+    if (!IsPowerOfTwo(field_sizes[i])) {
+      return Status::InvalidArgument(
+          "field " + std::to_string(i) + " size " +
+          std::to_string(field_sizes[i]) + " is not a power of two");
+    }
+  }
+  if (!IsPowerOfTwo(num_devices)) {
+    return Status::InvalidArgument(
+        "device count " + std::to_string(num_devices) +
+        " is not a power of two");
+  }
+  return FieldSpec(std::move(field_sizes), num_devices);
+}
+
+Result<FieldSpec> FieldSpec::Uniform(unsigned num_fields,
+                                     std::uint64_t field_size,
+                                     std::uint64_t num_devices) {
+  return Create(std::vector<std::uint64_t>(num_fields, field_size),
+                num_devices);
+}
+
+unsigned FieldSpec::field_bits(unsigned i) const {
+  return Log2Exact(field_sizes_[i]);
+}
+
+unsigned FieldSpec::device_bits() const { return Log2Exact(num_devices_); }
+
+std::vector<unsigned> FieldSpec::SmallFields() const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < num_fields(); ++i) {
+    if (is_small_field(i)) out.push_back(i);
+  }
+  return out;
+}
+
+unsigned FieldSpec::NumSmallFields() const {
+  return static_cast<unsigned>(SmallFields().size());
+}
+
+std::uint64_t FieldSpec::TotalBuckets() const {
+  return SaturatingProduct(field_sizes_);
+}
+
+std::string FieldSpec::ToString() const {
+  std::ostringstream oss;
+  oss << "F={";
+  for (std::size_t i = 0; i < field_sizes_.size(); ++i) {
+    if (i != 0) oss << ',';
+    oss << field_sizes_[i];
+  }
+  oss << "} M=" << num_devices_;
+  return oss.str();
+}
+
+}  // namespace fxdist

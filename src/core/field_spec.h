@@ -1,0 +1,76 @@
+// FieldSpec: the static description of a multi-key-hashed file.
+//
+// A file has n fields; field i's hash values range over
+// f_i = {0, ..., F_i - 1}.  A *bucket* is one combination
+// <J_1, ..., J_n> of hashed field values, and the bucket space is the
+// cartesian product f_1 x ... x f_n.  The file is to be spread over M
+// parallel devices.  Following the paper (and the dynamic/partitioned
+// hashing schemes it builds on), every F_i and M are powers of two.
+
+#ifndef FXDIST_CORE_FIELD_SPEC_H_
+#define FXDIST_CORE_FIELD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fxdist {
+
+/// Field sizes plus device count for one file system.  Immutable after
+/// construction; cheap to copy.
+class FieldSpec {
+ public:
+  /// Validates that every size and `num_devices` is a power of two >= 1 and
+  /// that there is at least one field.
+  static Result<FieldSpec> Create(std::vector<std::uint64_t> field_sizes,
+                                  std::uint64_t num_devices);
+
+  /// Convenience for tests/benches: n fields of equal size.
+  static Result<FieldSpec> Uniform(unsigned num_fields,
+                                   std::uint64_t field_size,
+                                   std::uint64_t num_devices);
+
+  unsigned num_fields() const {
+    return static_cast<unsigned>(field_sizes_.size());
+  }
+  std::uint64_t field_size(unsigned i) const { return field_sizes_[i]; }
+  const std::vector<std::uint64_t>& field_sizes() const {
+    return field_sizes_;
+  }
+  std::uint64_t num_devices() const { return num_devices_; }
+
+  /// Bits needed to represent field i's values: log2(F_i).
+  unsigned field_bits(unsigned i) const;
+  /// log2(M).
+  unsigned device_bits() const;
+
+  /// True iff F_i < M ("small" fields are the ones needing transformation).
+  bool is_small_field(unsigned i) const {
+    return field_sizes_[i] < num_devices_;
+  }
+  /// Indices of all small fields, ascending.
+  std::vector<unsigned> SmallFields() const;
+  /// |{i : F_i < M}| — the paper's "L".
+  unsigned NumSmallFields() const;
+
+  /// Total bucket count, prod F_i (saturating).
+  std::uint64_t TotalBuckets() const;
+
+  /// e.g. "F={8,8,16} M=32".
+  std::string ToString() const;
+
+  bool operator==(const FieldSpec& other) const = default;
+
+ private:
+  FieldSpec(std::vector<std::uint64_t> field_sizes, std::uint64_t num_devices)
+      : field_sizes_(std::move(field_sizes)), num_devices_(num_devices) {}
+
+  std::vector<std::uint64_t> field_sizes_;
+  std::uint64_t num_devices_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_FIELD_SPEC_H_

@@ -1,0 +1,127 @@
+#include "core/fx.h"
+
+#include <utility>
+
+#include "util/bitops.h"
+
+namespace fxdist {
+
+FXDistribution::FXDistribution(TransformPlan plan)
+    : DistributionMethod(plan.spec()), plan_(std::move(plan)) {
+  const std::uint64_t m = spec_.num_devices();
+  residue_values_.resize(spec_.num_fields());
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    residue_values_[i].assign(m, {});
+    for (std::uint64_t l = 0; l < spec_.field_size(i); ++l) {
+      const std::uint64_t z = TruncateMod(plan_.transform(i).Apply(l), m);
+      residue_values_[i][z].push_back(l);
+    }
+  }
+}
+
+std::unique_ptr<FXDistribution> FXDistribution::Basic(const FieldSpec& spec) {
+  return std::unique_ptr<FXDistribution>(
+      new FXDistribution(TransformPlan::Basic(spec)));
+}
+
+std::unique_ptr<FXDistribution> FXDistribution::Planned(const FieldSpec& spec,
+                                                        PlanFamily family) {
+  return std::unique_ptr<FXDistribution>(
+      new FXDistribution(TransformPlan::Plan(spec, family)));
+}
+
+std::unique_ptr<FXDistribution> FXDistribution::WithPlan(TransformPlan plan) {
+  return std::unique_ptr<FXDistribution>(new FXDistribution(std::move(plan)));
+}
+
+std::uint64_t FXDistribution::DeviceOf(const BucketId& bucket) const {
+  FXDIST_DCHECK(IsValidBucket(spec_, bucket));
+  std::uint64_t fold = 0;
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    fold ^= plan_.transform(i).Apply(bucket[i]);
+  }
+  return TruncateMod(fold, spec_.num_devices());
+}
+
+std::string FXDistribution::name() const {
+  bool all_identity = true;
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    if (plan_.kind(i) != TransformKind::kIdentity) {
+      all_identity = false;
+      break;
+    }
+  }
+  return all_identity ? "FX-basic" : "FX" + plan_.ToString();
+}
+
+std::uint64_t FXDistribution::SpecifiedFold(
+    const PartialMatchQuery& query) const {
+  std::uint64_t fold = 0;
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    if (query.is_specified(i)) {
+      fold ^= plan_.transform(i).Apply(query.value(i));
+    }
+  }
+  return TruncateMod(fold, spec_.num_devices());
+}
+
+std::vector<std::uint64_t> FXDistribution::ResidueHistogram(
+    unsigned field) const {
+  std::vector<std::uint64_t> hist(spec_.num_devices(), 0);
+  for (std::uint64_t z = 0; z < spec_.num_devices(); ++z) {
+    hist[z] = residue_values_[field][z].size();
+  }
+  return hist;
+}
+
+void FXDistribution::ForEachQualifiedBucketOnDevice(
+    const PartialMatchQuery& query, std::uint64_t device,
+    const std::function<bool(const BucketId&)>& fn) const {
+  const std::vector<unsigned> free_fields = query.UnspecifiedFields();
+  const std::uint64_t m = spec_.num_devices();
+  const std::uint64_t h = SpecifiedFold(query);
+
+  BucketId bucket(spec_.num_fields(), 0);
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    if (query.is_specified(i)) bucket[i] = query.value(i);
+  }
+
+  if (free_fields.empty()) {
+    // Exact match: one bucket; on `device` or not.
+    if (TruncateMod(h, m) == device) fn(bucket);
+    return;
+  }
+
+  // Iterate the cartesian product of all free fields except the last; for
+  // each prefix, the last field's transformed value must land on residue
+  //   z = h ^ prefix_fold ^ device  (mod M),
+  // and residue_values_ lists exactly the field values achieving it.
+  const unsigned last = free_fields.back();
+  const std::vector<unsigned> prefix(free_fields.begin(),
+                                     free_fields.end() - 1);
+  for (unsigned f : prefix) bucket[f] = 0;
+  while (true) {
+    std::uint64_t fold = h;
+    for (unsigned f : prefix) fold ^= plan_.transform(f).Apply(bucket[f]);
+    const std::uint64_t z = TruncateMod(fold ^ device, m);
+    for (std::uint64_t l : residue_values_[last][z]) {
+      bucket[last] = l;
+      if (!fn(bucket)) return;
+    }
+    // Odometer increment over the prefix fields, last fastest.
+    std::size_t i = prefix.size();
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      const unsigned f = prefix[i];
+      if (++bucket[f] < spec_.field_size(f)) {
+        advanced = true;
+        break;
+      }
+      bucket[f] = 0;
+    }
+    if (!advanced) return;
+  }
+}
+
+}  // namespace fxdist

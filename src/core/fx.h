@@ -1,0 +1,67 @@
+// FXDistribution: the paper's contribution.
+//
+// Extended FX allocates bucket <J_1..J_n> to device
+//     T_M( X_1(J_1) ^ X_2(J_2) ^ ... ^ X_n(J_n) )
+// where X_i is the field's transformation (identity when F_i >= M) and T_M
+// keeps the low log2(M) bits.  With the all-identity plan this is Basic FX.
+
+#ifndef FXDIST_CORE_FX_H_
+#define FXDIST_CORE_FX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distribution.h"
+#include "core/transform.h"
+
+namespace fxdist {
+
+class FXDistribution final : public DistributionMethod {
+ public:
+  /// Basic FX: no transformation.
+  static std::unique_ptr<FXDistribution> Basic(const FieldSpec& spec);
+
+  /// Extended FX with the automatic planner (see TransformPlan::Plan).
+  static std::unique_ptr<FXDistribution> Planned(
+      const FieldSpec& spec, PlanFamily family = PlanFamily::kIU2);
+
+  /// Extended FX with an explicit plan.
+  static std::unique_ptr<FXDistribution> WithPlan(TransformPlan plan);
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override;
+  std::string name() const override;
+  bool IsShiftInvariant() const override { return true; }
+
+  /// Fast inverse mapping: instead of filtering all |R(q)| qualified
+  /// buckets, fixes every unspecified field but the last and solves the
+  /// XOR equation for the final field via a precomputed residue table,
+  /// visiting only the ~|R(q)|/M buckets actually on `device`.
+  void ForEachQualifiedBucketOnDevice(
+      const PartialMatchQuery& query, std::uint64_t device,
+      const std::function<bool(const BucketId&)>& fn) const override;
+
+  const TransformPlan& plan() const { return plan_; }
+
+  /// XOR-fold of the *specified* fields of `query` after transformation and
+  /// truncation — the paper's `h`.
+  std::uint64_t SpecifiedFold(const PartialMatchQuery& query) const;
+
+  /// Histogram of field i's transformed-and-truncated values:
+  /// result[z] = #{ l in f_i : T_M(X_i(l)) == z }.  The response vector of
+  /// any query is the XOR-convolution of the unspecified fields'
+  /// histograms (shifted by SpecifiedFold) — see analysis/fast_response.h.
+  std::vector<std::uint64_t> ResidueHistogram(unsigned field) const;
+
+ private:
+  explicit FXDistribution(TransformPlan plan);
+
+  TransformPlan plan_;
+  // residue_values_[i][z] = values l of field i with T_M(X_i(l)) == z.
+  std::vector<std::vector<std::vector<std::uint64_t>>> residue_values_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_FX_H_

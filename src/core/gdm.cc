@@ -1,0 +1,99 @@
+#include "core/gdm.h"
+
+#include <sstream>
+
+namespace fxdist {
+
+GDMDistribution::GDMDistribution(FieldSpec spec,
+                                 std::vector<std::uint64_t> multipliers)
+    : DistributionMethod(std::move(spec)),
+      multipliers_(std::move(multipliers)) {
+  const std::uint64_t m = spec_.num_devices();
+  residue_values_.resize(spec_.num_fields());
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    residue_values_[i].assign(m, {});
+    for (std::uint64_t l = 0; l < spec_.field_size(i); ++l) {
+      residue_values_[i][(multipliers_[i] * l) % m].push_back(l);
+    }
+  }
+}
+
+Result<std::unique_ptr<GDMDistribution>> GDMDistribution::Make(
+    const FieldSpec& spec, std::vector<std::uint64_t> multipliers) {
+  if (multipliers.size() != spec.num_fields()) {
+    return Status::InvalidArgument("one multiplier per field required");
+  }
+  return std::unique_ptr<GDMDistribution>(
+      new GDMDistribution(spec, std::move(multipliers)));
+}
+
+void GDMDistribution::ForEachQualifiedBucketOnDevice(
+    const PartialMatchQuery& query, std::uint64_t device,
+    const std::function<bool(const BucketId&)>& fn) const {
+  const std::vector<unsigned> free_fields = query.UnspecifiedFields();
+  const std::uint64_t m = spec_.num_devices();
+
+  BucketId bucket(spec_.num_fields(), 0);
+  std::uint64_t specified_sum = 0;
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    if (query.is_specified(i)) {
+      bucket[i] = query.value(i);
+      specified_sum += multipliers_[i] * query.value(i);
+    }
+  }
+
+  if (free_fields.empty()) {
+    if (specified_sum % m == device) fn(bucket);
+    return;
+  }
+
+  // For each prefix assignment, the last free field's contribution must
+  // make the total congruent to `device` mod M.
+  const unsigned last = free_fields.back();
+  const std::vector<unsigned> prefix(free_fields.begin(),
+                                     free_fields.end() - 1);
+  for (unsigned f : prefix) bucket[f] = 0;
+  while (true) {
+    std::uint64_t sum = specified_sum;
+    for (unsigned f : prefix) sum += multipliers_[f] * bucket[f];
+    const std::uint64_t z = (device + m - sum % m) % m;
+    for (std::uint64_t l : residue_values_[last][z]) {
+      bucket[last] = l;
+      if (!fn(bucket)) return;
+    }
+    std::size_t i = prefix.size();
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      const unsigned f = prefix[i];
+      if (++bucket[f] < spec_.field_size(f)) {
+        advanced = true;
+        break;
+      }
+      bucket[f] = 0;
+    }
+    if (!advanced) return;
+  }
+}
+
+std::uint64_t GDMDistribution::DeviceOf(const BucketId& bucket) const {
+  FXDIST_DCHECK(IsValidBucket(spec_, bucket));
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    sum += multipliers_[i] * bucket[i];
+  }
+  return sum % spec_.num_devices();
+}
+
+std::string GDMDistribution::name() const {
+  std::ostringstream oss;
+  oss << "GDM{";
+  for (std::size_t i = 0; i < multipliers_.size(); ++i) {
+    if (i != 0) oss << ',';
+    oss << multipliers_[i];
+  }
+  oss << '}';
+  return oss.str();
+}
+
+}  // namespace fxdist

@@ -1,0 +1,57 @@
+// GDMDistribution: Generalized Disk Modulo (DuSo82).
+//
+// Bucket <J_1..J_n> goes to device (a_1*J_1 + ... + a_n*J_n) mod M for a
+// fixed multiplier vector a.  GDM subsumes Modulo (a_i = 1).  The paper
+// stresses that good multipliers must be found by trial and error; its
+// experiments use three published sets (see kGdm1/2/3 below).
+
+#ifndef FXDIST_CORE_GDM_H_
+#define FXDIST_CORE_GDM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// The paper's three multiplier sets (§5.2.1).
+inline constexpr std::uint64_t kGdm1[6] = {2, 3, 5, 7, 11, 13};
+inline constexpr std::uint64_t kGdm2[6] = {2, 5, 11, 43, 51, 57};
+inline constexpr std::uint64_t kGdm3[6] = {41, 43, 47, 51, 53, 57};
+
+class GDMDistribution final : public DistributionMethod {
+ public:
+  /// One multiplier per field.
+  static Result<std::unique_ptr<GDMDistribution>> Make(
+      const FieldSpec& spec, std::vector<std::uint64_t> multipliers);
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override;
+  std::string name() const override;
+  bool IsShiftInvariant() const override { return true; }
+
+  /// Fast inverse mapping: fixes all unspecified fields but the last and
+  /// solves the additive congruence for the final field via a
+  /// precomputed residue table — ~|R(q)|/M visits instead of |R(q)|,
+  /// the additive counterpart of FXDistribution's XOR solver.
+  void ForEachQualifiedBucketOnDevice(
+      const PartialMatchQuery& query, std::uint64_t device,
+      const std::function<bool(const BucketId&)>& fn) const override;
+
+  const std::vector<std::uint64_t>& multipliers() const {
+    return multipliers_;
+  }
+
+ private:
+  GDMDistribution(FieldSpec spec, std::vector<std::uint64_t> multipliers);
+
+  std::vector<std::uint64_t> multipliers_;
+  // residue_values_[i][z] = values l of field i with (a_i * l) mod M == z.
+  std::vector<std::vector<std::vector<std::uint64_t>>> residue_values_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_GDM_H_

@@ -1,0 +1,60 @@
+#include "core/modulo.h"
+
+namespace fxdist {
+
+std::uint64_t ModuloDistribution::DeviceOf(const BucketId& bucket) const {
+  FXDIST_DCHECK(IsValidBucket(spec_, bucket));
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : bucket) sum += v;
+  return sum % spec_.num_devices();
+}
+
+void ModuloDistribution::ForEachQualifiedBucketOnDevice(
+    const PartialMatchQuery& query, std::uint64_t device,
+    const std::function<bool(const BucketId&)>& fn) const {
+  const std::vector<unsigned> free_fields = query.UnspecifiedFields();
+  const std::uint64_t m = spec_.num_devices();
+
+  BucketId bucket(spec_.num_fields(), 0);
+  std::uint64_t specified_sum = 0;
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    if (query.is_specified(i)) {
+      bucket[i] = query.value(i);
+      specified_sum += query.value(i);
+    }
+  }
+
+  if (free_fields.empty()) {
+    if (specified_sum % m == device) fn(bucket);
+    return;
+  }
+
+  const unsigned last = free_fields.back();
+  const std::uint64_t last_size = spec_.field_size(last);
+  const std::vector<unsigned> prefix(free_fields.begin(),
+                                     free_fields.end() - 1);
+  for (unsigned f : prefix) bucket[f] = 0;
+  while (true) {
+    std::uint64_t sum = specified_sum;
+    for (unsigned f : prefix) sum += bucket[f];
+    const std::uint64_t z = (device + m - sum % m) % m;
+    for (std::uint64_t l = z; l < last_size; l += m) {
+      bucket[last] = l;
+      if (!fn(bucket)) return;
+    }
+    std::size_t i = prefix.size();
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      const unsigned f = prefix[i];
+      if (++bucket[f] < spec_.field_size(f)) {
+        advanced = true;
+        break;
+      }
+      bucket[f] = 0;
+    }
+    if (!advanced) return;
+  }
+}
+
+}  // namespace fxdist

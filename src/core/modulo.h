@@ -1,0 +1,41 @@
+// ModuloDistribution: the Disk Modulo allocation of Du & Sobolewski
+// (DuSo82), the paper's primary baseline.
+//
+// Bucket <J_1..J_n> goes to device (J_1 + ... + J_n) mod M.  Simple, and
+// strict optimal when some unspecified field size is a multiple of M, but
+// it degrades badly once many field sizes are below the device count —
+// exactly the regime the paper's FX transformations target.
+
+#ifndef FXDIST_CORE_MODULO_H_
+#define FXDIST_CORE_MODULO_H_
+
+#include <memory>
+
+#include "core/distribution.h"
+
+namespace fxdist {
+
+class ModuloDistribution final : public DistributionMethod {
+ public:
+  explicit ModuloDistribution(FieldSpec spec)
+      : DistributionMethod(std::move(spec)) {}
+
+  static std::unique_ptr<ModuloDistribution> Make(const FieldSpec& spec) {
+    return std::make_unique<ModuloDistribution>(spec);
+  }
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override;
+  std::string name() const override { return "Modulo"; }
+  bool IsShiftInvariant() const override { return true; }
+
+  /// Fast inverse mapping: the last unspecified field's values on a
+  /// device form the arithmetic progression {z, z+M, z+2M, ...} — no
+  /// table needed.
+  void ForEachQualifiedBucketOnDevice(
+      const PartialMatchQuery& query, std::uint64_t device,
+      const std::function<bool(const BucketId&)>& fn) const override;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_MODULO_H_

@@ -1,0 +1,22 @@
+#include "core/random_dist.h"
+
+#include "util/bitops.h"
+
+namespace fxdist {
+
+std::uint64_t RandomDistribution::DeviceOf(const BucketId& bucket) const {
+  FXDIST_DCHECK(IsValidBucket(spec_, bucket));
+  // SplitMix64 finalizer over the linear index: stateless, uniform, and
+  // stable for a given seed.
+  std::uint64_t z = LinearIndex(spec_, bucket) ^ (seed_ * 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return TruncateMod(z, spec_.num_devices());
+}
+
+std::string RandomDistribution::name() const {
+  return "Random(seed=" + std::to_string(seed_) + ")";
+}
+
+}  // namespace fxdist

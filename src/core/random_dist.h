@@ -1,0 +1,40 @@
+// RandomDistribution: seeded pseudo-random bucket-to-device assignment.
+//
+// The natural control baseline: balanced in expectation (0-optimal-ish for
+// the whole file) but with no structure for partial match queries.  Also
+// deliberately *not* shift-invariant, which makes it valuable in tests:
+// it exercises the exhaustive (all specified values) paths of the
+// optimality checker that FX/Modulo/GDM never need.
+
+#ifndef FXDIST_CORE_RANDOM_DIST_H_
+#define FXDIST_CORE_RANDOM_DIST_H_
+
+#include <memory>
+
+#include "core/distribution.h"
+
+namespace fxdist {
+
+class RandomDistribution final : public DistributionMethod {
+ public:
+  RandomDistribution(FieldSpec spec, std::uint64_t seed)
+      : DistributionMethod(std::move(spec)), seed_(seed) {}
+
+  static std::unique_ptr<RandomDistribution> Make(const FieldSpec& spec,
+                                                  std::uint64_t seed = 0) {
+    return std::make_unique<RandomDistribution>(spec, seed);
+  }
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override;
+  std::string name() const override;
+  bool IsShiftInvariant() const override { return false; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_RANDOM_DIST_H_

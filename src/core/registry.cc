@@ -1,0 +1,162 @@
+#include "core/registry.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/afx.h"
+#include "core/fx.h"
+#include "core/gdm.h"
+#include "core/modulo.h"
+#include "core/random_dist.h"
+#include "core/spanning.h"
+
+namespace fxdist {
+
+namespace {
+
+Result<std::vector<std::uint64_t>> ParseMultiplierList(
+    const std::string& list) {
+  std::vector<std::uint64_t> out;
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) {
+      return Status::InvalidArgument("empty multiplier in list: " + list);
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad multiplier: " + token);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("no multipliers in: " + list);
+  }
+  return out;
+}
+
+Result<std::vector<TransformKind>> ParsePlanList(const std::string& list,
+                                                 unsigned num_fields) {
+  // Accepts "[I,U,IU1]" or "I,U,IU1".
+  std::string body = list;
+  if (!body.empty() && body.front() == '[') body.erase(body.begin());
+  if (!body.empty() && body.back() == ']') body.pop_back();
+  std::vector<TransformKind> kinds;
+  std::stringstream ss(body);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token == "I") {
+      kinds.push_back(TransformKind::kIdentity);
+    } else if (token == "U") {
+      kinds.push_back(TransformKind::kU);
+    } else if (token == "IU1") {
+      kinds.push_back(TransformKind::kIU1);
+    } else if (token == "IU2") {
+      kinds.push_back(TransformKind::kIU2);
+    } else {
+      return Status::InvalidArgument("unknown transform kind: " + token);
+    }
+  }
+  if (kinds.size() != num_fields) {
+    return Status::InvalidArgument("plan arity mismatch: " + list);
+  }
+  return kinds;
+}
+
+Result<std::unique_ptr<DistributionMethod>> MakePaperGdm(
+    const FieldSpec& spec, const std::uint64_t (&set)[6]) {
+  std::vector<std::uint64_t> mult(spec.num_fields());
+  for (unsigned i = 0; i < spec.num_fields(); ++i) mult[i] = set[i % 6];
+  auto gdm = GDMDistribution::Make(spec, std::move(mult));
+  FXDIST_RETURN_NOT_OK(gdm.status());
+  return std::unique_ptr<DistributionMethod>(std::move(*gdm));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DistributionMethod>> MakeDistribution(
+    const FieldSpec& spec, const std::string& spec_string) {
+  if (spec_string == "fx-basic") {
+    return std::unique_ptr<DistributionMethod>(FXDistribution::Basic(spec));
+  }
+  if (spec_string == "fx-iu1") {
+    return std::unique_ptr<DistributionMethod>(
+        FXDistribution::Planned(spec, PlanFamily::kIU1));
+  }
+  if (spec_string == "fx-iu2" || spec_string == "fx") {
+    return std::unique_ptr<DistributionMethod>(
+        FXDistribution::Planned(spec, PlanFamily::kIU2));
+  }
+  if (spec_string.rfind("fx:", 0) == 0) {
+    auto kinds = ParsePlanList(spec_string.substr(3), spec.num_fields());
+    FXDIST_RETURN_NOT_OK(kinds.status());
+    auto plan = TransformPlan::Create(spec, *std::move(kinds));
+    FXDIST_RETURN_NOT_OK(plan.status());
+    return std::unique_ptr<DistributionMethod>(
+        FXDistribution::WithPlan(*std::move(plan)));
+  }
+  if (spec_string == "afx-basic") {
+    return std::unique_ptr<DistributionMethod>(
+        AdditiveFoldDistribution::Basic(spec));
+  }
+  if (spec_string == "afx-iu1") {
+    return std::unique_ptr<DistributionMethod>(
+        AdditiveFoldDistribution::Planned(spec, PlanFamily::kIU1));
+  }
+  if (spec_string == "afx-iu2" || spec_string == "afx") {
+    return std::unique_ptr<DistributionMethod>(
+        AdditiveFoldDistribution::Planned(spec, PlanFamily::kIU2));
+  }
+  if (spec_string == "modulo") {
+    return std::unique_ptr<DistributionMethod>(
+        ModuloDistribution::Make(spec));
+  }
+  if (spec_string == "random") {
+    return std::unique_ptr<DistributionMethod>(
+        RandomDistribution::Make(spec));
+  }
+  if (spec_string.rfind("random:", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long long seed =
+        std::strtoull(spec_string.c_str() + 7, &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad random seed: " + spec_string);
+    }
+    return std::unique_ptr<DistributionMethod>(
+        RandomDistribution::Make(spec, seed));
+  }
+  if (spec_string == "spanning") {
+    auto sp = SpanningPathDistribution::Make(spec);
+    FXDIST_RETURN_NOT_OK(sp.status());
+    return std::unique_ptr<DistributionMethod>(std::move(*sp));
+  }
+  if (spec_string == "spanning-mst") {
+    auto sp = SpanningPathDistribution::Make(
+        spec, SpanningPathDistribution::Variant::kMst);
+    FXDIST_RETURN_NOT_OK(sp.status());
+    return std::unique_ptr<DistributionMethod>(std::move(*sp));
+  }
+  if (spec_string == "gdm1") return MakePaperGdm(spec, kGdm1);
+  if (spec_string == "gdm2") return MakePaperGdm(spec, kGdm2);
+  if (spec_string == "gdm3") return MakePaperGdm(spec, kGdm3);
+  if (spec_string.rfind("gdm:", 0) == 0) {
+    auto mult = ParseMultiplierList(spec_string.substr(4));
+    FXDIST_RETURN_NOT_OK(mult.status());
+    if (mult->size() != spec.num_fields()) {
+      return Status::InvalidArgument("gdm multiplier arity mismatch");
+    }
+    auto gdm = GDMDistribution::Make(spec, *std::move(mult));
+    FXDIST_RETURN_NOT_OK(gdm.status());
+    return std::unique_ptr<DistributionMethod>(std::move(*gdm));
+  }
+  return Status::InvalidArgument("unknown distribution: " + spec_string);
+}
+
+std::vector<std::string> KnownDistributionNames() {
+  return {"fx-basic", "fx-iu1",  "fx-iu2", "afx-basic", "afx-iu1",
+          "afx-iu2",  "modulo",  "gdm1",   "gdm2",      "gdm3",
+          "random"};
+}
+
+}  // namespace fxdist

@@ -1,0 +1,139 @@
+#include "core/spanning.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fxdist {
+
+namespace {
+
+/// Similarity of two buckets: number of agreeing field coordinates.  A
+/// pair agreeing on k of n fields co-qualifies for every query that
+/// specifies a subset of those k fields and wildcards the rest.
+unsigned Similarity(const BucketId& a, const BucketId& b) {
+  unsigned score = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++score;
+  }
+  return score;
+}
+
+}  // namespace
+
+namespace {
+
+/// Greedy nearest-neighbour path from bucket 0 (the "short spanning
+/// path" heuristic).
+std::vector<std::uint64_t> ShortPathOrder(
+    const std::vector<BucketId>& buckets) {
+  const std::uint64_t total = buckets.size();
+  std::vector<bool> used(total, false);
+  std::vector<std::uint64_t> path;
+  path.reserve(total);
+  std::uint64_t current = 0;
+  used[0] = true;
+  path.push_back(0);
+  for (std::uint64_t step = 1; step < total; ++step) {
+    unsigned best_sim = 0;
+    std::uint64_t best = total;  // sentinel
+    for (std::uint64_t cand = 0; cand < total; ++cand) {
+      if (used[cand]) continue;
+      const unsigned sim = Similarity(buckets[current], buckets[cand]);
+      if (best == total || sim > best_sim) {
+        best = cand;
+        best_sim = sim;
+      }
+    }
+    used[best] = true;
+    path.push_back(best);
+    current = best;
+  }
+  return path;
+}
+
+/// Maximum-similarity spanning tree (Prim), ordered by DFS preorder —
+/// the MST flavour of FaRC86: tree neighbours are similar, and DFS keeps
+/// subtrees (similar clusters) contiguous for the round-robin deal.
+std::vector<std::uint64_t> MstOrder(const std::vector<BucketId>& buckets) {
+  const std::uint64_t total = buckets.size();
+  std::vector<bool> in_tree(total, false);
+  std::vector<unsigned> best_sim(total, 0);
+  std::vector<std::uint64_t> parent(total, 0);
+  std::vector<std::vector<std::uint64_t>> children(total);
+  in_tree[0] = true;
+  for (std::uint64_t v = 1; v < total; ++v) {
+    best_sim[v] = Similarity(buckets[0], buckets[v]);
+  }
+  for (std::uint64_t step = 1; step < total; ++step) {
+    std::uint64_t best = total;
+    for (std::uint64_t v = 0; v < total; ++v) {
+      if (in_tree[v]) continue;
+      if (best == total || best_sim[v] > best_sim[best]) best = v;
+    }
+    in_tree[best] = true;
+    children[parent[best]].push_back(best);
+    for (std::uint64_t v = 0; v < total; ++v) {
+      if (in_tree[v]) continue;
+      const unsigned sim = Similarity(buckets[best], buckets[v]);
+      if (sim > best_sim[v]) {
+        best_sim[v] = sim;
+        parent[v] = best;
+      }
+    }
+  }
+  // Iterative DFS preorder from the root.
+  std::vector<std::uint64_t> order;
+  order.reserve(total);
+  std::vector<std::uint64_t> stack = {0};
+  while (!stack.empty()) {
+    const std::uint64_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    // Push in reverse so the first child is visited first.
+    for (auto it = children[v].rbegin(); it != children[v].rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpanningPathDistribution>>
+SpanningPathDistribution::Make(const FieldSpec& spec, Variant variant) {
+  const std::uint64_t total = spec.TotalBuckets();
+  if (total > kMaxBuckets) {
+    return Status::InvalidArgument(
+        "spanning construction is quadratic; bucket space " +
+        std::to_string(total) + " exceeds the cap of " +
+        std::to_string(kMaxBuckets));
+  }
+
+  std::vector<BucketId> buckets;
+  buckets.reserve(total);
+  ForEachBucket(spec, [&](const BucketId& b) {
+    buckets.push_back(b);
+    return true;
+  });
+
+  std::vector<std::uint64_t> path = variant == Variant::kShortPath
+                                        ? ShortPathOrder(buckets)
+                                        : MstOrder(buckets);
+
+  // Deal the order out round-robin.
+  std::vector<std::uint64_t> table(total);
+  for (std::uint64_t pos = 0; pos < total; ++pos) {
+    table[path[pos]] = pos % spec.num_devices();
+  }
+  return std::unique_ptr<SpanningPathDistribution>(
+      new SpanningPathDistribution(spec, variant, std::move(table),
+                                   std::move(path)));
+}
+
+std::uint64_t SpanningPathDistribution::DeviceOf(
+    const BucketId& bucket) const {
+  FXDIST_DCHECK(IsValidBucket(spec_, bucket));
+  return table_[LinearIndex(spec_, bucket)];
+}
+
+}  // namespace fxdist

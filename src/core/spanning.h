@@ -1,0 +1,70 @@
+// SpanningPathDistribution: the de-clustering heuristic family of Fang,
+// Lee & Chang (VLDB 1986), the "minimal spanning trees and short spanning
+// paths" baseline the paper cites ([FaRC86]).
+//
+// Idea: buckets that are *similar* (share many field values) tend to
+// qualify for the same partial match queries, so they should sit on
+// different devices.  Build a short spanning path that keeps similar
+// buckets adjacent, then deal the path out round-robin: neighbours — the
+// most similar pairs — always land on distinct devices.
+//
+// The path is grown greedily (nearest-neighbour by similarity, ties broken
+// by linear order), which is the "short spanning path" variant; exact
+// shortest Hamiltonian paths are of course intractable.  The whole bucket
+// space is materialized, so this method is only practical for small spaces
+// (the construction is O(N^2) in the bucket count N) — which is precisely
+// the scalability criticism the paper levels at table-based allocation,
+// and why FX's closed-form address computation wins for main-memory use.
+
+#ifndef FXDIST_CORE_SPANNING_H_
+#define FXDIST_CORE_SPANNING_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+class SpanningPathDistribution final : public DistributionMethod {
+ public:
+  /// Which FaRC86 variant orders the buckets.
+  enum class Variant {
+    kShortPath,  ///< greedy nearest-neighbour path
+    kMst,        ///< maximum-similarity spanning tree, DFS preorder
+  };
+
+  /// Materializes the allocation table.  Fails for bucket spaces larger
+  /// than kMaxBuckets (the construction is quadratic).
+  static Result<std::unique_ptr<SpanningPathDistribution>> Make(
+      const FieldSpec& spec, Variant variant = Variant::kShortPath);
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override;
+  std::string name() const override {
+    return variant_ == Variant::kShortPath ? "SpanningPath"
+                                           : "SpanningMST";
+  }
+  /// Table-based: no algebraic shift structure.
+  bool IsShiftInvariant() const override { return false; }
+
+  /// The path order (linear bucket indices), exposed for tests.
+  const std::vector<std::uint64_t>& path() const { return path_; }
+
+  static constexpr std::uint64_t kMaxBuckets = 1u << 14;
+
+ private:
+  SpanningPathDistribution(FieldSpec spec, Variant variant,
+                           std::vector<std::uint64_t> table,
+                           std::vector<std::uint64_t> path)
+      : DistributionMethod(std::move(spec)), variant_(variant),
+        table_(std::move(table)), path_(std::move(path)) {}
+
+  Variant variant_;
+  std::vector<std::uint64_t> table_;  // linear bucket index -> device
+  std::vector<std::uint64_t> path_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_SPANNING_H_

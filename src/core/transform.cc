@@ -1,0 +1,171 @@
+#include "core/transform.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/bitops.h"
+
+namespace fxdist {
+
+const char* TransformKindToString(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kIdentity:
+      return "I";
+    case TransformKind::kU:
+      return "U";
+    case TransformKind::kIU1:
+      return "IU1";
+    case TransformKind::kIU2:
+      return "IU2";
+  }
+  return "?";
+}
+
+bool AreDifferentMethods(TransformKind a, TransformKind b) {
+  if (a == b) return false;
+  // The paper: "in (3), (4)-a and (5)-a IU1 and IU2 combination do not
+  // apply" — they are too similar to guarantee optimality together.
+  const bool a_iu = a == TransformKind::kIU1 || a == TransformKind::kIU2;
+  const bool b_iu = b == TransformKind::kIU1 || b == TransformKind::kIU2;
+  return !(a_iu && b_iu);
+}
+
+FieldTransform::FieldTransform(TransformKind kind, std::uint64_t field_size,
+                               std::uint64_t num_devices)
+    : kind_(kind), field_size_(field_size), num_devices_(num_devices) {
+  if (kind == TransformKind::kIdentity) return;
+  d1_ = num_devices / field_size;
+  shift1_ = Log2Exact(d1_);
+  if (kind == TransformKind::kIU2) {
+    // d2 = d1 / F when F^2 < M; otherwise IU2 degenerates to IU1 (d2 = 0).
+    if (field_size * field_size < num_devices) {
+      d2_ = d1_ / field_size;
+      shift2_ = Log2Exact(d2_);
+    }
+  }
+}
+
+Result<FieldTransform> FieldTransform::Create(TransformKind kind,
+                                              std::uint64_t field_size,
+                                              std::uint64_t num_devices) {
+  if (!IsPowerOfTwo(field_size) || !IsPowerOfTwo(num_devices)) {
+    return Status::InvalidArgument(
+        "field size and device count must be powers of two");
+  }
+  if (kind != TransformKind::kIdentity && field_size >= num_devices) {
+    return Status::InvalidArgument(
+        std::string(TransformKindToString(kind)) +
+        " transformation requires F < M (got F=" +
+        std::to_string(field_size) + ", M=" + std::to_string(num_devices) +
+        ")");
+  }
+  return FieldTransform(kind, field_size, num_devices);
+}
+
+FieldTransform FieldTransform::Identity(std::uint64_t field_size,
+                                        std::uint64_t num_devices) {
+  return FieldTransform(TransformKind::kIdentity, field_size, num_devices);
+}
+
+std::vector<std::uint64_t> FieldTransform::Image() const {
+  std::vector<std::uint64_t> image(field_size_);
+  for (std::uint64_t l = 0; l < field_size_; ++l) image[l] = Apply(l);
+  return image;
+}
+
+std::string FieldTransform::ToString() const {
+  std::ostringstream oss;
+  oss << TransformKindToString(kind_) << "^{" << num_devices_ << ','
+      << field_size_ << '}';
+  return oss.str();
+}
+
+TransformPlan TransformPlan::Basic(const FieldSpec& spec) {
+  std::vector<FieldTransform> transforms;
+  transforms.reserve(spec.num_fields());
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    transforms.push_back(
+        FieldTransform::Identity(spec.field_size(i), spec.num_devices()));
+  }
+  return TransformPlan(spec, std::move(transforms));
+}
+
+Result<TransformPlan> TransformPlan::Create(const FieldSpec& spec,
+                                            std::vector<TransformKind> kinds) {
+  if (kinds.size() != spec.num_fields()) {
+    return Status::InvalidArgument("one transformation kind per field");
+  }
+  std::vector<FieldTransform> transforms;
+  transforms.reserve(kinds.size());
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if (!spec.is_small_field(i) && kinds[i] != TransformKind::kIdentity) {
+      return Status::InvalidArgument(
+          "field " + std::to_string(i) +
+          " has F >= M; Extended FX requires the identity there");
+    }
+    auto t = FieldTransform::Create(kinds[i], spec.field_size(i),
+                                    spec.num_devices());
+    FXDIST_RETURN_NOT_OK(t.status());
+    transforms.push_back(*std::move(t));
+  }
+  return TransformPlan(spec, std::move(transforms));
+}
+
+TransformPlan TransformPlan::Plan(const FieldSpec& spec, PlanFamily family) {
+  const std::vector<unsigned> small = spec.SmallFields();
+  std::vector<TransformKind> kinds(spec.num_fields(),
+                                   TransformKind::kIdentity);
+  const TransformKind iu_slot = family == PlanFamily::kIU1
+                                    ? TransformKind::kIU1
+                                    : TransformKind::kIU2;
+  if (small.size() <= 3) {
+    // Theorem 9: sort small fields by size descending and assign
+    // I (largest), IU2 (middle), U (smallest).
+    std::vector<unsigned> order = small;
+    std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+      return spec.field_size(a) > spec.field_size(b);
+    });
+    if (order.size() == 1) {
+      kinds[order[0]] = TransformKind::kIdentity;
+    } else if (order.size() == 2) {
+      kinds[order[0]] = TransformKind::kIdentity;
+      kinds[order[1]] = TransformKind::kU;
+    } else if (order.size() == 3) {
+      kinds[order[0]] = TransformKind::kIdentity;
+      kinds[order[1]] = TransformKind::kIU2;
+      kinds[order[2]] = TransformKind::kU;
+    }
+  } else {
+    // Round-robin I, U, IU1/IU2 in field order (paper §5 setup).
+    static constexpr TransformKind kBase[2] = {TransformKind::kIdentity,
+                                               TransformKind::kU};
+    for (std::size_t pos = 0; pos < small.size(); ++pos) {
+      const unsigned slot = static_cast<unsigned>(pos % 3);
+      kinds[small[pos]] = slot < 2 ? kBase[slot] : iu_slot;
+    }
+  }
+  auto plan = Create(spec, std::move(kinds));
+  FXDIST_DCHECK(plan.ok());
+  return *std::move(plan);
+}
+
+std::vector<TransformKind> TransformPlan::kinds() const {
+  std::vector<TransformKind> out;
+  out.reserve(transforms_.size());
+  for (const auto& t : transforms_) out.push_back(t.kind());
+  return out;
+}
+
+std::string TransformPlan::ToString() const {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < transforms_.size(); ++i) {
+    if (i != 0) oss << ',';
+    oss << TransformKindToString(transforms_[i].kind());
+  }
+  oss << ']';
+  return oss.str();
+}
+
+}  // namespace fxdist

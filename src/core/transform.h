@@ -1,0 +1,155 @@
+// Field transformation functions (paper §4.1) and transformation planning.
+//
+// Basic FX distribution XORs the raw field values.  That is strict optimal
+// whenever some unspecified field has F >= M (Theorems 1-2), but fails for
+// queries whose unspecified fields are all "small" (F < M): the raw values
+// only occupy the low bits and cannot reach all M devices.  The paper's fix
+// is to pass each small field through an injective map f_i -> Z_M before
+// XOR-folding.  Four function families are defined:
+//
+//   I(l)   = l                                    (identity)
+//   U(l)   = l * d,              d  = M / F       (stretch: equally spaced)
+//   IU1(l) = l ^ (l * d)                          (identity + stretch)
+//   IU2(l) = l ^ (l * d1) ^ (l * d2),
+//            d1 = M / F, d2 = d1 / F  if F^2 < M, else d2 = 0
+//
+// With F and M powers of two, every multiplication is a left shift.  When
+// F^2 >= M, IU2 degenerates to IU1 by construction.
+//
+// A TransformPlan assigns one function per field (identity for fields with
+// F >= M, per the paper's Extended FX definition) and is what
+// FXDistribution executes.
+
+#ifndef FXDIST_CORE_TRANSFORM_H_
+#define FXDIST_CORE_TRANSFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/field_spec.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// The four transformation families of §4.1.
+enum class TransformKind { kIdentity, kU, kIU1, kIU2 };
+
+const char* TransformKindToString(TransformKind kind);
+
+/// Whether two *methods* (families) count as "different" for the optimality
+/// conditions of §4.2.  IU1 and IU2 are distinct families, but the paper
+/// notes the IU1+IU2 combination does not qualify as "different methods"
+/// in conditions (3), (4)-a and (5)-a.
+bool AreDifferentMethods(TransformKind a, TransformKind b);
+
+/// One concrete transformation: a family instantiated for a (F, M) pair.
+///
+/// Apply() is branch-free (shift/XOR only), which is what §5.2.2's CPU cost
+/// argument relies on.
+class FieldTransform {
+ public:
+  /// Validates: F, M powers of two; for non-identity kinds, F < M (the
+  /// paper only defines U/IU1/IU2 for proper subsets of Z_M).
+  static Result<FieldTransform> Create(TransformKind kind,
+                                       std::uint64_t field_size,
+                                       std::uint64_t num_devices);
+
+  /// Identity transform usable for any field.
+  static FieldTransform Identity(std::uint64_t field_size,
+                                 std::uint64_t num_devices);
+
+  TransformKind kind() const { return kind_; }
+  std::uint64_t field_size() const { return field_size_; }
+  std::uint64_t num_devices() const { return num_devices_; }
+
+  /// The multiplier d (d1 for IU2); 0 for identity.
+  std::uint64_t d1() const { return d1_; }
+  /// IU2's second multiplier (0 unless kind==kIU2 and F^2 < M).
+  std::uint64_t d2() const { return d2_; }
+
+  /// X(l).  `l` must be in [0, F).
+  std::uint64_t Apply(std::uint64_t l) const {
+    switch (kind_) {
+      case TransformKind::kIdentity:
+        return l;
+      case TransformKind::kU:
+        return l << shift1_;
+      case TransformKind::kIU1:
+        return l ^ (l << shift1_);
+      case TransformKind::kIU2:
+        return l ^ (l << shift1_) ^ (d2_ == 0 ? 0 : (l << shift2_));
+    }
+    return l;
+  }
+
+  /// The image X(f) = {X(0), ..., X(F-1)}.
+  std::vector<std::uint64_t> Image() const;
+
+  /// e.g. "IU1^{16,8}".
+  std::string ToString() const;
+
+ private:
+  FieldTransform(TransformKind kind, std::uint64_t field_size,
+                 std::uint64_t num_devices);
+
+  TransformKind kind_;
+  std::uint64_t field_size_;
+  std::uint64_t num_devices_;
+  std::uint64_t d1_ = 0;
+  std::uint64_t d2_ = 0;
+  unsigned shift1_ = 0;
+  unsigned shift2_ = 0;
+};
+
+/// Which family to use for the third slot when planning: the paper's
+/// Figures 1-2 / Tables 7-8 use IU1, Figures 3-4 / Table 9 use IU2.
+enum class PlanFamily { kIU1, kIU2 };
+
+/// A per-field transformation assignment for a FieldSpec.
+class TransformPlan {
+ public:
+  /// All-identity plan: Extended FX degenerates to Basic FX.
+  static TransformPlan Basic(const FieldSpec& spec);
+
+  /// Explicit per-field kinds.  Fields with F >= M must be kIdentity (the
+  /// Extended FX definition forces the identity there).
+  static Result<TransformPlan> Create(const FieldSpec& spec,
+                                      std::vector<TransformKind> kinds);
+
+  /// The automatic planner.
+  ///
+  /// Small fields receive methods round-robin from [I, U, IU1-or-IU2] in
+  /// field order — matching the paper's experimental setup (fields 1 & 4 ->
+  /// I, 2 & 5 -> U, 3 & 6 -> IU1/IU2).  When at most three fields are small
+  /// the assignment instead follows Theorem 9's recipe for guaranteed
+  /// perfect optimality: order the small fields by size F_i >= F_k >= F_j
+  /// and apply I(f_i), IU2(f_k), U(f_j).  The IU slot is always IU2 on
+  /// that path regardless of `family` — Theorem 9's guarantee needs IU2
+  /// (IU2 collapses to IU1 by itself whenever F^2 >= M).
+  static TransformPlan Plan(const FieldSpec& spec,
+                            PlanFamily family = PlanFamily::kIU2);
+
+  const FieldSpec& spec() const { return spec_; }
+  const FieldTransform& transform(unsigned field) const {
+    return transforms_[field];
+  }
+  TransformKind kind(unsigned field) const {
+    return transforms_[field].kind();
+  }
+  std::vector<TransformKind> kinds() const;
+
+  /// e.g. "[I,U,IU1]".
+  std::string ToString() const;
+
+ private:
+  TransformPlan(FieldSpec spec, std::vector<FieldTransform> transforms)
+      : spec_(std::move(spec)), transforms_(std::move(transforms)) {}
+
+  FieldSpec spec_;
+  std::vector<FieldTransform> transforms_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_TRANSFORM_H_

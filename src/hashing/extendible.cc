@@ -1,0 +1,104 @@
+#include "hashing/extendible.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fxdist {
+
+ExtendibleDirectory::ExtendibleDirectory(std::size_t page_capacity,
+                                         unsigned max_global_depth)
+    : page_capacity_(page_capacity), max_global_depth_(max_global_depth) {
+  dir_.push_back(std::make_shared<Page>());
+}
+
+Result<ExtendibleDirectory> ExtendibleDirectory::Create(
+    std::size_t page_capacity, unsigned max_global_depth) {
+  if (page_capacity == 0) {
+    return Status::InvalidArgument("page capacity must be >= 1");
+  }
+  if (max_global_depth > 40) {
+    return Status::InvalidArgument("depth cap above 40 bits is unsafe");
+  }
+  return ExtendibleDirectory(page_capacity, max_global_depth);
+}
+
+namespace {
+bool AllKeysEqual(const std::vector<std::uint64_t>& keys) {
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] != keys[0]) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void ExtendibleDirectory::Insert(std::uint64_t hash) {
+  ++num_keys_;
+  while (true) {
+    const std::uint64_t cell = CellOf(hash);
+    Page& page = *dir_[cell];
+    if (page.hashes.size() < page_capacity_ ||
+        page.local_depth >= max_global_depth_ ||
+        (AllKeysEqual(page.hashes) &&
+         (page.hashes.empty() || page.hashes[0] == hash))) {
+      page.hashes.push_back(hash);
+      return;
+    }
+    SplitPage(cell);
+  }
+}
+
+void ExtendibleDirectory::SplitPage(std::uint64_t cell) {
+  std::shared_ptr<Page> old_page = dir_[cell];
+  if (old_page->local_depth == global_depth_) {
+    DoubleDirectory();
+  }
+  const unsigned new_depth = old_page->local_depth + 1;
+  auto zero_page = std::make_shared<Page>();
+  auto one_page = std::make_shared<Page>();
+  zero_page->local_depth = new_depth;
+  one_page->local_depth = new_depth;
+  const std::uint64_t split_bit = std::uint64_t{1} << old_page->local_depth;
+  for (std::uint64_t h : old_page->hashes) {
+    ((h & split_bit) ? one_page : zero_page)->hashes.push_back(h);
+  }
+  // Rewire every directory cell that pointed at the old page.
+  for (std::uint64_t c = 0; c < dir_.size(); ++c) {
+    if (dir_[c] == old_page) {
+      dir_[c] = (c & split_bit) ? one_page : zero_page;
+    }
+  }
+}
+
+void ExtendibleDirectory::DoubleDirectory() {
+  const std::size_t old_size = dir_.size();
+  dir_.resize(old_size * 2);
+  for (std::size_t c = 0; c < old_size; ++c) {
+    dir_[old_size + c] = dir_[c];
+  }
+  ++global_depth_;
+}
+
+std::uint64_t ExtendibleDirectory::num_pages() const {
+  std::unordered_set<const Page*> pages;
+  for (const auto& p : dir_) pages.insert(p.get());
+  return pages.size();
+}
+
+double ExtendibleDirectory::LoadFactor() const {
+  const std::uint64_t pages = num_pages();
+  if (pages == 0) return 0.0;
+  return static_cast<double>(num_keys_) /
+         (static_cast<double>(pages) *
+          static_cast<double>(page_capacity_));
+}
+
+const std::vector<std::uint64_t>& ExtendibleDirectory::PageKeys(
+    std::uint64_t cell) const {
+  return dir_[cell]->hashes;
+}
+
+unsigned ExtendibleDirectory::PageLocalDepth(std::uint64_t cell) const {
+  return dir_[cell]->local_depth;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,83 @@
+// Extendible hashing directory (Fagin et al. 1979).
+//
+// The paper assumes every field size F_i is a power of two "which is common
+// for hash directory files for partitioned or dynamic hashing schemes".
+// This is that substrate: a per-field directory that doubles as data
+// arrives, so field sizes are powers of two *by construction* and grow with
+// the file.  sim/dynamic_parallel_file.h builds on it to re-plan the FX
+// distribution whenever a directory doubles.
+//
+// Standard scheme: a directory of 2^g cells (g = global depth) points to
+// pages; a page with local depth l <= g is shared by 2^(g-l) cells.  An
+// overfull page splits on bit l; splitting a page with l == g first doubles
+// the directory.
+
+#ifndef FXDIST_HASHING_EXTENDIBLE_H_
+#define FXDIST_HASHING_EXTENDIBLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fxdist {
+
+class ExtendibleDirectory {
+ public:
+  /// `page_capacity` keys per page before a split (>= 1).
+  /// `max_global_depth` caps the directory at 2^max_global_depth cells;
+  /// pages at the cap overflow instead of splitting.
+  static Result<ExtendibleDirectory> Create(
+      std::size_t page_capacity, unsigned max_global_depth = kMaxDepth);
+
+  /// Inserts a key hash.  Duplicates are allowed: a page whose keys are
+  /// all identical can never separate, so it overflows rather than
+  /// splitting (splitting such a page only doubles the directory without
+  /// relieving it).
+  void Insert(std::uint64_t hash);
+
+  /// Number of directory cells, 2^global_depth — the field size F.
+  std::uint64_t directory_size() const {
+    return std::uint64_t{1} << global_depth_;
+  }
+  unsigned global_depth() const { return global_depth_; }
+
+  /// Cell index of a hash: its low global_depth bits.
+  std::uint64_t CellOf(std::uint64_t hash) const {
+    return hash & (directory_size() - 1);
+  }
+
+  std::uint64_t num_keys() const { return num_keys_; }
+  std::uint64_t num_pages() const;
+  /// Average keys per page relative to capacity.
+  double LoadFactor() const;
+
+  /// Keys in the page backing `cell` (diagnostics / tests).
+  const std::vector<std::uint64_t>& PageKeys(std::uint64_t cell) const;
+  unsigned PageLocalDepth(std::uint64_t cell) const;
+
+  /// Default depth cap: beyond this, pages overflow instead of splitting.
+  static constexpr unsigned kMaxDepth = 16;
+
+ private:
+  struct Page {
+    unsigned local_depth = 0;
+    std::vector<std::uint64_t> hashes;
+  };
+
+  ExtendibleDirectory(std::size_t page_capacity, unsigned max_global_depth);
+
+  void SplitPage(std::uint64_t cell);
+  void DoubleDirectory();
+
+  std::size_t page_capacity_;
+  unsigned max_global_depth_;
+  unsigned global_depth_ = 0;
+  std::vector<std::shared_ptr<Page>> dir_;
+  std::uint64_t num_keys_ = 0;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_HASHING_EXTENDIBLE_H_

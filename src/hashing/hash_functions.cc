@@ -1,0 +1,161 @@
+#include "hashing/hash_functions.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/bitops.h"
+
+namespace fxdist {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t z) {
+  // SplitMix64 finalizer: full-avalanche 64-bit mix.
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Status CheckRange(std::uint64_t range) {
+  if (!IsPowerOfTwo(range)) {
+    return Status::InvalidArgument("hash range " + std::to_string(range) +
+                                   " is not a power of two");
+  }
+  return Status::OK();
+}
+
+class DivisionHasher final : public FieldHasher {
+ public:
+  explicit DivisionHasher(std::uint64_t range) : FieldHasher(range) {}
+
+  Result<std::uint64_t> Hash(const FieldValue& value) const override {
+    if (TypeOf(value) != ValueType::kInt64) {
+      return Status::InvalidArgument("division hasher expects int64, got " +
+                                     std::string(ValueTypeToString(
+                                         TypeOf(value))));
+    }
+    const auto v = std::get<std::int64_t>(value);
+    const auto u = static_cast<std::uint64_t>(v < 0 ? -(v + 1) : v);
+    return TruncateMod(u, range_);
+  }
+
+  std::string name() const override { return "division"; }
+};
+
+class MultiplicativeHasher final : public FieldHasher {
+ public:
+  MultiplicativeHasher(std::uint64_t range, std::uint64_t seed)
+      : FieldHasher(range), seed_(seed) {}
+
+  Result<std::uint64_t> Hash(const FieldValue& value) const override {
+    if (TypeOf(value) != ValueType::kInt64) {
+      return Status::InvalidArgument(
+          "multiplicative hasher expects int64, got " +
+          std::string(ValueTypeToString(TypeOf(value))));
+    }
+    const auto u =
+        static_cast<std::uint64_t>(std::get<std::int64_t>(value));
+    // Fibonacci multiplier (2^64 / phi), then take the *top* bits — the
+    // textbook multiplicative scheme — and XOR the seed into the key.
+    const std::uint64_t h = (u ^ Mix64(seed_)) * 0x9E3779B97F4A7C15ull;
+    const unsigned bits = Log2Exact(range_);
+    return bits == 0 ? 0 : (h >> (64 - bits));
+  }
+
+  std::string name() const override { return "multiplicative"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class StringFnvHasher final : public FieldHasher {
+ public:
+  StringFnvHasher(std::uint64_t range, std::uint64_t seed)
+      : FieldHasher(range), seed_(seed) {}
+
+  Result<std::uint64_t> Hash(const FieldValue& value) const override {
+    if (TypeOf(value) != ValueType::kString) {
+      return Status::InvalidArgument("string hasher expects string, got " +
+                                     std::string(ValueTypeToString(
+                                         TypeOf(value))));
+    }
+    const std::string& s = std::get<std::string>(value);
+    std::uint64_t h = 0xCBF29CE484222325ull ^ Mix64(seed_);
+    for (char ch : s) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 0x100000001B3ull;  // FNV-1a prime.
+    }
+    return TruncateMod(Mix64(h), range_);
+  }
+
+  std::string name() const override { return "fnv1a"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class DoubleHasher final : public FieldHasher {
+ public:
+  DoubleHasher(std::uint64_t range, std::uint64_t seed)
+      : FieldHasher(range), seed_(seed) {}
+
+  Result<std::uint64_t> Hash(const FieldValue& value) const override {
+    if (TypeOf(value) != ValueType::kDouble) {
+      return Status::InvalidArgument("double hasher expects double, got " +
+                                     std::string(ValueTypeToString(
+                                         TypeOf(value))));
+    }
+    double d = std::get<double>(value);
+    if (d == 0.0) d = 0.0;  // Collapse -0.0 and +0.0.
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return TruncateMod(Mix64(bits ^ seed_), range_);
+  }
+
+  std::string name() const override { return "double-bits"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FieldHasher>> MakeDivisionHasher(std::uint64_t range) {
+  FXDIST_RETURN_NOT_OK(CheckRange(range));
+  return std::unique_ptr<FieldHasher>(new DivisionHasher(range));
+}
+
+Result<std::unique_ptr<FieldHasher>> MakeMultiplicativeHasher(
+    std::uint64_t range, std::uint64_t seed) {
+  FXDIST_RETURN_NOT_OK(CheckRange(range));
+  return std::unique_ptr<FieldHasher>(new MultiplicativeHasher(range, seed));
+}
+
+Result<std::unique_ptr<FieldHasher>> MakeStringHasher(std::uint64_t range,
+                                                      std::uint64_t seed) {
+  FXDIST_RETURN_NOT_OK(CheckRange(range));
+  return std::unique_ptr<FieldHasher>(new StringFnvHasher(range, seed));
+}
+
+Result<std::unique_ptr<FieldHasher>> MakeDoubleHasher(std::uint64_t range,
+                                                      std::uint64_t seed) {
+  FXDIST_RETURN_NOT_OK(CheckRange(range));
+  return std::unique_ptr<FieldHasher>(new DoubleHasher(range, seed));
+}
+
+Result<std::unique_ptr<FieldHasher>> MakeDefaultHasher(ValueType type,
+                                                       std::uint64_t range,
+                                                       std::uint64_t seed) {
+  switch (type) {
+    case ValueType::kInt64:
+      return MakeMultiplicativeHasher(range, seed);
+    case ValueType::kString:
+      return MakeStringHasher(range, seed);
+    case ValueType::kDouble:
+      return MakeDoubleHasher(range, seed);
+  }
+  return Status::InvalidArgument("unknown value type");
+}
+
+}  // namespace fxdist

@@ -1,0 +1,65 @@
+// Per-field hash functions H_i : value -> {0, ..., F_i - 1}.
+//
+// Each field of a multi-key hash file has its own hash function whose range
+// is that field's (power-of-two) directory size, as in the partitioned /
+// dynamic hashing schemes the paper builds on.  All hashers here are
+// deterministic, seedable, and produce well-mixed low bits so that
+// truncation to F values is safe.
+
+#ifndef FXDIST_HASHING_HASH_FUNCTIONS_H_
+#define FXDIST_HASHING_HASH_FUNCTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hashing/value.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// Hashes one field's values into [0, range).
+class FieldHasher {
+ public:
+  virtual ~FieldHasher() = default;
+
+  /// The field directory size F (a power of two).
+  std::uint64_t range() const { return range_; }
+
+  /// Hash of `value`; must be < range().  Returns an error if the value's
+  /// type does not match the hasher.
+  virtual Result<std::uint64_t> Hash(const FieldValue& value) const = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  explicit FieldHasher(std::uint64_t range) : range_(range) {}
+  std::uint64_t range_;
+};
+
+/// Division hashing for integers: |v| mod F.  Order-preserving within a
+/// block; the classic choice when key distribution is already uniform.
+Result<std::unique_ptr<FieldHasher>> MakeDivisionHasher(std::uint64_t range);
+
+/// Multiplicative (Fibonacci) hashing for integers: well-mixed even for
+/// clustered keys.  `seed` perturbs the multiplier stream.
+Result<std::unique_ptr<FieldHasher>> MakeMultiplicativeHasher(
+    std::uint64_t range, std::uint64_t seed = 0);
+
+/// FNV-1a for strings, folded to the range.
+Result<std::unique_ptr<FieldHasher>> MakeStringHasher(std::uint64_t range,
+                                                      std::uint64_t seed = 0);
+
+/// Doubles: hashes the IEEE bit pattern (normalizing -0.0 to 0.0).
+Result<std::unique_ptr<FieldHasher>> MakeDoubleHasher(std::uint64_t range,
+                                                      std::uint64_t seed = 0);
+
+/// Picks a sensible default hasher for `type`: multiplicative for ints,
+/// FNV for strings, bit-pattern for doubles.
+Result<std::unique_ptr<FieldHasher>> MakeDefaultHasher(ValueType type,
+                                                       std::uint64_t range,
+                                                       std::uint64_t seed = 0);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_HASHING_HASH_FUNCTIONS_H_

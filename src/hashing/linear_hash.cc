@@ -1,0 +1,71 @@
+#include "hashing/linear_hash.h"
+
+#include <utility>
+
+#include "util/bitops.h"
+
+namespace fxdist {
+
+LinearHashDirectory::LinearHashDirectory(std::size_t page_capacity,
+                                         double max_load_factor)
+    : page_capacity_(page_capacity), max_load_factor_(max_load_factor) {
+  buckets_.emplace_back();
+}
+
+Result<LinearHashDirectory> LinearHashDirectory::Create(
+    std::size_t page_capacity, double max_load_factor) {
+  if (page_capacity == 0) {
+    return Status::InvalidArgument("page capacity must be >= 1");
+  }
+  if (max_load_factor <= 0.0 || max_load_factor > 1.0) {
+    return Status::InvalidArgument("load factor must be in (0, 1]");
+  }
+  return LinearHashDirectory(page_capacity, max_load_factor);
+}
+
+double LinearHashDirectory::LoadFactor() const {
+  return static_cast<double>(num_keys_) /
+         (static_cast<double>(buckets_.size()) *
+          static_cast<double>(page_capacity_));
+}
+
+std::uint64_t LinearHashDirectory::BucketOf(std::uint64_t hash) const {
+  const std::uint64_t low = std::uint64_t{1} << level_;
+  std::uint64_t b = hash & (low - 1);
+  if (b < split_) {
+    b = hash & (2 * low - 1);
+  }
+  return b;
+}
+
+void LinearHashDirectory::Insert(std::uint64_t hash) {
+  ++num_keys_;
+  buckets_[BucketOf(hash)].push_back(hash);
+  while (LoadFactor() > max_load_factor_) {
+    SplitNext();
+  }
+}
+
+void LinearHashDirectory::SplitNext() {
+  const std::uint64_t low = std::uint64_t{1} << level_;
+  [[maybe_unused]] const std::uint64_t image = split_ + low;  // new bucket
+  buckets_.emplace_back();
+  std::vector<std::uint64_t> keys = std::move(buckets_[split_]);
+  buckets_[split_].clear();
+  for (std::uint64_t h : keys) {
+    const std::uint64_t b = h & (2 * low - 1);
+    FXDIST_DCHECK(b == split_ || b == image);
+    buckets_[b].push_back(h);
+  }
+  ++split_;
+  if (split_ == low) {
+    split_ = 0;
+    ++level_;
+  }
+}
+
+std::uint64_t LinearHashDirectory::PowerOfTwoCeiling() const {
+  return CeilPowerOfTwo(num_buckets());
+}
+
+}  // namespace fxdist

@@ -1,0 +1,66 @@
+// Linear hashing (Litwin 1980; Larson's partial expansions are cited by
+// the paper alongside it).
+//
+// Unlike extendible hashing, linear hashing grows the bucket count by
+// *one* at a time: a split pointer sweeps the level-l buckets; bucket s
+// splits by rehashing modulo 2^(l+1), and when the sweep completes the
+// level increments.  Growth is driven by a load-factor threshold
+// (controlled splitting), so bucket counts are usually NOT powers of two —
+// which is precisely why the FX paper's power-of-two assumption binds to
+// *level boundaries* of such files.  PowerOfTwoCeiling() exposes the next
+// boundary for use as a FieldSpec size.
+
+#ifndef FXDIST_HASHING_LINEAR_HASH_H_
+#define FXDIST_HASHING_LINEAR_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fxdist {
+
+class LinearHashDirectory {
+ public:
+  /// Splits whenever keys / (buckets * page_capacity) exceeds
+  /// `max_load_factor`.
+  static Result<LinearHashDirectory> Create(std::size_t page_capacity,
+                                            double max_load_factor = 0.8);
+
+  void Insert(std::uint64_t hash);
+
+  /// Current bucket count N = 2^level + split_pointer.
+  std::uint64_t num_buckets() const { return buckets_.size(); }
+  unsigned level() const { return level_; }
+  std::uint64_t split_pointer() const { return split_; }
+  std::uint64_t num_keys() const { return num_keys_; }
+  double LoadFactor() const;
+
+  /// Litwin's address function: h mod 2^level, re-addressed through
+  /// 2^(level+1) for already-split buckets.
+  std::uint64_t BucketOf(std::uint64_t hash) const;
+
+  const std::vector<std::uint64_t>& BucketKeys(std::uint64_t bucket) const {
+    return buckets_[bucket];
+  }
+
+  /// Smallest power of two >= num_buckets(): the next level boundary,
+  /// usable as a power-of-two FieldSpec size.
+  std::uint64_t PowerOfTwoCeiling() const;
+
+ private:
+  LinearHashDirectory(std::size_t page_capacity, double max_load_factor);
+
+  void SplitNext();
+
+  std::size_t page_capacity_;
+  double max_load_factor_;
+  unsigned level_ = 0;
+  std::uint64_t split_ = 0;
+  std::vector<std::vector<std::uint64_t>> buckets_;
+  std::uint64_t num_keys_ = 0;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_HASHING_LINEAR_HASH_H_

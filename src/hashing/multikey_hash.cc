@@ -1,0 +1,90 @@
+#include "hashing/multikey_hash.h"
+
+#include "util/bitops.h"
+
+namespace fxdist {
+
+Result<Schema> Schema::Create(std::vector<FieldDecl> fields) {
+  if (fields.empty()) {
+    return Status::InvalidArgument("schema needs at least one field");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name.empty()) {
+      return Status::InvalidArgument("field " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    if (!IsPowerOfTwo(fields[i].directory_size)) {
+      return Status::InvalidArgument(
+          "field '" + fields[i].name + "' directory size " +
+          std::to_string(fields[i].directory_size) +
+          " is not a power of two");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (fields[j].name == fields[i].name) {
+        return Status::AlreadyExists("duplicate field name: " +
+                                     fields[i].name);
+      }
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+Result<unsigned> Schema::FieldIndex(const std::string& name) const {
+  for (unsigned i = 0; i < num_fields(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+Result<FieldSpec> Schema::ToFieldSpec(std::uint64_t num_devices) const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(fields_.size());
+  for (const auto& f : fields_) sizes.push_back(f.directory_size);
+  return FieldSpec::Create(std::move(sizes), num_devices);
+}
+
+Result<MultiKeyHash> MultiKeyHash::Create(const Schema& schema,
+                                          std::uint64_t seed) {
+  std::vector<std::shared_ptr<FieldHasher>> hashers;
+  hashers.reserve(schema.num_fields());
+  for (unsigned i = 0; i < schema.num_fields(); ++i) {
+    const FieldDecl& f = schema.field(i);
+    auto h = MakeDefaultHasher(f.type, f.directory_size, seed + i);
+    FXDIST_RETURN_NOT_OK(h.status());
+    hashers.push_back(std::shared_ptr<FieldHasher>(std::move(*h)));
+  }
+  return MultiKeyHash(schema, std::move(hashers));
+}
+
+Result<BucketId> MultiKeyHash::HashRecord(const Record& record) const {
+  if (record.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "record has " + std::to_string(record.size()) + " fields, schema " +
+        std::to_string(schema_.num_fields()));
+  }
+  BucketId bucket(record.size());
+  for (unsigned i = 0; i < schema_.num_fields(); ++i) {
+    auto h = hashers_[i]->Hash(record[i]);
+    FXDIST_RETURN_NOT_OK(h.status());
+    bucket[i] = *h;
+  }
+  return bucket;
+}
+
+Result<PartialMatchQuery> MultiKeyHash::HashQuery(
+    const FieldSpec& spec, const ValueQuery& query) const {
+  if (query.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("query arity mismatch");
+  }
+  std::vector<std::optional<std::uint64_t>> hashed(query.size());
+  for (unsigned i = 0; i < schema_.num_fields(); ++i) {
+    if (query[i].has_value()) {
+      auto h = hashers_[i]->Hash(*query[i]);
+      FXDIST_RETURN_NOT_OK(h.status());
+      hashed[i] = *h;
+    }
+  }
+  return PartialMatchQuery::Create(spec, std::move(hashed));
+}
+
+}  // namespace fxdist

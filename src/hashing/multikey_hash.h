@@ -1,0 +1,87 @@
+// Schema + MultiKeyHash: H(r) = <H_1(r_1), ..., H_n(r_n)>.
+//
+// A Schema names and types the fields and fixes each field's directory
+// size F_i; MultiKeyHash owns one hasher per field and maps records to
+// bucket coordinates.  It also lifts application-level partial match
+// queries (values on some fields) into hashed PartialMatchQuery objects.
+
+#ifndef FXDIST_HASHING_MULTIKEY_HASH_H_
+#define FXDIST_HASHING_MULTIKEY_HASH_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bucket.h"
+#include "core/field_spec.h"
+#include "core/query.h"
+#include "hashing/hash_functions.h"
+#include "hashing/value.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// One field's declaration.
+struct FieldDecl {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  std::uint64_t directory_size = 1;  ///< F_i, a power of two.
+};
+
+/// An ordered set of field declarations.
+class Schema {
+ public:
+  static Result<Schema> Create(std::vector<FieldDecl> fields);
+
+  unsigned num_fields() const {
+    return static_cast<unsigned>(fields_.size());
+  }
+  const FieldDecl& field(unsigned i) const { return fields_[i]; }
+
+  /// Index of the field named `name`.
+  Result<unsigned> FieldIndex(const std::string& name) const;
+
+  /// The FieldSpec induced by the directory sizes.
+  Result<FieldSpec> ToFieldSpec(std::uint64_t num_devices) const;
+
+ private:
+  explicit Schema(std::vector<FieldDecl> fields)
+      : fields_(std::move(fields)) {}
+  std::vector<FieldDecl> fields_;
+};
+
+/// An application-level partial match query: per-field optional values.
+using ValueQuery = std::vector<std::optional<FieldValue>>;
+
+/// Multi-key hash function over a Schema.
+class MultiKeyHash {
+ public:
+  /// Default hashers per field type; `seed` varies the hash family.
+  static Result<MultiKeyHash> Create(const Schema& schema,
+                                     std::uint64_t seed = 0);
+
+  const Schema& schema() const { return schema_; }
+
+  /// H(r): one bucket coordinate per field.  Validates record arity and
+  /// field types.
+  Result<BucketId> HashRecord(const Record& record) const;
+
+  /// Lifts a value-level query to the hashed domain: specified values are
+  /// hashed, wildcards stay wildcards.
+  Result<PartialMatchQuery> HashQuery(const FieldSpec& spec,
+                                      const ValueQuery& query) const;
+
+ private:
+  MultiKeyHash(Schema schema,
+               std::vector<std::shared_ptr<FieldHasher>> hashers)
+      : schema_(std::move(schema)), hashers_(std::move(hashers)) {}
+
+  Schema schema_;
+  // shared_ptr so MultiKeyHash stays copyable (hashers are immutable).
+  std::vector<std::shared_ptr<FieldHasher>> hashers_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_HASHING_MULTIKEY_HASH_H_

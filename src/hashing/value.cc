@@ -1,0 +1,50 @@
+#include "hashing/value.h"
+
+#include <sstream>
+
+namespace fxdist {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType TypeOf(const FieldValue& value) {
+  return static_cast<ValueType>(value.index());
+}
+
+std::string FieldValueToString(const FieldValue& value) {
+  std::ostringstream oss;
+  switch (TypeOf(value)) {
+    case ValueType::kInt64:
+      oss << std::get<std::int64_t>(value);
+      break;
+    case ValueType::kDouble:
+      oss << std::get<double>(value);
+      break;
+    case ValueType::kString:
+      oss << '"' << std::get<std::string>(value) << '"';
+      break;
+  }
+  return oss.str();
+}
+
+std::string RecordToString(const Record& record) {
+  std::ostringstream oss;
+  oss << '(';
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    if (i != 0) oss << ", ";
+    oss << FieldValueToString(record[i]);
+  }
+  oss << ')';
+  return oss.str();
+}
+
+}  // namespace fxdist

@@ -1,0 +1,39 @@
+// Typed attribute values and records.
+//
+// The declustering core works on hashed bucket coordinates; this layer is
+// the substrate that turns application records (ints, doubles, strings)
+// into those coordinates via per-field hash functions.
+
+#ifndef FXDIST_HASHING_VALUE_H_
+#define FXDIST_HASHING_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fxdist {
+
+/// One attribute value.
+using FieldValue = std::variant<std::int64_t, double, std::string>;
+
+/// One application record: one value per field.
+using Record = std::vector<FieldValue>;
+
+/// Value type tags, aligned with the FieldValue alternatives.
+enum class ValueType { kInt64 = 0, kDouble = 1, kString = 2 };
+
+const char* ValueTypeToString(ValueType type);
+
+/// The type tag of a value.
+ValueType TypeOf(const FieldValue& value);
+
+/// Human-readable rendering ("42", "3.14", "\"abc\"").
+std::string FieldValueToString(const FieldValue& value);
+
+/// Renders a record as "(v1, v2, ...)".
+std::string RecordToString(const Record& record);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_HASHING_VALUE_H_

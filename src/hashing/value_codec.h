@@ -1,0 +1,33 @@
+// Text encoding of FieldValues, shared by the ParallelFile persistence
+// format and workload traces.
+//
+//   int64:   i:<decimal>
+//   double:  d:<16 hex digits>   (IEEE bits; exact round trip)
+//   string:  s:<len>:<bytes>     (length-prefixed; any byte allowed)
+
+#ifndef FXDIST_HASHING_VALUE_CODEC_H_
+#define FXDIST_HASHING_VALUE_CODEC_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "hashing/value.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// Writes "<len>:<bytes>".
+void EncodeLengthPrefixed(std::ostream& os, const std::string& s);
+
+/// Reads "<len>:<bytes>" (skipping leading whitespace).
+Result<std::string> DecodeLengthPrefixed(std::istream& in);
+
+/// Writes one tagged value.
+void EncodeValue(std::ostream& os, const FieldValue& value);
+
+/// Reads one tagged value (skipping leading whitespace).
+Result<FieldValue> DecodeValue(std::istream& in);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_HASHING_VALUE_CODEC_H_

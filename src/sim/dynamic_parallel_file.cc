@@ -1,0 +1,175 @@
+#include "sim/dynamic_parallel_file.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/optimality.h"
+
+namespace fxdist {
+
+namespace {
+// Full-width per-field hashes; directories take as many low bits as their
+// global depth currently needs.
+constexpr std::uint64_t kHashRange = std::uint64_t{1} << 32;
+}  // namespace
+
+DynamicParallelFile::DynamicParallelFile(std::vector<DynamicFieldDecl> fields,
+                                         std::uint64_t num_devices,
+                                         PlanFamily family)
+    : fields_(std::move(fields)), num_devices_(num_devices), family_(family),
+      spec_(FieldSpec::Create(
+                std::vector<std::uint64_t>(fields_.size(), 1), num_devices)
+                .value()) {
+  method_ = FXDistribution::Planned(spec_, family_);
+  devices_.reserve(num_devices_);
+  for (std::uint64_t d = 0; d < num_devices_; ++d) devices_.emplace_back(d);
+}
+
+Result<DynamicParallelFile> DynamicParallelFile::Create(
+    std::vector<DynamicFieldDecl> fields, std::uint64_t num_devices,
+    std::size_t page_capacity, PlanFamily family, std::uint64_t seed) {
+  if (fields.empty()) {
+    return Status::InvalidArgument("need at least one field");
+  }
+  for (const auto& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("field names must be non-empty");
+    }
+  }
+  if ((num_devices & (num_devices - 1)) != 0 || num_devices == 0) {
+    return Status::InvalidArgument("device count must be a power of two");
+  }
+  DynamicParallelFile file(std::move(fields), num_devices, family);
+  for (unsigned i = 0; i < file.fields_.size(); ++i) {
+    auto hasher =
+        MakeDefaultHasher(file.fields_[i].type, kHashRange, seed + i);
+    FXDIST_RETURN_NOT_OK(hasher.status());
+    file.hashers_.push_back(std::shared_ptr<FieldHasher>(std::move(*hasher)));
+    auto dir = ExtendibleDirectory::Create(page_capacity);
+    FXDIST_RETURN_NOT_OK(dir.status());
+    file.dirs_.push_back(*std::move(dir));
+  }
+  return file;
+}
+
+Status DynamicParallelFile::Insert(Record record) {
+  if (record.size() != fields_.size()) {
+    return Status::InvalidArgument("record arity mismatch");
+  }
+  if (records_.size() >
+      static_cast<std::size_t>(std::numeric_limits<RecordIndex>::max())) {
+    return Status::OutOfRange("record arena full");
+  }
+  std::vector<std::uint64_t> hashes(fields_.size());
+  for (unsigned i = 0; i < fields_.size(); ++i) {
+    auto h = hashers_[i]->Hash(record[i]);
+    FXDIST_RETURN_NOT_OK(h.status());
+    hashes[i] = *h;
+  }
+  // Feed the directories first: growth must be visible before placement.
+  for (unsigned i = 0; i < fields_.size(); ++i) {
+    dirs_[i].Insert(hashes[i]);
+  }
+  const auto index = static_cast<RecordIndex>(records_.size());
+  records_.push_back(std::move(record));
+  record_hashes_.push_back(std::move(hashes));
+  if (!RebuildIfGrown()) {
+    PlaceRecord(index);
+  }
+  return Status::OK();
+}
+
+bool DynamicParallelFile::RebuildIfGrown() {
+  std::vector<std::uint64_t> sizes(fields_.size());
+  bool grown = false;
+  for (unsigned i = 0; i < fields_.size(); ++i) {
+    sizes[i] = dirs_[i].directory_size();
+    if (sizes[i] != spec_.field_size(i)) grown = true;
+  }
+  if (!grown) return false;
+
+  spec_ = FieldSpec::Create(std::move(sizes), num_devices_).value();
+  method_ = FXDistribution::Planned(spec_, family_);
+  devices_.clear();
+  for (std::uint64_t d = 0; d < num_devices_; ++d) devices_.emplace_back(d);
+  for (RecordIndex r = 0; r < records_.size(); ++r) {
+    PlaceRecord(r);
+  }
+  ++rebuilds_;
+  records_moved_ += records_.size();
+  return true;
+}
+
+void DynamicParallelFile::PlaceRecord(RecordIndex index) {
+  BucketId bucket(fields_.size());
+  for (unsigned i = 0; i < fields_.size(); ++i) {
+    bucket[i] = Coordinate(i, record_hashes_[index][i]);
+  }
+  devices_[method_->DeviceOf(bucket)].AddRecord(LinearIndex(spec_, bucket),
+                                                index);
+}
+
+Result<QueryResult> DynamicParallelFile::Execute(
+    const ValueQuery& query) const {
+  if (query.size() != fields_.size()) {
+    return Status::InvalidArgument("query arity mismatch");
+  }
+  std::vector<std::optional<std::uint64_t>> coords(fields_.size());
+  for (unsigned i = 0; i < fields_.size(); ++i) {
+    if (query[i].has_value()) {
+      auto h = hashers_[i]->Hash(*query[i]);
+      FXDIST_RETURN_NOT_OK(h.status());
+      coords[i] = Coordinate(i, *h);
+    }
+  }
+  auto hashed = PartialMatchQuery::Create(spec_, std::move(coords));
+  FXDIST_RETURN_NOT_OK(hashed.status());
+
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  stats.qualified_per_device.assign(num_devices_, 0);
+  for (std::uint64_t d = 0; d < num_devices_; ++d) {
+    method_->ForEachQualifiedBucketOnDevice(
+        *hashed, d, [&](const BucketId& bucket) {
+          ++stats.qualified_per_device[d];
+          const std::vector<RecordIndex>* bucket_records =
+              devices_[d].Records(LinearIndex(spec_, bucket));
+          if (bucket_records == nullptr) return true;
+          for (RecordIndex idx : *bucket_records) {
+            ++stats.records_examined;
+            const Record& record = records_[idx];
+            bool match = true;
+            for (unsigned f = 0; f < fields_.size(); ++f) {
+              if (query[f].has_value() && record[f] != *query[f]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) {
+              ++stats.records_matched;
+              result.records.push_back(record);
+            }
+          }
+          return true;
+        });
+  }
+  stats.total_qualified = 0;
+  for (std::uint64_t c : stats.qualified_per_device) {
+    stats.total_qualified += c;
+    stats.largest_response = std::max(stats.largest_response, c);
+  }
+  stats.optimal_bound = StrictOptimalBound(spec_, *hashed);
+  stats.strict_optimal = stats.largest_response <= stats.optimal_bound;
+  stats.disk_timing = DiskQueryTiming(stats.qualified_per_device);
+  return result;
+}
+
+std::vector<std::uint64_t> DynamicParallelFile::RecordCountsPerDevice()
+    const {
+  std::vector<std::uint64_t> out;
+  out.reserve(devices_.size());
+  for (const Device& d : devices_) out.push_back(d.num_records());
+  return out;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,92 @@
+// DynamicParallelFile: FX declustering over *growing* extendible-hash
+// directories.
+//
+// The static ParallelFile fixes every field directory size up front.  Real
+// dynamic-hashing files (the setting the paper assumes) grow: when a
+// field's extendible directory doubles, the bucket space — and therefore
+// the FieldSpec — changes, the transformation plan may change (a field can
+// stop being "small"), and buckets move between devices.  This class owns
+// that loop: per-field ExtendibleDirectory instances, automatic FX
+// re-planning and full redistribution on every directory doubling.
+//
+// Redistribution is the honest cost of the scheme; num_rebuilds() and
+// records_moved() expose it, and the growing_file example charts it.
+
+#ifndef FXDIST_SIM_DYNAMIC_PARALLEL_FILE_H_
+#define FXDIST_SIM_DYNAMIC_PARALLEL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fx.h"
+#include "hashing/extendible.h"
+#include "hashing/hash_functions.h"
+#include "sim/parallel_file.h"
+
+namespace fxdist {
+
+/// A field declaration without a directory size — the directory grows.
+struct DynamicFieldDecl {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+class DynamicParallelFile {
+ public:
+  /// `page_capacity`: keys per extendible-hash page before it splits.
+  static Result<DynamicParallelFile> Create(
+      std::vector<DynamicFieldDecl> fields, std::uint64_t num_devices,
+      std::size_t page_capacity, PlanFamily family = PlanFamily::kIU2,
+      std::uint64_t seed = 0);
+
+  /// Hashes, stores, and (on directory growth) redistributes.
+  Status Insert(Record record);
+
+  /// Partial match over the *current* directory state.
+  Result<QueryResult> Execute(const ValueQuery& query) const;
+
+  /// Current bucket-space shape (changes as directories double).
+  const FieldSpec& spec() const { return spec_; }
+  const FXDistribution& method() const { return *method_; }
+
+  std::uint64_t num_records() const { return records_.size(); }
+  /// How many times a directory doubling forced a redistribution.
+  std::uint64_t num_rebuilds() const { return rebuilds_; }
+  /// Total record placements performed by those rebuilds.
+  std::uint64_t records_moved() const { return records_moved_; }
+
+  std::vector<std::uint64_t> RecordCountsPerDevice() const;
+
+ private:
+  DynamicParallelFile(std::vector<DynamicFieldDecl> fields,
+                      std::uint64_t num_devices, PlanFamily family);
+
+  /// Field-hash -> current bucket coordinate.
+  std::uint64_t Coordinate(unsigned field, std::uint64_t hash) const {
+    return hash & (spec_.field_size(field) - 1);
+  }
+
+  /// Recomputes spec_/method_ from directory sizes and re-places all
+  /// records.  Returns true if the spec actually changed.
+  bool RebuildIfGrown();
+  void PlaceRecord(RecordIndex index);
+
+  std::vector<DynamicFieldDecl> fields_;
+  std::uint64_t num_devices_;
+  PlanFamily family_;
+  std::vector<std::shared_ptr<FieldHasher>> hashers_;  // 2^32-wide hashes
+  std::vector<ExtendibleDirectory> dirs_;
+  FieldSpec spec_;
+  std::unique_ptr<FXDistribution> method_;
+  std::vector<Device> devices_;
+  std::vector<Record> records_;
+  std::vector<std::vector<std::uint64_t>> record_hashes_;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t records_moved_ = 0;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_SIM_DYNAMIC_PARALLEL_FILE_H_

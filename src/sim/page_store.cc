@@ -1,0 +1,113 @@
+#include "sim/page_store.h"
+
+#include <algorithm>
+
+namespace fxdist {
+
+Result<PageStore> PageStore::Create(std::size_t records_per_page) {
+  if (records_per_page == 0) {
+    return Status::InvalidArgument("page capacity must be >= 1");
+  }
+  return PageStore(records_per_page);
+}
+
+std::uint32_t PageStore::AllocatePage() {
+  if (!free_.empty()) {
+    const std::uint32_t id = free_.back();
+    free_.pop_back();
+    pages_[id] = Page{};
+    return id;
+  }
+  pages_.emplace_back();
+  return static_cast<std::uint32_t>(pages_.size() - 1);
+}
+
+void PageStore::Add(std::uint64_t bucket, RecordIndex record) {
+  auto it = heads_.find(bucket);
+  if (it == heads_.end()) {
+    const std::uint32_t page = AllocatePage();
+    heads_.emplace(bucket, page);
+    pages_[page].records.push_back(record);
+    ++num_records_;
+    return;
+  }
+  // Walk to the last page; append there or chain a new page.
+  std::uint32_t page = it->second;
+  while (pages_[page].next != kNone) page = pages_[page].next;
+  if (pages_[page].records.size() >= records_per_page_) {
+    const std::uint32_t fresh = AllocatePage();
+    pages_[page].next = fresh;
+    page = fresh;
+  }
+  pages_[page].records.push_back(record);
+  ++num_records_;
+}
+
+bool PageStore::Remove(std::uint64_t bucket, RecordIndex record) {
+  auto it = heads_.find(bucket);
+  if (it == heads_.end()) return false;
+  std::uint32_t prev = kNone;
+  std::uint32_t page = it->second;
+  while (page != kNone) {
+    auto& records = pages_[page].records;
+    auto pos = std::find(records.begin(), records.end(), record);
+    if (pos != records.end()) {
+      records.erase(pos);
+      --num_records_;
+      if (records.empty()) {
+        // Unlink and recycle.
+        if (prev == kNone) {
+          if (pages_[page].next == kNone) {
+            heads_.erase(it);
+          } else {
+            it->second = pages_[page].next;
+          }
+        } else {
+          pages_[prev].next = pages_[page].next;
+        }
+        free_.push_back(page);
+      }
+      return true;
+    }
+    prev = page;
+    page = pages_[page].next;
+  }
+  return false;
+}
+
+void PageStore::Scan(std::uint64_t bucket,
+                     const std::function<bool(RecordIndex)>& fn,
+                     ReadStats* stats) const {
+  auto it = heads_.find(bucket);
+  if (it == heads_.end()) return;
+  std::uint32_t page = it->second;
+  while (page != kNone) {
+    if (stats != nullptr) ++stats->pages_read;
+    for (RecordIndex r : pages_[page].records) {
+      if (stats != nullptr) ++stats->records_scanned;
+      if (!fn(r)) return;
+    }
+    page = pages_[page].next;
+  }
+}
+
+double PageStore::Utilization() const {
+  const std::uint64_t live = num_pages();
+  if (live == 0) return 0.0;
+  return static_cast<double>(num_records_) /
+         (static_cast<double>(live) *
+          static_cast<double>(records_per_page_));
+}
+
+std::uint64_t PageStore::ChainLength(std::uint64_t bucket) const {
+  auto it = heads_.find(bucket);
+  if (it == heads_.end()) return 0;
+  std::uint64_t length = 0;
+  for (std::uint32_t page = it->second; page != kNone;
+       page = pages_[page].next) {
+    ++length;
+  }
+  return length;
+}
+
+}  // namespace fxdist

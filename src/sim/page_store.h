@@ -1,0 +1,79 @@
+// PageStore: one device's local bucket storage on fixed-capacity pages.
+//
+// The paper's two-stage model (its §1, after [PrKi88]) separates
+// *distribution* (which device) from *construction* (how the device lays
+// its share out).  The simulator's default Device uses an in-memory map;
+// PageStore is the disk-shaped alternative: records of a bucket live in a
+// chain of fixed-capacity pages, reads walk the chain, and the store
+// accounts pages read / records scanned — the unit the disk timing model
+// prices.  Deletions feed a free list so pages are recycled.
+
+#ifndef FXDIST_SIM_PAGE_STORE_H_
+#define FXDIST_SIM_PAGE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+class PageStore {
+ public:
+  static Result<PageStore> Create(std::size_t records_per_page);
+
+  /// Appends a record to `bucket`'s chain (allocating/recycling pages).
+  void Add(std::uint64_t bucket, RecordIndex record);
+
+  /// Removes one occurrence; returns false if absent.  A page that
+  /// empties is unlinked and recycled.
+  bool Remove(std::uint64_t bucket, RecordIndex record);
+
+  struct ReadStats {
+    std::uint64_t pages_read = 0;
+    std::uint64_t records_scanned = 0;
+  };
+
+  /// Visits every record in `bucket`, charging one page read per chain
+  /// page.  `fn` returning false stops early (the current page is still
+  /// charged).  `stats` may be null.
+  void Scan(std::uint64_t bucket,
+            const std::function<bool(RecordIndex)>& fn,
+            ReadStats* stats = nullptr) const;
+
+  std::uint64_t num_records() const { return num_records_; }
+  /// Pages currently in use (allocated minus free-listed).
+  std::uint64_t num_pages() const { return pages_.size() - free_.size(); }
+  /// records / (live pages * capacity); 0 when empty.
+  double Utilization() const;
+  /// Chain length (pages) of one bucket.
+  std::uint64_t ChainLength(std::uint64_t bucket) const;
+
+ private:
+  static constexpr std::uint32_t kNone =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Page {
+    std::vector<RecordIndex> records;
+    std::uint32_t next = kNone;
+  };
+
+  explicit PageStore(std::size_t records_per_page)
+      : records_per_page_(records_per_page) {}
+
+  std::uint32_t AllocatePage();
+
+  std::size_t records_per_page_;
+  std::vector<Page> pages_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<std::uint64_t, std::uint32_t> heads_;
+  std::uint64_t num_records_ = 0;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_SIM_PAGE_STORE_H_

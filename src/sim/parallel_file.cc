@@ -1,0 +1,186 @@
+#include "sim/parallel_file.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "analysis/optimality.h"
+#include "core/registry.h"
+
+namespace fxdist {
+
+ParallelFile::ParallelFile(FieldSpec spec, MultiKeyHash hash,
+                           std::unique_ptr<DistributionMethod> method)
+    : spec_(std::move(spec)), hash_(std::move(hash)),
+      method_(std::move(method)) {
+  devices_.reserve(spec_.num_devices());
+  for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
+    devices_.emplace_back(d);
+  }
+}
+
+Result<ParallelFile> ParallelFile::Create(const Schema& schema,
+                                          std::uint64_t num_devices,
+                                          const std::string& distribution,
+                                          std::uint64_t seed) {
+  auto spec = schema.ToFieldSpec(num_devices);
+  FXDIST_RETURN_NOT_OK(spec.status());
+  auto hash = MultiKeyHash::Create(schema, seed);
+  FXDIST_RETURN_NOT_OK(hash.status());
+  auto method = MakeDistribution(*spec, distribution);
+  FXDIST_RETURN_NOT_OK(method.status());
+  ParallelFile file(*std::move(spec), *std::move(hash),
+                    *std::move(method));
+  file.distribution_spec_ = distribution;
+  file.hash_seed_ = seed;
+  return file;
+}
+
+Status ParallelFile::Insert(Record record) {
+  auto bucket = hash_.HashRecord(record);
+  FXDIST_RETURN_NOT_OK(bucket.status());
+  if (records_.size() >
+      static_cast<std::size_t>(std::numeric_limits<RecordIndex>::max())) {
+    return Status::OutOfRange("record arena full");
+  }
+  const std::uint64_t device = method_->DeviceOf(*bucket);
+  const auto index = static_cast<RecordIndex>(records_.size());
+  records_.push_back(std::move(record));
+  devices_[device].AddRecord(LinearIndex(spec_, *bucket), index);
+  ++live_records_;
+  return Status::OK();
+}
+
+Result<std::uint64_t> ParallelFile::Delete(const ValueQuery& query) {
+  auto hashed = hash_.HashQuery(spec_, query);
+  FXDIST_RETURN_NOT_OK(hashed.status());
+  // Collect (bucket, record) victims first; mutating a bucket while the
+  // inverse mapping iterates it would invalidate the walk.
+  std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t,
+                                                 RecordIndex>>> victims;
+  for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
+    method_->ForEachQualifiedBucketOnDevice(
+        *hashed, d, [&](const BucketId& bucket) {
+          const std::uint64_t linear = LinearIndex(spec_, bucket);
+          const std::vector<RecordIndex>* bucket_records =
+              devices_[d].Records(linear);
+          if (bucket_records == nullptr) return true;
+          for (RecordIndex idx : *bucket_records) {
+            const Record& record = records_[idx];
+            bool match = true;
+            for (unsigned f = 0; f < spec_.num_fields(); ++f) {
+              if (query[f].has_value() && record[f] != *query[f]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) victims.push_back({d, {linear, idx}});
+          }
+          return true;
+        });
+  }
+  for (const auto& [device, entry] : victims) {
+    const bool removed =
+        devices_[device].RemoveRecord(entry.first, entry.second);
+    FXDIST_DCHECK(removed);
+    (void)removed;
+    records_[entry.second].clear();  // tombstone
+    --live_records_;
+  }
+  return static_cast<std::uint64_t>(victims.size());
+}
+
+Result<std::uint64_t> ParallelFile::Update(const ValueQuery& query,
+                                           const Record& replacement) {
+  auto removed = Delete(query);
+  FXDIST_RETURN_NOT_OK(removed.status());
+  for (std::uint64_t i = 0; i < *removed; ++i) {
+    FXDIST_RETURN_NOT_OK(Insert(replacement));
+  }
+  return *removed;
+}
+
+Result<QueryResult> ParallelFile::Execute(const ValueQuery& query,
+                                          ThreadPool* pool) const {
+  auto hashed = hash_.HashQuery(spec_, query);
+  FXDIST_RETURN_NOT_OK(hashed.status());
+
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  stats.qualified_per_device.assign(spec_.num_devices(), 0);
+
+  // Per-device partial results: devices share no state, so each task
+  // writes only to its own slot.
+  struct DeviceShare {
+    std::vector<RecordIndex> matched;
+    std::uint64_t examined = 0;
+  };
+  std::vector<DeviceShare> shares(spec_.num_devices());
+
+  stats.device_wall_ms.assign(spec_.num_devices(), 0.0);
+  auto run_device = [&](std::uint64_t d) {
+    const auto device_start = std::chrono::steady_clock::now();
+    DeviceShare& share = shares[d];
+    method_->ForEachQualifiedBucketOnDevice(
+        *hashed, d, [&](const BucketId& bucket) {
+          ++stats.qualified_per_device[d];
+          const std::vector<RecordIndex>* bucket_records =
+              devices_[d].Records(LinearIndex(spec_, bucket));
+          if (bucket_records == nullptr) return true;
+          for (RecordIndex idx : *bucket_records) {
+            ++share.examined;
+            const Record& record = records_[idx];
+            bool match = true;
+            for (unsigned f = 0; f < spec_.num_fields(); ++f) {
+              if (query[f].has_value() && record[f] != *query[f]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) share.matched.push_back(idx);
+          }
+          return true;
+        });
+    stats.device_wall_ms[d] = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  device_start)
+                                  .count();
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (pool != nullptr) {
+    pool->ParallelFor(spec_.num_devices(), run_device);
+  } else {
+    for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) run_device(d);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+
+  for (const DeviceShare& share : shares) {
+    stats.records_examined += share.examined;
+    for (RecordIndex idx : share.matched) {
+      ++stats.records_matched;
+      result.records.push_back(records_[idx]);
+    }
+  }
+
+  stats.total_qualified = 0;
+  for (std::uint64_t c : stats.qualified_per_device) {
+    stats.total_qualified += c;
+    stats.largest_response = std::max(stats.largest_response, c);
+  }
+  stats.optimal_bound = StrictOptimalBound(spec_, *hashed);
+  stats.strict_optimal = stats.largest_response <= stats.optimal_bound;
+  stats.disk_timing = DiskQueryTiming(stats.qualified_per_device);
+  return result;
+}
+
+std::vector<std::uint64_t> ParallelFile::RecordCountsPerDevice() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(devices_.size());
+  for (const Device& d : devices_) out.push_back(d.num_records());
+  return out;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,161 @@
+#include "sim/persistence.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "hashing/value_codec.h"
+
+namespace fxdist {
+
+namespace {
+
+const char* TypeTag(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<ValueType> ParseTypeTag(const std::string& tag) {
+  if (tag == "int64") return ValueType::kInt64;
+  if (tag == "double") return ValueType::kDouble;
+  if (tag == "string") return ValueType::kString;
+  return Status::InvalidArgument("unknown field type: " + tag);
+}
+
+/// Token-stream reader with length-prefixed string support.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  Result<std::string> Word() {
+    std::string w;
+    if (!(in_ >> w)) return Status::InvalidArgument("unexpected EOF");
+    return w;
+  }
+
+  Result<std::uint64_t> U64() {
+    std::uint64_t v = 0;
+    if (!(in_ >> v)) return Status::InvalidArgument("expected integer");
+    return v;
+  }
+
+  Result<std::int64_t> I64() {
+    std::int64_t v = 0;
+    if (!(in_ >> v)) return Status::InvalidArgument("expected integer");
+    return v;
+  }
+
+  /// Reads "<len>:<bytes>".
+  Result<std::string> LengthPrefixed() { return DecodeLengthPrefixed(in_); }
+
+  /// Expects the literal `word` next.
+  Status Expect(const std::string& word) {
+    auto w = Word();
+    FXDIST_RETURN_NOT_OK(w.status());
+    if (*w != word) {
+      return Status::InvalidArgument("expected '" + word + "', got '" +
+                                     *w + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace
+
+Status SaveParallelFile(const ParallelFile& file, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "fxdist-file v1\n";
+  out << "devices " << file.num_devices() << '\n';
+  out << "distribution ";
+  EncodeLengthPrefixed(out, file.distribution_spec());
+  out << '\n';
+  out << "seed " << file.hash_seed() << '\n';
+  const Schema& schema = file.schema();
+  out << "fields " << schema.num_fields() << '\n';
+  for (unsigned i = 0; i < schema.num_fields(); ++i) {
+    const FieldDecl& f = schema.field(i);
+    out << "field ";
+    EncodeLengthPrefixed(out, f.name);
+    out << ' ' << TypeTag(f.type) << ' ' << f.directory_size << '\n';
+  }
+  out << "records " << file.num_records() << '\n';
+  file.ForEachRecord([&](const Record& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i != 0) out << ' ';
+      EncodeValue(out, r[i]);
+    }
+    out << '\n';
+  });
+  return out ? Status::OK() : Status::Internal("short write to " + path);
+}
+
+Result<ParallelFile> LoadParallelFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  Reader reader(in);
+  FXDIST_RETURN_NOT_OK(reader.Expect("fxdist-file"));
+  FXDIST_RETURN_NOT_OK(reader.Expect("v1"));
+  FXDIST_RETURN_NOT_OK(reader.Expect("devices"));
+  auto devices = reader.U64();
+  FXDIST_RETURN_NOT_OK(devices.status());
+  FXDIST_RETURN_NOT_OK(reader.Expect("distribution"));
+  auto distribution = reader.LengthPrefixed();
+  FXDIST_RETURN_NOT_OK(distribution.status());
+  FXDIST_RETURN_NOT_OK(reader.Expect("seed"));
+  auto seed = reader.U64();
+  FXDIST_RETURN_NOT_OK(seed.status());
+  FXDIST_RETURN_NOT_OK(reader.Expect("fields"));
+  auto num_fields = reader.U64();
+  FXDIST_RETURN_NOT_OK(num_fields.status());
+
+  std::vector<FieldDecl> fields;
+  for (std::uint64_t i = 0; i < *num_fields; ++i) {
+    FXDIST_RETURN_NOT_OK(reader.Expect("field"));
+    auto name = reader.LengthPrefixed();
+    FXDIST_RETURN_NOT_OK(name.status());
+    auto type_tag = reader.Word();
+    FXDIST_RETURN_NOT_OK(type_tag.status());
+    auto type = ParseTypeTag(*type_tag);
+    FXDIST_RETURN_NOT_OK(type.status());
+    auto size = reader.U64();
+    FXDIST_RETURN_NOT_OK(size.status());
+    fields.push_back({*std::move(name), *type, *size});
+  }
+  auto schema = Schema::Create(std::move(fields));
+  FXDIST_RETURN_NOT_OK(schema.status());
+
+  auto file =
+      ParallelFile::Create(*schema, *devices, *distribution, *seed);
+  FXDIST_RETURN_NOT_OK(file.status());
+
+  FXDIST_RETURN_NOT_OK(reader.Expect("records"));
+  auto count = reader.U64();
+  FXDIST_RETURN_NOT_OK(count.status());
+  for (std::uint64_t r = 0; r < *count; ++r) {
+    Record record;
+    record.reserve(schema->num_fields());
+    for (unsigned f = 0; f < schema->num_fields(); ++f) {
+      auto value = DecodeValue(in);
+      FXDIST_RETURN_NOT_OK(value.status());
+      record.push_back(*std::move(value));
+    }
+    FXDIST_RETURN_NOT_OK(file->Insert(std::move(record)));
+  }
+  return file;
+}
+
+}  // namespace fxdist

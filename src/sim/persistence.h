@@ -1,0 +1,40 @@
+// ParallelFile persistence: a simple versioned, self-describing text
+// format.
+//
+// The file records the construction parameters (device count,
+// distribution spec string, hash seed) and the schema, followed by every
+// live record.  Loading replays the inserts; because all hashing and
+// placement is deterministic in the seed, the reloaded file is placed
+// identically to the saved one.
+//
+// Format (token stream; strings are length-prefixed so they may contain
+// any byte):
+//
+//   fxdist-file v1
+//   devices <M>
+//   distribution <len>:<spec-string>
+//   seed <seed>
+//   fields <n>
+//   field <len>:<name> <int64|double|string> <directory-size>   (x n)
+//   records <count>
+//   i:<value> | d:<hex-bits> | s:<len>:<bytes>                  (x n per record)
+
+#ifndef FXDIST_SIM_PERSISTENCE_H_
+#define FXDIST_SIM_PERSISTENCE_H_
+
+#include <string>
+
+#include "sim/parallel_file.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// Writes `file` to `path`, overwriting.
+Status SaveParallelFile(const ParallelFile& file, const std::string& path);
+
+/// Reconstructs a ParallelFile saved by SaveParallelFile.
+Result<ParallelFile> LoadParallelFile(const std::string& path);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_SIM_PERSISTENCE_H_

@@ -1,0 +1,185 @@
+#include "sim/queueing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "analysis/fast_response.h"
+#include "core/fx.h"
+#include "core/gdm.h"
+#include "core/modulo.h"
+#include "util/random.h"
+
+namespace fxdist {
+
+namespace {
+
+/// How a method's response vector shifts with the specified values.
+enum class ShiftKind { kXor, kRotate, kNone };
+
+struct LoadModel {
+  ShiftKind shift = ShiftKind::kNone;
+  const FXDistribution* fx = nullptr;
+  const GDMDistribution* gdm = nullptr;
+  bool is_modulo = false;
+};
+
+LoadModel ClassifyMethod(const DistributionMethod& method) {
+  LoadModel model;
+  if ((model.fx = dynamic_cast<const FXDistribution*>(&method)) != nullptr) {
+    model.shift = ShiftKind::kXor;
+  } else if (dynamic_cast<const ModuloDistribution*>(&method) != nullptr) {
+    model.shift = ShiftKind::kRotate;
+    model.is_modulo = true;
+  } else if ((model.gdm = dynamic_cast<const GDMDistribution*>(&method)) !=
+             nullptr) {
+    model.shift = ShiftKind::kRotate;
+  }
+  return model;
+}
+
+/// Fold of the specified values that indexes the shifted base vector.
+std::uint64_t SpecifiedShift(const LoadModel& model,
+                             const DistributionMethod& method,
+                             const PartialMatchQuery& query) {
+  const FieldSpec& spec = method.spec();
+  if (model.shift == ShiftKind::kXor) {
+    return model.fx->SpecifiedFold(query);
+  }
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if (!query.is_specified(i)) continue;
+    const std::uint64_t mult =
+        model.is_modulo ? 1 : model.gdm->multipliers()[i];
+    sum += mult * query.value(i);
+  }
+  return sum % spec.num_devices();
+}
+
+}  // namespace
+
+Result<QueueingResult> SimulateQueueing(const DistributionMethod& method,
+                                        const QueueingConfig& config) {
+  const FieldSpec& spec = method.spec();
+  if (config.arrival_rate_qps <= 0.0) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  if (config.num_queries == 0) {
+    return Status::InvalidArgument("need at least one query");
+  }
+  const LoadModel model = ClassifyMethod(method);
+  if (model.shift == ShiftKind::kNone &&
+      spec.TotalBuckets() > config.enumeration_budget) {
+    return Status::InvalidArgument(
+        method.name() + " needs per-query enumeration and the bucket "
+                        "space exceeds the budget");
+  }
+  if (!config.device_speed_factors.empty() &&
+      config.device_speed_factors.size() != spec.num_devices()) {
+    return Status::InvalidArgument(
+        "device_speed_factors must have one entry per device");
+  }
+  for (double f : config.device_speed_factors) {
+    if (f <= 0.0) {
+      return Status::InvalidArgument("speed factors must be positive");
+    }
+  }
+
+  const std::uint64_t m = spec.num_devices();
+  const unsigned n = spec.num_fields();
+  const double per_bucket_ms =
+      config.positioning_ms + config.transfer_ms_per_bucket;
+
+  Xoshiro256 rng(config.seed);
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> base_cache;
+
+  std::vector<double> device_free(m, 0.0);
+  std::vector<double> device_busy(m, 0.0);
+  std::vector<double> responses;
+  responses.reserve(config.num_queries);
+
+  double now = 0.0;
+  double makespan = 0.0;
+  const double mean_interarrival_ms = 1000.0 / config.arrival_rate_qps;
+
+  for (std::uint64_t q = 0; q < config.num_queries; ++q) {
+    // Poisson arrivals: exponential interarrival times.
+    now += -mean_interarrival_ms * std::log(1.0 - rng.NextDouble());
+
+    // Draw the query: per-field specification + uniform values.
+    std::uint64_t mask = 0;
+    PartialMatchQuery query(n);
+    for (unsigned i = 0; i < n; ++i) {
+      if (rng.NextBool(config.specified_probability)) {
+        query.Specify(i, rng.NextBounded(spec.field_size(i)));
+      } else {
+        mask |= std::uint64_t{1} << i;
+      }
+    }
+
+    // Per-device loads.
+    std::vector<std::uint64_t> loads(m);
+    if (model.shift == ShiftKind::kNone) {
+      loads = ComputeResponseVector(method, query).per_device;
+    } else {
+      auto it = base_cache.find(mask);
+      if (it == base_cache.end()) {
+        it = base_cache
+                 .emplace(mask, MaskResponse(method, mask).per_device)
+                 .first;
+      }
+      const std::vector<std::uint64_t>& base = it->second;
+      const std::uint64_t shift = SpecifiedShift(model, method, query);
+      for (std::uint64_t d = 0; d < m; ++d) {
+        // Base vector holds counts for specified values = 0; a real
+        // query's device d load is base at the pre-image of d.
+        const std::uint64_t src = model.shift == ShiftKind::kXor
+                                      ? (d ^ shift)
+                                      : (d + m - shift % m) % m;
+        loads[d] = base[src];
+      }
+    }
+
+    // FCFS devices, one batch job per device, arrival-ordered exactness.
+    double completion = now;
+    for (std::uint64_t d = 0; d < m; ++d) {
+      if (loads[d] == 0) continue;
+      const double speed = config.device_speed_factors.empty()
+                               ? 1.0
+                               : config.device_speed_factors[d];
+      const double service =
+          static_cast<double>(loads[d]) * per_bucket_ms * speed;
+      const double start = std::max(now, device_free[d]);
+      device_free[d] = start + service;
+      device_busy[d] += service;
+      completion = std::max(completion, device_free[d]);
+    }
+    responses.push_back(completion - now);
+    makespan = std::max(makespan, completion);
+  }
+
+  QueueingResult result;
+  result.queries = config.num_queries;
+  std::sort(responses.begin(), responses.end());
+  double sum = 0.0;
+  for (double r : responses) sum += r;
+  result.mean_response_ms = sum / static_cast<double>(responses.size());
+  result.p50_response_ms = responses[responses.size() / 2];
+  result.p95_response_ms = responses[responses.size() * 95 / 100];
+  result.max_response_ms = responses.back();
+  if (makespan > 0.0) {
+    result.throughput_qps = static_cast<double>(config.num_queries) /
+                            (makespan / 1000.0);
+    double util_sum = 0.0, util_max = 0.0;
+    for (std::uint64_t d = 0; d < m; ++d) {
+      const double u = device_busy[d] / makespan;
+      util_sum += u;
+      util_max = std::max(util_max, u);
+    }
+    result.mean_device_utilization = util_sum / static_cast<double>(m);
+    result.max_device_utilization = util_max;
+  }
+  return result;
+}
+
+}  // namespace fxdist

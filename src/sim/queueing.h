@@ -1,0 +1,80 @@
+// Open-system queueing simulation of a declustered parallel file.
+//
+// The paper evaluates single queries in isolation; a deployed system runs
+// a *stream* of partial match queries against devices that queue.  This
+// simulator makes the connection between declustering quality and system
+// behaviour under load explicit:
+//
+//  * queries arrive in a Poisson stream;
+//  * each query puts `r_d(q) * (positioning + transfer)` milliseconds of
+//    work on every device d holding qualified buckets (the paper's
+//    response sizes, priced by the disk model);
+//  * devices serve FCFS; a query completes when its slowest device share
+//    does.
+//
+// Because all of a query's device jobs arrive at the same instant and
+// service is FCFS, processing queries in arrival order with one
+// free-at timestamp per device is an exact event-order simulation — no
+// event heap needed.
+//
+// Per-query device loads are exact and cheap for shift-invariant methods:
+// the response vector of a query is the mask's base vector XOR-shifted
+// (FX) or rotated (Modulo/GDM) by the specified values' fold, so one
+// closed-form evaluation per *mask* serves every query.
+//
+// The headline output is the classic load/latency hockey stick: a skewed
+// method saturates its hottest device at a fraction of the balanced
+// method's sustainable throughput (bench/queueing_response_time).
+
+#ifndef FXDIST_SIM_QUEUEING_H_
+#define FXDIST_SIM_QUEUEING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct QueueingConfig {
+  /// Poisson arrival rate, queries per second.
+  double arrival_rate_qps = 5.0;
+  std::uint64_t num_queries = 2000;
+  /// Per-field probability a query specifies the field.
+  double specified_probability = 0.5;
+  /// Per-bucket device service cost (disk model).
+  double positioning_ms = 28.0;
+  double transfer_ms_per_bucket = 2.0;
+  std::uint64_t seed = 1;
+  /// Non-shift-invariant methods fall back to per-query enumeration;
+  /// refuse bucket spaces above this.
+  std::uint64_t enumeration_budget = std::uint64_t{1} << 22;
+  /// Per-device service-time multipliers (empty = all 1.0).  The paper's
+  /// §5.2.1 assumes symmetric devices; non-uniform factors quantify how
+  /// sensitive each declustering is to that assumption (FX spreads work
+  /// uniformly, so one slow device hurts it in proportion).
+  std::vector<double> device_speed_factors;
+};
+
+struct QueueingResult {
+  double mean_response_ms = 0.0;
+  double p50_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  double max_response_ms = 0.0;
+  /// Completed queries / simulated makespan.
+  double throughput_qps = 0.0;
+  /// Mean over devices of busy-time / makespan.
+  double mean_device_utilization = 0.0;
+  /// Busiest device's utilization — the saturation indicator.
+  double max_device_utilization = 0.0;
+  std::uint64_t queries = 0;
+};
+
+/// Simulates `config.num_queries` arrivals against `method`'s file system.
+Result<QueueingResult> SimulateQueueing(const DistributionMethod& method,
+                                        const QueueingConfig& config);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_SIM_QUEUEING_H_

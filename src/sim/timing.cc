@@ -1,0 +1,40 @@
+#include "sim/timing.h"
+
+#include <algorithm>
+
+namespace fxdist {
+
+QueryTiming DiskQueryTiming(const std::vector<std::uint64_t>& per_device,
+                            const DiskTimingModel& model) {
+  QueryTiming t;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t b : per_device) {
+    total += b;
+    max = std::max(max, b);
+  }
+  t.parallel_ms = model.DeviceTimeMs(max);
+  t.serial_ms = model.DeviceTimeMs(total);
+  t.speedup = t.parallel_ms > 0 ? t.serial_ms / t.parallel_ms : 1.0;
+  return t;
+}
+
+QueryTiming MemoryQueryTiming(const std::vector<std::uint64_t>& per_device,
+                              std::uint64_t address_cycles_per_bucket,
+                              const MemoryTimingModel& model) {
+  QueryTiming t;
+  const std::uint64_t per_bucket =
+      address_cycles_per_bucket + model.probe_cycles_per_bucket;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t b : per_device) {
+    total += b;
+    max = std::max(max, b);
+  }
+  t.parallel_ms = model.CyclesToMs(max * per_bucket);
+  t.serial_ms = model.CyclesToMs(total * per_bucket);
+  t.speedup = t.parallel_ms > 0 ? t.serial_ms / t.parallel_ms : 1.0;
+  return t;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,65 @@
+// Response-time models (paper §5.2).
+//
+// The paper argues two regimes: on parallel *disks* the largest response
+// size dominates (every device pays roughly the same per-bucket I/O cost,
+// so the slowest device — the one with the most qualified buckets — gates
+// the query); in *main-memory* databases the CPU address computation and
+// inverse mapping dominate.  These models turn bucket counts into
+// milliseconds for both regimes so benches and examples can report
+// end-to-end numbers.
+
+#ifndef FXDIST_SIM_TIMING_H_
+#define FXDIST_SIM_TIMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cycles.h"
+
+namespace fxdist {
+
+/// Per-bucket disk access model: average positioning (seek + rotational
+/// latency) plus transfer, defaults loosely matching a late-80s drive.
+struct DiskTimingModel {
+  double positioning_ms = 28.0;
+  double transfer_ms_per_bucket = 2.0;
+
+  /// Time for one device to fetch `buckets` qualified buckets.
+  double DeviceTimeMs(std::uint64_t buckets) const {
+    return static_cast<double>(buckets) *
+           (positioning_ms + transfer_ms_per_bucket);
+  }
+};
+
+/// Main-memory model: address computation priced by a CycleModel at a
+/// fixed clock, plus a per-bucket probe cost.
+struct MemoryTimingModel {
+  CycleModel cycles;
+  double clock_mhz = 8.0;  ///< MC68000-class clock.
+  std::uint64_t probe_cycles_per_bucket = 50;
+
+  double CyclesToMs(std::uint64_t c) const {
+    return static_cast<double>(c) / (clock_mhz * 1000.0);
+  }
+};
+
+/// End-to-end timing of one partial match query.
+struct QueryTiming {
+  double parallel_ms = 0.0;  ///< max over devices
+  double serial_ms = 0.0;    ///< single-device baseline (sum)
+  double speedup = 0.0;      ///< serial / parallel
+};
+
+/// Disk-regime timing from per-device qualified-bucket counts.
+QueryTiming DiskQueryTiming(const std::vector<std::uint64_t>& per_device,
+                            const DiskTimingModel& model = {});
+
+/// Memory-regime timing: every device pays `address_cycles_per_bucket` for
+/// inverse mapping of its share plus the probe cost.
+QueryTiming MemoryQueryTiming(const std::vector<std::uint64_t>& per_device,
+                              std::uint64_t address_cycles_per_bucket,
+                              const MemoryTimingModel& model = {});
+
+}  // namespace fxdist
+
+#endif  // FXDIST_SIM_TIMING_H_

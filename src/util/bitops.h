@@ -1,0 +1,77 @@
+// Bit-level utilities used throughout FX distribution.
+//
+// The paper assumes every field size F_i and the device count M are powers
+// of two; all of the declustering arithmetic then reduces to XOR, AND and
+// shifts.  These helpers centralize that arithmetic.
+
+#ifndef FXDIST_UTIL_BITOPS_H_
+#define FXDIST_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace fxdist {
+
+/// True iff `x` is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1.  Log2Exact additionally requires a power of 2.
+constexpr unsigned FloorLog2(std::uint64_t x) {
+  return x == 0 ? 0u : 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// log2(x) for x a power of two.
+constexpr unsigned Log2Exact(std::uint64_t x) { return FloorLog2(x); }
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t CeilPowerOfTwo(std::uint64_t x) {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+/// The paper's T_M: keep only the rightmost log2(M) bits.  M must be a
+/// power of two.
+constexpr std::uint64_t TruncateMod(std::uint64_t value, std::uint64_t m) {
+  return value & (m - 1);
+}
+
+/// Binary rendering with a fixed width, e.g. BitString(5, 4) == "0101".
+/// Matches the field-value notation used in the paper's tables.
+inline std::string BitString(std::uint64_t value, unsigned width) {
+  std::string out(width, '0');
+  for (unsigned i = 0; i < width; ++i) {
+    if ((value >> i) & 1u) {
+      out[width - 1 - i] = '1';
+    }
+  }
+  return out;
+}
+
+/// Population count.
+constexpr unsigned PopCount(std::uint64_t x) {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+/// XOR-fold of the set {0, 1, ..., n-1}.  Useful in closed-form tests:
+/// the fold is n-periodic with period 4.
+constexpr std::uint64_t XorFoldRange(std::uint64_t n) {
+  // XOR of 0..n-1 == XOR of 0..(n-1) which has the classic period-4 form.
+  if (n == 0) return 0;
+  const std::uint64_t k = n - 1;
+  switch (k % 4) {
+    case 0:
+      return k;
+    case 1:
+      return 1;
+    case 2:
+      return k + 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fxdist
+
+#endif  // FXDIST_UTIL_BITOPS_H_

@@ -1,0 +1,36 @@
+// Minimal CSV writer.  Bench binaries optionally dump their series as CSV
+// (one file per table/figure) so results can be re-plotted.
+
+#ifndef FXDIST_UTIL_CSV_H_
+#define FXDIST_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fxdist {
+
+/// Row-oriented CSV document with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Serializes header + rows.
+  std::string ToString() const;
+
+  /// Writes the document to `path`, overwriting.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_UTIL_CSV_H_

@@ -1,0 +1,73 @@
+// Small integer-math helpers (ceil-div, binomial coefficients, checked
+// products) shared by the analysis and benchmark layers.
+
+#ifndef FXDIST_UTIL_MATH_H_
+#define FXDIST_UTIL_MATH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fxdist {
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Binomial coefficient C(n, k) in 64-bit arithmetic (exact for the small
+/// n used here; saturates rather than overflowing).
+constexpr std::uint64_t Binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    const std::uint64_t num = n - k + i;
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+/// Product of a vector of sizes, saturating at uint64 max.
+inline std::uint64_t SaturatingProduct(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t p = 1;
+  for (std::uint64_t x : xs) {
+    if (x != 0 && p > std::numeric_limits<std::uint64_t>::max() / x) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    p *= x;
+  }
+  return p;
+}
+
+/// Iterates over all k-element subsets of {0..n-1}, invoking `fn` with a
+/// vector of the chosen indices (ascending).  fn returning false stops the
+/// enumeration early.
+template <typename Fn>
+void ForEachSubsetOfSize(unsigned n, unsigned k, Fn&& fn) {
+  if (k > n) return;
+  std::vector<unsigned> idx(k);
+  for (unsigned i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    if (!fn(static_cast<const std::vector<unsigned>&>(idx))) return;
+    // Advance to the next combination in lexicographic order.
+    unsigned i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (unsigned j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (k == 0) return;
+  }
+}
+
+}  // namespace fxdist
+
+#endif  // FXDIST_UTIL_MATH_H_

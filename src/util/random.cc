@@ -1,0 +1,88 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace fxdist {
+
+std::uint64_t SplitMix64::Next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+std::uint64_t Xoshiro256::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::NextBounded(std::uint64_t bound) {
+  FXDIST_DCHECK(bound >= 1);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::NextBool(double p) { return NextDouble() < p; }
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta), cdf_(n) {
+  FXDIST_DCHECK(n >= 1);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::uint64_t ZipfSampler::Sample(Xoshiro256* rng) const {
+  const double u = rng->NextDouble();
+  // Binary search for the first cdf entry >= u.
+  std::uint64_t lo = 0, hi = n_ - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace fxdist

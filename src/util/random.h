@@ -1,0 +1,68 @@
+// Deterministic pseudo-random generators for workload synthesis.
+//
+// Benchmarks and tests need reproducible randomness across platforms, so we
+// avoid std::mt19937 + distribution implementations (which differ between
+// standard libraries) and ship explicit SplitMix64 / xoshiro256** engines
+// plus our own bounded-integer and Zipf samplers.
+
+#ifndef FXDIST_UTIL_RANDOM_H_
+#define FXDIST_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fxdist {
+
+/// SplitMix64: tiny, fast, passes BigCrush as a seeder.  Used to expand a
+/// single seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the project-wide workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  /// Uniform over [0, 2^64).
+  std::uint64_t Next();
+
+  /// Uniform over [0, bound) for bound >= 1, via Lemire rejection.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform over [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p).
+  bool NextBool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(N, theta) sampler over {0, ..., n-1} using the inverse-CDF table
+/// method (exact, O(log n) per draw).  theta = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t Sample(Xoshiro256* rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_UTIL_RANDOM_H_

@@ -1,0 +1,153 @@
+// Status / Result error model.
+//
+// Fallible public APIs in fxdist return Status (no payload) or Result<T>
+// (payload or error), in the style of Arrow/RocksDB.  Internal invariant
+// violations use FXDIST_DCHECK and abort in debug builds.
+
+#ifndef FXDIST_UTIL_STATUS_H_
+#define FXDIST_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fxdist {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a value outside the documented domain.
+  kOutOfRange,        ///< Index or id beyond a container / id space.
+  kNotFound,          ///< Lookup key absent.
+  kAlreadyExists,     ///< Insert collided with an existing key.
+  kUnimplemented,     ///< Feature intentionally not provided.
+  kInternal,          ///< Invariant violation that was recoverable.
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that produces no value.
+///
+/// A default-constructed Status is OK.  Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts; check ok() first or use
+/// ValueOr().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `Result<int> r = 3;`
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status.  Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// OK when a value is present, otherwise the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// The stored value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates an error Status out of the enclosing function.
+#define FXDIST_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::fxdist::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define FXDIST_DCHECK(cond) ((void)0)
+#else
+#define FXDIST_DCHECK(cond) assert(cond)
+#endif
+
+}  // namespace fxdist
+
+#endif  // FXDIST_UTIL_STATUS_H_

@@ -1,0 +1,49 @@
+// ASCII table rendering for benchmark harnesses and examples.
+//
+// Every bench binary reproduces one of the paper's tables/figures; this
+// printer renders rows with right-aligned numeric columns so the output can
+// be compared side-by-side with the paper.
+
+#ifndef FXDIST_UTIL_TABLE_PRINTER_H_
+#define FXDIST_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fxdist {
+
+/// Accumulates rows of string cells and renders them with column-aligned
+/// padding.  Cells are formatted by the caller (see Cell() helpers).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row.  Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the header, a separator, and all rows.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by golden tests).
+  std::string ToString() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string Cell(double value, int precision = 1);
+  static std::string Cell(std::uint64_t value);
+  static std::string Cell(std::int64_t value);
+  static std::string Cell(int value) {
+    return Cell(static_cast<std::int64_t>(value));
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace fxdist {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0 && tasks_.empty()) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0 && tasks_.empty(); });
+}
+
+void ThreadPool::ParallelFor(std::uint64_t count,
+                             const std::function<void(std::uint64_t)>& fn) {
+  if (count == 0) return;
+  const unsigned workers = num_threads();
+  auto cursor = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const unsigned tasks = static_cast<unsigned>(
+      std::min<std::uint64_t>(workers, count));
+  for (unsigned t = 0; t < tasks; ++t) {
+    Submit([cursor, count, &fn] {
+      while (true) {
+        const std::uint64_t i = cursor->fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+}  // namespace fxdist

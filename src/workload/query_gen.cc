@@ -1,0 +1,81 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace fxdist {
+
+Result<QueryGenerator> QueryGenerator::Create(const std::vector<Record>* pool,
+                                              double specified_probability,
+                                              std::uint64_t seed) {
+  if (pool == nullptr || pool->empty()) {
+    return Status::InvalidArgument("query pool must be non-empty");
+  }
+  if (specified_probability < 0.0 || specified_probability > 1.0) {
+    return Status::InvalidArgument("specification probability not in [0,1]");
+  }
+  return QueryGenerator(pool, specified_probability, seed);
+}
+
+ValueQuery QueryGenerator::Next() {
+  const Record& tmpl = (*pool_)[rng_.NextBounded(pool_->size())];
+  ValueQuery query(tmpl.size());
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    if (rng_.NextBool(specified_probability_)) query[i] = tmpl[i];
+  }
+  return query;
+}
+
+ValueQuery QueryGenerator::NextWithUnspecified(unsigned k) {
+  const Record& tmpl = (*pool_)[rng_.NextBounded(pool_->size())];
+  const auto n = static_cast<unsigned>(tmpl.size());
+  FXDIST_DCHECK(k <= n);
+  // Floyd's algorithm for a uniform k-subset of fields to wildcard.
+  std::vector<bool> wildcard(n, false);
+  for (unsigned j = n - k; j < n; ++j) {
+    const auto t = static_cast<unsigned>(rng_.NextBounded(j + 1));
+    if (wildcard[t]) {
+      wildcard[j] = true;
+    } else {
+      wildcard[t] = true;
+    }
+  }
+  ValueQuery query(n);
+  for (unsigned i = 0; i < n; ++i) {
+    if (!wildcard[i]) query[i] = tmpl[i];
+  }
+  return query;
+}
+
+std::vector<std::uint64_t> AllUnspecifiedMasks(const FieldSpec& spec,
+                                               unsigned k) {
+  std::vector<std::uint64_t> masks;
+  ForEachSubsetOfSize(spec.num_fields(), k,
+                      [&](const std::vector<unsigned>& subset) {
+    std::uint64_t mask = 0;
+    for (unsigned f : subset) mask |= (std::uint64_t{1} << f);
+    masks.push_back(mask);
+    return true;
+  });
+  return masks;
+}
+
+std::uint64_t RandomUnspecifiedMask(const FieldSpec& spec, unsigned k,
+                                    Xoshiro256* rng) {
+  const unsigned n = spec.num_fields();
+  FXDIST_DCHECK(k <= n);
+  std::uint64_t mask = 0;
+  for (unsigned j = n - k; j < n; ++j) {
+    const auto t = static_cast<unsigned>(rng->NextBounded(j + 1));
+    const std::uint64_t bit_t = std::uint64_t{1} << t;
+    if ((mask & bit_t) != 0) {
+      mask |= std::uint64_t{1} << j;
+    } else {
+      mask |= bit_t;
+    }
+  }
+  return mask;
+}
+
+}  // namespace fxdist

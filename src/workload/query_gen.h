@@ -1,0 +1,60 @@
+// Partial match query workloads.
+//
+// Two levels mirror the paper's evaluation:
+//  * hashed-level masks — enumerate or sample unspecified-field sets
+//    (Figures 1-4, Tables 7-9 operate purely at this level), and
+//  * value-level queries — wildcard fields of real records with a given
+//    per-field specification probability, so examples retrieve actual
+//    stored rows.
+
+#ifndef FXDIST_WORKLOAD_QUERY_GEN_H_
+#define FXDIST_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/field_spec.h"
+#include "core/query.h"
+#include "hashing/multikey_hash.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// Value-level query workload: each query takes a template record from a
+/// pool and independently wildcards each field with probability
+/// 1 - specified_probability.
+class QueryGenerator {
+ public:
+  /// `pool` must stay alive while the generator is used and be non-empty.
+  static Result<QueryGenerator> Create(const std::vector<Record>* pool,
+                                       double specified_probability,
+                                       std::uint64_t seed = 7);
+
+  ValueQuery Next();
+
+  /// As Next(), but with exactly `k` unspecified fields (uniformly chosen).
+  ValueQuery NextWithUnspecified(unsigned k);
+
+ private:
+  QueryGenerator(const std::vector<Record>* pool, double specified_probability,
+                 std::uint64_t seed)
+      : pool_(pool), specified_probability_(specified_probability),
+        rng_(seed) {}
+
+  const std::vector<Record>* pool_;
+  double specified_probability_;
+  Xoshiro256 rng_;
+};
+
+/// Hashed-level workload: all C(n, k) unspecified masks for a spec.
+std::vector<std::uint64_t> AllUnspecifiedMasks(const FieldSpec& spec,
+                                               unsigned k);
+
+/// A uniformly random unspecified mask with exactly k bits among n fields.
+std::uint64_t RandomUnspecifiedMask(const FieldSpec& spec, unsigned k,
+                                    Xoshiro256* rng);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,73 @@
+#include "workload/record_gen.h"
+
+namespace fxdist {
+
+RecordGenerator::RecordGenerator(Schema schema,
+                                 std::vector<FieldDistribution> dists,
+                                 std::uint64_t seed)
+    : schema_(std::move(schema)), dists_(std::move(dists)), rng_(seed) {
+  zipf_.reserve(dists_.size());
+  for (const auto& d : dists_) {
+    zipf_.emplace_back(d.domain,
+                       d.kind == FieldDistribution::Kind::kZipf
+                           ? d.zipf_theta
+                           : 0.0);
+  }
+}
+
+Result<RecordGenerator> RecordGenerator::Uniform(const Schema& schema,
+                                                 std::uint64_t seed) {
+  return Create(schema,
+                std::vector<FieldDistribution>(schema.num_fields()), seed);
+}
+
+Result<RecordGenerator> RecordGenerator::Create(
+    const Schema& schema, std::vector<FieldDistribution> distributions,
+    std::uint64_t seed) {
+  if (distributions.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "one field distribution per schema field required");
+  }
+  for (unsigned i = 0; i < schema.num_fields(); ++i) {
+    if (distributions[i].domain == 0) {
+      distributions[i].domain = schema.field(i).directory_size * 4;
+    }
+  }
+  return RecordGenerator(schema, std::move(distributions), seed);
+}
+
+FieldValue RecordGenerator::ValueFor(unsigned field,
+                                     std::uint64_t ordinal) const {
+  switch (schema_.field(field).type) {
+    case ValueType::kInt64:
+      return static_cast<std::int64_t>(ordinal);
+    case ValueType::kDouble:
+      // Spread ordinals over the reals away from integer lattice points.
+      return 0.5 + static_cast<double>(ordinal) * 1.25;
+    case ValueType::kString:
+      return schema_.field(field).name + "_" + std::to_string(ordinal);
+  }
+  return std::int64_t{0};
+}
+
+Record RecordGenerator::Next() {
+  Record record;
+  record.reserve(schema_.num_fields());
+  for (unsigned i = 0; i < schema_.num_fields(); ++i) {
+    const FieldDistribution& d = dists_[i];
+    const std::uint64_t ordinal = d.kind == FieldDistribution::Kind::kZipf
+                                      ? zipf_[i].Sample(&rng_)
+                                      : rng_.NextBounded(d.domain);
+    record.push_back(ValueFor(i, ordinal));
+  }
+  return record;
+}
+
+std::vector<Record> RecordGenerator::Take(std::size_t count) {
+  std::vector<Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace fxdist

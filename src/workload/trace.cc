@@ -1,0 +1,120 @@
+#include "workload/trace.h"
+
+#include <fstream>
+
+#include "hashing/value_codec.h"
+
+namespace fxdist {
+
+namespace {
+
+Status ExpectWord(std::istream& in, const std::string& word) {
+  std::string w;
+  if (!(in >> w)) return Status::InvalidArgument("unexpected EOF");
+  if (w != word) {
+    return Status::InvalidArgument("expected '" + word + "', got '" + w +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> ReadU64(std::istream& in) {
+  std::uint64_t v = 0;
+  if (!(in >> v)) return Status::InvalidArgument("expected integer");
+  return v;
+}
+
+}  // namespace
+
+Status SaveTrace(const WorkloadTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "fxdist-trace v1\n";
+  out << "fields " << trace.num_fields << '\n';
+  out << "records " << trace.records.size() << '\n';
+  for (const Record& r : trace.records) {
+    if (r.size() != trace.num_fields) {
+      return Status::InvalidArgument("record arity mismatch in trace");
+    }
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i != 0) out << ' ';
+      EncodeValue(out, r[i]);
+    }
+    out << '\n';
+  }
+  out << "queries " << trace.queries.size() << '\n';
+  for (const ValueQuery& q : trace.queries) {
+    if (q.size() != trace.num_fields) {
+      return Status::InvalidArgument("query arity mismatch in trace");
+    }
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (i != 0) out << ' ';
+      if (q[i].has_value()) {
+        EncodeValue(out, *q[i]);
+      } else {
+        out << '*';
+      }
+    }
+    out << '\n';
+  }
+  return out ? Status::OK() : Status::Internal("short write to " + path);
+}
+
+Result<WorkloadTrace> LoadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  FXDIST_RETURN_NOT_OK(ExpectWord(in, "fxdist-trace"));
+  FXDIST_RETURN_NOT_OK(ExpectWord(in, "v1"));
+  FXDIST_RETURN_NOT_OK(ExpectWord(in, "fields"));
+  auto num_fields = ReadU64(in);
+  FXDIST_RETURN_NOT_OK(num_fields.status());
+  if (*num_fields == 0 || *num_fields > 64) {
+    return Status::InvalidArgument("implausible field count");
+  }
+
+  WorkloadTrace trace;
+  trace.num_fields = static_cast<unsigned>(*num_fields);
+
+  FXDIST_RETURN_NOT_OK(ExpectWord(in, "records"));
+  auto record_count = ReadU64(in);
+  FXDIST_RETURN_NOT_OK(record_count.status());
+  trace.records.reserve(*record_count);
+  for (std::uint64_t r = 0; r < *record_count; ++r) {
+    Record record;
+    record.reserve(trace.num_fields);
+    for (unsigned f = 0; f < trace.num_fields; ++f) {
+      auto value = DecodeValue(in);
+      FXDIST_RETURN_NOT_OK(value.status());
+      record.push_back(*std::move(value));
+    }
+    trace.records.push_back(std::move(record));
+  }
+
+  FXDIST_RETURN_NOT_OK(ExpectWord(in, "queries"));
+  auto query_count = ReadU64(in);
+  FXDIST_RETURN_NOT_OK(query_count.status());
+  trace.queries.reserve(*query_count);
+  for (std::uint64_t q = 0; q < *query_count; ++q) {
+    ValueQuery query(trace.num_fields);
+    for (unsigned f = 0; f < trace.num_fields; ++f) {
+      // Peek: '*' is a wildcard, anything else is a value.
+      if (!(in >> std::ws)) {
+        return Status::InvalidArgument("unexpected EOF in query");
+      }
+      if (in.peek() == '*') {
+        in.get();
+        continue;
+      }
+      auto value = DecodeValue(in);
+      FXDIST_RETURN_NOT_OK(value.status());
+      query[f] = *std::move(value);
+    }
+    trace.queries.push_back(std::move(query));
+  }
+  return trace;
+}
+
+}  // namespace fxdist

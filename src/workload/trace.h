@@ -1,0 +1,42 @@
+// Workload traces: persist record and query streams for replay.
+//
+// Reproducible experiments need the *workload* pinned, not just the
+// seeds: a trace file captures a concrete record stream and query stream
+// so a result can be re-run byte-for-byte later (or against a different
+// method/machine).  The value encoding is shared with the ParallelFile
+// persistence format (length-prefixed strings, hex doubles).
+//
+// Format:
+//   fxdist-trace v1
+//   fields <n>
+//   records <count>
+//   <value> ... <value>                  (one line per record)
+//   queries <count>
+//   <value-or-*> ... <value-or-*>        (one line per query)
+
+#ifndef FXDIST_WORKLOAD_TRACE_H_
+#define FXDIST_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "hashing/multikey_hash.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct WorkloadTrace {
+  unsigned num_fields = 0;
+  std::vector<Record> records;
+  std::vector<ValueQuery> queries;
+};
+
+/// Writes the trace to `path`, overwriting.
+Status SaveTrace(const WorkloadTrace& trace, const std::string& path);
+
+/// Loads a trace saved by SaveTrace.
+Result<WorkloadTrace> LoadTrace(const std::string& path);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_WORKLOAD_TRACE_H_

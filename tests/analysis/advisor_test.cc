@@ -1,0 +1,109 @@
+#include "analysis/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cycles.h"
+#include "analysis/probability.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+TEST(AdvisorTest, RecommendsFxOnSmallFieldSystems) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto rec = RecommendMethod(spec, 0.5).value();
+  // Planned FX has the lowest expected largest response here.
+  EXPECT_TRUE(rec.recommended == "fx-iu1" || rec.recommended == "fx-iu2")
+      << rec.recommended;
+  EXPECT_GE(rec.ranking.size(), 5u);
+  // Ranking is sorted.
+  for (std::size_t i = 1; i < rec.ranking.size(); ++i) {
+    EXPECT_LE(rec.ranking[i - 1].cost.expected_largest_response,
+              rec.ranking[i].cost.expected_largest_response + 1e-12);
+  }
+}
+
+TEST(AdvisorTest, TieBreaksOnAddressCycles) {
+  // All fields >= M: every algebraic method is perfect, so the cheapest
+  // address computation (Modulo) should win the tie.
+  auto spec = FieldSpec::Uniform(3, 16, 8).value();
+  auto rec = RecommendMethod(
+                 spec, 0.5, {"fx-basic", "modulo", "gdm1"})
+                 .value();
+  EXPECT_EQ(rec.recommended, "modulo");
+}
+
+TEST(AdvisorTest, ExplicitCandidateListRespected) {
+  auto spec = FieldSpec::Uniform(4, 8, 16).value();
+  auto rec = RecommendMethod(spec, 0.5, {"modulo", "gdm1"}).value();
+  EXPECT_EQ(rec.ranking.size(), 2u);
+  for (const auto& eval : rec.ranking) {
+    EXPECT_TRUE(eval.method_spec == "modulo" ||
+                eval.method_spec == "gdm1");
+  }
+}
+
+TEST(AdvisorTest, UnbuildableCandidatesSkipped) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto rec =
+      RecommendMethod(spec, 0.5, {"fx-iu1", "spanning", "nonsense"})
+          .value();
+  EXPECT_EQ(rec.ranking.size(), 1u);
+  EXPECT_EQ(rec.recommended, "fx-iu1");
+  EXPECT_FALSE(RecommendMethod(spec, 0.5, {"nonsense"}).ok());
+}
+
+TEST(AdvisorTest, MonteCarloAgreesWithExactOnInvariantMethod) {
+  // Sampling cross-check: the Monte Carlo estimator should land near the
+  // exact probability for a shift-invariant method.
+  auto spec = FieldSpec::Uniform(4, 8, 16).value();
+  auto fx = MakeDistribution(spec, "fx-iu2").value();
+  const double exact = EmpiricalOptimality(*fx, 0.5).probability;
+  auto mc = MonteCarloOptimality(*fx, 4000, /*seed=*/7, 0.5).value();
+  EXPECT_NEAR(mc.probability, exact, 0.05);
+}
+
+TEST(AdvisorTest, MonteCarloValidatesInputs) {
+  auto spec = FieldSpec::Uniform(4, 8, 16).value();
+  auto fx = MakeDistribution(spec, "fx-iu2").value();
+  EXPECT_FALSE(MonteCarloOptimality(*fx, 0, 1).ok());
+  EXPECT_FALSE(MonteCarloOptimality(*fx, 10, 1, 1.5).ok());
+  // Budget too small for the whole-file query that p=0 always samples.
+  EXPECT_FALSE(MonteCarloOptimality(*fx, 10, 1, 0.0, 16).ok());
+}
+
+TEST(AdvisorTest, MonteCarloWorksOnNonInvariantMethod) {
+  auto spec = FieldSpec::Create({4, 4}, 8).value();
+  auto rd = MakeDistribution(spec, "random").value();
+  auto mc = MonteCarloOptimality(*rd, 500, 3).value();
+  EXPECT_GT(mc.probability, 0.0);
+  EXPECT_LT(mc.probability, 1.0);
+}
+
+TEST(AdvisorTest, CycleModelPresets) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  auto gdm = MakeDistribution(spec, "gdm1").value();
+  // 1988 models: FX wins big.  Modern: the gap closes.
+  const double mc68k =
+      static_cast<double>(
+          EstimateAddressCost(*fx, Mc68000CycleModel()).total_cycles) /
+      static_cast<double>(
+          EstimateAddressCost(*gdm, Mc68000CycleModel()).total_cycles);
+  const double i286 =
+      static_cast<double>(
+          EstimateAddressCost(*fx, I80286CycleModel()).total_cycles) /
+      static_cast<double>(
+          EstimateAddressCost(*gdm, I80286CycleModel()).total_cycles);
+  const double modern =
+      static_cast<double>(
+          EstimateAddressCost(*fx, ModernCycleModel()).total_cycles) /
+      static_cast<double>(
+          EstimateAddressCost(*gdm, ModernCycleModel()).total_cycles);
+  EXPECT_LT(mc68k, 0.4);
+  EXPECT_LT(i286, 0.8);  // "almost similar" ratios, per the paper
+  EXPECT_GT(modern, mc68k);
+}
+
+}  // namespace
+}  // namespace fxdist

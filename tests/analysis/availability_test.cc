@@ -1,0 +1,74 @@
+#include "analysis/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec() { return FieldSpec::Uniform(4, 8, 16).value(); }
+
+TEST(AvailabilityTest, Validates) {
+  auto one_device = FieldSpec::Uniform(2, 4, 1).value();
+  auto fx = MakeDistribution(one_device, "fx-basic").value();
+  EXPECT_FALSE(
+      AnalyzeDegradedMode(*fx, 1, ReplicaPlacement::kChained).ok());
+  auto fx16 = MakeDistribution(Spec(), "fx-iu1").value();
+  EXPECT_FALSE(
+      AnalyzeDegradedMode(*fx16, 9, ReplicaPlacement::kChained).ok());
+}
+
+TEST(AvailabilityTest, DegradedNeverBetterThanHealthy) {
+  for (const char* name : {"fx-iu1", "modulo", "gdm1"}) {
+    auto method = MakeDistribution(Spec(), name).value();
+    for (auto placement :
+         {ReplicaPlacement::kMirrored, ReplicaPlacement::kChained}) {
+      auto report = AnalyzeDegradedMode(*method, 2, placement).value();
+      EXPECT_GE(report.degraded_largest, report.healthy_largest) << name;
+      EXPECT_GE(report.degradation_factor, 1.0) << name;
+    }
+  }
+}
+
+TEST(AvailabilityTest, ChainedBeatsMirrored) {
+  // Spreading the orphaned load over all survivors dominates dumping it
+  // on one mirror.
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto mirrored =
+      AnalyzeDegradedMode(*fx, 3, ReplicaPlacement::kMirrored).value();
+  auto chained =
+      AnalyzeDegradedMode(*fx, 3, ReplicaPlacement::kChained).value();
+  EXPECT_LT(chained.degraded_largest, mirrored.degraded_largest);
+}
+
+TEST(AvailabilityTest, MirroredRoughlyDoublesBalancedLoad) {
+  // For a perfectly balanced class the mirror ends up with 2x its own
+  // share; chained adds only 1/(M-1).
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto mirrored =
+      AnalyzeDegradedMode(*fx, 4, ReplicaPlacement::kMirrored).value();
+  // k=4: whole file, perfectly balanced (256 per device): degraded max
+  // is exactly 512.
+  EXPECT_DOUBLE_EQ(mirrored.healthy_largest, 256.0);
+  EXPECT_DOUBLE_EQ(mirrored.degraded_largest, 512.0);
+  auto chained =
+      AnalyzeDegradedMode(*fx, 4, ReplicaPlacement::kChained).value();
+  EXPECT_NEAR(chained.degraded_largest, 256.0 + 256.0 / 15.0, 1e-9);
+}
+
+TEST(AvailabilityTest, BalancedMethodDegradesMoreGracefullyChained) {
+  // Under chained re-routing the degradation factor is mild for any
+  // method, but the *absolute* degraded load still tracks declustering
+  // quality: FX stays below Modulo.
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto md = MakeDistribution(Spec(), "modulo").value();
+  auto fx_report =
+      AnalyzeDegradedMode(*fx, 2, ReplicaPlacement::kChained).value();
+  auto md_report =
+      AnalyzeDegradedMode(*md, 2, ReplicaPlacement::kChained).value();
+  EXPECT_LT(fx_report.degraded_largest, md_report.degraded_largest);
+}
+
+}  // namespace
+}  // namespace fxdist

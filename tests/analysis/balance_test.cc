@@ -1,0 +1,59 @@
+#include "analysis/balance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fxdist {
+namespace {
+
+TEST(BalanceTest, EmptyVector) {
+  const BalanceReport r = AnalyzeBalance({});
+  EXPECT_EQ(r.devices, 0u);
+  EXPECT_EQ(r.total, 0u);
+}
+
+TEST(BalanceTest, PerfectlyEven) {
+  const BalanceReport r = AnalyzeBalance({5, 5, 5, 5});
+  EXPECT_EQ(r.total, 20u);
+  EXPECT_EQ(r.min, 5u);
+  EXPECT_EQ(r.max, 5u);
+  EXPECT_DOUBLE_EQ(r.mean, 5.0);
+  EXPECT_DOUBLE_EQ(r.cv, 0.0);
+  EXPECT_DOUBLE_EQ(r.peak_over_mean, 1.0);
+  EXPECT_DOUBLE_EQ(r.gini, 0.0);
+}
+
+TEST(BalanceTest, AllOnOneDevice) {
+  const BalanceReport r = AnalyzeBalance({0, 0, 0, 12});
+  EXPECT_DOUBLE_EQ(r.mean, 3.0);
+  EXPECT_DOUBLE_EQ(r.peak_over_mean, 4.0);
+  // Gini of a single spike over n devices is (n-1)/n.
+  EXPECT_DOUBLE_EQ(r.gini, 0.75);
+  EXPECT_NEAR(r.cv, std::sqrt(27.0) / 3.0, 1e-12);
+}
+
+TEST(BalanceTest, KnownGini) {
+  // {1, 3}: mean 2, mean abs diff = 2, gini = 2 / (2 * 2 * 2) ... use the
+  // standard result: gini({1,3}) = 0.25.
+  const BalanceReport r = AnalyzeBalance({1, 3});
+  EXPECT_DOUBLE_EQ(r.gini, 0.25);
+}
+
+TEST(BalanceTest, OrderInvariant) {
+  const BalanceReport a = AnalyzeBalance({1, 2, 3, 4});
+  const BalanceReport b = AnalyzeBalance({4, 2, 1, 3});
+  EXPECT_DOUBLE_EQ(a.gini, b.gini);
+  EXPECT_DOUBLE_EQ(a.cv, b.cv);
+  EXPECT_EQ(a.max, b.max);
+}
+
+TEST(BalanceTest, AllZeros) {
+  const BalanceReport r = AnalyzeBalance({0, 0, 0});
+  EXPECT_EQ(r.total, 0u);
+  EXPECT_DOUBLE_EQ(r.cv, 0.0);
+  EXPECT_DOUBLE_EQ(r.gini, 0.0);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,93 @@
+#include "analysis/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/optimality.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec() { return FieldSpec::Uniform(3, 8, 8).value(); }
+
+TEST(BatchTest, SingleQueryMatchesResponseVector) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto q = PartialMatchQuery::Create(Spec(), {3, std::nullopt, std::nullopt})
+               .value();
+  auto stats = AnalyzeBatch(*fx, {q}).value();
+  const ResponseVector rv = ComputeResponseVector(*fx, q);
+  EXPECT_EQ(stats.distinct_per_device, rv.per_device);
+  EXPECT_EQ(stats.total_bucket_requests, rv.Total());
+  EXPECT_DOUBLE_EQ(stats.sharing_factor, 1.0);
+}
+
+TEST(BatchTest, IdenticalQueriesShareEverything) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto q = PartialMatchQuery::Create(Spec(), {3, std::nullopt, std::nullopt})
+               .value();
+  auto stats = AnalyzeBatch(*fx, {q, q, q}).value();
+  EXPECT_EQ(stats.distinct_buckets, q.NumQualifiedBuckets(Spec()));
+  EXPECT_DOUBLE_EQ(stats.sharing_factor, 3.0);
+}
+
+TEST(BatchTest, DisjointQueriesShareNothing) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto a = PartialMatchQuery::Create(Spec(), {0, std::nullopt, std::nullopt})
+               .value();
+  auto b = PartialMatchQuery::Create(Spec(), {1, std::nullopt, std::nullopt})
+               .value();
+  auto stats = AnalyzeBatch(*fx, {a, b}).value();
+  EXPECT_EQ(stats.distinct_buckets, 128u);  // 64 + 64, no overlap
+  EXPECT_DOUBLE_EQ(stats.sharing_factor, 1.0);
+}
+
+TEST(BatchTest, OverlappingQueriesPartialSharing) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  // <3,*,*> and <3,5,*> overlap: the second is a subset of the first.
+  auto big = PartialMatchQuery::Create(Spec(),
+                                       {3, std::nullopt, std::nullopt})
+                 .value();
+  auto sub = PartialMatchQuery::Create(Spec(), {3, 5, std::nullopt}).value();
+  auto stats = AnalyzeBatch(*fx, {big, sub}).value();
+  EXPECT_EQ(stats.distinct_buckets, 64u);
+  EXPECT_EQ(stats.total_bucket_requests, 64u + 8u);
+  EXPECT_GT(stats.sharing_factor, 1.0);
+}
+
+TEST(BatchTest, FxKeepsBatchesBalanced) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  std::vector<PartialMatchQuery> batch;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    batch.push_back(
+        PartialMatchQuery::Create(Spec(), {v, std::nullopt, std::nullopt})
+            .value());
+  }
+  // The union is the whole bucket space; Basic/planned FX spreads it
+  // perfectly.
+  auto stats = AnalyzeBatch(*fx, batch).value();
+  EXPECT_EQ(stats.distinct_buckets, Spec().TotalBuckets());
+  EXPECT_TRUE(stats.balanced);
+}
+
+TEST(BatchTest, ArityMismatchRejected) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  PartialMatchQuery wrong(2);
+  EXPECT_FALSE(AnalyzeBatch(*fx, {wrong}).ok());
+}
+
+TEST(BatchTest, BudgetEnforced) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  PartialMatchQuery whole(3);
+  EXPECT_FALSE(AnalyzeBatch(*fx, {whole}, /*budget=*/10).ok());
+}
+
+TEST(BatchTest, EmptyBatch) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto stats = AnalyzeBatch(*fx, {}).value();
+  EXPECT_EQ(stats.distinct_buckets, 0u);
+  EXPECT_EQ(stats.largest_device_share, 0u);
+  EXPECT_TRUE(stats.balanced);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,87 @@
+#include "analysis/bit_allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace fxdist {
+namespace {
+
+TEST(BitAllocationTest, Validation) {
+  EXPECT_FALSE(AllocateFieldBits({}, 4).ok());
+  EXPECT_FALSE(AllocateFieldBits({0.5, 1.2}, 4).ok());
+  EXPECT_FALSE(AllocateFieldBits({0.5, -0.1}, 4).ok());
+  EXPECT_FALSE(AllocateFieldBits({0.5}, 10, 4).ok());  // exceeds cap
+}
+
+TEST(BitAllocationTest, TotalBitsRespected) {
+  auto alloc = AllocateFieldBits({0.3, 0.6, 0.9}, 12).value();
+  EXPECT_EQ(std::accumulate(alloc.bits.begin(), alloc.bits.end(), 0u), 12u);
+}
+
+TEST(BitAllocationTest, EqualProbabilitiesSplitEvenly) {
+  auto alloc = AllocateFieldBits({0.5, 0.5, 0.5}, 9).value();
+  EXPECT_EQ(alloc.bits, (std::vector<unsigned>{3, 3, 3}));
+}
+
+TEST(BitAllocationTest, FrequentlySpecifiedFieldsGetMoreBits) {
+  // A field almost always specified can absorb directory bits without
+  // inflating E[|R(q)|]; a rarely specified one cannot.
+  auto alloc = AllocateFieldBits({0.95, 0.05}, 10).value();
+  EXPECT_GT(alloc.bits[0], alloc.bits[1]);
+}
+
+TEST(BitAllocationTest, GreedyIsOptimalOnSmallInstances) {
+  // Compare against brute force over all allocations of B bits.
+  const std::vector<double> probs = {0.2, 0.5, 0.8};
+  const unsigned total = 8;
+  auto greedy = AllocateFieldBits(probs, total).value();
+  double best = 1e300;
+  for (unsigned b0 = 0; b0 <= total; ++b0) {
+    for (unsigned b1 = 0; b0 + b1 <= total; ++b1) {
+      const unsigned b2 = total - b0 - b1;
+      best = std::min(best,
+                      ExpectedQualifiedBuckets(probs, {b0, b1, b2}));
+    }
+  }
+  EXPECT_NEAR(greedy.expected_qualified, best, best * 1e-12);
+}
+
+TEST(BitAllocationTest, ExpectedQualifiedMatchesClosedForm) {
+  // p = 0 (never specified): factor is the full 2^b.
+  EXPECT_DOUBLE_EQ(ExpectedQualifiedBuckets({0.0, 0.0}, {3, 2}), 8.0 * 4.0);
+  // p = 1 (always specified): factor 1 regardless of bits.
+  EXPECT_DOUBLE_EQ(ExpectedQualifiedBuckets({1.0}, {10}), 1.0);
+  // Mixed.
+  EXPECT_DOUBLE_EQ(ExpectedQualifiedBuckets({0.5}, {2}),
+                   0.5 + 0.5 * 4.0);
+}
+
+TEST(BitAllocationTest, FieldSizesArePowersOfTwo) {
+  auto alloc = AllocateFieldBits({0.4, 0.7}, 7).value();
+  for (std::uint64_t f : alloc.FieldSizes()) {
+    EXPECT_EQ(f & (f - 1), 0u);
+    EXPECT_GE(f, 1u);
+  }
+}
+
+TEST(BitAllocationTest, CapForcesSpill) {
+  auto alloc = AllocateFieldBits({0.9, 0.1}, 8, 5).value();
+  EXPECT_LE(alloc.bits[0], 5u);
+  EXPECT_LE(alloc.bits[1], 5u);
+  EXPECT_EQ(alloc.bits[0] + alloc.bits[1], 8u);
+}
+
+TEST(BitAllocationTest, MoreBitsNeverDecreaseExpectedQualified) {
+  const std::vector<double> probs = {0.3, 0.6};
+  double prev = 0.0;
+  for (unsigned total = 0; total <= 10; ++total) {
+    auto alloc = AllocateFieldBits(probs, total).value();
+    EXPECT_GE(alloc.expected_qualified, prev);
+    prev = alloc.expected_qualified;
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

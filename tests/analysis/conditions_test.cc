@@ -1,0 +1,164 @@
+#include "analysis/conditions.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/optimality.h"
+#include "core/fx.h"
+#include "core/modulo.h"
+#include "util/math.h"
+
+namespace fxdist {
+namespace {
+
+// --- Direct condition checks -------------------------------------------------
+
+TEST(FxConditionsTest, ZeroOrOneUnspecifiedAlwaysSufficient) {
+  auto spec = FieldSpec::Uniform(4, 2, 64).value();
+  auto kinds = TransformPlan::Plan(spec).kinds();
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, kinds, {}));
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, kinds, {2}));
+}
+
+TEST(FxConditionsTest, BigUnspecifiedFieldSufficient) {
+  auto spec = FieldSpec::Create({2, 2, 64}, 16).value();
+  auto kinds = TransformPlan::Basic(spec).kinds();
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, kinds, {0, 2}));
+  EXPECT_FALSE(FxStrictOptimalSufficient(spec, kinds, {0, 1}));
+}
+
+TEST(FxConditionsTest, TwoSmallFieldsNeedDifferentMethods) {
+  auto spec = FieldSpec::Create({4, 4, 4}, 64).value();
+  const std::vector<TransformKind> same{TransformKind::kU, TransformKind::kU,
+                                        TransformKind::kIdentity};
+  const std::vector<TransformKind> diff{TransformKind::kU,
+                                        TransformKind::kIdentity,
+                                        TransformKind::kIdentity};
+  EXPECT_FALSE(FxStrictOptimalSufficient(spec, same, {0, 1}));
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, diff, {0, 1}));
+}
+
+TEST(FxConditionsTest, Iu1Iu2PairDoesNotCountAsDifferent) {
+  auto spec = FieldSpec::Create({4, 4}, 64).value();
+  const std::vector<TransformKind> kinds{TransformKind::kIU1,
+                                         TransformKind::kIU2};
+  EXPECT_FALSE(FxStrictOptimalSufficient(spec, kinds, {0, 1}));
+}
+
+TEST(FxConditionsTest, PairProductConditionForThreeOrMore) {
+  // F = 8 each, M = 32: any pair has product 64 >= 32, so three
+  // unspecified fields are fine when two of them use different methods.
+  auto spec = FieldSpec::Uniform(4, 8, 32).value();
+  const std::vector<TransformKind> kinds{
+      TransformKind::kIdentity, TransformKind::kU, TransformKind::kIU1,
+      TransformKind::kIdentity};
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, kinds, {0, 1, 2}));
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, kinds, {0, 1, 3}));
+  // All-same methods: no qualifying pair.
+  const std::vector<TransformKind> same(4, TransformKind::kU);
+  EXPECT_FALSE(FxStrictOptimalSufficient(spec, same, {0, 1, 2}));
+}
+
+TEST(FxConditionsTest, Theorem9TripleCondition) {
+  // Three small fields with F^2 < M and pairwise products < M:
+  // F = {4, 4, 4}, M = 64.  I/U/IU2 with F_IU2 >= F_U qualifies.
+  auto spec = FieldSpec::Uniform(3, 4, 64).value();
+  const std::vector<TransformKind> good{TransformKind::kIdentity,
+                                        TransformKind::kU,
+                                        TransformKind::kIU2};
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, good, {0, 1, 2}));
+  // IU1 instead of IU2 does not qualify (no pair product >= 64 either).
+  const std::vector<TransformKind> iu1{TransformKind::kIdentity,
+                                       TransformKind::kU,
+                                       TransformKind::kIU1};
+  EXPECT_FALSE(FxStrictOptimalSufficient(spec, iu1, {0, 1, 2}));
+}
+
+TEST(FxConditionsTest, Theorem9SizeRule) {
+  // IU2 field smaller than the U field violates Lemma 9.1's size rule.
+  auto spec = FieldSpec::Create({8, 4, 2}, 256).value();
+  const std::vector<TransformKind> bad{TransformKind::kIdentity,
+                                       TransformKind::kU,
+                                       TransformKind::kIU2};
+  EXPECT_FALSE(FxStrictOptimalSufficient(spec, bad, {0, 1, 2}));
+  const std::vector<TransformKind> good{TransformKind::kIdentity,
+                                        TransformKind::kIU2,
+                                        TransformKind::kU};
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, good, {0, 1, 2}));
+}
+
+TEST(FxConditionsTest, FivePlusUsesTripleProduct) {
+  // Figures 3/4 regime: pairwise products < M, triple products >= M.
+  auto spec = FieldSpec::Uniform(5, 16, 4096).value();
+  const std::vector<TransformKind> kinds{
+      TransformKind::kIdentity, TransformKind::kU, TransformKind::kIU2,
+      TransformKind::kIdentity, TransformKind::kU};
+  EXPECT_TRUE(FxStrictOptimalSufficient(spec, kinds, {0, 1, 2, 3}));
+  // Without any IU2 among the unspecified, no qualifying triple.
+  EXPECT_FALSE(FxStrictOptimalSufficient(spec, kinds, {0, 1, 3, 4}));
+}
+
+TEST(ModuloConditionsTest, Basics) {
+  auto spec = FieldSpec::Create({8, 32, 64}, 32).value();
+  EXPECT_TRUE(ModuloStrictOptimalSufficient(spec, {}));
+  EXPECT_TRUE(ModuloStrictOptimalSufficient(spec, {0}));
+  EXPECT_TRUE(ModuloStrictOptimalSufficient(spec, {0, 1}));  // F=32 = M
+  EXPECT_TRUE(ModuloStrictOptimalSufficient(spec, {0, 2}));  // F=64 = 2M
+  auto small = FieldSpec::Uniform(3, 8, 32).value();
+  EXPECT_FALSE(ModuloStrictOptimalSufficient(small, {0, 1}));
+}
+
+// --- Soundness: sufficient conditions imply actual optimality ----------------
+
+struct SoundnessCase {
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t m;
+  PlanFamily family;
+};
+
+class ConditionSoundnessTest : public testing::TestWithParam<SoundnessCase> {
+};
+
+TEST_P(ConditionSoundnessTest, SufficientImpliesOptimal) {
+  const auto& p = GetParam();
+  auto spec = FieldSpec::Create(p.sizes, p.m).value();
+  auto fx = FXDistribution::Planned(spec, p.family);
+  auto md = ModuloDistribution::Make(spec);
+  const auto kinds = fx->plan().kinds();
+  const unsigned n = spec.num_fields();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    std::vector<unsigned> unspecified;
+    for (unsigned i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) unspecified.push_back(i);
+    }
+    auto query = PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask)
+                     .value();
+    if (FxStrictOptimalSufficient(spec, kinds, unspecified)) {
+      EXPECT_TRUE(IsStrictOptimal(*fx, query))
+          << "FX claims optimal but is not for mask " << mask << " in "
+          << spec.ToString() << " plan " << fx->plan().ToString();
+    }
+    if (ModuloStrictOptimalSufficient(spec, unspecified)) {
+      EXPECT_TRUE(IsStrictOptimal(*md, query))
+          << "Modulo claims optimal but is not for mask " << mask << " in "
+          << spec.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecGrid, ConditionSoundnessTest,
+    testing::Values(
+        SoundnessCase{{2, 8}, 4, PlanFamily::kIU2},
+        SoundnessCase{{4, 4}, 16, PlanFamily::kIU2},
+        SoundnessCase{{2, 4, 2}, 8, PlanFamily::kIU1},
+        SoundnessCase{{4, 2, 2}, 16, PlanFamily::kIU2},
+        SoundnessCase{{8, 8, 8, 8}, 32, PlanFamily::kIU1},
+        SoundnessCase{{8, 8, 8, 8}, 64, PlanFamily::kIU1},
+        SoundnessCase{{4, 4, 4, 4}, 64, PlanFamily::kIU2},
+        SoundnessCase{{2, 4, 8, 16}, 32, PlanFamily::kIU2},
+        SoundnessCase{{16, 16, 2, 2}, 64, PlanFamily::kIU2},
+        SoundnessCase{{8, 8, 8, 16, 16}, 128, PlanFamily::kIU2},
+        SoundnessCase{{4, 4, 4, 4, 4}, 256, PlanFamily::kIU2}));
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,99 @@
+#include "analysis/cycles.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fx.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+TEST(CyclesTest, ModuloCost) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  AddressComputationCost cost = EstimateAddressCost(*md);
+  EXPECT_EQ(cost.adds, 5u);
+  EXPECT_EQ(cost.ands, 1u);
+  EXPECT_EQ(cost.muls, 0u);
+  EXPECT_EQ(cost.total_cycles, 5 * 4 + 4u);
+}
+
+TEST(CyclesTest, GdmCostDominatedByMultiplies) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto gdm = MakeDistribution(spec, "gdm1").value();
+  AddressComputationCost cost = EstimateAddressCost(*gdm);
+  EXPECT_EQ(cost.muls, 6u);
+  EXPECT_EQ(cost.adds, 5u);
+  EXPECT_EQ(cost.total_cycles, 6 * 70 + 5 * 4 + 4u);
+}
+
+TEST(CyclesTest, BasicFxCost) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto fx = MakeDistribution(spec, "fx-basic").value();
+  AddressComputationCost cost = EstimateAddressCost(*fx);
+  EXPECT_EQ(cost.xors, 5u);   // fold only; identity transforms are free
+  EXPECT_EQ(cost.shifts, 0u);
+  EXPECT_EQ(cost.total_cycles, 5 * 8 + 4u);
+}
+
+TEST(CyclesTest, PlannedFxCountsTransformOps) {
+  // I,U,IU1,I,U,IU1 over F=8, M=32 (d = 4, 2-bit shifts): per U one
+  // shift; per IU1 one shift + one XOR.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  AddressComputationCost cost = EstimateAddressCost(*fx);
+  EXPECT_EQ(cost.shifts, 4u);           // 2x U + 2x IU1
+  EXPECT_EQ(cost.xors, 5u + 2u);        // fold + IU1 extras
+  EXPECT_EQ(cost.shift_cycles, 4 * (6 + 2 * 2u));
+}
+
+TEST(CyclesTest, FxIsAboutOneThirdOfGdm) {
+  // The paper's §5.2.2 headline: on MC68000 cycle costs, FX address
+  // computation takes about a third of GDM's.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  auto gdm = MakeDistribution(spec, "gdm1").value();
+  const double ratio =
+      static_cast<double>(EstimateAddressCost(*fx).total_cycles) /
+      static_cast<double>(EstimateAddressCost(*gdm).total_cycles);
+  EXPECT_LT(ratio, 0.45);
+  EXPECT_GT(ratio, 0.15);
+}
+
+TEST(CyclesTest, ModuloCheaperThanFx) {
+  // The paper concedes Modulo computes faster than FX — it just
+  // distributes worse.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  EXPECT_LT(EstimateAddressCost(*md).total_cycles,
+            EstimateAddressCost(*fx).total_cycles);
+}
+
+TEST(CyclesTest, Iu2GenuineCostsTwoShiftsTwoXors) {
+  auto spec = FieldSpec::Create({2, 64}, 16).value();
+  auto plan = TransformPlan::Create(
+                  spec, {TransformKind::kIU2, TransformKind::kIdentity})
+                  .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  AddressComputationCost cost = EstimateAddressCost(*fx);
+  EXPECT_EQ(cost.shifts, 2u);      // d1 = 8, d2 = 4
+  EXPECT_EQ(cost.xors, 1u + 2u);   // fold (n-1 = 1) + 2 IU2 xors
+}
+
+TEST(CyclesTest, CustomCycleModel) {
+  CycleModel model;
+  model.mul_cycles = 3;  // a modern core
+  model.xor_cycles = 1;
+  model.add_cycles = 1;
+  model.and_cycles = 1;
+  model.shift_base_cycles = 1;
+  model.shift_per_bit_cycles = 0;
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto gdm = MakeDistribution(spec, "gdm1").value();
+  EXPECT_EQ(EstimateAddressCost(*gdm, model).total_cycles,
+            6 * 3 + 5 * 1 + 1u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,89 @@
+#include "analysis/elasticity.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec() { return FieldSpec::Uniform(3, 8, 8).value(); }
+
+TEST(ElasticityTest, BasicFxSplitsExactlyHalfWhenFoldCoversTheNewBit) {
+  // T_2M keeps T_M's bits: doubling can only split a device in two, and
+  // with 16-wide fields the XOR fold is uniform over 4 bits, so exactly
+  // half of every device's buckets gain the new high bit.
+  auto spec = FieldSpec::Uniform(3, 16, 8).value();
+  auto report = DeviceDoublingReport(spec, "fx-basic").value();
+  EXPECT_EQ(report.buckets, 4096u);
+  EXPECT_EQ(report.cross_moves, 0u);
+  EXPECT_NEAR(report.moved_fraction, 0.5, 1e-12);
+}
+
+TEST(ElasticityTest, BasicFxMovesNothingWhenFoldCannotReachTheNewBit) {
+  // Degenerate but instructive: 8-wide fields XOR to 3 bits, so bit 3 of
+  // the device id is always 0 — nothing moves, and the new devices stay
+  // empty (which is exactly why Basic FX scores 50% after doubling).
+  auto report = DeviceDoublingReport(Spec(), "fx-basic").value();
+  EXPECT_EQ(report.moved, 0u);
+}
+
+TEST(ElasticityTest, ModuloAndGdmSplitOnly) {
+  // (sum mod 2M) mod M == sum mod M: no cross traffic, ever.
+  for (const char* method : {"modulo", "gdm1"}) {
+    auto report = DeviceDoublingReport(Spec(), method).value();
+    EXPECT_EQ(report.cross_moves, 0u) << method;
+  }
+}
+
+TEST(ElasticityTest, PlannedFxPaysCrossTraffic) {
+  // Re-planning for 2M changes the transformations (d = M/F doubles), so
+  // buckets shuffle between old devices.  On this spec fields are small
+  // for M = 16 but not for M = 8, so the plan materially changes.
+  auto spec = FieldSpec::Uniform(3, 8, 16).value();
+  auto report = DeviceDoublingReport(spec, "fx-iu2").value();
+  EXPECT_GT(report.cross_moves, 0u);
+  EXPECT_GT(report.optimal_fraction_after, 0.9);
+}
+
+TEST(ElasticityTest, RandomTruncationIsAlsoSplitOnly) {
+  // Subtle: RandomDistribution truncates a *fixed* 64-bit hash, so its
+  // 2M id also extends its M id by one bit — split-only, like the
+  // algebraic methods.  Only table-rebuild methods pay cross traffic.
+  auto report = DeviceDoublingReport(Spec(), "random").value();
+  EXPECT_EQ(report.cross_moves, 0u);
+  EXPECT_NEAR(report.moved_fraction, 0.5, 0.1);
+}
+
+TEST(ElasticityTest, SpanningIsSplitOnlyBecauseThePathIgnoresM) {
+  // The greedy path depends only on the bucket space; doubling M only
+  // changes the dealing modulus, and (pos mod 2M) mod M == pos mod M.
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  auto report = DeviceDoublingReport(spec, "spanning").value();
+  EXPECT_EQ(report.cross_moves, 0u);
+}
+
+TEST(ElasticityTest, OnlyMDependentFunctionsPayCrossTraffic) {
+  // The general principle: cross traffic appears exactly when the
+  // allocation function itself is recomputed for the new M.  Across every
+  // registered method on this spec, re-planned FX variants are the only
+  // ones with cross moves.
+  auto spec = FieldSpec::Uniform(3, 8, 16).value();
+  for (const char* method : {"fx-basic", "modulo", "gdm1", "gdm2", "gdm3",
+                             "random", "afx-basic"}) {
+    auto report = DeviceDoublingReport(spec, method).value();
+    EXPECT_EQ(report.cross_moves, 0u) << method;
+  }
+  EXPECT_GT(DeviceDoublingReport(spec, "fx-iu2")->cross_moves, 0u);
+  EXPECT_GT(DeviceDoublingReport(spec, "afx-iu2")->cross_moves, 0u);
+}
+
+TEST(ElasticityTest, BudgetEnforced) {
+  auto big = FieldSpec::Uniform(6, 16, 8).value();
+  EXPECT_FALSE(DeviceDoublingReport(big, "fx-basic", 1000).ok());
+}
+
+TEST(ElasticityTest, UnknownMethodRejected) {
+  EXPECT_FALSE(DeviceDoublingReport(Spec(), "bogus").ok());
+}
+
+}  // namespace
+}  // namespace fxdist

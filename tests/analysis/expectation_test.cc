@@ -1,0 +1,83 @@
+#include "analysis/expectation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/probability.h"
+#include "analysis/response.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec() { return FieldSpec::Uniform(4, 8, 16).value(); }
+
+TEST(ExpectationTest, ValidatesInputs) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  EXPECT_FALSE(ComputeExpectedCost(*fx, -0.1).ok());
+  EXPECT_FALSE(ComputeExpectedCost(*fx, 1.1).ok());
+  EXPECT_TRUE(ComputeExpectedCost(*fx, 0.5).ok());
+}
+
+TEST(ExpectationTest, FullySpecifiedQueriesCostOneBucket) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto cost = ComputeExpectedCost(*fx, 1.0).value();
+  EXPECT_DOUBLE_EQ(cost.expected_largest_response, 1.0);
+  EXPECT_DOUBLE_EQ(cost.expected_qualified, 1.0);
+  EXPECT_DOUBLE_EQ(cost.probability_optimal, 1.0);
+  EXPECT_DOUBLE_EQ(cost.expected_parallel_ms, 30.0);
+}
+
+TEST(ExpectationTest, FullyUnspecifiedIsTheWholeFile) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto cost = ComputeExpectedCost(*fx, 0.0).value();
+  EXPECT_DOUBLE_EQ(cost.expected_qualified, 4096.0);
+  EXPECT_DOUBLE_EQ(cost.expected_largest_response, 4096.0 / 16.0);
+}
+
+TEST(ExpectationTest, ExpectedQualifiedMatchesClosedForm) {
+  // E[|R(q)|] = prod (p + (1-p) F_i) — the bit-allocation model.
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  for (double p : {0.25, 0.5, 0.75}) {
+    auto cost = ComputeExpectedCost(*fx, p).value();
+    const double factor = p + (1 - p) * 8.0;
+    EXPECT_NEAR(cost.expected_qualified, std::pow(factor, 4), 1e-9) << p;
+  }
+}
+
+TEST(ExpectationTest, ProbabilityOptimalMatchesEmpiricalCalculator) {
+  auto fx = MakeDistribution(Spec(), "fx-iu2").value();
+  for (double p : {0.3, 0.5, 0.7}) {
+    auto cost = ComputeExpectedCost(*fx, p).value();
+    auto prob = EmpiricalOptimality(*fx, p);
+    EXPECT_NEAR(cost.probability_optimal, prob.probability, 1e-9) << p;
+  }
+}
+
+TEST(ExpectationTest, FxBeatsModuloAcrossTheSweep) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto md = MakeDistribution(Spec(), "modulo").value();
+  for (double p = 0.1; p < 1.0; p += 0.2) {
+    const double fx_cost =
+        ComputeExpectedCost(*fx, p)->expected_largest_response;
+    const double md_cost =
+        ComputeExpectedCost(*md, p)->expected_largest_response;
+    EXPECT_LE(fx_cost, md_cost + 1e-9) << "p=" << p;
+  }
+}
+
+TEST(ExpectationTest, MonotoneInSelectivity) {
+  // More wildcards (lower p) can only grow the expected response.
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  double prev = 1e300;
+  for (double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double cost =
+        ComputeExpectedCost(*fx, p)->expected_largest_response;
+    EXPECT_LE(cost, prev + 1e-9);
+    prev = cost;
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,94 @@
+#include "analysis/fast_response.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+class FastResponseTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(FastResponseTest, MatchesEnumerationOnAllMasks) {
+  auto spec = FieldSpec::Create({4, 8, 2, 16}, 8).value();
+  auto method = MakeDistribution(spec, GetParam()).value();
+  for (std::uint64_t mask = 0; mask < 16; ++mask) {
+    auto query =
+        PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+    const ResponseVector slow = ComputeResponseVector(*method, query);
+    const ResponseVector fast = MaskResponse(*method, mask);
+    EXPECT_EQ(fast.per_device, slow.per_device) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, FastResponseTest,
+                         testing::Values("fx-basic", "fx-iu1", "fx-iu2",
+                                         "modulo", "gdm1", "gdm2", "gdm3"));
+
+TEST(FastResponseTest, MatchesEnumerationOnTable9Spec) {
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto fx = MakeDistribution(spec, "fx-iu2").value();
+  // Spot-check a few masks including the full one.
+  for (std::uint64_t mask : {0b000011ull, 0b011100ull, 0b111111ull}) {
+    auto query =
+        PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+    EXPECT_EQ(MaskResponse(*fx, mask).per_device,
+              ComputeResponseVector(*fx, query).per_device)
+        << "mask=" << mask;
+  }
+}
+
+TEST(FastResponseTest, HandlesAstronomicalBucketSpaces) {
+  // 4096^6 ~ 5e21 buckets — enumeration is impossible; WHT is exact.
+  auto spec = FieldSpec::Uniform(6, 4096, 4096).value();
+  auto fx = MakeDistribution(spec, "fx-basic").value();
+  const ResponseVector rv =
+      MaskResponse(*dynamic_cast<FXDistribution*>(fx.get()), 0b111111);
+  // Basic FX with all F = M: perfectly uniform, 4096^5 per device.
+  const auto expected = static_cast<std::uint64_t>(1) << 60;  // 4096^5
+  EXPECT_EQ(rv.Max(), expected);
+  std::uint64_t distinct = 0;
+  for (auto c : rv.per_device) {
+    if (c != expected) ++distinct;
+  }
+  EXPECT_EQ(distinct, 0u);
+}
+
+TEST(FastResponseTest, IsMaskStrictOptimalAgreesWithChecker) {
+  auto spec = FieldSpec::Create({4, 4, 8}, 16).value();
+  for (const char* name : {"fx-iu2", "fx-basic", "modulo"}) {
+    auto method = MakeDistribution(spec, name).value();
+    for (std::uint64_t mask = 0; mask < 8; ++mask) {
+      auto query =
+          PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+      EXPECT_EQ(IsMaskStrictOptimal(*method, mask),
+                IsStrictOptimal(*method, query))
+          << name << " mask=" << mask;
+    }
+  }
+}
+
+TEST(FastResponseTest, StrictOptimalityBeyond64BitQualifiedCounts) {
+  // Regression: |R(q)| = 4096^6 = 2^72 overflows uint64; the bound must be
+  // computed in 128 bits.  Basic FX with all F = M is perfectly uniform,
+  // so every mask — including the full one — is strict optimal.
+  auto spec = FieldSpec::Uniform(6, 4096, 4096).value();
+  auto fx = MakeDistribution(spec, "fx-basic").value();
+  EXPECT_TRUE(IsMaskStrictOptimal(*fx, 0b111111));
+  // And with one 16-wide field: |R(q)| = 16 * 4096^5 = 2^64 exactly.
+  auto spec2 = FieldSpec::Create({16, 4096, 4096, 4096, 4096, 4096}, 4096)
+                   .value();
+  auto fx2 = MakeDistribution(spec2, "fx-iu2").value();
+  EXPECT_TRUE(IsMaskStrictOptimal(*fx2, 0b111111));
+}
+
+TEST(FastResponseTest, EmptyMaskIsDeltaAtDeviceZero) {
+  auto spec = FieldSpec::Uniform(3, 8, 8).value();
+  auto fx = MakeDistribution(spec, "fx-basic").value();
+  const ResponseVector rv = MaskResponse(*fx, 0);
+  EXPECT_EQ(rv.per_device[0], 1u);
+  EXPECT_EQ(rv.Total(), 1u);
+}
+
+}  // namespace
+}  // namespace fxdist

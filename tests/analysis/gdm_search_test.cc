@@ -1,0 +1,65 @@
+#include "analysis/gdm_search.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/optimality.h"
+#include "core/gdm.h"
+
+namespace fxdist {
+namespace {
+
+TEST(GdmSearchTest, ScoreMatchesExhaustiveChecker) {
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  // 3*J1 + 4*J2 mod 16 is a bijection on the 16 buckets: perfect optimal.
+  auto perfect = ScoreGdmMultipliers(spec, {3, 4});
+  EXPECT_DOUBLE_EQ(perfect.optimal_mask_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.mean_overload, 1.0);
+  // Plain modulo (1,1) is skewed.
+  auto modulo = ScoreGdmMultipliers(spec, {1, 1});
+  EXPECT_LT(modulo.optimal_mask_fraction, 1.0);
+  EXPECT_GT(modulo.mean_overload, 1.0);
+}
+
+TEST(GdmSearchTest, FindsPerfectMultipliersForTable2System) {
+  // The paper: "GDM method can also give optimal distribution by
+  // multiplying 3 to the first field values and 4 to the second ...
+  // these parameters should be found by trial and error."  Run the trial
+  // and error.
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto result = SearchGdmMultipliers(spec).value();
+  EXPECT_DOUBLE_EQ(result.optimal_mask_fraction, 1.0)
+      << "multipliers " << result.multipliers[0] << ","
+      << result.multipliers[1];
+  // Verify the claim against the real checker.
+  auto gdm = GDMDistribution::Make(spec, result.multipliers).value();
+  EXPECT_TRUE(CheckPerfectOptimal(*gdm).optimal);
+}
+
+TEST(GdmSearchTest, SearchedBeatsOrMatchesPublishedSets) {
+  auto spec = FieldSpec::Uniform(4, 8, 32).value();
+  GdmSearchOptions options;
+  options.restarts = 4;
+  auto searched = SearchGdmMultipliers(spec, options).value();
+  auto gdm1 = ScoreGdmMultipliers(spec, {2, 3, 5, 7});
+  EXPECT_GE(searched.optimal_mask_fraction, gdm1.optimal_mask_fraction);
+  EXPECT_GT(searched.candidates_evaluated, 10u);
+}
+
+TEST(GdmSearchTest, RejectsTooManyFields) {
+  auto spec = FieldSpec::Uniform(20, 2, 4).value();
+  EXPECT_FALSE(SearchGdmMultipliers(spec).ok());
+}
+
+TEST(GdmSearchTest, DeterministicForSeed) {
+  auto spec = FieldSpec::Create({4, 8}, 16).value();
+  GdmSearchOptions options;
+  options.restarts = 2;
+  options.seed = 77;
+  auto a = SearchGdmMultipliers(spec, options).value();
+  auto b = SearchGdmMultipliers(spec, options).value();
+  EXPECT_EQ(a.multipliers, b.multipliers);
+  EXPECT_DOUBLE_EQ(a.optimal_mask_fraction, b.optimal_mask_fraction);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,108 @@
+#include "analysis/optimality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fx.h"
+#include "core/modulo.h"
+
+namespace fxdist {
+namespace {
+
+TEST(OptimalityTest, ResponseVectorCountsBuckets) {
+  auto spec = FieldSpec::Create({2, 8}, 4).value();
+  auto fx = FXDistribution::Basic(spec);
+  PartialMatchQuery whole(2);
+  ResponseVector rv = ComputeResponseVector(*fx, whole);
+  EXPECT_EQ(rv.per_device.size(), 4u);
+  EXPECT_EQ(rv.Total(), 16u);
+  EXPECT_EQ(rv.Max(), 4u);
+}
+
+TEST(OptimalityTest, StrictOptimalBound) {
+  auto spec = FieldSpec::Create({2, 8}, 4).value();
+  auto q1 = PartialMatchQuery::Create(spec, {0, std::nullopt}).value();
+  EXPECT_EQ(StrictOptimalBound(spec, q1), 2u);  // ceil(8/4)
+  auto q2 = PartialMatchQuery::Create(spec, {std::nullopt, 0}).value();
+  EXPECT_EQ(StrictOptimalBound(spec, q2), 1u);  // ceil(2/4)
+}
+
+TEST(OptimalityTest, Example1IsStrictOptimalPerPaper) {
+  // Paper's Example 1: first field = (001), second unspecified, each
+  // device gets exactly 2 of the 8 qualified buckets.
+  auto spec = FieldSpec::Create({2, 8}, 4).value();
+  auto fx = FXDistribution::Basic(spec);
+  auto q = PartialMatchQuery::Create(spec, {1, std::nullopt}).value();
+  ResponseVector rv = ComputeResponseVector(*fx, q);
+  for (std::uint64_t c : rv.per_device) EXPECT_EQ(c, 2u);
+  EXPECT_TRUE(IsStrictOptimal(*fx, q));
+}
+
+TEST(OptimalityTest, PerfectOptimalForPaperExample1) {
+  // Table 1's file system is perfect optimal under Basic FX.
+  auto spec = FieldSpec::Create({2, 8}, 4).value();
+  auto fx = FXDistribution::Basic(spec);
+  OptimalityReport report = CheckPerfectOptimal(*fx);
+  EXPECT_TRUE(report.optimal) << report.counterexample->ToString();
+}
+
+TEST(OptimalityTest, BasicFxFailsWhenAllFieldsSmall) {
+  // M = 16 with f1 = {0,1}, f2 = {0..7}: Basic FX cannot reach devices
+  // >= 8, so the 2-unspecified query is not strict optimal (paper §3).
+  auto spec = FieldSpec::Create({2, 8}, 16).value();
+  auto fx = FXDistribution::Basic(spec);
+  PartialMatchQuery whole(2);
+  EXPECT_FALSE(IsStrictOptimal(*fx, whole));
+  OptimalityReport report = CheckKOptimal(*fx, 2);
+  EXPECT_FALSE(report.optimal);
+  ASSERT_TRUE(report.counterexample.has_value());
+  EXPECT_EQ(report.counterexample->NumUnspecified(), 2u);
+}
+
+TEST(OptimalityTest, ZeroAndOneOptimalAlwaysHoldForFx) {
+  // Theorem 1 smoke check on an awkward spec.
+  auto spec = FieldSpec::Create({2, 4, 8, 64}, 32).value();
+  auto fx = FXDistribution::Basic(spec);
+  EXPECT_TRUE(CheckKOptimal(*fx, 0).optimal);
+  EXPECT_TRUE(CheckKOptimal(*fx, 1).optimal);
+}
+
+TEST(OptimalityTest, ShiftInvariantFastPathAgreesWithExhaustive) {
+  // The one-representative-per-mask path must give the same verdicts as
+  // enumerating every specified-value combination.
+  auto spec = FieldSpec::Create({4, 4, 4}, 16).value();
+  for (const char* dist : {"fx-basic", "fx-iu2", "modulo"}) {
+    SCOPED_TRACE(dist);
+    auto fx = FXDistribution::Planned(spec);
+    std::unique_ptr<DistributionMethod> method;
+    if (std::string(dist) == "fx-basic") {
+      method = FXDistribution::Basic(spec);
+    } else if (std::string(dist) == "fx-iu2") {
+      method = FXDistribution::Planned(spec);
+    } else {
+      method = ModuloDistribution::Make(spec);
+    }
+    for (unsigned k = 0; k <= 3; ++k) {
+      EXPECT_EQ(CheckKOptimal(*method, k).optimal,
+                CheckKOptimal(*method, k, /*force_exhaustive=*/true).optimal)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(OptimalityTest, ExhaustiveSweepsCountQueries) {
+  auto spec = FieldSpec::Create({4, 4}, 4).value();
+  auto fx = FXDistribution::Basic(spec);
+  // k=1: 2 masks; exhaustive visits 4 specified values each.
+  EXPECT_EQ(CheckKOptimal(*fx, 1).queries_checked, 2u);
+  EXPECT_EQ(CheckKOptimal(*fx, 1, true).queries_checked, 8u);
+}
+
+TEST(OptimalityTest, ModuloNotKOptimalInSkewedSystem) {
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto md = ModuloDistribution::Make(spec);
+  EXPECT_TRUE(CheckKOptimal(*md, 1).optimal);
+  EXPECT_FALSE(CheckKOptimal(*md, 2).optimal);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,115 @@
+#include "analysis/probability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fx.h"
+#include "core/modulo.h"
+
+namespace fxdist {
+namespace {
+
+TEST(ProbabilityTest, AllOptimalGivesOne) {
+  auto spec = FieldSpec::Uniform(4, 8, 8).value();
+  auto result = OptimalityProbabilityOver(
+      spec, [](const std::vector<unsigned>&) { return true; });
+  EXPECT_DOUBLE_EQ(result.probability, 1.0);
+  EXPECT_EQ(result.optimal_masks, 16u);
+  EXPECT_EQ(result.total_masks, 16u);
+}
+
+TEST(ProbabilityTest, HalfProbabilityCountsMasksUniformly) {
+  // p = 0.5 weights every mask equally, so the probability equals the
+  // mask fraction.
+  auto spec = FieldSpec::Uniform(4, 8, 8).value();
+  auto result = OptimalityProbabilityOver(
+      spec,
+      [](const std::vector<unsigned>& u) { return u.size() <= 1; });
+  EXPECT_EQ(result.optimal_masks, 5u);  // C(4,0) + C(4,1)
+  EXPECT_DOUBLE_EQ(result.probability, 5.0 / 16.0);
+}
+
+TEST(ProbabilityTest, SkewedSpecificationProbability) {
+  // With p -> 1 almost every query is fully specified, so optimality
+  // probability approaches 1 for any predicate accepting the empty set.
+  auto spec = FieldSpec::Uniform(4, 8, 8).value();
+  auto result = OptimalityProbabilityOver(
+      spec, [](const std::vector<unsigned>& u) { return u.empty(); },
+      0.99);
+  EXPECT_GT(result.probability, 0.95);
+}
+
+TEST(ProbabilityTest, ModuloAnalyticAllBigFields) {
+  // L = 0: every field >= M, Modulo is optimal for everything.
+  auto spec = FieldSpec::Uniform(6, 64, 32).value();
+  auto r = ModuloAnalyticOptimality(spec);
+  EXPECT_DOUBLE_EQ(r.probability, 1.0);
+}
+
+TEST(ProbabilityTest, ModuloAnalyticAllSmallFields) {
+  // L = n: only masks with <= 1 unspecified survive: (1 + n) / 2^n.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto r = ModuloAnalyticOptimality(spec);
+  EXPECT_DOUBLE_EQ(r.probability, 7.0 / 64.0);
+}
+
+TEST(ProbabilityTest, FxAnalyticBeatsModuloInFig1Regime) {
+  // Figure 1 setup: n = 6, pairwise products >= M, I/U/IU1 round-robin.
+  // FX must dominate Modulo for every L >= 2.
+  for (unsigned small = 2; small <= 6; ++small) {
+    std::vector<std::uint64_t> sizes(6, 64);  // big fields
+    for (unsigned i = 0; i < small; ++i) sizes[i] = 8;
+    auto spec = FieldSpec::Create(sizes, 64).value();  // 8*8 = 64 >= M
+    auto plan = TransformPlan::Plan(spec, PlanFamily::kIU1);
+    auto fx = FxAnalyticOptimality(spec, plan.kinds());
+    auto md = ModuloAnalyticOptimality(spec);
+    EXPECT_GT(fx.probability, md.probability) << "L=" << small;
+    EXPECT_GT(fx.probability, 0.9) << "L=" << small;
+  }
+}
+
+TEST(ProbabilityTest, AnalyticNeverExceedsEmpirical) {
+  // Sufficient conditions undercount: the analytic probability is a lower
+  // bound on the empirical one.
+  for (std::uint64_t m : {8u, 16u, 32u}) {
+    auto spec = FieldSpec::Create({4, 4, 8, 8}, m).value();
+    auto plan = TransformPlan::Plan(spec, PlanFamily::kIU2);
+    auto fx = FXDistribution::WithPlan(plan);
+    auto analytic = FxAnalyticOptimality(spec, plan.kinds());
+    auto empirical = EmpiricalOptimality(*fx);
+    EXPECT_LE(analytic.probability, empirical.probability + 1e-12)
+        << "M=" << m;
+    auto md = ModuloDistribution::Make(spec);
+    auto md_analytic = ModuloAnalyticOptimality(spec);
+    auto md_empirical = EmpiricalOptimality(*md);
+    EXPECT_LE(md_analytic.probability, md_empirical.probability + 1e-12)
+        << "M=" << m;
+  }
+}
+
+TEST(ProbabilityTest, EmpiricalMatchesPerfectOptimalSystems) {
+  // L <= 3 planned FX is perfect optimal (Theorem 9): empirical = 1.
+  auto spec = FieldSpec::Create({4, 8, 2, 64}, 16).value();
+  auto fx = FXDistribution::Planned(spec);
+  auto r = EmpiricalOptimality(*fx);
+  EXPECT_EQ(r.optimal_masks, r.total_masks);
+  EXPECT_DOUBLE_EQ(r.probability, 1.0);
+}
+
+TEST(ProbabilityTest, WeightsSumToOneAcrossPredicateSplit) {
+  // P(optimal) + P(not optimal) == 1 for any predicate and p.
+  auto spec = FieldSpec::Uniform(5, 8, 16).value();
+  auto pred = [](const std::vector<unsigned>& u) {
+    return u.size() % 2 == 0;
+  };
+  auto notpred = [&](const std::vector<unsigned>& u) { return !pred(u); };
+  for (double p : {0.2, 0.5, 0.8}) {
+    auto a = OptimalityProbabilityOver(spec, pred, p);
+    auto b = OptimalityProbabilityOver(spec, notpred, p);
+    EXPECT_NEAR(a.probability + b.probability, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,75 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+TEST(ReportTest, EvaluatesFxOnPerfectSystem) {
+  auto spec = FieldSpec::Create({2, 8}, 4).value();
+  auto fx = MakeDistribution(spec, "fx-basic").value();
+  auto report = EvaluateMethod(*fx).value();
+  EXPECT_EQ(report.method_name, "FX-basic");
+  EXPECT_DOUBLE_EQ(report.optimal_class_fraction, 1.0);
+  EXPECT_GT(report.address_cycles, 0u);
+  // k_min=2, n=2 -> one entry: the whole-file query, 16/4 buckets.
+  ASSERT_EQ(report.avg_largest_by_k.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.avg_largest_by_k[0], 4.0);
+}
+
+TEST(ReportTest, KRangeRespected) {
+  auto spec = FieldSpec::Uniform(4, 8, 16).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  ReportOptions options;
+  options.k_min = 1;
+  options.k_max = 3;
+  auto report = EvaluateMethod(*fx, options).value();
+  EXPECT_EQ(report.k_min, 1u);
+  EXPECT_EQ(report.avg_largest_by_k.size(), 3u);
+}
+
+TEST(ReportTest, NonInvariantMethodWithinBudget) {
+  auto spec = FieldSpec::Create({4, 4}, 4).value();
+  auto rd = MakeDistribution(spec, "random").value();
+  auto report = EvaluateMethod(*rd);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->optimal_class_fraction, 1.0);
+}
+
+TEST(ReportTest, NonInvariantMethodOverBudgetRejected) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto rd = MakeDistribution(spec, "random").value();
+  ReportOptions options;
+  options.enumeration_budget = 1000;  // 8^6 buckets >> 1000
+  EXPECT_FALSE(EvaluateMethod(*rd, options).ok());
+}
+
+TEST(ReportTest, CompareMethodsSkipsUnbuildable) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();  // too big for spanning
+  auto reports =
+      CompareMethods(spec, {"fx-iu1", "modulo", "spanning"}).value();
+  EXPECT_EQ(reports.size(), 2u);
+}
+
+TEST(ReportTest, CompareMethodsAllFailIsError) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  EXPECT_FALSE(CompareMethods(spec, {"spanning", "nonsense"}).ok());
+}
+
+TEST(ReportTest, FxBeatsModuloInReport) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto reports = CompareMethods(spec, {"fx-iu1", "modulo"}).value();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_GT(reports[0].optimal_class_fraction,
+            reports[1].optimal_class_fraction);
+  for (std::size_t i = 0; i < reports[0].avg_largest_by_k.size(); ++i) {
+    EXPECT_LE(reports[0].avg_largest_by_k[i],
+              reports[1].avg_largest_by_k[i])
+        << "k index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,117 @@
+#include "analysis/response.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fx.h"
+#include "core/modulo.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+TEST(ResponseTest, OptimalBaselineTable7Values) {
+  // Table 7: M = 32, six fields of size 8 — Optimal column is
+  // 8^k / 32 for k >= 2.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 2).average, 2.0);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 3).average, 16.0);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 4).average, 128.0);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 5).average, 1024.0);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 6).average, 8192.0);
+}
+
+TEST(ResponseTest, OptimalBaselineTable8Values) {
+  auto spec = FieldSpec::Uniform(6, 8, 64).value();
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 2).average, 1.0);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 3).average, 8.0);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 6).average, 4096.0);
+}
+
+TEST(ResponseTest, OptimalBaselineMixedSizes) {
+  // Table 9 spec: M = 512, F = {8,8,8,16,16,16}.  k=4/5/6 rows have the
+  // closed-form values 35.2 / 384 / 4096.
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 2).average, 1.0);
+  EXPECT_NEAR(OptimalLargestResponse(spec, 4).average, 35.2, 1e-9);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 5).average, 384.0);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 6).average, 4096.0);
+}
+
+TEST(ResponseTest, PopulationSizesAreBinomials) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  EXPECT_EQ(OptimalLargestResponse(spec, 2).queries, 15u);
+  EXPECT_EQ(OptimalLargestResponse(spec, 3).queries, 20u);
+  auto fx = FXDistribution::Planned(spec, PlanFamily::kIU1);
+  EXPECT_EQ(AverageLargestResponse(*fx, 2).queries, 15u);
+}
+
+TEST(ResponseTest, MethodAverageNeverBeatsOptimal) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  for (const char* name : {"fx-iu1", "modulo", "gdm1"}) {
+    auto method = MakeDistribution(spec, name).value();
+    for (unsigned k = 2; k <= 6; ++k) {
+      EXPECT_GE(AverageLargestResponse(*method, k).average,
+                OptimalLargestResponse(spec, k).average - 1e-9)
+          << name << " k=" << k;
+    }
+  }
+}
+
+TEST(ResponseTest, FxHitsOptimalInTable7Regime) {
+  // Table 7 shows FX = Optimal for k = 4, 5, 6 (every pair product
+  // 8*8 = 64 >= 32 and I/U/IU1 diversity covers the masks).
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  for (unsigned k = 4; k <= 6; ++k) {
+    EXPECT_DOUBLE_EQ(AverageLargestResponse(*fx, k).average,
+                     OptimalLargestResponse(spec, k).average)
+        << "k=" << k;
+  }
+}
+
+TEST(ResponseTest, ModuloMuchWorseThanFxForSmallFields) {
+  // Table 7 shape: Modulo's k=2 average is ~8.0 vs FX ~3.2.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  const double md_avg = AverageLargestResponse(*md, 2).average;
+  const double fx_avg = AverageLargestResponse(*fx, 2).average;
+  EXPECT_GT(md_avg, 2.0 * fx_avg);
+}
+
+TEST(ResponseTest, PercentilesOrderedAndConsistentWithStats) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  for (const char* name : {"fx-iu1", "modulo", "gdm1"}) {
+    auto method = MakeDistribution(spec, name).value();
+    for (unsigned k = 2; k <= 4; ++k) {
+      const auto stats = AverageLargestResponse(*method, k);
+      const auto pct = LargestResponsePercentiles(*method, k);
+      EXPECT_EQ(pct.classes, stats.queries) << name << " k=" << k;
+      EXPECT_LE(pct.p50, pct.p95) << name << " k=" << k;
+      EXPECT_LE(pct.p95, pct.max) << name << " k=" << k;
+      EXPECT_DOUBLE_EQ(pct.max, static_cast<double>(stats.max));
+      EXPECT_LE(stats.average, pct.max);
+    }
+  }
+}
+
+TEST(ResponseTest, TailExposesWhatTheMeanHides) {
+  // Table 7, k=2: FX's mean is 3.2 but three of the fifteen classes hit
+  // 8.0 (same-method pairs) — p95 shows it.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  const auto pct = LargestResponsePercentiles(*fx, 2);
+  EXPECT_DOUBLE_EQ(pct.p50, 2.0);
+  EXPECT_DOUBLE_EQ(pct.max, 8.0);
+}
+
+TEST(ResponseTest, WholeFileQueryMatchesTotalOverM) {
+  auto spec = FieldSpec::Uniform(4, 8, 16).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  auto stats = AverageLargestResponse(*fx, 4);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_DOUBLE_EQ(stats.average, 4096.0 / 16.0);
+}
+
+}  // namespace
+}  // namespace fxdist

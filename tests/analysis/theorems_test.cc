@@ -1,0 +1,210 @@
+// Empirical verification of the paper's lemmas and theorems.
+//
+// Every claim is checked exhaustively over a grid of file systems — the
+// strongest form of reproduction for a theory paper: if an implementation
+// detail (transform definitions, T_M, planning) were wrong, these sweeps
+// would find a counterexample.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "analysis/optimality.h"
+#include "core/fx.h"
+#include "core/transform.h"
+#include "util/bitops.h"
+
+namespace fxdist {
+namespace {
+
+// --- Lemma 1.1: Z_M [+] k == Z_M ---------------------------------------------
+
+TEST(LemmaTest, Lemma1_1XorPermutesZM) {
+  for (std::uint64_t m : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    for (std::uint64_t k = 0; k < m; ++k) {
+      std::set<std::uint64_t> image;
+      for (std::uint64_t z = 0; z < m; ++z) image.insert(z ^ k);
+      EXPECT_EQ(image.size(), m);
+      EXPECT_EQ(*image.begin(), 0u);
+      EXPECT_EQ(*image.rbegin(), m - 1);
+    }
+  }
+}
+
+// --- Lemma 4.1: W [+] L == {aw, ..., (a+1)w - 1} ------------------------------
+
+TEST(LemmaTest, Lemma4_1IntervalXor) {
+  for (std::uint64_t w : {2u, 4u, 8u, 16u}) {
+    for (std::uint64_t l = 0; l < 8 * w; ++l) {
+      const std::uint64_t a = l / w;
+      std::set<std::uint64_t> image;
+      for (std::uint64_t x = 0; x < w; ++x) image.insert(x ^ l);
+      EXPECT_EQ(*image.begin(), a * w) << "w=" << w << " L=" << l;
+      EXPECT_EQ(*image.rbegin(), (a + 1) * w - 1);
+      EXPECT_EQ(image.size(), w);
+    }
+  }
+}
+
+// --- Theorem 1: Basic FX is 0- and 1-optimal ----------------------------------
+
+struct SpecCase {
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t m;
+};
+
+class Theorem1Test : public testing::TestWithParam<SpecCase> {};
+
+TEST_P(Theorem1Test, BasicFxZeroAndOneOptimal) {
+  auto spec = FieldSpec::Create(GetParam().sizes, GetParam().m).value();
+  auto fx = FXDistribution::Basic(spec);
+  EXPECT_TRUE(CheckKOptimal(*fx, 0, /*force_exhaustive=*/true).optimal);
+  EXPECT_TRUE(CheckKOptimal(*fx, 1, /*force_exhaustive=*/true).optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem1Test,
+    testing::Values(SpecCase{{2, 8}, 4}, SpecCase{{2, 8}, 16},
+                    SpecCase{{4, 4, 4}, 8}, SpecCase{{2, 2, 2, 2}, 16},
+                    SpecCase{{8, 16, 32}, 16}, SpecCase{{2, 4, 8, 16}, 8}));
+
+// --- Theorem 2: a big unspecified field rescues any query ---------------------
+
+TEST(Theorem2Test, BigUnspecifiedFieldImpliesStrictOptimal) {
+  // All queries with >= 2 unspecified fields, at least one with F >= M,
+  // are strict optimal under Basic FX.
+  auto spec = FieldSpec::Create({2, 4, 16, 32}, 16).value();
+  auto fx = FXDistribution::Basic(spec);
+  const unsigned n = spec.num_fields();
+  for (std::uint64_t mask = 0; mask < (1u << n); ++mask) {
+    if (PopCount(mask) < 2) continue;
+    bool has_big = false;
+    for (unsigned i = 0; i < n; ++i) {
+      if (((mask >> i) & 1u) && spec.field_size(i) >= 16) has_big = true;
+    }
+    if (!has_big) continue;
+    auto q = PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+    EXPECT_TRUE(IsStrictOptimal(*fx, q)) << "mask=" << mask;
+  }
+}
+
+// --- Theorems 4-8: pairwise transformation combinations are perfect ----------
+
+struct PairCase {
+  TransformKind first;
+  TransformKind second;
+  std::uint64_t f1;
+  std::uint64_t f2;
+  std::uint64_t m;
+};
+
+class PairwisePerfectTest : public testing::TestWithParam<PairCase> {};
+
+TEST_P(PairwisePerfectTest, TwoSmallFieldsPerfectOptimal) {
+  const auto& p = GetParam();
+  auto spec = FieldSpec::Create({p.f1, p.f2}, p.m).value();
+  auto plan = TransformPlan::Create(spec, {p.first, p.second}).value();
+  auto fx = FXDistribution::WithPlan(plan);
+  OptimalityReport report =
+      CheckPerfectOptimal(*fx, /*force_exhaustive=*/true);
+  EXPECT_TRUE(report.optimal)
+      << plan.ToString() << " on " << spec.ToString() << " fails at "
+      << report.counterexample->ToString();
+}
+
+std::vector<PairCase> PairwiseGrid() {
+  // Theorem 4: I+U.  Theorem 5: I+IU1.  Theorem 6: U+IU1.
+  // Theorem 7: I+IU2.  Theorem 8: U+IU2.
+  const std::vector<std::pair<TransformKind, TransformKind>> combos = {
+      {TransformKind::kIdentity, TransformKind::kU},
+      {TransformKind::kIdentity, TransformKind::kIU1},
+      {TransformKind::kU, TransformKind::kIU1},
+      {TransformKind::kIdentity, TransformKind::kIU2},
+      {TransformKind::kU, TransformKind::kIU2},
+  };
+  std::vector<PairCase> cases;
+  for (const auto& [a, b] : combos) {
+    for (std::uint64_t m : {4u, 8u, 16u, 32u, 64u}) {
+      for (std::uint64_t f1 = 2; f1 < m; f1 *= 2) {
+        for (std::uint64_t f2 = 2; f2 < m; f2 *= 2) {
+          cases.push_back({a, b, f1, f2, m});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombosAndSizes, PairwisePerfectTest,
+                         testing::ValuesIn(PairwiseGrid()));
+
+// --- Theorem 9 / Lemma 9.1: three small fields with I, U, IU2 -----------------
+
+class Theorem9Test : public testing::TestWithParam<SpecCase> {};
+
+TEST_P(Theorem9Test, PlannedFxPerfectOptimalWhenAtMostThreeSmall) {
+  auto spec = FieldSpec::Create(GetParam().sizes, GetParam().m).value();
+  ASSERT_LE(spec.NumSmallFields(), 3u);
+  auto fx = FXDistribution::Planned(spec);
+  OptimalityReport report = CheckPerfectOptimal(*fx);
+  EXPECT_TRUE(report.optimal)
+      << fx->plan().ToString() << " on " << spec.ToString() << " fails at "
+      << report.counterexample->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem9Test,
+    testing::Values(
+        // L = 0, 1, 2 cases.
+        SpecCase{{16, 16}, 16}, SpecCase{{4, 16}, 16},
+        SpecCase{{4, 8}, 16}, SpecCase{{8, 8, 64}, 32},
+        // L = 3 with all pairwise products below M (hard Lemma 9.1 case).
+        SpecCase{{4, 4, 4}, 64}, SpecCase{{2, 2, 2}, 16},
+        SpecCase{{2, 4, 8}, 64}, SpecCase{{4, 4, 8}, 64},
+        SpecCase{{2, 2, 4}, 32}, SpecCase{{2, 4, 4}, 64},
+        // L = 3 mixed with big fields.
+        SpecCase{{4, 4, 4, 64}, 64}, SpecCase{{2, 32, 4, 8}, 32},
+        // L = 3 with some pairwise products >= M.
+        SpecCase{{8, 8, 8}, 16}, SpecCase{{8, 8, 8}, 32},
+        SpecCase{{16, 16, 16}, 32}, SpecCase{{4, 16, 16}, 64}));
+
+// --- The Sung87 impossibility frontier ----------------------------------------
+
+TEST(ImpossibilityTest, FourSmallSameSizeFieldsCanDefeatFx) {
+  // §4.2: no method is always perfect optimal once >= 4 fields are smaller
+  // than M.  Verify our planner indeed fails somewhere for such a system
+  // (this guards against the checker silently passing everything).
+  auto spec = FieldSpec::Uniform(4, 2, 64).value();
+  auto fx = FXDistribution::Planned(spec);
+  OptimalityReport report = CheckPerfectOptimal(*fx);
+  EXPECT_FALSE(report.optimal);
+  ASSERT_TRUE(report.counterexample.has_value());
+  EXPECT_GE(report.counterexample->NumUnspecified(), 2u);
+}
+
+TEST(ImpossibilityTest, PaperSection3Example) {
+  // §3: f1 = {0,1}, f2 = {0..7}, M = 16 — Basic FX is not optimal, but
+  // the planner's transformation fixes it (the §4 motivating example).
+  auto spec = FieldSpec::Create({2, 8}, 16).value();
+  EXPECT_FALSE(CheckPerfectOptimal(*FXDistribution::Basic(spec)).optimal);
+  EXPECT_TRUE(CheckPerfectOptimal(*FXDistribution::Planned(spec)).optimal);
+}
+
+// --- Corollary 6.1 condition (3) sanity ---------------------------------------
+
+TEST(Corollary61Test, ThreeSmallFieldsWithQualifyingPair) {
+  // |q(f)| = 3, two of them with F_p * F_q >= M and different methods.
+  auto spec = FieldSpec::Uniform(3, 8, 32).value();
+  auto plan = TransformPlan::Create(spec, {TransformKind::kIdentity,
+                                           TransformKind::kU,
+                                           TransformKind::kIU1})
+                  .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  PartialMatchQuery whole(3);
+  EXPECT_TRUE(IsStrictOptimal(*fx, whole));
+}
+
+}  // namespace
+}  // namespace fxdist

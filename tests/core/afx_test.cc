@@ -1,0 +1,88 @@
+#include "core/afx.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/fast_response.h"
+#include "analysis/optimality.h"
+#include "core/fx.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+TEST(AfxTest, DeviceIsTransformedSumModM) {
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto plan = TransformPlan::Create(
+                  spec, {TransformKind::kIdentity, TransformKind::kU})
+                  .value();
+  auto afx = AdditiveFoldDistribution::WithPlan(plan);
+  // U(f2) = {0,4,8,12}: device = (J1 + 4*J2) mod 16.
+  EXPECT_EQ(afx->DeviceOf({0, 0}), 0u);
+  EXPECT_EQ(afx->DeviceOf({3, 2}), (3 + 8) % 16u);
+  EXPECT_EQ(afx->DeviceOf({3, 3}), 15u);
+}
+
+TEST(AfxTest, BasicEqualsModulo) {
+  // With identity transforms, additive folding *is* Disk Modulo.
+  auto spec = FieldSpec::Create({8, 4, 2}, 8).value();
+  auto afx = AdditiveFoldDistribution::Basic(spec);
+  auto md = MakeDistribution(spec, "modulo").value();
+  ForEachBucket(spec, [&](const BucketId& b) {
+    EXPECT_EQ(afx->DeviceOf(b), md->DeviceOf(b));
+    return true;
+  });
+}
+
+TEST(AfxTest, RegistryConstructs) {
+  auto spec = FieldSpec::Uniform(4, 8, 32).value();
+  for (const char* name : {"afx-basic", "afx-iu1", "afx-iu2"}) {
+    auto m = MakeDistribution(spec, name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_NE(dynamic_cast<AdditiveFoldDistribution*>(m->get()), nullptr);
+  }
+}
+
+TEST(AfxTest, FastResponseMatchesEnumeration) {
+  auto spec = FieldSpec::Create({4, 8, 2}, 16).value();
+  auto afx = MakeDistribution(spec, "afx-iu2").value();
+  for (std::uint64_t mask = 0; mask < 8; ++mask) {
+    auto query =
+        PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+    EXPECT_EQ(MaskResponse(*afx, mask).per_device,
+              ComputeResponseVector(*afx, query).per_device)
+        << "mask=" << mask;
+  }
+}
+
+TEST(AfxTest, IsShiftInvariant) {
+  auto spec = FieldSpec::Uniform(3, 4, 16).value();
+  EXPECT_TRUE(MakeDistribution(spec, "afx-iu2").value()->IsShiftInvariant());
+}
+
+TEST(AfxTest, IUTransformedAdditiveFoldLosesOptimality) {
+  // The ablation's point: the same I+IU1 plan that is *perfect* under XOR
+  // folding (Theorem 5) is not under additive folding — Lemma 4.1's
+  // interval structure does not survive addition.
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto plan = TransformPlan::Create(
+                  spec, {TransformKind::kIdentity, TransformKind::kIU1})
+                  .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  auto afx = AdditiveFoldDistribution::WithPlan(plan);
+  EXPECT_TRUE(CheckPerfectOptimal(*fx).optimal);
+  EXPECT_FALSE(CheckPerfectOptimal(*afx).optimal);
+}
+
+TEST(AfxTest, IdentityPlusUStillWorksAdditively) {
+  // I+U *does* survive additive folding — it is exactly the GDM (1, d)
+  // tiling.  The ablation separates which theorems need XOR specifically.
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto plan = TransformPlan::Create(
+                  spec, {TransformKind::kIdentity, TransformKind::kU})
+                  .value();
+  auto afx = AdditiveFoldDistribution::WithPlan(plan);
+  EXPECT_TRUE(CheckPerfectOptimal(*afx).optimal);
+}
+
+}  // namespace
+}  // namespace fxdist

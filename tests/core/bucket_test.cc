@@ -1,0 +1,75 @@
+#include "core/bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec() { return FieldSpec::Create({2, 8, 4}, 4).value(); }
+
+TEST(BucketTest, Validity) {
+  const FieldSpec spec = Spec();
+  EXPECT_TRUE(IsValidBucket(spec, {0, 0, 0}));
+  EXPECT_TRUE(IsValidBucket(spec, {1, 7, 3}));
+  EXPECT_FALSE(IsValidBucket(spec, {2, 0, 0}));  // field 0 overflow
+  EXPECT_FALSE(IsValidBucket(spec, {0, 8, 0}));  // field 1 overflow
+  EXPECT_FALSE(IsValidBucket(spec, {0, 0}));     // wrong arity
+}
+
+TEST(BucketTest, LinearIndexRoundTrip) {
+  const FieldSpec spec = Spec();
+  for (std::uint64_t i = 0; i < spec.TotalBuckets(); ++i) {
+    const BucketId b = BucketFromLinear(spec, i);
+    EXPECT_TRUE(IsValidBucket(spec, b));
+    EXPECT_EQ(LinearIndex(spec, b), i);
+  }
+}
+
+TEST(BucketTest, LinearIndexIsRowMajor) {
+  const FieldSpec spec = Spec();
+  EXPECT_EQ(LinearIndex(spec, {0, 0, 0}), 0u);
+  EXPECT_EQ(LinearIndex(spec, {0, 0, 1}), 1u);
+  EXPECT_EQ(LinearIndex(spec, {0, 1, 0}), 4u);
+  EXPECT_EQ(LinearIndex(spec, {1, 0, 0}), 32u);
+}
+
+TEST(BucketTest, ForEachBucketVisitsAllOnce) {
+  const FieldSpec spec = Spec();
+  std::set<std::uint64_t> seen;
+  std::uint64_t expected = 0;
+  ForEachBucket(spec, [&](const BucketId& b) {
+    const std::uint64_t idx = LinearIndex(spec, b);
+    EXPECT_EQ(idx, expected++) << "visit order should be linear order";
+    EXPECT_TRUE(seen.insert(idx).second);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), spec.TotalBuckets());
+}
+
+TEST(BucketTest, ForEachBucketEarlyStop) {
+  const FieldSpec spec = Spec();
+  std::uint64_t count = 0;
+  ForEachBucket(spec, [&](const BucketId&) { return ++count < 10; });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(BucketTest, SingleFieldSpace) {
+  const FieldSpec spec = FieldSpec::Create({4}, 2).value();
+  std::uint64_t count = 0;
+  ForEachBucket(spec, [&](const BucketId& b) {
+    EXPECT_EQ(b.size(), 1u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(BucketTest, ToStringUsesBinaryNotation) {
+  const FieldSpec spec = Spec();
+  EXPECT_EQ(BucketToString(spec, {1, 5, 2}), "<1,101,10>");
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,126 @@
+// Edge cases and error paths across the core module.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/afx.h"
+#include "core/fx.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+TEST(CoreEdgeTest, PlannedFxOnAllBigFieldsIsBasic) {
+  auto spec = FieldSpec::Uniform(3, 16, 8).value();
+  auto fx = FXDistribution::Planned(spec);
+  EXPECT_EQ(fx->name(), "FX-basic");
+  EXPECT_EQ(fx->plan().ToString(), "[I,I,I]");
+}
+
+TEST(CoreEdgeTest, SpecifiedFoldOfWholeFileQueryIsZero) {
+  auto spec = FieldSpec::Uniform(3, 8, 8).value();
+  auto fx = FXDistribution::Planned(spec);
+  PartialMatchQuery whole(3);
+  EXPECT_EQ(fx->SpecifiedFold(whole), 0u);
+}
+
+TEST(CoreEdgeTest, QueryMutationRoundTrip) {
+  auto spec = FieldSpec::Uniform(2, 8, 4).value();
+  PartialMatchQuery q(2);
+  EXPECT_EQ(q.NumUnspecified(), 2u);
+  q.Specify(0, 5);
+  EXPECT_EQ(q.NumUnspecified(), 1u);
+  EXPECT_EQ(q.value(0), 5u);
+  q.Unspecify(0);
+  EXPECT_EQ(q.NumUnspecified(), 2u);
+}
+
+TEST(CoreEdgeTest, SizeOneFieldsWork) {
+  // F = 1 fields carry no information but must not break anything.
+  auto spec = FieldSpec::Create({1, 8, 1}, 4).value();
+  auto fx = FXDistribution::Planned(spec);
+  std::set<std::uint64_t> devices;
+  ForEachBucket(spec, [&](const BucketId& b) {
+    devices.insert(fx->DeviceOf(b));
+    return true;
+  });
+  EXPECT_EQ(devices.size(), 4u);  // the F=8 field still reaches all 4
+  auto q = PartialMatchQuery::Create(spec, {0, std::nullopt, 0}).value();
+  EXPECT_EQ(q.NumQualifiedBuckets(spec), 8u);
+}
+
+TEST(CoreEdgeTest, SingleDeviceIsTriviallyPerfect) {
+  auto spec = FieldSpec::Uniform(3, 4, 1).value();
+  for (const char* name : {"fx-iu2", "modulo", "gdm1", "random"}) {
+    auto method = MakeDistribution(spec, name).value();
+    ForEachBucket(spec, [&](const BucketId& b) {
+      EXPECT_EQ(method->DeviceOf(b), 0u) << name;
+      return true;
+    });
+  }
+}
+
+TEST(CoreEdgeTest, AfxUsesTheGenericInverseMappingCorrectly) {
+  // AdditiveFoldDistribution has no fast inverse override; the
+  // base-class filter path must still partition R(q) exactly.
+  auto spec = FieldSpec::Create({4, 8, 2}, 8).value();
+  auto afx = MakeDistribution(spec, "afx-iu2").value();
+  for (std::uint64_t mask = 0; mask < 8; ++mask) {
+    auto query = PartialMatchQuery::FromUnspecifiedMask(spec, mask,
+                                                        {1, 3, 1})
+                     .value();
+    std::set<std::uint64_t> seen;
+    std::uint64_t total = 0;
+    for (std::uint64_t d = 0; d < 8; ++d) {
+      afx->ForEachQualifiedBucketOnDevice(query, d, [&](const BucketId& b) {
+        EXPECT_EQ(afx->DeviceOf(b), d);
+        EXPECT_TRUE(seen.insert(LinearIndex(spec, b)).second);
+        ++total;
+        return true;
+      });
+    }
+    EXPECT_EQ(total, query.NumQualifiedBuckets(spec)) << "mask " << mask;
+  }
+}
+
+TEST(CoreEdgeTest, RegistryRejectsTransformOnBigField) {
+  auto spec = FieldSpec::Create({8, 64}, 16).value();
+  EXPECT_FALSE(MakeDistribution(spec, "fx:[U,U]").ok());
+  EXPECT_TRUE(MakeDistribution(spec, "fx:[U,I]").ok());
+}
+
+TEST(CoreEdgeTest, TransformToStringFormats) {
+  auto u = FieldTransform::Create(TransformKind::kU, 4, 16).value();
+  EXPECT_EQ(u.ToString(), "U^{16,4}");
+  auto iu2 = FieldTransform::Create(TransformKind::kIU2, 2, 16).value();
+  EXPECT_EQ(iu2.ToString(), "IU2^{16,2}");
+}
+
+TEST(CoreEdgeTest, GdmFastInverseWithAllFieldsUnspecified) {
+  auto spec = FieldSpec::Create({4, 4}, 4).value();
+  auto gdm = MakeDistribution(spec, "gdm:3,5").value();
+  PartialMatchQuery whole(2);
+  std::uint64_t total = 0;
+  for (std::uint64_t d = 0; d < 4; ++d) {
+    gdm->ForEachQualifiedBucketOnDevice(whole, d, [&](const BucketId&) {
+      ++total;
+      return true;
+    });
+  }
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(CoreEdgeTest, ModuloFastInverseEarlyStop) {
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  PartialMatchQuery whole(2);
+  int count = 0;
+  md->ForEachQualifiedBucketOnDevice(whole, 2, [&](const BucketId&) {
+    return ++count < 3;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,74 @@
+#include "core/field_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(FieldSpecTest, CreateValid) {
+  auto spec = FieldSpec::Create({2, 8}, 4);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_fields(), 2u);
+  EXPECT_EQ(spec->field_size(0), 2u);
+  EXPECT_EQ(spec->field_size(1), 8u);
+  EXPECT_EQ(spec->num_devices(), 4u);
+}
+
+TEST(FieldSpecTest, RejectsNonPowerOfTwoFieldSize) {
+  EXPECT_FALSE(FieldSpec::Create({3, 8}, 4).ok());
+  EXPECT_FALSE(FieldSpec::Create({0, 8}, 4).ok());
+}
+
+TEST(FieldSpecTest, RejectsNonPowerOfTwoDevices) {
+  EXPECT_FALSE(FieldSpec::Create({2, 8}, 3).ok());
+  EXPECT_FALSE(FieldSpec::Create({2, 8}, 0).ok());
+}
+
+TEST(FieldSpecTest, RejectsEmptyFieldList) {
+  EXPECT_FALSE(FieldSpec::Create({}, 4).ok());
+}
+
+TEST(FieldSpecTest, Uniform) {
+  auto spec = FieldSpec::Uniform(6, 8, 32);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_fields(), 6u);
+  for (unsigned i = 0; i < 6; ++i) EXPECT_EQ(spec->field_size(i), 8u);
+}
+
+TEST(FieldSpecTest, Bits) {
+  auto spec = FieldSpec::Create({2, 8, 1}, 16).value();
+  EXPECT_EQ(spec.field_bits(0), 1u);
+  EXPECT_EQ(spec.field_bits(1), 3u);
+  EXPECT_EQ(spec.field_bits(2), 0u);
+  EXPECT_EQ(spec.device_bits(), 4u);
+}
+
+TEST(FieldSpecTest, SmallFields) {
+  auto spec = FieldSpec::Create({8, 32, 64, 16}, 32).value();
+  EXPECT_TRUE(spec.is_small_field(0));
+  EXPECT_FALSE(spec.is_small_field(1));  // F == M is not small.
+  EXPECT_FALSE(spec.is_small_field(2));
+  EXPECT_TRUE(spec.is_small_field(3));
+  EXPECT_EQ(spec.SmallFields(), (std::vector<unsigned>{0, 3}));
+  EXPECT_EQ(spec.NumSmallFields(), 2u);
+}
+
+TEST(FieldSpecTest, TotalBuckets) {
+  EXPECT_EQ(FieldSpec::Create({2, 8}, 4)->TotalBuckets(), 16u);
+  EXPECT_EQ(FieldSpec::Uniform(6, 8, 32)->TotalBuckets(), 262144u);
+}
+
+TEST(FieldSpecTest, ToString) {
+  EXPECT_EQ(FieldSpec::Create({8, 8, 16}, 512)->ToString(),
+            "F={8,8,16} M=512");
+}
+
+TEST(FieldSpecTest, Equality) {
+  EXPECT_EQ(FieldSpec::Create({2, 8}, 4).value(),
+            FieldSpec::Create({2, 8}, 4).value());
+  EXPECT_FALSE(FieldSpec::Create({2, 8}, 4).value() ==
+               FieldSpec::Create({2, 8}, 8).value());
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,64 @@
+#include "core/gdm.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(GdmTest, DeviceIsWeightedSumModM) {
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  auto gdm = GDMDistribution::Make(spec, {3, 5}).value();
+  EXPECT_EQ(gdm->DeviceOf({0, 0}), 0u);
+  EXPECT_EQ(gdm->DeviceOf({2, 1}), (3 * 2 + 5 * 1) % 4u);
+  EXPECT_EQ(gdm->DeviceOf({7, 7}), (3 * 7 + 5 * 7) % 4u);
+}
+
+TEST(GdmTest, ArityMismatchRejected) {
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  EXPECT_FALSE(GDMDistribution::Make(spec, {3}).ok());
+  EXPECT_FALSE(GDMDistribution::Make(spec, {3, 5, 7}).ok());
+}
+
+TEST(GdmTest, UnitMultipliersEqualModulo) {
+  auto spec = FieldSpec::Create({8, 4, 2}, 8).value();
+  auto gdm = GDMDistribution::Make(spec, {1, 1, 1}).value();
+  ForEachBucket(spec, [&](const BucketId& b) {
+    std::uint64_t sum = 0;
+    for (auto v : b) sum += v;
+    EXPECT_EQ(gdm->DeviceOf(b), sum % 8);
+    return true;
+  });
+}
+
+TEST(GdmTest, Name) {
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  EXPECT_EQ((*GDMDistribution::Make(spec, {2, 3}))->name(), "GDM{2,3}");
+}
+
+TEST(GdmTest, PaperMultiplierSets) {
+  EXPECT_EQ(kGdm1[0], 2u);
+  EXPECT_EQ(kGdm1[5], 13u);
+  EXPECT_EQ(kGdm2[3], 43u);
+  EXPECT_EQ(kGdm3[0], 41u);
+}
+
+TEST(GdmTest, GdmCanFixModuloSkew) {
+  // Paper Table 2 remark: multiplying field 1 by 3 and field 2 by 4 makes
+  // GDM optimal for F1 = F2 = 4, M = 16 (3*J1 + 4*J2 hits all 16 devices).
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto gdm = GDMDistribution::Make(spec, {3, 4}).value();
+  std::vector<int> counts(16, 0);
+  ForEachBucket(spec, [&](const BucketId& b) {
+    ++counts[gdm->DeviceOf(b)];
+    return true;
+  });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(GdmTest, IsShiftInvariant) {
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  EXPECT_TRUE((*GDMDistribution::Make(spec, {3, 4}))->IsShiftInvariant());
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,141 @@
+// Golden tests: reproduce the paper's Tables 1-6 entry-for-entry.
+//
+// Each table lists every bucket of a small file system together with the
+// device FX (and, in Table 2, Modulo) assigns.  Buckets are enumerated
+// with field 1 slowest, matching the paper's row order.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fx.h"
+#include "core/modulo.h"
+#include "core/transform.h"
+
+namespace fxdist {
+namespace {
+
+std::vector<std::uint64_t> DevicesInRowOrder(const DistributionMethod& m) {
+  std::vector<std::uint64_t> devices;
+  ForEachBucket(m.spec(), [&](const BucketId& b) {
+    devices.push_back(m.DeviceOf(b));
+    return true;
+  });
+  return devices;
+}
+
+TEST(GoldenTables, Table1BasicFx) {
+  // f1 = {0,1}, f2 = {0..7}, M = 4, Basic FX.
+  auto spec = FieldSpec::Create({2, 8}, 4).value();
+  auto fx = FXDistribution::Basic(spec);
+  const std::vector<std::uint64_t> expected = {
+      0, 1, 2, 3, 0, 1, 2, 3,   // J1 = 000
+      1, 0, 3, 2, 1, 0, 3, 2};  // J1 = 001
+  EXPECT_EQ(DevicesInRowOrder(*fx), expected);
+}
+
+TEST(GoldenTables, Table2FxWithIAndU) {
+  // f1 = f2 = {0..3}, M = 16, I(f1) + U(f2).
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto plan = TransformPlan::Create(
+                  spec, {TransformKind::kIdentity, TransformKind::kU})
+                  .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const std::vector<std::uint64_t> expected = {
+      0, 4, 8,  12,   // J1 = 0000
+      1, 5, 9,  13,   // J1 = 0001
+      2, 6, 10, 14,   // J1 = 0010
+      3, 7, 11, 15};  // J1 = 0011
+  EXPECT_EQ(DevicesInRowOrder(*fx), expected);
+}
+
+TEST(GoldenTables, Table2ModuloColumn) {
+  // Same file system; Modulo skews into the triangular 0..6 band.
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  ModuloDistribution md(spec);
+  const std::vector<std::uint64_t> expected = {
+      0, 1, 2, 3,   //
+      1, 2, 3, 4,   //
+      2, 3, 4, 5,   //
+      3, 4, 5, 6};  //
+  EXPECT_EQ(DevicesInRowOrder(md), expected);
+}
+
+TEST(GoldenTables, Table3FxWithIAndIU1) {
+  // f1 = f2 = {0..3}, M = 16, I(f1) + IU1(f2); IU1(f2) = {0,5,10,15}.
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  auto plan = TransformPlan::Create(
+                  spec, {TransformKind::kIdentity, TransformKind::kIU1})
+                  .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const std::vector<std::uint64_t> expected = {
+      0, 5, 10, 15,   //
+      1, 4, 11, 14,   //
+      2, 7, 8,  13,   //
+      3, 6, 9,  12};  //
+  EXPECT_EQ(DevicesInRowOrder(*fx), expected);
+}
+
+TEST(GoldenTables, Table4FxWithIUAndIU1) {
+  // f1 = {0,1}, f2 = {0..3}, f3 = {0,1}, M = 8:
+  // I(f1), U(f2) = {0,2,4,6}, IU1(f3) = {0,5}.
+  auto spec = FieldSpec::Create({2, 4, 2}, 8).value();
+  auto plan =
+      TransformPlan::Create(spec, {TransformKind::kIdentity,
+                                   TransformKind::kU, TransformKind::kIU1})
+          .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const std::vector<std::uint64_t> expected = {
+      0, 5, 2, 7, 4, 1, 6, 3,   // J1 = 0
+      1, 4, 3, 6, 5, 0, 7, 2};  // J1 = 1
+  EXPECT_EQ(DevicesInRowOrder(*fx), expected);
+}
+
+TEST(GoldenTables, Table5FxWithIAndIU2) {
+  // f1 = {0..7}, f2 = {0,1}, M = 16: I(f1), IU2(f2) = {0,13}.
+  auto spec = FieldSpec::Create({8, 2}, 16).value();
+  auto plan = TransformPlan::Create(
+                  spec, {TransformKind::kIdentity, TransformKind::kIU2})
+                  .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const std::vector<std::uint64_t> expected = {
+      0, 13,   //
+      1, 12,   //
+      2, 15,   //
+      3, 14,   //
+      4, 9,    //
+      5, 8,    //
+      6, 11,   //
+      7, 10};  //
+  EXPECT_EQ(DevicesInRowOrder(*fx), expected);
+}
+
+TEST(GoldenTables, Table6FxWithIUAndIU2) {
+  // f1 = {0..3}, f2 = {0,1}, f3 = {0,1}, M = 16:
+  // I(f1), U(f2) = {0,8}, IU2(f3) = {0,13}.
+  auto spec = FieldSpec::Create({4, 2, 2}, 16).value();
+  auto plan =
+      TransformPlan::Create(spec, {TransformKind::kIdentity,
+                                   TransformKind::kU, TransformKind::kIU2})
+          .value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const std::vector<std::uint64_t> expected = {
+      0, 13, 8,  5,   // J1 = 0
+      1, 12, 9,  4,   // J1 = 1
+      2, 15, 10, 7,   // J1 = 2
+      3, 14, 11, 6};  // J1 = 3
+  EXPECT_EQ(DevicesInRowOrder(*fx), expected);
+}
+
+TEST(GoldenTables, Section4MotivatingExample) {
+  // §3/§4 bridge example: f1 = {0,1}, f2 = {0..7}, M = 16.  Basic FX is
+  // not perfect optimal, but mapping f1 through X with X(1) = 8 (that is,
+  // U^{16,2}) makes it perfect optimal: substituting 1000 for 001 in
+  // Table 1's f1 column.
+  auto spec = FieldSpec::Create({2, 8}, 16).value();
+  auto u = FieldTransform::Create(TransformKind::kU, 2, 16).value();
+  EXPECT_EQ(u.Image(), (std::vector<std::uint64_t>{0, 8}));
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,70 @@
+#include "core/modulo.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/query.h"
+
+namespace fxdist {
+namespace {
+
+TEST(ModuloTest, DeviceIsSumModM) {
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  ModuloDistribution md(spec);
+  EXPECT_EQ(md.DeviceOf({0, 0}), 0u);
+  EXPECT_EQ(md.DeviceOf({3, 6}), (3 + 6) % 4u);
+  EXPECT_EQ(md.DeviceOf({7, 7}), (7 + 7) % 4u);
+}
+
+TEST(ModuloTest, Name) {
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  EXPECT_EQ(ModuloDistribution(spec).name(), "Modulo");
+}
+
+TEST(ModuloTest, OneUnspecifiedFieldIsOptimal) {
+  // DM is 1-optimal: F distinct sums hit F distinct devices (F <= M) or
+  // cover each device F/M times (F >= M).
+  auto spec = FieldSpec::Create({8, 8}, 4).value();
+  ModuloDistribution md(spec);
+  auto q = PartialMatchQuery::Create(spec, {5, std::nullopt}).value();
+  std::map<std::uint64_t, int> counts;
+  ForEachQualifiedBucket(spec, q, [&](const BucketId& b) {
+    ++counts[md.DeviceOf(b)];
+    return true;
+  });
+  for (const auto& [d, c] : counts) EXPECT_EQ(c, 2);  // 8 buckets / 4 dev
+}
+
+TEST(ModuloTest, SkewsWhenSmallFieldsCombine) {
+  // Paper Table 2 contrast: F1 = F2 = 4, M = 16.  Sums range 0..6 with a
+  // triangular histogram: device 3 gets 4 buckets while ceil(16/16) = 1.
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  ModuloDistribution md(spec);
+  std::map<std::uint64_t, int> counts;
+  ForEachBucket(spec, [&](const BucketId& b) {
+    ++counts[md.DeviceOf(b)];
+    return true;
+  });
+  EXPECT_EQ(counts[3], 4);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts.count(15), 0u);  // unreachable device
+}
+
+TEST(ModuloTest, MatchesPaperTable2Column) {
+  // Table 2's Modulo column: device = (J1 + J2) mod 16 for the first rows.
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  ModuloDistribution md(spec);
+  EXPECT_EQ(md.DeviceOf({0, 0}), 0u);
+  EXPECT_EQ(md.DeviceOf({0, 3}), 3u);
+  EXPECT_EQ(md.DeviceOf({1, 3}), 4u);
+  EXPECT_EQ(md.DeviceOf({3, 3}), 6u);
+}
+
+TEST(ModuloTest, IsShiftInvariant) {
+  auto spec = FieldSpec::Create({4, 4}, 16).value();
+  EXPECT_TRUE(ModuloDistribution(spec).IsShiftInvariant());
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,116 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec() { return FieldSpec::Create({2, 8, 4}, 4).value(); }
+
+TEST(QueryTest, CreateValidatesValues) {
+  const FieldSpec spec = Spec();
+  auto ok = PartialMatchQuery::Create(spec, {std::nullopt, 7, 3});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok->is_specified(0));
+  EXPECT_TRUE(ok->is_specified(1));
+  EXPECT_EQ(ok->value(1), 7u);
+
+  EXPECT_FALSE(PartialMatchQuery::Create(spec, {std::nullopt, 8, 0}).ok());
+  EXPECT_FALSE(PartialMatchQuery::Create(spec, {std::nullopt, 0}).ok());
+}
+
+TEST(QueryTest, FromUnspecifiedMask) {
+  const FieldSpec spec = Spec();
+  auto q = PartialMatchQuery::FromUnspecifiedMask(spec, 0b101, {1, 5, 2});
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->is_specified(0));
+  EXPECT_TRUE(q->is_specified(1));
+  EXPECT_EQ(q->value(1), 5u);
+  EXPECT_FALSE(q->is_specified(2));
+  EXPECT_EQ(q->UnspecifiedMask(), 0b101u);
+}
+
+TEST(QueryTest, FromMaskRejectsOutOfRangeBits) {
+  const FieldSpec spec = Spec();
+  EXPECT_FALSE(
+      PartialMatchQuery::FromUnspecifiedMask(spec, 0b1000, {0, 0, 0}).ok());
+}
+
+TEST(QueryTest, CountsAndSets) {
+  const FieldSpec spec = Spec();
+  auto q = PartialMatchQuery::Create(spec, {std::nullopt, 3, std::nullopt})
+               .value();
+  EXPECT_EQ(q.NumUnspecified(), 2u);
+  EXPECT_EQ(q.UnspecifiedFields(), (std::vector<unsigned>{0, 2}));
+  EXPECT_EQ(q.SpecifiedFields(), (std::vector<unsigned>{1}));
+  EXPECT_EQ(q.NumQualifiedBuckets(spec), 8u);  // 2 * 4
+}
+
+TEST(QueryTest, ExactMatchHasOneQualifiedBucket) {
+  const FieldSpec spec = Spec();
+  auto q = PartialMatchQuery::Create(spec, {1, 2, 3}).value();
+  EXPECT_EQ(q.NumUnspecified(), 0u);
+  EXPECT_EQ(q.NumQualifiedBuckets(spec), 1u);
+}
+
+TEST(QueryTest, WholeFileQuery) {
+  const FieldSpec spec = Spec();
+  PartialMatchQuery q(spec.num_fields());
+  EXPECT_EQ(q.NumUnspecified(), 3u);
+  EXPECT_EQ(q.NumQualifiedBuckets(spec), spec.TotalBuckets());
+}
+
+TEST(QueryTest, Matches) {
+  const FieldSpec spec = Spec();
+  auto q = PartialMatchQuery::Create(spec, {std::nullopt, 3, 2}).value();
+  EXPECT_TRUE(q.Matches({0, 3, 2}));
+  EXPECT_TRUE(q.Matches({1, 3, 2}));
+  EXPECT_FALSE(q.Matches({0, 4, 2}));
+  EXPECT_FALSE(q.Matches({0, 3, 1}));
+}
+
+TEST(QueryTest, ForEachQualifiedBucketEnumeratesExactlyRq) {
+  const FieldSpec spec = Spec();
+  auto q = PartialMatchQuery::Create(spec, {std::nullopt, 3, std::nullopt})
+               .value();
+  std::set<std::uint64_t> seen;
+  ForEachQualifiedBucket(spec, q, [&](const BucketId& b) {
+    EXPECT_TRUE(q.Matches(b));
+    EXPECT_TRUE(seen.insert(LinearIndex(spec, b)).second);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), q.NumQualifiedBuckets(spec));
+}
+
+TEST(QueryTest, ForEachQualifiedBucketExactMatch) {
+  const FieldSpec spec = Spec();
+  auto q = PartialMatchQuery::Create(spec, {1, 2, 3}).value();
+  std::uint64_t count = 0;
+  ForEachQualifiedBucket(spec, q, [&](const BucketId& b) {
+    EXPECT_EQ(b, (BucketId{1, 2, 3}));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(QueryTest, ForEachQualifiedBucketEarlyStop) {
+  const FieldSpec spec = Spec();
+  PartialMatchQuery q(spec.num_fields());
+  std::uint64_t count = 0;
+  ForEachQualifiedBucket(spec, q, [&](const BucketId&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(QueryTest, ToString) {
+  const FieldSpec spec = Spec();
+  auto q = PartialMatchQuery::Create(spec, {std::nullopt, 3, 2}).value();
+  EXPECT_EQ(q.ToString(), "<*, 3, 2>");
+}
+
+}  // namespace
+}  // namespace fxdist

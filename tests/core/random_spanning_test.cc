@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/optimality.h"
+#include "core/random_dist.h"
+#include "core/registry.h"
+#include "core/spanning.h"
+
+namespace fxdist {
+namespace {
+
+TEST(RandomDistTest, DeterministicAndInRange) {
+  auto spec = FieldSpec::Create({8, 8}, 16).value();
+  RandomDistribution a(spec, 7), b(spec, 7);
+  ForEachBucket(spec, [&](const BucketId& bucket) {
+    EXPECT_LT(a.DeviceOf(bucket), 16u);
+    EXPECT_EQ(a.DeviceOf(bucket), b.DeviceOf(bucket));
+    return true;
+  });
+}
+
+TEST(RandomDistTest, SeedChangesAssignment) {
+  auto spec = FieldSpec::Create({8, 8}, 16).value();
+  RandomDistribution a(spec, 1), b(spec, 2);
+  int diff = 0;
+  ForEachBucket(spec, [&](const BucketId& bucket) {
+    if (a.DeviceOf(bucket) != b.DeviceOf(bucket)) ++diff;
+    return true;
+  });
+  EXPECT_GT(diff, 32);
+}
+
+TEST(RandomDistTest, RoughlyBalancedOverall) {
+  auto spec = FieldSpec::Create({32, 32}, 8).value();
+  RandomDistribution rd(spec, 3);
+  std::map<std::uint64_t, int> counts;
+  ForEachBucket(spec, [&](const BucketId& bucket) {
+    ++counts[rd.DeviceOf(bucket)];
+    return true;
+  });
+  for (const auto& [d, c] : counts) {
+    EXPECT_NEAR(c, 128, 50) << "device " << d;
+  }
+}
+
+TEST(RandomDistTest, NotShiftInvariantFlagged) {
+  auto spec = FieldSpec::Create({8, 8}, 16).value();
+  EXPECT_FALSE(RandomDistribution(spec, 0).IsShiftInvariant());
+}
+
+TEST(RandomDistTest, ExhaustiveCheckerWorksOnNonInvariantMethod) {
+  // The force-exhaustive path of the checker is the only correct one for
+  // random allocation; it should find non-optimal queries easily.
+  auto spec = FieldSpec::Create({8, 8}, 16).value();
+  RandomDistribution rd(spec, 0);
+  OptimalityReport r = CheckKOptimal(rd, 1);
+  EXPECT_FALSE(r.optimal);  // random almost surely collides somewhere
+}
+
+TEST(RandomDistTest, RegistryConstructs) {
+  auto spec = FieldSpec::Create({8, 8}, 16).value();
+  auto a = MakeDistribution(spec, "random");
+  ASSERT_TRUE(a.ok());
+  auto b = MakeDistribution(spec, "random:99");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->name(), "Random(seed=99)");
+  EXPECT_FALSE(MakeDistribution(spec, "random:xyz").ok());
+}
+
+TEST(SpanningTest, RefusesHugeBucketSpaces) {
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();  // 262144 buckets
+  EXPECT_FALSE(SpanningPathDistribution::Make(spec).ok());
+}
+
+TEST(SpanningTest, PathVisitsEveryBucketOnce) {
+  auto spec = FieldSpec::Create({4, 4, 4}, 8).value();
+  auto sp = SpanningPathDistribution::Make(spec).value();
+  const auto& path = sp->path();
+  EXPECT_EQ(path.size(), 64u);
+  std::set<std::uint64_t> seen(path.begin(), path.end());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(SpanningTest, DevicesBalancedByConstruction) {
+  // Round-robin dealing makes the overall allocation perfectly balanced.
+  auto spec = FieldSpec::Create({4, 4, 4}, 8).value();
+  auto sp = SpanningPathDistribution::Make(spec).value();
+  std::map<std::uint64_t, int> counts;
+  ForEachBucket(spec, [&](const BucketId& bucket) {
+    ++counts[sp->DeviceOf(bucket)];
+    return true;
+  });
+  for (const auto& [d, c] : counts) EXPECT_EQ(c, 8) << "device " << d;
+}
+
+TEST(SpanningTest, AdjacentPathBucketsOnDistinctDevices) {
+  auto spec = FieldSpec::Create({4, 8}, 4).value();
+  auto sp = SpanningPathDistribution::Make(spec).value();
+  const auto& path = sp->path();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const BucketId a = BucketFromLinear(spec, path[i]);
+    const BucketId b = BucketFromLinear(spec, path[i + 1]);
+    EXPECT_NE(sp->DeviceOf(a), sp->DeviceOf(b)) << "position " << i;
+  }
+}
+
+TEST(SpanningTest, BeatsRandomOnSingleFieldQueries) {
+  // Similar buckets (sharing a coordinate) are spread out, so 1-field
+  // partial match queries should be closer to optimal than random.
+  auto spec = FieldSpec::Create({8, 8}, 8).value();
+  auto sp = SpanningPathDistribution::Make(spec).value();
+  RandomDistribution rd(spec, 4);
+  double sp_max = 0, rd_max = 0;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    auto q = PartialMatchQuery::Create(spec, {v, std::nullopt}).value();
+    sp_max += static_cast<double>(LargestResponseSize(*sp, q));
+    rd_max += static_cast<double>(LargestResponseSize(rd, q));
+  }
+  EXPECT_LE(sp_max, rd_max);
+}
+
+TEST(SpanningTest, RegistryConstructsForSmallSpecs) {
+  auto spec = FieldSpec::Create({4, 4}, 4).value();
+  EXPECT_TRUE(MakeDistribution(spec, "spanning").ok());
+  EXPECT_TRUE(MakeDistribution(spec, "spanning-mst").ok());
+}
+
+TEST(SpanningMstTest, OrderVisitsEveryBucketOnce) {
+  auto spec = FieldSpec::Create({4, 4, 4}, 8).value();
+  auto sp = SpanningPathDistribution::Make(
+                spec, SpanningPathDistribution::Variant::kMst)
+                .value();
+  EXPECT_EQ(sp->name(), "SpanningMST");
+  std::set<std::uint64_t> seen(sp->path().begin(), sp->path().end());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(SpanningMstTest, BalancedByConstruction) {
+  auto spec = FieldSpec::Create({4, 4, 4}, 8).value();
+  auto sp = SpanningPathDistribution::Make(
+                spec, SpanningPathDistribution::Variant::kMst)
+                .value();
+  std::map<std::uint64_t, int> counts;
+  ForEachBucket(spec, [&](const BucketId& bucket) {
+    ++counts[sp->DeviceOf(bucket)];
+    return true;
+  });
+  for (const auto& [d, c] : counts) EXPECT_EQ(c, 8) << "device " << d;
+}
+
+TEST(SpanningMstTest, ShortPathBeatsMstOnGridRowQueries) {
+  // An instructive weakness of the MST variant on grids: the
+  // max-similarity tree degenerates toward a star (ties never reassign
+  // parents), so DFS preorder scatters some rows poorly, while the
+  // greedy path walks rows contiguously and deals them perfectly.
+  auto spec = FieldSpec::Create({8, 8}, 8).value();
+  auto path = SpanningPathDistribution::Make(
+                  spec, SpanningPathDistribution::Variant::kShortPath)
+                  .value();
+  auto mst = SpanningPathDistribution::Make(
+                 spec, SpanningPathDistribution::Variant::kMst)
+                 .value();
+  std::uint64_t path_total = 0, mst_total = 0;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    auto q = PartialMatchQuery::Create(spec, {v, std::nullopt}).value();
+    path_total += LargestResponseSize(*path, q);
+    mst_total += LargestResponseSize(*mst, q);
+  }
+  EXPECT_LT(path_total, mst_total);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,91 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fx.h"
+#include "core/gdm.h"
+#include "core/modulo.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec6() { return FieldSpec::Uniform(6, 8, 32).value(); }
+
+TEST(RegistryTest, FxVariants) {
+  const FieldSpec spec = Spec6();
+  for (const char* name : {"fx-basic", "fx-iu1", "fx-iu2", "fx"}) {
+    auto m = MakeDistribution(spec, name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_NE(dynamic_cast<FXDistribution*>(m->get()), nullptr) << name;
+  }
+}
+
+TEST(RegistryTest, ExplicitFxPlan) {
+  const FieldSpec spec = Spec6();
+  auto m = MakeDistribution(spec, "fx:[I,U,IU1,I,U,IU1]");
+  ASSERT_TRUE(m.ok());
+  auto* fx = dynamic_cast<FXDistribution*>(m->get());
+  ASSERT_NE(fx, nullptr);
+  EXPECT_EQ(fx->plan().kind(1), TransformKind::kU);
+  EXPECT_EQ(fx->plan().kind(2), TransformKind::kIU1);
+}
+
+TEST(RegistryTest, ExplicitFxPlanArityChecked) {
+  EXPECT_FALSE(MakeDistribution(Spec6(), "fx:[I,U]").ok());
+  EXPECT_FALSE(MakeDistribution(Spec6(), "fx:[I,U,XX,I,U,IU1]").ok());
+}
+
+TEST(RegistryTest, Modulo) {
+  auto m = MakeDistribution(Spec6(), "modulo");
+  ASSERT_TRUE(m.ok());
+  EXPECT_NE(dynamic_cast<ModuloDistribution*>(m->get()), nullptr);
+}
+
+TEST(RegistryTest, PaperGdmSets) {
+  auto m = MakeDistribution(Spec6(), "gdm1");
+  ASSERT_TRUE(m.ok());
+  auto* gdm = dynamic_cast<GDMDistribution*>(m->get());
+  ASSERT_NE(gdm, nullptr);
+  EXPECT_EQ(gdm->multipliers(),
+            (std::vector<std::uint64_t>{2, 3, 5, 7, 11, 13}));
+}
+
+TEST(RegistryTest, PaperGdmSetsCycleForMoreFields) {
+  auto spec = FieldSpec::Uniform(8, 8, 32).value();
+  auto m = MakeDistribution(spec, "gdm1");
+  ASSERT_TRUE(m.ok());
+  auto* gdm = dynamic_cast<GDMDistribution*>(m->get());
+  ASSERT_NE(gdm, nullptr);
+  EXPECT_EQ(gdm->multipliers(),
+            (std::vector<std::uint64_t>{2, 3, 5, 7, 11, 13, 2, 3}));
+}
+
+TEST(RegistryTest, ExplicitGdmMultipliers) {
+  auto m = MakeDistribution(Spec6(), "gdm:1,2,3,4,5,6");
+  ASSERT_TRUE(m.ok());
+  auto* gdm = dynamic_cast<GDMDistribution*>(m->get());
+  ASSERT_NE(gdm, nullptr);
+  EXPECT_EQ(gdm->multipliers(),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(RegistryTest, ExplicitGdmErrors) {
+  EXPECT_FALSE(MakeDistribution(Spec6(), "gdm:1,2").ok());
+  EXPECT_FALSE(MakeDistribution(Spec6(), "gdm:a,b,c,d,e,f").ok());
+  EXPECT_FALSE(MakeDistribution(Spec6(), "gdm:").ok());
+}
+
+TEST(RegistryTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeDistribution(Spec6(), "round-robin").ok());
+  EXPECT_FALSE(MakeDistribution(Spec6(), "").ok());
+}
+
+TEST(RegistryTest, KnownNamesAllConstruct) {
+  const FieldSpec spec = Spec6();
+  for (const std::string& name : KnownDistributionNames()) {
+    EXPECT_TRUE(MakeDistribution(spec, name).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,210 @@
+#include "core/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace fxdist {
+namespace {
+
+TEST(TransformTest, UTransformMatchesPaperExample3) {
+  // f = {0,1,2,3}, M = 16 -> U(f) = {0,4,8,12}.
+  auto t = FieldTransform::Create(TransformKind::kU, 4, 16).value();
+  EXPECT_EQ(t.Image(), (std::vector<std::uint64_t>{0, 4, 8, 12}));
+}
+
+TEST(TransformTest, IU1TransformMatchesPaperExample4) {
+  // f = {0..7}, M = 16 -> IU1(f) = {0,3,6,5,12,15,10,9}.
+  auto t = FieldTransform::Create(TransformKind::kIU1, 8, 16).value();
+  EXPECT_EQ(t.Image(),
+            (std::vector<std::uint64_t>{0, 3, 6, 5, 12, 15, 10, 9}));
+}
+
+TEST(TransformTest, IU1TransformMatchesPaperExample5) {
+  // f = {0,1,2,3}, M = 16 -> IU1(f) = {0,5,10,15}.
+  auto t = FieldTransform::Create(TransformKind::kIU1, 4, 16).value();
+  EXPECT_EQ(t.Image(), (std::vector<std::uint64_t>{0, 5, 10, 15}));
+}
+
+TEST(TransformTest, IU2TransformMatchesPaperExample7) {
+  // f = {0,1}, M = 16: d1 = 8, F^2 = 4 < 16 so d2 = 4 -> IU2(f) = {0,13}.
+  auto t = FieldTransform::Create(TransformKind::kIU2, 2, 16).value();
+  EXPECT_EQ(t.d1(), 8u);
+  EXPECT_EQ(t.d2(), 4u);
+  EXPECT_EQ(t.Image(), (std::vector<std::uint64_t>{0, 13}));
+}
+
+TEST(TransformTest, IU2DegeneratesToIU1WhenSquareAtLeastM) {
+  // F = 8, M = 16: F^2 = 64 >= 16 so d2 = 0 and IU2 == IU1.
+  auto iu2 = FieldTransform::Create(TransformKind::kIU2, 8, 16).value();
+  auto iu1 = FieldTransform::Create(TransformKind::kIU1, 8, 16).value();
+  EXPECT_EQ(iu2.d2(), 0u);
+  EXPECT_EQ(iu2.Image(), iu1.Image());
+}
+
+TEST(TransformTest, IdentityAppliesToAnyField) {
+  auto t = FieldTransform::Identity(64, 16);
+  for (std::uint64_t l = 0; l < 64; ++l) EXPECT_EQ(t.Apply(l), l);
+}
+
+TEST(TransformTest, NonIdentityRequiresSmallField) {
+  EXPECT_FALSE(FieldTransform::Create(TransformKind::kU, 16, 16).ok());
+  EXPECT_FALSE(FieldTransform::Create(TransformKind::kIU1, 32, 16).ok());
+  EXPECT_TRUE(FieldTransform::Create(TransformKind::kU, 8, 16).ok());
+}
+
+TEST(TransformTest, RejectsNonPowersOfTwo) {
+  EXPECT_FALSE(FieldTransform::Create(TransformKind::kU, 3, 16).ok());
+  EXPECT_FALSE(FieldTransform::Create(TransformKind::kU, 4, 12).ok());
+}
+
+// --- Property sweeps (Lemmas 5.1, 5.4, 7.1, 7.2) ---------------------------
+
+struct TransformCase {
+  TransformKind kind;
+  std::uint64_t field_size;
+  std::uint64_t num_devices;
+};
+
+class TransformPropertyTest
+    : public testing::TestWithParam<TransformCase> {};
+
+TEST_P(TransformPropertyTest, InjectiveIntoZM) {
+  // Lemmas 5.1 / 7.1: U, IU1, IU2 are injective with range within Z_M.
+  const auto& p = GetParam();
+  auto t =
+      FieldTransform::Create(p.kind, p.field_size, p.num_devices).value();
+  std::set<std::uint64_t> image;
+  for (std::uint64_t l = 0; l < p.field_size; ++l) {
+    const std::uint64_t x = t.Apply(l);
+    EXPECT_LT(x, p.num_devices) << t.ToString() << " l=" << l;
+    EXPECT_TRUE(image.insert(x).second)
+        << t.ToString() << " not injective at l=" << l;
+  }
+}
+
+TEST_P(TransformPropertyTest, OneElementPerInterval) {
+  // Lemmas 5.4 / 7.2: IU1/IU2 put exactly one element in each interval
+  // [l*d, (l+1)*d) of size d = M/F.  (U trivially satisfies this too.)
+  const auto& p = GetParam();
+  auto t =
+      FieldTransform::Create(p.kind, p.field_size, p.num_devices).value();
+  const std::uint64_t d = p.num_devices / p.field_size;
+  std::vector<int> per_interval(p.field_size, 0);
+  for (std::uint64_t l = 0; l < p.field_size; ++l) {
+    ++per_interval[t.Apply(l) / d];
+  }
+  for (std::uint64_t i = 0; i < p.field_size; ++i) {
+    EXPECT_EQ(per_interval[i], 1)
+        << t.ToString() << " interval " << i;
+  }
+}
+
+std::vector<TransformCase> AllSmallFieldCases() {
+  std::vector<TransformCase> cases;
+  for (TransformKind kind :
+       {TransformKind::kU, TransformKind::kIU1, TransformKind::kIU2}) {
+    for (std::uint64_t m : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+      for (std::uint64_t f = 1; f < m; f *= 2) {
+        cases.push_back({kind, f, m});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAndSizes, TransformPropertyTest,
+    testing::ValuesIn(AllSmallFieldCases()),
+    [](const testing::TestParamInfo<TransformCase>& tpi) {
+      return std::string(TransformKindToString(tpi.param.kind)) + "_F" +
+             std::to_string(tpi.param.field_size) + "_M" +
+             std::to_string(tpi.param.num_devices);
+    });
+
+// --- Method distinction -----------------------------------------------------
+
+TEST(TransformTest, DifferentMethodsExcludesIU1IU2Pair) {
+  EXPECT_TRUE(
+      AreDifferentMethods(TransformKind::kIdentity, TransformKind::kU));
+  EXPECT_TRUE(
+      AreDifferentMethods(TransformKind::kIdentity, TransformKind::kIU1));
+  EXPECT_TRUE(AreDifferentMethods(TransformKind::kU, TransformKind::kIU2));
+  EXPECT_FALSE(AreDifferentMethods(TransformKind::kU, TransformKind::kU));
+  EXPECT_FALSE(
+      AreDifferentMethods(TransformKind::kIU1, TransformKind::kIU2));
+  EXPECT_FALSE(
+      AreDifferentMethods(TransformKind::kIU2, TransformKind::kIU1));
+}
+
+// --- Plans -------------------------------------------------------------------
+
+TEST(TransformPlanTest, BasicPlanIsAllIdentity) {
+  auto spec = FieldSpec::Create({2, 8}, 4).value();
+  TransformPlan plan = TransformPlan::Basic(spec);
+  EXPECT_EQ(plan.kinds(), (std::vector<TransformKind>{
+                              TransformKind::kIdentity,
+                              TransformKind::kIdentity}));
+  EXPECT_EQ(plan.ToString(), "[I,I]");
+}
+
+TEST(TransformPlanTest, CreateRejectsNonIdentityOnBigField) {
+  auto spec = FieldSpec::Create({8, 64}, 16).value();
+  EXPECT_FALSE(TransformPlan::Create(
+                   spec, {TransformKind::kU, TransformKind::kU})
+                   .ok());
+  EXPECT_TRUE(TransformPlan::Create(
+                  spec, {TransformKind::kU, TransformKind::kIdentity})
+                  .ok());
+}
+
+TEST(TransformPlanTest, PlannerTheorem9OrderingForThreeSmallFields) {
+  // Sizes 4, 2, 8 with M = 16: largest (8, field 2) -> I,
+  // middle (4, field 0) -> IU2, smallest (2, field 1) -> U.
+  auto spec = FieldSpec::Create({4, 2, 8}, 16).value();
+  TransformPlan plan = TransformPlan::Plan(spec);
+  EXPECT_EQ(plan.kind(0), TransformKind::kIU2);
+  EXPECT_EQ(plan.kind(1), TransformKind::kU);
+  EXPECT_EQ(plan.kind(2), TransformKind::kIdentity);
+}
+
+TEST(TransformPlanTest, PlannerTwoSmallFields) {
+  auto spec = FieldSpec::Create({2, 8, 64}, 16).value();
+  TransformPlan plan = TransformPlan::Plan(spec);
+  EXPECT_EQ(plan.kind(0), TransformKind::kU);         // smaller
+  EXPECT_EQ(plan.kind(1), TransformKind::kIdentity);  // larger
+  EXPECT_EQ(plan.kind(2), TransformKind::kIdentity);  // big field
+}
+
+TEST(TransformPlanTest, PlannerRoundRobinForManySmallFields) {
+  // Paper §5 setup: 6 small fields get I,U,IU1,I,U,IU1 in field order.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  TransformPlan plan = TransformPlan::Plan(spec, PlanFamily::kIU1);
+  EXPECT_EQ(plan.kinds(),
+            (std::vector<TransformKind>{
+                TransformKind::kIdentity, TransformKind::kU,
+                TransformKind::kIU1, TransformKind::kIdentity,
+                TransformKind::kU, TransformKind::kIU1}));
+}
+
+TEST(TransformPlanTest, PlannerRoundRobinIU2Family) {
+  auto spec = FieldSpec::Uniform(6, 8, 512).value();
+  TransformPlan plan = TransformPlan::Plan(spec, PlanFamily::kIU2);
+  EXPECT_EQ(plan.kind(2), TransformKind::kIU2);
+  EXPECT_EQ(plan.kind(5), TransformKind::kIU2);
+}
+
+TEST(TransformPlanTest, PlannerIgnoresBigFieldsInRoundRobin) {
+  auto spec = FieldSpec::Create({64, 8, 8, 8, 8, 8}, 32).value();
+  TransformPlan plan = TransformPlan::Plan(spec, PlanFamily::kIU1);
+  EXPECT_EQ(plan.kind(0), TransformKind::kIdentity);  // big: forced I
+  EXPECT_EQ(plan.kind(1), TransformKind::kIdentity);
+  EXPECT_EQ(plan.kind(2), TransformKind::kU);
+  EXPECT_EQ(plan.kind(3), TransformKind::kIU1);
+  EXPECT_EQ(plan.kind(4), TransformKind::kIdentity);
+  EXPECT_EQ(plan.kind(5), TransformKind::kU);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,141 @@
+#include "hashing/extendible.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/random.h"
+
+namespace fxdist {
+namespace {
+
+TEST(ExtendibleTest, CreateValidatesCapacity) {
+  EXPECT_FALSE(ExtendibleDirectory::Create(0).ok());
+  EXPECT_TRUE(ExtendibleDirectory::Create(1).ok());
+}
+
+TEST(ExtendibleTest, StartsWithOneCell) {
+  auto dir = ExtendibleDirectory::Create(4).value();
+  EXPECT_EQ(dir.directory_size(), 1u);
+  EXPECT_EQ(dir.global_depth(), 0u);
+  EXPECT_EQ(dir.num_keys(), 0u);
+}
+
+TEST(ExtendibleTest, DoublesWhenPageOverflows) {
+  auto dir = ExtendibleDirectory::Create(2).value();
+  dir.Insert(0b00);
+  dir.Insert(0b01);
+  EXPECT_EQ(dir.directory_size(), 1u);
+  dir.Insert(0b10);  // third key forces a split, hence a doubling
+  EXPECT_GE(dir.directory_size(), 2u);
+  EXPECT_EQ(dir.num_keys(), 3u);
+}
+
+TEST(ExtendibleTest, DirectorySizeAlwaysPowerOfTwo) {
+  auto dir = ExtendibleDirectory::Create(3).value();
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    dir.Insert(rng.Next());
+    const std::uint64_t size = dir.directory_size();
+    EXPECT_EQ(size & (size - 1), 0u);
+  }
+  EXPECT_EQ(dir.num_keys(), 2000u);
+}
+
+TEST(ExtendibleTest, EveryKeyRemainsFindable) {
+  // Directory invariant: a key's cell page must contain it.
+  auto dir = ExtendibleDirectory::Create(4).value();
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(rng.Next());
+    dir.Insert(keys.back());
+    for (std::uint64_t k : keys) {
+      const auto& page = dir.PageKeys(dir.CellOf(k));
+      EXPECT_NE(std::find(page.begin(), page.end(), k), page.end())
+          << "key lost after insert " << i;
+    }
+  }
+}
+
+TEST(ExtendibleTest, LocalDepthNeverExceedsGlobal) {
+  auto dir = ExtendibleDirectory::Create(2).value();
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    dir.Insert(rng.Next());
+  }
+  for (std::uint64_t c = 0; c < dir.directory_size(); ++c) {
+    EXPECT_LE(dir.PageLocalDepth(c), dir.global_depth());
+  }
+}
+
+TEST(ExtendibleTest, PagesRespectCapacityWithDistinctKeys) {
+  auto dir = ExtendibleDirectory::Create(4).value();
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 2000; ++i) dir.Insert(rng.Next());
+  // With well-spread 64-bit keys, depth stays far below the cap, so no
+  // page should exceed its capacity.
+  for (std::uint64_t c = 0; c < dir.directory_size(); ++c) {
+    EXPECT_LE(dir.PageKeys(c).size(), 4u);
+  }
+}
+
+TEST(ExtendibleTest, DuplicateKeysOverflowGracefully) {
+  // All-equal keys can never split apart; the page must overflow rather
+  // than loop forever.
+  auto dir = ExtendibleDirectory::Create(2).value();
+  for (int i = 0; i < 100; ++i) dir.Insert(42);
+  EXPECT_EQ(dir.num_keys(), 100u);
+  EXPECT_EQ(dir.PageKeys(dir.CellOf(42)).size(), 100u);
+}
+
+TEST(ExtendibleTest, CategoricalKeysDoNotExplodeTheDirectory) {
+  // Regression: few distinct keys repeated many times (a categorical
+  // field) must overflow pages, not double the directory to the depth
+  // cap.  Before the all-duplicates guard this grew to 2^16 cells.
+  auto dir = ExtendibleDirectory::Create(3).value();
+  SplitMix64 sm(99);
+  std::vector<std::uint64_t> distinct;
+  for (int i = 0; i < 5; ++i) distinct.push_back(sm.Next());
+  for (int i = 0; i < 3000; ++i) {
+    dir.Insert(distinct[static_cast<std::size_t>(i) % 5]);
+  }
+  EXPECT_EQ(dir.num_keys(), 3000u);
+  EXPECT_LE(dir.directory_size(), 256u);
+  // Every key still findable.
+  for (std::uint64_t k : distinct) {
+    const auto& page = dir.PageKeys(dir.CellOf(k));
+    EXPECT_NE(std::find(page.begin(), page.end(), k), page.end());
+  }
+}
+
+TEST(ExtendibleTest, DepthCapRespected) {
+  auto dir = ExtendibleDirectory::Create(1, /*max_global_depth=*/4).value();
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 200; ++i) dir.Insert(rng.Next());
+  EXPECT_LE(dir.global_depth(), 4u);
+  EXPECT_LE(dir.directory_size(), 16u);
+  EXPECT_FALSE(ExtendibleDirectory::Create(1, 64).ok());
+}
+
+TEST(ExtendibleTest, LoadFactorReasonable) {
+  auto dir = ExtendibleDirectory::Create(8).value();
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 4000; ++i) dir.Insert(rng.Next());
+  // Extendible hashing's expected page utilization is ~ln 2 ~ 0.69.
+  EXPECT_GT(dir.LoadFactor(), 0.45);
+  EXPECT_LE(dir.LoadFactor(), 1.0);
+}
+
+TEST(ExtendibleTest, GrowthIsGradual) {
+  // Directory size should land near num_keys / capacity, not explode.
+  auto dir = ExtendibleDirectory::Create(4).value();
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 1024; ++i) dir.Insert(rng.Next());
+  EXPECT_GE(dir.directory_size(), 128u);
+  EXPECT_LE(dir.directory_size(), 2048u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,101 @@
+#include "hashing/hash_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fxdist {
+namespace {
+
+TEST(HashFunctionsTest, RangeMustBePowerOfTwo) {
+  EXPECT_FALSE(MakeDivisionHasher(3).ok());
+  EXPECT_FALSE(MakeMultiplicativeHasher(0).ok());
+  EXPECT_TRUE(MakeDivisionHasher(8).ok());
+}
+
+TEST(HashFunctionsTest, DivisionHasherIsValueModRange) {
+  auto h = MakeDivisionHasher(8).value();
+  EXPECT_EQ(h->Hash(FieldValue{std::int64_t{0}}).value(), 0u);
+  EXPECT_EQ(h->Hash(FieldValue{std::int64_t{13}}).value(), 5u);
+  EXPECT_EQ(h->Hash(FieldValue{std::int64_t{8}}).value(), 0u);
+}
+
+TEST(HashFunctionsTest, DivisionHasherHandlesNegatives) {
+  auto h = MakeDivisionHasher(8).value();
+  auto r = h->Hash(FieldValue{std::int64_t{-5}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(*r, 8u);
+}
+
+TEST(HashFunctionsTest, TypeMismatchIsError) {
+  auto h = MakeDivisionHasher(8).value();
+  EXPECT_FALSE(h->Hash(FieldValue{std::string("x")}).ok());
+  auto s = MakeStringHasher(8).value();
+  EXPECT_FALSE(s->Hash(FieldValue{std::int64_t{1}}).ok());
+  auto d = MakeDoubleHasher(8).value();
+  EXPECT_FALSE(d->Hash(FieldValue{std::string("x")}).ok());
+}
+
+TEST(HashFunctionsTest, HashersStayInRange) {
+  auto mult = MakeMultiplicativeHasher(16).value();
+  auto str = MakeStringHasher(16).value();
+  auto dbl = MakeDoubleHasher(16).value();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(mult->Hash(FieldValue{std::int64_t{i * 977}}).value(), 16u);
+    EXPECT_LT(str->Hash(FieldValue{std::string("k") + std::to_string(i)})
+                  .value(),
+              16u);
+    EXPECT_LT(dbl->Hash(FieldValue{i * 0.37}).value(), 16u);
+  }
+}
+
+TEST(HashFunctionsTest, MultiplicativeSpreadsClusteredKeys) {
+  // Sequential keys must not all collide into few cells.
+  auto h = MakeMultiplicativeHasher(16).value();
+  std::vector<int> hist(16, 0);
+  for (int i = 0; i < 1600; ++i) {
+    ++hist[h->Hash(FieldValue{std::int64_t{i}}).value()];
+  }
+  for (int c : hist) {
+    EXPECT_GT(c, 50);
+    EXPECT_LT(c, 200);
+  }
+}
+
+TEST(HashFunctionsTest, StringHashDeterministicAndSeedSensitive) {
+  auto a = MakeStringHasher(1024, 1).value();
+  auto b = MakeStringHasher(1024, 1).value();
+  auto c = MakeStringHasher(1024, 2).value();
+  int diff = 0;
+  for (int i = 0; i < 64; ++i) {
+    const FieldValue v{std::string("key") + std::to_string(i)};
+    EXPECT_EQ(a->Hash(v).value(), b->Hash(v).value());
+    if (a->Hash(v).value() != c->Hash(v).value()) ++diff;
+  }
+  EXPECT_GT(diff, 32);
+}
+
+TEST(HashFunctionsTest, DoubleNormalizesSignedZero) {
+  auto h = MakeDoubleHasher(64).value();
+  EXPECT_EQ(h->Hash(FieldValue{0.0}).value(),
+            h->Hash(FieldValue{-0.0}).value());
+}
+
+TEST(HashFunctionsTest, DefaultHasherPicksByType) {
+  EXPECT_EQ(MakeDefaultHasher(ValueType::kInt64, 8).value()->name(),
+            "multiplicative");
+  EXPECT_EQ(MakeDefaultHasher(ValueType::kString, 8).value()->name(),
+            "fnv1a");
+  EXPECT_EQ(MakeDefaultHasher(ValueType::kDouble, 8).value()->name(),
+            "double-bits");
+}
+
+TEST(HashFunctionsTest, RangeOneAlwaysZero) {
+  auto h = MakeMultiplicativeHasher(1).value();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(h->Hash(FieldValue{std::int64_t{i}}).value(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

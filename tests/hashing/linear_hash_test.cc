@@ -1,0 +1,107 @@
+#include "hashing/linear_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/bitops.h"
+#include "util/random.h"
+
+namespace fxdist {
+namespace {
+
+TEST(LinearHashTest, CreateValidates) {
+  EXPECT_FALSE(LinearHashDirectory::Create(0).ok());
+  EXPECT_FALSE(LinearHashDirectory::Create(4, 0.0).ok());
+  EXPECT_FALSE(LinearHashDirectory::Create(4, 1.5).ok());
+  EXPECT_TRUE(LinearHashDirectory::Create(4, 0.8).ok());
+}
+
+TEST(LinearHashTest, StartsWithOneBucket) {
+  auto dir = LinearHashDirectory::Create(4).value();
+  EXPECT_EQ(dir.num_buckets(), 1u);
+  EXPECT_EQ(dir.level(), 0u);
+  EXPECT_EQ(dir.split_pointer(), 0u);
+}
+
+TEST(LinearHashTest, BucketCountGrowsByOne) {
+  auto dir = LinearHashDirectory::Create(2, 0.75).value();
+  Xoshiro256 rng(3);
+  std::uint64_t prev = dir.num_buckets();
+  for (int i = 0; i < 500; ++i) {
+    dir.Insert(rng.Next());
+    const std::uint64_t now = dir.num_buckets();
+    EXPECT_LE(now - prev, 2u) << "growth must be gradual at insert " << i;
+    prev = now;
+  }
+  EXPECT_GT(dir.num_buckets(), 100u);
+}
+
+TEST(LinearHashTest, EveryKeyFindableViaAddressFunction) {
+  auto dir = LinearHashDirectory::Create(3, 0.7).value();
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 800; ++i) {
+    keys.push_back(rng.Next());
+    dir.Insert(keys.back());
+  }
+  for (std::uint64_t k : keys) {
+    const auto& bucket = dir.BucketKeys(dir.BucketOf(k));
+    EXPECT_NE(std::find(bucket.begin(), bucket.end(), k), bucket.end());
+  }
+}
+
+TEST(LinearHashTest, LoadFactorBoundedByThreshold) {
+  auto dir = LinearHashDirectory::Create(4, 0.8).value();
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    dir.Insert(rng.Next());
+    EXPECT_LE(dir.LoadFactor(), 0.8 + 1e-12);
+  }
+}
+
+TEST(LinearHashTest, SplitPointerWrapsAtLevelBoundary) {
+  auto dir = LinearHashDirectory::Create(1, 1.0).value();
+  Xoshiro256 rng(19);
+  unsigned last_level = 0;
+  for (int i = 0; i < 300; ++i) {
+    dir.Insert(rng.Next());
+    EXPECT_LT(dir.split_pointer(), std::uint64_t{1} << dir.level());
+    EXPECT_GE(dir.level(), last_level);
+    last_level = dir.level();
+    EXPECT_EQ(dir.num_buckets(),
+              (std::uint64_t{1} << dir.level()) + dir.split_pointer());
+  }
+  EXPECT_GT(dir.level(), 5u);
+}
+
+TEST(LinearHashTest, PowerOfTwoCeilingIsNextLevelBoundary) {
+  auto dir = LinearHashDirectory::Create(2, 0.9).value();
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    dir.Insert(rng.Next());
+    const std::uint64_t ceiling = dir.PowerOfTwoCeiling();
+    EXPECT_TRUE(IsPowerOfTwo(ceiling));
+    EXPECT_GE(ceiling, dir.num_buckets());
+    EXPECT_LT(ceiling / 2, dir.num_buckets());
+  }
+}
+
+TEST(LinearHashTest, AddressFunctionMatchesLitwinDefinition) {
+  auto dir = LinearHashDirectory::Create(1, 1.0).value();
+  // Force a known state by inserting until level 2 begins.
+  Xoshiro256 rng(29);
+  while (!(dir.level() == 2 && dir.split_pointer() == 1)) {
+    dir.Insert(rng.Next());
+    ASSERT_LT(dir.num_keys(), 10000u);
+  }
+  // level 2, split 1: buckets 0..4 exist.  h mod 4 == 0 -> re-address
+  // mod 8; otherwise mod 4.
+  EXPECT_EQ(dir.BucketOf(8), (8 % 8) % 8u);   // 8 mod 4 = 0 < 1 -> mod 8 = 0
+  EXPECT_EQ(dir.BucketOf(4), 4u);             // 4 mod 4 = 0 < 1 -> mod 8 = 4
+  EXPECT_EQ(dir.BucketOf(6), 2u);             // 6 mod 4 = 2 >= 1 -> 2
+  EXPECT_EQ(dir.BucketOf(7), 3u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,80 @@
+#include "hashing/value_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace fxdist {
+namespace {
+
+FieldValue RoundTrip(const FieldValue& value) {
+  std::ostringstream out;
+  EncodeValue(out, value);
+  std::istringstream in(out.str());
+  auto decoded = DecodeValue(in);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return *decoded;
+}
+
+TEST(ValueCodecTest, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                         std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(RoundTrip(FieldValue{v}), FieldValue{v});
+  }
+}
+
+TEST(ValueCodecTest, DoubleBitExact) {
+  for (double v : {0.0, -0.0, 0.1, 1e308, 5e-324,
+                   std::numeric_limits<double>::infinity()}) {
+    std::ostringstream out;
+    EncodeValue(out, FieldValue{v});
+    std::istringstream in(out.str());
+    const double back = std::get<double>(*DecodeValue(in));
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(ValueCodecTest, StringWithEveryByteClass) {
+  std::string nasty = "sp ace\ttab\nnewline:colon*star 0:prefix";
+  nasty.push_back('\0');
+  nasty += "after-nul";
+  EXPECT_EQ(RoundTrip(FieldValue{nasty}), FieldValue{nasty});
+  EXPECT_EQ(RoundTrip(FieldValue{std::string()}),
+            FieldValue{std::string()});
+}
+
+TEST(ValueCodecTest, SequentialValuesParse) {
+  std::ostringstream out;
+  EncodeValue(out, FieldValue{std::int64_t{7}});
+  out << ' ';
+  EncodeValue(out, FieldValue{std::string("a b")});
+  out << ' ';
+  EncodeValue(out, FieldValue{2.5});
+  std::istringstream in(out.str());
+  EXPECT_EQ(*DecodeValue(in), FieldValue{std::int64_t{7}});
+  EXPECT_EQ(*DecodeValue(in), FieldValue{std::string("a b")});
+  EXPECT_EQ(*DecodeValue(in), FieldValue{2.5});
+}
+
+TEST(ValueCodecTest, MalformedInputRejected) {
+  for (const char* bad : {"", "x:1", "i:", "d:zz", "d:1234",
+                          "s:5:ab", "s:abc"}) {
+    std::istringstream in(bad);
+    EXPECT_FALSE(DecodeValue(in).ok()) << "input '" << bad << "'";
+  }
+}
+
+TEST(ValueCodecTest, LengthPrefixedHelpers) {
+  std::ostringstream out;
+  EncodeLengthPrefixed(out, "hello world");
+  EXPECT_EQ(out.str(), "11:hello world");
+  std::istringstream in(out.str());
+  EXPECT_EQ(*DecodeLengthPrefixed(in), "hello world");
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,38 @@
+#include "hashing/value.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(ValueTest, TypeOf) {
+  EXPECT_EQ(TypeOf(FieldValue{std::int64_t{42}}), ValueType::kInt64);
+  EXPECT_EQ(TypeOf(FieldValue{3.5}), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(FieldValue{std::string("x")}), ValueType::kString);
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(FieldValueToString(FieldValue{std::int64_t{-7}}), "-7");
+  EXPECT_EQ(FieldValueToString(FieldValue{std::string("abc")}), "\"abc\"");
+}
+
+TEST(ValueTest, RecordToString) {
+  Record r{std::int64_t{1}, std::string("b")};
+  EXPECT_EQ(RecordToString(r), "(1, \"b\")");
+}
+
+TEST(ValueTest, EqualityIsTypeAndValueSensitive) {
+  EXPECT_EQ(FieldValue{std::int64_t{1}}, FieldValue{std::int64_t{1}});
+  EXPECT_NE(FieldValue{std::int64_t{1}}, FieldValue{std::int64_t{2}});
+  EXPECT_NE(FieldValue{std::int64_t{1}}, FieldValue{1.0});
+  EXPECT_EQ(FieldValue{std::string("a")}, FieldValue{std::string("a")});
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,62 @@
+// Integration: inverse mapping across methods.
+//
+// The default ForEachQualifiedBucketOnDevice (forward filter) and FX's fast
+// XOR-solving override must agree bucket-for-bucket, and the per-device
+// shares must partition R(q).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+class InverseMappingTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(InverseMappingTest, DeviceSharesPartitionQualifiedSet) {
+  auto spec = FieldSpec::Create({8, 4, 2, 16}, 8).value();
+  auto method = MakeDistribution(spec, GetParam()).value();
+  for (std::uint64_t mask = 0; mask < 16; ++mask) {
+    auto query =
+        PartialMatchQuery::FromUnspecifiedMask(spec, mask, {3, 1, 1, 9})
+            .value();
+    std::set<std::uint64_t> union_of_shares;
+    std::uint64_t total = 0;
+    for (std::uint64_t d = 0; d < spec.num_devices(); ++d) {
+      method->ForEachQualifiedBucketOnDevice(
+          query, d, [&](const BucketId& b) {
+            EXPECT_EQ(method->DeviceOf(b), d);
+            EXPECT_TRUE(query.Matches(b));
+            EXPECT_TRUE(union_of_shares.insert(LinearIndex(spec, b)).second)
+                << "bucket on two devices";
+            ++total;
+            return true;
+          });
+    }
+    EXPECT_EQ(total, query.NumQualifiedBuckets(spec)) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, InverseMappingTest,
+                         testing::Values("fx-basic", "fx-iu1", "fx-iu2",
+                                         "modulo", "gdm1"));
+
+TEST(InverseMappingTest, FxFastPathVisitsOnlyItsShare) {
+  // The override must not enumerate the whole R(q): count callback
+  // invocations for one device — it must equal that device's share, which
+  // for this perfect-optimal setup is |R(q)| / M.
+  auto spec = FieldSpec::Create({64, 64}, 16).value();
+  auto method = MakeDistribution(spec, "fx-basic").value();
+  PartialMatchQuery whole(2);
+  std::uint64_t visits = 0;
+  method->ForEachQualifiedBucketOnDevice(whole, 3, [&](const BucketId&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 64u * 64u / 16u);
+}
+
+}  // namespace
+}  // namespace fxdist

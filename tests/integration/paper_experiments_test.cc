@@ -1,0 +1,146 @@
+// Integration: fast assertions of the paper's evaluation *shapes*
+// (the bench binaries print the full tables; these tests pin the
+// conclusions so a regression cannot silently flip a result).
+
+#include <gtest/gtest.h>
+
+#include "analysis/cycles.h"
+#include "analysis/probability.h"
+#include "analysis/response.h"
+#include "core/registry.h"
+#include "core/transform.h"
+
+namespace fxdist {
+namespace {
+
+// --- Figures 1-2 regime: any pair product >= M --------------------------------
+
+TEST(PaperExperiments, Figure1FxDominatesModuloEverywhere) {
+  // n = 6, small F = 8, big F = 64, M = 64 (8 * 8 >= M).
+  for (unsigned small = 0; small <= 6; ++small) {
+    std::vector<std::uint64_t> sizes(6, 64);
+    for (unsigned i = 0; i < small; ++i) sizes[i] = 8;
+    auto spec = FieldSpec::Create(sizes, 64).value();
+    auto plan = TransformPlan::Plan(spec, PlanFamily::kIU1);
+    const double fx = FxAnalyticOptimality(spec, plan.kinds()).probability;
+    const double md = ModuloAnalyticOptimality(spec).probability;
+    EXPECT_GE(fx, md) << "L=" << small;
+    if (small >= 2) {
+      EXPECT_GT(fx, md) << "L=" << small;
+    }
+  }
+}
+
+TEST(PaperExperiments, Figure1EndpointValues) {
+  // L = 0: both methods 100%.  L = 6: Modulo collapses to
+  // (1 + 6) / 64 ~ 10.9% while FX stays above 90%.
+  auto all_big = FieldSpec::Uniform(6, 64, 64).value();
+  EXPECT_DOUBLE_EQ(ModuloAnalyticOptimality(all_big).probability, 1.0);
+
+  auto all_small = FieldSpec::Uniform(6, 8, 64).value();
+  const double md = ModuloAnalyticOptimality(all_small).probability;
+  EXPECT_NEAR(md, 7.0 / 64.0, 1e-12);
+  auto plan = TransformPlan::Plan(all_small, PlanFamily::kIU1);
+  const double fx = FxAnalyticOptimality(all_small, plan.kinds()).probability;
+  EXPECT_GT(fx, 0.9);
+}
+
+// --- Figures 3-4 regime: pair products < M, triple products >= M --------------
+
+TEST(PaperExperiments, Figure3FxStillDominates) {
+  // n = 6, small F = 16, M = 4096: 16*16 = 256 < M, 16^3 = 4096 >= M.
+  for (unsigned small = 0; small <= 6; ++small) {
+    std::vector<std::uint64_t> sizes(6, 4096);
+    for (unsigned i = 0; i < small; ++i) sizes[i] = 16;
+    auto spec = FieldSpec::Create(sizes, 4096).value();
+    auto plan = TransformPlan::Plan(spec, PlanFamily::kIU2);
+    const double fx = FxAnalyticOptimality(spec, plan.kinds()).probability;
+    const double md = ModuloAnalyticOptimality(spec).probability;
+    EXPECT_GE(fx, md) << "L=" << small;
+  }
+  // The Figure 3/4 regime is strictly harder for FX than Figure 1's:
+  // k = 2 masks need method diversity and k >= 3 masks need all three of
+  // I, U, IU2 present, so the L = 6 probability sits below Figure 1's but
+  // still far above Modulo.
+  std::vector<std::uint64_t> sizes(6, 16);
+  auto spec = FieldSpec::Create(sizes, 4096).value();
+  auto plan = TransformPlan::Plan(spec, PlanFamily::kIU2);
+  const double fx = FxAnalyticOptimality(spec, plan.kinds()).probability;
+  const double md = ModuloAnalyticOptimality(spec).probability;
+  EXPECT_GT(fx, 3.0 * md);
+}
+
+// --- Tables 7-9 --------------------------------------------------------------
+
+TEST(PaperExperiments, Table7RowK2) {
+  // M = 32, F = 8 x6: Modulo 8.0, FX 3.2, Optimal 2.0.
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  EXPECT_DOUBLE_EQ(AverageLargestResponse(*md, 2).average, 8.0);
+  EXPECT_DOUBLE_EQ(AverageLargestResponse(*fx, 2).average, 3.2);
+  EXPECT_DOUBLE_EQ(OptimalLargestResponse(spec, 2).average, 2.0);
+}
+
+TEST(PaperExperiments, Table7OrderingHolds) {
+  // Optimal <= FX <= GDM* <= Modulo for k >= 3 (Table 7's shape).
+  auto spec = FieldSpec::Uniform(6, 8, 32).value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  auto gdm1 = MakeDistribution(spec, "gdm1").value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  for (unsigned k = 3; k <= 6; ++k) {
+    const double opt = OptimalLargestResponse(spec, k).average;
+    const double fx_avg = AverageLargestResponse(*fx, k).average;
+    const double gdm_avg = AverageLargestResponse(*gdm1, k).average;
+    const double md_avg = AverageLargestResponse(*md, k).average;
+    EXPECT_LE(opt, fx_avg + 1e-9) << "k=" << k;
+    EXPECT_LE(fx_avg, gdm_avg + 1e-9) << "k=" << k;
+    EXPECT_LT(gdm_avg, md_avg) << "k=" << k;
+  }
+}
+
+TEST(PaperExperiments, Table8FxReachesOptimalFromK3) {
+  // M = 64: FX = Optimal for k = 3..6 per the paper's Table 8.
+  auto spec = FieldSpec::Uniform(6, 8, 64).value();
+  auto fx = MakeDistribution(spec, "fx-iu1").value();
+  for (unsigned k = 3; k <= 6; ++k) {
+    EXPECT_DOUBLE_EQ(AverageLargestResponse(*fx, k).average,
+                     OptimalLargestResponse(spec, k).average)
+        << "k=" << k;
+  }
+}
+
+TEST(PaperExperiments, Table9ModuloCatastrophicallyWorse) {
+  // M = 512 with all fields far below M: Modulo's k=6 largest response is
+  // ~22x the optimal 4096 (paper: 90404 vs 4096).
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  const double md_avg = AverageLargestResponse(*md, 6).average;
+  const double opt = OptimalLargestResponse(spec, 6).average;
+  EXPECT_GT(md_avg, 15.0 * opt);
+}
+
+TEST(PaperExperiments, Table9FxNearOptimalAtK5AndK6) {
+  // Paper: FX = 384.0 (k=5, = optimal) and 4096.0 (k=6, = optimal).
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto fx = MakeDistribution(spec, "fx-iu2").value();
+  EXPECT_DOUBLE_EQ(AverageLargestResponse(*fx, 5).average, 384.0);
+  EXPECT_DOUBLE_EQ(AverageLargestResponse(*fx, 6).average, 4096.0);
+}
+
+// --- §5.2.2 CPU cost ----------------------------------------------------------
+
+TEST(PaperExperiments, CpuCostRatioAboutOneThird) {
+  auto spec = FieldSpec::Create({8, 8, 8, 16, 16, 16}, 512).value();
+  auto fx = MakeDistribution(spec, "fx-iu2").value();
+  auto gdm = MakeDistribution(spec, "gdm3").value();
+  auto md = MakeDistribution(spec, "modulo").value();
+  const auto fx_c = EstimateAddressCost(*fx).total_cycles;
+  const auto gdm_c = EstimateAddressCost(*gdm).total_cycles;
+  const auto md_c = EstimateAddressCost(*md).total_cycles;
+  EXPECT_LT(fx_c * 2, gdm_c);   // far cheaper than GDM
+  EXPECT_LT(md_c, fx_c);        // Modulo cheapest, as the paper concedes
+}
+
+}  // namespace
+}  // namespace fxdist

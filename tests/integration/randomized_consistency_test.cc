@@ -1,0 +1,140 @@
+// Randomized (seeded) cross-validation across the whole stack.
+//
+// For random small file systems: every closed form must agree with
+// enumeration, every inverse mapping must partition R(q), and every
+// sufficient-condition verdict must be sound.  Complements the fixed
+// grids elsewhere with broader, still-deterministic coverage.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/conditions.h"
+#include "analysis/fast_response.h"
+#include "analysis/optimality.h"
+#include "core/fx.h"
+#include "core/registry.h"
+#include "util/random.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec RandomSpec(Xoshiro256* rng) {
+  const unsigned n = 2 + static_cast<unsigned>(rng->NextBounded(3));
+  std::vector<std::uint64_t> sizes(n);
+  for (auto& s : sizes) {
+    s = std::uint64_t{1} << (1 + rng->NextBounded(4));  // 2..16
+  }
+  const std::uint64_t m = std::uint64_t{1} << (1 + rng->NextBounded(5));
+  return FieldSpec::Create(sizes, m).value();
+}
+
+std::vector<TransformKind> RandomKinds(const FieldSpec& spec,
+                                       Xoshiro256* rng) {
+  static constexpr TransformKind kAll[4] = {
+      TransformKind::kIdentity, TransformKind::kU, TransformKind::kIU1,
+      TransformKind::kIU2};
+  std::vector<TransformKind> kinds(spec.num_fields(),
+                                   TransformKind::kIdentity);
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if (spec.is_small_field(i)) kinds[i] = kAll[rng->NextBounded(4)];
+  }
+  return kinds;
+}
+
+class RandomizedConsistencyTest : public testing::TestWithParam<int> {};
+
+TEST_P(RandomizedConsistencyTest, FastResponseMatchesEnumeration) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const FieldSpec spec = RandomSpec(&rng);
+  auto plan = TransformPlan::Create(spec, RandomKinds(spec, &rng)).value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const unsigned n = spec.num_fields();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    auto query =
+        PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+    EXPECT_EQ(MaskResponse(*fx, mask).per_device,
+              ComputeResponseVector(*fx, query).per_device)
+        << spec.ToString() << " plan " << plan.ToString() << " mask "
+        << mask;
+  }
+}
+
+TEST_P(RandomizedConsistencyTest, InverseMappingPartitionsRq) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const FieldSpec spec = RandomSpec(&rng);
+  auto plan = TransformPlan::Create(spec, RandomKinds(spec, &rng)).value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const unsigned n = spec.num_fields();
+  // A random query with random specified values.
+  const std::uint64_t mask =
+      rng.NextBounded(std::uint64_t{1} << n);
+  BucketId specified(n);
+  for (unsigned i = 0; i < n; ++i) {
+    specified[i] = rng.NextBounded(spec.field_size(i));
+  }
+  auto query =
+      PartialMatchQuery::FromUnspecifiedMask(spec, mask, specified).value();
+  std::set<std::uint64_t> seen;
+  std::uint64_t total = 0;
+  for (std::uint64_t d = 0; d < spec.num_devices(); ++d) {
+    fx->ForEachQualifiedBucketOnDevice(query, d, [&](const BucketId& b) {
+      EXPECT_EQ(fx->DeviceOf(b), d);
+      EXPECT_TRUE(query.Matches(b));
+      EXPECT_TRUE(seen.insert(LinearIndex(spec, b)).second);
+      ++total;
+      return true;
+    });
+  }
+  EXPECT_EQ(total, query.NumQualifiedBuckets(spec));
+}
+
+TEST_P(RandomizedConsistencyTest, SufficientConditionsSound) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 5);
+  const FieldSpec spec = RandomSpec(&rng);
+  const auto kinds = RandomKinds(spec, &rng);
+  auto plan = TransformPlan::Create(spec, kinds).value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const unsigned n = spec.num_fields();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    std::vector<unsigned> unspecified;
+    for (unsigned i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) unspecified.push_back(i);
+    }
+    if (FxStrictOptimalSufficient(spec, kinds, unspecified)) {
+      EXPECT_TRUE(IsMaskStrictOptimal(*fx, mask))
+          << spec.ToString() << " plan " << plan.ToString() << " mask "
+          << mask;
+    }
+  }
+}
+
+TEST_P(RandomizedConsistencyTest, ShiftInvarianceOfResponseMultiset) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 7);
+  const FieldSpec spec = RandomSpec(&rng);
+  auto plan = TransformPlan::Create(spec, RandomKinds(spec, &rng)).value();
+  auto fx = FXDistribution::WithPlan(plan);
+  const unsigned n = spec.num_fields();
+  const std::uint64_t mask = rng.NextBounded(std::uint64_t{1} << n);
+  // Two random specified assignments must give the same sorted response.
+  auto sorted_response = [&](const BucketId& specified) {
+    auto query = PartialMatchQuery::FromUnspecifiedMask(spec, mask,
+                                                        specified)
+                     .value();
+    auto rv = ComputeResponseVector(*fx, query).per_device;
+    std::sort(rv.begin(), rv.end());
+    return rv;
+  };
+  BucketId a(n), b(n);
+  for (unsigned i = 0; i < n; ++i) {
+    a[i] = rng.NextBounded(spec.field_size(i));
+    b[i] = rng.NextBounded(spec.field_size(i));
+  }
+  EXPECT_EQ(sorted_response(a), sorted_response(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedConsistencyTest,
+                         testing::Range(0, 25));
+
+}  // namespace
+}  // namespace fxdist

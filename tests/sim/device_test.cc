@@ -1,0 +1,43 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(DeviceTest, StartsEmpty) {
+  Device d(3);
+  EXPECT_EQ(d.id(), 3u);
+  EXPECT_EQ(d.num_buckets(), 0u);
+  EXPECT_EQ(d.num_records(), 0u);
+  EXPECT_EQ(d.Records(0), nullptr);
+}
+
+TEST(DeviceTest, AddRecordCreatesBucket) {
+  Device d(0);
+  d.AddRecord(17, 0);
+  EXPECT_EQ(d.num_buckets(), 1u);
+  EXPECT_EQ(d.num_records(), 1u);
+  ASSERT_NE(d.Records(17), nullptr);
+  EXPECT_EQ(*d.Records(17), (std::vector<RecordIndex>{0}));
+}
+
+TEST(DeviceTest, MultipleRecordsPerBucket) {
+  Device d(0);
+  d.AddRecord(5, 1);
+  d.AddRecord(5, 2);
+  d.AddRecord(9, 3);
+  EXPECT_EQ(d.num_buckets(), 2u);
+  EXPECT_EQ(d.num_records(), 3u);
+  EXPECT_EQ(*d.Records(5), (std::vector<RecordIndex>{1, 2}));
+  EXPECT_EQ(*d.Records(9), (std::vector<RecordIndex>{3}));
+}
+
+TEST(DeviceTest, AbsentBucketIsNull) {
+  Device d(0);
+  d.AddRecord(5, 1);
+  EXPECT_EQ(d.Records(6), nullptr);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,126 @@
+#include "sim/dynamic_parallel_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/record_gen.h"
+
+namespace fxdist {
+namespace {
+
+std::vector<DynamicFieldDecl> Fields() {
+  return {{"id", ValueType::kInt64},
+          {"tag", ValueType::kString},
+          {"score", ValueType::kDouble}};
+}
+
+Record MakeRecord(int i) {
+  return {std::int64_t{i}, std::string("tag") + std::to_string(i % 17),
+          i * 0.75};
+}
+
+TEST(DynamicParallelFileTest, CreateValidates) {
+  EXPECT_TRUE(DynamicParallelFile::Create(Fields(), 8, 4).ok());
+  EXPECT_FALSE(DynamicParallelFile::Create({}, 8, 4).ok());
+  EXPECT_FALSE(DynamicParallelFile::Create(Fields(), 6, 4).ok());
+  EXPECT_FALSE(DynamicParallelFile::Create(Fields(), 8, 0).ok());
+  EXPECT_FALSE(
+      DynamicParallelFile::Create({{"", ValueType::kInt64}}, 8, 4).ok());
+}
+
+TEST(DynamicParallelFileTest, StartsWithUnitDirectories) {
+  auto file = DynamicParallelFile::Create(Fields(), 8, 4).value();
+  EXPECT_EQ(file.spec().field_sizes(),
+            (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(file.num_rebuilds(), 0u);
+}
+
+TEST(DynamicParallelFileTest, DirectoriesGrowWithInserts) {
+  auto file = DynamicParallelFile::Create(Fields(), 8, 2).value();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(file.Insert(MakeRecord(i)).ok());
+  }
+  EXPECT_GT(file.spec().TotalBuckets(), 1u);
+  EXPECT_GT(file.num_rebuilds(), 0u);
+  EXPECT_GT(file.records_moved(), 0u);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_GT(file.spec().field_size(i), 1u) << "field " << i;
+  }
+}
+
+TEST(DynamicParallelFileTest, QueriesStayCorrectAcrossRebuilds) {
+  auto file = DynamicParallelFile::Create(Fields(), 8, 2).value();
+  std::vector<Record> data;
+  for (int i = 0; i < 400; ++i) {
+    data.push_back(MakeRecord(i));
+    ASSERT_TRUE(file.Insert(data.back()).ok());
+    if (i % 50 == 49) {
+      // Exact-match probe for an early record.
+      const Record& target = data[static_cast<std::size_t>(i) / 2];
+      ValueQuery q{target[0], target[1], target[2]};
+      auto result = file.Execute(q).value();
+      ASSERT_EQ(result.records.size(), 1u) << "after insert " << i;
+      EXPECT_EQ(result.records[0], target);
+    }
+  }
+}
+
+TEST(DynamicParallelFileTest, PartialMatchAgainstScanOracle) {
+  auto file = DynamicParallelFile::Create(Fields(), 16, 3).value();
+  std::vector<Record> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(MakeRecord(i));
+    ASSERT_TRUE(file.Insert(data.back()).ok());
+  }
+  for (int probe = 0; probe < 17; ++probe) {
+    ValueQuery q(3);
+    q[1] = FieldValue{std::string("tag") + std::to_string(probe)};
+    auto result = file.Execute(q).value();
+    std::size_t expected = 0;
+    for (const Record& r : data) {
+      if (r[1] == *q[1]) ++expected;
+    }
+    EXPECT_EQ(result.records.size(), expected) << "tag" << probe;
+    EXPECT_EQ(result.stats.records_matched, expected);
+  }
+}
+
+TEST(DynamicParallelFileTest, AllRecordsPlacedAfterRebuilds) {
+  auto file = DynamicParallelFile::Create(Fields(), 8, 2).value();
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(file.Insert(MakeRecord(i)).ok());
+  }
+  const auto counts = file.RecordCountsPerDevice();
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 256u);
+}
+
+TEST(DynamicParallelFileTest, MethodStaysPlannedFx) {
+  auto file = DynamicParallelFile::Create(Fields(), 32, 2).value();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(file.Insert(MakeRecord(i)).ok());
+  }
+  // After growth the method must reflect the *current* spec.
+  EXPECT_EQ(file.method().spec().field_sizes(),
+            file.spec().field_sizes());
+}
+
+TEST(DynamicParallelFileTest, ArityErrors) {
+  auto file = DynamicParallelFile::Create(Fields(), 8, 4).value();
+  EXPECT_FALSE(file.Insert({std::int64_t{1}}).ok());
+  EXPECT_FALSE(file.Execute(ValueQuery(1)).ok());
+}
+
+TEST(DynamicParallelFileTest, WholeFileQueryReturnsEverything) {
+  auto file = DynamicParallelFile::Create(Fields(), 8, 3).value();
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(file.Insert(MakeRecord(i)).ok());
+  }
+  auto result = file.Execute(ValueQuery(3)).value();
+  EXPECT_EQ(result.records.size(), 120u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,127 @@
+#include "sim/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fxdist {
+namespace {
+
+std::vector<RecordIndex> Collect(const PageStore& store,
+                                 std::uint64_t bucket,
+                                 PageStore::ReadStats* stats = nullptr) {
+  std::vector<RecordIndex> out;
+  store.Scan(bucket,
+             [&](RecordIndex r) {
+               out.push_back(r);
+               return true;
+             },
+             stats);
+  return out;
+}
+
+TEST(PageStoreTest, CreateValidates) {
+  EXPECT_FALSE(PageStore::Create(0).ok());
+  EXPECT_TRUE(PageStore::Create(4).ok());
+}
+
+TEST(PageStoreTest, AddAndScan) {
+  auto store = PageStore::Create(2).value();
+  store.Add(7, 10);
+  store.Add(7, 11);
+  store.Add(9, 12);
+  EXPECT_EQ(Collect(store, 7), (std::vector<RecordIndex>{10, 11}));
+  EXPECT_EQ(Collect(store, 9), (std::vector<RecordIndex>{12}));
+  EXPECT_TRUE(Collect(store, 8).empty());
+  EXPECT_EQ(store.num_records(), 3u);
+}
+
+TEST(PageStoreTest, ChainsGrowAtCapacity) {
+  auto store = PageStore::Create(3).value();
+  for (RecordIndex r = 0; r < 10; ++r) store.Add(1, r);
+  EXPECT_EQ(store.ChainLength(1), 4u);  // ceil(10/3)
+  PageStore::ReadStats stats;
+  const auto records = Collect(store, 1, &stats);
+  EXPECT_EQ(records.size(), 10u);
+  EXPECT_EQ(stats.pages_read, 4u);
+  EXPECT_EQ(stats.records_scanned, 10u);
+}
+
+TEST(PageStoreTest, EarlyStopStillChargesCurrentPage) {
+  auto store = PageStore::Create(2).value();
+  for (RecordIndex r = 0; r < 6; ++r) store.Add(1, r);
+  PageStore::ReadStats stats;
+  store.Scan(1, [](RecordIndex r) { return r < 1; }, &stats);
+  EXPECT_EQ(stats.pages_read, 1u);
+}
+
+TEST(PageStoreTest, RemoveAndRecycle) {
+  auto store = PageStore::Create(2).value();
+  for (RecordIndex r = 0; r < 6; ++r) store.Add(1, r);
+  const std::uint64_t pages_before = store.num_pages();
+  EXPECT_TRUE(store.Remove(1, 0));
+  EXPECT_TRUE(store.Remove(1, 1));  // first page empties -> recycled
+  EXPECT_EQ(store.num_pages(), pages_before - 1);
+  EXPECT_EQ(Collect(store, 1), (std::vector<RecordIndex>{2, 3, 4, 5}));
+  EXPECT_FALSE(store.Remove(1, 99));
+  EXPECT_FALSE(store.Remove(42, 0));
+  // Recycled page gets reused.
+  store.Add(2, 100);
+  EXPECT_EQ(store.num_pages(), pages_before);
+}
+
+TEST(PageStoreTest, RemoveLastRecordDropsBucket) {
+  auto store = PageStore::Create(4).value();
+  store.Add(5, 1);
+  EXPECT_TRUE(store.Remove(5, 1));
+  EXPECT_EQ(store.ChainLength(5), 0u);
+  EXPECT_EQ(store.num_pages(), 0u);
+  EXPECT_EQ(store.num_records(), 0u);
+}
+
+TEST(PageStoreTest, UtilizationBounds) {
+  auto store = PageStore::Create(4).value();
+  EXPECT_DOUBLE_EQ(store.Utilization(), 0.0);
+  Xoshiro256 rng(3);
+  for (RecordIndex r = 0; r < 1000; ++r) {
+    store.Add(rng.NextBounded(64), r);
+  }
+  EXPECT_GT(store.Utilization(), 0.5);
+  EXPECT_LE(store.Utilization(), 1.0);
+}
+
+TEST(PageStoreTest, RandomizedConsistencyWithReferenceMap) {
+  auto store = PageStore::Create(3).value();
+  std::multiset<std::pair<std::uint64_t, RecordIndex>> reference;
+  Xoshiro256 rng(17);
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint64_t bucket = rng.NextBounded(16);
+    if (rng.NextBool(0.6) || reference.empty()) {
+      const auto record = static_cast<RecordIndex>(rng.NextBounded(100));
+      store.Add(bucket, record);
+      reference.insert({bucket, record});
+    } else {
+      const auto record = static_cast<RecordIndex>(rng.NextBounded(100));
+      const auto ref_it = reference.find({bucket, record});
+      const bool in_ref = ref_it != reference.end();
+      if (in_ref) reference.erase(ref_it);  // mirror one removal
+      EXPECT_EQ(store.Remove(bucket, record), in_ref) << "op " << op;
+    }
+  }
+  EXPECT_EQ(store.num_records(), reference.size());
+  for (std::uint64_t bucket = 0; bucket < 16; ++bucket) {
+    std::multiset<RecordIndex> got;
+    for (RecordIndex r : Collect(store, bucket)) got.insert(r);
+    std::multiset<RecordIndex> want;
+    for (const auto& [b, r] : reference) {
+      if (b == bucket) want.insert(r);
+    }
+    EXPECT_EQ(got, want) << "bucket " << bucket;
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

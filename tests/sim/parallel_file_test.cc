@@ -1,0 +1,147 @@
+#include "sim/parallel_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fxdist {
+namespace {
+
+Schema PartsSchema() {
+  return Schema::Create({
+                            {"part_no", ValueType::kInt64, 8},
+                            {"supplier", ValueType::kString, 8},
+                            {"city", ValueType::kString, 4},
+                        })
+      .value();
+}
+
+TEST(ParallelFileTest, CreateValidates) {
+  EXPECT_TRUE(ParallelFile::Create(PartsSchema(), 16, "fx-iu2").ok());
+  EXPECT_FALSE(ParallelFile::Create(PartsSchema(), 15, "fx-iu2").ok());
+  EXPECT_FALSE(ParallelFile::Create(PartsSchema(), 16, "bogus").ok());
+}
+
+TEST(ParallelFileTest, InsertValidatesRecords) {
+  auto file = ParallelFile::Create(PartsSchema(), 16, "fx-iu2").value();
+  EXPECT_TRUE(file.Insert({std::int64_t{1}, std::string("acme"),
+                           std::string("rome")})
+                  .ok());
+  EXPECT_FALSE(file.Insert({std::int64_t{1}}).ok());
+  EXPECT_FALSE(file.Insert({std::string("wrong-type"), std::string("a"),
+                            std::string("b")})
+                   .ok());
+  EXPECT_EQ(file.num_records(), 1u);
+}
+
+TEST(ParallelFileTest, ExactMatchQueryFindsInsertedRecord) {
+  auto file = ParallelFile::Create(PartsSchema(), 16, "fx-iu2").value();
+  Record r{std::int64_t{42}, std::string("acme"), std::string("rome")};
+  ASSERT_TRUE(file.Insert(r).ok());
+  ValueQuery q{r[0], r[1], r[2]};
+  auto result = file.Execute(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 1u);
+  EXPECT_EQ(result->records[0], r);
+  EXPECT_EQ(result->stats.records_matched, 1u);
+}
+
+TEST(ParallelFileTest, PartialMatchReturnsAllMatchingRecords) {
+  auto file = ParallelFile::Create(PartsSchema(), 16, "fx-iu2").value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(file.Insert({std::int64_t{i}, std::string("acme"),
+                             std::string("rome")})
+                    .ok());
+    ASSERT_TRUE(file.Insert({std::int64_t{i}, std::string("zeta"),
+                             std::string("oslo")})
+                    .ok());
+  }
+  ValueQuery q(3);
+  q[1] = FieldValue{std::string("acme")};
+  auto result = file.Execute(q).value();
+  EXPECT_EQ(result.records.size(), 10u);
+  for (const Record& r : result.records) {
+    EXPECT_EQ(r[1], FieldValue{std::string("acme")});
+  }
+}
+
+TEST(ParallelFileTest, HashCollisionsFilteredByValue) {
+  // With a 2-wide city directory, many cities share coordinates; value
+  // filtering must keep results exact.
+  auto schema = Schema::Create({{"k", ValueType::kInt64, 2},
+                                {"city", ValueType::kString, 2}})
+                    .value();
+  auto file = ParallelFile::Create(schema, 4, "fx-iu2").value();
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(file.Insert({std::int64_t{i % 4},
+                             std::string("city") + std::to_string(i)})
+                    .ok());
+  }
+  ValueQuery q(2);
+  q[1] = FieldValue{std::string("city7")};
+  auto result = file.Execute(q).value();
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0][1], FieldValue{std::string("city7")});
+  // Bucket-level candidates exceed the exact matches.
+  EXPECT_GE(result.stats.records_examined, result.stats.records_matched);
+}
+
+TEST(ParallelFileTest, StatsReportQualifiedBucketCounts) {
+  auto file = ParallelFile::Create(PartsSchema(), 16, "fx-iu2").value();
+  ValueQuery q(3);
+  q[0] = FieldValue{std::int64_t{5}};
+  auto result = file.Execute(q).value();
+  const QueryStats& s = result.stats;
+  EXPECT_EQ(s.qualified_per_device.size(), 16u);
+  EXPECT_EQ(s.total_qualified, 32u);  // 8 * 4 buckets qualify
+  EXPECT_EQ(s.optimal_bound, 2u);
+  EXPECT_LE(s.largest_response, s.total_qualified);
+  EXPECT_GT(s.disk_timing.serial_ms, 0.0);
+}
+
+TEST(ParallelFileTest, FxQueriesAreStrictOptimalHere) {
+  // L = 3 small fields (8, 8, 4 < 16) -> planned FX is perfect optimal, so
+  // every executed query must report strict_optimal.
+  auto file = ParallelFile::Create(PartsSchema(), 16, "fx-iu2").value();
+  const ValueQuery queries[] = {
+      ValueQuery(3),
+      {FieldValue{std::int64_t{1}}, std::nullopt, std::nullopt},
+      {std::nullopt, FieldValue{std::string("acme")}, std::nullopt},
+      {FieldValue{std::int64_t{1}}, FieldValue{std::string("acme")},
+       std::nullopt},
+  };
+  for (const auto& q : queries) {
+    EXPECT_TRUE(file.Execute(q).value().stats.strict_optimal);
+  }
+}
+
+TEST(ParallelFileTest, RecordCountsPerDeviceSumToTotal) {
+  auto file = ParallelFile::Create(PartsSchema(), 8, "modulo").value();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(file.Insert({std::int64_t{i},
+                             std::string("s") + std::to_string(i % 7),
+                             std::string("c") + std::to_string(i % 3)})
+                    .ok());
+  }
+  const auto counts = file.RecordCountsPerDevice();
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(counts.size(), 8u);
+}
+
+TEST(ParallelFileTest, WorksWithEveryRegisteredMethod) {
+  for (const char* dist : {"fx-basic", "fx-iu1", "fx-iu2", "modulo",
+                           "gdm1", "gdm2", "gdm3"}) {
+    auto file = ParallelFile::Create(PartsSchema(), 16, dist).value();
+    Record r{std::int64_t{9}, std::string("acme"), std::string("rome")};
+    ASSERT_TRUE(file.Insert(r).ok()) << dist;
+    ValueQuery q{r[0], std::nullopt, std::nullopt};
+    auto result = file.Execute(q).value();
+    ASSERT_EQ(result.records.size(), 1u) << dist;
+    EXPECT_EQ(result.records[0], r) << dist;
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

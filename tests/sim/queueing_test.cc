@@ -1,0 +1,129 @@
+#include "sim/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec Spec() { return FieldSpec::Uniform(4, 8, 16).value(); }
+
+QueueingConfig LightLoad() {
+  QueueingConfig config;
+  config.arrival_rate_qps = 0.1;  // essentially no queueing
+  config.num_queries = 300;
+  config.seed = 5;
+  return config;
+}
+
+TEST(QueueingTest, ValidatesConfig) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  QueueingConfig bad = LightLoad();
+  bad.arrival_rate_qps = 0.0;
+  EXPECT_FALSE(SimulateQueueing(*fx, bad).ok());
+  bad = LightLoad();
+  bad.num_queries = 0;
+  EXPECT_FALSE(SimulateQueueing(*fx, bad).ok());
+}
+
+TEST(QueueingTest, DeterministicForSeed) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto a = SimulateQueueing(*fx, LightLoad()).value();
+  auto b = SimulateQueueing(*fx, LightLoad()).value();
+  EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
+  EXPECT_DOUBLE_EQ(a.p95_response_ms, b.p95_response_ms);
+}
+
+TEST(QueueingTest, LightLoadResponseMatchesIsolatedQueryModel) {
+  // At negligible load there is no queueing: every response is the
+  // largest device share priced by the disk model, so the mean sits
+  // between 1 and (max response size) service times.
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto result = SimulateQueueing(*fx, LightLoad()).value();
+  const double per_bucket = 30.0;  // 28 + 2
+  EXPECT_GE(result.mean_response_ms, 0.0);
+  // Whole-file query's balanced share: 8^4/16 = 256 buckets.
+  EXPECT_LE(result.mean_response_ms, 256 * per_bucket);
+  EXPECT_GT(result.throughput_qps, 0.0);
+  EXPECT_LE(result.max_device_utilization, 1.0 + 1e-9);
+}
+
+TEST(QueueingTest, ResponseGrowsWithLoad) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  QueueingConfig light = LightLoad();
+  QueueingConfig heavy = LightLoad();
+  heavy.arrival_rate_qps = 2.0;
+  const double light_mean =
+      SimulateQueueing(*fx, light).value().mean_response_ms;
+  const double heavy_mean =
+      SimulateQueueing(*fx, heavy).value().mean_response_ms;
+  EXPECT_GT(heavy_mean, light_mean);
+}
+
+TEST(QueueingTest, SkewedMethodSaturatesSooner) {
+  // Under the same moderate load, Modulo's hottest device must be busier
+  // and its tail latency worse than FX's.
+  QueueingConfig config = LightLoad();
+  config.arrival_rate_qps = 1.0;
+  config.num_queries = 800;
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  auto md = MakeDistribution(Spec(), "modulo").value();
+  auto fx_result = SimulateQueueing(*fx, config).value();
+  auto md_result = SimulateQueueing(*md, config).value();
+  EXPECT_GT(md_result.max_device_utilization,
+            fx_result.max_device_utilization);
+  EXPECT_GT(md_result.p95_response_ms, fx_result.p95_response_ms);
+}
+
+TEST(QueueingTest, NonInvariantMethodWithinBudgetWorks) {
+  auto spec = FieldSpec::Create({4, 4}, 4).value();
+  auto rd = MakeDistribution(spec, "random").value();
+  QueueingConfig config = LightLoad();
+  config.num_queries = 100;
+  auto result = SimulateQueueing(*rd, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries, 100u);
+}
+
+TEST(QueueingTest, NonInvariantMethodOverBudgetRejected) {
+  auto rd = MakeDistribution(Spec(), "random").value();
+  QueueingConfig config = LightLoad();
+  config.enumeration_budget = 10;
+  EXPECT_FALSE(SimulateQueueing(*rd, config).ok());
+}
+
+TEST(QueueingTest, SpeedFactorsValidated) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  QueueingConfig config = LightLoad();
+  config.device_speed_factors = {1.0, 2.0};  // wrong arity (M = 16)
+  EXPECT_FALSE(SimulateQueueing(*fx, config).ok());
+  config.device_speed_factors.assign(16, 1.0);
+  config.device_speed_factors[3] = 0.0;
+  EXPECT_FALSE(SimulateQueueing(*fx, config).ok());
+}
+
+TEST(QueueingTest, OneSlowDeviceRaisesResponseTime) {
+  auto fx = MakeDistribution(Spec(), "fx-iu1").value();
+  QueueingConfig uniform = LightLoad();
+  QueueingConfig skewed = LightLoad();
+  skewed.device_speed_factors.assign(16, 1.0);
+  skewed.device_speed_factors[0] = 4.0;  // one device 4x slower
+  const auto u = SimulateQueueing(*fx, uniform).value();
+  const auto s = SimulateQueueing(*fx, skewed).value();
+  EXPECT_GT(s.mean_response_ms, u.mean_response_ms);
+}
+
+TEST(QueueingTest, PercentilesOrdered) {
+  auto gdm = MakeDistribution(Spec(), "gdm1").value();
+  QueueingConfig config = LightLoad();
+  config.arrival_rate_qps = 1.5;
+  auto r = SimulateQueueing(*gdm, config).value();
+  EXPECT_LE(r.p50_response_ms, r.p95_response_ms);
+  EXPECT_LE(r.p95_response_ms, r.max_response_ms);
+  EXPECT_LE(r.mean_device_utilization,
+            r.max_device_utilization + 1e-12);
+}
+
+}  // namespace
+}  // namespace fxdist

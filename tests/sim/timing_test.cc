@@ -1,0 +1,48 @@
+#include "sim/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(DiskTimingTest, ParallelGatedByLargestResponse) {
+  DiskTimingModel model;
+  model.positioning_ms = 10.0;
+  model.transfer_ms_per_bucket = 0.0;
+  QueryTiming t = DiskQueryTiming({2, 8, 4, 2}, model);
+  EXPECT_DOUBLE_EQ(t.parallel_ms, 80.0);
+  EXPECT_DOUBLE_EQ(t.serial_ms, 160.0);
+  EXPECT_DOUBLE_EQ(t.speedup, 2.0);
+}
+
+TEST(DiskTimingTest, BalancedResponseGetsFullSpeedup) {
+  QueryTiming t = DiskQueryTiming({3, 3, 3, 3});
+  EXPECT_DOUBLE_EQ(t.speedup, 4.0);
+}
+
+TEST(DiskTimingTest, EmptyResponseHasZeroTime) {
+  QueryTiming t = DiskQueryTiming({0, 0});
+  EXPECT_DOUBLE_EQ(t.parallel_ms, 0.0);
+  EXPECT_DOUBLE_EQ(t.speedup, 1.0);
+}
+
+TEST(MemoryTimingTest, ScalesWithAddressCycles) {
+  MemoryTimingModel model;
+  model.clock_mhz = 1.0;  // 1000 cycles per ms
+  model.probe_cycles_per_bucket = 0;
+  QueryTiming cheap = MemoryQueryTiming({10, 10}, 100, model);
+  QueryTiming costly = MemoryQueryTiming({10, 10}, 300, model);
+  EXPECT_DOUBLE_EQ(cheap.parallel_ms, 1.0);
+  EXPECT_DOUBLE_EQ(costly.parallel_ms, 3.0);
+}
+
+TEST(MemoryTimingTest, SkewHurtsParallelTime) {
+  MemoryTimingModel model;
+  QueryTiming balanced = MemoryQueryTiming({4, 4, 4, 4}, 50, model);
+  QueryTiming skewed = MemoryQueryTiming({16, 0, 0, 0}, 50, model);
+  EXPECT_DOUBLE_EQ(balanced.serial_ms, skewed.serial_ms);
+  EXPECT_LT(balanced.parallel_ms, skewed.parallel_ms);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,75 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(BitopsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(4));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+  EXPECT_TRUE(IsPowerOfTwo(std::uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(BitopsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(FloorLog2(1025), 10u);
+  EXPECT_EQ(FloorLog2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(BitopsTest, Log2ExactOnPowers) {
+  for (unsigned b = 0; b < 64; ++b) {
+    EXPECT_EQ(Log2Exact(std::uint64_t{1} << b), b);
+  }
+}
+
+TEST(BitopsTest, CeilPowerOfTwo) {
+  EXPECT_EQ(CeilPowerOfTwo(1), 1u);
+  EXPECT_EQ(CeilPowerOfTwo(2), 2u);
+  EXPECT_EQ(CeilPowerOfTwo(3), 4u);
+  EXPECT_EQ(CeilPowerOfTwo(5), 8u);
+  EXPECT_EQ(CeilPowerOfTwo(1023), 1024u);
+}
+
+TEST(BitopsTest, TruncateModMatchesModForPowersOfTwo) {
+  for (std::uint64_t m : {1u, 2u, 4u, 8u, 32u, 1024u}) {
+    for (std::uint64_t v = 0; v < 300; v += 7) {
+      EXPECT_EQ(TruncateMod(v, m), v % m) << "v=" << v << " m=" << m;
+    }
+  }
+}
+
+TEST(BitopsTest, BitStringMatchesPaperNotation) {
+  // Table 1 uses 3-bit strings for f2 = {0..7}.
+  EXPECT_EQ(BitString(0, 3), "000");
+  EXPECT_EQ(BitString(5, 3), "101");
+  EXPECT_EQ(BitString(7, 3), "111");
+  EXPECT_EQ(BitString(1, 1), "1");
+  EXPECT_EQ(BitString(13, 4), "1101");
+}
+
+TEST(BitopsTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0u);
+  EXPECT_EQ(PopCount(0b1011), 3u);
+  EXPECT_EQ(PopCount(~std::uint64_t{0}), 64u);
+}
+
+TEST(BitopsTest, XorFoldRangeMatchesDirectFold) {
+  for (std::uint64_t n = 0; n <= 128; ++n) {
+    std::uint64_t direct = 0;
+    for (std::uint64_t i = 0; i < n; ++i) direct ^= i;
+    EXPECT_EQ(XorFoldRange(n), direct) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

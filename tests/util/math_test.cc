@@ -1,0 +1,81 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace fxdist {
+namespace {
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(8192, 32), 256u);
+}
+
+TEST(MathTest, BinomialSmallValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(6, 0), 1u);
+  EXPECT_EQ(Binomial(6, 2), 15u);
+  EXPECT_EQ(Binomial(6, 3), 20u);
+  EXPECT_EQ(Binomial(6, 6), 1u);
+  EXPECT_EQ(Binomial(6, 7), 0u);
+  EXPECT_EQ(Binomial(10, 5), 252u);
+}
+
+TEST(MathTest, BinomialPascalIdentity) {
+  for (unsigned n = 1; n <= 20; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(MathTest, SaturatingProduct) {
+  EXPECT_EQ(SaturatingProduct({}), 1u);
+  EXPECT_EQ(SaturatingProduct({8, 8, 8}), 512u);
+  EXPECT_EQ(SaturatingProduct({0, 123}), 0u);
+  const std::uint64_t big = std::uint64_t{1} << 60;
+  EXPECT_EQ(SaturatingProduct({big, 1024}),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(MathTest, ForEachSubsetCountsMatchBinomial) {
+  for (unsigned n = 0; n <= 8; ++n) {
+    for (unsigned k = 0; k <= n + 1; ++k) {
+      std::uint64_t count = 0;
+      ForEachSubsetOfSize(n, k, [&](const std::vector<unsigned>&) {
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, Binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(MathTest, ForEachSubsetYieldsDistinctSortedSubsets) {
+  std::set<std::vector<unsigned>> seen;
+  ForEachSubsetOfSize(6, 3, [&](const std::vector<unsigned>& s) {
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_LT(s.back(), 6u);
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate subset";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(MathTest, ForEachSubsetEarlyStop) {
+  std::uint64_t count = 0;
+  ForEachSubsetOfSize(8, 2, [&](const std::vector<unsigned>&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,99 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fxdist {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, KnownFirstValueForSeedZero) {
+  // Reference value from the canonical SplitMix64 implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xE220A8397B1DCDAFull);
+}
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256Test, NextBoundedStaysInRange) {
+  Xoshiro256 rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedRoughlyUniform) {
+  Xoshiro256 rng(5);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> hist(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.NextBounded(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(hist[v], kDraws / kBound, kDraws / kBound * 0.15)
+        << "value " << v;
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  Xoshiro256 rng(11);
+  ZipfSampler zipf(8, 0.0);
+  std::vector<int> hist(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++hist[zipf.Sample(&rng)];
+  for (int h : hist) EXPECT_NEAR(h, kDraws / 8, kDraws / 8 * 0.15);
+}
+
+TEST(ZipfSamplerTest, SkewFavorsSmallRanks) {
+  Xoshiro256 rng(13);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> hist(100, 0);
+  for (int i = 0; i < 50000; ++i) ++hist[zipf.Sample(&rng)];
+  // Rank 0 should dominate rank 50 by roughly 50x under theta=1.
+  EXPECT_GT(hist[0], hist[50] * 10);
+  // Monotone-ish overall: head outweighs tail.
+  int head = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) head += hist[i];
+  for (int i = 90; i < 100; ++i) tail += hist[i];
+  EXPECT_GT(head, tail * 5);
+}
+
+TEST(ZipfSamplerTest, SamplesStayInRange) {
+  Xoshiro256 rng(17);
+  ZipfSampler zipf(5, 2.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 5u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,44 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"k", "value"});
+  table.AddRow({"2", "8.0"});
+  table.AddRow({"3", "48.0"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| k | value |"), std::string::npos);
+  EXPECT_NE(out.find("| 2 |   8.0 |"), std::string::npos);
+  EXPECT_NE(out.find("| 3 |  48.0 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  // Must not crash and should render all three columns.
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(8.0, 1), "8.0");
+  EXPECT_EQ(TablePrinter::Cell(std::uint64_t{8192}), "8192");
+  EXPECT_EQ(TablePrinter::Cell(-3), "-3");
+}
+
+TEST(TablePrinterTest, WideCellWidensColumn) {
+  TablePrinter table({"x"});
+  table.AddRow({"short"});
+  table.AddRow({"very-long-cell"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| very-long-cell |"), std::string::npos);
+  EXPECT_NE(out.find("|          short |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxdist

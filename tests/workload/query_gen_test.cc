@@ -1,0 +1,107 @@
+#include "workload/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/record_gen.h"
+
+namespace fxdist {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({
+                            {"a", ValueType::kInt64, 8},
+                            {"b", ValueType::kInt64, 8},
+                            {"c", ValueType::kInt64, 8},
+                            {"d", ValueType::kInt64, 8},
+                        })
+      .value();
+}
+
+TEST(QueryGenTest, RequiresNonEmptyPool) {
+  std::vector<Record> empty;
+  EXPECT_FALSE(QueryGenerator::Create(&empty, 0.5).ok());
+  EXPECT_FALSE(QueryGenerator::Create(nullptr, 0.5).ok());
+}
+
+TEST(QueryGenTest, RejectsBadProbability) {
+  auto gen = RecordGenerator::Uniform(TestSchema()).value();
+  auto pool = gen.Take(4);
+  EXPECT_FALSE(QueryGenerator::Create(&pool, -0.1).ok());
+  EXPECT_FALSE(QueryGenerator::Create(&pool, 1.5).ok());
+}
+
+TEST(QueryGenTest, SpecifiedValuesComeFromPool) {
+  auto gen = RecordGenerator::Uniform(TestSchema()).value();
+  auto pool = gen.Take(8);
+  auto qgen = QueryGenerator::Create(&pool, 0.7, 11).value();
+  for (int i = 0; i < 50; ++i) {
+    ValueQuery q = qgen.Next();
+    ASSERT_EQ(q.size(), 4u);
+    for (unsigned f = 0; f < 4; ++f) {
+      if (!q[f].has_value()) continue;
+      bool found = false;
+      for (const Record& r : pool) {
+        if (r[f] == *q[f]) found = true;
+      }
+      EXPECT_TRUE(found) << "field " << f;
+    }
+  }
+}
+
+TEST(QueryGenTest, SpecificationProbabilityRoughlyHonored) {
+  auto gen = RecordGenerator::Uniform(TestSchema()).value();
+  auto pool = gen.Take(8);
+  auto qgen = QueryGenerator::Create(&pool, 0.25, 3).value();
+  int specified = 0;
+  constexpr int kQueries = 4000;
+  for (int i = 0; i < kQueries; ++i) {
+    for (const auto& v : qgen.Next()) {
+      if (v.has_value()) ++specified;
+    }
+  }
+  EXPECT_NEAR(specified / (4.0 * kQueries), 0.25, 0.03);
+}
+
+TEST(QueryGenTest, ExactUnspecifiedCount) {
+  auto gen = RecordGenerator::Uniform(TestSchema()).value();
+  auto pool = gen.Take(8);
+  auto qgen = QueryGenerator::Create(&pool, 0.5, 3).value();
+  for (unsigned k = 0; k <= 4; ++k) {
+    for (int i = 0; i < 20; ++i) {
+      ValueQuery q = qgen.NextWithUnspecified(k);
+      unsigned unspecified = 0;
+      for (const auto& v : q) {
+        if (!v.has_value()) ++unspecified;
+      }
+      EXPECT_EQ(unspecified, k);
+    }
+  }
+}
+
+TEST(QueryGenTest, AllUnspecifiedMasksEnumeratesBinomial) {
+  auto spec = FieldSpec::Uniform(4, 8, 8).value();
+  auto masks = AllUnspecifiedMasks(spec, 2);
+  EXPECT_EQ(masks.size(), 6u);
+  std::set<std::uint64_t> unique(masks.begin(), masks.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (std::uint64_t m : masks) EXPECT_EQ(__builtin_popcountll(m), 2);
+}
+
+TEST(QueryGenTest, RandomUnspecifiedMaskHasKBits) {
+  auto spec = FieldSpec::Uniform(6, 8, 8).value();
+  Xoshiro256 rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t mask = RandomUnspecifiedMask(spec, 3, &rng);
+    EXPECT_EQ(__builtin_popcountll(mask), 3);
+    EXPECT_LT(mask, 64u);
+    seen.insert(mask);
+  }
+  // Should explore a good share of the C(6,3) = 20 masks.
+  EXPECT_GT(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace fxdist

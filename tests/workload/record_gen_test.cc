@@ -1,0 +1,78 @@
+#include "workload/record_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fxdist {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({
+                            {"id", ValueType::kInt64, 8},
+                            {"name", ValueType::kString, 4},
+                            {"score", ValueType::kDouble, 2},
+                        })
+      .value();
+}
+
+TEST(RecordGenTest, ProducesSchemaConformantRecords) {
+  auto gen = RecordGenerator::Uniform(TestSchema()).value();
+  for (int i = 0; i < 100; ++i) {
+    Record r = gen.Next();
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(TypeOf(r[0]), ValueType::kInt64);
+    EXPECT_EQ(TypeOf(r[1]), ValueType::kString);
+    EXPECT_EQ(TypeOf(r[2]), ValueType::kDouble);
+  }
+}
+
+TEST(RecordGenTest, DeterministicForSeed) {
+  auto a = RecordGenerator::Uniform(TestSchema(), 5).value();
+  auto b = RecordGenerator::Uniform(TestSchema(), 5).value();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RecordGenTest, TakeReturnsCount) {
+  auto gen = RecordGenerator::Uniform(TestSchema()).value();
+  EXPECT_EQ(gen.Take(37).size(), 37u);
+}
+
+TEST(RecordGenTest, DistributionArityChecked) {
+  EXPECT_FALSE(RecordGenerator::Create(TestSchema(), {}, 1).ok());
+}
+
+TEST(RecordGenTest, DomainBoundsValues) {
+  std::vector<FieldDistribution> dists(3);
+  dists[0].domain = 4;
+  dists[1].domain = 2;
+  dists[2].domain = 2;
+  auto gen = RecordGenerator::Create(TestSchema(), dists).value();
+  for (int i = 0; i < 200; ++i) {
+    Record r = gen.Next();
+    EXPECT_LT(std::get<std::int64_t>(r[0]), 4);
+    EXPECT_GE(std::get<std::int64_t>(r[0]), 0);
+  }
+}
+
+TEST(RecordGenTest, ZipfSkewsFieldValues) {
+  std::vector<FieldDistribution> dists(3);
+  dists[0].kind = FieldDistribution::Kind::kZipf;
+  dists[0].domain = 64;
+  dists[0].zipf_theta = 1.2;
+  auto gen = RecordGenerator::Create(TestSchema(), dists, 3).value();
+  std::map<std::int64_t, int> hist;
+  for (int i = 0; i < 5000; ++i) {
+    ++hist[std::get<std::int64_t>(gen.Next()[0])];
+  }
+  EXPECT_GT(hist[0], hist[32] * 4);
+}
+
+TEST(RecordGenTest, StringValuesCarryFieldName) {
+  auto gen = RecordGenerator::Uniform(TestSchema()).value();
+  const Record r = gen.Next();
+  EXPECT_EQ(std::get<std::string>(r[1]).rfind("name_", 0), 0u);
+}
+
+}  // namespace
+}  // namespace fxdist

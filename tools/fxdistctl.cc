@@ -1,0 +1,507 @@
+// fxdistctl — the command-line front end to the fxdist library.
+//
+//   fxdistctl report      --fields 8,8,8 --devices 32 [--methods a,b,...]
+//   fxdistctl layout      --fields 2,8 --devices 4 --method fx-basic
+//   fxdistctl search-plan --fields 4,4,4,4 --devices 256
+//   fxdistctl search-gdm  --fields 4,4 --devices 16 [--max-mult 63]
+//   fxdistctl advise-bits --probs 0.9,0.5,0.2 --bits 12 [--devices 64]
+//   fxdistctl queueing    --fields 8,8,8 --devices 16 --method fx-iu1
+//                         --rate 1.0 [--queries 2000] [--spec-prob 0.5]
+//   fxdistctl help
+//
+// Every subcommand prints a table; exit code 0 on success.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/advisor.h"
+#include "analysis/balance.h"
+#include "analysis/bit_allocation.h"
+#include "analysis/gdm_search.h"
+#include "analysis/plan_search.h"
+#include "analysis/report.h"
+#include "core/fx.h"
+#include "core/registry.h"
+#include "sim/parallel_file.h"
+#include "sim/queueing.h"
+#include "util/bitops.h"
+#include "util/table_printer.h"
+#include "workload/query_gen.h"
+#include "workload/record_gen.h"
+#include "workload/trace.h"
+
+using namespace fxdist;  // NOLINT(build/namespaces)
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+int Usage() {
+  std::cerr
+      << "usage: fxdistctl <subcommand> [--flag value ...]\n"
+         "subcommands:\n"
+         "  report       method comparison on a file system\n"
+         "               --fields F1,F2,... --devices M [--methods ...]\n"
+         "  layout       bucket-by-bucket device table (small spaces)\n"
+         "               --fields ... --devices M --method SPEC\n"
+         "  search-plan  search FX transformation assignments\n"
+         "               --fields ... --devices M\n"
+         "  search-gdm   search GDM multipliers\n"
+         "               --fields ... --devices M [--max-mult N]\n"
+         "  advise-bits  directory sizing from query statistics\n"
+         "               --probs p1,p2,... --bits B [--devices M]\n"
+         "  queueing     response time under Poisson load\n"
+         "               --fields ... --devices M --method SPEC --rate QPS\n"
+         "               [--queries N] [--spec-prob P]\n"
+         "  recommend    rank methods for a file system and workload\n"
+         "               --fields ... --devices M [--spec-prob P]\n"
+         "  gen-trace    synthesize a reproducible workload trace\n"
+         "               --schema name:type:size,... --out FILE\n"
+         "               [--records N] [--queries N] [--spec-prob P]\n"
+         "               [--seed S]\n"
+         "  replay       run a trace against a parallel file\n"
+         "               --schema ... --trace FILE --devices M\n"
+         "               [--method SPEC]\n"
+         "  help         this text\n";
+  return 2;
+}
+
+Result<Schema> ParseSchema(const std::string& schema_string) {
+  // "name:type:size,name:type:size,..."
+  std::vector<FieldDecl> fields;
+  std::stringstream ss(schema_string);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const std::size_t c1 = token.find(':');
+    const std::size_t c2 = token.rfind(':');
+    if (c1 == std::string::npos || c2 == c1) {
+      return Status::InvalidArgument("bad schema field: " + token);
+    }
+    FieldDecl decl;
+    decl.name = token.substr(0, c1);
+    const std::string type = token.substr(c1 + 1, c2 - c1 - 1);
+    if (type == "int64") {
+      decl.type = ValueType::kInt64;
+    } else if (type == "double") {
+      decl.type = ValueType::kDouble;
+    } else if (type == "string") {
+      decl.type = ValueType::kString;
+    } else {
+      return Status::InvalidArgument("unknown type: " + type);
+    }
+    decl.directory_size =
+        std::strtoull(token.c_str() + c2 + 1, nullptr, 10);
+    fields.push_back(std::move(decl));
+  }
+  return Schema::Create(std::move(fields));
+}
+
+Flags ParseFlags(int argc, char** argv, int start) {
+  Flags flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::vector<std::uint64_t> ParseU64List(const std::string& list) {
+  std::vector<std::uint64_t> out;
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    out.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<double> ParseDoubleList(const std::string& list) {
+  std::vector<double> out;
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    out.push_back(std::strtod(token.c_str(), nullptr));
+  }
+  return out;
+}
+
+std::vector<std::string> ParseStringList(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) out.push_back(token);
+  return out;
+}
+
+Result<FieldSpec> SpecFromFlags(const Flags& flags) {
+  auto fields_it = flags.find("fields");
+  auto devices_it = flags.find("devices");
+  if (fields_it == flags.end() || devices_it == flags.end()) {
+    return Status::InvalidArgument("--fields and --devices are required");
+  }
+  return FieldSpec::Create(
+      ParseU64List(fields_it->second),
+      std::strtoull(devices_it->second.c_str(), nullptr, 10));
+}
+
+int CmdReport(const Flags& flags) {
+  auto spec = SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<std::string> methods = {"fx-basic", "fx-iu1", "fx-iu2",
+                                      "modulo",   "gdm1",   "gdm2",
+                                      "gdm3",     "random", "spanning"};
+  if (auto it = flags.find("methods"); it != flags.end()) {
+    methods = ParseStringList(it->second);
+  }
+  auto reports = CompareMethods(*spec, methods);
+  if (!reports.ok()) {
+    std::cerr << reports.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "File system: " << spec->ToString() << "\n";
+  TablePrinter table({"method", "optimal classes %", "avg largest (k=2)",
+                      "addr cycles"});
+  for (const MethodReport& r : *reports) {
+    table.AddRow({r.method_name,
+                  TablePrinter::Cell(100.0 * r.optimal_class_fraction, 1),
+                  r.avg_largest_by_k.empty()
+                      ? "-"
+                      : TablePrinter::Cell(r.avg_largest_by_k[0], 2),
+                  TablePrinter::Cell(r.address_cycles)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdLayout(const Flags& flags) {
+  auto spec = SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  const auto method_it = flags.find("method");
+  const std::string method_spec =
+      method_it == flags.end() ? "fx-iu2" : method_it->second;
+  auto method = MakeDistribution(*spec, method_spec);
+  if (!method.ok()) {
+    std::cerr << method.status().ToString() << "\n";
+    return 1;
+  }
+  if (spec->TotalBuckets() > 4096) {
+    std::cerr << "bucket space too large to print ("
+              << spec->TotalBuckets() << ")\n";
+    return 1;
+  }
+  std::cout << "Layout of " << (*method)->name() << " on "
+            << spec->ToString() << "\n";
+  ForEachBucket(*spec, [&](const BucketId& b) {
+    std::cout << "  " << BucketToString(*spec, b) << " -> "
+              << (*method)->DeviceOf(b) << "\n";
+    return true;
+  });
+  return 0;
+}
+
+int CmdSearchPlan(const Flags& flags) {
+  auto spec = SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  auto result = SearchTransformPlan(*spec);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "File system:    " << spec->ToString() << "\n"
+            << "Theory plan:    "
+            << TransformPlan::Plan(*spec).ToString() << "  ("
+            << 100.0 * result->theory_fraction << "% optimal classes)\n"
+            << "Searched plan:  " << result->plan.ToString() << "  ("
+            << 100.0 * result->optimal_mask_fraction
+            << "% optimal classes)\n"
+            << "Plans tried:    " << result->plans_evaluated << "\n";
+  return 0;
+}
+
+int CmdSearchGdm(const Flags& flags) {
+  auto spec = SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  GdmSearchOptions options;
+  if (auto it = flags.find("max-mult"); it != flags.end()) {
+    options.max_multiplier = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  auto result = SearchGdmMultipliers(*spec, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "File system: " << spec->ToString() << "\nMultipliers:";
+  for (std::uint64_t m : result->multipliers) std::cout << ' ' << m;
+  std::cout << "\nOptimal classes: "
+            << 100.0 * result->optimal_mask_fraction
+            << "%\nMean overload:   " << result->mean_overload
+            << "\nCandidates:      " << result->candidates_evaluated << "\n";
+  return 0;
+}
+
+int CmdAdviseBits(const Flags& flags) {
+  auto probs_it = flags.find("probs");
+  auto bits_it = flags.find("bits");
+  if (probs_it == flags.end() || bits_it == flags.end()) {
+    std::cerr << "--probs and --bits are required\n";
+    return 1;
+  }
+  const auto probs = ParseDoubleList(probs_it->second);
+  const auto bits =
+      static_cast<unsigned>(std::strtoul(bits_it->second.c_str(),
+                                         nullptr, 10));
+  auto alloc = AllocateFieldBits(probs, bits);
+  if (!alloc.ok()) {
+    std::cerr << alloc.status().ToString() << "\n";
+    return 1;
+  }
+  TablePrinter table({"field", "P(specified)", "bits", "directory size"});
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    table.AddRow({std::to_string(i), TablePrinter::Cell(probs[i], 2),
+                  std::to_string(alloc->bits[i]),
+                  TablePrinter::Cell(std::uint64_t{1} << alloc->bits[i])});
+  }
+  table.Print(std::cout);
+  std::cout << "E[|R(q)|] = " << alloc->expected_qualified << "\n";
+  if (auto it = flags.find("devices"); it != flags.end()) {
+    const std::uint64_t m = std::strtoull(it->second.c_str(), nullptr, 10);
+    auto spec = FieldSpec::Create(alloc->FieldSizes(), m);
+    if (spec.ok()) {
+      std::cout << "FX plan for M=" << m << ": "
+                << TransformPlan::Plan(*spec).ToString() << "\n";
+    }
+  }
+  return 0;
+}
+
+int CmdQueueing(const Flags& flags) {
+  auto spec = SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  const auto method_it = flags.find("method");
+  auto method = MakeDistribution(
+      *spec, method_it == flags.end() ? "fx-iu2" : method_it->second);
+  if (!method.ok()) {
+    std::cerr << method.status().ToString() << "\n";
+    return 1;
+  }
+  QueueingConfig config;
+  if (auto it = flags.find("rate"); it != flags.end()) {
+    config.arrival_rate_qps = std::strtod(it->second.c_str(), nullptr);
+  }
+  if (auto it = flags.find("queries"); it != flags.end()) {
+    config.num_queries = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  if (auto it = flags.find("spec-prob"); it != flags.end()) {
+    config.specified_probability =
+        std::strtod(it->second.c_str(), nullptr);
+  }
+  auto result = SimulateQueueing(**method, config);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << (*method)->name() << " on " << spec->ToString() << " at "
+            << config.arrival_rate_qps << " qps:\n"
+            << "  mean response  " << result->mean_response_ms << " ms\n"
+            << "  p50 / p95      " << result->p50_response_ms << " / "
+            << result->p95_response_ms << " ms\n"
+            << "  throughput     " << result->throughput_qps << " qps\n"
+            << "  device util    mean "
+            << result->mean_device_utilization << ", max "
+            << result->max_device_utilization << "\n";
+  return 0;
+}
+
+int CmdRecommend(const Flags& flags) {
+  auto spec = SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  double p = 0.5;
+  if (auto it = flags.find("spec-prob"); it != flags.end()) {
+    p = std::strtod(it->second.c_str(), nullptr);
+  }
+  auto rec = RecommendMethod(*spec, p);
+  if (!rec.ok()) {
+    std::cerr << rec.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "File system: " << spec->ToString()
+            << "  P(field specified) = " << p << "\n";
+  TablePrinter table({"rank", "method", "E[largest response]",
+                      "P(optimal)", "addr cycles"});
+  int rank = 1;
+  for (const CandidateEvaluation& eval : rec->ranking) {
+    table.AddRow({std::to_string(rank++), eval.method_spec,
+                  TablePrinter::Cell(
+                      eval.cost.expected_largest_response, 2),
+                  TablePrinter::Cell(eval.cost.probability_optimal, 3),
+                  TablePrinter::Cell(eval.address_cycles)});
+  }
+  table.Print(std::cout);
+  std::cout << "Recommended: " << rec->recommended << "\n";
+  return 0;
+}
+
+int CmdGenTrace(const Flags& flags) {
+  auto schema_it = flags.find("schema");
+  auto out_it = flags.find("out");
+  if (schema_it == flags.end() || out_it == flags.end()) {
+    std::cerr << "--schema and --out are required\n";
+    return 1;
+  }
+  auto schema = ParseSchema(schema_it->second);
+  if (!schema.ok()) {
+    std::cerr << schema.status().ToString() << "\n";
+    return 1;
+  }
+  auto get_u64 = [&](const char* key, std::uint64_t fallback) {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+  auto get_double = [&](const char* key, double fallback) {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+  };
+  const std::uint64_t seed = get_u64("seed", 42);
+  WorkloadTrace trace;
+  trace.num_fields = schema->num_fields();
+  auto gen = RecordGenerator::Uniform(*schema, seed);
+  if (!gen.ok()) {
+    std::cerr << gen.status().ToString() << "\n";
+    return 1;
+  }
+  trace.records = gen->Take(get_u64("records", 1000));
+  auto qgen = QueryGenerator::Create(&trace.records,
+                                     get_double("spec-prob", 0.5), seed);
+  if (!qgen.ok()) {
+    std::cerr << qgen.status().ToString() << "\n";
+    return 1;
+  }
+  const std::uint64_t num_queries = get_u64("queries", 100);
+  for (std::uint64_t i = 0; i < num_queries; ++i) {
+    trace.queries.push_back(qgen->Next());
+  }
+  if (auto st = SaveTrace(trace, out_it->second); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << trace.records.size() << " records and "
+            << trace.queries.size() << " queries to " << out_it->second
+            << "\n";
+  return 0;
+}
+
+int CmdReplay(const Flags& flags) {
+  auto schema_it = flags.find("schema");
+  auto trace_it = flags.find("trace");
+  auto devices_it = flags.find("devices");
+  if (schema_it == flags.end() || trace_it == flags.end() ||
+      devices_it == flags.end()) {
+    std::cerr << "--schema, --trace and --devices are required\n";
+    return 1;
+  }
+  auto schema = ParseSchema(schema_it->second);
+  if (!schema.ok()) {
+    std::cerr << schema.status().ToString() << "\n";
+    return 1;
+  }
+  auto trace = LoadTrace(trace_it->second);
+  if (!trace.ok()) {
+    std::cerr << trace.status().ToString() << "\n";
+    return 1;
+  }
+  if (trace->num_fields != schema->num_fields()) {
+    std::cerr << "trace arity does not match the schema\n";
+    return 1;
+  }
+  const auto method_it = flags.find("method");
+  auto file = ParallelFile::Create(
+      *schema, std::strtoull(devices_it->second.c_str(), nullptr, 10),
+      method_it == flags.end() ? "fx-iu2" : method_it->second);
+  if (!file.ok()) {
+    std::cerr << file.status().ToString() << "\n";
+    return 1;
+  }
+  for (const Record& r : trace->records) {
+    if (auto st = file->Insert(r); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  double largest_sum = 0.0, speedup_sum = 0.0;
+  std::uint64_t matched = 0;
+  int optimal = 0;
+  for (const ValueQuery& q : trace->queries) {
+    auto result = file->Execute(q);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    largest_sum += static_cast<double>(result->stats.largest_response);
+    speedup_sum += result->stats.disk_timing.speedup;
+    matched += result->stats.records_matched;
+    if (result->stats.strict_optimal) ++optimal;
+  }
+  const BalanceReport balance =
+      AnalyzeBalance(file->RecordCountsPerDevice());
+  const auto q = static_cast<double>(trace->queries.size());
+  std::cout << file->method().name() << " on " << file->spec().ToString()
+            << ":\n"
+            << "  records             " << file->num_records() << "\n"
+            << "  storage max/mean    " << balance.peak_over_mean << "\n"
+            << "  queries             " << trace->queries.size() << "\n"
+            << "  matches             " << matched << "\n"
+            << "  avg largest resp.   " << largest_sum / q << "\n"
+            << "  avg disk speedup    " << speedup_sum / q << "\n"
+            << "  strict optimal      " << optimal << "/"
+            << trace->queries.size() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    Usage();
+    return 0;
+  }
+  if (cmd == "report") return CmdReport(flags);
+  if (cmd == "layout") return CmdLayout(flags);
+  if (cmd == "search-plan") return CmdSearchPlan(flags);
+  if (cmd == "search-gdm") return CmdSearchGdm(flags);
+  if (cmd == "advise-bits") return CmdAdviseBits(flags);
+  if (cmd == "queueing") return CmdQueueing(flags);
+  if (cmd == "recommend") return CmdRecommend(flags);
+  if (cmd == "gen-trace") return CmdGenTrace(flags);
+  if (cmd == "replay") return CmdReplay(flags);
+  std::cerr << "unknown subcommand: " << cmd << "\n";
+  return Usage();
+}
