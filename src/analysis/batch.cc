@@ -1,11 +1,65 @@
 #include "analysis/batch.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "util/math.h"
 
 namespace fxdist {
+
+DeviceBatchPlan PlanDeviceBatch(const DistributionMethod& method,
+                                const std::vector<PartialMatchQuery>& batch,
+                                std::uint64_t device) {
+  const FieldSpec& spec = method.spec();
+  DeviceBatchPlan plan;
+  plan.query_slots.resize(batch.size());
+  const auto visit = [&](std::uint32_t q, std::uint32_t scan,
+                         bool inserted) {
+    if (inserted) plan.scan_queries.emplace_back();
+    auto& covering = plan.scan_queries[scan];
+    plan.query_slots[q].emplace_back(
+        scan, static_cast<std::uint32_t>(covering.size()));
+    covering.push_back(q);
+    ++plan.bucket_requests;
+  };
+  // Dedup distinct buckets.  Small bucket spaces get a direct-mapped
+  // table (one slot per linear bucket id); large ones fall back to a
+  // hash map so the plan never allocates more than it enumerates.
+  constexpr std::uint64_t kDirectMapLimit = std::uint64_t{1} << 20;
+  if (spec.TotalBuckets() <= kDirectMapLimit) {
+    constexpr std::uint32_t kUnseen = 0xffffffffu;
+    std::vector<std::uint32_t> scan_of(spec.TotalBuckets(), kUnseen);
+    for (std::uint32_t q = 0; q < batch.size(); ++q) {
+      method.ForEachQualifiedBucketOnDevice(
+          batch[q], device, [&](const BucketId& bucket) {
+            const std::uint64_t linear = LinearIndex(spec, bucket);
+            std::uint32_t& scan = scan_of[linear];
+            const bool inserted = scan == kUnseen;
+            if (inserted) {
+              scan = static_cast<std::uint32_t>(plan.scan_buckets.size());
+              plan.scan_buckets.push_back(linear);
+            }
+            visit(q, scan, inserted);
+            return true;
+          });
+    }
+  } else {
+    std::unordered_map<std::uint64_t, std::uint32_t> scan_of_bucket;
+    for (std::uint32_t q = 0; q < batch.size(); ++q) {
+      method.ForEachQualifiedBucketOnDevice(
+          batch[q], device, [&](const BucketId& bucket) {
+            const std::uint64_t linear = LinearIndex(spec, bucket);
+            auto [it, inserted] = scan_of_bucket.try_emplace(
+                linear,
+                static_cast<std::uint32_t>(plan.scan_buckets.size()));
+            if (inserted) plan.scan_buckets.push_back(linear);
+            visit(q, it->second, inserted);
+            return true;
+          });
+    }
+  }
+  return plan;
+}
 
 Result<BatchStats> AnalyzeBatch(const DistributionMethod& method,
                                 const std::vector<PartialMatchQuery>& batch,
@@ -23,21 +77,16 @@ Result<BatchStats> AnalyzeBatch(const DistributionMethod& method,
     }
   }
 
+  // Each bucket lives on exactly one device, so the per-device plans
+  // partition the union: summing their distinct counts is exact.
   BatchStats stats;
   stats.total_bucket_requests = total;
   stats.distinct_per_device.assign(spec.num_devices(), 0);
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(static_cast<std::size_t>(total));
-  for (const PartialMatchQuery& q : batch) {
-    ForEachQualifiedBucket(spec, q, [&](const BucketId& bucket) {
-      const std::uint64_t linear = LinearIndex(spec, bucket);
-      if (seen.insert(linear).second) {
-        ++stats.distinct_per_device[method.DeviceOf(bucket)];
-      }
-      return true;
-    });
+  for (std::uint64_t d = 0; d < spec.num_devices(); ++d) {
+    const DeviceBatchPlan plan = PlanDeviceBatch(method, batch, d);
+    stats.distinct_per_device[d] = plan.scan_buckets.size();
+    stats.distinct_buckets += plan.scan_buckets.size();
   }
-  stats.distinct_buckets = seen.size();
   stats.largest_device_share =
       stats.distinct_per_device.empty()
           ? 0

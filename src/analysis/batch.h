@@ -12,6 +12,7 @@
 #define FXDIST_ANALYSIS_BATCH_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/distribution.h"
@@ -19,6 +20,36 @@
 #include "util/status.h"
 
 namespace fxdist {
+
+/// A shared-scan plan for one device and a batch of hashed queries: each
+/// distinct qualified bucket the device owns appears once, tagged with
+/// every query it serves, so an executor makes exactly one pass per
+/// bucket.  This is the cost model of AnalyzeBatch turned into an
+/// executable schedule.
+struct DeviceBatchPlan {
+  /// Distinct qualified linear bucket ids on this device, in first-touch
+  /// order (query 0's enumeration order, then query 1's new buckets, ...).
+  std::vector<std::uint64_t> scan_buckets;
+  /// scan_queries[s] — indices of the batch queries bucket s qualifies
+  /// for, in batch order.
+  std::vector<std::vector<std::uint32_t>> scan_queries;
+  /// query_slots[q] — q's qualified buckets as (scan index, slot within
+  /// scan_queries[scan]) pairs, in q's own ForEachQualifiedBucketOnDevice
+  /// enumeration order.  |query_slots[q]| is the paper's r_device(q), and
+  /// walking it reproduces the exact record order of a solo execution.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      query_slots;
+  /// Sum over queries of their qualified-bucket count here (the
+  /// no-sharing cost; >= scan_buckets.size()).
+  std::uint64_t bucket_requests = 0;
+};
+
+/// Builds the shared-scan plan of `batch` on `device`.  Every query must
+/// have the spec's arity (enforced by the callers' validation; violations
+/// are undefined).  Cost: one qualified-bucket enumeration per query.
+DeviceBatchPlan PlanDeviceBatch(const DistributionMethod& method,
+                                const std::vector<PartialMatchQuery>& batch,
+                                std::uint64_t device);
 
 struct BatchStats {
   /// Sum over queries of |R(q)| — the no-sharing cost.

@@ -1,0 +1,359 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/batch.h"
+#include "analysis/optimality.h"
+
+namespace fxdist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Everything one device contributes to a batch.  Each device task writes
+/// only its own slot, so the fan-out needs no synchronization.
+struct DeviceOutcome {
+  std::vector<std::uint64_t> qualified;           // per representative
+  std::vector<std::uint64_t> examined;            // per representative
+  std::vector<std::vector<RecordIndex>> matched;  // per rep., solo order
+  std::uint64_t buckets_scanned = 0;
+  double busy_ms = 0.0;
+};
+
+}  // namespace
+
+QueryEngine::QueryEngine(const ParallelFile& file, EngineOptions options)
+    : file_(file), options_([&options] {
+        options.max_batch_size = std::max<std::size_t>(1,
+                                                       options.max_batch_size);
+        return options;
+      }()),
+      pool_(options_.num_threads), start_(Clock::now()) {
+  device_counters_.reserve(file_.num_devices());
+  for (std::uint64_t d = 0; d < file_.num_devices(); ++d) {
+    device_counters_.push_back(std::make_unique<DeviceCounters>());
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+Result<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
+    const std::vector<ValueQuery>& batch) {
+  const auto start = Clock::now();
+  auto results = ExecuteBatchInternal(batch);
+  if (results.ok()) {
+    const double micros = MicrosSince(start);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      query_latency_.Record(micros);
+    }
+  }
+  return results;
+}
+
+Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
+    const std::vector<ValueQuery>& batch) {
+  if (batch.empty()) return std::vector<QueryResult>{};
+  const auto start = Clock::now();
+  const FieldSpec& spec = file_.spec();
+  const std::uint64_t num_devices = file_.num_devices();
+
+  std::vector<PartialMatchQuery> hashed;
+  hashed.reserve(batch.size());
+  std::uint64_t requested = 0;
+  for (const ValueQuery& query : batch) {
+    auto h = file_.HashQuery(query);
+    if (!h.ok()) {
+      queries_failed_.Increment(batch.size());
+      return h.status();
+    }
+    requested += h->NumQualifiedBuckets(spec);
+    if (requested > options_.enumeration_budget) {
+      queries_failed_.Increment(batch.size());
+      return Status::InvalidArgument(
+          "batch enumeration exceeds the engine budget");
+    }
+    hashed.push_back(*std::move(h));
+  }
+
+  batches_executed_.Increment();
+  max_batch_size_seen_.UpdateMax(static_cast<std::int64_t>(batch.size()));
+
+  // Collapse value-identical queries: representatives execute, duplicates
+  // copy the representative's result.
+  std::vector<std::uint32_t> rep_of(batch.size(), 0);
+  std::vector<std::uint32_t> reps;
+  if (options_.collapse_duplicates) {
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+      bool found = false;
+      for (std::uint32_t j = 0; j < reps.size(); ++j) {
+        if (batch[reps[j]] == batch[i]) {
+          rep_of[i] = j;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        rep_of[i] = static_cast<std::uint32_t>(reps.size());
+        reps.push_back(i);
+      }
+    }
+  } else {
+    reps.resize(batch.size());
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+      reps[i] = i;
+      rep_of[i] = i;
+    }
+  }
+  duplicates_collapsed_.Increment(batch.size() - reps.size());
+
+  std::vector<PartialMatchQuery> rep_hashed;
+  rep_hashed.reserve(reps.size());
+  for (std::uint32_t r : reps) rep_hashed.push_back(hashed[r]);
+
+  // Per-device shared scans: plan each device's distinct buckets, make one
+  // pass per bucket, evaluate every covering query against its records.
+  const auto scan_start = Clock::now();
+  std::vector<DeviceOutcome> outcomes(num_devices);
+  auto run_device = [&](std::uint64_t d) {
+    const auto device_start = Clock::now();
+    const DeviceBatchPlan plan =
+        PlanDeviceBatch(file_.method(), rep_hashed, d);
+    DeviceOutcome& out = outcomes[d];
+    const std::size_t num_reps = reps.size();
+    out.qualified.assign(num_reps, 0);
+    out.examined.assign(num_reps, 0);
+    out.matched.resize(num_reps);
+    std::vector<std::vector<std::vector<RecordIndex>>> scan_matches(
+        plan.scan_buckets.size());
+    const Device& device = file_.device(d);
+    for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
+      const auto& covering = plan.scan_queries[s];
+      scan_matches[s].resize(covering.size());
+      const std::vector<RecordIndex>* records =
+          device.Records(plan.scan_buckets[s]);
+      if (records == nullptr) continue;
+      // Slot-outer: fetch each covering query once and stream the
+      // bucket's records past it; record-vector order is preserved
+      // within each slot.
+      for (std::size_t slot = 0; slot < covering.size(); ++slot) {
+        const std::uint32_t q = covering[slot];
+        out.examined[q] += records->size();
+        const ValueQuery& value_query = batch[reps[q]];
+        auto& hits = scan_matches[s][slot];
+        for (RecordIndex idx : *records) {
+          if (RecordMatchesValueQuery(value_query, file_.record(idx))) {
+            hits.push_back(idx);
+          }
+        }
+      }
+    }
+    // Reassemble each query's matches in its solo enumeration order.
+    std::uint64_t device_examined = 0;
+    for (std::size_t q = 0; q < num_reps; ++q) {
+      out.qualified[q] = plan.query_slots[q].size();
+      device_examined += out.examined[q];
+      auto& matched = out.matched[q];
+      for (const auto& [scan, slot] : plan.query_slots[q]) {
+        const auto& hits = scan_matches[scan][slot];
+        matched.insert(matched.end(), hits.begin(), hits.end());
+      }
+    }
+    out.buckets_scanned = plan.scan_buckets.size();
+    out.busy_ms = MillisSince(device_start);
+    DeviceCounters& counters = *device_counters_[d];
+    counters.bucket_scans.Increment(out.buckets_scanned);
+    counters.records_examined.Increment(device_examined);
+    counters.busy_nanos.Increment(
+        static_cast<std::uint64_t>(out.busy_ms * 1e6));
+  };
+  if (pool_.num_threads() > 1 && num_devices > 1) {
+    pool_.ParallelFor(num_devices, run_device);
+  } else {
+    for (std::uint64_t d = 0; d < num_devices; ++d) run_device(d);
+  }
+  const double scan_wall_ms = MillisSince(scan_start);
+
+  // Merge per-device shares into per-representative results.
+  std::vector<QueryResult> rep_results(reps.size());
+  std::uint64_t performed = 0, examined_total = 0, matched_total = 0;
+  for (std::uint64_t d = 0; d < num_devices; ++d) {
+    performed += outcomes[d].buckets_scanned;
+  }
+  for (std::size_t q = 0; q < reps.size(); ++q) {
+    QueryResult& result = rep_results[q];
+    QueryStats& stats = result.stats;
+    stats.qualified_per_device.assign(num_devices, 0);
+    stats.device_wall_ms.assign(num_devices, 0.0);
+    for (std::uint64_t d = 0; d < num_devices; ++d) {
+      const DeviceOutcome& out = outcomes[d];
+      stats.qualified_per_device[d] = out.qualified[q];
+      stats.device_wall_ms[d] = out.busy_ms;
+      stats.records_examined += out.examined[q];
+      stats.records_matched += out.matched[q].size();
+    }
+    result.records.reserve(stats.records_matched);
+    for (std::uint64_t d = 0; d < num_devices; ++d) {
+      for (RecordIndex idx : outcomes[d].matched[q]) {
+        result.records.push_back(file_.record(idx));
+      }
+    }
+    for (std::uint64_t c : stats.qualified_per_device) {
+      stats.total_qualified += c;
+      stats.largest_response = std::max(stats.largest_response, c);
+    }
+    stats.optimal_bound = StrictOptimalBound(spec, rep_hashed[q]);
+    stats.strict_optimal = stats.largest_response <= stats.optimal_bound;
+    stats.disk_timing = DiskQueryTiming(stats.qualified_per_device);
+    stats.wall_ms = scan_wall_ms;
+    examined_total += stats.records_examined;
+    matched_total += stats.records_matched;
+  }
+
+  bucket_scans_requested_.Increment(requested);
+  bucket_scans_performed_.Increment(performed);
+  records_examined_.Increment(examined_total);
+  records_matched_.Increment(matched_total);
+  queries_completed_.Increment(batch.size());
+  batch_latency_.Record(MicrosSince(start));
+
+  // Expand representatives back to batch order (duplicates copy, the
+  // representative's own slot takes the original by move).
+  std::vector<QueryResult> results(batch.size());
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    if (reps[rep_of[i]] != i) results[i] = rep_results[rep_of[i]];
+  }
+  for (std::uint32_t j = 0; j < reps.size(); ++j) {
+    results[reps[j]] = std::move(rep_results[j]);
+  }
+  return results;
+}
+
+std::future<Result<QueryResult>> QueryEngine::Submit(ValueQuery query) {
+  Pending pending;
+  pending.query = std::move(query);
+  pending.admitted = Clock::now();
+  std::future<Result<QueryResult>> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(pending));
+    queries_submitted_.Increment();
+    queue_depth_.Set(static_cast<std::int64_t>(queue_.size()));
+    max_queue_depth_.UpdateMax(static_cast<std::int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void QueryEngine::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained; shutting down
+      continue;
+    }
+    const std::size_t take =
+        std::min(queue_.size(), options_.max_batch_size);
+    std::vector<Pending> group;
+    group.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      group.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    dispatching_ = true;
+    queue_depth_.Set(static_cast<std::int64_t>(queue_.size()));
+    lock.unlock();
+
+    // Pre-validate so one malformed query cannot fail its batch
+    // neighbours; survivors execute as one shared-scan batch.
+    std::vector<ValueQuery> batch;
+    std::vector<std::size_t> live;
+    batch.reserve(group.size());
+    live.reserve(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (auto h = file_.HashQuery(group[i].query); !h.ok()) {
+        queries_failed_.Increment();
+        group[i].promise.set_value(h.status());
+      } else {
+        batch.push_back(group[i].query);
+        live.push_back(i);
+      }
+    }
+    if (!batch.empty()) {
+      auto results = ExecuteBatchInternal(batch);
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        Pending& pending = group[live[j]];
+        query_latency_.Record(MicrosSince(pending.admitted));
+        if (results.ok()) {
+          pending.promise.set_value(std::move((*results)[j]));
+        } else {
+          pending.promise.set_value(results.status());
+        }
+      }
+    }
+
+    lock.lock();
+    dispatching_ = false;
+    if (queue_.empty()) drained_cv_.notify_all();
+  }
+}
+
+void QueryEngine::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock,
+                   [this] { return queue_.empty() && !dispatching_; });
+}
+
+StatsSnapshot QueryEngine::Snapshot() const {
+  StatsSnapshot snap;
+  snap.queries_submitted = queries_submitted_.Value();
+  snap.queries_completed = queries_completed_.Value();
+  snap.queries_failed = queries_failed_.Value();
+  snap.batches_executed = batches_executed_.Value();
+  snap.max_batch_size =
+      static_cast<std::uint64_t>(max_batch_size_seen_.Value());
+  snap.duplicates_collapsed = duplicates_collapsed_.Value();
+  snap.bucket_scans_requested = bucket_scans_requested_.Value();
+  snap.bucket_scans_performed = bucket_scans_performed_.Value();
+  snap.records_examined = records_examined_.Value();
+  snap.records_matched = records_matched_.Value();
+  snap.queue_depth = queue_depth_.Value();
+  snap.max_queue_depth = max_queue_depth_.Value();
+  snap.uptime_ms = MillisSince(start_);
+  snap.query_latency = query_latency_.Snapshot();
+  snap.batch_latency = batch_latency_.Snapshot();
+  snap.devices.reserve(device_counters_.size());
+  for (const auto& counters : device_counters_) {
+    DeviceStats device;
+    device.bucket_scans = counters->bucket_scans.Value();
+    device.records_examined = counters->records_examined.Value();
+    device.busy_ms =
+        static_cast<double>(counters->busy_nanos.Value()) / 1e6;
+    device.utilization =
+        snap.uptime_ms <= 0.0 ? 0.0 : device.busy_ms / snap.uptime_ms;
+    snap.devices.push_back(device);
+  }
+  return snap;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,66 @@
+#include "engine/stats_snapshot.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fxdist {
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream os;
+  char line[160];
+
+  std::snprintf(line, sizeof(line),
+                "queries    submitted %llu  completed %llu  failed %llu\n",
+                static_cast<unsigned long long>(queries_submitted),
+                static_cast<unsigned long long>(queries_completed),
+                static_cast<unsigned long long>(queries_failed));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "batches    executed %llu  avg size %.2f  max size %llu  "
+                "duplicates collapsed %llu\n",
+                static_cast<unsigned long long>(batches_executed),
+                avg_batch_size(),
+                static_cast<unsigned long long>(max_batch_size),
+                static_cast<unsigned long long>(duplicates_collapsed));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "scans      requested %llu  performed %llu  sharing %.2fx\n",
+                static_cast<unsigned long long>(bucket_scans_requested),
+                static_cast<unsigned long long>(bucket_scans_performed),
+                sharing_factor());
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "records    examined %llu  matched %llu\n",
+                static_cast<unsigned long long>(records_examined),
+                static_cast<unsigned long long>(records_matched));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "queue      depth %lld  max depth %lld\n",
+                static_cast<long long>(queue_depth),
+                static_cast<long long>(max_queue_depth));
+  os << line;
+  os << "latency    p50 " << FormatMicros(query_latency.PercentileMicros(0.50))
+     << "  p95 " << FormatMicros(query_latency.PercentileMicros(0.95))
+     << "  p99 " << FormatMicros(query_latency.PercentileMicros(0.99))
+     << "  mean " << FormatMicros(query_latency.mean_micros()) << "\n";
+  os << "batch lat. p50 " << FormatMicros(batch_latency.PercentileMicros(0.50))
+     << "  p95 " << FormatMicros(batch_latency.PercentileMicros(0.95))
+     << "  p99 " << FormatMicros(batch_latency.PercentileMicros(0.99))
+     << "\n";
+  std::snprintf(line, sizeof(line), "uptime     %.2f ms\n", uptime_ms);
+  os << line;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    std::snprintf(line, sizeof(line),
+                  "device %-3zu scans %llu  examined %llu  busy %.2f ms  "
+                  "util %.1f%%\n",
+                  d,
+                  static_cast<unsigned long long>(devices[d].bucket_scans),
+                  static_cast<unsigned long long>(
+                      devices[d].records_examined),
+                  devices[d].busy_ms, 100.0 * devices[d].utilization);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace fxdist

@@ -1,0 +1,73 @@
+// StatsSnapshot: a point-in-time copy of the QueryEngine's metrics.
+//
+// The counters are exact and — under a fixed seed and a single worker
+// shard — deterministic, so tests can assert on them; the timing fields
+// (latency quantiles, utilization) are wall-clock measurements and vary
+// run to run.
+
+#ifndef FXDIST_ENGINE_STATS_SNAPSHOT_H_
+#define FXDIST_ENGINE_STATS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace fxdist {
+
+/// One device's share of the engine's work.
+struct DeviceStats {
+  std::uint64_t bucket_scans = 0;      ///< distinct buckets scanned
+  std::uint64_t records_examined = 0;
+  double busy_ms = 0.0;                ///< summed scan wall-clock
+  double utilization = 0.0;            ///< busy_ms / engine uptime
+};
+
+struct StatsSnapshot {
+  // -- Deterministic counters ------------------------------------------
+  std::uint64_t queries_submitted = 0;   ///< admitted via Submit()
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_failed = 0;
+  std::uint64_t batches_executed = 0;
+  std::uint64_t max_batch_size = 0;
+  std::uint64_t duplicates_collapsed = 0;
+  /// Sum over executed queries of |R(q)| — what one-at-a-time execution
+  /// would fetch.
+  std::uint64_t bucket_scans_requested = 0;
+  /// Distinct (bucket, batch) scans actually performed.
+  std::uint64_t bucket_scans_performed = 0;
+  std::uint64_t records_examined = 0;
+  std::uint64_t records_matched = 0;
+
+  // -- Point-in-time levels --------------------------------------------
+  std::int64_t queue_depth = 0;
+  std::int64_t max_queue_depth = 0;
+
+  // -- Wall-clock measurements -----------------------------------------
+  double uptime_ms = 0.0;
+  HistogramSnapshot query_latency;  ///< submit/call to completion, us
+  HistogramSnapshot batch_latency;  ///< per executed batch, us
+  std::vector<DeviceStats> devices;
+
+  double avg_batch_size() const {
+    return batches_executed == 0
+               ? 0.0
+               : static_cast<double>(queries_completed) /
+                     static_cast<double>(batches_executed);
+  }
+  /// requested / performed (>= 1; higher = more sharing exploited).
+  double sharing_factor() const {
+    return bucket_scans_performed == 0
+               ? 1.0
+               : static_cast<double>(bucket_scans_requested) /
+                     static_cast<double>(bucket_scans_performed);
+  }
+
+  /// Multi-line human-readable report (the `serve-bench` output block).
+  std::string ToString() const;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ENGINE_STATS_SNAPSHOT_H_

@@ -9,6 +9,13 @@
 
 namespace fxdist {
 
+bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record) {
+  for (std::size_t f = 0; f < query.size(); ++f) {
+    if (query[f].has_value() && record[f] != *query[f]) return false;
+  }
+  return true;
+}
+
 ParallelFile::ParallelFile(FieldSpec spec, MultiKeyHash hash,
                            std::unique_ptr<DistributionMethod> method)
     : spec_(std::move(spec)), hash_(std::move(hash)),
@@ -66,15 +73,9 @@ Result<std::uint64_t> ParallelFile::Delete(const ValueQuery& query) {
               devices_[d].Records(linear);
           if (bucket_records == nullptr) return true;
           for (RecordIndex idx : *bucket_records) {
-            const Record& record = records_[idx];
-            bool match = true;
-            for (unsigned f = 0; f < spec_.num_fields(); ++f) {
-              if (query[f].has_value() && record[f] != *query[f]) {
-                match = false;
-                break;
-              }
+            if (RecordMatchesValueQuery(query, records_[idx])) {
+              victims.push_back({d, {linear, idx}});
             }
-            if (match) victims.push_back({d, {linear, idx}});
           }
           return true;
         });
@@ -129,15 +130,9 @@ Result<QueryResult> ParallelFile::Execute(const ValueQuery& query,
           if (bucket_records == nullptr) return true;
           for (RecordIndex idx : *bucket_records) {
             ++share.examined;
-            const Record& record = records_[idx];
-            bool match = true;
-            for (unsigned f = 0; f < spec_.num_fields(); ++f) {
-              if (query[f].has_value() && record[f] != *query[f]) {
-                match = false;
-                break;
-              }
+            if (RecordMatchesValueQuery(query, records_[idx])) {
+              share.matched.push_back(idx);
             }
-            if (match) share.matched.push_back(idx);
           }
           return true;
         });

@@ -47,6 +47,12 @@ struct QueryResult {
   QueryStats stats;
 };
 
+/// True iff `record` satisfies every specified field of `query` by value
+/// equality (the filter applied after bucket-level candidates are
+/// fetched).  Shared by ParallelFile and the batch QueryEngine so both
+/// paths match bit-identically.
+bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record);
+
 class ParallelFile {
  public:
   /// `distribution` is a registry spec string ("fx-iu2", "modulo",
@@ -84,6 +90,13 @@ class ParallelFile {
   Result<std::uint64_t> Update(const ValueQuery& query,
                                const Record& replacement);
 
+  /// Lifts a value-level query into the hashed domain (specified values
+  /// hashed, wildcards kept).  Exposed so batch executors can plan shared
+  /// scans over the same hashed signatures Execute uses.
+  Result<PartialMatchQuery> HashQuery(const ValueQuery& query) const {
+    return hash_.HashQuery(spec_, query);
+  }
+
   const FieldSpec& spec() const { return spec_; }
   const DistributionMethod& method() const { return *method_; }
   const Schema& schema() const { return hash_.schema(); }
@@ -91,6 +104,9 @@ class ParallelFile {
   /// Live (non-deleted) records.
   std::uint64_t num_records() const { return live_records_; }
   const Device& device(std::uint64_t i) const { return devices_[i]; }
+  /// Record at an arena index handed out by Device buckets.  May be a
+  /// tombstone (empty) if the record was deleted.
+  const Record& record(RecordIndex idx) const { return records_[idx]; }
 
   /// Per-device record counts — storage balance diagnostics.
   std::vector<std::uint64_t> RecordCountsPerDevice() const;

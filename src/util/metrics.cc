@@ -1,0 +1,74 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fxdist {
+
+const std::array<double, LatencyHistogram::kNumBuckets - 1>&
+LatencyHistogram::Bounds() {
+  // 1-2-5 ladder: 1us .. 100s (8 decades + 1).
+  static const std::array<double, kNumBuckets - 1> kBounds = {
+      1e0, 2e0, 5e0, 1e1, 2e1, 5e1, 1e2, 2e2, 5e2,
+      1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5,
+      1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8};
+  return kBounds;
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (!(micros >= 0.0)) micros = 0.0;  // also catches NaN
+  const auto& bounds = Bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), micros);
+  const auto bucket = static_cast<std::size_t>(it - bounds.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<std::uint64_t>(micros * 1e3),
+                       std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.sum_micros =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e3;
+  return snap;
+}
+
+double HistogramSnapshot::PercentileMicros(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  const auto& bounds = LatencyHistogram::Bounds();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : bounds.back() * 2.0;
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+std::string FormatMicros(double micros) {
+  char buf[32];
+  if (micros < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", micros);
+  } else if (micros < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", micros / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", micros / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace fxdist

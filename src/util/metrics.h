@@ -1,0 +1,102 @@
+// Lightweight serving metrics: counters, gauges, fixed-bucket latency
+// histograms.
+//
+// The engine layer runs concurrent batches and needs cheap, contention-free
+// instrumentation: every primitive here is a bare std::atomic with relaxed
+// ordering (the values are statistics, not synchronization), and histograms
+// use a fixed exponential bucket ladder so recording is one array index —
+// no allocation, no locks, safe to hammer from worker shards.
+
+#ifndef FXDIST_UTIL_METRICS_H_
+#define FXDIST_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fxdist {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, in-flight batches).
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Tracks the largest value ever Set/Add'ed via UpdateMax.
+  void UpdateMax(std::int64_t candidate) {
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !value_.compare_exchange_weak(seen, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of a LatencyHistogram, with quantile estimation.
+struct HistogramSnapshot {
+  /// One count per bucket of LatencyHistogram::kBounds.
+  std::array<std::uint64_t, 26> counts{};
+  std::uint64_t total = 0;
+  double sum_micros = 0.0;
+
+  double mean_micros() const {
+    return total == 0 ? 0.0 : sum_micros / static_cast<double>(total);
+  }
+  /// Quantile estimate in microseconds (linear within the bucket).
+  /// `q` in [0, 1]; returns 0 when the histogram is empty.
+  double PercentileMicros(double q) const;
+};
+
+/// Fixed-bucket latency histogram over microseconds.
+///
+/// Bounds follow a 1-2-5 ladder from 1us to 100s; everything above the top
+/// bound lands in the overflow bucket.  Record() is wait-free.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 26;
+  /// Upper bounds (inclusive) of buckets 0..24 in microseconds; bucket 25
+  /// is the overflow.
+  static const std::array<double, kNumBuckets - 1>& Bounds();
+
+  void Record(double micros);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  // Accumulated in integer nanoseconds so the sum stays atomic without a
+  // compare-exchange loop over doubles.
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
+/// "12.3us" / "4.56ms" / "1.23s" — for snapshot printing.
+std::string FormatMicros(double micros);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_UTIL_METRICS_H_

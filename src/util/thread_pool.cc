@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 
 namespace fxdist {
@@ -39,7 +40,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must not take down the worker or leak in_flight_
+    // (Wait() would deadlock).  ParallelFor captures its fn's exceptions
+    // itself and rethrows in the caller; bare Submit() tasks own their
+    // error handling, so anything escaping here is dropped by design.
+    try {
+      task();
+    } catch (...) {
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
@@ -68,19 +76,35 @@ void ThreadPool::ParallelFor(std::uint64_t count,
                              const std::function<void(std::uint64_t)>& fn) {
   if (count == 0) return;
   const unsigned workers = num_threads();
-  auto cursor = std::make_shared<std::atomic<std::uint64_t>>(0);
+  // Shared by value so the state outlives early-returning tasks even if
+  // the caller unwinds; the exception slot holds the first failure.
+  struct ForState {
+    std::atomic<std::uint64_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
   const unsigned tasks = static_cast<unsigned>(
       std::min<std::uint64_t>(workers, count));
   for (unsigned t = 0; t < tasks; ++t) {
-    Submit([cursor, count, &fn] {
-      while (true) {
-        const std::uint64_t i = cursor->fetch_add(1);
+    Submit([state, count, &fn] {
+      while (!state->failed.load(std::memory_order_relaxed)) {
+        const std::uint64_t i = state->cursor.fetch_add(1);
         if (i >= count) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mutex);
+          if (!state->error) state->error = std::current_exception();
+          state->failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   Wait();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace fxdist

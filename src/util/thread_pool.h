@@ -34,11 +34,17 @@ class ThreadPool {
   /// Runs fn(i) for every i in [0, count), distributing indices over the
   /// pool via an atomic cursor.  Blocks until all invocations finish.
   /// fn must be safe to call concurrently for distinct i.
+  ///
+  /// If fn throws, the first exception is rethrown here after the
+  /// remaining workers drain; indices not yet claimed at that point are
+  /// skipped.  The pool stays usable afterwards.
   void ParallelFor(std::uint64_t count,
                    const std::function<void(std::uint64_t)>& fn);
 
   /// Enqueues one task; returns immediately.  Wait() blocks for all
-  /// outstanding tasks.
+  /// outstanding tasks.  Tasks own their error handling: an exception
+  /// escaping a submitted task is swallowed (never terminates a worker
+  /// and never wedges Wait()).
   void Submit(std::function<void()> task);
   void Wait();
 

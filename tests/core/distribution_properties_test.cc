@@ -1,0 +1,145 @@
+// Randomized property tests over the whole method registry.
+//
+// Three invariants every DistributionMethod must satisfy on any valid
+// FieldSpec:
+//   1. DeviceOf maps every bucket into [0, M).
+//   2. FX and AFX are perfectly balanced whenever every field size is at
+//      least M (the paper's strict-optimality precondition).
+//   3. ForEachQualifiedBucketOnDevice partitions a query's qualified set:
+//      the per-device enumerations are disjoint, each enumerated bucket
+//      matches the query and lives on the claimed device, and the union
+//      over devices is exactly the forward-filtered qualified set.
+// Specs and queries are drawn from a fixed-seed PRNG so failures replay.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/bucket.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "util/random.h"
+
+namespace fxdist {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260805;
+
+// Methods exercised on every random spec.  "random" is excluded from the
+// balance property (it promises nothing) but included everywhere else.
+const char* const kMethods[] = {"fx-basic", "fx-iu1",  "fx-iu2",
+                                "afx-basic", "afx-iu1", "afx-iu2",
+                                "modulo",    "gdm1",    "gdm2",
+                                "random",    "spanning"};
+
+FieldSpec RandomSpec(Xoshiro256* rng, bool sizes_at_least_m) {
+  const std::uint64_t num_devices = std::uint64_t{1}
+                                    << (1 + rng->NextBounded(3));  // 2..8
+  const unsigned num_fields = 2 + static_cast<unsigned>(rng->NextBounded(3));
+  std::vector<std::uint64_t> sizes;
+  for (unsigned f = 0; f < num_fields; ++f) {
+    std::uint64_t size = std::uint64_t{1} << rng->NextBounded(5);  // 1..16
+    if (sizes_at_least_m && size < num_devices) size = num_devices;
+    sizes.push_back(size);
+  }
+  return FieldSpec::Create(sizes, num_devices).value();
+}
+
+PartialMatchQuery RandomQuery(const FieldSpec& spec, Xoshiro256* rng) {
+  std::vector<std::optional<std::uint64_t>> values(spec.num_fields());
+  for (unsigned f = 0; f < spec.num_fields(); ++f) {
+    if (rng->NextBool(0.5)) {
+      values[f] = rng->NextBounded(spec.field_size(f));
+    }
+  }
+  return PartialMatchQuery::Create(spec, values).value();
+}
+
+TEST(DistributionPropertiesTest, DeviceOfAlwaysInRange) {
+  Xoshiro256 rng(kSeed);
+  for (int trial = 0; trial < 8; ++trial) {
+    const FieldSpec spec = RandomSpec(&rng, /*sizes_at_least_m=*/false);
+    for (const char* name : kMethods) {
+      auto method = MakeDistribution(spec, name).value();
+      ForEachBucket(spec, [&](const BucketId& bucket) {
+        const std::uint64_t device = method->DeviceOf(bucket);
+        EXPECT_LT(device, spec.num_devices())
+            << name << " bucket " << LinearIndex(spec, bucket);
+        return true;
+      });
+    }
+  }
+}
+
+TEST(DistributionPropertiesTest, FxAndAfxPerfectlyBalancedWhenFieldsCoverM) {
+  // With every F_j >= M the XOR fold is a surjection with equal fibers,
+  // so each device owns exactly TotalBuckets / M buckets.
+  Xoshiro256 rng(kSeed + 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const FieldSpec spec = RandomSpec(&rng, /*sizes_at_least_m=*/true);
+    const std::uint64_t share = spec.TotalBuckets() / spec.num_devices();
+    for (const std::string name :
+         {"fx-basic", "fx-iu1", "fx-iu2", "afx-basic", "afx-iu1",
+          "afx-iu2"}) {
+      auto method = MakeDistribution(spec, name).value();
+      std::map<std::uint64_t, std::uint64_t> counts;
+      ForEachBucket(spec, [&](const BucketId& bucket) {
+        ++counts[method->DeviceOf(bucket)];
+        return true;
+      });
+      ASSERT_EQ(counts.size(), spec.num_devices()) << name;
+      for (const auto& [device, count] : counts) {
+        EXPECT_EQ(count, share) << name << " device " << device;
+      }
+    }
+  }
+}
+
+TEST(DistributionPropertiesTest, InverseMappingPartitionsQualifiedSet) {
+  Xoshiro256 rng(kSeed + 2);
+  for (int trial = 0; trial < 6; ++trial) {
+    const FieldSpec spec = RandomSpec(&rng, /*sizes_at_least_m=*/false);
+    for (const char* name : kMethods) {
+      auto method = MakeDistribution(spec, name).value();
+      for (int q = 0; q < 4; ++q) {
+        const PartialMatchQuery query = RandomQuery(spec, &rng);
+        // Forward filter: the ground-truth qualified set.
+        std::set<std::uint64_t> expected;
+        ForEachBucket(spec, [&](const BucketId& bucket) {
+          if (query.Matches(bucket)) {
+            expected.insert(LinearIndex(spec, bucket));
+          }
+          return true;
+        });
+        std::set<std::uint64_t> seen;
+        for (std::uint64_t device = 0; device < spec.num_devices();
+             ++device) {
+          method->ForEachQualifiedBucketOnDevice(
+              query, device, [&](const BucketId& bucket) {
+                const std::uint64_t linear = LinearIndex(spec, bucket);
+                EXPECT_TRUE(query.Matches(bucket))
+                    << name << " enumerated non-qualified bucket "
+                    << linear;
+                EXPECT_EQ(method->DeviceOf(bucket), device)
+                    << name << " bucket " << linear
+                    << " enumerated on the wrong device";
+                EXPECT_TRUE(seen.insert(linear).second)
+                    << name << " bucket " << linear
+                    << " enumerated twice";
+                return true;
+              });
+        }
+        EXPECT_EQ(seen, expected) << name << " partition differs from the"
+                                  << " forward-filtered qualified set";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

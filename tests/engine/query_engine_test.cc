@@ -1,0 +1,228 @@
+// QueryEngine unit tests: metrics determinism, duplicate collapse,
+// admission error isolation, and the enumeration budget.
+
+#include "engine/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "sim/parallel_file.h"
+#include "workload/query_gen.h"
+#include "workload/record_gen.h"
+
+namespace fxdist {
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+
+Schema TestSchema() {
+  return Schema::Create({
+                            {"a", ValueType::kInt64, 8},
+                            {"b", ValueType::kInt64, 8},
+                            {"c", ValueType::kInt64, 4},
+                        })
+      .value();
+}
+
+ParallelFile SeededFile(std::uint64_t num_devices = 8) {
+  auto file =
+      ParallelFile::Create(TestSchema(), num_devices, "fx-iu2", kSeed)
+          .value();
+  auto gen = RecordGenerator::Uniform(TestSchema(), kSeed).value();
+  for (const Record& r : gen.Take(500)) {
+    EXPECT_TRUE(file.Insert(r).ok());
+  }
+  return file;
+}
+
+std::vector<ValueQuery> SampleQueries(const ParallelFile& file,
+                                      std::size_t count) {
+  auto gen = RecordGenerator::Uniform(TestSchema(), kSeed).value();
+  static const std::vector<Record> records = gen.Take(500);
+  auto queries = QueryGenerator::Create(&records, 0.5, kSeed + 1).value();
+  std::vector<ValueQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(queries.Next());
+  (void)file;
+  return out;
+}
+
+TEST(QueryEngineTest, EmptyBatchIsANoOp) {
+  auto file = SeededFile();
+  QueryEngine engine(file);
+  auto results = engine.ExecuteBatch({});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+  EXPECT_EQ(engine.Snapshot().batches_executed, 0u);
+}
+
+TEST(QueryEngineTest, DeterministicCountersUnderFixedSeedSingleThread) {
+  // Two engines fed the identical stream with one worker shard must
+  // produce identical deterministic counters; wall-clock fields are
+  // excluded by design.
+  auto file = SeededFile();
+  const auto queries = SampleQueries(file, 96);
+  auto run = [&file, &queries] {
+    EngineOptions options;
+    options.num_threads = 1;
+    options.max_batch_size = 32;
+    QueryEngine engine(file, options);
+    for (std::size_t begin = 0; begin < queries.size(); begin += 32) {
+      std::vector<ValueQuery> batch(queries.begin() + begin,
+                                    queries.begin() + begin + 32);
+      EXPECT_TRUE(engine.ExecuteBatch(batch).ok());
+    }
+    return engine.Snapshot();
+  };
+  const StatsSnapshot a = run();
+  const StatsSnapshot b = run();
+
+  EXPECT_EQ(a.queries_completed, 96u);
+  EXPECT_EQ(a.batches_executed, 3u);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.queries_failed, b.queries_failed);
+  EXPECT_EQ(a.batches_executed, b.batches_executed);
+  EXPECT_EQ(a.max_batch_size, b.max_batch_size);
+  EXPECT_EQ(a.duplicates_collapsed, b.duplicates_collapsed);
+  EXPECT_EQ(a.bucket_scans_requested, b.bucket_scans_requested);
+  EXPECT_EQ(a.bucket_scans_performed, b.bucket_scans_performed);
+  EXPECT_EQ(a.records_examined, b.records_examined);
+  EXPECT_EQ(a.records_matched, b.records_matched);
+  // Per-device deterministic counters match too.
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t d = 0; d < a.devices.size(); ++d) {
+    EXPECT_EQ(a.devices[d].bucket_scans, b.devices[d].bucket_scans);
+    EXPECT_EQ(a.devices[d].records_examined,
+              b.devices[d].records_examined);
+  }
+  // Sharing is genuinely exploited on this stream.
+  EXPECT_GT(a.sharing_factor(), 1.0);
+  EXPECT_LT(a.bucket_scans_performed, a.bucket_scans_requested);
+  // The latency histograms saw every query/batch even though their
+  // timings are non-deterministic.
+  EXPECT_EQ(a.query_latency.total, 96u);
+  EXPECT_EQ(a.batch_latency.total, 3u);
+}
+
+TEST(QueryEngineTest, DuplicateCollapseCountsAndMatchesSolo) {
+  auto file = SeededFile();
+  const auto queries = SampleQueries(file, 4);
+  // 3 distinct queries, 9 total: 6 duplicates collapse.
+  std::vector<ValueQuery> batch = {queries[0], queries[1], queries[0],
+                                   queries[2], queries[1], queries[0],
+                                   queries[2], queries[2], queries[1]};
+  QueryEngine engine(file);
+  auto results = engine.ExecuteBatch(batch);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(engine.Snapshot().duplicates_collapsed, 6u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const QueryResult solo = file.Execute(batch[i]).value();
+    EXPECT_EQ((*results)[i].records, solo.records) << "query #" << i;
+    EXPECT_EQ((*results)[i].stats.records_examined,
+              solo.stats.records_examined)
+        << "query #" << i;
+  }
+}
+
+TEST(QueryEngineTest, CollapseCanBeDisabled) {
+  auto file = SeededFile();
+  const auto queries = SampleQueries(file, 1);
+  EngineOptions options;
+  options.collapse_duplicates = false;
+  QueryEngine engine(file, options);
+  ASSERT_TRUE(
+      engine.ExecuteBatch({queries[0], queries[0], queries[0]}).ok());
+  EXPECT_EQ(engine.Snapshot().duplicates_collapsed, 0u);
+}
+
+TEST(QueryEngineTest, ExecuteBatchRejectsArityMismatchAsAWhole) {
+  auto file = SeededFile();
+  const auto queries = SampleQueries(file, 1);
+  QueryEngine engine(file);
+  auto results = engine.ExecuteBatch({queries[0], ValueQuery(1)});
+  EXPECT_FALSE(results.ok());
+  EXPECT_EQ(engine.Snapshot().queries_failed, 2u);
+  EXPECT_EQ(engine.Snapshot().queries_completed, 0u);
+}
+
+TEST(QueryEngineTest, SubmitIsolatesInvalidQueries) {
+  // A malformed query resolves its own future with the error; batch
+  // neighbours still complete.
+  auto file = SeededFile();
+  const auto queries = SampleQueries(file, 2);
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(file, options);
+  auto good1 = engine.Submit(queries[0]);
+  auto bad = engine.Submit(ValueQuery(1));  // wrong arity
+  auto good2 = engine.Submit(queries[1]);
+  engine.Flush();
+  EXPECT_TRUE(good1.get().ok());
+  EXPECT_FALSE(bad.get().ok());
+  auto result = good2.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, file.Execute(queries[1]).value().records);
+  const StatsSnapshot snap = engine.Snapshot();
+  EXPECT_EQ(snap.queries_submitted, 3u);
+  EXPECT_EQ(snap.queries_failed, 1u);
+  EXPECT_EQ(snap.queries_completed, 2u);
+  EXPECT_GE(snap.max_queue_depth, 1);
+  EXPECT_EQ(snap.queue_depth, 0);
+}
+
+TEST(QueryEngineTest, EnumerationBudgetRefusesOversizedBatches) {
+  auto file = SeededFile();
+  EngineOptions options;
+  options.enumeration_budget = 1;  // a wildcard query blows this
+  QueryEngine engine(file, options);
+  auto results = engine.ExecuteBatch({ValueQuery(3)});
+  EXPECT_FALSE(results.ok());
+  EXPECT_EQ(engine.Snapshot().queries_failed, 1u);
+}
+
+TEST(QueryEngineTest, MaxBatchSizeIsSanitized) {
+  auto file = SeededFile();
+  EngineOptions options;
+  options.max_batch_size = 0;
+  QueryEngine engine(file, options);
+  EXPECT_EQ(engine.options().max_batch_size, 1u);
+  const auto queries = SampleQueries(file, 1);
+  auto future = engine.Submit(queries[0]);
+  engine.Flush();
+  EXPECT_TRUE(future.get().ok());
+}
+
+TEST(QueryEngineTest, SnapshotToStringMentionsKeyMetrics) {
+  auto file = SeededFile();
+  QueryEngine engine(file);
+  const auto queries = SampleQueries(file, 8);
+  ASSERT_TRUE(engine.ExecuteBatch(queries).ok());
+  const std::string report = engine.Snapshot().ToString();
+  EXPECT_NE(report.find("queries"), std::string::npos);
+  EXPECT_NE(report.find("sharing"), std::string::npos);
+  EXPECT_NE(report.find("p95"), std::string::npos);
+  EXPECT_NE(report.find("device"), std::string::npos);
+}
+
+TEST(QueryEngineTest, DestructorDrainsOutstandingSubmissions) {
+  // Futures obtained before the engine dies must still be fulfilled.
+  auto file = SeededFile();
+  const auto queries = SampleQueries(file, 16);
+  std::vector<std::future<Result<QueryResult>>> futures;
+  {
+    EngineOptions options;
+    options.num_threads = 1;
+    QueryEngine engine(file, options);
+    futures.reserve(queries.size());
+    for (const ValueQuery& q : queries) {
+      futures.push_back(engine.Submit(q));
+    }
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <variant>
+
 #include "sim/parallel_file.h"
 
 namespace fxdist {
@@ -89,6 +92,62 @@ TEST(CrudTest, UpdateReplacesMatches) {
   EXPECT_TRUE(file.Execute(q).value().records.empty());
   ValueQuery hundred{FieldValue{std::int64_t{100}}, std::nullopt};
   EXPECT_EQ(file.Execute(hundred).value().records.size(), 10u);
+}
+
+TEST(CrudTest, UpdateKeepsLiveCountStableAndStaysVisible) {
+  // Update is delete + reinsert: each round must leave the live record
+  // count unchanged and make the new value immediately queryable.
+  auto file = SeededFile();
+  for (int round = 0; round < 3; ++round) {
+    ValueQuery open(2);
+    open[1] = FieldValue{std::string("open")};
+    const std::uint64_t before = file.num_records();
+    const std::uint64_t moved = file.Update(
+        open, Record{std::int64_t{200 + round}, std::string("closed")})
+        .value();
+    EXPECT_EQ(file.num_records(), before);
+    // The rewritten rows answer a follow-up query with the new value.
+    ValueQuery q{FieldValue{std::int64_t{200 + round}}, std::nullopt};
+    EXPECT_EQ(file.Execute(q).value().records.size(), moved);
+    // Reopen them so the next round has rows to move again.
+    ASSERT_EQ(file.Update(q, Record{std::int64_t{200 + round},
+                                    std::string("open")})
+                  .value(),
+              moved);
+    EXPECT_EQ(file.num_records(), before);
+  }
+}
+
+TEST(CrudTest, DeleteTombstonesAreInvisibleEverywhere) {
+  // Delete tombstones the arena entry; every read path — queries, the
+  // per-device counts, and the live-record walk — must agree.
+  auto file = SeededFile();
+  ValueQuery open(2);
+  open[1] = FieldValue{std::string("open")};
+  ASSERT_EQ(file.Delete(open).value(), 10u);
+
+  // Re-querying the deleted rows finds nothing.
+  EXPECT_TRUE(file.Execute(open).value().records.empty());
+  ValueQuery two{FieldValue{std::int64_t{2}}, std::nullopt};
+  EXPECT_TRUE(file.Execute(two).value().records.empty());
+
+  // Device bucket counts sum to the live count.
+  std::uint64_t device_total = 0;
+  for (std::uint64_t c : file.RecordCountsPerDevice()) device_total += c;
+  EXPECT_EQ(device_total, file.num_records());
+  EXPECT_EQ(file.num_records(), 10u);
+
+  // ForEachRecord skips tombstones and visits each survivor once.
+  std::uint64_t visited = 0;
+  file.ForEachRecord([&](const Record& r) {
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(std::get<std::string>(r[1]), "done");
+    ++visited;
+  });
+  EXPECT_EQ(visited, 10u);
+
+  // A wildcard query sees exactly the survivors.
+  EXPECT_EQ(file.Execute(ValueQuery(2)).value().records.size(), 10u);
 }
 
 TEST(CrudTest, UpdateValidatesReplacement) {

@@ -1,0 +1,92 @@
+// Counters, gauges and the fixed-bucket latency histogram.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace fxdist {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), 40000u);
+}
+
+TEST(GaugeTest, SetAddAndMax) {
+  Gauge g;
+  g.Set(5);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 3);
+  Gauge max;
+  max.UpdateMax(7);
+  max.UpdateMax(3);  // lower value must not regress the max
+  EXPECT_EQ(max.Value(), 7);
+  max.UpdateMax(9);
+  EXPECT_EQ(max.Value(), 9);
+}
+
+TEST(LatencyHistogramTest, BoundsAreStrictlyIncreasing) {
+  const auto& bounds = LatencyHistogram::Bounds();
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(LatencyHistogramTest, RecordsLandInTheRightBucket) {
+  LatencyHistogram h;
+  h.Record(0.5);     // below the first bound -> bucket 0
+  h.Record(1.5e8);   // above the top bound -> overflow bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.total, 2u);
+  EXPECT_EQ(snap.counts.front(), 1u);
+  EXPECT_EQ(snap.counts.back(), 1u);
+}
+
+TEST(LatencyHistogramTest, MeanAndPercentilesTrackRecordedValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10.0);
+  h.Record(1e6);  // one slow outlier
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_NEAR(snap.mean_micros(), (99 * 10.0 + 1e6) / 100.0, 1.0);
+  // p50 sits in the bucket holding the 10us mass; p99+ reaches the
+  // outlier's bucket.
+  EXPECT_LE(snap.PercentileMicros(0.5), 20.0);
+  EXPECT_GE(snap.PercentileMicros(0.995), 1e5);
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.PercentileMicros(0.25), snap.PercentileMicros(0.75));
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero) {
+  const HistogramSnapshot snap = LatencyHistogram().Snapshot();
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_EQ(snap.mean_micros(), 0.0);
+  EXPECT_EQ(snap.PercentileMicros(0.99), 0.0);
+}
+
+TEST(FormatMicrosTest, PicksReadableUnits) {
+  EXPECT_EQ(FormatMicros(12.3), "12.3us");
+  EXPECT_EQ(FormatMicros(4560.0), "4.56ms");
+  EXPECT_EQ(FormatMicros(1.23e6), "1.23s");
+}
+
+}  // namespace
+}  // namespace fxdist

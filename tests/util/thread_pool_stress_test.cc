@@ -1,0 +1,101 @@
+// ThreadPool hardening: exception safety and concurrent producers.
+//
+// The engine leans on three guarantees — ParallelFor(0) returns, a
+// throwing fn surfaces exactly one exception without wedging the pool,
+// and Submit/Wait may race from several producer threads — so each is
+// stressed here beyond what the basic thread_pool_test covers.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fxdist {
+namespace {
+
+TEST(ThreadPoolStressTest, ParallelForZeroCountReturnsImmediately) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // The pool is still fully usable.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(8, [&ran](std::uint64_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolStressTest, ThrowingFnPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.ParallelFor(64,
+                         [&ran, round](std::uint64_t i) {
+                           if (i == static_cast<std::uint64_t>(round)) {
+                             throw std::runtime_error("boom");
+                           }
+                           ++ran;
+                         }),
+        std::runtime_error);
+    // Not every index runs after a failure, but the pool must not leak
+    // in-flight work: a follow-up ParallelFor completes fully.
+    std::atomic<int> after{0};
+    pool.ParallelFor(32, [&after](std::uint64_t) { ++after; });
+    EXPECT_EQ(after.load(), 32) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStressTest, ThrowingSubmittedTaskNeverWedgesWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran, i] {
+      if (i % 3 == 0) throw std::runtime_error("swallowed");
+      ++ran;
+    });
+  }
+  pool.Wait();  // must not deadlock on the swallowed exceptions
+  EXPECT_EQ(ran.load(), 66);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitAndWaitFromManyProducers) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::vector<std::thread> producers;
+  constexpr int kProducers = 6;
+  constexpr int kTasksPerProducer = 200;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+        if (i % 50 == 0) pool.Wait();  // Wait races with other producers
+      }
+      pool.Wait();
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, InterleavedParallelForAndSubmit) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([&total] { ++total; });
+    }
+    pool.ParallelFor(16, [&total](std::uint64_t) { ++total; });
+    pool.Wait();
+  }
+  EXPECT_EQ(total.load(), 50 * (4 + 16));
+}
+
+}  // namespace
+}  // namespace fxdist

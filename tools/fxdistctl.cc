@@ -11,7 +11,10 @@
 //
 // Every subcommand prints a table; exit code 0 on success.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "analysis/advisor.h"
+#include "engine/query_engine.h"
 #include "analysis/balance.h"
 #include "analysis/bit_allocation.h"
 #include "analysis/gdm_search.h"
@@ -59,6 +63,11 @@ int Usage() {
          "               [--queries N] [--spec-prob P]\n"
          "  recommend    rank methods for a file system and workload\n"
          "               --fields ... --devices M [--spec-prob P]\n"
+         "  serve-bench  batch engine vs serial baseline + metrics\n"
+         "               --fields ... --devices M [--method SPEC]\n"
+         "               [--records N] [--queries N] [--batch B]\n"
+         "               [--threads T] [--templates K] [--zipf THETA]\n"
+         "               [--spec-prob P] [--domain D] [--seed S]\n"
          "  gen-trace    synthesize a reproducible workload trace\n"
          "               --schema name:type:size,... --out FILE\n"
          "               [--records N] [--queries N] [--spec-prob P]\n"
@@ -364,6 +373,167 @@ int CmdRecommend(const Flags& flags) {
   return 0;
 }
 
+int CmdServeBench(const Flags& flags) {
+  auto fields_it = flags.find("fields");
+  auto devices_it = flags.find("devices");
+  if (fields_it == flags.end() || devices_it == flags.end()) {
+    std::cerr << "--fields and --devices are required\n";
+    return 1;
+  }
+  auto get_u64 = [&](const char* key, std::uint64_t fallback) {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+  auto get_double = [&](const char* key, double fallback) {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+  };
+  std::vector<FieldDecl> decls;
+  for (std::uint64_t size : ParseU64List(fields_it->second)) {
+    decls.push_back({"f" + std::to_string(decls.size()),
+                     ValueType::kInt64, size});
+  }
+  auto schema = Schema::Create(std::move(decls));
+  if (!schema.ok()) {
+    std::cerr << schema.status().ToString() << "\n";
+    return 1;
+  }
+  const auto method_it = flags.find("method");
+  const std::uint64_t seed = get_u64("seed", 42);
+  auto file = ParallelFile::Create(
+      *schema, std::strtoull(devices_it->second.c_str(), nullptr, 10),
+      method_it == flags.end() ? "fx-iu2" : method_it->second, seed);
+  if (!file.ok()) {
+    std::cerr << file.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Field domains well above the directory size (--domain to override):
+  // specified fields stay selective, as real attributes would be.
+  FieldDistribution serve_dist;
+  serve_dist.domain = get_u64("domain", 512);
+  auto gen = RecordGenerator::Create(
+      *schema,
+      std::vector<FieldDistribution>(schema->num_fields(), serve_dist),
+      seed);
+  if (!gen.ok()) {
+    std::cerr << gen.status().ToString() << "\n";
+    return 1;
+  }
+  const std::vector<Record> records = gen->Take(get_u64("records", 12000));
+  for (const Record& r : records) {
+    if (auto st = file->Insert(r); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  auto qgen = QueryGenerator::Create(&records,
+                                     get_double("spec-prob", 0.5), seed);
+  if (!qgen.ok()) {
+    std::cerr << qgen.status().ToString() << "\n";
+    return 1;
+  }
+  const std::uint64_t num_templates = std::max<std::uint64_t>(
+      1, get_u64("templates", 32));
+  std::vector<ValueQuery> templates;
+  while (templates.size() < num_templates) {
+    // A partial-match query names at least one field; fully
+    // unspecified draws degenerate to full scans and are redrawn.
+    ValueQuery q = qgen->Next();
+    const bool specified = std::any_of(
+        q.begin(), q.end(), [](const auto& f) { return f.has_value(); });
+    if (specified) templates.push_back(std::move(q));
+  }
+  ZipfSampler popularity(num_templates, get_double("zipf", 1.1));
+  Xoshiro256 rng(seed + 1);
+  std::vector<ValueQuery> stream;
+  const std::uint64_t num_queries = get_u64("queries", 2048);
+  for (std::uint64_t i = 0; i < num_queries; ++i) {
+    stream.push_back(templates[popularity.Sample(&rng)]);
+  }
+
+  // Untimed warm-up of both paths so the timed sections are not charged
+  // for first-touch page faults and allocator growth.
+  const std::uint64_t warm_count = std::min<std::uint64_t>(64, stream.size());
+  for (std::uint64_t i = 0; i < warm_count; ++i) {
+    (void)file->Execute(stream[i]);
+  }
+  {
+    QueryEngine warm(*file, EngineOptions{});
+    std::vector<ValueQuery> first(stream.begin(),
+                                  stream.begin() + warm_count);
+    (void)warm.ExecuteBatch(first);
+  }
+
+  // Serial baseline: one query at a time, no pool.
+  const auto serial_start = std::chrono::steady_clock::now();
+  std::uint64_t serial_matched = 0;
+  for (const ValueQuery& q : stream) {
+    auto result = file->Execute(q);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    serial_matched += result->stats.records_matched;
+  }
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - serial_start)
+          .count();
+
+  // Engine: async admission; submitting the whole stream up front builds
+  // the backlog that lets the dispatcher form real batches.
+  EngineOptions options;
+  options.num_threads =
+      static_cast<unsigned>(get_u64("threads", 0));
+  options.max_batch_size = std::max<std::uint64_t>(1, get_u64("batch", 256));
+  QueryEngine engine(*file, options);
+  const auto engine_start = std::chrono::steady_clock::now();
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(stream.size());
+  for (const ValueQuery& q : stream) futures.push_back(engine.Submit(q));
+  std::uint64_t engine_matched = 0;
+  for (auto& f : futures) {
+    auto result = f.get();
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    engine_matched += result->stats.records_matched;
+  }
+  const double engine_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - engine_start)
+          .count();
+  engine.Flush();
+
+  const auto qps = [&](double ms) {
+    return ms <= 0.0 ? 0.0
+                     : static_cast<double>(num_queries) / (ms / 1e3);
+  };
+  std::cout << "QueryEngine on " << file->spec().ToString() << " method "
+            << file->method().name() << "\n"
+            << "serial baseline : " << TablePrinter::Cell(qps(serial_ms), 0)
+            << " qps  (" << TablePrinter::Cell(serial_ms, 1) << " ms, "
+            << serial_matched << " matches)\n"
+            << "engine (batched): " << TablePrinter::Cell(qps(engine_ms), 0)
+            << " qps  (" << TablePrinter::Cell(engine_ms, 1) << " ms, "
+            << engine_matched << " matches)\n"
+            << "speedup         : "
+            << TablePrinter::Cell(
+                   engine_ms <= 0.0 ? 0.0 : serial_ms / engine_ms, 2)
+            << "x\n\n"
+            << engine.Snapshot().ToString();
+  if (engine_matched != serial_matched) {
+    std::cerr << "MISMATCH: engine and serial matched counts differ\n";
+    return 1;
+  }
+  return 0;
+}
+
 int CmdGenTrace(const Flags& flags) {
   auto schema_it = flags.find("schema");
   auto out_it = flags.find("out");
@@ -500,6 +670,7 @@ int main(int argc, char** argv) {
   if (cmd == "advise-bits") return CmdAdviseBits(flags);
   if (cmd == "queueing") return CmdQueueing(flags);
   if (cmd == "recommend") return CmdRecommend(flags);
+  if (cmd == "serve-bench") return CmdServeBench(flags);
   if (cmd == "gen-trace") return CmdGenTrace(flags);
   if (cmd == "replay") return CmdReplay(flags);
   std::cerr << "unknown subcommand: " << cmd << "\n";
