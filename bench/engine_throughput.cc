@@ -52,8 +52,15 @@ double NowMs() {
 
 }  // namespace
 
-int main() {
-  const RunConfig config;
+int main(int argc, char** argv) {
+  RunConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      config.num_records = 1500;
+      config.num_queries = 256;
+      config.batch_size = 64;
+    }
+  }
   auto schema = Schema::Create({{"f0", ValueType::kInt64, 8},
                                 {"f1", ValueType::kInt64, 8},
                                 {"f2", ValueType::kInt64, 8}})

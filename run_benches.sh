@@ -1,15 +1,20 @@
 #!/bin/sh
 # Runs every bench binary (skipping cmake artifacts); used to produce
 # bench_output.txt.  google-benchmark binaries run with a short min_time
-# so the full sweep stays fast.
+# so the full sweep stays fast, and the differential benches run --quick.
+# Exits nonzero if any bench fails (e.g. a differential check diverges).
+status=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $b ====="
   case "$(basename "$b")" in
     core_kernels|cpu_address_computation|ablation_inverse_mapping|ablation_fast_response)
-      "$b" --benchmark_min_time=0.05 ;;
+      "$b" --benchmark_min_time=0.05 || status=1 ;;
+    engine_throughput|backend_matrix)
+      "$b" --quick || status=1 ;;
     *)
-      "$b" ;;
+      "$b" || status=1 ;;
   esac
   echo
 done
+exit $status

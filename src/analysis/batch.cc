@@ -7,12 +7,17 @@
 
 namespace fxdist {
 
-DeviceBatchPlan PlanDeviceBatch(const DistributionMethod& method,
-                                const std::vector<PartialMatchQuery>& batch,
-                                std::uint64_t device) {
-  const FieldSpec& spec = method.spec();
+namespace {
+
+/// Shared plan builder: `enumerate(q, fn)` must call `fn(linear)` for
+/// every qualified bucket of batch query q on the target device, in the
+/// solo enumeration order.
+template <typename Enumerate>
+DeviceBatchPlan BuildDevicePlan(const FieldSpec& spec,
+                                std::size_t batch_size,
+                                const Enumerate& enumerate) {
   DeviceBatchPlan plan;
-  plan.query_slots.resize(batch.size());
+  plan.query_slots.resize(batch_size);
   const auto visit = [&](std::uint32_t q, std::uint32_t scan,
                          bool inserted) {
     if (inserted) plan.scan_queries.emplace_back();
@@ -29,36 +34,57 @@ DeviceBatchPlan PlanDeviceBatch(const DistributionMethod& method,
   if (spec.TotalBuckets() <= kDirectMapLimit) {
     constexpr std::uint32_t kUnseen = 0xffffffffu;
     std::vector<std::uint32_t> scan_of(spec.TotalBuckets(), kUnseen);
-    for (std::uint32_t q = 0; q < batch.size(); ++q) {
-      method.ForEachQualifiedBucketOnDevice(
-          batch[q], device, [&](const BucketId& bucket) {
-            const std::uint64_t linear = LinearIndex(spec, bucket);
-            std::uint32_t& scan = scan_of[linear];
-            const bool inserted = scan == kUnseen;
-            if (inserted) {
-              scan = static_cast<std::uint32_t>(plan.scan_buckets.size());
-              plan.scan_buckets.push_back(linear);
-            }
-            visit(q, scan, inserted);
-            return true;
-          });
+    for (std::uint32_t q = 0; q < batch_size; ++q) {
+      enumerate(q, [&](std::uint64_t linear) {
+        std::uint32_t& scan = scan_of[linear];
+        const bool inserted = scan == kUnseen;
+        if (inserted) {
+          scan = static_cast<std::uint32_t>(plan.scan_buckets.size());
+          plan.scan_buckets.push_back(linear);
+        }
+        visit(q, scan, inserted);
+        return true;
+      });
     }
   } else {
     std::unordered_map<std::uint64_t, std::uint32_t> scan_of_bucket;
-    for (std::uint32_t q = 0; q < batch.size(); ++q) {
-      method.ForEachQualifiedBucketOnDevice(
-          batch[q], device, [&](const BucketId& bucket) {
-            const std::uint64_t linear = LinearIndex(spec, bucket);
-            auto [it, inserted] = scan_of_bucket.try_emplace(
-                linear,
-                static_cast<std::uint32_t>(plan.scan_buckets.size()));
-            if (inserted) plan.scan_buckets.push_back(linear);
-            visit(q, it->second, inserted);
-            return true;
-          });
+    for (std::uint32_t q = 0; q < batch_size; ++q) {
+      enumerate(q, [&](std::uint64_t linear) {
+        auto [it, inserted] = scan_of_bucket.try_emplace(
+            linear, static_cast<std::uint32_t>(plan.scan_buckets.size()));
+        if (inserted) plan.scan_buckets.push_back(linear);
+        visit(q, it->second, inserted);
+        return true;
+      });
     }
   }
   return plan;
+}
+
+}  // namespace
+
+DeviceBatchPlan PlanDeviceBatch(const DistributionMethod& method,
+                                const std::vector<PartialMatchQuery>& batch,
+                                std::uint64_t device) {
+  const FieldSpec& spec = method.spec();
+  return BuildDevicePlan(
+      spec, batch.size(),
+      [&](std::uint32_t q, const std::function<bool(std::uint64_t)>& fn) {
+        method.ForEachQualifiedBucketOnDevice(
+            batch[q], device, [&](const BucketId& bucket) {
+              return fn(LinearIndex(spec, bucket));
+            });
+      });
+}
+
+DeviceBatchPlan PlanDeviceBatch(const DeviceMap& map,
+                                const std::vector<PartialMatchQuery>& batch,
+                                std::uint64_t device) {
+  return BuildDevicePlan(
+      map.spec(), batch.size(),
+      [&](std::uint32_t q, const std::function<bool(std::uint64_t)>& fn) {
+        map.ForEachQualifiedLinearOnDevice(batch[q], device, fn);
+      });
 }
 
 Result<BatchStats> AnalyzeBatch(const DistributionMethod& method,

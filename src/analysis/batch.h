@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/device_map.h"
 #include "core/distribution.h"
 #include "core/query.h"
 #include "util/status.h"
@@ -48,6 +49,13 @@ struct DeviceBatchPlan {
 /// have the spec's arity (enforced by the callers' validation; violations
 /// are undefined).  Cost: one qualified-bucket enumeration per query.
 DeviceBatchPlan PlanDeviceBatch(const DistributionMethod& method,
+                                const std::vector<PartialMatchQuery>& batch,
+                                std::uint64_t device);
+
+/// Same plan through the cached placement plane: enumeration goes through
+/// DeviceMap's strategy selection (no virtual DeviceOf per bucket) and
+/// hands out linear ids directly.  Identical output to the method form.
+DeviceBatchPlan PlanDeviceBatch(const DeviceMap& map,
                                 const std::vector<PartialMatchQuery>& batch,
                                 std::uint64_t device);
 

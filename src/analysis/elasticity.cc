@@ -1,6 +1,7 @@
 #include "analysis/elasticity.h"
 
 #include "analysis/fast_response.h"
+#include "core/device_map.h"
 #include "core/registry.h"
 
 namespace fxdist {
@@ -21,19 +22,33 @@ Result<ElasticityReport> DeviceDoublingReport(const FieldSpec& spec,
 
   ElasticityReport report;
   const std::uint64_t m = spec.num_devices();
-  ForEachBucket(spec, [&](const BucketId& bucket) {
-    const std::uint64_t old_device = (*before)->DeviceOf(bucket);
-    const std::uint64_t new_device = (*after)->DeviceOf(bucket);
+  // Both spaces fit the budget, so the maps are precomputed and the
+  // whole-space comparison is two flat-table walks.
+  const DeviceMap before_map(**before, budget);
+  const DeviceMap after_map(**after, budget);
+  const auto count_move = [&](std::uint64_t old_device,
+                              std::uint64_t new_device) {
     ++report.buckets;
-    if (new_device == old_device) return true;
+    if (new_device == old_device) return;
     ++report.moved;
     if (new_device == old_device + m) {
       ++report.split_moves;
     } else {
       ++report.cross_moves;
     }
-    return true;
-  });
+  };
+  if (before_map.precomputed() && after_map.precomputed()) {
+    const auto& old_table = before_map.table();
+    const auto& new_table = after_map.table();
+    for (std::uint64_t linear = 0; linear < old_table.size(); ++linear) {
+      count_move(old_table[linear], new_table[linear]);
+    }
+  } else {
+    ForEachBucket(spec, [&](const BucketId& bucket) {
+      count_move((*before)->DeviceOf(bucket), (*after)->DeviceOf(bucket));
+      return true;
+    });
+  }
   if (report.buckets > 0) {
     report.moved_fraction = static_cast<double>(report.moved) /
                             static_cast<double>(report.buckets);
@@ -45,7 +60,7 @@ Result<ElasticityReport> DeviceDoublingReport(const FieldSpec& spec,
   const unsigned n = spec.num_fields();
   std::uint64_t optimal = 0;
   for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
-    if (IsMaskStrictOptimal(**after, mask)) ++optimal;
+    if (IsMaskStrictOptimal(after_map, mask)) ++optimal;
   }
   report.optimal_fraction_after = static_cast<double>(optimal) /
                                   static_cast<double>(std::uint64_t{1}

@@ -108,20 +108,28 @@ ResponseVector AdditiveMaskResponse(
   return CyclicMaskResponse(spec, histograms, unspecified_mask);
 }
 
-ResponseVector MaskResponse(const DistributionMethod& method,
-                            std::uint64_t unspecified_mask) {
+namespace {
+
+/// Closed-form dispatch shared by both MaskResponse overloads; returns
+/// false when `method` has no closed form.
+bool ClosedFormMaskResponse(const DistributionMethod& method,
+                            std::uint64_t unspecified_mask,
+                            ResponseVector* out) {
   if (const auto* fx = dynamic_cast<const FXDistribution*>(&method)) {
-    return FxMaskResponse(*fx, unspecified_mask);
+    *out = FxMaskResponse(*fx, unspecified_mask);
+    return true;
   }
   if (dynamic_cast<const ModuloDistribution*>(&method) != nullptr) {
-    return AdditiveMaskResponse(
+    *out = AdditiveMaskResponse(
         method.spec(),
         std::vector<std::uint64_t>(method.spec().num_fields(), 1),
         unspecified_mask);
+    return true;
   }
   if (const auto* gdm = dynamic_cast<const GDMDistribution*>(&method)) {
-    return AdditiveMaskResponse(method.spec(), gdm->multipliers(),
+    *out = AdditiveMaskResponse(method.spec(), gdm->multipliers(),
                                 unspecified_mask);
+    return true;
   }
   if (const auto* afx =
           dynamic_cast<const AdditiveFoldDistribution*>(&method)) {
@@ -129,19 +137,17 @@ ResponseVector MaskResponse(const DistributionMethod& method,
     for (unsigned i = 0; i < method.spec().num_fields(); ++i) {
       histograms.push_back(afx->ResidueHistogram(i));
     }
-    return CyclicMaskResponse(method.spec(), histograms, unspecified_mask);
+    *out = CyclicMaskResponse(method.spec(), histograms, unspecified_mask);
+    return true;
   }
-  auto query = PartialMatchQuery::FromUnspecifiedMaskZero(method.spec(),
-                                                          unspecified_mask);
-  FXDIST_DCHECK(query.ok());
-  return ComputeResponseVector(method, *query);
+  return false;
 }
 
-bool IsMaskStrictOptimal(const DistributionMethod& method,
-                         std::uint64_t unspecified_mask) {
-  const FieldSpec& spec = method.spec();
-  // 128-bit: |R(q)| can exceed 2^64 (e.g. six 4096-wide fields), even
-  // though the per-device counts it divides into still fit in 64 bits.
+/// ceil(|R(q)| / M) in 128 bits: |R(q)| can exceed 2^64 (e.g. six
+/// 4096-wide fields), even though the per-device counts it divides into
+/// still fit in 64 bits.
+Int128 MaskStrictBound(const FieldSpec& spec,
+                       std::uint64_t unspecified_mask) {
   Int128 qualified = 1;
   for (unsigned i = 0; i < spec.num_fields(); ++i) {
     if ((unspecified_mask >> i) & 1u) {
@@ -149,9 +155,41 @@ bool IsMaskStrictOptimal(const DistributionMethod& method,
     }
   }
   const Int128 m = static_cast<Int128>(spec.num_devices());
-  const Int128 bound = (qualified + m - 1) / m;
-  return static_cast<Int128>(
-             MaskResponse(method, unspecified_mask).Max()) <= bound;
+  return (qualified + m - 1) / m;
+}
+
+}  // namespace
+
+ResponseVector MaskResponse(const DistributionMethod& method,
+                            std::uint64_t unspecified_mask) {
+  ResponseVector rv;
+  if (ClosedFormMaskResponse(method, unspecified_mask, &rv)) return rv;
+  auto query = PartialMatchQuery::FromUnspecifiedMaskZero(method.spec(),
+                                                          unspecified_mask);
+  FXDIST_DCHECK(query.ok());
+  return ComputeResponseVector(method, *query);
+}
+
+ResponseVector MaskResponse(const DeviceMap& map,
+                            std::uint64_t unspecified_mask) {
+  ResponseVector rv;
+  if (ClosedFormMaskResponse(map.method(), unspecified_mask, &rv)) return rv;
+  auto query = PartialMatchQuery::FromUnspecifiedMaskZero(map.spec(),
+                                                          unspecified_mask);
+  FXDIST_DCHECK(query.ok());
+  return ComputeResponseVector(map, *query);
+}
+
+bool IsMaskStrictOptimal(const DistributionMethod& method,
+                         std::uint64_t unspecified_mask) {
+  return static_cast<Int128>(MaskResponse(method, unspecified_mask).Max()) <=
+         MaskStrictBound(method.spec(), unspecified_mask);
+}
+
+bool IsMaskStrictOptimal(const DeviceMap& map,
+                         std::uint64_t unspecified_mask) {
+  return static_cast<Int128>(MaskResponse(map, unspecified_mask).Max()) <=
+         MaskStrictBound(map.spec(), unspecified_mask);
 }
 
 }  // namespace fxdist

@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "analysis/optimality.h"
+#include "core/device_map.h"
 #include "core/distribution.h"
 #include "core/fx.h"
 
@@ -51,8 +52,17 @@ ResponseVector CyclicMaskResponse(
 ResponseVector MaskResponse(const DistributionMethod& method,
                             std::uint64_t unspecified_mask);
 
+/// Same dispatch through a cached placement plane: methods with a closed
+/// form use it; the enumeration fallback goes through the map's flat
+/// table instead of a virtual DeviceOf per bucket.
+ResponseVector MaskResponse(const DeviceMap& map,
+                            std::uint64_t unspecified_mask);
+
 /// Strict-optimality of the query class using MaskResponse.
 bool IsMaskStrictOptimal(const DistributionMethod& method,
+                         std::uint64_t unspecified_mask);
+
+bool IsMaskStrictOptimal(const DeviceMap& map,
                          std::uint64_t unspecified_mask);
 
 }  // namespace fxdist

@@ -29,9 +29,21 @@ ResponseVector ComputeResponseVector(const DistributionMethod& method,
   return rv;
 }
 
+ResponseVector ComputeResponseVector(const DeviceMap& map,
+                                     const PartialMatchQuery& query) {
+  ResponseVector rv;
+  rv.per_device = map.ResponseCounts(query);
+  return rv;
+}
+
 std::uint64_t LargestResponseSize(const DistributionMethod& method,
                                   const PartialMatchQuery& query) {
   return ComputeResponseVector(method, query).Max();
+}
+
+std::uint64_t LargestResponseSize(const DeviceMap& map,
+                                  const PartialMatchQuery& query) {
+  return ComputeResponseVector(map, query).Max();
 }
 
 std::uint64_t StrictOptimalBound(const FieldSpec& spec,
@@ -43,6 +55,11 @@ bool IsStrictOptimal(const DistributionMethod& method,
                      const PartialMatchQuery& query) {
   return LargestResponseSize(method, query) <=
          StrictOptimalBound(method.spec(), query);
+}
+
+bool IsStrictOptimal(const DeviceMap& map, const PartialMatchQuery& query) {
+  return LargestResponseSize(map, query) <=
+         StrictOptimalBound(map.spec(), query);
 }
 
 namespace {
@@ -88,11 +105,11 @@ void ForEachQueryWithUnspecified(const FieldSpec& spec,
 
 }  // namespace
 
-OptimalityReport CheckKOptimal(const DistributionMethod& method, unsigned k,
+OptimalityReport CheckKOptimal(const DeviceMap& map, unsigned k,
                                bool force_exhaustive) {
-  const FieldSpec& spec = method.spec();
+  const FieldSpec& spec = map.spec();
   const bool one_representative =
-      method.IsShiftInvariant() && !force_exhaustive;
+      map.method().IsShiftInvariant() && !force_exhaustive;
   OptimalityReport report;
   ForEachSubsetOfSize(spec.num_fields(), k,
                       [&](const std::vector<unsigned>& subset) {
@@ -100,7 +117,7 @@ OptimalityReport CheckKOptimal(const DistributionMethod& method, unsigned k,
         spec, subset, one_representative,
         [&](const PartialMatchQuery& query) {
           ++report.queries_checked;
-          if (!IsStrictOptimal(method, query)) {
+          if (!IsStrictOptimal(map, query)) {
             report.optimal = false;
             report.counterexample = query;
             return false;
@@ -112,11 +129,16 @@ OptimalityReport CheckKOptimal(const DistributionMethod& method, unsigned k,
   return report;
 }
 
-OptimalityReport CheckPerfectOptimal(const DistributionMethod& method,
+OptimalityReport CheckKOptimal(const DistributionMethod& method, unsigned k,
+                               bool force_exhaustive) {
+  return CheckKOptimal(DeviceMap(method), k, force_exhaustive);
+}
+
+OptimalityReport CheckPerfectOptimal(const DeviceMap& map,
                                      bool force_exhaustive) {
   OptimalityReport report;
-  for (unsigned k = 0; k <= method.spec().num_fields(); ++k) {
-    OptimalityReport sub = CheckKOptimal(method, k, force_exhaustive);
+  for (unsigned k = 0; k <= map.spec().num_fields(); ++k) {
+    OptimalityReport sub = CheckKOptimal(map, k, force_exhaustive);
     report.queries_checked += sub.queries_checked;
     if (!sub.optimal) {
       report.optimal = false;
@@ -125,6 +147,11 @@ OptimalityReport CheckPerfectOptimal(const DistributionMethod& method,
     }
   }
   return report;
+}
+
+OptimalityReport CheckPerfectOptimal(const DistributionMethod& method,
+                                     bool force_exhaustive) {
+  return CheckPerfectOptimal(DeviceMap(method), force_exhaustive);
 }
 
 }  // namespace fxdist

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/device_map.h"
 #include "core/distribution.h"
 #include "core/query.h"
 
@@ -37,8 +38,16 @@ struct ResponseVector {
 ResponseVector ComputeResponseVector(const DistributionMethod& method,
                                      const PartialMatchQuery& query);
 
+/// Same counts through the cached placement plane — flat table lookups
+/// instead of a virtual DeviceOf per bucket.
+ResponseVector ComputeResponseVector(const DeviceMap& map,
+                                     const PartialMatchQuery& query);
+
 /// max_i r_i(q) — the paper's "largest response size".
 std::uint64_t LargestResponseSize(const DistributionMethod& method,
+                                  const PartialMatchQuery& query);
+
+std::uint64_t LargestResponseSize(const DeviceMap& map,
                                   const PartialMatchQuery& query);
 
 /// ceil(|R(q)| / M), the strict-optimal bound.
@@ -48,6 +57,8 @@ std::uint64_t StrictOptimalBound(const FieldSpec& spec,
 /// True iff no device exceeds the strict-optimal bound for `query`.
 bool IsStrictOptimal(const DistributionMethod& method,
                      const PartialMatchQuery& query);
+
+bool IsStrictOptimal(const DeviceMap& map, const PartialMatchQuery& query);
 
 /// Outcome of a k-/perfect-optimality sweep.
 struct OptimalityReport {
@@ -64,8 +75,16 @@ struct OptimalityReport {
 OptimalityReport CheckKOptimal(const DistributionMethod& method, unsigned k,
                                bool force_exhaustive = false);
 
+/// Sweep through an existing placement plane (the method forms build one
+/// DeviceMap and delegate here).
+OptimalityReport CheckKOptimal(const DeviceMap& map, unsigned k,
+                               bool force_exhaustive = false);
+
 /// Checks all k = 0..n.
 OptimalityReport CheckPerfectOptimal(const DistributionMethod& method,
+                                     bool force_exhaustive = false);
+
+OptimalityReport CheckPerfectOptimal(const DeviceMap& map,
                                      bool force_exhaustive = false);
 
 }  // namespace fxdist

@@ -43,12 +43,15 @@ LargestResponseStats AverageLargestResponse(const DistributionMethod& method,
                                             unsigned k) {
   const FieldSpec& spec = method.spec();
   FXDIST_DCHECK(method.IsShiftInvariant());
+  // One placement plane for the whole sweep: every subset's enumeration
+  // then costs table lookups instead of virtual DeviceOf calls.
+  const DeviceMap map(method);
   return AverageOverSubsets(
       spec, k, [&](const std::vector<unsigned>& subset) {
         auto query =
             PartialMatchQuery::FromUnspecifiedMaskZero(spec, MaskOf(subset));
         FXDIST_DCHECK(query.ok());
-        return LargestResponseSize(method, *query);
+        return LargestResponseSize(map, *query);
       });
 }
 

@@ -1,0 +1,124 @@
+#include "core/device_map.h"
+
+namespace fxdist {
+
+DeviceMap::DeviceMap(const DistributionMethod& method,
+                     std::uint64_t max_entries)
+    : method_(&method), spec_(method.spec()) {
+  const unsigned n = spec_.num_fields();
+  shift_.resize(n);
+  mask_.resize(n);
+  unsigned shift = 0;
+  for (unsigned i = n; i > 0;) {
+    --i;
+    shift_[i] = shift;
+    mask_[i] = spec_.field_size(i) - 1;
+    shift += spec_.field_bits(i);
+  }
+
+  const std::uint64_t total = spec_.TotalBuckets();
+  if (total > max_entries) return;  // fallback mode
+  table_.resize(total);
+  buckets_on_device_.resize(spec_.num_devices());
+  std::uint64_t linear = 0;
+  ForEachBucket(spec_, [&](const BucketId& bucket) {
+    const auto device = static_cast<std::uint32_t>(method.DeviceOf(bucket));
+    table_[linear] = device;
+    buckets_on_device_[device].push_back(linear);
+    ++linear;
+    return true;
+  });
+}
+
+void DeviceMap::DeviceOfMany(const std::uint64_t* linear_ids,
+                             std::size_t count, std::uint32_t* out) const {
+  if (precomputed()) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = table_[linear_ids[i]];
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        method_->DeviceOf(BucketFromLinear(spec_, linear_ids[i])));
+  }
+}
+
+std::vector<std::uint64_t> DeviceMap::ResponseCounts(
+    const PartialMatchQuery& query) const {
+  std::vector<std::uint64_t> counts(spec_.num_devices(), 0);
+  if (precomputed()) {
+    ForEachQualifiedLinear(spec_, query, [&](std::uint64_t linear) {
+      ++counts[table_[linear]];
+      return true;
+    });
+  } else {
+    ForEachQualifiedBucket(spec_, query, [&](const BucketId& bucket) {
+      ++counts[method_->DeviceOf(bucket)];
+      return true;
+    });
+  }
+  return counts;
+}
+
+bool DeviceMap::LinearMatches(const PartialMatchQuery& query,
+                              std::uint64_t linear) const {
+  for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+    if (query.is_specified(i) &&
+        ((linear >> shift_[i]) & mask_[i]) != query.value(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DeviceMap::ForEachQualifiedLinearOnDevice(
+    const PartialMatchQuery& query, std::uint64_t device,
+    const std::function<bool(std::uint64_t)>& fn) const {
+  if (!precomputed()) {
+    method_->ForEachQualifiedBucketOnDevice(
+        query, device, [&](const BucketId& bucket) {
+          return fn(LinearIndex(spec_, bucket));
+        });
+    return;
+  }
+  // All strategies visit in ascending linear order, so picking the
+  // cheapest by visit count is result-preserving.
+  const std::uint64_t qualified = query.NumQualifiedBuckets(spec_);
+  const std::uint64_t on_device = buckets_on_device_[device].size();
+  if (method_->HasFastInverseMapping() &&
+      qualified / spec_.num_devices() + 1 <= on_device) {
+    method_->ForEachQualifiedBucketOnDevice(
+        query, device, [&](const BucketId& bucket) {
+          return fn(LinearIndex(spec_, bucket));
+        });
+    return;
+  }
+  if (on_device <= qualified) {
+    for (std::uint64_t linear : buckets_on_device_[device]) {
+      if (LinearMatches(query, linear) && !fn(linear)) return;
+    }
+    return;
+  }
+  ForEachQualifiedLinear(spec_, query, [&](std::uint64_t linear) {
+    if (table_[linear] == device) return fn(linear);
+    return true;
+  });
+}
+
+void DeviceMap::ForEachQualifiedBucketOnDevice(
+    const PartialMatchQuery& query, std::uint64_t device,
+    const std::function<bool(const BucketId&)>& fn) const {
+  if (!precomputed()) {
+    method_->ForEachQualifiedBucketOnDevice(query, device, fn);
+    return;
+  }
+  // Decode linear ids into one scratch bucket (hits are ~1/M of visits).
+  BucketId scratch(spec_.num_fields());
+  ForEachQualifiedLinearOnDevice(query, device, [&](std::uint64_t linear) {
+    for (unsigned i = 0; i < spec_.num_fields(); ++i) {
+      scratch[i] = (linear >> shift_[i]) & mask_[i];
+    }
+    return fn(scratch);
+  });
+}
+
+}  // namespace fxdist

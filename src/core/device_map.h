@@ -1,0 +1,171 @@
+// DeviceMap: the cached placement plane.
+//
+// A DistributionMethod answers "which device owns this bucket" with a
+// virtual call per bucket.  The analysis sweeps and the simulator's hot
+// loops ask that question millions of times against an *immutable*
+// mapping, so DeviceMap materializes the answer once: a flat
+// bucket→device table indexed by linear bucket id, plus a per-device
+// sorted index of owned buckets.  On top of those it offers batch lookup
+// (DeviceOfMany) and a cost-based inverse mapping that picks, per query,
+// the cheapest of three equivalent enumeration strategies:
+//
+//   * the method's own fast inverse (FX/Modulo/GDM residue solvers,
+//     ~|R(q)|/M visits — see HasFastInverseMapping),
+//   * a scan of the device's sorted bucket index filtered by the query
+//     (|buckets on device| visits, wins for large |R(q)|), or
+//   * enumeration of R(q) filtered through the flat table (|R(q)| O(1)
+//     lookups, replacing the virtual-DeviceOf-per-bucket default).
+//
+// All three visit the same buckets in ascending linear order (qualified
+// enumeration is odometer order = ascending linear index; the residue
+// solvers walk ascending residue lists), so callers get bit-identical
+// results whichever strategy is picked.
+//
+// Memory cost is M^n-ish: 4 bytes/bucket for the table plus 8 per bucket
+// for the index.  Above `max_entries` buckets the map is *not*
+// precomputed and every operation transparently falls back to the
+// method's virtual path, so callers never need to special-case large
+// spaces (see DESIGN.md §8).
+
+#ifndef FXDIST_CORE_DEVICE_MAP_H_
+#define FXDIST_CORE_DEVICE_MAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/bucket.h"
+#include "core/distribution.h"
+#include "core/field_spec.h"
+#include "core/query.h"
+
+namespace fxdist {
+
+/// Invokes `fn(linear_index)` for every bucket of R(q) in ascending
+/// linear order — the linear-id counterpart of ForEachQualifiedBucket,
+/// maintaining the index incrementally (no BucketId materialization, no
+/// per-bucket multiply).  `fn` returning false stops early.
+template <typename Fn>
+void ForEachQualifiedLinear(const FieldSpec& spec,
+                            const PartialMatchQuery& query, Fn&& fn) {
+  const unsigned n = spec.num_fields();
+  std::vector<std::uint64_t> stride(n);
+  std::uint64_t s = 1;
+  for (unsigned i = n; i > 0;) {
+    --i;
+    stride[i] = s;
+    s *= spec.field_size(i);
+  }
+  std::uint64_t linear = 0;
+  std::vector<unsigned> free_fields;
+  for (unsigned i = 0; i < n; ++i) {
+    if (query.is_specified(i)) {
+      linear += query.value(i) * stride[i];
+    } else {
+      free_fields.push_back(i);
+    }
+  }
+  std::vector<std::uint64_t> pos(free_fields.size(), 0);
+  while (true) {
+    if (!fn(static_cast<std::uint64_t>(linear))) return;
+    std::size_t i = free_fields.size();
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      const unsigned f = free_fields[i];
+      if (++pos[i] < spec.field_size(f)) {
+        linear += stride[f];
+        advanced = true;
+        break;
+      }
+      linear -= stride[f] * (spec.field_size(f) - 1);
+      pos[i] = 0;
+    }
+    if (!advanced) return;
+  }
+}
+
+/// Precomputed bucket→device mapping for one DistributionMethod.  The
+/// method must outlive the map (backends own both; the map holds a
+/// pointer, so moving the owner is safe while the method stays heap-
+/// allocated).  Immutable and thread-safe after construction.
+class DeviceMap {
+ public:
+  /// Precompute at most this many table entries by default (4 MiB of
+  /// device ids plus the 8-byte-per-bucket index).
+  static constexpr std::uint64_t kDefaultMaxEntries = std::uint64_t{1}
+                                                      << 20;
+
+  /// Builds the flat table and per-device index by one sweep of the
+  /// bucket space, unless it exceeds `max_entries` — then the map stays
+  /// in fallback mode and delegates every call to `method`.
+  explicit DeviceMap(const DistributionMethod& method,
+                     std::uint64_t max_entries = kDefaultMaxEntries);
+
+  /// False when the bucket space was too large to materialize.
+  bool precomputed() const { return !table_.empty(); }
+
+  const FieldSpec& spec() const { return spec_; }
+  const DistributionMethod& method() const { return *method_; }
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const {
+    return precomputed() ? table_[LinearIndex(spec_, bucket)]
+                         : method_->DeviceOf(bucket);
+  }
+  std::uint64_t DeviceOfLinear(std::uint64_t linear) const {
+    return precomputed() ? table_[linear]
+                         : method_->DeviceOf(BucketFromLinear(spec_, linear));
+  }
+
+  /// Batch lookup: out[i] = device of linear id `linear_ids[i]`.  The
+  /// whole point of the flat table — one cache-friendly gather, no
+  /// virtual dispatch per bucket.
+  void DeviceOfMany(const std::uint64_t* linear_ids, std::size_t count,
+                    std::uint32_t* out) const;
+
+  /// The flat table (empty in fallback mode); table()[linear] = device.
+  const std::vector<std::uint32_t>& table() const { return table_; }
+
+  /// Ascending linear ids of the buckets `device` owns (empty in
+  /// fallback mode).
+  const std::vector<std::uint64_t>& BucketsOnDevice(
+      std::uint64_t device) const {
+    return buckets_on_device_[device];
+  }
+
+  /// Per-device qualified-bucket counts of `query` — the placement-plane
+  /// form of analysis' ComputeResponseVector, via table lookups.
+  std::vector<std::uint64_t> ResponseCounts(
+      const PartialMatchQuery& query) const;
+
+  /// Enumerates the qualified buckets of `query` on `device` in
+  /// ascending linear order, picking the cheapest strategy (see file
+  /// comment).  `fn` returning false stops early.
+  void ForEachQualifiedBucketOnDevice(
+      const PartialMatchQuery& query, std::uint64_t device,
+      const std::function<bool(const BucketId&)>& fn) const;
+
+  /// Same enumeration, handing out linear ids — the form the storage
+  /// and batch-planning hot loops want.
+  void ForEachQualifiedLinearOnDevice(
+      const PartialMatchQuery& query, std::uint64_t device,
+      const std::function<bool(std::uint64_t)>& fn) const;
+
+ private:
+  /// True iff the specified fields of `query` match `linear`'s
+  /// coordinates (shift/mask per field — sizes are powers of two).
+  bool LinearMatches(const PartialMatchQuery& query,
+                     std::uint64_t linear) const;
+
+  const DistributionMethod* method_;
+  FieldSpec spec_;
+  std::vector<std::uint32_t> table_;
+  std::vector<std::vector<std::uint64_t>> buckets_on_device_;
+  // Per-field decode of a linear id: (linear >> shift_[i]) & mask_[i].
+  std::vector<unsigned> shift_;
+  std::vector<std::uint64_t> mask_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_DEVICE_MAP_H_

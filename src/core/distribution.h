@@ -42,6 +42,12 @@ class DistributionMethod {
   /// set instead of every query.
   virtual bool IsShiftInvariant() const { return false; }
 
+  /// True when ForEachQualifiedBucketOnDevice is overridden with a
+  /// residue-solver that visits only ~|R(q)|/M buckets instead of
+  /// filtering all |R(q)| (FX / Modulo / GDM).  DeviceMap uses this to
+  /// pick an enumeration strategy by cost.
+  virtual bool HasFastInverseMapping() const { return false; }
+
   /// Enumerates the qualified buckets of `query` that this method placed on
   /// `device` ("inverse mapping", §4.2).  The default implementation
   /// filters the full qualified set; subclasses may override with a faster

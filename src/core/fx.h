@@ -41,6 +41,7 @@ class FXDistribution final : public DistributionMethod {
   void ForEachQualifiedBucketOnDevice(
       const PartialMatchQuery& query, std::uint64_t device,
       const std::function<bool(const BucketId&)>& fn) const override;
+  bool HasFastInverseMapping() const override { return true; }
 
   const TransformPlan& plan() const { return plan_; }
 

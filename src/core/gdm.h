@@ -39,6 +39,7 @@ class GDMDistribution final : public DistributionMethod {
   void ForEachQualifiedBucketOnDevice(
       const PartialMatchQuery& query, std::uint64_t device,
       const std::function<bool(const BucketId&)>& fn) const override;
+  bool HasFastInverseMapping() const override { return true; }
 
   const std::vector<std::uint64_t>& multipliers() const {
     return multipliers_;

@@ -34,6 +34,7 @@ class ModuloDistribution final : public DistributionMethod {
   void ForEachQualifiedBucketOnDevice(
       const PartialMatchQuery& query, std::uint64_t device,
       const std::function<bool(const BucketId&)>& fn) const override;
+  bool HasFastInverseMapping() const override { return true; }
 };
 
 }  // namespace fxdist

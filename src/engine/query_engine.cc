@@ -25,24 +25,24 @@ double MicrosSince(Clock::time_point start) {
 /// Everything one device contributes to a batch.  Each device task writes
 /// only its own slot, so the fan-out needs no synchronization.
 struct DeviceOutcome {
-  std::vector<std::uint64_t> qualified;           // per representative
-  std::vector<std::uint64_t> examined;            // per representative
-  std::vector<std::vector<RecordIndex>> matched;  // per rep., solo order
+  std::vector<std::uint64_t> qualified;            // per representative
+  std::vector<std::uint64_t> examined;             // per representative
+  std::vector<std::vector<const Record*>> matched; // per rep., solo order
   std::uint64_t buckets_scanned = 0;
   double busy_ms = 0.0;
 };
 
 }  // namespace
 
-QueryEngine::QueryEngine(const ParallelFile& file, EngineOptions options)
-    : file_(file), options_([&options] {
+QueryEngine::QueryEngine(const StorageBackend& backend, EngineOptions options)
+    : backend_(backend), options_([&options] {
         options.max_batch_size = std::max<std::size_t>(1,
                                                        options.max_batch_size);
         return options;
       }()),
       pool_(options_.num_threads), start_(Clock::now()) {
-  device_counters_.reserve(file_.num_devices());
-  for (std::uint64_t d = 0; d < file_.num_devices(); ++d) {
+  device_counters_.reserve(backend_.num_devices());
+  for (std::uint64_t d = 0; d < backend_.num_devices(); ++d) {
     device_counters_.push_back(std::make_unique<DeviceCounters>());
   }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
@@ -74,14 +74,14 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
     const std::vector<ValueQuery>& batch) {
   if (batch.empty()) return std::vector<QueryResult>{};
   const auto start = Clock::now();
-  const FieldSpec& spec = file_.spec();
-  const std::uint64_t num_devices = file_.num_devices();
+  const FieldSpec& spec = backend_.spec();
+  const std::uint64_t num_devices = backend_.num_devices();
 
   std::vector<PartialMatchQuery> hashed;
   hashed.reserve(batch.size());
   std::uint64_t requested = 0;
   for (const ValueQuery& query : batch) {
-    auto h = file_.HashQuery(query);
+    auto h = backend_.HashQuery(query);
     if (!h.ok()) {
       queries_failed_.Increment(batch.size());
       return h.status();
@@ -137,34 +137,33 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
   auto run_device = [&](std::uint64_t d) {
     const auto device_start = Clock::now();
     const DeviceBatchPlan plan =
-        PlanDeviceBatch(file_.method(), rep_hashed, d);
+        PlanDeviceBatch(backend_.device_map(), rep_hashed, d);
     DeviceOutcome& out = outcomes[d];
     const std::size_t num_reps = reps.size();
     out.qualified.assign(num_reps, 0);
     out.examined.assign(num_reps, 0);
     out.matched.resize(num_reps);
-    std::vector<std::vector<std::vector<RecordIndex>>> scan_matches(
+    std::vector<std::vector<std::vector<const Record*>>> scan_matches(
         plan.scan_buckets.size());
-    const Device& device = file_.device(d);
     for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
       const auto& covering = plan.scan_queries[s];
       scan_matches[s].resize(covering.size());
-      const std::vector<RecordIndex>* records =
-          device.Records(plan.scan_buckets[s]);
-      if (records == nullptr) continue;
       // Slot-outer: fetch each covering query once and stream the
-      // bucket's records past it; record-vector order is preserved
+      // bucket's records past it; the backend's scan order is preserved
       // within each slot.
       for (std::size_t slot = 0; slot < covering.size(); ++slot) {
         const std::uint32_t q = covering[slot];
-        out.examined[q] += records->size();
         const ValueQuery& value_query = batch[reps[q]];
         auto& hits = scan_matches[s][slot];
-        for (RecordIndex idx : *records) {
-          if (RecordMatchesValueQuery(value_query, file_.record(idx))) {
-            hits.push_back(idx);
-          }
-        }
+        backend_.ScanBucket(d, plan.scan_buckets[s],
+                            [&](const Record& record) {
+                              ++out.examined[q];
+                              if (RecordMatchesValueQuery(value_query,
+                                                          record)) {
+                                hits.push_back(&record);
+                              }
+                              return true;
+                            });
       }
     }
     // Reassemble each query's matches in its solo enumeration order.
@@ -213,8 +212,8 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
     }
     result.records.reserve(stats.records_matched);
     for (std::uint64_t d = 0; d < num_devices; ++d) {
-      for (RecordIndex idx : outcomes[d].matched[q]) {
-        result.records.push_back(file_.record(idx));
+      for (const Record* record : outcomes[d].matched[q]) {
+        result.records.push_back(*record);
       }
     }
     for (std::uint64_t c : stats.qualified_per_device) {
@@ -291,7 +290,7 @@ void QueryEngine::DispatcherLoop() {
     batch.reserve(group.size());
     live.reserve(group.size());
     for (std::size_t i = 0; i < group.size(); ++i) {
-      if (auto h = file_.HashQuery(group[i].query); !h.ok()) {
+      if (auto h = backend_.HashQuery(group[i].query); !h.ok()) {
         queries_failed_.Increment();
         group[i].promise.set_value(h.status());
       } else {

@@ -1,10 +1,10 @@
-// QueryEngine: a concurrent batch serving layer over a ParallelFile.
+// QueryEngine: a concurrent batch serving layer over any StorageBackend.
 //
-// ParallelFile::Execute answers one query at a time; under serving load the
-// engine instead admits *batches* of partial-match queries and exploits two
-// structural properties of query streams (Doerr et al. evaluate declustering
-// over streams; Fukuyama's randomized-wildcard model makes overlap the
-// common case):
+// StorageBackend::Execute answers one query at a time; under serving load
+// the engine instead admits *batches* of partial-match queries and exploits
+// two structural properties of query streams (Doerr et al. evaluate
+// declustering over streams; Fukuyama's randomized-wildcard model makes
+// overlap the common case):
 //
 //  * shared bucket scans — overlapping queries qualify the same buckets, so
 //    each device makes one pass per distinct qualified bucket and evaluates
@@ -15,7 +15,10 @@
 //
 // Both transformations are result-preserving: every query's records, match
 // counts, per-device qualified counts and largest response are bit-identical
-// to a solo ParallelFile::Execute (enforced by the differential test).
+// to the backend's own solo Execute — flat, paged, or dynamic (enforced by
+// the differential tests).  Bucket enumeration and scan planning go through
+// the backend's cached DeviceMap, and record access through ScanBucket, so
+// the engine never touches backend-specific storage.
 //
 // Two entry points:
 //  * ExecuteBatch() — synchronous; the caller's batch is the unit of
@@ -24,8 +27,8 @@
 //    thread drains them in groups of up to max_batch_size, so batches form
 //    naturally under backlog.  Returns a future per query.
 //
-// The engine is read-only over the file: callers must not mutate the
-// ParallelFile while an engine serves it.
+// The engine is read-only over the backend: callers must not mutate it
+// while an engine serves it.
 
 #ifndef FXDIST_ENGINE_QUERY_ENGINE_H_
 #define FXDIST_ENGINE_QUERY_ENGINE_H_
@@ -41,7 +44,7 @@
 #include <vector>
 
 #include "engine/stats_snapshot.h"
-#include "sim/parallel_file.h"
+#include "sim/storage_backend.h"
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -63,16 +66,17 @@ struct EngineOptions {
 
 class QueryEngine {
  public:
-  /// `file` must outlive the engine and stay unmodified while serving.
-  explicit QueryEngine(const ParallelFile& file, EngineOptions options = {});
+  /// `backend` must outlive the engine and stay unmodified while serving.
+  explicit QueryEngine(const StorageBackend& backend,
+                       EngineOptions options = {});
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Executes `batch` with shared scans; results arrive in batch order and
-  /// each element is bit-identical to file.Execute(batch[i]).  Fails as a
-  /// whole on an invalid query or a blown enumeration budget.
+  /// each element is bit-identical to backend.Execute(batch[i]).  Fails as
+  /// a whole on an invalid query or a blown enumeration budget.
   Result<std::vector<QueryResult>> ExecuteBatch(
       const std::vector<ValueQuery>& batch);
 
@@ -85,7 +89,7 @@ class QueryEngine {
 
   StatsSnapshot Snapshot() const;
 
-  const ParallelFile& file() const { return file_; }
+  const StorageBackend& backend() const { return backend_; }
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -107,7 +111,7 @@ class QueryEngine {
   Result<std::vector<QueryResult>> ExecuteBatchInternal(
       const std::vector<ValueQuery>& batch);
 
-  const ParallelFile& file_;
+  const StorageBackend& backend_;
   const EngineOptions options_;
   ThreadPool pool_;
   const std::chrono::steady_clock::time_point start_;

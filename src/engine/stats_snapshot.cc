@@ -63,4 +63,44 @@ std::string StatsSnapshot::ToString() const {
   return os.str();
 }
 
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"queries_submitted\":" << queries_submitted
+     << ",\"queries_completed\":" << queries_completed
+     << ",\"queries_failed\":" << queries_failed
+     << ",\"batches_executed\":" << batches_executed
+     << ",\"avg_batch_size\":" << avg_batch_size()
+     << ",\"max_batch_size\":" << max_batch_size
+     << ",\"duplicates_collapsed\":" << duplicates_collapsed
+     << ",\"bucket_scans_requested\":" << bucket_scans_requested
+     << ",\"bucket_scans_performed\":" << bucket_scans_performed
+     << ",\"sharing_factor\":" << sharing_factor()
+     << ",\"records_examined\":" << records_examined
+     << ",\"records_matched\":" << records_matched
+     << ",\"queue_depth\":" << queue_depth
+     << ",\"max_queue_depth\":" << max_queue_depth
+     << ",\"uptime_ms\":" << uptime_ms;
+  os << ",\"query_latency_us\":{\"p50\":"
+     << query_latency.PercentileMicros(0.50)
+     << ",\"p95\":" << query_latency.PercentileMicros(0.95)
+     << ",\"p99\":" << query_latency.PercentileMicros(0.99)
+     << ",\"mean\":" << query_latency.mean_micros() << "}";
+  os << ",\"batch_latency_us\":{\"p50\":"
+     << batch_latency.PercentileMicros(0.50)
+     << ",\"p95\":" << batch_latency.PercentileMicros(0.95)
+     << ",\"p99\":" << batch_latency.PercentileMicros(0.99) << "}";
+  os << ",\"devices\":[";
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (d > 0) os << ",";
+    os << "{\"device\":" << d
+       << ",\"bucket_scans\":" << devices[d].bucket_scans
+       << ",\"records_examined\":" << devices[d].records_examined
+       << ",\"busy_ms\":" << devices[d].busy_ms
+       << ",\"utilization\":" << devices[d].utilization << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 }  // namespace fxdist

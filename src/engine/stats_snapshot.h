@@ -66,6 +66,10 @@ struct StatsSnapshot {
 
   /// Multi-line human-readable report (the `serve-bench` output block).
   std::string ToString() const;
+
+  /// The same snapshot as one JSON object (no trailing newline) — the
+  /// `serve-bench --format=json` machine-readable form.
+  std::string ToJson() const;
 };
 
 }  // namespace fxdist

@@ -8,6 +8,25 @@
 
 namespace fxdist {
 
+const char* ValueTypeTag(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<ValueType> ParseValueTypeTag(const std::string& tag) {
+  if (tag == "int64") return ValueType::kInt64;
+  if (tag == "double") return ValueType::kDouble;
+  if (tag == "string") return ValueType::kString;
+  return Status::InvalidArgument("unknown field type: " + tag);
+}
+
 void EncodeLengthPrefixed(std::ostream& os, const std::string& s) {
   os << s.size() << ':' << s;
 }

@@ -16,6 +16,12 @@
 
 namespace fxdist {
 
+/// Stable token for a ValueType ("int64" / "double" / "string").
+const char* ValueTypeTag(ValueType type);
+
+/// Inverse of ValueTypeTag.
+Result<ValueType> ParseValueTypeTag(const std::string& tag);
+
 /// Writes "<len>:<bytes>".
 void EncodeLengthPrefixed(std::ostream& os, const std::string& s);
 

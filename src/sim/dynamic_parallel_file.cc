@@ -1,9 +1,12 @@
 #include "sim/dynamic_parallel_file.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <ostream>
 
 #include "analysis/optimality.h"
+#include "hashing/value_codec.h"
 
 namespace fxdist {
 
@@ -19,8 +22,9 @@ DynamicParallelFile::DynamicParallelFile(std::vector<DynamicFieldDecl> fields,
     : fields_(std::move(fields)), num_devices_(num_devices), family_(family),
       spec_(FieldSpec::Create(
                 std::vector<std::uint64_t>(fields_.size(), 1), num_devices)
-                .value()) {
-  method_ = FXDistribution::Planned(spec_, family_);
+                .value()),
+      method_(FXDistribution::Planned(spec_, family_)),
+      device_map_(*method_) {
   devices_.reserve(num_devices_);
   for (std::uint64_t d = 0; d < num_devices_; ++d) devices_.emplace_back(d);
 }
@@ -40,6 +44,8 @@ Result<DynamicParallelFile> DynamicParallelFile::Create(
     return Status::InvalidArgument("device count must be a power of two");
   }
   DynamicParallelFile file(std::move(fields), num_devices, family);
+  file.page_capacity_ = page_capacity;
+  file.hash_seed_ = seed;
   for (unsigned i = 0; i < file.fields_.size(); ++i) {
     auto hasher =
         MakeDefaultHasher(file.fields_[i].type, kHashRange, seed + i);
@@ -79,6 +85,12 @@ Status DynamicParallelFile::Insert(Record record) {
   return Status::OK();
 }
 
+Result<std::uint64_t> DynamicParallelFile::Delete(const ValueQuery& query) {
+  (void)query;
+  return Status::Unimplemented(
+      "dynamic backend does not support deletion (directories only grow)");
+}
+
 bool DynamicParallelFile::RebuildIfGrown() {
   std::vector<std::uint64_t> sizes(fields_.size());
   bool grown = false;
@@ -90,6 +102,7 @@ bool DynamicParallelFile::RebuildIfGrown() {
 
   spec_ = FieldSpec::Create(std::move(sizes), num_devices_).value();
   method_ = FXDistribution::Planned(spec_, family_);
+  device_map_ = DeviceMap(*method_);
   devices_.clear();
   for (std::uint64_t d = 0; d < num_devices_; ++d) devices_.emplace_back(d);
   for (RecordIndex r = 0; r < records_.size(); ++r) {
@@ -105,11 +118,11 @@ void DynamicParallelFile::PlaceRecord(RecordIndex index) {
   for (unsigned i = 0; i < fields_.size(); ++i) {
     bucket[i] = Coordinate(i, record_hashes_[index][i]);
   }
-  devices_[method_->DeviceOf(bucket)].AddRecord(LinearIndex(spec_, bucket),
-                                                index);
+  devices_[device_map_.DeviceOf(bucket)].AddRecord(LinearIndex(spec_, bucket),
+                                                   index);
 }
 
-Result<QueryResult> DynamicParallelFile::Execute(
+Result<PartialMatchQuery> DynamicParallelFile::HashQuery(
     const ValueQuery& query) const {
   if (query.size() != fields_.size()) {
     return Status::InvalidArgument("query arity mismatch");
@@ -122,37 +135,47 @@ Result<QueryResult> DynamicParallelFile::Execute(
       coords[i] = Coordinate(i, *h);
     }
   }
-  auto hashed = PartialMatchQuery::Create(spec_, std::move(coords));
+  return PartialMatchQuery::Create(spec_, std::move(coords));
+}
+
+Result<QueryResult> DynamicParallelFile::Execute(
+    const ValueQuery& query) const {
+  auto hashed = HashQuery(query);
   FXDIST_RETURN_NOT_OK(hashed.status());
 
   QueryResult result;
   QueryStats& stats = result.stats;
   stats.qualified_per_device.assign(num_devices_, 0);
+  stats.device_wall_ms.assign(num_devices_, 0.0);
+
+  const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t d = 0; d < num_devices_; ++d) {
-    method_->ForEachQualifiedBucketOnDevice(
-        *hashed, d, [&](const BucketId& bucket) {
+    const auto device_start = std::chrono::steady_clock::now();
+    device_map_.ForEachQualifiedLinearOnDevice(
+        *hashed, d, [&](std::uint64_t linear) {
           ++stats.qualified_per_device[d];
           const std::vector<RecordIndex>* bucket_records =
-              devices_[d].Records(LinearIndex(spec_, bucket));
+              devices_[d].Records(linear);
           if (bucket_records == nullptr) return true;
           for (RecordIndex idx : *bucket_records) {
             ++stats.records_examined;
             const Record& record = records_[idx];
-            bool match = true;
-            for (unsigned f = 0; f < fields_.size(); ++f) {
-              if (query[f].has_value() && record[f] != *query[f]) {
-                match = false;
-                break;
-              }
-            }
-            if (match) {
+            if (RecordMatchesValueQuery(query, record)) {
               ++stats.records_matched;
               result.records.push_back(record);
             }
           }
           return true;
         });
+    stats.device_wall_ms[d] = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  device_start)
+                                  .count();
   }
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
   stats.total_qualified = 0;
   for (std::uint64_t c : stats.qualified_per_device) {
     stats.total_qualified += c;
@@ -164,12 +187,41 @@ Result<QueryResult> DynamicParallelFile::Execute(
   return result;
 }
 
+void DynamicParallelFile::ScanBucket(
+    std::uint64_t device, std::uint64_t linear_bucket,
+    const std::function<bool(const Record&)>& fn) const {
+  const std::vector<RecordIndex>* bucket_records =
+      devices_[device].Records(linear_bucket);
+  if (bucket_records == nullptr) return;
+  for (RecordIndex idx : *bucket_records) {
+    if (!fn(records_[idx])) return;
+  }
+}
+
 std::vector<std::uint64_t> DynamicParallelFile::RecordCountsPerDevice()
     const {
   std::vector<std::uint64_t> out;
   out.reserve(devices_.size());
   for (const Device& d : devices_) out.push_back(d.num_records());
   return out;
+}
+
+void DynamicParallelFile::SaveParams(std::ostream& out) const {
+  out << "devices " << num_devices_ << '\n';
+  out << "family " << (family_ == PlanFamily::kIU1 ? "iu1" : "iu2") << '\n';
+  out << "pagecap " << page_capacity_ << '\n';
+  out << "seed " << hash_seed_ << '\n';
+  out << "fields " << fields_.size() << '\n';
+  for (const DynamicFieldDecl& f : fields_) {
+    out << "field ";
+    EncodeLengthPrefixed(out, f.name);
+    out << ' ' << ValueTypeTag(f.type) << '\n';
+  }
+}
+
+void DynamicParallelFile::ForEachLiveRecord(
+    const std::function<void(const Record&)>& fn) const {
+  for (const Record& r : records_) fn(r);
 }
 
 }  // namespace fxdist

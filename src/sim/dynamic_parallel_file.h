@@ -7,10 +7,15 @@
 // the FieldSpec — changes, the transformation plan may change (a field can
 // stop being "small"), and buckets move between devices.  This class owns
 // that loop: per-field ExtendibleDirectory instances, automatic FX
-// re-planning and full redistribution on every directory doubling.
+// re-planning and full redistribution on every directory doubling.  The
+// cached DeviceMap is rebuilt with the plan, so lookups stay O(1) between
+// rebuilds.
 //
 // Redistribution is the honest cost of the scheme; num_rebuilds() and
 // records_moved() expose it, and the growing_file example charts it.
+//
+// As the "dynamic" StorageBackend it answers the standard Execute/Scan
+// contract; Delete is unimplemented (extendible directories only grow).
 
 #ifndef FXDIST_SIM_DYNAMIC_PARALLEL_FILE_H_
 #define FXDIST_SIM_DYNAMIC_PARALLEL_FILE_H_
@@ -20,10 +25,12 @@
 #include <string>
 #include <vector>
 
+#include "core/device_map.h"
 #include "core/fx.h"
 #include "hashing/extendible.h"
 #include "hashing/hash_functions.h"
-#include "sim/parallel_file.h"
+#include "sim/device.h"
+#include "sim/storage_backend.h"
 
 namespace fxdist {
 
@@ -33,7 +40,7 @@ struct DynamicFieldDecl {
   ValueType type = ValueType::kInt64;
 };
 
-class DynamicParallelFile {
+class DynamicParallelFile : public StorageBackend {
  public:
   /// `page_capacity`: keys per extendible-hash page before it splits.
   static Result<DynamicParallelFile> Create(
@@ -42,22 +49,45 @@ class DynamicParallelFile {
       std::uint64_t seed = 0);
 
   /// Hashes, stores, and (on directory growth) redistributes.
-  Status Insert(Record record);
+  Status Insert(Record record) override;
 
   /// Partial match over the *current* directory state.
-  Result<QueryResult> Execute(const ValueQuery& query) const;
+  Result<QueryResult> Execute(const ValueQuery& query) const override;
+
+  /// Extendible directories only grow; deletion is not supported.
+  Result<std::uint64_t> Delete(const ValueQuery& query) override;
+
+  Result<PartialMatchQuery> HashQuery(
+      const ValueQuery& query) const override;
+
+  std::string backend_name() const override { return "dynamic"; }
 
   /// Current bucket-space shape (changes as directories double).
-  const FieldSpec& spec() const { return spec_; }
-  const FXDistribution& method() const { return *method_; }
+  const FieldSpec& spec() const override { return spec_; }
+  const FXDistribution& method() const override { return *method_; }
+  const DeviceMap& device_map() const override { return device_map_; }
 
-  std::uint64_t num_records() const { return records_.size(); }
+  std::uint64_t num_records() const override { return records_.size(); }
   /// How many times a directory doubling forced a redistribution.
   std::uint64_t num_rebuilds() const { return rebuilds_; }
   /// Total record placements performed by those rebuilds.
   std::uint64_t records_moved() const { return records_moved_; }
 
-  std::vector<std::uint64_t> RecordCountsPerDevice() const;
+  void ScanBucket(
+      std::uint64_t device, std::uint64_t linear_bucket,
+      const std::function<bool(const Record&)>& fn) const override;
+
+  std::vector<std::uint64_t> RecordCountsPerDevice() const override;
+
+  /// Construction parameters, remembered for persistence.
+  const std::vector<DynamicFieldDecl>& fields() const { return fields_; }
+  PlanFamily family() const { return family_; }
+  std::size_t page_capacity() const { return page_capacity_; }
+  std::uint64_t hash_seed() const { return hash_seed_; }
+
+  void SaveParams(std::ostream& out) const override;
+  void ForEachLiveRecord(
+      const std::function<void(const Record&)>& fn) const override;
 
  private:
   DynamicParallelFile(std::vector<DynamicFieldDecl> fields,
@@ -68,18 +98,21 @@ class DynamicParallelFile {
     return hash & (spec_.field_size(field) - 1);
   }
 
-  /// Recomputes spec_/method_ from directory sizes and re-places all
-  /// records.  Returns true if the spec actually changed.
+  /// Recomputes spec_/method_/device_map_ from directory sizes and
+  /// re-places all records.  Returns true if the spec actually changed.
   bool RebuildIfGrown();
   void PlaceRecord(RecordIndex index);
 
   std::vector<DynamicFieldDecl> fields_;
   std::uint64_t num_devices_;
   PlanFamily family_;
+  std::size_t page_capacity_ = 0;
+  std::uint64_t hash_seed_ = 0;
   std::vector<std::shared_ptr<FieldHasher>> hashers_;  // 2^32-wide hashes
   std::vector<ExtendibleDirectory> dirs_;
   FieldSpec spec_;
   std::unique_ptr<FXDistribution> method_;
+  DeviceMap device_map_;
   std::vector<Device> devices_;
   std::vector<Record> records_;
   std::vector<std::vector<std::uint64_t>> record_hashes_;

@@ -1,17 +1,23 @@
 #include "sim/paged_parallel_file.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <ostream>
 
+#include "analysis/optimality.h"
 #include "core/registry.h"
+#include "hashing/value_codec.h"
+#include "sim/timing.h"
 
 namespace fxdist {
 
 PagedParallelFile::PagedParallelFile(
     FieldSpec spec, MultiKeyHash hash,
     std::unique_ptr<DistributionMethod> method, std::size_t records_per_page)
-    : spec_(std::move(spec)), hash_(std::move(hash)),
-      method_(std::move(method)) {
+    : spec_(std::move(spec)), records_per_page_(records_per_page),
+      hash_(std::move(hash)), method_(std::move(method)),
+      device_map_(*method_) {
   stores_.reserve(spec_.num_devices());
   for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
     stores_.push_back(PageStore::Create(records_per_page).value());
@@ -31,8 +37,11 @@ Result<PagedParallelFile> PagedParallelFile::Create(
   FXDIST_RETURN_NOT_OK(hash.status());
   auto method = MakeDistribution(*spec, distribution);
   FXDIST_RETURN_NOT_OK(method.status());
-  return PagedParallelFile(*std::move(spec), *std::move(hash),
-                           *std::move(method), records_per_page);
+  PagedParallelFile file(*std::move(spec), *std::move(hash),
+                         *std::move(method), records_per_page);
+  file.distribution_spec_ = distribution;
+  file.hash_seed_ = seed;
+  return file;
 }
 
 Status PagedParallelFile::Insert(Record record) {
@@ -42,14 +51,15 @@ Status PagedParallelFile::Insert(Record record) {
       static_cast<std::size_t>(std::numeric_limits<RecordIndex>::max())) {
     return Status::OutOfRange("record arena full");
   }
-  const std::uint64_t device = method_->DeviceOf(*bucket);
+  const std::uint64_t device = device_map_.DeviceOf(*bucket);
   const auto index = static_cast<RecordIndex>(records_.size());
   records_.push_back(std::move(record));
   stores_[device].Add(LinearIndex(spec_, *bucket), index);
+  ++live_records_;
   return Status::OK();
 }
 
-Result<PagedQueryResult> PagedParallelFile::Execute(
+Result<PagedQueryResult> PagedParallelFile::ExecutePaged(
     const ValueQuery& query) const {
   auto hashed = hash_.HashQuery(spec_, query);
   FXDIST_RETURN_NOT_OK(hashed.status());
@@ -60,21 +70,14 @@ Result<PagedQueryResult> PagedParallelFile::Execute(
 
   for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
     PageStore::ReadStats reads;
-    method_->ForEachQualifiedBucketOnDevice(
-        *hashed, d, [&](const BucketId& bucket) {
+    device_map_.ForEachQualifiedLinearOnDevice(
+        *hashed, d, [&](std::uint64_t linear) {
           stores_[d].Scan(
-              LinearIndex(spec_, bucket),
+              linear,
               [&](RecordIndex idx) {
                 ++stats.records_examined;
                 const Record& record = records_[idx];
-                bool match = true;
-                for (unsigned f = 0; f < spec_.num_fields(); ++f) {
-                  if (query[f].has_value() && record[f] != *query[f]) {
-                    match = false;
-                    break;
-                  }
-                }
-                if (match) {
+                if (RecordMatchesValueQuery(query, record)) {
                   ++stats.records_matched;
                   result.records.push_back(record);
                 }
@@ -89,6 +92,120 @@ Result<PagedQueryResult> PagedParallelFile::Execute(
         std::max(stats.largest_pages_read, reads.pages_read);
   }
   return result;
+}
+
+Result<QueryResult> PagedParallelFile::Execute(
+    const ValueQuery& query) const {
+  auto hashed = hash_.HashQuery(spec_, query);
+  FXDIST_RETURN_NOT_OK(hashed.status());
+
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  stats.qualified_per_device.assign(spec_.num_devices(), 0);
+  stats.device_wall_ms.assign(spec_.num_devices(), 0.0);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
+    const auto device_start = std::chrono::steady_clock::now();
+    device_map_.ForEachQualifiedLinearOnDevice(
+        *hashed, d, [&](std::uint64_t linear) {
+          ++stats.qualified_per_device[d];
+          stores_[d].Scan(linear, [&](RecordIndex idx) {
+            ++stats.records_examined;
+            const Record& record = records_[idx];
+            if (RecordMatchesValueQuery(query, record)) {
+              ++stats.records_matched;
+              result.records.push_back(record);
+            }
+            return true;
+          });
+          return true;
+        });
+    stats.device_wall_ms[d] = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  device_start)
+                                  .count();
+  }
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+  for (std::uint64_t c : stats.qualified_per_device) {
+    stats.total_qualified += c;
+    stats.largest_response = std::max(stats.largest_response, c);
+  }
+  stats.optimal_bound = StrictOptimalBound(spec_, *hashed);
+  stats.strict_optimal = stats.largest_response <= stats.optimal_bound;
+  stats.disk_timing = DiskQueryTiming(stats.qualified_per_device);
+  return result;
+}
+
+Result<std::uint64_t> PagedParallelFile::Delete(const ValueQuery& query) {
+  auto hashed = hash_.HashQuery(spec_, query);
+  FXDIST_RETURN_NOT_OK(hashed.status());
+  // Collect victims first; removing while a chain is being scanned would
+  // invalidate the walk.
+  std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t,
+                                                 RecordIndex>>> victims;
+  for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
+    device_map_.ForEachQualifiedLinearOnDevice(
+        *hashed, d, [&](std::uint64_t linear) {
+          stores_[d].Scan(linear, [&](RecordIndex idx) {
+            if (RecordMatchesValueQuery(query, records_[idx])) {
+              victims.push_back({d, {linear, idx}});
+            }
+            return true;
+          });
+          return true;
+        });
+  }
+  for (const auto& [device, entry] : victims) {
+    const bool removed = stores_[device].Remove(entry.first, entry.second);
+    FXDIST_DCHECK(removed);
+    (void)removed;
+    records_[entry.second].clear();  // tombstone
+    --live_records_;
+  }
+  return static_cast<std::uint64_t>(victims.size());
+}
+
+void PagedParallelFile::ScanBucket(
+    std::uint64_t device, std::uint64_t linear_bucket,
+    const std::function<bool(const Record&)>& fn) const {
+  stores_[device].Scan(linear_bucket, [&](RecordIndex idx) {
+    return fn(records_[idx]);
+  });
+}
+
+std::vector<std::uint64_t> PagedParallelFile::RecordCountsPerDevice() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(stores_.size());
+  for (const PageStore& s : stores_) out.push_back(s.num_records());
+  return out;
+}
+
+void PagedParallelFile::SaveParams(std::ostream& out) const {
+  out << "devices " << num_devices() << '\n';
+  out << "distribution ";
+  EncodeLengthPrefixed(out, distribution_spec_);
+  out << '\n';
+  out << "seed " << hash_seed_ << '\n';
+  out << "pagesize " << records_per_page_ << '\n';
+  const Schema& file_schema = schema();
+  out << "fields " << file_schema.num_fields() << '\n';
+  for (unsigned i = 0; i < file_schema.num_fields(); ++i) {
+    const FieldDecl& f = file_schema.field(i);
+    out << "field ";
+    EncodeLengthPrefixed(out, f.name);
+    out << ' ' << ValueTypeTag(f.type) << ' ' << f.directory_size << '\n';
+  }
+}
+
+void PagedParallelFile::ForEachLiveRecord(
+    const std::function<void(const Record&)>& fn) const {
+  for (const Record& r : records_) {
+    if (!r.empty()) fn(r);
+  }
 }
 
 double PagedParallelFile::MeanUtilization() const {

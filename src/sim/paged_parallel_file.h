@@ -2,11 +2,14 @@
 //
 // Same distribution stage as ParallelFile (multi-key hash + pluggable
 // declustering), but each device stores its buckets in a PageStore —
-// fixed-capacity pages with overflow chains — and query execution
-// accounts *pages read* per device, the unit a disk actually pays.  This
-// closes the loop on the paper's two-stage model: stage 1 decides the
-// device, stage 2 decides how many I/Os the device performs for its
-// share.
+// fixed-capacity pages with overflow chains — and ExecutePaged accounts
+// *pages read* per device, the unit a disk actually pays.  This closes
+// the loop on the paper's two-stage model: stage 1 decides the device,
+// stage 2 decides how many I/Os the device performs for its share.
+//
+// As the "paged" StorageBackend it also answers the standard Execute
+// contract (bucket-count QueryStats, no page accounting), so the batch
+// QueryEngine and persistence drive it like any other backend.
 
 #ifndef FXDIST_SIM_PAGED_PARALLEL_FILE_H_
 #define FXDIST_SIM_PAGED_PARALLEL_FILE_H_
@@ -16,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "core/device_map.h"
 #include "core/distribution.h"
 #include "hashing/multikey_hash.h"
 #include "sim/page_store.h"
+#include "sim/storage_backend.h"
 #include "util/status.h"
 
 namespace fxdist {
@@ -36,7 +41,7 @@ struct PagedQueryResult {
   PagedQueryStats stats;
 };
 
-class PagedParallelFile {
+class PagedParallelFile : public StorageBackend {
  public:
   static Result<PagedParallelFile> Create(const Schema& schema,
                                           std::uint64_t num_devices,
@@ -44,13 +49,45 @@ class PagedParallelFile {
                                           std::size_t records_per_page,
                                           std::uint64_t seed = 0);
 
-  Status Insert(Record record);
+  Status Insert(Record record) override;
 
-  Result<PagedQueryResult> Execute(const ValueQuery& query) const;
+  /// Partial match with page-level accounting (what the disk pays).
+  Result<PagedQueryResult> ExecutePaged(const ValueQuery& query) const;
 
-  const FieldSpec& spec() const { return spec_; }
-  const DistributionMethod& method() const { return *method_; }
-  std::uint64_t num_records() const { return records_.size(); }
+  /// Standard backend execution: same records as ExecutePaged, with
+  /// bucket-count QueryStats instead of page accounting.
+  Result<QueryResult> Execute(const ValueQuery& query) const override;
+
+  /// Deletes every record matching the query; pages that empty are
+  /// recycled.  Returns the number removed.
+  Result<std::uint64_t> Delete(const ValueQuery& query) override;
+
+  Result<PartialMatchQuery> HashQuery(
+      const ValueQuery& query) const override {
+    return hash_.HashQuery(spec_, query);
+  }
+
+  std::string backend_name() const override { return "paged"; }
+  const FieldSpec& spec() const override { return spec_; }
+  const DistributionMethod& method() const override { return *method_; }
+  const DeviceMap& device_map() const override { return device_map_; }
+  const Schema& schema() const { return hash_.schema(); }
+  std::uint64_t num_records() const override { return live_records_; }
+
+  void ScanBucket(
+      std::uint64_t device, std::uint64_t linear_bucket,
+      const std::function<bool(const Record&)>& fn) const override;
+
+  std::vector<std::uint64_t> RecordCountsPerDevice() const override;
+
+  /// Construction parameters, remembered for persistence.
+  const std::string& distribution_spec() const { return distribution_spec_; }
+  std::uint64_t hash_seed() const { return hash_seed_; }
+  std::size_t records_per_page() const { return records_per_page_; }
+
+  void SaveParams(std::ostream& out) const override;
+  void ForEachLiveRecord(
+      const std::function<void(const Record&)>& fn) const override;
 
   /// Pages in use on device d.
   std::uint64_t DevicePages(std::uint64_t device) const {
@@ -65,10 +102,15 @@ class PagedParallelFile {
                     std::size_t records_per_page);
 
   FieldSpec spec_;
+  std::string distribution_spec_;
+  std::uint64_t hash_seed_ = 0;
+  std::size_t records_per_page_ = 1;
   MultiKeyHash hash_;
   std::unique_ptr<DistributionMethod> method_;
+  DeviceMap device_map_;
   std::vector<PageStore> stores_;
   std::vector<Record> records_;
+  std::uint64_t live_records_ = 0;
 };
 
 }  // namespace fxdist

@@ -3,23 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <ostream>
 
 #include "analysis/optimality.h"
 #include "core/registry.h"
+#include "hashing/value_codec.h"
 
 namespace fxdist {
-
-bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record) {
-  for (std::size_t f = 0; f < query.size(); ++f) {
-    if (query[f].has_value() && record[f] != *query[f]) return false;
-  }
-  return true;
-}
 
 ParallelFile::ParallelFile(FieldSpec spec, MultiKeyHash hash,
                            std::unique_ptr<DistributionMethod> method)
     : spec_(std::move(spec)), hash_(std::move(hash)),
-      method_(std::move(method)) {
+      method_(std::move(method)), device_map_(*method_) {
   devices_.reserve(spec_.num_devices());
   for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
     devices_.emplace_back(d);
@@ -50,7 +45,7 @@ Status ParallelFile::Insert(Record record) {
       static_cast<std::size_t>(std::numeric_limits<RecordIndex>::max())) {
     return Status::OutOfRange("record arena full");
   }
-  const std::uint64_t device = method_->DeviceOf(*bucket);
+  const std::uint64_t device = device_map_.DeviceOf(*bucket);
   const auto index = static_cast<RecordIndex>(records_.size());
   records_.push_back(std::move(record));
   devices_[device].AddRecord(LinearIndex(spec_, *bucket), index);
@@ -66,9 +61,8 @@ Result<std::uint64_t> ParallelFile::Delete(const ValueQuery& query) {
   std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t,
                                                  RecordIndex>>> victims;
   for (std::uint64_t d = 0; d < spec_.num_devices(); ++d) {
-    method_->ForEachQualifiedBucketOnDevice(
-        *hashed, d, [&](const BucketId& bucket) {
-          const std::uint64_t linear = LinearIndex(spec_, bucket);
+    device_map_.ForEachQualifiedLinearOnDevice(
+        *hashed, d, [&](std::uint64_t linear) {
           const std::vector<RecordIndex>* bucket_records =
               devices_[d].Records(linear);
           if (bucket_records == nullptr) return true;
@@ -101,6 +95,10 @@ Result<std::uint64_t> ParallelFile::Update(const ValueQuery& query,
   return *removed;
 }
 
+Result<QueryResult> ParallelFile::Execute(const ValueQuery& query) const {
+  return Execute(query, nullptr);
+}
+
 Result<QueryResult> ParallelFile::Execute(const ValueQuery& query,
                                           ThreadPool* pool) const {
   auto hashed = hash_.HashQuery(spec_, query);
@@ -122,11 +120,11 @@ Result<QueryResult> ParallelFile::Execute(const ValueQuery& query,
   auto run_device = [&](std::uint64_t d) {
     const auto device_start = std::chrono::steady_clock::now();
     DeviceShare& share = shares[d];
-    method_->ForEachQualifiedBucketOnDevice(
-        *hashed, d, [&](const BucketId& bucket) {
+    device_map_.ForEachQualifiedLinearOnDevice(
+        *hashed, d, [&](std::uint64_t linear) {
           ++stats.qualified_per_device[d];
           const std::vector<RecordIndex>* bucket_records =
-              devices_[d].Records(LinearIndex(spec_, bucket));
+              devices_[d].Records(linear);
           if (bucket_records == nullptr) return true;
           for (RecordIndex idx : *bucket_records) {
             ++share.examined;
@@ -171,11 +169,43 @@ Result<QueryResult> ParallelFile::Execute(const ValueQuery& query,
   return result;
 }
 
+void ParallelFile::ScanBucket(
+    std::uint64_t device, std::uint64_t linear_bucket,
+    const std::function<bool(const Record&)>& fn) const {
+  const std::vector<RecordIndex>* bucket_records =
+      devices_[device].Records(linear_bucket);
+  if (bucket_records == nullptr) return;
+  for (RecordIndex idx : *bucket_records) {
+    if (!fn(records_[idx])) return;
+  }
+}
+
 std::vector<std::uint64_t> ParallelFile::RecordCountsPerDevice() const {
   std::vector<std::uint64_t> out;
   out.reserve(devices_.size());
   for (const Device& d : devices_) out.push_back(d.num_records());
   return out;
+}
+
+void ParallelFile::SaveParams(std::ostream& out) const {
+  out << "devices " << num_devices() << '\n';
+  out << "distribution ";
+  EncodeLengthPrefixed(out, distribution_spec_);
+  out << '\n';
+  out << "seed " << hash_seed_ << '\n';
+  const Schema& file_schema = schema();
+  out << "fields " << file_schema.num_fields() << '\n';
+  for (unsigned i = 0; i < file_schema.num_fields(); ++i) {
+    const FieldDecl& f = file_schema.field(i);
+    out << "field ";
+    EncodeLengthPrefixed(out, f.name);
+    out << ' ' << ValueTypeTag(f.type) << ' ' << f.directory_size << '\n';
+  }
+}
+
+void ParallelFile::ForEachLiveRecord(
+    const std::function<void(const Record&)>& fn) const {
+  ForEachRecord(fn);
 }
 
 }  // namespace fxdist

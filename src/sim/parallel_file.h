@@ -3,7 +3,9 @@
 // and partial match execution with per-device inverse mapping.
 //
 // This is the "two stage parallel processing" model of the paper's §1 with
-// the distribution stage pluggable (FX / Modulo / GDM / custom).
+// the distribution stage pluggable (FX / Modulo / GDM / custom).  It is
+// the "flat" StorageBackend: each device keeps its buckets as in-memory
+// record-index vectors.
 
 #ifndef FXDIST_SIM_PARALLEL_FILE_H_
 #define FXDIST_SIM_PARALLEL_FILE_H_
@@ -13,47 +15,18 @@
 #include <string>
 #include <vector>
 
+#include "core/device_map.h"
 #include "core/distribution.h"
 #include "hashing/multikey_hash.h"
 #include "sim/device.h"
+#include "sim/storage_backend.h"
 #include "sim/timing.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace fxdist {
 
-/// Statistics of one executed query.
-struct QueryStats {
-  /// Qualified buckets allocated to each device (the paper's r_i(q)).
-  std::vector<std::uint64_t> qualified_per_device;
-  std::uint64_t total_qualified = 0;
-  std::uint64_t largest_response = 0;  ///< max_i r_i(q)
-  std::uint64_t optimal_bound = 0;     ///< ceil(total / M)
-  bool strict_optimal = false;
-  std::uint64_t records_examined = 0;
-  std::uint64_t records_matched = 0;
-  QueryTiming disk_timing;
-  /// Measured wall-clock of the per-device phase (ms).
-  double wall_ms = 0.0;
-  /// Measured wall-clock of each device's own share (ms).  max() is the
-  /// critical path — the time an M-core deployment would need; the sum is
-  /// the serial cost.  Meaningful on any host core count.
-  std::vector<double> device_wall_ms;
-};
-
-/// Matched records plus execution statistics.
-struct QueryResult {
-  std::vector<Record> records;
-  QueryStats stats;
-};
-
-/// True iff `record` satisfies every specified field of `query` by value
-/// equality (the filter applied after bucket-level candidates are
-/// fetched).  Shared by ParallelFile and the batch QueryEngine so both
-/// paths match bit-identically.
-bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record);
-
-class ParallelFile {
+class ParallelFile : public StorageBackend {
  public:
   /// `distribution` is a registry spec string ("fx-iu2", "modulo",
   /// "gdm1", ...); `seed` selects the hash family.
@@ -63,26 +36,27 @@ class ParallelFile {
                                      std::uint64_t seed = 0);
 
   /// Hashes and stores one record.
-  Status Insert(Record record);
+  Status Insert(Record record) override;
 
   /// Executes an application-level partial match query: wildcards are
   /// std::nullopt.  Specified fields are matched by *value equality* after
   /// the bucket-level candidates are fetched (hash collisions are
   /// filtered out).
-  ///
+  Result<QueryResult> Execute(const ValueQuery& query) const override;
+
   /// With a `pool`, each device's inverse mapping and record filtering
   /// runs as its own task — the real-concurrency counterpart of the
   /// modeled disk_timing, with the measured elapsed time in
   /// stats.wall_ms.  Devices touch disjoint state, so this is safe by
   /// construction.
   Result<QueryResult> Execute(const ValueQuery& query,
-                              ThreadPool* pool = nullptr) const;
+                              ThreadPool* pool) const;
 
   /// Deletes every record matching the partial match query (same
   /// semantics as Execute's filter).  Returns the number removed.
   /// Storage for deleted records is reclaimed lazily (arena slots are
   /// tombstoned; device buckets drop the entries immediately).
-  Result<std::uint64_t> Delete(const ValueQuery& query);
+  Result<std::uint64_t> Delete(const ValueQuery& query) override;
 
   /// Replaces every record matching `query` with `replacement`
   /// (delete + insert, not atomic: if the replacement fails validation
@@ -93,27 +67,37 @@ class ParallelFile {
   /// Lifts a value-level query into the hashed domain (specified values
   /// hashed, wildcards kept).  Exposed so batch executors can plan shared
   /// scans over the same hashed signatures Execute uses.
-  Result<PartialMatchQuery> HashQuery(const ValueQuery& query) const {
+  Result<PartialMatchQuery> HashQuery(
+      const ValueQuery& query) const override {
     return hash_.HashQuery(spec_, query);
   }
 
-  const FieldSpec& spec() const { return spec_; }
-  const DistributionMethod& method() const { return *method_; }
+  std::string backend_name() const override { return "flat"; }
+  const FieldSpec& spec() const override { return spec_; }
+  const DistributionMethod& method() const override { return *method_; }
+  const DeviceMap& device_map() const override { return device_map_; }
   const Schema& schema() const { return hash_.schema(); }
-  std::uint64_t num_devices() const { return spec_.num_devices(); }
   /// Live (non-deleted) records.
-  std::uint64_t num_records() const { return live_records_; }
+  std::uint64_t num_records() const override { return live_records_; }
   const Device& device(std::uint64_t i) const { return devices_[i]; }
   /// Record at an arena index handed out by Device buckets.  May be a
   /// tombstone (empty) if the record was deleted.
   const Record& record(RecordIndex idx) const { return records_[idx]; }
 
+  void ScanBucket(
+      std::uint64_t device, std::uint64_t linear_bucket,
+      const std::function<bool(const Record&)>& fn) const override;
+
   /// Per-device record counts — storage balance diagnostics.
-  std::vector<std::uint64_t> RecordCountsPerDevice() const;
+  std::vector<std::uint64_t> RecordCountsPerDevice() const override;
 
   /// Construction parameters, remembered for persistence.
   const std::string& distribution_spec() const { return distribution_spec_; }
   std::uint64_t hash_seed() const { return hash_seed_; }
+
+  void SaveParams(std::ostream& out) const override;
+  void ForEachLiveRecord(
+      const std::function<void(const Record&)>& fn) const override;
 
   /// Visits every live record (persistence / diagnostics).
   template <typename Fn>
@@ -132,6 +116,7 @@ class ParallelFile {
   std::uint64_t hash_seed_ = 0;
   MultiKeyHash hash_;
   std::unique_ptr<DistributionMethod> method_;
+  DeviceMap device_map_;
   std::vector<Device> devices_;
   std::vector<Record> records_;
   std::uint64_t live_records_ = 0;

@@ -4,29 +4,12 @@
 #include <sstream>
 
 #include "hashing/value_codec.h"
+#include "sim/dynamic_parallel_file.h"
+#include "sim/paged_parallel_file.h"
 
 namespace fxdist {
 
 namespace {
-
-const char* TypeTag(ValueType type) {
-  switch (type) {
-    case ValueType::kInt64:
-      return "int64";
-    case ValueType::kDouble:
-      return "double";
-    case ValueType::kString:
-      return "string";
-  }
-  return "?";
-}
-
-Result<ValueType> ParseTypeTag(const std::string& tag) {
-  if (tag == "int64") return ValueType::kInt64;
-  if (tag == "double") return ValueType::kDouble;
-  if (tag == "string") return ValueType::kString;
-  return Status::InvalidArgument("unknown field type: " + tag);
-}
 
 /// Token-stream reader with length-prefixed string support.
 class Reader {
@@ -41,12 +24,6 @@ class Reader {
 
   Result<std::uint64_t> U64() {
     std::uint64_t v = 0;
-    if (!(in_ >> v)) return Status::InvalidArgument("expected integer");
-    return v;
-  }
-
-  Result<std::int64_t> I64() {
-    std::int64_t v = 0;
     if (!(in_ >> v)) return Status::InvalidArgument("expected integer");
     return v;
   }
@@ -69,6 +46,82 @@ class Reader {
   std::istream& in_;
 };
 
+/// Reads "fields <n>" plus n "field <name> <type> <dirsize>" lines.
+Result<Schema> ReadSchema(Reader& reader) {
+  FXDIST_RETURN_NOT_OK(reader.Expect("fields"));
+  auto num_fields = reader.U64();
+  FXDIST_RETURN_NOT_OK(num_fields.status());
+  std::vector<FieldDecl> fields;
+  for (std::uint64_t i = 0; i < *num_fields; ++i) {
+    FXDIST_RETURN_NOT_OK(reader.Expect("field"));
+    auto name = reader.LengthPrefixed();
+    FXDIST_RETURN_NOT_OK(name.status());
+    auto type_tag = reader.Word();
+    FXDIST_RETURN_NOT_OK(type_tag.status());
+    auto type = ParseValueTypeTag(*type_tag);
+    FXDIST_RETURN_NOT_OK(type.status());
+    auto size = reader.U64();
+    FXDIST_RETURN_NOT_OK(size.status());
+    fields.push_back({*std::move(name), *type, *size});
+  }
+  return Schema::Create(std::move(fields));
+}
+
+/// Reads "records <n>" and replays every record into `backend`.
+Status ReplayRecords(Reader& reader, std::istream& in, unsigned arity,
+                     StorageBackend& backend) {
+  FXDIST_RETURN_NOT_OK(reader.Expect("records"));
+  auto count = reader.U64();
+  FXDIST_RETURN_NOT_OK(count.status());
+  for (std::uint64_t r = 0; r < *count; ++r) {
+    Record record;
+    record.reserve(arity);
+    for (unsigned f = 0; f < arity; ++f) {
+      auto value = DecodeValue(in);
+      FXDIST_RETURN_NOT_OK(value.status());
+      record.push_back(*std::move(value));
+    }
+    FXDIST_RETURN_NOT_OK(backend.Insert(std::move(record)));
+  }
+  return Status::OK();
+}
+
+/// Parses the shared flat-body prefix: devices/distribution/seed.
+struct FlatHeader {
+  std::uint64_t devices = 0;
+  std::string distribution;
+  std::uint64_t seed = 0;
+};
+
+Result<FlatHeader> ReadFlatHeader(Reader& reader) {
+  FlatHeader h;
+  FXDIST_RETURN_NOT_OK(reader.Expect("devices"));
+  auto devices = reader.U64();
+  FXDIST_RETURN_NOT_OK(devices.status());
+  h.devices = *devices;
+  FXDIST_RETURN_NOT_OK(reader.Expect("distribution"));
+  auto distribution = reader.LengthPrefixed();
+  FXDIST_RETURN_NOT_OK(distribution.status());
+  h.distribution = *std::move(distribution);
+  FXDIST_RETURN_NOT_OK(reader.Expect("seed"));
+  auto seed = reader.U64();
+  FXDIST_RETURN_NOT_OK(seed.status());
+  h.seed = *seed;
+  return h;
+}
+
+Status WriteRecords(std::ostream& out, const StorageBackend& backend) {
+  out << "records " << backend.num_records() << '\n';
+  backend.ForEachLiveRecord([&](const Record& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i != 0) out << ' ';
+      EncodeValue(out, r[i]);
+    }
+    out << '\n';
+  });
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveParallelFile(const ParallelFile& file, const std::string& path) {
@@ -77,27 +130,8 @@ Status SaveParallelFile(const ParallelFile& file, const std::string& path) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
   out << "fxdist-file v1\n";
-  out << "devices " << file.num_devices() << '\n';
-  out << "distribution ";
-  EncodeLengthPrefixed(out, file.distribution_spec());
-  out << '\n';
-  out << "seed " << file.hash_seed() << '\n';
-  const Schema& schema = file.schema();
-  out << "fields " << schema.num_fields() << '\n';
-  for (unsigned i = 0; i < schema.num_fields(); ++i) {
-    const FieldDecl& f = schema.field(i);
-    out << "field ";
-    EncodeLengthPrefixed(out, f.name);
-    out << ' ' << TypeTag(f.type) << ' ' << f.directory_size << '\n';
-  }
-  out << "records " << file.num_records() << '\n';
-  file.ForEachRecord([&](const Record& r) {
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      if (i != 0) out << ' ';
-      EncodeValue(out, r[i]);
-    }
-    out << '\n';
-  });
+  file.SaveParams(out);
+  FXDIST_RETURN_NOT_OK(WriteRecords(out, file));
   return out ? Status::OK() : Status::Internal("short write to " + path);
 }
 
@@ -109,53 +143,120 @@ Result<ParallelFile> LoadParallelFile(const std::string& path) {
   Reader reader(in);
   FXDIST_RETURN_NOT_OK(reader.Expect("fxdist-file"));
   FXDIST_RETURN_NOT_OK(reader.Expect("v1"));
-  FXDIST_RETURN_NOT_OK(reader.Expect("devices"));
-  auto devices = reader.U64();
-  FXDIST_RETURN_NOT_OK(devices.status());
-  FXDIST_RETURN_NOT_OK(reader.Expect("distribution"));
-  auto distribution = reader.LengthPrefixed();
-  FXDIST_RETURN_NOT_OK(distribution.status());
-  FXDIST_RETURN_NOT_OK(reader.Expect("seed"));
-  auto seed = reader.U64();
-  FXDIST_RETURN_NOT_OK(seed.status());
-  FXDIST_RETURN_NOT_OK(reader.Expect("fields"));
-  auto num_fields = reader.U64();
-  FXDIST_RETURN_NOT_OK(num_fields.status());
-
-  std::vector<FieldDecl> fields;
-  for (std::uint64_t i = 0; i < *num_fields; ++i) {
-    FXDIST_RETURN_NOT_OK(reader.Expect("field"));
-    auto name = reader.LengthPrefixed();
-    FXDIST_RETURN_NOT_OK(name.status());
-    auto type_tag = reader.Word();
-    FXDIST_RETURN_NOT_OK(type_tag.status());
-    auto type = ParseTypeTag(*type_tag);
-    FXDIST_RETURN_NOT_OK(type.status());
-    auto size = reader.U64();
-    FXDIST_RETURN_NOT_OK(size.status());
-    fields.push_back({*std::move(name), *type, *size});
-  }
-  auto schema = Schema::Create(std::move(fields));
+  auto header = ReadFlatHeader(reader);
+  FXDIST_RETURN_NOT_OK(header.status());
+  auto schema = ReadSchema(reader);
   FXDIST_RETURN_NOT_OK(schema.status());
-
-  auto file =
-      ParallelFile::Create(*schema, *devices, *distribution, *seed);
+  auto file = ParallelFile::Create(*schema, header->devices,
+                                   header->distribution, header->seed);
   FXDIST_RETURN_NOT_OK(file.status());
-
-  FXDIST_RETURN_NOT_OK(reader.Expect("records"));
-  auto count = reader.U64();
-  FXDIST_RETURN_NOT_OK(count.status());
-  for (std::uint64_t r = 0; r < *count; ++r) {
-    Record record;
-    record.reserve(schema->num_fields());
-    for (unsigned f = 0; f < schema->num_fields(); ++f) {
-      auto value = DecodeValue(in);
-      FXDIST_RETURN_NOT_OK(value.status());
-      record.push_back(*std::move(value));
-    }
-    FXDIST_RETURN_NOT_OK(file->Insert(std::move(record)));
-  }
+  FXDIST_RETURN_NOT_OK(
+      ReplayRecords(reader, in, schema->num_fields(), *file));
   return file;
+}
+
+Status SaveBackend(const StorageBackend& backend, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "fxdist-backend v2\n";
+  out << "kind " << backend.backend_name() << '\n';
+  backend.SaveParams(out);
+  FXDIST_RETURN_NOT_OK(WriteRecords(out, backend));
+  return out ? Status::OK() : Status::Internal("short write to " + path);
+}
+
+Result<std::unique_ptr<StorageBackend>> LoadBackend(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  Reader reader(in);
+  FXDIST_RETURN_NOT_OK(reader.Expect("fxdist-backend"));
+  FXDIST_RETURN_NOT_OK(reader.Expect("v2"));
+  FXDIST_RETURN_NOT_OK(reader.Expect("kind"));
+  auto kind = reader.Word();
+  FXDIST_RETURN_NOT_OK(kind.status());
+
+  if (*kind == "flat") {
+    auto header = ReadFlatHeader(reader);
+    FXDIST_RETURN_NOT_OK(header.status());
+    auto schema = ReadSchema(reader);
+    FXDIST_RETURN_NOT_OK(schema.status());
+    auto file = ParallelFile::Create(*schema, header->devices,
+                                     header->distribution, header->seed);
+    FXDIST_RETURN_NOT_OK(file.status());
+    auto backend = std::make_unique<ParallelFile>(*std::move(file));
+    FXDIST_RETURN_NOT_OK(
+        ReplayRecords(reader, in, schema->num_fields(), *backend));
+    return std::unique_ptr<StorageBackend>(std::move(backend));
+  }
+
+  if (*kind == "paged") {
+    auto header = ReadFlatHeader(reader);
+    FXDIST_RETURN_NOT_OK(header.status());
+    FXDIST_RETURN_NOT_OK(reader.Expect("pagesize"));
+    auto pagesize = reader.U64();
+    FXDIST_RETURN_NOT_OK(pagesize.status());
+    auto schema = ReadSchema(reader);
+    FXDIST_RETURN_NOT_OK(schema.status());
+    auto file = PagedParallelFile::Create(
+        *schema, header->devices, header->distribution,
+        static_cast<std::size_t>(*pagesize), header->seed);
+    FXDIST_RETURN_NOT_OK(file.status());
+    auto backend = std::make_unique<PagedParallelFile>(*std::move(file));
+    FXDIST_RETURN_NOT_OK(
+        ReplayRecords(reader, in, schema->num_fields(), *backend));
+    return std::unique_ptr<StorageBackend>(std::move(backend));
+  }
+
+  if (*kind == "dynamic") {
+    FXDIST_RETURN_NOT_OK(reader.Expect("devices"));
+    auto devices = reader.U64();
+    FXDIST_RETURN_NOT_OK(devices.status());
+    FXDIST_RETURN_NOT_OK(reader.Expect("family"));
+    auto family_tag = reader.Word();
+    FXDIST_RETURN_NOT_OK(family_tag.status());
+    PlanFamily family;
+    if (*family_tag == "iu1") {
+      family = PlanFamily::kIU1;
+    } else if (*family_tag == "iu2") {
+      family = PlanFamily::kIU2;
+    } else {
+      return Status::InvalidArgument("unknown plan family: " + *family_tag);
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("pagecap"));
+    auto pagecap = reader.U64();
+    FXDIST_RETURN_NOT_OK(pagecap.status());
+    FXDIST_RETURN_NOT_OK(reader.Expect("seed"));
+    auto seed = reader.U64();
+    FXDIST_RETURN_NOT_OK(seed.status());
+    FXDIST_RETURN_NOT_OK(reader.Expect("fields"));
+    auto num_fields = reader.U64();
+    FXDIST_RETURN_NOT_OK(num_fields.status());
+    std::vector<DynamicFieldDecl> fields;
+    for (std::uint64_t i = 0; i < *num_fields; ++i) {
+      FXDIST_RETURN_NOT_OK(reader.Expect("field"));
+      auto name = reader.LengthPrefixed();
+      FXDIST_RETURN_NOT_OK(name.status());
+      auto type_tag = reader.Word();
+      FXDIST_RETURN_NOT_OK(type_tag.status());
+      auto type = ParseValueTypeTag(*type_tag);
+      FXDIST_RETURN_NOT_OK(type.status());
+      fields.push_back({*std::move(name), *type});
+    }
+    const auto arity = static_cast<unsigned>(fields.size());
+    auto file = DynamicParallelFile::Create(
+        std::move(fields), *devices, static_cast<std::size_t>(*pagecap),
+        family, *seed);
+    FXDIST_RETURN_NOT_OK(file.status());
+    auto backend = std::make_unique<DynamicParallelFile>(*std::move(file));
+    FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, arity, *backend));
+    return std::unique_ptr<StorageBackend>(std::move(backend));
+  }
+
+  return Status::InvalidArgument("unknown backend kind: " + *kind);
 }
 
 }  // namespace fxdist

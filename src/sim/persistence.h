@@ -1,14 +1,13 @@
-// ParallelFile persistence: a simple versioned, self-describing text
-// format.
+// Backend persistence: a simple versioned, self-describing text format.
 //
-// The file records the construction parameters (device count,
-// distribution spec string, hash seed) and the schema, followed by every
-// live record.  Loading replays the inserts; because all hashing and
-// placement is deterministic in the seed, the reloaded file is placed
-// identically to the saved one.
+// A saved file records the construction parameters (device count,
+// distribution/plan, hash seed, kind-specific extras) and the schema,
+// followed by every live record.  Loading replays the inserts; because
+// all hashing and placement is deterministic in the seed, the reloaded
+// backend is placed identically to the saved one (the dynamic backend's
+// directory growth replays identically too).
 //
-// Format (token stream; strings are length-prefixed so they may contain
-// any byte):
+// v1 (ParallelFile only; kept for compatibility):
 //
 //   fxdist-file v1
 //   devices <M>
@@ -18,22 +17,44 @@
 //   field <len>:<name> <int64|double|string> <directory-size>   (x n)
 //   records <count>
 //   i:<value> | d:<hex-bits> | s:<len>:<bytes>                  (x n per record)
+//
+// v2 (any StorageBackend):
+//
+//   fxdist-backend v2
+//   kind <flat|paged|dynamic>
+//   <kind-specific params written by StorageBackend::SaveParams>
+//   records <count>
+//   <values as in v1>
+//
+// Kind-specific params: "flat" matches the v1 body; "paged" adds a
+// "pagesize <P>" line after the seed; "dynamic" writes
+// family/pagecap/seed and field declarations without directory sizes
+// (its directories grow from the replay).
 
 #ifndef FXDIST_SIM_PERSISTENCE_H_
 #define FXDIST_SIM_PERSISTENCE_H_
 
+#include <memory>
 #include <string>
 
 #include "sim/parallel_file.h"
+#include "sim/storage_backend.h"
 #include "util/status.h"
 
 namespace fxdist {
 
-/// Writes `file` to `path`, overwriting.
+/// Writes `file` to `path` in the v1 format, overwriting.
 Status SaveParallelFile(const ParallelFile& file, const std::string& path);
 
 /// Reconstructs a ParallelFile saved by SaveParallelFile.
 Result<ParallelFile> LoadParallelFile(const std::string& path);
+
+/// Writes any backend to `path` in the v2 format, overwriting.
+Status SaveBackend(const StorageBackend& backend, const std::string& path);
+
+/// Reconstructs a backend saved by SaveBackend, dispatching on its kind
+/// token.
+Result<std::unique_ptr<StorageBackend>> LoadBackend(const std::string& path);
 
 }  // namespace fxdist
 

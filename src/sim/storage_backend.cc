@@ -1,0 +1,12 @@
+#include "sim/storage_backend.h"
+
+namespace fxdist {
+
+bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record) {
+  for (std::size_t f = 0; f < query.size(); ++f) {
+    if (query[f].has_value() && record[f] != *query[f]) return false;
+  }
+  return true;
+}
+
+}  // namespace fxdist

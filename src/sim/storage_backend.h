@@ -1,0 +1,130 @@
+// StorageBackend: the storage plane of the two-stage model.
+//
+// The paper separates *distribution* (which device owns a bucket) from
+// *construction* (how a device stores its share).  The placement plane is
+// core/device_map.h; this interface is the storage plane: every file
+// shape — flat in-memory buckets (ParallelFile), fixed-capacity pages
+// with overflow chains (PagedParallelFile), growing extendible
+// directories (DynamicParallelFile) — implements the same contract, so
+// the batch QueryEngine, persistence, and the tools drive any of them
+// interchangeably.  A future sharded or replicated store is a fourth
+// implementation, not a fourth fork.
+//
+// Contract notes:
+//  * ScanBucket visits a bucket's records in the backend's own stable
+//    scan order; Execute and the engine's shared scans both go through
+//    it, which is what makes batched results bit-identical to serial.
+//  * Backends are externally synchronized: readers (Execute/ScanBucket)
+//    are const and may run concurrently, but no call may overlap a
+//    mutation (Insert/Delete).
+//  * SaveParams/ForEachLiveRecord are the persistence hooks: the header
+//    tokens plus a deterministic insert replay reconstruct the backend
+//    exactly (see sim/persistence.h SaveBackend/LoadBackend).
+
+#ifndef FXDIST_SIM_STORAGE_BACKEND_H_
+#define FXDIST_SIM_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/device_map.h"
+#include "core/distribution.h"
+#include "hashing/multikey_hash.h"
+#include "sim/timing.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// Statistics of one executed query.
+struct QueryStats {
+  /// Qualified buckets allocated to each device (the paper's r_i(q)).
+  std::vector<std::uint64_t> qualified_per_device;
+  std::uint64_t total_qualified = 0;
+  std::uint64_t largest_response = 0;  ///< max_i r_i(q)
+  std::uint64_t optimal_bound = 0;     ///< ceil(total / M)
+  bool strict_optimal = false;
+  std::uint64_t records_examined = 0;
+  std::uint64_t records_matched = 0;
+  QueryTiming disk_timing;
+  /// Measured wall-clock of the per-device phase (ms).
+  double wall_ms = 0.0;
+  /// Measured wall-clock of each device's own share (ms).  max() is the
+  /// critical path — the time an M-core deployment would need; the sum is
+  /// the serial cost.  Meaningful on any host core count.
+  std::vector<double> device_wall_ms;
+};
+
+/// Matched records plus execution statistics.
+struct QueryResult {
+  std::vector<Record> records;
+  QueryStats stats;
+};
+
+/// True iff `record` satisfies every specified field of `query` by value
+/// equality (the filter applied after bucket-level candidates are
+/// fetched).  Shared by every backend and the batch QueryEngine so all
+/// paths match bit-identically.
+bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record);
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Stable kind tag: "flat", "paged", or "dynamic".  Doubles as the
+  /// persistence format's kind token.
+  virtual std::string backend_name() const = 0;
+
+  /// Current bucket-space shape (the dynamic backend's changes as its
+  /// directories grow).
+  virtual const FieldSpec& spec() const = 0;
+  virtual const DistributionMethod& method() const = 0;
+  /// Cached placement plane over method() — rebuilt by backends whose
+  /// mapping changes (dynamic growth).
+  virtual const DeviceMap& device_map() const = 0;
+
+  std::uint64_t num_devices() const { return spec().num_devices(); }
+  /// Live (non-deleted) records.
+  virtual std::uint64_t num_records() const = 0;
+
+  /// Hashes and stores one record.
+  virtual Status Insert(Record record) = 0;
+
+  /// Deletes every record matching the partial match query (Execute's
+  /// filter semantics); returns the number removed.  Backends without
+  /// delete support return Unimplemented.
+  virtual Result<std::uint64_t> Delete(const ValueQuery& query) = 0;
+
+  /// Lifts a value-level query into the hashed domain (specified values
+  /// hashed, wildcards kept) — the signatures batch executors plan
+  /// shared scans over.
+  virtual Result<PartialMatchQuery> HashQuery(
+      const ValueQuery& query) const = 0;
+
+  /// Visits every record of bucket `linear_bucket` on `device` in the
+  /// backend's scan order.  `fn` returning false stops early.
+  virtual void ScanBucket(
+      std::uint64_t device, std::uint64_t linear_bucket,
+      const std::function<bool(const Record&)>& fn) const = 0;
+
+  /// Executes one partial match query serially (wildcards are
+  /// std::nullopt), with full QueryStats accounting.
+  virtual Result<QueryResult> Execute(const ValueQuery& query) const = 0;
+
+  /// Per-device record counts — storage balance diagnostics.
+  virtual std::vector<std::uint64_t> RecordCountsPerDevice() const = 0;
+
+  // -- Persistence hooks -----------------------------------------------
+  /// Writes the construction parameters as header tokens (device count,
+  /// method/seed, field declarations, kind-specific extras).
+  virtual void SaveParams(std::ostream& out) const = 0;
+  /// Visits every live record (replayed by LoadBackend in this order).
+  virtual void ForEachLiveRecord(
+      const std::function<void(const Record&)>& fn) const = 0;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_SIM_STORAGE_BACKEND_H_

@@ -1,0 +1,232 @@
+#include "core/device_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/optimality.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec TestSpec() { return FieldSpec::Create({4, 16, 8}, 8).value(); }
+
+std::vector<std::unique_ptr<DistributionMethod>> AllMethods(
+    const FieldSpec& spec) {
+  std::vector<std::unique_ptr<DistributionMethod>> methods;
+  for (const std::string& name : KnownDistributionNames()) {
+    auto method = MakeDistribution(spec, name);
+    if (method.ok()) methods.push_back(*std::move(method));
+  }
+  return methods;
+}
+
+// Every query class over the space, with both zero and nonzero specified
+// values: all 2^n unspecified masks crossed with a few base buckets.
+std::vector<PartialMatchQuery> AllQueryShapes(const FieldSpec& spec) {
+  const std::vector<BucketId> bases = {
+      BucketId{0, 0, 0}, BucketId{1, 5, 3}, BucketId{3, 15, 7}};
+  std::vector<PartialMatchQuery> queries;
+  for (std::uint64_t mask = 0;
+       mask < (std::uint64_t{1} << spec.num_fields()); ++mask) {
+    for (const BucketId& base : bases) {
+      queries.push_back(
+          PartialMatchQuery::FromUnspecifiedMask(spec, mask, base).value());
+    }
+  }
+  return queries;
+}
+
+TEST(DeviceMapTest, TableAgreesWithVirtualDeviceOf) {
+  const FieldSpec spec = TestSpec();
+  const auto methods = AllMethods(spec);
+  ASSERT_GE(methods.size(), 5u);
+  for (const auto& method : methods) {
+    const DeviceMap map(*method);
+    ASSERT_TRUE(map.precomputed()) << method->name();
+    ASSERT_EQ(map.table().size(), spec.TotalBuckets());
+    ForEachBucket(spec, [&](const BucketId& bucket) {
+      const std::uint64_t expect = method->DeviceOf(bucket);
+      const std::uint64_t linear = LinearIndex(spec, bucket);
+      EXPECT_EQ(map.DeviceOf(bucket), expect) << method->name();
+      EXPECT_EQ(map.DeviceOfLinear(linear), expect) << method->name();
+      EXPECT_EQ(map.table()[linear], expect) << method->name();
+      return true;
+    });
+  }
+}
+
+TEST(DeviceMapTest, DeviceOfManyMatchesSingles) {
+  const FieldSpec spec = TestSpec();
+  for (const auto& method : AllMethods(spec)) {
+    const DeviceMap map(*method);
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t linear = 0; linear < spec.TotalBuckets();
+         linear += 3) {
+      ids.push_back(linear);
+    }
+    std::vector<std::uint32_t> out(ids.size());
+    map.DeviceOfMany(ids.data(), ids.size(), out.data());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(out[i], map.DeviceOfLinear(ids[i])) << method->name();
+    }
+  }
+}
+
+TEST(DeviceMapTest, BucketsOnDevicePartitionTheSpace) {
+  const FieldSpec spec = TestSpec();
+  for (const auto& method : AllMethods(spec)) {
+    const DeviceMap map(*method);
+    std::vector<std::uint64_t> seen;
+    for (std::uint64_t d = 0; d < spec.num_devices(); ++d) {
+      const auto& owned = map.BucketsOnDevice(d);
+      EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end()))
+          << method->name();
+      for (const std::uint64_t linear : owned) {
+        EXPECT_EQ(map.DeviceOfLinear(linear), d) << method->name();
+      }
+      seen.insert(seen.end(), owned.begin(), owned.end());
+    }
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), spec.TotalBuckets()) << method->name();
+    for (std::uint64_t linear = 0; linear < seen.size(); ++linear) {
+      ASSERT_EQ(seen[linear], linear) << method->name();
+    }
+  }
+}
+
+TEST(DeviceMapTest, QualifiedEnumerationMatchesExplicitFilter) {
+  // Content AND order: whatever strategy the map picks per (query,
+  // device), the visited buckets must equal the explicit odometer sweep
+  // filtered by the virtual DeviceOf, in the same ascending-linear order.
+  const FieldSpec spec = TestSpec();
+  const auto queries = AllQueryShapes(spec);
+  for (const auto& method : AllMethods(spec)) {
+    const DeviceMap map(*method);
+    for (const PartialMatchQuery& query : queries) {
+      for (std::uint64_t d = 0; d < spec.num_devices(); ++d) {
+        std::vector<std::uint64_t> expect;
+        ForEachQualifiedBucket(spec, query, [&](const BucketId& bucket) {
+          if (method->DeviceOf(bucket) == d) {
+            expect.push_back(LinearIndex(spec, bucket));
+          }
+          return true;
+        });
+        std::vector<std::uint64_t> via_linear;
+        map.ForEachQualifiedLinearOnDevice(
+            query, d, [&](std::uint64_t linear) {
+              via_linear.push_back(linear);
+              return true;
+            });
+        EXPECT_EQ(via_linear, expect)
+            << method->name() << " " << query.ToString() << " device "
+            << d;
+        std::vector<std::uint64_t> via_bucket;
+        map.ForEachQualifiedBucketOnDevice(
+            query, d, [&](const BucketId& bucket) {
+              via_bucket.push_back(LinearIndex(spec, bucket));
+              return true;
+            });
+        EXPECT_EQ(via_bucket, expect)
+            << method->name() << " " << query.ToString() << " device "
+            << d;
+      }
+    }
+  }
+}
+
+TEST(DeviceMapTest, ResponseCountsMatchAnalysisEnumeration) {
+  const FieldSpec spec = TestSpec();
+  const auto queries = AllQueryShapes(spec);
+  for (const auto& method : AllMethods(spec)) {
+    const DeviceMap map(*method);
+    for (const PartialMatchQuery& query : queries) {
+      EXPECT_EQ(map.ResponseCounts(query),
+                ComputeResponseVector(*method, query).per_device)
+          << method->name() << " " << query.ToString();
+    }
+  }
+}
+
+TEST(DeviceMapTest, FallbackModeAgreesWithPrecomputed) {
+  // max_entries = 0 forces fallback: every operation must still produce
+  // the precomputed map's answers through the virtual path.
+  const FieldSpec spec = TestSpec();
+  const auto queries = AllQueryShapes(spec);
+  for (const auto& method : AllMethods(spec)) {
+    const DeviceMap map(*method);
+    const DeviceMap fallback(*method, 0);
+    ASSERT_FALSE(fallback.precomputed()) << method->name();
+    ASSERT_TRUE(fallback.table().empty());
+    for (std::uint64_t linear = 0; linear < spec.TotalBuckets();
+         linear += 7) {
+      EXPECT_EQ(fallback.DeviceOfLinear(linear),
+                map.DeviceOfLinear(linear))
+          << method->name();
+    }
+    std::vector<std::uint64_t> ids = {0, 5, 100, 511};
+    std::vector<std::uint32_t> a(ids.size()), b(ids.size());
+    map.DeviceOfMany(ids.data(), ids.size(), a.data());
+    fallback.DeviceOfMany(ids.data(), ids.size(), b.data());
+    EXPECT_EQ(a, b) << method->name();
+    for (const PartialMatchQuery& query : queries) {
+      EXPECT_EQ(fallback.ResponseCounts(query), map.ResponseCounts(query))
+          << method->name() << " " << query.ToString();
+      for (std::uint64_t d = 0; d < spec.num_devices(); ++d) {
+        std::vector<std::uint64_t> expect;
+        map.ForEachQualifiedLinearOnDevice(
+            query, d, [&](std::uint64_t linear) {
+              expect.push_back(linear);
+              return true;
+            });
+        std::vector<std::uint64_t> got;
+        fallback.ForEachQualifiedLinearOnDevice(
+            query, d, [&](std::uint64_t linear) {
+              got.push_back(linear);
+              return true;
+            });
+        EXPECT_EQ(got, expect)
+            << method->name() << " " << query.ToString() << " device "
+            << d;
+      }
+    }
+  }
+}
+
+TEST(DeviceMapTest, EnumerationStopsEarly) {
+  const FieldSpec spec = TestSpec();
+  auto method = MakeDistribution(spec, "fx-iu2").value();
+  const DeviceMap map(*method);
+  const PartialMatchQuery whole(spec.num_fields());
+  int visits = 0;
+  map.ForEachQualifiedLinearOnDevice(whole, 0, [&](std::uint64_t) {
+    ++visits;
+    return visits < 3;
+  });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(DeviceMapTest, OptimalityChecksAgreeThroughMap) {
+  // The DeviceMap overloads of the optimality sweeps are the same
+  // decisions as the method forms.
+  const FieldSpec spec = TestSpec();
+  for (const auto& method : AllMethods(spec)) {
+    const DeviceMap map(*method);
+    for (unsigned k = 0; k <= spec.num_fields(); ++k) {
+      EXPECT_EQ(CheckKOptimal(map, k).optimal,
+                CheckKOptimal(*method, k).optimal)
+          << method->name() << " k=" << k;
+    }
+    EXPECT_EQ(CheckPerfectOptimal(map).optimal,
+              CheckPerfectOptimal(*method).optimal)
+        << method->name();
+  }
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -87,5 +87,34 @@ TEST(RegistryTest, KnownNamesAllConstruct) {
   }
 }
 
+TEST(RegistryTest, KnownNamesConstructAcrossSpecShapes) {
+  // Every registered spec string must build on mixed field sizes and on
+  // both sides of the F-vs-M boundary, with a usable sane name().
+  const std::vector<FieldSpec> specs = {
+      FieldSpec::Create({4, 16, 8}, 8).value(),     // mixed sizes
+      FieldSpec::Create({2, 2, 2}, 8).value(),      // F < M everywhere
+      FieldSpec::Create({8, 8}, 8).value(),         // F = M
+      FieldSpec::Create({4, 4, 4, 4}, 4).value(),   // F = M, more fields
+      FieldSpec::Uniform(5, 32, 16).value(),        // F > M
+  };
+  for (const FieldSpec& spec : specs) {
+    for (const std::string& name : KnownDistributionNames()) {
+      auto m = MakeDistribution(spec, name);
+      ASSERT_TRUE(m.ok()) << name << " on " << spec.ToString() << ": "
+                          << m.status().ToString();
+      EXPECT_FALSE((*m)->name().empty()) << name;
+      // name() is stable: a second instance from the same spec string
+      // reports the same name (it feeds persistence headers).
+      auto again = MakeDistribution(spec, name);
+      ASSERT_TRUE(again.ok()) << name;
+      EXPECT_EQ((*m)->name(), (*again)->name()) << name;
+      // And every bucket lands on a real device.
+      EXPECT_LT((*m)->DeviceOf(BucketId(spec.num_fields(), 0)),
+                spec.num_devices())
+          << name << " on " << spec.ToString();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fxdist

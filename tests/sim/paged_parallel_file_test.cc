@@ -64,7 +64,7 @@ TEST(PagedParallelFileTest, PageAccountingReflectsChains) {
     ASSERT_TRUE(file.Insert({std::int64_t{7}}).ok());  // same hash bucket
   }
   ValueQuery q{FieldValue{std::int64_t{7}}};
-  auto result = file.Execute(q).value();
+  auto result = file.ExecutePaged(q).value();
   EXPECT_EQ(result.stats.records_matched, 20u);
   EXPECT_EQ(result.stats.total_pages_read, 5u);  // ceil(20/4)
 }
@@ -79,8 +79,8 @@ TEST(PagedParallelFileTest, LargestPagesTracksDeclusteringQuality) {
     ASSERT_TRUE(md.Insert(r).ok());
   }
   // Whole-file query: pages gate the parallel scan.
-  auto fx_result = fx.Execute(ValueQuery(3)).value();
-  auto md_result = md.Execute(ValueQuery(3)).value();
+  auto fx_result = fx.ExecutePaged(ValueQuery(3)).value();
+  auto md_result = md.ExecutePaged(ValueQuery(3)).value();
   EXPECT_EQ(fx_result.stats.records_matched, 4000u);
   EXPECT_LE(fx_result.stats.largest_pages_read,
             md_result.stats.largest_pages_read);

@@ -1,0 +1,172 @@
+// StorageBackend contract tests: the three backends behind one base
+// pointer, and the v2 persistence round-trip (save any backend, load it
+// back by kind token, get bit-identical query results).
+
+#include "sim/storage_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/dynamic_parallel_file.h"
+#include "sim/paged_parallel_file.h"
+#include "sim/parallel_file.h"
+#include "sim/persistence.h"
+#include "workload/query_gen.h"
+#include "workload/record_gen.h"
+
+namespace fxdist {
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+
+Schema TestSchema() {
+  return Schema::Create({
+                            {"id", ValueType::kInt64, 8},
+                            {"tag", ValueType::kString, 4},
+                            {"score", ValueType::kInt64, 4},
+                        })
+      .value();
+}
+
+std::vector<Record> MakeRecords(std::size_t count) {
+  auto gen = RecordGenerator::Uniform(TestSchema(), kSeed).value();
+  return gen.Take(count);
+}
+
+std::vector<ValueQuery> MakeQueries(const std::vector<Record>& records,
+                                    std::size_t count) {
+  auto gen = QueryGenerator::Create(&records, 0.5, kSeed + 1).value();
+  std::vector<ValueQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) queries.push_back(gen.Next());
+  return queries;
+}
+
+void ExpectSameExecution(const StorageBackend& a, const StorageBackend& b,
+                         const std::vector<ValueQuery>& queries,
+                         const std::string& context) {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto ra = a.Execute(queries[i]);
+    auto rb = b.Execute(queries[i]);
+    ASSERT_TRUE(ra.ok()) << context << " query " << i;
+    ASSERT_TRUE(rb.ok()) << context << " query " << i;
+    EXPECT_EQ(ra->records, rb->records) << context << " query " << i;
+    EXPECT_EQ(ra->stats.records_matched, rb->stats.records_matched)
+        << context << " query " << i;
+    EXPECT_EQ(ra->stats.qualified_per_device,
+              rb->stats.qualified_per_device)
+        << context << " query " << i;
+    EXPECT_EQ(ra->stats.largest_response, rb->stats.largest_response)
+        << context << " query " << i;
+  }
+}
+
+// One factory per backend kind so the round-trip test is uniform.
+std::unique_ptr<StorageBackend> MakeBackend(const std::string& kind,
+                                            const std::vector<Record>& data) {
+  std::unique_ptr<StorageBackend> backend;
+  if (kind == "flat") {
+    backend = std::make_unique<ParallelFile>(
+        ParallelFile::Create(TestSchema(), 8, "fx-iu2", kSeed).value());
+  } else if (kind == "paged") {
+    backend = std::make_unique<PagedParallelFile>(
+        PagedParallelFile::Create(TestSchema(), 8, "fx-iu2", 3, kSeed)
+            .value());
+  } else {
+    backend = std::make_unique<DynamicParallelFile>(
+        DynamicParallelFile::Create({{"id", ValueType::kInt64},
+                                     {"tag", ValueType::kString},
+                                     {"score", ValueType::kInt64}},
+                                    8, 4, PlanFamily::kIU2, kSeed)
+            .value());
+  }
+  for (const Record& r : data) {
+    EXPECT_TRUE(backend->Insert(r).ok());
+  }
+  return backend;
+}
+
+class StorageBackendTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(StorageBackendTest, NameMatchesKind) {
+  const auto backend = MakeBackend(GetParam(), {});
+  EXPECT_EQ(backend->backend_name(), GetParam());
+}
+
+TEST_P(StorageBackendTest, SaveLoadRoundTripIsBitIdentical) {
+  const auto data = MakeRecords(300);
+  const auto queries = MakeQueries(data, 40);
+  const auto backend = MakeBackend(GetParam(), data);
+
+  const std::string path =
+      testing::TempDir() + "/backend_" + GetParam() + ".fxdist";
+  ASSERT_TRUE(SaveBackend(*backend, path).ok());
+  auto loaded = LoadBackend(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ((*loaded)->backend_name(), GetParam());
+  EXPECT_EQ((*loaded)->num_records(), backend->num_records());
+  EXPECT_EQ((*loaded)->RecordCountsPerDevice(),
+            backend->RecordCountsPerDevice());
+  ExpectSameExecution(*backend, **loaded, queries, GetParam());
+  std::remove(path.c_str());
+}
+
+TEST_P(StorageBackendTest, ScanBucketCoversEveryMatch) {
+  // Summing ScanBucket visits over every qualified bucket of the
+  // whole-file query must see exactly the live records.
+  const auto data = MakeRecords(200);
+  const auto backend = MakeBackend(GetParam(), data);
+  const ValueQuery whole(3);
+  const PartialMatchQuery hashed = backend->HashQuery(whole).value();
+  std::uint64_t seen = 0;
+  for (std::uint64_t d = 0; d < backend->num_devices(); ++d) {
+    backend->device_map().ForEachQualifiedLinearOnDevice(
+        hashed, d, [&](std::uint64_t linear) {
+          backend->ScanBucket(d, linear, [&](const Record&) {
+            ++seen;
+            return true;
+          });
+          return true;
+        });
+  }
+  EXPECT_EQ(seen, backend->num_records());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, StorageBackendTest,
+                         testing::Values("flat", "paged", "dynamic"));
+
+TEST(StorageBackendDeleteTest, FlatAndPagedDeleteDynamicRefuses) {
+  const auto data = MakeRecords(120);
+  for (const std::string kind : {"flat", "paged"}) {
+    const auto backend = MakeBackend(kind, data);
+    auto removed = backend->Delete(ValueQuery(3));
+    ASSERT_TRUE(removed.ok()) << kind;
+    EXPECT_EQ(*removed, 120u) << kind;
+    EXPECT_EQ(backend->num_records(), 0u) << kind;
+  }
+  const auto dynamic = MakeBackend("dynamic", data);
+  auto removed = dynamic->Delete(ValueQuery(3));
+  ASSERT_FALSE(removed.ok());
+  EXPECT_EQ(removed.status().code(), StatusCode::kUnimplemented)
+      << removed.status().ToString();
+  EXPECT_EQ(dynamic->num_records(), 120u);
+}
+
+TEST(StorageBackendPersistenceTest, UnknownKindRejected) {
+  const std::string path = testing::TempDir() + "/unknown_kind.fxdist";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("fxdist-backend v2\nkind tape\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadBackend(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -17,6 +17,7 @@
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +31,8 @@
 #include "analysis/report.h"
 #include "core/fx.h"
 #include "core/registry.h"
+#include "sim/dynamic_parallel_file.h"
+#include "sim/paged_parallel_file.h"
 #include "sim/parallel_file.h"
 #include "sim/queueing.h"
 #include "util/bitops.h"
@@ -65,9 +68,11 @@ int Usage() {
          "               --fields ... --devices M [--spec-prob P]\n"
          "  serve-bench  batch engine vs serial baseline + metrics\n"
          "               --fields ... --devices M [--method SPEC]\n"
+         "               [--backend flat|paged|dynamic] [--pagesize P]\n"
          "               [--records N] [--queries N] [--batch B]\n"
          "               [--threads T] [--templates K] [--zipf THETA]\n"
          "               [--spec-prob P] [--domain D] [--seed S]\n"
+         "               [--format text|json]\n"
          "  gen-trace    synthesize a reproducible workload trace\n"
          "               --schema name:type:size,... --out FILE\n"
          "               [--records N] [--queries N] [--spec-prob P]\n"
@@ -402,12 +407,49 @@ int CmdServeBench(const Flags& flags) {
     return 1;
   }
   const auto method_it = flags.find("method");
+  const std::string method_spec =
+      method_it == flags.end() ? "fx-iu2" : method_it->second;
   const std::uint64_t seed = get_u64("seed", 42);
-  auto file = ParallelFile::Create(
-      *schema, std::strtoull(devices_it->second.c_str(), nullptr, 10),
-      method_it == flags.end() ? "fx-iu2" : method_it->second, seed);
-  if (!file.ok()) {
-    std::cerr << file.status().ToString() << "\n";
+  const std::uint64_t num_devices =
+      std::strtoull(devices_it->second.c_str(), nullptr, 10);
+  const auto backend_it = flags.find("backend");
+  const std::string backend_kind =
+      backend_it == flags.end() ? "flat" : backend_it->second;
+  std::unique_ptr<StorageBackend> file;
+  if (backend_kind == "flat") {
+    auto created =
+        ParallelFile::Create(*schema, num_devices, method_spec, seed);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    file = std::make_unique<ParallelFile>(*std::move(created));
+  } else if (backend_kind == "paged") {
+    auto created = PagedParallelFile::Create(
+        *schema, num_devices, method_spec, get_u64("pagesize", 8), seed);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    file = std::make_unique<PagedParallelFile>(*std::move(created));
+  } else if (backend_kind == "dynamic") {
+    // The dynamic backend re-plans its own FX distribution as the
+    // directories grow; --method does not apply.
+    std::vector<DynamicFieldDecl> dyn_fields;
+    for (unsigned i = 0; i < schema->num_fields(); ++i) {
+      dyn_fields.push_back({schema->field(i).name, schema->field(i).type});
+    }
+    auto created = DynamicParallelFile::Create(
+        std::move(dyn_fields), num_devices, get_u64("pagesize", 16),
+        PlanFamily::kIU2, seed);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    file = std::make_unique<DynamicParallelFile>(*std::move(created));
+  } else {
+    std::cerr << "unknown --backend " << backend_kind
+              << " (expected flat, paged, or dynamic)\n";
     return 1;
   }
 
@@ -514,19 +556,40 @@ int CmdServeBench(const Flags& flags) {
     return ms <= 0.0 ? 0.0
                      : static_cast<double>(num_queries) / (ms / 1e3);
   };
-  std::cout << "QueryEngine on " << file->spec().ToString() << " method "
-            << file->method().name() << "\n"
-            << "serial baseline : " << TablePrinter::Cell(qps(serial_ms), 0)
-            << " qps  (" << TablePrinter::Cell(serial_ms, 1) << " ms, "
-            << serial_matched << " matches)\n"
-            << "engine (batched): " << TablePrinter::Cell(qps(engine_ms), 0)
-            << " qps  (" << TablePrinter::Cell(engine_ms, 1) << " ms, "
-            << engine_matched << " matches)\n"
-            << "speedup         : "
-            << TablePrinter::Cell(
-                   engine_ms <= 0.0 ? 0.0 : serial_ms / engine_ms, 2)
-            << "x\n\n"
-            << engine.Snapshot().ToString();
+  const double speedup = engine_ms <= 0.0 ? 0.0 : serial_ms / engine_ms;
+  const auto format_it = flags.find("format");
+  if (format_it != flags.end() && format_it->second == "json") {
+    std::cout << "{\"backend\":\"" << backend_kind << "\",\"spec\":\""
+              << file->spec().ToString() << "\",\"method\":\""
+              << file->method().name() << "\",\"queries\":" << num_queries
+              << ",\"serial_qps\":" << qps(serial_ms)
+              << ",\"serial_ms\":" << serial_ms
+              << ",\"serial_matched\":" << serial_matched
+              << ",\"engine_qps\":" << qps(engine_ms)
+              << ",\"engine_ms\":" << engine_ms
+              << ",\"engine_matched\":" << engine_matched
+              << ",\"speedup\":" << speedup
+              << ",\"stats\":" << engine.Snapshot().ToJson() << "}\n";
+  } else if (format_it != flags.end() && format_it->second != "text") {
+    std::cerr << "unknown --format " << format_it->second
+              << " (expected text or json)\n";
+    return 1;
+  } else {
+    std::cout << "QueryEngine [" << backend_kind << "] on "
+              << file->spec().ToString() << " method "
+              << file->method().name() << "\n"
+              << "serial baseline : "
+              << TablePrinter::Cell(qps(serial_ms), 0) << " qps  ("
+              << TablePrinter::Cell(serial_ms, 1) << " ms, "
+              << serial_matched << " matches)\n"
+              << "engine (batched): "
+              << TablePrinter::Cell(qps(engine_ms), 0) << " qps  ("
+              << TablePrinter::Cell(engine_ms, 1) << " ms, "
+              << engine_matched << " matches)\n"
+              << "speedup         : " << TablePrinter::Cell(speedup, 2)
+              << "x\n\n"
+              << engine.Snapshot().ToString();
+  }
   if (engine_matched != serial_matched) {
     std::cerr << "MISMATCH: engine and serial matched counts differ\n";
     return 1;
