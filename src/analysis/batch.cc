@@ -11,13 +11,16 @@ namespace {
 
 /// Shared plan builder: `enumerate(q, fn)` must call `fn(linear)` for
 /// every qualified bucket of batch query q on the target device, in the
-/// solo enumeration order.
+/// solo enumeration order.  A non-null `live` filter drops dead buckets
+/// from the scan bookkeeping (they still count toward qualified_counts
+/// and bucket_requests, which is what solo accounting reports).
 template <typename Enumerate>
-DeviceBatchPlan BuildDevicePlan(const FieldSpec& spec,
-                                std::size_t batch_size,
-                                const Enumerate& enumerate) {
+DeviceBatchPlan BuildDevicePlan(
+    const FieldSpec& spec, std::size_t batch_size, const Enumerate& enumerate,
+    const std::function<bool(std::uint64_t)>* live = nullptr) {
   DeviceBatchPlan plan;
   plan.query_slots.resize(batch_size);
+  plan.qualified_counts.assign(batch_size, 0);
   const auto visit = [&](std::uint32_t q, std::uint32_t scan,
                          bool inserted) {
     if (inserted) plan.scan_queries.emplace_back();
@@ -25,17 +28,21 @@ DeviceBatchPlan BuildDevicePlan(const FieldSpec& spec,
     plan.query_slots[q].emplace_back(
         scan, static_cast<std::uint32_t>(covering.size()));
     covering.push_back(q);
-    ++plan.bucket_requests;
   };
+  constexpr std::uint32_t kUnseen = 0xffffffffu;
+  /// A distinct bucket the filter rejected: counted, never scanned.
+  constexpr std::uint32_t kDead = 0xfffffffeu;
   // Dedup distinct buckets.  Small bucket spaces get a direct-mapped
-  // table (one slot per linear bucket id); large ones fall back to a
-  // hash map so the plan never allocates more than it enumerates.
+  // table (one slot per linear bucket id); large ones — and every
+  // filtered plan, whose point is sparseness — use a hash map so the
+  // plan never allocates more than the batch enumerates.
   constexpr std::uint64_t kDirectMapLimit = std::uint64_t{1} << 20;
-  if (spec.TotalBuckets() <= kDirectMapLimit) {
-    constexpr std::uint32_t kUnseen = 0xffffffffu;
+  if (live == nullptr && spec.TotalBuckets() <= kDirectMapLimit) {
     std::vector<std::uint32_t> scan_of(spec.TotalBuckets(), kUnseen);
     for (std::uint32_t q = 0; q < batch_size; ++q) {
       enumerate(q, [&](std::uint64_t linear) {
+        ++plan.qualified_counts[q];
+        ++plan.bucket_requests;
         std::uint32_t& scan = scan_of[linear];
         const bool inserted = scan == kUnseen;
         if (inserted) {
@@ -50,10 +57,17 @@ DeviceBatchPlan BuildDevicePlan(const FieldSpec& spec,
     std::unordered_map<std::uint64_t, std::uint32_t> scan_of_bucket;
     for (std::uint32_t q = 0; q < batch_size; ++q) {
       enumerate(q, [&](std::uint64_t linear) {
-        auto [it, inserted] = scan_of_bucket.try_emplace(
-            linear, static_cast<std::uint32_t>(plan.scan_buckets.size()));
-        if (inserted) plan.scan_buckets.push_back(linear);
-        visit(q, it->second, inserted);
+        ++plan.qualified_counts[q];
+        ++plan.bucket_requests;
+        auto [it, inserted] = scan_of_bucket.try_emplace(linear, kUnseen);
+        if (inserted) {
+          it->second = (live == nullptr || (*live)(linear))
+                           ? static_cast<std::uint32_t>(
+                                 plan.scan_buckets.size())
+                           : kDead;
+          if (it->second != kDead) plan.scan_buckets.push_back(linear);
+        }
+        if (it->second != kDead) visit(q, it->second, inserted);
         return true;
       });
     }
@@ -85,6 +99,17 @@ DeviceBatchPlan PlanDeviceBatch(const DeviceMap& map,
       [&](std::uint32_t q, const std::function<bool(std::uint64_t)>& fn) {
         map.ForEachQualifiedLinearOnDevice(batch[q], device, fn);
       });
+}
+
+DeviceBatchPlan PlanDeviceBatch(
+    const DeviceMap& map, const std::vector<PartialMatchQuery>& batch,
+    std::uint64_t device, const std::function<bool(std::uint64_t)>& live) {
+  return BuildDevicePlan(
+      map.spec(), batch.size(),
+      [&](std::uint32_t q, const std::function<bool(std::uint64_t)>& fn) {
+        map.ForEachQualifiedLinearOnDevice(batch[q], device, fn);
+      },
+      &live);
 }
 
 Result<BatchStats> AnalyzeBatch(const DistributionMethod& method,

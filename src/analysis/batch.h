@@ -12,6 +12,7 @@
 #define FXDIST_ANALYSIS_BATCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,12 @@ struct DeviceBatchPlan {
   /// Sum over queries of their qualified-bucket count here (the
   /// no-sharing cost; >= scan_buckets.size()).
   std::uint64_t bucket_requests = 0;
+  /// qualified_counts[q] — q's full qualified-bucket count on this
+  /// device, the paper's r_device(q).  Equal to |query_slots[q]| unless a
+  /// live-bucket filter excluded dead buckets from the scan list: solo
+  /// Execute counts empty buckets too, so executors must report this,
+  /// not the slot count.
+  std::vector<std::uint64_t> qualified_counts;
 };
 
 /// Builds the shared-scan plan of `batch` on `device`.  Every query must
@@ -58,6 +65,19 @@ DeviceBatchPlan PlanDeviceBatch(const DistributionMethod& method,
 DeviceBatchPlan PlanDeviceBatch(const DeviceMap& map,
                                 const std::vector<PartialMatchQuery>& batch,
                                 std::uint64_t device);
+
+/// Live-filtered plan for sparse bucket spaces (|R(q)| far beyond the
+/// live buckets, e.g. grown dynamic directories): only buckets
+/// `live(linear)` approves get scan entries — dead buckets carry no
+/// records, so skipping them cannot change results — while
+/// qualified_counts still counts every qualified bucket, preserving solo
+/// accounting.  Dedup always goes through a hash map sized by what the
+/// batch enumerates, never a TotalBuckets-sized table, and `live` runs
+/// once per distinct bucket.
+DeviceBatchPlan PlanDeviceBatch(const DeviceMap& map,
+                                const std::vector<PartialMatchQuery>& batch,
+                                std::uint64_t device,
+                                const std::function<bool(std::uint64_t)>& live);
 
 struct BatchStats {
   /// Sum over queries of |R(q)| — the no-sharing cost.

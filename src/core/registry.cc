@@ -8,6 +8,7 @@
 #include "core/gdm.h"
 #include "core/modulo.h"
 #include "core/random_dist.h"
+#include "core/rotation.h"
 #include "core/spanning.h"
 
 namespace fxdist {
@@ -136,6 +137,20 @@ Result<std::unique_ptr<DistributionMethod>> MakeDistribution(
         spec, SpanningPathDistribution::Variant::kMst);
     FXDIST_RETURN_NOT_OK(sp.status());
     return std::unique_ptr<DistributionMethod>(std::move(*sp));
+  }
+  if (spec_string.rfind("rot", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long long offset =
+        std::strtoull(spec_string.c_str() + 3, &end, 10);
+    if (end == nullptr || end == spec_string.c_str() + 3 || *end != ':') {
+      return Status::InvalidArgument("bad rotation spec (want rot<k>:<inner>): " +
+                                     spec_string);
+    }
+    auto inner = MakeDistribution(spec, std::string(end + 1));
+    FXDIST_RETURN_NOT_OK(inner.status());
+    auto rot = RotatedDistribution::Make(*std::move(inner), offset);
+    FXDIST_RETURN_NOT_OK(rot.status());
+    return std::unique_ptr<DistributionMethod>(std::move(*rot));
   }
   if (spec_string == "gdm1") return MakePaperGdm(spec, kGdm1);
   if (spec_string == "gdm2") return MakePaperGdm(spec, kGdm2);

@@ -8,6 +8,8 @@
 //   "gdm:2,3,5,7,11,13"   GDM with explicit multipliers
 //   "gdm1" "gdm2" "gdm3"  GDM with the paper's multiplier sets (6 fields,
 //                         repeated cyclically for other arities)
+//   "rot<k>:<inner>"      Inner method with every device shifted by k mod M
+//                         (complementary replica placement, e.g. "rot4:fx-iu2")
 
 #ifndef FXDIST_CORE_REGISTRY_H_
 #define FXDIST_CORE_REGISTRY_H_

@@ -1,0 +1,19 @@
+#include "core/rotation.h"
+
+namespace fxdist {
+
+Result<std::unique_ptr<RotatedDistribution>> RotatedDistribution::Make(
+    std::unique_ptr<DistributionMethod> inner, std::uint64_t offset) {
+  if (inner == nullptr) {
+    return Status::InvalidArgument("rotation needs an inner method");
+  }
+  const std::uint64_t m = inner->spec().num_devices();
+  return std::unique_ptr<RotatedDistribution>(
+      new RotatedDistribution(std::move(inner), offset % m));
+}
+
+std::string RotatedDistribution::name() const {
+  return "Rot+" + std::to_string(offset_) + "(" + inner_->name() + ")";
+}
+
+}  // namespace fxdist

@@ -1,0 +1,71 @@
+// RotatedDistribution: a placement combinator that shifts every device
+// assignment of an inner method by a fixed offset mod M.
+//
+// This is the paper-style "complementary" replica placement as a
+// first-class DistributionMethod: a replica file constructed with
+// "rot<k>:<inner>" places bucket b on (inner(b) + k) mod M, so the copy
+// of every bucket lives k devices away from its primary.  Mirrored
+// declustering is k = M/2, chained declustering (Hsiao & DeWitt) is
+// k = 1; sim/composite_backend.h's ReplicatedBackend routes degraded
+// reads through it.
+//
+// The rotation preserves everything the analysis and the DeviceMap care
+// about: shift invariance, the fast inverse (qualified buckets on device
+// d are the inner method's qualified buckets on d - k), and ascending
+// enumeration order.
+
+#ifndef FXDIST_CORE_ROTATION_H_
+#define FXDIST_CORE_ROTATION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+class RotatedDistribution : public DistributionMethod {
+ public:
+  /// Wraps `inner`, shifting assignments by `offset` mod M.  The offset
+  /// is normalized into [0, M).
+  static Result<std::unique_ptr<RotatedDistribution>> Make(
+      std::unique_ptr<DistributionMethod> inner, std::uint64_t offset);
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override {
+    return (inner_->DeviceOf(bucket) + offset_) % spec_.num_devices();
+  }
+
+  std::string name() const override;
+
+  bool IsShiftInvariant() const override {
+    return inner_->IsShiftInvariant();
+  }
+  bool HasFastInverseMapping() const override {
+    return inner_->HasFastInverseMapping();
+  }
+
+  void ForEachQualifiedBucketOnDevice(
+      const PartialMatchQuery& query, std::uint64_t device,
+      const std::function<bool(const BucketId&)>& fn) const override {
+    const std::uint64_t m = spec_.num_devices();
+    inner_->ForEachQualifiedBucketOnDevice(query, (device + m - offset_) % m,
+                                           fn);
+  }
+
+  std::uint64_t offset() const { return offset_; }
+  const DistributionMethod& inner() const { return *inner_; }
+
+ private:
+  RotatedDistribution(std::unique_ptr<DistributionMethod> inner,
+                      std::uint64_t offset)
+      : DistributionMethod(inner->spec()), inner_(std::move(inner)),
+        offset_(offset) {}
+
+  std::unique_ptr<DistributionMethod> inner_;
+  std::uint64_t offset_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_ROTATION_H_

@@ -25,10 +25,16 @@ double MicrosSince(Clock::time_point start) {
 /// Everything one device contributes to a batch.  Each device task writes
 /// only its own slot, so the fan-out needs no synchronization.
 struct DeviceOutcome {
-  std::vector<std::uint64_t> qualified;            // per representative
+  std::vector<std::uint64_t> qualified;            // per rep., served here
   std::vector<std::uint64_t> examined;             // per representative
   std::vector<std::vector<const Record*>> matched; // per rep., solo order
+  /// Per representative: (serving device, bucket count) for buckets this
+  /// device planned but a degraded backend served elsewhere.  Only
+  /// populated while the backend re-routes.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> rerouted;
   std::uint64_t buckets_scanned = 0;
+  std::uint64_t reroutes = 0;        // scans served away from this device
+  std::uint64_t routed_queries = 0;  // reps with any qualified bucket here
   double busy_ms = 0.0;
 };
 
@@ -130,6 +136,19 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
   rep_hashed.reserve(reps.size());
   for (std::uint32_t r : reps) rep_hashed.push_back(hashed[r]);
 
+  // Degraded re-routing and the sparse live-bucket filter are mutually
+  // exclusive by design: a filtered (dead) bucket never learns its
+  // serving device, and a re-routing backend needs every bucket charged
+  // to its server.  Healthy backends route in place, so the filter is
+  // safe whenever the bucket space dwarfs the live records (grown
+  // dynamic directories) — skipping dead buckets changes no results,
+  // only the plan bookkeeping that was losing to the serial fast path.
+  const bool rerouting = backend_.HasDegradedRouting();
+  const bool sparse =
+      !rerouting &&
+      spec.TotalBuckets() >
+          4 * std::max<std::uint64_t>(1, backend_.num_records());
+
   // Per-device shared scans: plan each device's distinct buckets, make one
   // pass per bucket, evaluate every covering query against its records.
   const auto scan_start = Clock::now();
@@ -137,12 +156,30 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
   auto run_device = [&](std::uint64_t d) {
     const auto device_start = Clock::now();
     const DeviceBatchPlan plan =
-        PlanDeviceBatch(backend_.device_map(), rep_hashed, d);
+        sparse ? PlanDeviceBatch(
+                     backend_.device_map(), rep_hashed, d,
+                     [&](std::uint64_t linear) {
+                       return backend_.IsBucketLive(d, linear);
+                     })
+               : PlanDeviceBatch(backend_.device_map(), rep_hashed, d);
     DeviceOutcome& out = outcomes[d];
     const std::size_t num_reps = reps.size();
     out.qualified.assign(num_reps, 0);
     out.examined.assign(num_reps, 0);
     out.matched.resize(num_reps);
+    // Resolve each scanned bucket's serving device once; the scan itself
+    // already fetches from the right copy (backend_.ScanBucket routes),
+    // so this is purely the accounting side of degraded mode.
+    std::vector<std::uint32_t> server_of;
+    if (rerouting) {
+      out.rerouted.resize(num_reps);
+      server_of.resize(plan.scan_buckets.size());
+      for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
+        server_of[s] = static_cast<std::uint32_t>(
+            backend_.ServingDevice(d, plan.scan_buckets[s]));
+        if (server_of[s] != d) ++out.reroutes;
+      }
+    }
     std::vector<std::vector<std::vector<const Record*>>> scan_matches(
         plan.scan_buckets.size());
     for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
@@ -167,9 +204,34 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
       }
     }
     // Reassemble each query's matches in its solo enumeration order.
+    // qualified_counts (not slot counts) feed the stats: a sparse plan
+    // filters dead buckets out of the scan list but solo Execute still
+    // counts them; a re-routing backend instead splits each count
+    // between this device and the server that actually fetched.
     std::uint64_t device_examined = 0;
     for (std::size_t q = 0; q < num_reps; ++q) {
-      out.qualified[q] = plan.query_slots[q].size();
+      if (plan.qualified_counts[q] > 0) ++out.routed_queries;
+      if (rerouting) {
+        auto& moved = out.rerouted[q];
+        for (const auto& [scan, slot] : plan.query_slots[q]) {
+          (void)slot;
+          const std::uint32_t server = server_of[scan];
+          if (server == static_cast<std::uint32_t>(d)) {
+            ++out.qualified[q];
+            continue;
+          }
+          auto it = std::find_if(
+              moved.begin(), moved.end(),
+              [server](const auto& p) { return p.first == server; });
+          if (it == moved.end()) {
+            moved.emplace_back(server, 1);
+          } else {
+            ++it->second;
+          }
+        }
+      } else {
+        out.qualified[q] = plan.qualified_counts[q];
+      }
       device_examined += out.examined[q];
       auto& matched = out.matched[q];
       for (const auto& [scan, slot] : plan.query_slots[q]) {
@@ -182,6 +244,8 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
     DeviceCounters& counters = *device_counters_[d];
     counters.bucket_scans.Increment(out.buckets_scanned);
     counters.records_examined.Increment(device_examined);
+    counters.routed_queries.Increment(out.routed_queries);
+    counters.degraded_reroutes.Increment(out.reroutes);
     counters.busy_nanos.Increment(
         static_cast<std::uint64_t>(out.busy_ms * 1e6));
   };
@@ -205,7 +269,14 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
     stats.device_wall_ms.assign(num_devices, 0.0);
     for (std::uint64_t d = 0; d < num_devices; ++d) {
       const DeviceOutcome& out = outcomes[d];
-      stats.qualified_per_device[d] = out.qualified[q];
+      stats.qualified_per_device[d] += out.qualified[q];
+      if (!out.rerouted.empty()) {
+        // Degraded mode: charge re-routed buckets to their servers, the
+        // same accounting the backend's own Execute reports.
+        for (const auto& [server, count] : out.rerouted[q]) {
+          stats.qualified_per_device[server] += count;
+        }
+      }
       stats.device_wall_ms[d] = out.busy_ms;
       stats.records_examined += out.examined[q];
       stats.records_matched += out.matched[q].size();
@@ -346,6 +417,8 @@ StatsSnapshot QueryEngine::Snapshot() const {
     DeviceStats device;
     device.bucket_scans = counters->bucket_scans.Value();
     device.records_examined = counters->records_examined.Value();
+    device.routed_queries = counters->routed_queries.Value();
+    device.degraded_reroutes = counters->degraded_reroutes.Value();
     device.busy_ms =
         static_cast<double>(counters->busy_nanos.Value()) / 1e6;
     device.utilization =

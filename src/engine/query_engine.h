@@ -102,6 +102,8 @@ class QueryEngine {
   struct DeviceCounters {
     Counter bucket_scans;
     Counter records_examined;
+    Counter routed_queries;
+    Counter degraded_reroutes;
     Counter busy_nanos;
   };
 

@@ -51,12 +51,15 @@ std::string StatsSnapshot::ToString() const {
   os << line;
   for (std::size_t d = 0; d < devices.size(); ++d) {
     std::snprintf(line, sizeof(line),
-                  "device %-3zu scans %llu  examined %llu  busy %.2f ms  "
-                  "util %.1f%%\n",
+                  "device %-3zu scans %llu  examined %llu  routed %llu  "
+                  "rerouted %llu  busy %.2f ms  util %.1f%%\n",
                   d,
                   static_cast<unsigned long long>(devices[d].bucket_scans),
                   static_cast<unsigned long long>(
                       devices[d].records_examined),
+                  static_cast<unsigned long long>(devices[d].routed_queries),
+                  static_cast<unsigned long long>(
+                      devices[d].degraded_reroutes),
                   devices[d].busy_ms, 100.0 * devices[d].utilization);
     os << line;
   }
@@ -96,6 +99,8 @@ std::string StatsSnapshot::ToJson() const {
     os << "{\"device\":" << d
        << ",\"bucket_scans\":" << devices[d].bucket_scans
        << ",\"records_examined\":" << devices[d].records_examined
+       << ",\"routed_queries\":" << devices[d].routed_queries
+       << ",\"degraded_reroutes\":" << devices[d].degraded_reroutes
        << ",\"busy_ms\":" << devices[d].busy_ms
        << ",\"utilization\":" << devices[d].utilization << "}";
   }

@@ -20,6 +20,12 @@ namespace fxdist {
 struct DeviceStats {
   std::uint64_t bucket_scans = 0;      ///< distinct buckets scanned
   std::uint64_t records_examined = 0;
+  /// Representative queries with at least one qualified bucket placed on
+  /// this device (a sharded composite's per-shard routing counter).
+  std::uint64_t routed_queries = 0;
+  /// Qualified buckets this device owned but a degraded backend served
+  /// from another device (0 unless a replica is down).
+  std::uint64_t degraded_reroutes = 0;
   double busy_ms = 0.0;                ///< summed scan wall-clock
   double utilization = 0.0;            ///< busy_ms / engine uptime
 };

@@ -12,14 +12,20 @@ ExtendibleDirectory::ExtendibleDirectory(std::size_t page_capacity,
 }
 
 Result<ExtendibleDirectory> ExtendibleDirectory::Create(
-    std::size_t page_capacity, unsigned max_global_depth) {
+    std::size_t page_capacity, unsigned max_global_depth,
+    unsigned initial_global_depth) {
   if (page_capacity == 0) {
     return Status::InvalidArgument("page capacity must be >= 1");
   }
   if (max_global_depth > 40) {
     return Status::InvalidArgument("depth cap above 40 bits is unsafe");
   }
-  return ExtendibleDirectory(page_capacity, max_global_depth);
+  if (initial_global_depth > max_global_depth) {
+    return Status::InvalidArgument("initial depth exceeds the depth cap");
+  }
+  ExtendibleDirectory dir(page_capacity, max_global_depth);
+  for (unsigned g = 0; g < initial_global_depth; ++g) dir.DoubleDirectory();
+  return dir;
 }
 
 namespace {

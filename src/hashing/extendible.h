@@ -28,8 +28,14 @@ class ExtendibleDirectory {
   /// `page_capacity` keys per page before a split (>= 1).
   /// `max_global_depth` caps the directory at 2^max_global_depth cells;
   /// pages at the cap overflow instead of splitting.
+  /// `initial_global_depth` pre-grows the directory to 2^g cells sharing
+  /// one empty local-depth-0 page — a provisioned directory whose cell
+  /// space is fixed from the start for workloads (sharded composites)
+  /// that cannot tolerate mid-stream doubling.  Growth past it proceeds
+  /// normally, up to the cap.
   static Result<ExtendibleDirectory> Create(
-      std::size_t page_capacity, unsigned max_global_depth = kMaxDepth);
+      std::size_t page_capacity, unsigned max_global_depth = kMaxDepth,
+      unsigned initial_global_depth = 0);
 
   /// Inserts a key hash.  Duplicates are allowed: a page whose keys are
   /// all identical can never separate, so it overflows rather than

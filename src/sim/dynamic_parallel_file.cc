@@ -16,12 +16,23 @@ namespace {
 constexpr std::uint64_t kHashRange = std::uint64_t{1} << 32;
 }  // namespace
 
-DynamicParallelFile::DynamicParallelFile(std::vector<DynamicFieldDecl> fields,
-                                         std::uint64_t num_devices,
-                                         PlanFamily family)
+namespace {
+std::vector<std::uint64_t> InitialSizes(std::size_t num_fields,
+                                        const std::vector<unsigned>& depths) {
+  std::vector<std::uint64_t> sizes(num_fields, 1);
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    sizes[i] = std::uint64_t{1} << depths[i];
+  }
+  return sizes;
+}
+}  // namespace
+
+DynamicParallelFile::DynamicParallelFile(
+    std::vector<DynamicFieldDecl> fields, std::uint64_t num_devices,
+    PlanFamily family, const std::vector<unsigned>& initial_depths)
     : fields_(std::move(fields)), num_devices_(num_devices), family_(family),
-      spec_(FieldSpec::Create(
-                std::vector<std::uint64_t>(fields_.size(), 1), num_devices)
+      spec_(FieldSpec::Create(InitialSizes(fields_.size(), initial_depths),
+                              num_devices)
                 .value()),
       method_(FXDistribution::Planned(spec_, family_)),
       device_map_(*method_) {
@@ -31,7 +42,8 @@ DynamicParallelFile::DynamicParallelFile(std::vector<DynamicFieldDecl> fields,
 
 Result<DynamicParallelFile> DynamicParallelFile::Create(
     std::vector<DynamicFieldDecl> fields, std::uint64_t num_devices,
-    std::size_t page_capacity, PlanFamily family, std::uint64_t seed) {
+    std::size_t page_capacity, PlanFamily family, std::uint64_t seed,
+    std::vector<unsigned> initial_depths) {
   if (fields.empty()) {
     return Status::InvalidArgument("need at least one field");
   }
@@ -43,15 +55,23 @@ Result<DynamicParallelFile> DynamicParallelFile::Create(
   if ((num_devices & (num_devices - 1)) != 0 || num_devices == 0) {
     return Status::InvalidArgument("device count must be a power of two");
   }
-  DynamicParallelFile file(std::move(fields), num_devices, family);
+  if (!initial_depths.empty() && initial_depths.size() != fields.size()) {
+    return Status::InvalidArgument("initial depths arity mismatch");
+  }
+  if (initial_depths.empty()) initial_depths.assign(fields.size(), 0);
+  DynamicParallelFile file(std::move(fields), num_devices, family,
+                           initial_depths);
   file.page_capacity_ = page_capacity;
   file.hash_seed_ = seed;
+  file.initial_depths_ = std::move(initial_depths);
   for (unsigned i = 0; i < file.fields_.size(); ++i) {
     auto hasher =
         MakeDefaultHasher(file.fields_[i].type, kHashRange, seed + i);
     FXDIST_RETURN_NOT_OK(hasher.status());
     file.hashers_.push_back(std::shared_ptr<FieldHasher>(std::move(*hasher)));
-    auto dir = ExtendibleDirectory::Create(page_capacity);
+    auto dir = ExtendibleDirectory::Create(
+        page_capacity, ExtendibleDirectory::kMaxDepth,
+        file.initial_depths_[i]);
     FXDIST_RETURN_NOT_OK(dir.status());
     file.dirs_.push_back(*std::move(dir));
   }
@@ -120,6 +140,24 @@ void DynamicParallelFile::PlaceRecord(RecordIndex index) {
   }
   devices_[device_map_.DeviceOf(bucket)].AddRecord(LinearIndex(spec_, bucket),
                                                    index);
+}
+
+Result<BucketId> DynamicParallelFile::HashRecord(const Record& record) const {
+  if (record.size() != fields_.size()) {
+    return Status::InvalidArgument("record arity mismatch");
+  }
+  BucketId bucket(fields_.size());
+  for (unsigned i = 0; i < fields_.size(); ++i) {
+    auto h = hashers_[i]->Hash(record[i]);
+    FXDIST_RETURN_NOT_OK(h.status());
+    bucket[i] = Coordinate(i, *h);
+  }
+  return bucket;
+}
+
+bool DynamicParallelFile::IsBucketLive(std::uint64_t device,
+                                       std::uint64_t linear_bucket) const {
+  return devices_[device].Records(linear_bucket) != nullptr;
 }
 
 Result<PartialMatchQuery> DynamicParallelFile::HashQuery(
@@ -217,6 +255,11 @@ void DynamicParallelFile::SaveParams(std::ostream& out) const {
     EncodeLengthPrefixed(out, f.name);
     out << ' ' << ValueTypeTag(f.type) << '\n';
   }
+  // Provisioned directory depths (v3+; v2 loaders never reach this line
+  // because they stop at the field declarations).
+  out << "depths";
+  for (unsigned g : initial_depths_) out << ' ' << g;
+  out << '\n';
 }
 
 void DynamicParallelFile::ForEachLiveRecord(

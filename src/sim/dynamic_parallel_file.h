@@ -43,10 +43,15 @@ struct DynamicFieldDecl {
 class DynamicParallelFile : public StorageBackend {
  public:
   /// `page_capacity`: keys per extendible-hash page before it splits.
+  /// `initial_depths` (empty, or one entry per field) pre-grows each
+  /// field's directory to 2^depth cells, so the bucket space starts at a
+  /// provisioned shape instead of all-ones.  Sharded composites rely on
+  /// this: their placement plane is frozen at construction, so dynamic
+  /// children must be provisioned large enough not to grow.
   static Result<DynamicParallelFile> Create(
       std::vector<DynamicFieldDecl> fields, std::uint64_t num_devices,
       std::size_t page_capacity, PlanFamily family = PlanFamily::kIU2,
-      std::uint64_t seed = 0);
+      std::uint64_t seed = 0, std::vector<unsigned> initial_depths = {});
 
   /// Hashes, stores, and (on directory growth) redistributes.
   Status Insert(Record record) override;
@@ -59,6 +64,11 @@ class DynamicParallelFile : public StorageBackend {
 
   Result<PartialMatchQuery> HashQuery(
       const ValueQuery& query) const override;
+
+  Result<BucketId> HashRecord(const Record& record) const override;
+
+  bool IsBucketLive(std::uint64_t device,
+                    std::uint64_t linear_bucket) const override;
 
   std::string backend_name() const override { return "dynamic"; }
 
@@ -84,6 +94,9 @@ class DynamicParallelFile : public StorageBackend {
   PlanFamily family() const { return family_; }
   std::size_t page_capacity() const { return page_capacity_; }
   std::uint64_t hash_seed() const { return hash_seed_; }
+  const std::vector<unsigned>& initial_depths() const {
+    return initial_depths_;
+  }
 
   void SaveParams(std::ostream& out) const override;
   void ForEachLiveRecord(
@@ -91,7 +104,8 @@ class DynamicParallelFile : public StorageBackend {
 
  private:
   DynamicParallelFile(std::vector<DynamicFieldDecl> fields,
-                      std::uint64_t num_devices, PlanFamily family);
+                      std::uint64_t num_devices, PlanFamily family,
+                      const std::vector<unsigned>& initial_depths);
 
   /// Field-hash -> current bucket coordinate.
   std::uint64_t Coordinate(unsigned field, std::uint64_t hash) const {
@@ -108,6 +122,7 @@ class DynamicParallelFile : public StorageBackend {
   PlanFamily family_;
   std::size_t page_capacity_ = 0;
   std::uint64_t hash_seed_ = 0;
+  std::vector<unsigned> initial_depths_;
   std::vector<std::shared_ptr<FieldHasher>> hashers_;  // 2^32-wide hashes
   std::vector<ExtendibleDirectory> dirs_;
   FieldSpec spec_;

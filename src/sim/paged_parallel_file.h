@@ -67,6 +67,10 @@ class PagedParallelFile : public StorageBackend {
     return hash_.HashQuery(spec_, query);
   }
 
+  Result<BucketId> HashRecord(const Record& record) const override {
+    return hash_.HashRecord(record);
+  }
+
   std::string backend_name() const override { return "paged"; }
   const FieldSpec& spec() const override { return spec_; }
   const DistributionMethod& method() const override { return *method_; }

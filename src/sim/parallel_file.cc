@@ -180,6 +180,11 @@ void ParallelFile::ScanBucket(
   }
 }
 
+bool ParallelFile::IsBucketLive(std::uint64_t device,
+                                std::uint64_t linear_bucket) const {
+  return devices_[device].Records(linear_bucket) != nullptr;
+}
+
 std::vector<std::uint64_t> ParallelFile::RecordCountsPerDevice() const {
   std::vector<std::uint64_t> out;
   out.reserve(devices_.size());

@@ -72,6 +72,13 @@ class ParallelFile : public StorageBackend {
     return hash_.HashQuery(spec_, query);
   }
 
+  Result<BucketId> HashRecord(const Record& record) const override {
+    return hash_.HashRecord(record);
+  }
+
+  bool IsBucketLive(std::uint64_t device,
+                    std::uint64_t linear_bucket) const override;
+
   std::string backend_name() const override { return "flat"; }
   const FieldSpec& spec() const override { return spec_; }
   const DistributionMethod& method() const override { return *method_; }

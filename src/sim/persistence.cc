@@ -1,9 +1,11 @@
 #include "sim/persistence.h"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "hashing/value_codec.h"
+#include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
 #include "sim/paged_parallel_file.h"
 
@@ -122,6 +124,136 @@ Status WriteRecords(std::ostream& out, const StorageBackend& backend) {
   return Status::OK();
 }
 
+/// Construction parameters of one monolithic backend, parsed from its
+/// SaveParams block.  Composite kinds read a single blueprint and build
+/// several identically-parameterized children from it (the sharded
+/// plane's M copies, the replicated pair's rotated twin).
+struct BackendBlueprint {
+  std::string kind;
+  std::uint64_t devices = 0;
+  std::string distribution;  // flat / paged
+  std::uint64_t seed = 0;
+  std::uint64_t pagesize = 0;  // paged
+  std::optional<Schema> schema;  // flat / paged
+  PlanFamily family = PlanFamily::kIU2;  // dynamic
+  std::uint64_t pagecap = 0;             // dynamic
+  std::vector<unsigned> depths;          // dynamic, v3+
+  std::vector<DynamicFieldDecl> dyn_fields;  // dynamic
+
+  unsigned arity() const {
+    return schema.has_value() ? schema->num_fields()
+                              : static_cast<unsigned>(dyn_fields.size());
+  }
+
+  /// Builds an empty backend from the blueprint.  A non-empty
+  /// `distribution_override` replaces the distribution spec (how the
+  /// replicated loader derives the rotated replica); dynamic backends
+  /// have no distribution spec and reject an override.
+  Result<std::unique_ptr<StorageBackend>> Build(
+      const std::string& distribution_override = "") const {
+    const std::string& dist =
+        distribution_override.empty() ? distribution : distribution_override;
+    if (kind == "flat") {
+      auto file = ParallelFile::Create(*schema, devices, dist, seed);
+      FXDIST_RETURN_NOT_OK(file.status());
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<ParallelFile>(*std::move(file)));
+    }
+    if (kind == "paged") {
+      auto file = PagedParallelFile::Create(
+          *schema, devices, dist, static_cast<std::size_t>(pagesize), seed);
+      FXDIST_RETURN_NOT_OK(file.status());
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<PagedParallelFile>(*std::move(file)));
+    }
+    if (kind == "dynamic") {
+      if (!distribution_override.empty()) {
+        return Status::InvalidArgument(
+            "dynamic backends have no distribution spec to override");
+      }
+      auto file = DynamicParallelFile::Create(
+          dyn_fields, devices, static_cast<std::size_t>(pagecap), family,
+          seed, depths);
+      FXDIST_RETURN_NOT_OK(file.status());
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<DynamicParallelFile>(*std::move(file)));
+    }
+    return Status::InvalidArgument("unknown child backend kind: " + kind);
+  }
+};
+
+/// Parses the SaveParams block of a monolithic `kind` written by
+/// format version `version`.
+Result<BackendBlueprint> ReadBlueprint(Reader& reader, int version,
+                                       const std::string& kind) {
+  BackendBlueprint bp;
+  bp.kind = kind;
+  if (kind == "flat" || kind == "paged") {
+    auto header = ReadFlatHeader(reader);
+    FXDIST_RETURN_NOT_OK(header.status());
+    bp.devices = header->devices;
+    bp.distribution = header->distribution;
+    bp.seed = header->seed;
+    if (kind == "paged") {
+      FXDIST_RETURN_NOT_OK(reader.Expect("pagesize"));
+      auto pagesize = reader.U64();
+      FXDIST_RETURN_NOT_OK(pagesize.status());
+      bp.pagesize = *pagesize;
+    }
+    auto schema = ReadSchema(reader);
+    FXDIST_RETURN_NOT_OK(schema.status());
+    bp.schema = *std::move(schema);
+    return bp;
+  }
+  if (kind == "dynamic") {
+    FXDIST_RETURN_NOT_OK(reader.Expect("devices"));
+    auto devices = reader.U64();
+    FXDIST_RETURN_NOT_OK(devices.status());
+    bp.devices = *devices;
+    FXDIST_RETURN_NOT_OK(reader.Expect("family"));
+    auto family_tag = reader.Word();
+    FXDIST_RETURN_NOT_OK(family_tag.status());
+    if (*family_tag == "iu1") {
+      bp.family = PlanFamily::kIU1;
+    } else if (*family_tag == "iu2") {
+      bp.family = PlanFamily::kIU2;
+    } else {
+      return Status::InvalidArgument("unknown plan family: " + *family_tag);
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("pagecap"));
+    auto pagecap = reader.U64();
+    FXDIST_RETURN_NOT_OK(pagecap.status());
+    bp.pagecap = *pagecap;
+    FXDIST_RETURN_NOT_OK(reader.Expect("seed"));
+    auto seed = reader.U64();
+    FXDIST_RETURN_NOT_OK(seed.status());
+    bp.seed = *seed;
+    FXDIST_RETURN_NOT_OK(reader.Expect("fields"));
+    auto num_fields = reader.U64();
+    FXDIST_RETURN_NOT_OK(num_fields.status());
+    for (std::uint64_t i = 0; i < *num_fields; ++i) {
+      FXDIST_RETURN_NOT_OK(reader.Expect("field"));
+      auto name = reader.LengthPrefixed();
+      FXDIST_RETURN_NOT_OK(name.status());
+      auto type_tag = reader.Word();
+      FXDIST_RETURN_NOT_OK(type_tag.status());
+      auto type = ParseValueTypeTag(*type_tag);
+      FXDIST_RETURN_NOT_OK(type.status());
+      bp.dyn_fields.push_back({*std::move(name), *type});
+    }
+    if (version >= 3) {
+      FXDIST_RETURN_NOT_OK(reader.Expect("depths"));
+      for (std::uint64_t i = 0; i < *num_fields; ++i) {
+        auto depth = reader.U64();
+        FXDIST_RETURN_NOT_OK(depth.status());
+        bp.depths.push_back(static_cast<unsigned>(*depth));
+      }
+    }
+    return bp;
+  }
+  return Status::InvalidArgument("unknown backend kind: " + kind);
+}
+
 }  // namespace
 
 Status SaveParallelFile(const ParallelFile& file, const std::string& path) {
@@ -160,7 +292,7 @@ Status SaveBackend(const StorageBackend& backend, const std::string& path) {
   if (!out) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  out << "fxdist-backend v2\n";
+  out << "fxdist-backend v3\n";
   out << "kind " << backend.backend_name() << '\n';
   backend.SaveParams(out);
   FXDIST_RETURN_NOT_OK(WriteRecords(out, backend));
@@ -174,89 +306,100 @@ Result<std::unique_ptr<StorageBackend>> LoadBackend(const std::string& path) {
   }
   Reader reader(in);
   FXDIST_RETURN_NOT_OK(reader.Expect("fxdist-backend"));
-  FXDIST_RETURN_NOT_OK(reader.Expect("v2"));
+  auto version_tag = reader.Word();
+  FXDIST_RETURN_NOT_OK(version_tag.status());
+  int version = 0;
+  if (*version_tag == "v2") {
+    version = 2;
+  } else if (*version_tag == "v3") {
+    version = 3;
+  } else {
+    return Status::InvalidArgument("unsupported backend format version: " +
+                                   *version_tag);
+  }
   FXDIST_RETURN_NOT_OK(reader.Expect("kind"));
   auto kind = reader.Word();
   FXDIST_RETURN_NOT_OK(kind.status());
 
-  if (*kind == "flat") {
-    auto header = ReadFlatHeader(reader);
-    FXDIST_RETURN_NOT_OK(header.status());
-    auto schema = ReadSchema(reader);
-    FXDIST_RETURN_NOT_OK(schema.status());
-    auto file = ParallelFile::Create(*schema, header->devices,
-                                     header->distribution, header->seed);
-    FXDIST_RETURN_NOT_OK(file.status());
-    auto backend = std::make_unique<ParallelFile>(*std::move(file));
-    FXDIST_RETURN_NOT_OK(
-        ReplayRecords(reader, in, schema->num_fields(), *backend));
+  if (*kind == "sharded") {
+    if (version < 3) {
+      return Status::InvalidArgument("sharded backends need format v3");
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto child_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(child_kind.status());
+    auto bp = ReadBlueprint(reader, version, *child_kind);
+    FXDIST_RETURN_NOT_OK(bp.status());
+    std::vector<std::unique_ptr<StorageBackend>> children;
+    for (std::uint64_t d = 0; d < bp->devices; ++d) {
+      auto child = bp->Build();
+      FXDIST_RETURN_NOT_OK(child.status());
+      children.push_back(*std::move(child));
+    }
+    auto sharded = ShardedBackend::Create(std::move(children));
+    FXDIST_RETURN_NOT_OK(sharded.status());
+    auto backend = std::make_unique<ShardedBackend>(*std::move(sharded));
+    FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, bp->arity(), *backend));
     return std::unique_ptr<StorageBackend>(std::move(backend));
   }
 
-  if (*kind == "paged") {
-    auto header = ReadFlatHeader(reader);
-    FXDIST_RETURN_NOT_OK(header.status());
-    FXDIST_RETURN_NOT_OK(reader.Expect("pagesize"));
-    auto pagesize = reader.U64();
-    FXDIST_RETURN_NOT_OK(pagesize.status());
-    auto schema = ReadSchema(reader);
-    FXDIST_RETURN_NOT_OK(schema.status());
-    auto file = PagedParallelFile::Create(
-        *schema, header->devices, header->distribution,
-        static_cast<std::size_t>(*pagesize), header->seed);
-    FXDIST_RETURN_NOT_OK(file.status());
-    auto backend = std::make_unique<PagedParallelFile>(*std::move(file));
-    FXDIST_RETURN_NOT_OK(
-        ReplayRecords(reader, in, schema->num_fields(), *backend));
-    return std::unique_ptr<StorageBackend>(std::move(backend));
-  }
-
-  if (*kind == "dynamic") {
-    FXDIST_RETURN_NOT_OK(reader.Expect("devices"));
-    auto devices = reader.U64();
-    FXDIST_RETURN_NOT_OK(devices.status());
-    FXDIST_RETURN_NOT_OK(reader.Expect("family"));
-    auto family_tag = reader.Word();
-    FXDIST_RETURN_NOT_OK(family_tag.status());
-    PlanFamily family;
-    if (*family_tag == "iu1") {
-      family = PlanFamily::kIU1;
-    } else if (*family_tag == "iu2") {
-      family = PlanFamily::kIU2;
+  if (*kind == "replicated") {
+    if (version < 3) {
+      return Status::InvalidArgument("replicated backends need format v3");
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("placement"));
+    auto placement_tag = reader.Word();
+    FXDIST_RETURN_NOT_OK(placement_tag.status());
+    ReplicaPlacement placement;
+    if (*placement_tag == "mirrored") {
+      placement = ReplicaPlacement::kMirrored;
+    } else if (*placement_tag == "chained") {
+      placement = ReplicaPlacement::kChained;
     } else {
-      return Status::InvalidArgument("unknown plan family: " + *family_tag);
+      return Status::InvalidArgument("unknown replica placement: " +
+                                     *placement_tag);
     }
-    FXDIST_RETURN_NOT_OK(reader.Expect("pagecap"));
-    auto pagecap = reader.U64();
-    FXDIST_RETURN_NOT_OK(pagecap.status());
-    FXDIST_RETURN_NOT_OK(reader.Expect("seed"));
-    auto seed = reader.U64();
-    FXDIST_RETURN_NOT_OK(seed.status());
-    FXDIST_RETURN_NOT_OK(reader.Expect("fields"));
-    auto num_fields = reader.U64();
-    FXDIST_RETURN_NOT_OK(num_fields.status());
-    std::vector<DynamicFieldDecl> fields;
-    for (std::uint64_t i = 0; i < *num_fields; ++i) {
-      FXDIST_RETURN_NOT_OK(reader.Expect("field"));
-      auto name = reader.LengthPrefixed();
-      FXDIST_RETURN_NOT_OK(name.status());
-      auto type_tag = reader.Word();
-      FXDIST_RETURN_NOT_OK(type_tag.status());
-      auto type = ParseValueTypeTag(*type_tag);
-      FXDIST_RETURN_NOT_OK(type.status());
-      fields.push_back({*std::move(name), *type});
+    FXDIST_RETURN_NOT_OK(reader.Expect("down"));
+    auto down_count = reader.U64();
+    FXDIST_RETURN_NOT_OK(down_count.status());
+    std::vector<std::uint64_t> down_devices;
+    for (std::uint64_t i = 0; i < *down_count; ++i) {
+      auto d = reader.U64();
+      FXDIST_RETURN_NOT_OK(d.status());
+      down_devices.push_back(*d);
     }
-    const auto arity = static_cast<unsigned>(fields.size());
-    auto file = DynamicParallelFile::Create(
-        std::move(fields), *devices, static_cast<std::size_t>(*pagecap),
-        family, *seed);
-    FXDIST_RETURN_NOT_OK(file.status());
-    auto backend = std::make_unique<DynamicParallelFile>(*std::move(file));
-    FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, arity, *backend));
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto child_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(child_kind.status());
+    auto bp = ReadBlueprint(reader, version, *child_kind);
+    FXDIST_RETURN_NOT_OK(bp.status());
+    auto primary = bp->Build();
+    FXDIST_RETURN_NOT_OK(primary.status());
+    const std::uint64_t offset =
+        ReplicatedBackend::ReplicaOffset(placement, bp->devices);
+    auto replica =
+        bp->Build("rot" + std::to_string(offset) + ":" + bp->distribution);
+    FXDIST_RETURN_NOT_OK(replica.status());
+    auto replicated = ReplicatedBackend::Create(
+        *std::move(primary), *std::move(replica), placement);
+    FXDIST_RETURN_NOT_OK(replicated.status());
+    auto backend = std::make_unique<ReplicatedBackend>(*std::move(replicated));
+    // Replay first: degraded mode is read-only, so down state is applied
+    // once both copies hold their records again.
+    FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, bp->arity(), *backend));
+    for (std::uint64_t d : down_devices) {
+      FXDIST_RETURN_NOT_OK(backend->MarkDown(d));
+    }
     return std::unique_ptr<StorageBackend>(std::move(backend));
   }
 
-  return Status::InvalidArgument("unknown backend kind: " + *kind);
+  auto bp = ReadBlueprint(reader, version, *kind);
+  FXDIST_RETURN_NOT_OK(bp.status());
+  auto built = bp->Build();
+  FXDIST_RETURN_NOT_OK(built.status());
+  std::unique_ptr<StorageBackend> backend = *std::move(built);
+  FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, bp->arity(), *backend));
+  return backend;
 }
 
 }  // namespace fxdist

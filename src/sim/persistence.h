@@ -18,7 +18,7 @@
 //   records <count>
 //   i:<value> | d:<hex-bits> | s:<len>:<bytes>                  (x n per record)
 //
-// v2 (any StorageBackend):
+// v2 (any monolithic StorageBackend; still loadable):
 //
 //   fxdist-backend v2
 //   kind <flat|paged|dynamic>
@@ -30,6 +30,19 @@
 // "pagesize <P>" line after the seed; "dynamic" writes
 // family/pagecap/seed and field declarations without directory sizes
 // (its directories grow from the replay).
+//
+// v3 (what SaveBackend writes) extends v2 with composite kinds and
+// provisioned dynamic directories:
+//
+//   * "dynamic" params end with "depths <g_1> ... <g_n>" — the initial
+//     per-field directory depths.
+//   * kind "sharded" writes "child <kind>" plus ONE child's params (all
+//     M children are identical); loading builds M empty children and
+//     replays the records through the composite's routing Insert.
+//   * kind "replicated" writes "placement <mirrored|chained>",
+//     "down <count> <device>...", then "child <kind>" plus the primary's
+//     params; loading rebuilds the rotated replica from the same
+//     blueprint, replays into both copies, then re-applies the down set.
 
 #ifndef FXDIST_SIM_PERSISTENCE_H_
 #define FXDIST_SIM_PERSISTENCE_H_

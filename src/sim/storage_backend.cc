@@ -2,6 +2,16 @@
 
 namespace fxdist {
 
+bool StorageBackend::IsBucketLive(std::uint64_t device,
+                                  std::uint64_t linear_bucket) const {
+  bool live = false;
+  ScanBucket(device, linear_bucket, [&live](const Record&) {
+    live = true;
+    return false;
+  });
+  return live;
+}
+
 bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record) {
   for (std::size_t f = 0; f < query.size(); ++f) {
     if (query[f].has_value() && record[f] != *query[f]) return false;

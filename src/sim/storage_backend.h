@@ -7,8 +7,9 @@
 // with overflow chains (PagedParallelFile), growing extendible
 // directories (DynamicParallelFile) — implements the same contract, so
 // the batch QueryEngine, persistence, and the tools drive any of them
-// interchangeably.  A future sharded or replicated store is a fourth
-// implementation, not a fourth fork.
+// interchangeably.  Composite stores (sim/composite_backend.h's
+// ShardedBackend and ReplicatedBackend) are further implementations
+// built from child backends, not forks of the contract.
 //
 // Contract notes:
 //  * ScanBucket visits a bucket's records in the backend's own stable
@@ -73,8 +74,8 @@ class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
 
-  /// Stable kind tag: "flat", "paged", or "dynamic".  Doubles as the
-  /// persistence format's kind token.
+  /// Stable kind tag: "flat", "paged", "dynamic", "sharded", or
+  /// "replicated".  Doubles as the persistence format's kind token.
   virtual std::string backend_name() const = 0;
 
   /// Current bucket-space shape (the dynamic backend's changes as its
@@ -102,6 +103,33 @@ class StorageBackend {
   /// shared scans over.
   virtual Result<PartialMatchQuery> HashQuery(
       const ValueQuery& query) const = 0;
+
+  /// Hashes a record to its bucket coordinates — the routing step
+  /// composite backends use to pick the owning shard before storage.
+  virtual Result<BucketId> HashRecord(const Record& record) const = 0;
+
+  /// Device that actually serves scans of (device, linear_bucket).
+  /// Monolithic backends serve every bucket in place; ReplicatedBackend
+  /// re-routes to the replica's holder while devices are down.  Bucket
+  /// scans and qualified-per-device accounting must both honor this so
+  /// batched execution stays bit-identical to solo Execute.
+  virtual std::uint64_t ServingDevice(std::uint64_t device,
+                                      std::uint64_t linear_bucket) const {
+    (void)linear_bucket;
+    return device;
+  }
+
+  /// True while some scan may be served away from its placed device
+  /// (degraded mode).  Planners keep per-bucket server accounting on —
+  /// and live-bucket filtering off — whenever this holds.
+  virtual bool HasDegradedRouting() const { return false; }
+
+  /// True iff the bucket holds at least one live record on `device`.
+  /// A planning hint for sparse bucket spaces: skipping a dead bucket
+  /// never changes results, only bookkeeping.  The default probes via
+  /// ScanBucket; backends with O(1) bucket indexes override it.
+  virtual bool IsBucketLive(std::uint64_t device,
+                            std::uint64_t linear_bucket) const;
 
   /// Visits every record of bucket `linear_bucket` on `device` in the
   /// backend's scan order.  `fn` returning false stops early.

@@ -25,6 +25,8 @@ enum class StatusCode {
   kAlreadyExists,     ///< Insert collided with an existing key.
   kUnimplemented,     ///< Feature intentionally not provided.
   kInternal,          ///< Invariant violation that was recoverable.
+  kFailedPrecondition,  ///< Operation valid in general, but not in the
+                        ///< object's current state (e.g. degraded mode).
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...).
@@ -58,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

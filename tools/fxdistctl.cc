@@ -31,6 +31,7 @@
 #include "analysis/report.h"
 #include "core/fx.h"
 #include "core/registry.h"
+#include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
 #include "sim/paged_parallel_file.h"
 #include "sim/parallel_file.h"
@@ -68,11 +69,12 @@ int Usage() {
          "               --fields ... --devices M [--spec-prob P]\n"
          "  serve-bench  batch engine vs serial baseline + metrics\n"
          "               --fields ... --devices M [--method SPEC]\n"
-         "               [--backend flat|paged|dynamic] [--pagesize P]\n"
-         "               [--records N] [--queries N] [--batch B]\n"
-         "               [--threads T] [--templates K] [--zipf THETA]\n"
-         "               [--spec-prob P] [--domain D] [--seed S]\n"
-         "               [--format text|json]\n"
+         "               [--backend flat|paged|dynamic|sharded|replicated]\n"
+         "               [--placement mirrored|chained] [--fail D1,D2,...]\n"
+         "               [--pagesize P] [--records N] [--queries N]\n"
+         "               [--batch B] [--threads T] [--templates K]\n"
+         "               [--zipf THETA] [--spec-prob P] [--domain D]\n"
+         "               [--seed S] [--format text|json]\n"
          "  gen-trace    synthesize a reproducible workload trace\n"
          "               --schema name:type:size,... --out FILE\n"
          "               [--records N] [--queries N] [--spec-prob P]\n"
@@ -416,6 +418,9 @@ int CmdServeBench(const Flags& flags) {
   const std::string backend_kind =
       backend_it == flags.end() ? "flat" : backend_it->second;
   std::unique_ptr<StorageBackend> file;
+  // Kept non-null for --backend replicated so --fail can flip device
+  // state after the load phase (degraded mode is read-only).
+  ReplicatedBackend* replicated = nullptr;
   if (backend_kind == "flat") {
     auto created =
         ParallelFile::Create(*schema, num_devices, method_spec, seed);
@@ -447,9 +452,55 @@ int CmdServeBench(const Flags& flags) {
       return 1;
     }
     file = std::make_unique<DynamicParallelFile>(*std::move(created));
+  } else if (backend_kind == "sharded") {
+    std::vector<std::unique_ptr<StorageBackend>> children;
+    for (std::uint64_t d = 0; d < num_devices; ++d) {
+      auto child =
+          ParallelFile::Create(*schema, num_devices, method_spec, seed);
+      if (!child.ok()) {
+        std::cerr << child.status().ToString() << "\n";
+        return 1;
+      }
+      children.push_back(
+          std::make_unique<ParallelFile>(*std::move(child)));
+    }
+    auto created = ShardedBackend::Create(std::move(children));
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    file = std::make_unique<ShardedBackend>(*std::move(created));
+  } else if (backend_kind == "replicated") {
+    ReplicaPlacement placement = ReplicaPlacement::kMirrored;
+    if (auto it = flags.find("placement"); it != flags.end()) {
+      if (it->second == "chained") {
+        placement = ReplicaPlacement::kChained;
+      } else if (it->second != "mirrored") {
+        std::cerr << "unknown --placement " << it->second
+                  << " (expected mirrored or chained)\n";
+        return 1;
+      }
+    }
+    auto created = MakeReplicatedFlat(*schema, num_devices, method_spec,
+                                      placement, seed);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    replicated = created->get();
+    file = *std::move(created);
   } else {
     std::cerr << "unknown --backend " << backend_kind
-              << " (expected flat, paged, or dynamic)\n";
+              << " (expected flat, paged, dynamic, sharded, or "
+                 "replicated)\n";
+    return 1;
+  }
+  if (flags.count("fail") != 0 && replicated == nullptr) {
+    std::cerr << "--fail requires --backend replicated\n";
+    return 1;
+  }
+  if (flags.count("placement") != 0 && backend_kind != "replicated") {
+    std::cerr << "--placement requires --backend replicated\n";
     return 1;
   }
 
@@ -470,6 +521,19 @@ int CmdServeBench(const Flags& flags) {
     if (auto st = file->Insert(r); !st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 1;
+    }
+  }
+  // Device failures apply after the load: a replicated backend refuses
+  // writes while degraded, so the bench loads healthy and then serves
+  // the whole query stream with the failed devices re-routed.
+  std::vector<std::uint64_t> failed;
+  if (auto it = flags.find("fail"); it != flags.end()) {
+    failed = ParseU64List(it->second);
+    for (std::uint64_t d : failed) {
+      if (auto st = replicated->MarkDown(d); !st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
     }
   }
   auto qgen = QueryGenerator::Create(&records,
@@ -558,10 +622,31 @@ int CmdServeBench(const Flags& flags) {
   };
   const double speedup = engine_ms <= 0.0 ? 0.0 : serial_ms / engine_ms;
   const auto format_it = flags.find("format");
+  std::ostringstream degraded_json;
+  std::ostringstream degraded_text;
+  if (replicated != nullptr) {
+    degraded_json << ",\"placement\":\""
+                  << (replicated->placement() == ReplicaPlacement::kMirrored
+                          ? "mirrored"
+                          : "chained")
+                  << "\",\"failed\":[";
+    for (std::size_t i = 0; i < failed.size(); ++i) {
+      degraded_json << (i > 0 ? "," : "") << failed[i];
+    }
+    degraded_json << "]";
+    degraded_text << "placement       : "
+                  << (replicated->placement() == ReplicaPlacement::kMirrored
+                          ? "mirrored"
+                          : "chained")
+                  << (failed.empty() ? " (healthy)" : " (degraded, down:");
+    for (std::uint64_t d : failed) degraded_text << ' ' << d;
+    degraded_text << (failed.empty() ? "\n" : ")\n");
+  }
   if (format_it != flags.end() && format_it->second == "json") {
     std::cout << "{\"backend\":\"" << backend_kind << "\",\"spec\":\""
               << file->spec().ToString() << "\",\"method\":\""
-              << file->method().name() << "\",\"queries\":" << num_queries
+              << file->method().name() << "\"" << degraded_json.str()
+              << ",\"queries\":" << num_queries
               << ",\"serial_qps\":" << qps(serial_ms)
               << ",\"serial_ms\":" << serial_ms
               << ",\"serial_matched\":" << serial_matched
@@ -578,6 +663,7 @@ int CmdServeBench(const Flags& flags) {
     std::cout << "QueryEngine [" << backend_kind << "] on "
               << file->spec().ToString() << " method "
               << file->method().name() << "\n"
+              << degraded_text.str()
               << "serial baseline : "
               << TablePrinter::Cell(qps(serial_ms), 0) << " qps  ("
               << TablePrinter::Cell(serial_ms, 1) << " ms, "
