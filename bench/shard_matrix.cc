@@ -32,6 +32,9 @@
 #include "analysis/availability.h"
 #include "core/registry.h"
 #include "engine/query_engine.h"
+#include "net/remote_backend.h"
+#include "net/shard_server.h"
+#include "net/transport.h"
 #include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
 #include "sim/paged_parallel_file.h"
@@ -127,6 +130,39 @@ std::unique_ptr<StorageBackend> MakeSharded(const std::string& kind,
   return std::make_unique<ShardedBackend>(*std::move(created));
 }
 
+// The wire protocol without the wire: every child is a RemoteBackend
+// whose LoopbackTransport calls a ShardService owning a monolithic flat
+// file.  Each query pays the full encode/decode path, so an identical
+// result here certifies the codec and the twin-placement handshake, and
+// the qps gap against sharded(flat) is the serialization cost itself.
+std::unique_ptr<StorageBackend> MakeLoopbackRemote(const Schema& schema,
+                                                   const RunConfig& config) {
+  std::vector<std::unique_ptr<StorageBackend>> children;
+  for (std::uint64_t d = 0; d < config.num_devices; ++d) {
+    auto local = std::shared_ptr<StorageBackend>(
+        MakeMonolithic("flat", schema, config));
+    auto service = std::make_shared<ShardService>(*local);
+    auto transport = std::make_unique<LoopbackTransport>(
+        [local, service](const std::string& request) {
+          return service->HandleFrame(request);
+        });
+    auto remote = RemoteBackend::Connect(std::move(transport));
+    if (!remote.ok()) {
+      std::fprintf(stderr, "loopback remote connect failed: %s\n",
+                   remote.status().ToString().c_str());
+      std::abort();
+    }
+    children.push_back(*std::move(remote));
+  }
+  auto created = ShardedBackend::Create(std::move(children));
+  if (!created.ok()) {
+    std::fprintf(stderr, "sharded(remote) create failed: %s\n",
+                 created.status().ToString().c_str());
+    std::abort();
+  }
+  return std::make_unique<ShardedBackend>(*std::move(created));
+}
+
 void InsertAll(StorageBackend& backend, const std::vector<Record>& records,
                const char* context) {
   for (const Record& r : records) {
@@ -192,6 +228,8 @@ bool IdentityBench(const RunConfig& config) {
     rows.push_back({"sharded(" + kind + ")", kind,
                     MakeSharded(kind, schema, config)});
   }
+  rows.push_back(
+      {"remote(loopback)", "flat", MakeLoopbackRemote(schema, config)});
   for (const auto placement :
        {ReplicaPlacement::kMirrored, ReplicaPlacement::kChained}) {
     const bool mirrored = placement == ReplicaPlacement::kMirrored;

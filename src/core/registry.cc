@@ -174,4 +174,13 @@ std::vector<std::string> KnownDistributionNames() {
           "random"};
 }
 
+bool SplitSpecPrefix(const std::string& spec_string, std::string* prefix,
+                     std::string* rest) {
+  const std::size_t colon = spec_string.find(':');
+  if (colon == std::string::npos) return false;
+  *prefix = spec_string.substr(0, colon);
+  *rest = spec_string.substr(colon + 1);
+  return true;
+}
+
 }  // namespace fxdist

@@ -31,6 +31,13 @@ Result<std::unique_ptr<DistributionMethod>> MakeDistribution(
 /// (for --help output and sweep benches).
 std::vector<std::string> KnownDistributionNames();
 
+/// Splits a "prefix:rest" spec at the first colon ("rot4:fx-iu2" ->
+/// {"rot4", "fx-iu2"}, "remote:host:9000" -> {"remote", "host:9000"}).
+/// Returns false (outputs untouched) when there is no colon.  Shared by
+/// the distribution registry and the storage-backend child specs.
+bool SplitSpecPrefix(const std::string& spec_string, std::string* prefix,
+                     std::string* rest);
+
 }  // namespace fxdist
 
 #endif  // FXDIST_CORE_REGISTRY_H_

@@ -256,6 +256,15 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
   }
   const double scan_wall_ms = MillisSince(scan_start);
 
+  // ScanBucket cannot report errors, so a backend that lost storage
+  // mid-sweep (remote shard past its retry budget, poisoned composite)
+  // silently contributed nothing.  Re-check health and fail the batch
+  // instead of returning partial results.
+  if (Status health = backend_.Health(); !health.ok()) {
+    queries_failed_.Increment(batch.size());
+    return health;
+  }
+
   // Merge per-device shares into per-representative results.
   std::vector<QueryResult> rep_results(reps.size());
   std::uint64_t performed = 0, examined_total = 0, matched_total = 0;

@@ -1,0 +1,289 @@
+#include "net/remote_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/socket_transport.h"
+#include "sim/persistence.h"
+
+namespace fxdist {
+
+Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
+    std::unique_ptr<Transport> transport, Options options) {
+  std::unique_ptr<RemoteBackend> backend(
+      new RemoteBackend(std::move(transport), options));
+  auto body = backend->Call(WireOp::kHandshake, "", /*idempotent=*/true);
+  FXDIST_RETURN_NOT_OK(body.status());
+  PayloadReader reader(*body);
+  auto blueprint = reader.Str();
+  FXDIST_RETURN_NOT_OK(blueprint.status());
+  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  auto twin = BuildBackendFromBlueprintText(*blueprint);
+  if (!twin.ok()) {
+    return Status::Internal("remote blueprint rejected: " +
+                            twin.status().message());
+  }
+  backend->twin_ = *std::move(twin);
+  backend->twin_replicated_ =
+      dynamic_cast<ReplicatedBackend*>(backend->twin_.get());
+  return backend;
+}
+
+Result<std::unique_ptr<RemoteBackend>> RemoteBackend::ConnectTcp(
+    const std::string& host_port, Options options) {
+  SocketTransport::Options socket_options;
+  socket_options.io_timeout_ms = options.deadline_ms;
+  auto transport = SocketTransport::ConnectSpec(host_port, socket_options);
+  FXDIST_RETURN_NOT_OK(transport.status());
+  return Connect(*std::move(transport), options);
+}
+
+Result<std::string> RemoteBackend::Call(WireOp op, std::string payload,
+                                        bool idempotent) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!poisoned_.empty()) return Status::FailedPrecondition(poisoned_);
+  if (!terminal_.empty()) return Status::Unavailable(terminal_);
+
+  WireFrame request;
+  request.op = op;
+  request.is_reply = false;
+  request.payload = std::move(payload);
+  const std::string request_bytes = EncodeFrame(request);
+
+  const int max_attempts = std::max(1, options_.max_attempts);
+  int backoff_ms = options_.backoff_initial_ms;
+  Status last;
+  int attempts = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+    }
+    ++attempts;
+
+    Status failure;
+    auto raw = transport_->RoundTrip(request_bytes);
+    if (!raw.ok()) {
+      failure = raw.status();
+    } else {
+      auto reply = DecodeFrame(*raw);
+      if (!reply.ok()) {
+        failure = Status::DataLoss("reply rejected: " +
+                                   reply.status().message());
+      } else if (!reply->is_reply ||
+                 (reply->op != op && reply->op != WireOp::kError)) {
+        failure = Status::DataLoss(
+            std::string("protocol desync: expected a ") + WireOpName(op) +
+            " reply, got " + WireOpName(reply->op));
+      } else {
+        PayloadReader reader(reply->payload);
+        Status remote_status;
+        const Status parse = reader.ReadStatusInto(&remote_status);
+        if (!parse.ok()) {
+          failure = Status::DataLoss("malformed reply payload: " +
+                                     parse.message());
+        } else if (!remote_status.ok()) {
+          // The server executed the operation and said no.  That is an
+          // application error, not a transport failure: surface it
+          // as-is, never retry, never go terminal.
+          return remote_status;
+        } else {
+          return std::string(reply->payload.substr(
+              reply->payload.size() - reader.remaining()));
+        }
+      }
+    }
+
+    last = failure;
+    const bool retryable =
+        failure.code() == StatusCode::kUnavailable ||
+        (idempotent && (failure.code() == StatusCode::kDeadlineExceeded ||
+                        failure.code() == StatusCode::kDataLoss));
+    if (!retryable) break;
+  }
+
+  // Out of budget (or a mutation hit an indeterminate failure): go
+  // terminal so this shard now looks like a local dead child.
+  terminal_ = "remote shard unavailable after " + std::to_string(attempts) +
+              " attempt(s): " + last.ToString();
+  return Status::Unavailable(terminal_);
+}
+
+std::uint64_t RemoteBackend::num_records() const {
+  auto body = Call(WireOp::kNumRecords, "", /*idempotent=*/true);
+  if (!body.ok()) return 0;
+  PayloadReader reader(*body);
+  auto count = reader.U64();
+  if (!count.ok() || !reader.AtEnd()) return 0;
+  return *count;
+}
+
+Status RemoteBackend::Insert(Record record) {
+  {
+    // Any mutation attempt (even one that fails indeterminately) may
+    // have changed the remote's buckets — drop the pinned scans first.
+    std::lock_guard<std::mutex> lock(mutex_);
+    scan_pins_.clear();
+  }
+  PayloadWriter writer;
+  writer.WriteRecord(record);
+  auto body = Call(WireOp::kInsert, writer.Take(), /*idempotent=*/false);
+  FXDIST_RETURN_NOT_OK(body.status());
+
+  // The reply echoes the remote's current bucket-space shape; a remote
+  // dynamic child that grew past the blueprint the twin was built from
+  // breaks the frozen placement plane — poison, exactly as ShardedBackend
+  // does for a local child.
+  PayloadReader reader(*body);
+  auto arity = reader.U32();
+  FXDIST_RETURN_NOT_OK(arity.status());
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(*arity);
+  for (std::uint32_t i = 0; i < *arity; ++i) {
+    auto size = reader.U64();
+    FXDIST_RETURN_NOT_OK(size.status());
+    sizes.push_back(*size);
+  }
+  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  if (sizes != twin_->spec().field_sizes()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ =
+        "remote shard outgrew the frozen placement plane: its bucket "
+        "space no longer matches the handshake blueprint";
+    return Status::FailedPrecondition(poisoned_);
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> RemoteBackend::Delete(const ValueQuery& query) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scan_pins_.clear();
+  }
+  PayloadWriter writer;
+  writer.WriteQuery(query);
+  auto body = Call(WireOp::kDelete, writer.Take(), /*idempotent=*/false);
+  FXDIST_RETURN_NOT_OK(body.status());
+  PayloadReader reader(*body);
+  auto removed = reader.U64();
+  FXDIST_RETURN_NOT_OK(removed.status());
+  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  return *removed;
+}
+
+bool RemoteBackend::IsBucketLive(std::uint64_t device,
+                                 std::uint64_t linear_bucket) const {
+  PayloadWriter writer;
+  writer.U64(device);
+  writer.U64(linear_bucket);
+  auto body = Call(WireOp::kIsBucketLive, writer.Take(), /*idempotent=*/true);
+  if (!body.ok()) return false;
+  PayloadReader reader(*body);
+  auto live = reader.U8();
+  return live.ok() && reader.AtEnd() && *live != 0;
+}
+
+void RemoteBackend::ScanBucket(
+    std::uint64_t device, std::uint64_t linear_bucket,
+    const std::function<bool(const Record&)>& fn) const {
+  PayloadWriter writer;
+  writer.U64(device);
+  writer.U64(linear_bucket);
+  auto body = Call(WireOp::kScanBucket, writer.Take(), /*idempotent=*/true);
+  if (!body.ok()) return;  // visits nothing; Health() reports the cause
+  PayloadReader reader(*body);
+  auto records = reader.ReadRecords();
+  if (!records.ok() || !reader.AtEnd()) return;
+  // Pin the decoded records so references handed to `fn` stay valid
+  // until the next mutation, like a local backend's storage would.
+  // Re-scans of the same bucket (the engine streams each covering query
+  // past the bucket separately) must not move the pin while earlier
+  // callers still hold pointers into it, so an unchanged bucket reuses
+  // the existing pin.
+  const std::vector<Record>* pinned = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Record>& pin = scan_pins_[{device, linear_bucket}];
+    if (pin != *records) pin = *std::move(records);
+    pinned = &pin;
+  }
+  for (const Record& record : *pinned) {
+    if (!fn(record)) return;
+  }
+}
+
+Result<QueryResult> RemoteBackend::Execute(const ValueQuery& query) const {
+  PayloadWriter writer;
+  writer.WriteQuery(query);
+  auto body = Call(WireOp::kExecute, writer.Take(), /*idempotent=*/true);
+  FXDIST_RETURN_NOT_OK(body.status());
+  PayloadReader reader(*body);
+  auto result = reader.ReadResult();
+  FXDIST_RETURN_NOT_OK(result.status());
+  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  return *std::move(result);
+}
+
+std::vector<std::uint64_t> RemoteBackend::RecordCountsPerDevice() const {
+  const std::vector<std::uint64_t> zeros(num_devices(), 0);
+  auto body = Call(WireOp::kRecordCounts, "", /*idempotent=*/true);
+  if (!body.ok()) return zeros;
+  PayloadReader reader(*body);
+  auto arity = reader.U32();
+  if (!arity.ok()) return zeros;
+  std::vector<std::uint64_t> counts;
+  counts.reserve(*arity);
+  for (std::uint32_t i = 0; i < *arity; ++i) {
+    auto count = reader.U64();
+    if (!count.ok()) return zeros;
+    counts.push_back(*count);
+  }
+  if (!reader.AtEnd()) return zeros;
+  return counts;
+}
+
+void RemoteBackend::ForEachLiveRecord(
+    const std::function<void(const Record&)>& fn) const {
+  auto body = Call(WireOp::kListRecords, "", /*idempotent=*/true);
+  if (!body.ok()) return;
+  PayloadReader reader(*body);
+  auto records = reader.ReadRecords();
+  if (!records.ok() || !reader.AtEnd()) return;
+  for (const Record& record : *records) fn(record);
+}
+
+Status RemoteBackend::MarkDown(std::uint64_t device) {
+  PayloadWriter writer;
+  writer.U64(device);
+  auto body = Call(WireOp::kMarkDown, writer.Take(), /*idempotent=*/false);
+  FXDIST_RETURN_NOT_OK(body.status());
+  if (twin_replicated_ == nullptr) {
+    return Status::Internal("remote accepted MarkDown but the twin has no "
+                            "replica plane");
+  }
+  // Mirror onto the twin so ServingDevice routes like the server.
+  return twin_replicated_->MarkDown(device);
+}
+
+Status RemoteBackend::MarkUp(std::uint64_t device) {
+  PayloadWriter writer;
+  writer.U64(device);
+  auto body = Call(WireOp::kMarkUp, writer.Take(), /*idempotent=*/false);
+  FXDIST_RETURN_NOT_OK(body.status());
+  if (twin_replicated_ == nullptr) {
+    return Status::Internal("remote accepted MarkUp but the twin has no "
+                            "replica plane");
+  }
+  return twin_replicated_->MarkUp(device);
+}
+
+Status RemoteBackend::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!poisoned_.empty()) return Status::FailedPrecondition(poisoned_);
+  if (!terminal_.empty()) return Status::Unavailable(terminal_);
+  return Status::OK();
+}
+
+}  // namespace fxdist

@@ -1,0 +1,156 @@
+// RemoteBackend: a StorageBackend whose storage lives behind a Transport.
+//
+// The handshake ships the server backend's construction blueprint
+// (sim/persistence.h BackendBlueprintText); the client builds an *empty*
+// placement-identical local twin from it.  Because all hashing and
+// placement is deterministic in the blueprint, everything about *where*
+// records go — spec(), method(), device_map(), HashQuery, HashRecord,
+// ServingDevice — is answered by the twin with zero round trips, while
+// everything about *what is stored* (Insert/Delete/Execute/ScanBucket/
+// counts) goes over the wire.  This is what lets a ShardedBackend treat
+// a remote shard exactly like a local child.
+//
+// Failure semantics (the transport taxonomy, net/transport.h):
+//   * Unavailable replies are retried for every operation (the request
+//     was never delivered), with bounded exponential backoff.
+//   * DeadlineExceeded / DataLoss are indeterminate — the request may
+//     have executed — so only idempotent operations (reads) retry;
+//     a mutation that hits one fails immediately rather than risking a
+//     duplicate side effect.
+//   * Once the retry budget is exhausted (or a mutation hit an
+//     indeterminate failure), the backend enters a sticky *terminal*
+//     state: every operation returns Unavailable, ScanBucket visits
+//     nothing, and Health() reports the cause — the same shape as a
+//     local dead child, so ShardedBackend/ReplicatedBackend degraded
+//     routing and the executors' Health escalation react identically.
+//   * A remote whose bucket space grew past the frozen plane (dynamic
+//     directory growth, detected via the shape echoed by every Insert
+//     reply) poisons the client with a sticky FailedPrecondition,
+//     mirroring ShardedBackend's own frozen-plane contract.
+
+#ifndef FXDIST_NET_REMOTE_BACKEND_H_
+#define FXDIST_NET_REMOTE_BACKEND_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/transport.h"
+#include "net/wire.h"
+#include "sim/composite_backend.h"
+#include "sim/storage_backend.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct RemoteBackendOptions {
+  /// Socket-level per-operation deadline (ConnectTcp only; in-process
+  /// transports have no deadline to miss).
+  int deadline_ms = 5000;
+  /// Total tries per operation, including the first.
+  int max_attempts = 4;
+  /// Exponential backoff between tries: initial doubles up to max.
+  /// 0 disables sleeping (deterministic tests).
+  int backoff_initial_ms = 1;
+  int backoff_max_ms = 100;
+};
+
+class RemoteBackend final : public StorageBackend {
+ public:
+  using Options = RemoteBackendOptions;
+
+  /// Performs the handshake over `transport` and builds the local twin.
+  static Result<std::unique_ptr<RemoteBackend>> Connect(
+      std::unique_ptr<Transport> transport, Options options = {});
+
+  /// Dials "host:port" with a SocketTransport, then Connect().
+  static Result<std::unique_ptr<RemoteBackend>> ConnectTcp(
+      const std::string& host_port, Options options = {});
+
+  // -- Placement plane: answered locally by the twin -------------------
+  std::string backend_name() const override { return twin_->backend_name(); }
+  const FieldSpec& spec() const override { return twin_->spec(); }
+  const DistributionMethod& method() const override {
+    return twin_->method();
+  }
+  const DeviceMap& device_map() const override { return twin_->device_map(); }
+  Result<PartialMatchQuery> HashQuery(
+      const ValueQuery& query) const override {
+    return twin_->HashQuery(query);
+  }
+  Result<BucketId> HashRecord(const Record& record) const override {
+    return twin_->HashRecord(record);
+  }
+  std::uint64_t ServingDevice(std::uint64_t device,
+                              std::uint64_t linear_bucket) const override {
+    return twin_->ServingDevice(device, linear_bucket);
+  }
+  bool HasDegradedRouting() const override {
+    return twin_->HasDegradedRouting();
+  }
+  void SaveParams(std::ostream& out) const override {
+    twin_->SaveParams(out);
+  }
+
+  // -- Storage plane: one round trip each ------------------------------
+  std::uint64_t num_records() const override;
+  Status Insert(Record record) override;
+  Result<std::uint64_t> Delete(const ValueQuery& query) override;
+  bool IsBucketLive(std::uint64_t device,
+                    std::uint64_t linear_bucket) const override;
+  void ScanBucket(
+      std::uint64_t device, std::uint64_t linear_bucket,
+      const std::function<bool(const Record&)>& fn) const override;
+  Result<QueryResult> Execute(const ValueQuery& query) const override;
+  std::vector<std::uint64_t> RecordCountsPerDevice() const override;
+  void ForEachLiveRecord(
+      const std::function<void(const Record&)>& fn) const override;
+
+  /// Forwarded to the remote replica plane (Unimplemented when the
+  /// remote backend is not replicated); on success the twin's device
+  /// state is updated too, so degraded routing matches the server.
+  Status MarkDown(std::uint64_t device);
+  Status MarkUp(std::uint64_t device);
+
+  /// Terminal (Unavailable) or poisoned (FailedPrecondition) state.
+  Status Health() const override;
+
+ private:
+  RemoteBackend(std::unique_ptr<Transport> transport, Options options)
+      : transport_(std::move(transport)), options_(options) {}
+
+  /// One operation: encode, round-trip with retries, decode the reply
+  /// status, return the body.  `idempotent` selects the retry policy.
+  Result<std::string> Call(WireOp op, std::string payload,
+                           bool idempotent) const;
+
+  std::unique_ptr<Transport> transport_;
+  const Options options_;
+  std::unique_ptr<StorageBackend> twin_;
+  ReplicatedBackend* twin_replicated_ = nullptr;
+
+  /// Serializes transport use and guards the sticky failure state.
+  mutable std::mutex mutex_;
+  mutable std::string terminal_;  ///< non-empty: every op is Unavailable
+  mutable std::string poisoned_;  ///< non-empty: every op FailedPrecondition
+
+  /// ScanBucket callers (the QueryEngine's shared sweep) hold the
+  /// `const Record&`s a scan visited until the batch is assembled, which
+  /// local backends satisfy by handing out references into their own
+  /// storage.  A remote scan decodes records off the wire, so the
+  /// decoded vector is pinned here — one entry per (device, bucket),
+  /// node-stable under concurrent scans of *other* buckets and
+  /// invalidated by the next mutation (the same event that invalidates
+  /// a local backend's references).
+  mutable std::map<std::pair<std::uint64_t, std::uint64_t>,
+                   std::vector<Record>>
+      scan_pins_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_NET_REMOTE_BACKEND_H_

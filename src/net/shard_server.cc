@@ -1,0 +1,312 @@
+#include "net/shard_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "sim/persistence.h"
+
+namespace fxdist {
+
+namespace {
+
+std::string EncodeReply(WireOp op, const Status& status,
+                        const std::string& body) {
+  PayloadWriter writer;
+  writer.WriteStatus(status);
+  WireFrame reply;
+  reply.op = op;
+  reply.is_reply = true;
+  reply.payload = writer.Take();
+  reply.payload.append(body);
+  return EncodeFrame(reply);
+}
+
+}  // namespace
+
+ShardService::ShardService(StorageBackend& backend)
+    : backend_(backend),
+      replicated_(dynamic_cast<ReplicatedBackend*>(&backend)) {}
+
+std::string ShardService::HandleFrame(const std::string& request) {
+  auto frame = DecodeFrame(request);
+  if (!frame.ok()) {
+    return EncodeReply(WireOp::kError, frame.status(), "");
+  }
+  if (frame->is_reply || frame->op == WireOp::kError) {
+    return EncodeReply(
+        WireOp::kError,
+        Status::InvalidArgument("request expected, got a reply frame"), "");
+  }
+  PayloadReader reader(frame->payload);
+  auto body = Dispatch(frame->op, reader);
+  if (!body.ok()) return EncodeReply(frame->op, body.status(), "");
+  return EncodeReply(frame->op, Status::OK(), *body);
+}
+
+Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
+  PayloadWriter writer;
+  switch (op) {
+    case WireOp::kHandshake: {
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      writer.Str(BackendBlueprintText(backend_));
+      return writer.Take();
+    }
+    case WireOp::kInsert: {
+      auto record = reader.ReadRecord();
+      FXDIST_RETURN_NOT_OK(record.status());
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::unique_lock<std::shared_mutex> lock(backend_mutex_);
+      FXDIST_RETURN_NOT_OK(backend_.Insert(*std::move(record)));
+      // Current bucket-space shape: the client's frozen-plane check
+      // (a dynamic backend that grew no longer matches the twin).
+      const auto& sizes = backend_.spec().field_sizes();
+      writer.U32(static_cast<std::uint32_t>(sizes.size()));
+      for (const std::uint64_t size : sizes) writer.U64(size);
+      return writer.Take();
+    }
+    case WireOp::kDelete: {
+      auto query = reader.ReadQuery();
+      FXDIST_RETURN_NOT_OK(query.status());
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::unique_lock<std::shared_mutex> lock(backend_mutex_);
+      auto removed = backend_.Delete(*query);
+      FXDIST_RETURN_NOT_OK(removed.status());
+      writer.U64(*removed);
+      return writer.Take();
+    }
+    case WireOp::kExecute: {
+      auto query = reader.ReadQuery();
+      FXDIST_RETURN_NOT_OK(query.status());
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      auto result = backend_.Execute(*query);
+      FXDIST_RETURN_NOT_OK(result.status());
+      writer.WriteResult(*result);
+      return writer.Take();
+    }
+    case WireOp::kScanBucket:
+    case WireOp::kIsBucketLive: {
+      auto device = reader.U64();
+      FXDIST_RETURN_NOT_OK(device.status());
+      auto bucket = reader.U64();
+      FXDIST_RETURN_NOT_OK(bucket.status());
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      if (*device >= backend_.num_devices()) {
+        return Status::OutOfRange("device " + std::to_string(*device) +
+                                  " out of range");
+      }
+      if (*bucket >= backend_.spec().TotalBuckets()) {
+        return Status::OutOfRange("bucket " + std::to_string(*bucket) +
+                                  " out of range");
+      }
+      if (op == WireOp::kIsBucketLive) {
+        writer.U8(backend_.IsBucketLive(*device, *bucket) ? 1 : 0);
+        return writer.Take();
+      }
+      std::vector<Record> records;
+      backend_.ScanBucket(*device, *bucket, [&](const Record& record) {
+        records.push_back(record);
+        return true;
+      });
+      writer.WriteRecords(records);
+      return writer.Take();
+    }
+    case WireOp::kNumRecords: {
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      writer.U64(backend_.num_records());
+      return writer.Take();
+    }
+    case WireOp::kRecordCounts: {
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      const auto counts = backend_.RecordCountsPerDevice();
+      writer.U32(static_cast<std::uint32_t>(counts.size()));
+      for (const std::uint64_t count : counts) writer.U64(count);
+      return writer.Take();
+    }
+    case WireOp::kMarkDown:
+    case WireOp::kMarkUp: {
+      auto device = reader.U64();
+      FXDIST_RETURN_NOT_OK(device.status());
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      if (replicated_ == nullptr) {
+        return Status::Unimplemented("backend '" + backend_.backend_name() +
+                                     "' has no replica plane");
+      }
+      std::unique_lock<std::shared_mutex> lock(backend_mutex_);
+      FXDIST_RETURN_NOT_OK(op == WireOp::kMarkDown
+                               ? replicated_->MarkDown(*device)
+                               : replicated_->MarkUp(*device));
+      return writer.Take();
+    }
+    case WireOp::kListRecords: {
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      std::vector<Record> records;
+      backend_.ForEachLiveRecord(
+          [&](const Record& record) { records.push_back(record); });
+      writer.WriteRecords(records);
+      return writer.Take();
+    }
+    case WireOp::kError:
+      break;  // rejected by HandleFrame
+  }
+  return Status::InvalidArgument("unhandled wire opcode");
+}
+
+// -- ShardServer ---------------------------------------------------------
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Start(
+    StorageBackend& backend, Options options) {
+  std::unique_ptr<ShardServer> server(new ShardServer(backend, options));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Unavailable("bind port " + std::to_string(options.port) +
+                               ": " + std::strerror(err));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(err));
+  }
+
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->pool_ = std::make_unique<ThreadPool>(
+      std::max(1u, options.max_connections));
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+void ShardServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Wakes the blocked accept().
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Wakes every connection handler blocked in recv/send; the handlers
+    // erase and close their own fds.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : connections_) (void)::shutdown(fd, SHUT_RDWR);
+  }
+  pool_->Wait();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  stopped_.notify_all();
+}
+
+void ShardServer::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stopped_.wait(lock, [this] { return stopping_; });
+}
+
+void ShardServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket shut down (or broken beyond repair)
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.push_back(fd);
+    pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void ShardServer::ServeConnection(int fd) {
+  auto recv_exact = [fd](std::string& buf, std::size_t want) -> bool {
+    const std::size_t base = buf.size();
+    buf.resize(base + want);
+    std::size_t got = 0;
+    while (got < want) {
+      const ssize_t n = ::recv(fd, buf.data() + base + got, want - got, 0);
+      if (n <= 0) return false;  // peer done (or shut down by Stop)
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  for (;;) {
+    std::string request;
+    if (!recv_exact(request, kWireHeaderSize)) break;
+    auto total = FrameSizeFromHeader(request);
+    // An unframed or oversized request leaves the stream unrecoverable:
+    // answer with an error frame and drop the connection.
+    if (!total.ok()) {
+      const std::string reply =
+          EncodeReply(WireOp::kError, total.status(), "");
+      (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      break;
+    }
+    if (!recv_exact(request, *total - kWireHeaderSize)) break;
+
+    const std::string reply = service_.HandleFrame(request);
+    std::size_t sent = 0;
+    bool send_ok = true;
+    while (sent < reply.size()) {
+      const ssize_t n = ::send(fd, reply.data() + sent, reply.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        send_ok = false;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (!send_ok) break;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.erase(
+      std::remove(connections_.begin(), connections_.end(), fd),
+      connections_.end());
+  ::close(fd);
+}
+
+}  // namespace fxdist

@@ -1,0 +1,108 @@
+// Server side of the shard transport: a StorageBackend behind a socket.
+//
+// ShardService is the transport-independent core — it turns one request
+// frame into one reply frame, with the locking the StorageBackend
+// contract requires (the backend is externally synchronized, so the
+// service holds a shared lock for reads and an exclusive lock for
+// Insert/Delete/MarkDown/MarkUp).  LoopbackTransport can call it
+// directly for deterministic in-process tests.
+//
+// ShardServer puts a ShardService behind a listening TCP socket: an
+// accept loop hands each connection to a small thread pool, and every
+// connection serves frames until its peer disconnects.  Reply payloads
+// always start with an encoded Status; an undecodable request gets a
+// WireOp::kError reply (the stream itself stays framed, so one bad
+// request does not desync the connection).
+
+#ifndef FXDIST_NET_SHARD_SERVER_H_
+#define FXDIST_NET_SHARD_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "sim/composite_backend.h"
+#include "sim/storage_backend.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace fxdist {
+
+class ShardService {
+ public:
+  /// The backend must outlive the service.  MarkDown/MarkUp are served
+  /// only when the backend is a ReplicatedBackend (Unimplemented
+  /// otherwise).
+  explicit ShardService(StorageBackend& backend);
+
+  /// One complete request frame in, one complete reply frame out.
+  /// Thread-safe; never throws, never returns an unframed error.
+  std::string HandleFrame(const std::string& request);
+
+ private:
+  Result<std::string> Dispatch(WireOp op, PayloadReader& reader);
+
+  StorageBackend& backend_;
+  ReplicatedBackend* replicated_;  ///< backend_ downcast, or nullptr
+  std::shared_mutex backend_mutex_;
+};
+
+struct ShardServerOptions {
+  std::uint16_t port = 0;        ///< 0 picks an ephemeral port
+  unsigned max_connections = 8;  ///< connection-handler pool size
+};
+
+/// A ShardService listening on a TCP port.
+class ShardServer {
+ public:
+  using Options = ShardServerOptions;
+
+  /// Binds, listens and starts the accept loop.  The backend must
+  /// outlive the server.
+  static Result<std::unique_ptr<ShardServer>> Start(StorageBackend& backend,
+                                                    Options options = {});
+
+  /// Stops the server (idempotent): wakes the accept loop, shuts every
+  /// open connection and joins all threads.
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// The bound port (useful with Options::port == 0).
+  std::uint16_t port() const { return port_; }
+
+  void Stop();
+  /// Blocks until Stop() is called from another thread (or the process
+  /// is killed) — the `fxdistctl shard-serve` main loop.
+  void Wait();
+
+ private:
+  explicit ShardServer(StorageBackend& backend, Options options)
+      : service_(backend), options_(options) {}
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  ShardService service_;
+  const Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  std::condition_variable stopped_;
+  bool stopping_ = false;
+  std::vector<int> connections_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_NET_SHARD_SERVER_H_

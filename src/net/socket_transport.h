@@ -1,0 +1,67 @@
+// Blocking TCP transport: one connection, one in-flight request.
+//
+// Timeouts are plain socket deadlines (SO_RCVTIMEO / SO_SNDTIMEO); the
+// error taxonomy follows net/transport.h: connect failures and
+// nothing-sent write failures map to Unavailable (the request never left
+// this host), receive timeouts to DeadlineExceeded, and short reads /
+// peer resets after the request went out to DataLoss.  Any failure
+// closes the connection; the next RoundTrip reconnects, so a restarted
+// shard server is picked up transparently within the retry budget.
+
+#ifndef FXDIST_NET_SOCKET_TRANSPORT_H_
+#define FXDIST_NET_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+struct SocketTransportOptions {
+  /// Per-operation socket deadline (send and receive), milliseconds.
+  int io_timeout_ms = 5000;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  using Options = SocketTransportOptions;
+
+  /// Resolves and connects eagerly so a bad address fails here, not on
+  /// the first operation.
+  static Result<std::unique_ptr<SocketTransport>> Connect(
+      const std::string& host, std::uint16_t port, Options options = {});
+
+  /// Parses "host:port" (the `remote:` child-spec body).
+  static Result<std::unique_ptr<SocketTransport>> ConnectSpec(
+      const std::string& host_port, Options options = {});
+
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  Result<std::string> RoundTrip(const std::string& request) override;
+
+ private:
+  SocketTransport(std::string host, std::uint16_t port, Options options)
+      : host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Connects fd_ if needed.  Caller holds mutex_.
+  Status EnsureConnectedLocked();
+  void CloseLocked();
+
+  const std::string host_;
+  const std::uint16_t port_;
+  const Options options_;
+
+  std::mutex mutex_;
+  int fd_ = -1;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_NET_SOCKET_TRANSPORT_H_

@@ -1,0 +1,73 @@
+#include "net/transport.h"
+
+namespace fxdist {
+
+void FaultInjectingTransport::InjectFault(FaultKind kind, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  kind_ = kind;
+  fault_budget_ = count;
+}
+
+std::uint64_t FaultInjectingTransport::calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calls_;
+}
+
+std::uint64_t FaultInjectingTransport::faulted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faulted_;
+}
+
+std::uint64_t FaultInjectingTransport::delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_;
+}
+
+Result<std::string> FaultInjectingTransport::RoundTrip(
+    const std::string& request) {
+  FaultKind kind = FaultKind::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++calls_;
+    if (kind_ != FaultKind::kNone && fault_budget_ != 0) {
+      kind = kind_;
+      ++faulted_;
+      if (fault_budget_ > 0) --fault_budget_;
+    }
+  }
+
+  // kDrop is the only fault where the server never sees the request.
+  if (kind == FaultKind::kDrop) {
+    return Status::Unavailable("fault injection: request dropped");
+  }
+
+  auto reply = inner_->RoundTrip(request);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++delivered_;
+  }
+  switch (kind) {
+    case FaultKind::kNone:
+      return reply;
+    case FaultKind::kDelayPastDeadline:
+      // The server answered; the reply just arrives too late to matter.
+      return Status::DeadlineExceeded("fault injection: reply past deadline");
+    case FaultKind::kDisconnectMidReply:
+      return Status::DataLoss("fault injection: connection died mid-reply");
+    case FaultKind::kCorruptReply: {
+      if (!reply.ok()) return reply;
+      std::string corrupted = *std::move(reply);
+      if (!corrupted.empty()) {
+        // Deterministic single-byte flip; the checksum must reject it.
+        corrupted[corrupted.size() / 2] =
+            static_cast<char>(corrupted[corrupted.size() / 2] ^ 0x5a);
+      }
+      return corrupted;
+    }
+    case FaultKind::kDrop:
+      break;  // handled above
+  }
+  return reply;
+}
+
+}  // namespace fxdist

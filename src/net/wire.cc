@@ -1,0 +1,422 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace fxdist {
+
+namespace {
+
+void AppendU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t LoadU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[0]) |
+                                    static_cast<std::uint16_t>(b[1]) << 8);
+}
+
+std::uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<std::uint32_t>(b[i]);
+  return v;
+}
+
+std::uint64_t LoadU64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<std::uint64_t>(b[i]);
+  return v;
+}
+
+constexpr std::uint8_t kFlagReply = 0x01;
+
+}  // namespace
+
+Result<WireOp> ParseWireOp(std::uint8_t raw) {
+  if ((raw >= 1 && raw <= 11) ||
+      raw == static_cast<std::uint8_t>(WireOp::kError)) {
+    return static_cast<WireOp>(raw);
+  }
+  return Status::InvalidArgument("unknown wire opcode " +
+                                 std::to_string(static_cast<unsigned>(raw)));
+}
+
+const char* WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kHandshake: return "Handshake";
+    case WireOp::kInsert: return "Insert";
+    case WireOp::kDelete: return "Delete";
+    case WireOp::kExecute: return "Execute";
+    case WireOp::kScanBucket: return "ScanBucket";
+    case WireOp::kIsBucketLive: return "IsBucketLive";
+    case WireOp::kNumRecords: return "NumRecords";
+    case WireOp::kRecordCounts: return "RecordCounts";
+    case WireOp::kMarkDown: return "MarkDown";
+    case WireOp::kMarkUp: return "MarkUp";
+    case WireOp::kListRecords: return "ListRecords";
+    case WireOp::kError: return "Error";
+  }
+  return "?";
+}
+
+std::uint64_t WireChecksum(std::string_view bytes) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string EncodeFrame(const WireFrame& frame) {
+  FXDIST_DCHECK(frame.payload.size() <= kWireMaxPayload);
+  std::string out;
+  out.reserve(kWireHeaderSize + frame.payload.size() + kWireChecksumSize);
+  AppendU32(out, kWireMagic);
+  AppendU16(out, kWireVersion);
+  out.push_back(static_cast<char>(frame.op));
+  out.push_back(static_cast<char>(frame.is_reply ? kFlagReply : 0));
+  AppendU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  AppendU64(out, WireChecksum(out));
+  return out;
+}
+
+Result<std::size_t> FrameSizeFromHeader(std::string_view header) {
+  if (header.size() < kWireHeaderSize) {
+    return Status::DataLoss("wire header truncated");
+  }
+  if (LoadU32(header.data()) != kWireMagic) {
+    return Status::InvalidArgument("bad wire magic");
+  }
+  const std::uint16_t version = LoadU16(header.data() + 4);
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire version mismatch: peer speaks v" +
+                                   std::to_string(version) + ", this build v" +
+                                   std::to_string(kWireVersion));
+  }
+  const std::uint32_t payload_len = LoadU32(header.data() + 8);
+  if (payload_len > kWireMaxPayload) {
+    return Status::InvalidArgument("wire payload length " +
+                                   std::to_string(payload_len) +
+                                   " exceeds limit");
+  }
+  return kWireHeaderSize + payload_len + kWireChecksumSize;
+}
+
+Result<WireFrame> DecodeFrame(std::string_view bytes) {
+  auto total = FrameSizeFromHeader(bytes);
+  FXDIST_RETURN_NOT_OK(total.status());
+  if (bytes.size() != *total) {
+    return Status::DataLoss("wire frame size mismatch: have " +
+                            std::to_string(bytes.size()) + " bytes, header " +
+                            "announces " + std::to_string(*total));
+  }
+  const std::size_t body = *total - kWireChecksumSize;
+  if (LoadU64(bytes.data() + body) != WireChecksum(bytes.substr(0, body))) {
+    return Status::DataLoss("wire frame failed checksum");
+  }
+  auto op = ParseWireOp(static_cast<std::uint8_t>(bytes[6]));
+  FXDIST_RETURN_NOT_OK(op.status());
+  WireFrame frame;
+  frame.op = *op;
+  frame.is_reply = (static_cast<std::uint8_t>(bytes[7]) & kFlagReply) != 0;
+  frame.payload.assign(bytes.data() + kWireHeaderSize,
+                       body - kWireHeaderSize);
+  return frame;
+}
+
+// -- PayloadWriter -------------------------------------------------------
+
+void PayloadWriter::U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+void PayloadWriter::U32(std::uint32_t v) { AppendU32(out_, v); }
+void PayloadWriter::U64(std::uint64_t v) { AppendU64(out_, v); }
+
+void PayloadWriter::F64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out_, bits);
+}
+
+void PayloadWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void PayloadWriter::WriteStatus(const Status& status) {
+  U8(static_cast<std::uint8_t>(status.code()));
+  Str(status.message());
+}
+
+void PayloadWriter::WriteValue(const FieldValue& value) {
+  U8(static_cast<std::uint8_t>(TypeOf(value)));
+  switch (TypeOf(value)) {
+    case ValueType::kInt64:
+      U64(static_cast<std::uint64_t>(std::get<std::int64_t>(value)));
+      break;
+    case ValueType::kDouble:
+      F64(std::get<double>(value));
+      break;
+    case ValueType::kString:
+      Str(std::get<std::string>(value));
+      break;
+  }
+}
+
+void PayloadWriter::WriteRecord(const Record& record) {
+  U32(static_cast<std::uint32_t>(record.size()));
+  for (const FieldValue& value : record) WriteValue(value);
+}
+
+void PayloadWriter::WriteRecords(const std::vector<Record>& records) {
+  U32(static_cast<std::uint32_t>(records.size()));
+  for (const Record& record : records) WriteRecord(record);
+}
+
+void PayloadWriter::WriteQuery(const ValueQuery& query) {
+  U32(static_cast<std::uint32_t>(query.size()));
+  for (const auto& field : query) {
+    U8(field.has_value() ? 1 : 0);
+    if (field.has_value()) WriteValue(*field);
+  }
+}
+
+void PayloadWriter::WriteStats(const QueryStats& stats) {
+  U32(static_cast<std::uint32_t>(stats.qualified_per_device.size()));
+  for (const std::uint64_t q : stats.qualified_per_device) U64(q);
+  U64(stats.total_qualified);
+  U64(stats.largest_response);
+  U64(stats.optimal_bound);
+  U8(stats.strict_optimal ? 1 : 0);
+  U64(stats.records_examined);
+  U64(stats.records_matched);
+  F64(stats.disk_timing.parallel_ms);
+  F64(stats.disk_timing.serial_ms);
+  F64(stats.disk_timing.speedup);
+  F64(stats.wall_ms);
+  U32(static_cast<std::uint32_t>(stats.device_wall_ms.size()));
+  for (const double w : stats.device_wall_ms) F64(w);
+}
+
+void PayloadWriter::WriteResult(const QueryResult& result) {
+  WriteRecords(result.records);
+  WriteStats(result.stats);
+}
+
+// -- PayloadReader -------------------------------------------------------
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::DataLoss(std::string("wire payload truncated reading ") +
+                          what);
+}
+
+}  // namespace
+
+Result<std::uint8_t> PayloadReader::U8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<std::uint8_t>(payload_[pos_++]);
+}
+
+Result<std::uint32_t> PayloadReader::U32() {
+  if (remaining() < 4) return Truncated("u32");
+  const std::uint32_t v = LoadU32(payload_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> PayloadReader::U64() {
+  if (remaining() < 8) return Truncated("u64");
+  const std::uint64_t v = LoadU64(payload_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<double> PayloadReader::F64() {
+  auto bits = U64();
+  FXDIST_RETURN_NOT_OK(bits.status());
+  double v = 0.0;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> PayloadReader::Str() {
+  auto len = U32();
+  FXDIST_RETURN_NOT_OK(len.status());
+  if (remaining() < *len) return Truncated("string body");
+  std::string s(payload_.substr(pos_, *len));
+  pos_ += *len;
+  return s;
+}
+
+Status PayloadReader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::DataLoss("wire payload has " + std::to_string(remaining()) +
+                            " trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status PayloadReader::ReadStatusInto(Status* out) {
+  auto code = U8();
+  FXDIST_RETURN_NOT_OK(code.status());
+  if (*code > static_cast<std::uint8_t>(StatusCode::kDataLoss)) {
+    return Status::DataLoss("wire status code out of range");
+  }
+  auto message = Str();
+  FXDIST_RETURN_NOT_OK(message.status());
+  if (*code == 0 && !message->empty()) {
+    return Status::DataLoss("wire OK status carries a message");
+  }
+  *out = Status(static_cast<StatusCode>(*code), *std::move(message));
+  return Status::OK();
+}
+
+Result<FieldValue> PayloadReader::ReadValue() {
+  auto tag = U8();
+  FXDIST_RETURN_NOT_OK(tag.status());
+  switch (*tag) {
+    case static_cast<std::uint8_t>(ValueType::kInt64): {
+      auto v = U64();
+      FXDIST_RETURN_NOT_OK(v.status());
+      return FieldValue(static_cast<std::int64_t>(*v));
+    }
+    case static_cast<std::uint8_t>(ValueType::kDouble): {
+      auto v = F64();
+      FXDIST_RETURN_NOT_OK(v.status());
+      return FieldValue(*v);
+    }
+    case static_cast<std::uint8_t>(ValueType::kString): {
+      auto v = Str();
+      FXDIST_RETURN_NOT_OK(v.status());
+      return FieldValue(*std::move(v));
+    }
+    default:
+      return Status::DataLoss("wire value has unknown type tag");
+  }
+}
+
+Result<Record> PayloadReader::ReadRecord() {
+  auto count = U32();
+  FXDIST_RETURN_NOT_OK(count.status());
+  // Every value costs at least one tag byte.
+  if (*count > remaining()) return Truncated("record values");
+  Record record;
+  record.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto value = ReadValue();
+    FXDIST_RETURN_NOT_OK(value.status());
+    record.push_back(*std::move(value));
+  }
+  return record;
+}
+
+Result<std::vector<Record>> PayloadReader::ReadRecords() {
+  auto count = U32();
+  FXDIST_RETURN_NOT_OK(count.status());
+  // Every record costs at least its 4-byte arity.
+  if (*count > remaining() / 4) return Truncated("record list");
+  std::vector<Record> records;
+  records.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto record = ReadRecord();
+    FXDIST_RETURN_NOT_OK(record.status());
+    records.push_back(*std::move(record));
+  }
+  return records;
+}
+
+Result<ValueQuery> PayloadReader::ReadQuery() {
+  auto count = U32();
+  FXDIST_RETURN_NOT_OK(count.status());
+  if (*count > remaining()) return Truncated("query fields");
+  ValueQuery query;
+  query.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto present = U8();
+    FXDIST_RETURN_NOT_OK(present.status());
+    if (*present > 1) return Status::DataLoss("wire query flag out of range");
+    if (*present == 0) {
+      query.push_back(std::nullopt);
+      continue;
+    }
+    auto value = ReadValue();
+    FXDIST_RETURN_NOT_OK(value.status());
+    query.push_back(*std::move(value));
+  }
+  return query;
+}
+
+Result<QueryStats> PayloadReader::ReadStats() {
+  QueryStats stats;
+  auto devices = U32();
+  FXDIST_RETURN_NOT_OK(devices.status());
+  if (*devices > remaining() / 8) return Truncated("qualified counts");
+  stats.qualified_per_device.reserve(*devices);
+  for (std::uint32_t i = 0; i < *devices; ++i) {
+    auto q = U64();
+    FXDIST_RETURN_NOT_OK(q.status());
+    stats.qualified_per_device.push_back(*q);
+  }
+#define FXDIST_WIRE_READ(field, reader)     \
+  do {                                      \
+    auto _v = reader();                     \
+    FXDIST_RETURN_NOT_OK(_v.status());      \
+    field = *_v;                            \
+  } while (false)
+  FXDIST_WIRE_READ(stats.total_qualified, U64);
+  FXDIST_WIRE_READ(stats.largest_response, U64);
+  FXDIST_WIRE_READ(stats.optimal_bound, U64);
+  auto strict = U8();
+  FXDIST_RETURN_NOT_OK(strict.status());
+  if (*strict > 1) return Status::DataLoss("wire bool out of range");
+  stats.strict_optimal = *strict != 0;
+  FXDIST_WIRE_READ(stats.records_examined, U64);
+  FXDIST_WIRE_READ(stats.records_matched, U64);
+  FXDIST_WIRE_READ(stats.disk_timing.parallel_ms, F64);
+  FXDIST_WIRE_READ(stats.disk_timing.serial_ms, F64);
+  FXDIST_WIRE_READ(stats.disk_timing.speedup, F64);
+  FXDIST_WIRE_READ(stats.wall_ms, F64);
+#undef FXDIST_WIRE_READ
+  auto walls = U32();
+  FXDIST_RETURN_NOT_OK(walls.status());
+  if (*walls > remaining() / 8) return Truncated("device wall times");
+  stats.device_wall_ms.reserve(*walls);
+  for (std::uint32_t i = 0; i < *walls; ++i) {
+    auto w = F64();
+    FXDIST_RETURN_NOT_OK(w.status());
+    stats.device_wall_ms.push_back(*w);
+  }
+  return stats;
+}
+
+Result<QueryResult> PayloadReader::ReadResult() {
+  QueryResult result;
+  auto records = ReadRecords();
+  FXDIST_RETURN_NOT_OK(records.status());
+  result.records = *std::move(records);
+  auto stats = ReadStats();
+  FXDIST_RETURN_NOT_OK(stats.status());
+  result.stats = *std::move(stats);
+  return result;
+}
+
+}  // namespace fxdist

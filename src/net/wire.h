@@ -1,0 +1,156 @@
+// Framed wire protocol for remote StorageBackend access.
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//   0       4     magic   0x46585721 ("FXW!"), little-endian
+//   4       2     version (kWireVersion; peers must match exactly)
+//   6       1     opcode  (WireOp)
+//   7       1     flags   (bit 0: reply)
+//   8       4     payload length, little-endian (<= kWireMaxPayload)
+//   12      n     payload
+//   12+n    8     FNV-1a 64 checksum over header + payload, little-endian
+//
+// All integers on the wire are little-endian and written byte-by-byte, so
+// the format is host-endianness independent.  DecodeFrame validates magic,
+// version, opcode, length and checksum before returning; a frame that
+// fails any check is rejected with DataLoss (corruption) or
+// InvalidArgument (wrong protocol/version) and never causes an over-read.
+//
+// Payloads are op-specific and built with PayloadWriter / parsed with
+// PayloadReader, a bounds-checked cursor whose every read can fail.
+// Reply payloads always start with an encoded Status; body fields follow
+// only when the status is OK.
+
+#ifndef FXDIST_NET_WIRE_H_
+#define FXDIST_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hashing/multikey_hash.h"
+#include "hashing/value.h"
+#include "sim/storage_backend.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+inline constexpr std::uint32_t kWireMagic = 0x46585721u;  // "FXW!"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderSize = 12;
+inline constexpr std::size_t kWireChecksumSize = 8;
+/// Frames larger than this are rejected before any allocation.
+inline constexpr std::uint32_t kWireMaxPayload = 64u << 20;
+
+/// Operations of the remote StorageBackend surface.  Values are part of
+/// the wire format; append only.
+enum class WireOp : std::uint8_t {
+  kHandshake = 1,     ///< -> version + construction blueprint text
+  kInsert = 2,        ///< record -> current bucket-space shape
+  kDelete = 3,        ///< query -> removed count
+  kExecute = 4,       ///< query -> QueryResult
+  kScanBucket = 5,    ///< (device, bucket) -> records
+  kIsBucketLive = 6,  ///< (device, bucket) -> bool
+  kNumRecords = 7,    ///< -> u64
+  kRecordCounts = 8,  ///< -> per-device u64s
+  kMarkDown = 9,      ///< device -> ()
+  kMarkUp = 10,       ///< device -> ()
+  kListRecords = 11,  ///< -> every live record (persistence hook)
+  kError = 127,       ///< reply to an undecodable request: Status only
+};
+
+/// The opcode, or InvalidArgument for a byte outside the enum.
+Result<WireOp> ParseWireOp(std::uint8_t raw);
+
+/// Stable name for diagnostics ("Insert", "ScanBucket", ...).
+const char* WireOpName(WireOp op);
+
+/// One decoded frame.
+struct WireFrame {
+  WireOp op = WireOp::kHandshake;
+  bool is_reply = false;
+  std::string payload;
+};
+
+/// FNV-1a 64 over `bytes`.
+std::uint64_t WireChecksum(std::string_view bytes);
+
+/// Serializes header + payload + checksum.  The payload must not exceed
+/// kWireMaxPayload (DCHECK'd; oversized payloads indicate a caller bug).
+std::string EncodeFrame(const WireFrame& frame);
+
+/// Total frame size (header + payload + checksum) announced by a header
+/// prefix of at least kWireHeaderSize bytes, after validating magic,
+/// version and payload length — what a stream reader needs before the
+/// full frame has arrived.
+Result<std::size_t> FrameSizeFromHeader(std::string_view header);
+
+/// Validates and decodes one complete frame.
+Result<WireFrame> DecodeFrame(std::string_view bytes);
+
+/// Append-only payload builder.  All writes are infallible.
+class PayloadWriter {
+ public:
+  void U8(std::uint8_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void F64(double v);  ///< IEEE-754 bits, little-endian
+  void Str(std::string_view s);
+
+  void WriteStatus(const Status& status);
+  void WriteValue(const FieldValue& value);
+  void WriteRecord(const Record& record);
+  void WriteRecords(const std::vector<Record>& records);
+  void WriteQuery(const ValueQuery& query);
+  void WriteStats(const QueryStats& stats);
+  void WriteResult(const QueryResult& result);
+
+  const std::string& payload() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked payload cursor.  Every read returns an error instead of
+/// over-reading; element counts are sanity-checked against the remaining
+/// byte budget before any allocation, so a corrupted count cannot force a
+/// huge reserve.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
+
+  Result<std::uint8_t> U8();
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  Result<double> F64();
+  Result<std::string> Str();
+
+  /// Parses an encoded status into `*out`.  The returned Status is the
+  /// *parse* outcome, not the parsed value (Result<Status> would be
+  /// ambiguous).
+  Status ReadStatusInto(Status* out);
+  Result<FieldValue> ReadValue();
+  Result<Record> ReadRecord();
+  Result<std::vector<Record>> ReadRecords();
+  Result<ValueQuery> ReadQuery();
+  Result<QueryStats> ReadStats();
+  Result<QueryResult> ReadResult();
+
+  std::size_t remaining() const { return payload_.size() - pos_; }
+  bool AtEnd() const { return pos_ == payload_.size(); }
+  /// DataLoss unless the whole payload was consumed (catches truncated
+  /// writers and desynced readers alike).
+  Status ExpectEnd() const;
+
+ private:
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_NET_WIRE_H_

@@ -80,6 +80,10 @@ Result<QueryResult> ExecuteRouted(const StorageBackend& backend,
   stats.optimal_bound = StrictOptimalBound(backend.spec(), *hashed);
   stats.strict_optimal = stats.largest_response <= stats.optimal_bound;
   stats.disk_timing = DiskQueryTiming(stats.qualified_per_device);
+  // ScanBucket cannot report errors; a child that died mid-sweep (remote
+  // shard past its retry budget) visited nothing, so re-check health and
+  // escalate rather than return silently partial results.
+  FXDIST_RETURN_NOT_OK(backend.Health());
   return result;
 }
 
@@ -187,6 +191,14 @@ std::vector<std::uint64_t> ShardedBackend::RecordCountsPerDevice() const {
     for (std::uint64_t i = 0; i < counts.size(); ++i) out[i] += counts[i];
   }
   return out;
+}
+
+Status ShardedBackend::Health() const {
+  if (!poisoned_.empty()) return Status::FailedPrecondition(poisoned_);
+  for (const auto& child : children_) {
+    FXDIST_RETURN_NOT_OK(child->Health());
+  }
+  return Status::OK();
 }
 
 void ShardedBackend::SaveParams(std::ostream& out) const {

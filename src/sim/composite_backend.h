@@ -82,6 +82,10 @@ class ShardedBackend : public StorageBackend {
   Result<QueryResult> Execute(const ValueQuery& query) const override;
   std::vector<std::uint64_t> RecordCountsPerDevice() const override;
 
+  /// Poisoned state, or the first unhealthy child (a remote shard past
+  /// its retry budget surfaces here as Unavailable).
+  Status Health() const override;
+
   void SaveParams(std::ostream& out) const override;
   void ForEachLiveRecord(
       const std::function<void(const Record&)>& fn) const override;
@@ -188,6 +192,11 @@ class ReplicatedBackend : public StorageBackend {
   Result<QueryResult> Execute(const ValueQuery& query) const override;
   std::vector<std::uint64_t> RecordCountsPerDevice() const override {
     return primary_->RecordCountsPerDevice();
+  }
+
+  Status Health() const override {
+    if (auto st = primary_->Health(); !st.ok()) return st;
+    return replica_->Health();
   }
 
   void SaveParams(std::ostream& out) const override;

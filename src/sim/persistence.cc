@@ -254,6 +254,96 @@ Result<BackendBlueprint> ReadBlueprint(Reader& reader, int version,
   return Status::InvalidArgument("unknown backend kind: " + kind);
 }
 
+/// An empty backend rebuilt from its blueprint, plus what the caller
+/// still has to do: replay `arity`-field records, then (replicated) mark
+/// the `down` devices — degraded mode is read-only, so down state is
+/// applied only once both copies hold their records again.
+struct EmptyBackend {
+  std::unique_ptr<StorageBackend> backend;
+  unsigned arity = 0;
+  std::vector<std::uint64_t> down;
+};
+
+/// Dispatches on the kind token already consumed by the caller and builds
+/// the empty backend: monolithic kinds directly from their blueprint,
+/// "sharded" as M identical children, "replicated" as the primary plus
+/// its rotated twin.
+Result<EmptyBackend> BuildEmptyBackend(Reader& reader, int version,
+                                       const std::string& kind) {
+  EmptyBackend out;
+  if (kind == "sharded") {
+    if (version < 3) {
+      return Status::InvalidArgument("sharded backends need format v3");
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto child_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(child_kind.status());
+    auto bp = ReadBlueprint(reader, version, *child_kind);
+    FXDIST_RETURN_NOT_OK(bp.status());
+    std::vector<std::unique_ptr<StorageBackend>> children;
+    for (std::uint64_t d = 0; d < bp->devices; ++d) {
+      auto child = bp->Build();
+      FXDIST_RETURN_NOT_OK(child.status());
+      children.push_back(*std::move(child));
+    }
+    auto sharded = ShardedBackend::Create(std::move(children));
+    FXDIST_RETURN_NOT_OK(sharded.status());
+    out.backend = std::make_unique<ShardedBackend>(*std::move(sharded));
+    out.arity = bp->arity();
+    return out;
+  }
+  if (kind == "replicated") {
+    if (version < 3) {
+      return Status::InvalidArgument("replicated backends need format v3");
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("placement"));
+    auto placement_tag = reader.Word();
+    FXDIST_RETURN_NOT_OK(placement_tag.status());
+    ReplicaPlacement placement;
+    if (*placement_tag == "mirrored") {
+      placement = ReplicaPlacement::kMirrored;
+    } else if (*placement_tag == "chained") {
+      placement = ReplicaPlacement::kChained;
+    } else {
+      return Status::InvalidArgument("unknown replica placement: " +
+                                     *placement_tag);
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("down"));
+    auto down_count = reader.U64();
+    FXDIST_RETURN_NOT_OK(down_count.status());
+    for (std::uint64_t i = 0; i < *down_count; ++i) {
+      auto d = reader.U64();
+      FXDIST_RETURN_NOT_OK(d.status());
+      out.down.push_back(*d);
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto child_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(child_kind.status());
+    auto bp = ReadBlueprint(reader, version, *child_kind);
+    FXDIST_RETURN_NOT_OK(bp.status());
+    auto primary = bp->Build();
+    FXDIST_RETURN_NOT_OK(primary.status());
+    const std::uint64_t offset =
+        ReplicatedBackend::ReplicaOffset(placement, bp->devices);
+    auto replica =
+        bp->Build("rot" + std::to_string(offset) + ":" + bp->distribution);
+    FXDIST_RETURN_NOT_OK(replica.status());
+    auto replicated = ReplicatedBackend::Create(
+        *std::move(primary), *std::move(replica), placement);
+    FXDIST_RETURN_NOT_OK(replicated.status());
+    out.backend = std::make_unique<ReplicatedBackend>(*std::move(replicated));
+    out.arity = bp->arity();
+    return out;
+  }
+  auto bp = ReadBlueprint(reader, version, kind);
+  FXDIST_RETURN_NOT_OK(bp.status());
+  auto built = bp->Build();
+  FXDIST_RETURN_NOT_OK(built.status());
+  out.backend = *std::move(built);
+  out.arity = bp->arity();
+  return out;
+}
+
 }  // namespace
 
 Status SaveParallelFile(const ParallelFile& file, const std::string& path) {
@@ -321,85 +411,48 @@ Result<std::unique_ptr<StorageBackend>> LoadBackend(const std::string& path) {
   auto kind = reader.Word();
   FXDIST_RETURN_NOT_OK(kind.status());
 
-  if (*kind == "sharded") {
-    if (version < 3) {
-      return Status::InvalidArgument("sharded backends need format v3");
+  auto empty = BuildEmptyBackend(reader, version, *kind);
+  FXDIST_RETURN_NOT_OK(empty.status());
+  FXDIST_RETURN_NOT_OK(
+      ReplayRecords(reader, in, empty->arity, *empty->backend));
+  if (!empty->down.empty()) {
+    auto* replicated = dynamic_cast<ReplicatedBackend*>(empty->backend.get());
+    if (replicated == nullptr) {
+      return Status::Internal("down set on a non-replicated backend");
     }
-    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
-    auto child_kind = reader.Word();
-    FXDIST_RETURN_NOT_OK(child_kind.status());
-    auto bp = ReadBlueprint(reader, version, *child_kind);
-    FXDIST_RETURN_NOT_OK(bp.status());
-    std::vector<std::unique_ptr<StorageBackend>> children;
-    for (std::uint64_t d = 0; d < bp->devices; ++d) {
-      auto child = bp->Build();
-      FXDIST_RETURN_NOT_OK(child.status());
-      children.push_back(*std::move(child));
+    for (std::uint64_t d : empty->down) {
+      FXDIST_RETURN_NOT_OK(replicated->MarkDown(d));
     }
-    auto sharded = ShardedBackend::Create(std::move(children));
-    FXDIST_RETURN_NOT_OK(sharded.status());
-    auto backend = std::make_unique<ShardedBackend>(*std::move(sharded));
-    FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, bp->arity(), *backend));
-    return std::unique_ptr<StorageBackend>(std::move(backend));
   }
+  return std::move(empty->backend);
+}
 
-  if (*kind == "replicated") {
-    if (version < 3) {
-      return Status::InvalidArgument("replicated backends need format v3");
+std::string BackendBlueprintText(const StorageBackend& backend) {
+  std::ostringstream out;
+  out << "kind " << backend.backend_name() << '\n';
+  backend.SaveParams(out);
+  return out.str();
+}
+
+Result<std::unique_ptr<StorageBackend>> BuildBackendFromBlueprintText(
+    const std::string& text) {
+  std::istringstream in(text);
+  Reader reader(in);
+  FXDIST_RETURN_NOT_OK(reader.Expect("kind"));
+  auto kind = reader.Word();
+  FXDIST_RETURN_NOT_OK(kind.status());
+  auto empty = BuildEmptyBackend(reader, /*version=*/3, *kind);
+  FXDIST_RETURN_NOT_OK(empty.status());
+  if (!empty->down.empty()) {
+    auto* replicated = dynamic_cast<ReplicatedBackend*>(empty->backend.get());
+    if (replicated == nullptr) {
+      return Status::Internal("down set on a non-replicated backend");
     }
-    FXDIST_RETURN_NOT_OK(reader.Expect("placement"));
-    auto placement_tag = reader.Word();
-    FXDIST_RETURN_NOT_OK(placement_tag.status());
-    ReplicaPlacement placement;
-    if (*placement_tag == "mirrored") {
-      placement = ReplicaPlacement::kMirrored;
-    } else if (*placement_tag == "chained") {
-      placement = ReplicaPlacement::kChained;
-    } else {
-      return Status::InvalidArgument("unknown replica placement: " +
-                                     *placement_tag);
+    for (std::uint64_t d : empty->down) {
+      FXDIST_RETURN_NOT_OK(replicated->MarkDown(d));
     }
-    FXDIST_RETURN_NOT_OK(reader.Expect("down"));
-    auto down_count = reader.U64();
-    FXDIST_RETURN_NOT_OK(down_count.status());
-    std::vector<std::uint64_t> down_devices;
-    for (std::uint64_t i = 0; i < *down_count; ++i) {
-      auto d = reader.U64();
-      FXDIST_RETURN_NOT_OK(d.status());
-      down_devices.push_back(*d);
-    }
-    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
-    auto child_kind = reader.Word();
-    FXDIST_RETURN_NOT_OK(child_kind.status());
-    auto bp = ReadBlueprint(reader, version, *child_kind);
-    FXDIST_RETURN_NOT_OK(bp.status());
-    auto primary = bp->Build();
-    FXDIST_RETURN_NOT_OK(primary.status());
-    const std::uint64_t offset =
-        ReplicatedBackend::ReplicaOffset(placement, bp->devices);
-    auto replica =
-        bp->Build("rot" + std::to_string(offset) + ":" + bp->distribution);
-    FXDIST_RETURN_NOT_OK(replica.status());
-    auto replicated = ReplicatedBackend::Create(
-        *std::move(primary), *std::move(replica), placement);
-    FXDIST_RETURN_NOT_OK(replicated.status());
-    auto backend = std::make_unique<ReplicatedBackend>(*std::move(replicated));
-    // Replay first: degraded mode is read-only, so down state is applied
-    // once both copies hold their records again.
-    FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, bp->arity(), *backend));
-    for (std::uint64_t d : down_devices) {
-      FXDIST_RETURN_NOT_OK(backend->MarkDown(d));
-    }
-    return std::unique_ptr<StorageBackend>(std::move(backend));
   }
-
-  auto bp = ReadBlueprint(reader, version, *kind);
-  FXDIST_RETURN_NOT_OK(bp.status());
-  auto built = bp->Build();
-  FXDIST_RETURN_NOT_OK(built.status());
-  std::unique_ptr<StorageBackend> backend = *std::move(built);
-  FXDIST_RETURN_NOT_OK(ReplayRecords(reader, in, bp->arity(), *backend));
-  return backend;
+  return std::move(empty->backend);
 }
 
 }  // namespace fxdist

@@ -69,6 +69,18 @@ Status SaveBackend(const StorageBackend& backend, const std::string& path);
 /// token.
 Result<std::unique_ptr<StorageBackend>> LoadBackend(const std::string& path);
 
+/// "kind <k>\n" plus the backend's SaveParams tokens — the v3 header body
+/// without the records section.  This is the construction blueprint the
+/// wire handshake ships so a RemoteBackend can build a placement-identical
+/// local twin (all placement is deterministic in the blueprint).
+std::string BackendBlueprintText(const StorageBackend& backend);
+
+/// Builds an *empty* backend from BackendBlueprintText output.  Replicated
+/// blueprints re-apply their down set immediately (there are no records to
+/// replay first).
+Result<std::unique_ptr<StorageBackend>> BuildBackendFromBlueprintText(
+    const std::string& text);
+
 }  // namespace fxdist
 
 #endif  // FXDIST_SIM_PERSISTENCE_H_

@@ -124,6 +124,13 @@ class StorageBackend {
   /// and live-bucket filtering off — whenever this holds.
   virtual bool HasDegradedRouting() const { return false; }
 
+  /// OK unless the backend can no longer answer faithfully.  ScanBucket
+  /// returns void, so a backend whose storage went away (a remote shard
+  /// past its retry budget, a poisoned composite) visits nothing and
+  /// reports the cause here; executors re-check Health after a sweep and
+  /// escalate the error instead of returning silently partial results.
+  virtual Status Health() const { return Status::OK(); }
+
   /// True iff the bucket holds at least one live record on `device`.
   /// A planning hint for sparse bucket spaces: skipping a dead bucket
   /// never changes results, only bookkeeping.  The default probes via

@@ -27,6 +27,12 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation that was recoverable.
   kFailedPrecondition,  ///< Operation valid in general, but not in the
                         ///< object's current state (e.g. degraded mode).
+  kUnavailable,      ///< Peer unreachable; the request was never delivered,
+                     ///< so retrying any operation is safe.
+  kDeadlineExceeded,  ///< No reply within the deadline; the request may have
+                      ///< executed (retry only idempotent operations).
+  kDataLoss,  ///< Reply truncated or failed checksum; the request may have
+              ///< executed (retry only idempotent operations).
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...).
@@ -63,6 +69,15 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

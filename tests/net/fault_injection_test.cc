@@ -1,0 +1,235 @@
+// Fault-injection matrix over the remote transport: every FaultKind
+// crossed with an idempotent read (Execute) and a non-idempotent
+// mutation (Insert).  The retry contract under test (net/transport.h):
+// Unavailable retries everything, DeadlineExceeded/DataLoss retry reads
+// only, a mutation hitting an indeterminate failure goes terminal
+// without ever duplicating its side effect, and a terminal remote child
+// escalates through the composite plane exactly like a local dead child.
+//
+// Everything runs over LoopbackTransport (no sockets), with backoff
+// disabled, so the suite is deterministic and TSan-clean.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "net/remote_backend.h"
+#include "net/shard_server.h"
+#include "net/transport.h"
+#include "sim/composite_backend.h"
+#include "sim/parallel_file.h"
+
+namespace fxdist {
+namespace {
+
+Schema RigSchema() {
+  return Schema::Create({{"f0", ValueType::kInt64, 8},
+                         {"f1", ValueType::kInt64, 8}})
+      .value();
+}
+
+Record RigRecord(std::int64_t a, std::int64_t b) {
+  return {FieldValue{a}, FieldValue{b}};
+}
+
+// A remote backend whose transport faults on demand.  The service and
+// the served flat file outlive the RemoteBackend via shared_ptr capture.
+struct RemoteRig {
+  std::shared_ptr<ParallelFile> served;
+  std::shared_ptr<ShardService> service;
+  FaultInjectingTransport* faults = nullptr;  // owned by `remote`
+  std::unique_ptr<RemoteBackend> remote;
+};
+
+RemoteRig MakeRig(int max_attempts = 4) {
+  RemoteRig rig;
+  rig.served = std::make_shared<ParallelFile>(
+      ParallelFile::Create(RigSchema(), 2, "fx-iu2", 7).value());
+  rig.service = std::make_shared<ShardService>(*rig.served);
+  auto loopback = std::make_unique<LoopbackTransport>(
+      [served = rig.served, service = rig.service](
+          const std::string& request) {
+        return service->HandleFrame(request);
+      });
+  auto faulty =
+      std::make_unique<FaultInjectingTransport>(std::move(loopback));
+  rig.faults = faulty.get();
+  RemoteBackend::Options options;
+  options.max_attempts = max_attempts;
+  options.backoff_initial_ms = 0;  // deterministic: no sleeping
+  auto remote = RemoteBackend::Connect(std::move(faulty), options);
+  EXPECT_TRUE(remote.ok()) << remote.status().ToString();
+  rig.remote = *std::move(remote);
+  return rig;
+}
+
+ValueQuery QueryFor(const Record& record) {
+  ValueQuery query(record.size());
+  query[0] = record[0];
+  return query;
+}
+
+// ---------------------------------------------------------------------
+// Idempotent reads retry through every fault kind.
+
+TEST(FaultMatrixTest, ReadsRetryThroughEveryFaultKind) {
+  for (FaultKind kind :
+       {FaultKind::kDrop, FaultKind::kDelayPastDeadline,
+        FaultKind::kCorruptReply, FaultKind::kDisconnectMidReply}) {
+    RemoteRig rig = MakeRig(/*max_attempts=*/4);
+    ASSERT_TRUE(rig.remote->Insert(RigRecord(1, 2)).ok());
+
+    const std::uint64_t calls_before = rig.faults->calls();
+    rig.faults->InjectFault(kind, 2);
+    auto result = rig.remote->Execute(QueryFor(RigRecord(1, 2)));
+    ASSERT_TRUE(result.ok())
+        << "kind=" << static_cast<int>(kind) << ": "
+        << result.status().ToString();
+    EXPECT_EQ(result->stats.records_matched, 1u);
+    // Two faulted attempts plus the successful third.
+    EXPECT_EQ(rig.faults->calls() - calls_before, 3u)
+        << "kind=" << static_cast<int>(kind);
+    EXPECT_TRUE(rig.remote->Health().ok());
+  }
+}
+
+TEST(FaultMatrixTest, ReadExhaustingRetriesGoesTerminal) {
+  RemoteRig rig = MakeRig(/*max_attempts=*/3);
+  ASSERT_TRUE(rig.remote->Insert(RigRecord(1, 2)).ok());
+  const std::uint64_t calls_before = rig.faults->calls();
+  rig.faults->InjectFault(FaultKind::kDrop, -1);
+
+  auto result = rig.remote->Execute(QueryFor(RigRecord(1, 2)));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.faults->calls() - calls_before, 3u);  // full budget
+
+  // Terminal is sticky: later operations fail without touching the
+  // transport, and Health() reports the cause.
+  auto again = rig.remote->Execute(QueryFor(RigRecord(1, 2)));
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.faults->calls() - calls_before, 3u);
+  EXPECT_EQ(rig.remote->Health().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.remote->num_records(), 0u);  // visits nothing, no throw
+}
+
+// ---------------------------------------------------------------------
+// Mutations: Unavailable (never delivered) retries; indeterminate
+// failures fail fast with exactly-once delivery.
+
+TEST(FaultMatrixTest, InsertRetriesDropsWithoutDuplicates) {
+  RemoteRig rig = MakeRig(/*max_attempts=*/4);
+  const std::uint64_t delivered_before = rig.faults->delivered();
+  rig.faults->InjectFault(FaultKind::kDrop, 2);
+
+  ASSERT_TRUE(rig.remote->Insert(RigRecord(3, 4)).ok());
+  // Dropped requests never reached the service, so the record landed
+  // exactly once even though the client sent three attempts.
+  EXPECT_EQ(rig.served->num_records(), 1u);
+  EXPECT_EQ(rig.faults->delivered() - delivered_before, 1u);
+  EXPECT_TRUE(rig.remote->Health().ok());
+}
+
+TEST(FaultMatrixTest, InsertNeverRetriesIndeterminateFaults) {
+  for (FaultKind kind :
+       {FaultKind::kDelayPastDeadline, FaultKind::kCorruptReply,
+        FaultKind::kDisconnectMidReply}) {
+    RemoteRig rig = MakeRig(/*max_attempts=*/4);
+    const std::uint64_t calls_before = rig.faults->calls();
+    rig.faults->InjectFault(kind, 1);
+
+    const Status status = rig.remote->Insert(RigRecord(5, 6));
+    ASSERT_FALSE(status.ok()) << "kind=" << static_cast<int>(kind);
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    // Exactly one attempt: the request may have executed, so retrying
+    // could double-apply it.
+    EXPECT_EQ(rig.faults->calls() - calls_before, 1u)
+        << "kind=" << static_cast<int>(kind);
+    // All three kinds deliver the request before failing the reply, so
+    // the server applied the insert exactly once — never twice.
+    EXPECT_EQ(rig.served->num_records(), 1u)
+        << "kind=" << static_cast<int>(kind);
+    // The client cannot know that, so it must go terminal rather than
+    // serve reads from a store it may disagree with.
+    EXPECT_EQ(rig.remote->Health().code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(FaultMatrixTest, ApplicationErrorsAreNotTransportFailures) {
+  RemoteRig rig = MakeRig(/*max_attempts=*/4);
+  const std::uint64_t calls_before = rig.faults->calls();
+  // Wrong-arity record: the server rejects it; the client must surface
+  // that verbatim without retrying or going terminal.
+  const Status status = rig.remote->Insert({FieldValue{std::int64_t{1}}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.faults->calls() - calls_before, 1u);
+  EXPECT_TRUE(rig.remote->Health().ok());
+  EXPECT_TRUE(rig.remote->Insert(RigRecord(1, 2)).ok());
+}
+
+// ---------------------------------------------------------------------
+// Escalation: a terminal remote child looks like a local dead child to
+// the composite plane and to the engine's health check.
+
+TEST(FaultEscalationTest, TerminalChildSurfacesThroughShardedBackend) {
+  const Schema schema = RigSchema();
+  std::vector<std::unique_ptr<StorageBackend>> children;
+  FaultInjectingTransport* fault0 = nullptr;
+  for (int d = 0; d < 2; ++d) {
+    auto served = std::make_shared<ParallelFile>(
+        ParallelFile::Create(schema, 2, "fx-iu2", 7).value());
+    auto service = std::make_shared<ShardService>(*served);
+    auto loopback = std::make_unique<LoopbackTransport>(
+        [served, service](const std::string& request) {
+          return service->HandleFrame(request);
+        });
+    auto faulty =
+        std::make_unique<FaultInjectingTransport>(std::move(loopback));
+    if (d == 0) fault0 = faulty.get();
+    RemoteBackend::Options options;
+    options.max_attempts = 2;
+    options.backoff_initial_ms = 0;
+    auto remote = RemoteBackend::Connect(std::move(faulty), options);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    children.push_back(*std::move(remote));
+  }
+  auto created = ShardedBackend::Create(std::move(children));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ShardedBackend sharded = *std::move(created);
+
+  std::vector<Record> records;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    records.push_back(RigRecord(i, i + 1));
+    ASSERT_TRUE(sharded.Insert(records.back()).ok());
+  }
+  ASSERT_TRUE(sharded.Health().ok());
+  ASSERT_TRUE(sharded.Execute(QueryFor(records[0])).ok());
+
+  // Kill shard 0's transport and poke it past the retry budget.
+  fault0->InjectFault(FaultKind::kDrop, -1);
+  (void)sharded.num_records();
+  EXPECT_EQ(sharded.Health().code(), StatusCode::kUnavailable);
+
+  // Serial execution refuses to return partial results...
+  auto serial = sharded.Execute(QueryFor(records[0]));
+  EXPECT_EQ(serial.status().code(), StatusCode::kUnavailable);
+
+  // ...and so does the batch engine, whose ScanBucket sweep cannot see
+  // errors directly and relies on the post-sweep health check.
+  QueryEngine engine(sharded, EngineOptions{});
+  std::vector<ValueQuery> batch{QueryFor(records[0]),
+                                QueryFor(records[1])};
+  auto batched = engine.ExecuteBatch(batch);
+  EXPECT_FALSE(batched.ok());
+  EXPECT_EQ(batched.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(engine.Snapshot().queries_failed, 2u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -31,6 +31,8 @@
 #include "analysis/report.h"
 #include "core/fx.h"
 #include "core/registry.h"
+#include "net/backend_spec.h"
+#include "net/shard_server.h"
 #include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
 #include "sim/paged_parallel_file.h"
@@ -70,11 +72,17 @@ int Usage() {
          "  serve-bench  batch engine vs serial baseline + metrics\n"
          "               --fields ... --devices M [--method SPEC]\n"
          "               [--backend flat|paged|dynamic|sharded|replicated]\n"
+         "               [--remote host:port,...]  (RemoteBackend shards)\n"
          "               [--placement mirrored|chained] [--fail D1,D2,...]\n"
          "               [--pagesize P] [--records N] [--queries N]\n"
          "               [--batch B] [--threads T] [--templates K]\n"
          "               [--zipf THETA] [--spec-prob P] [--domain D]\n"
          "               [--seed S] [--format text|json]\n"
+         "  shard-serve  serve a backend over the shard wire protocol\n"
+         "               --fields ... --devices M [--method SPEC]\n"
+         "               [--backend flat|paged|dynamic|replicated]\n"
+         "               [--placement mirrored|chained] [--pagesize P]\n"
+         "               [--port P] [--connections N] [--seed S]\n"
          "  gen-trace    synthesize a reproducible workload trace\n"
          "               --schema name:type:size,... --out FILE\n"
          "               [--records N] [--queries N] [--spec-prob P]\n"
@@ -415,13 +423,32 @@ int CmdServeBench(const Flags& flags) {
   const std::uint64_t num_devices =
       std::strtoull(devices_it->second.c_str(), nullptr, 10);
   const auto backend_it = flags.find("backend");
-  const std::string backend_kind =
+  std::string backend_kind =
       backend_it == flags.end() ? "flat" : backend_it->second;
   std::unique_ptr<StorageBackend> file;
   // Kept non-null for --backend replicated so --fail can flip device
   // state after the load phase (degraded mode is read-only).
   ReplicatedBackend* replicated = nullptr;
-  if (backend_kind == "flat") {
+  if (auto remote_it = flags.find("remote"); remote_it != flags.end()) {
+    if (backend_it != flags.end()) {
+      std::cerr << "--remote picks the backend (sharded over remote "
+                   "children); drop --backend\n";
+      return 1;
+    }
+    std::vector<std::string> child_specs;
+    for (const std::string& host_port :
+         ParseStringList(remote_it->second)) {
+      child_specs.push_back("remote:" + host_port);
+    }
+    auto created = MakeShardedBackend(child_specs, *schema, num_devices,
+                                      method_spec, seed);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    file = *std::move(created);
+    backend_kind = "remote";
+  } else if (backend_kind == "flat") {
     auto created =
         ParallelFile::Create(*schema, num_devices, method_spec, seed);
     if (!created.ok()) {
@@ -683,6 +710,90 @@ int CmdServeBench(const Flags& flags) {
   return 0;
 }
 
+int CmdShardServe(const Flags& flags) {
+  auto fields_it = flags.find("fields");
+  auto devices_it = flags.find("devices");
+  if (fields_it == flags.end() || devices_it == flags.end()) {
+    std::cerr << "--fields and --devices are required\n";
+    return 1;
+  }
+  auto get_u64 = [&](const char* key, std::uint64_t fallback) {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+  std::vector<FieldDecl> decls;
+  for (std::uint64_t size : ParseU64List(fields_it->second)) {
+    decls.push_back({"f" + std::to_string(decls.size()),
+                     ValueType::kInt64, size});
+  }
+  auto schema = Schema::Create(std::move(decls));
+  if (!schema.ok()) {
+    std::cerr << schema.status().ToString() << "\n";
+    return 1;
+  }
+  const auto method_it = flags.find("method");
+  const std::string method_spec =
+      method_it == flags.end() ? "fx-iu2" : method_it->second;
+  const std::uint64_t seed = get_u64("seed", 42);
+  const std::uint64_t num_devices =
+      std::strtoull(devices_it->second.c_str(), nullptr, 10);
+  const auto backend_it = flags.find("backend");
+  const std::string backend_kind =
+      backend_it == flags.end() ? "flat" : backend_it->second;
+  std::unique_ptr<StorageBackend> file;
+  if (backend_kind == "replicated") {
+    ReplicaPlacement placement = ReplicaPlacement::kMirrored;
+    if (auto it = flags.find("placement"); it != flags.end()) {
+      if (it->second == "chained") {
+        placement = ReplicaPlacement::kChained;
+      } else if (it->second != "mirrored") {
+        std::cerr << "unknown --placement " << it->second
+                  << " (expected mirrored or chained)\n";
+        return 1;
+      }
+    }
+    auto created = MakeReplicatedFlat(*schema, num_devices, method_spec,
+                                      placement, seed);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    file = *std::move(created);
+  } else {
+    ChildBackendOptions child_options;
+    if (auto it = flags.find("pagesize"); it != flags.end()) {
+      const std::uint64_t page =
+          std::strtoull(it->second.c_str(), nullptr, 10);
+      child_options.page_size = page;
+      child_options.page_capacity = page;
+    }
+    auto created = MakeChildBackend(backend_kind, *schema, num_devices,
+                                    method_spec, seed, child_options);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    file = *std::move(created);
+  }
+  ShardServer::Options server_options;
+  server_options.port = static_cast<std::uint16_t>(get_u64("port", 0));
+  server_options.max_connections =
+      static_cast<unsigned>(get_u64("connections", 8));
+  auto server = ShardServer::Start(*file, server_options);
+  if (!server.ok()) {
+    std::cerr << server.status().ToString() << "\n";
+    return 1;
+  }
+  // Scripts scrape this line for the (possibly ephemeral) port, so it
+  // must be flushed before the blocking Wait().
+  std::cout << "serving " << file->backend_name() << " [" << backend_kind
+            << "] on port " << (*server)->port() << std::endl;
+  (*server)->Wait();
+  return 0;
+}
+
 int CmdGenTrace(const Flags& flags) {
   auto schema_it = flags.find("schema");
   auto out_it = flags.find("out");
@@ -820,6 +931,7 @@ int main(int argc, char** argv) {
   if (cmd == "queueing") return CmdQueueing(flags);
   if (cmd == "recommend") return CmdRecommend(flags);
   if (cmd == "serve-bench") return CmdServeBench(flags);
+  if (cmd == "shard-serve") return CmdShardServe(flags);
   if (cmd == "gen-trace") return CmdGenTrace(flags);
   if (cmd == "replay") return CmdReplay(flags);
   std::cerr << "unknown subcommand: " << cmd << "\n";
