@@ -32,6 +32,7 @@
 #include "analysis/availability.h"
 #include "core/registry.h"
 #include "engine/query_engine.h"
+#include "net/mux_transport.h"
 #include "net/remote_backend.h"
 #include "net/shard_server.h"
 #include "net/transport.h"
@@ -131,22 +132,35 @@ std::unique_ptr<StorageBackend> MakeSharded(const std::string& kind,
 }
 
 // The wire protocol without the wire: every child is a RemoteBackend
-// whose LoopbackTransport calls a ShardService owning a monolithic flat
-// file.  Each query pays the full encode/decode path, so an identical
-// result here certifies the codec and the twin-placement handshake, and
-// the qps gap against sharded(flat) is the serialization cost itself.
+// calling a ShardService in-process.  Each query pays the full
+// encode/decode path, so an identical result here certifies the codec
+// and the twin-placement handshake, and the qps gap against
+// sharded(flat) is the serialization cost itself.  The serial flavour
+// forces the classic v1 dialect (one blocking round trip per bucket —
+// the pre-pipelining baseline); the pipelined flavour negotiates v2 over
+// a multiplexed frame channel, so a batch crosses as one kScanMany frame
+// per shard with requests overlapping in flight.
 std::unique_ptr<StorageBackend> MakeLoopbackRemote(const Schema& schema,
-                                                   const RunConfig& config) {
+                                                   const RunConfig& config,
+                                                   bool pipelined) {
   std::vector<std::unique_ptr<StorageBackend>> children;
   for (std::uint64_t d = 0; d < config.num_devices; ++d) {
     auto local = std::shared_ptr<StorageBackend>(
         MakeMonolithic("flat", schema, config));
     auto service = std::make_shared<ShardService>(*local);
-    auto transport = std::make_unique<LoopbackTransport>(
-        [local, service](const std::string& request) {
-          return service->HandleFrame(request);
-        });
-    auto remote = RemoteBackend::Connect(std::move(transport));
+    const auto handler = [local, service](const std::string& request) {
+      return service->HandleFrame(request);
+    };
+    RemoteBackend::Options options;
+    std::unique_ptr<Transport> transport;
+    if (pipelined) {
+      transport = std::make_unique<MuxTransport>(
+          std::make_unique<LoopbackFrameChannel>(handler));
+    } else {
+      options.force_wire_v1 = true;
+      transport = std::make_unique<LoopbackTransport>(handler);
+    }
+    auto remote = RemoteBackend::Connect(std::move(transport), options);
     if (!remote.ok()) {
       std::fprintf(stderr, "loopback remote connect failed: %s\n",
                    remote.status().ToString().c_str());
@@ -217,6 +231,9 @@ bool IdentityBench(const RunConfig& config) {
   TablePrinter table({"composite", "mono qps", "composite qps",
                       "engine qps", "identical"});
   bool all_identical = true;
+  double serial_remote_engine_qps = 0.0;
+  double pipelined_remote_engine_qps = 0.0;
+  double local_sharded_engine_qps = 0.0;
 
   struct Row {
     std::string label;
@@ -228,8 +245,10 @@ bool IdentityBench(const RunConfig& config) {
     rows.push_back({"sharded(" + kind + ")", kind,
                     MakeSharded(kind, schema, config)});
   }
-  rows.push_back(
-      {"remote(loopback)", "flat", MakeLoopbackRemote(schema, config)});
+  rows.push_back({"remote(serial-v1)", "flat",
+                  MakeLoopbackRemote(schema, config, /*pipelined=*/false)});
+  rows.push_back({"remote(pipelined)", "flat",
+                  MakeLoopbackRemote(schema, config, /*pipelined=*/true)});
   for (const auto placement :
        {ReplicaPlacement::kMirrored, ReplicaPlacement::kChained}) {
     const bool mirrored = placement == ReplicaPlacement::kMirrored;
@@ -299,6 +318,13 @@ bool IdentityBench(const RunConfig& config) {
                   SameResult(batched[i], mono_serial[i]);
     }
     all_identical = all_identical && identical;
+    if (row.label == "remote(serial-v1)") {
+      serial_remote_engine_qps = Qps(stream.size(), engine_ms);
+    } else if (row.label == "remote(pipelined)") {
+      pipelined_remote_engine_qps = Qps(stream.size(), engine_ms);
+    } else if (row.label == "sharded(flat)") {
+      local_sharded_engine_qps = Qps(stream.size(), engine_ms);
+    }
     table.AddRow({row.label,
                   TablePrinter::Cell(Qps(stream.size(), mono_ms), 0),
                   TablePrinter::Cell(Qps(stream.size(), composite_ms), 0),
@@ -306,6 +332,12 @@ bool IdentityBench(const RunConfig& config) {
                   identical ? "yes" : "NO"});
   }
   table.Print(std::cout);
+  if (serial_remote_engine_qps > 0.0 && local_sharded_engine_qps > 0.0) {
+    std::printf("\nremote(pipelined) engine throughput: %.1fx the serial v1 "
+                "remote, %.2fx local sharded(flat)\n",
+                pipelined_remote_engine_qps / serial_remote_engine_qps,
+                pipelined_remote_engine_qps / local_sharded_engine_qps);
+  }
   return all_identical;
 }
 

@@ -180,27 +180,40 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
         if (server_of[s] != d) ++out.reroutes;
       }
     }
+    // Gather every planned bucket ONCE with the device's batch as a
+    // single ScanMany scatter — a remote shard sees one frame per chunk
+    // instead of one round trip per (bucket, covering slot) — then
+    // stream each covering slot past the gathered records.  The
+    // pointers stay valid until the next mutation (local backends hand
+    // out references into their own storage; a remote backend pins the
+    // decoded bucket), and the per-slot pass preserves exactly the
+    // order and examined accounting of the old scan-per-slot loop.
+    std::vector<BucketRef> refs;
+    refs.reserve(plan.scan_buckets.size());
+    for (std::uint64_t linear : plan.scan_buckets) {
+      refs.push_back({d, linear});
+    }
+    std::vector<std::vector<const Record*>> gathered(refs.size());
+    backend_.ScanMany(refs,
+                      [&gathered](std::size_t s, const Record& record) {
+                        gathered[s].push_back(&record);
+                        return true;
+                      });
     std::vector<std::vector<std::vector<const Record*>>> scan_matches(
         plan.scan_buckets.size());
     for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
       const auto& covering = plan.scan_queries[s];
       scan_matches[s].resize(covering.size());
-      // Slot-outer: fetch each covering query once and stream the
-      // bucket's records past it; the backend's scan order is preserved
-      // within each slot.
       for (std::size_t slot = 0; slot < covering.size(); ++slot) {
         const std::uint32_t q = covering[slot];
         const ValueQuery& value_query = batch[reps[q]];
         auto& hits = scan_matches[s][slot];
-        backend_.ScanBucket(d, plan.scan_buckets[s],
-                            [&](const Record& record) {
-                              ++out.examined[q];
-                              if (RecordMatchesValueQuery(value_query,
-                                                          record)) {
-                                hits.push_back(&record);
-                              }
-                              return true;
-                            });
+        for (const Record* record : gathered[s]) {
+          ++out.examined[q];
+          if (RecordMatchesValueQuery(value_query, *record)) {
+            hits.push_back(record);
+          }
+        }
       }
     }
     // Reassemble each query's matches in its solo enumeration order.

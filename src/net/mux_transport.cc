@@ -1,0 +1,283 @@
+#include "net/mux_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace fxdist {
+
+namespace {
+
+std::uint16_t LoadU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[0]) |
+                                    static_cast<std::uint16_t>(b[1]) << 8);
+}
+
+std::uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<std::uint32_t>(b[i]);
+  return v;
+}
+
+std::uint64_t LoadU64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<std::uint64_t>(b[i]);
+  return v;
+}
+
+}  // namespace
+
+// -- LoopbackFrameChannel ------------------------------------------------
+
+Status LoopbackFrameChannel::Send(const std::string& frame) {
+  // The handler runs outside the lock, so concurrent Sends execute
+  // concurrently — the in-process analogue of requests overlapping on
+  // the wire.
+  std::string reply = handler_(frame);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return Status::Unavailable("loopback channel shut down");
+  replies_.push_back(std::move(reply));
+  ready_.notify_one();
+  return Status::OK();
+}
+
+Result<std::string> LoopbackFrameChannel::Recv() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return shutdown_ || !replies_.empty(); });
+  if (replies_.empty()) {
+    return Status::Unavailable("loopback channel shut down");
+  }
+  std::string reply = std::move(replies_.front());
+  replies_.pop_front();
+  return reply;
+}
+
+void LoopbackFrameChannel::Shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  ready_.notify_all();
+}
+
+// -- MuxTransport --------------------------------------------------------
+
+MuxTransport::MuxTransport(std::unique_ptr<FrameChannel> channel,
+                           Options options)
+    : channel_(std::move(channel)), options_(options) {
+  receiver_ = std::thread(&MuxTransport::ReceiveLoop, this);
+}
+
+MuxTransport::~MuxTransport() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    FailAllLocked(Status::Unavailable("mux transport shut down"));
+    cv_.notify_all();
+  }
+  channel_->Shutdown();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+std::size_t MuxTransport::max_in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_in_flight_;
+}
+
+std::uint64_t MuxTransport::stale_replies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stale_replies_;
+}
+
+void MuxTransport::FailAllLocked(const Status& error) {
+  for (auto& [cid, call] : pending_) {
+    call->status = error;
+    call->done = true;
+  }
+  pending_.clear();
+  if (exclusive_waiter_ != nullptr) {
+    exclusive_waiter_->status = error;
+    exclusive_waiter_->done = true;
+    exclusive_waiter_ = nullptr;
+  }
+  cv_.notify_all();
+}
+
+bool MuxTransport::TryReviveLocked() {
+  if (!pending_.empty() || exclusive_active_) return false;
+  if (!channel_->Reset().ok()) return false;
+  broken_ = false;
+  cv_.notify_all();  // wake the receiver back onto Recv
+  return true;
+}
+
+Result<std::string> MuxTransport::RoundTrip(const std::string& request) {
+  auto header_size = WireHeaderSizeFromPrefix(request);
+  FXDIST_RETURN_NOT_OK(header_size.status());
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (*header_size == kWireHeaderSize) {
+    return RoundTripExclusive(request, lock);
+  }
+  if (request.size() < kWireHeaderSizeMux) {
+    return Status::InvalidArgument("mux request header truncated");
+  }
+  const std::uint64_t cid = LoadU64(request.data() + 8);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.call_timeout_ms);
+  for (;;) {
+    if (shutdown_) return Status::Unavailable("mux transport shut down");
+    if (broken_ && !TryReviveLocked()) {
+      return Status::Unavailable("mux connection broken");
+    }
+    if (!exclusive_active_ && pending_.size() < options_.window) break;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::DeadlineExceeded(
+          "mux in-flight window stayed full past the call deadline");
+    }
+  }
+
+  PendingCall call;
+  pending_.emplace(cid, &call);
+  max_cid_issued_ = std::max(max_cid_issued_, cid);
+  max_in_flight_ = std::max(max_in_flight_, pending_.size());
+  lock.unlock();
+  const Status sent = channel_->Send(request);
+  lock.lock();
+  if (!sent.ok()) {
+    // Delivered-or-not is the channel's verdict; just withdraw the call.
+    if (pending_.erase(cid) > 0) cv_.notify_all();
+    if (call.done && !call.status.ok()) return call.status;
+    return sent;
+  }
+  while (!call.done) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !call.done) {
+      // Abandon: the id stays "issued", so a late reply is dropped as
+      // stale instead of poisoning the connection.
+      pending_.erase(cid);
+      cv_.notify_all();
+      return Status::DeadlineExceeded("mux call timed out after " +
+                                      std::to_string(options_.call_timeout_ms) +
+                                      "ms");
+    }
+  }
+  FXDIST_RETURN_NOT_OK(call.status);
+  return std::move(call.reply);
+}
+
+Result<std::string> MuxTransport::RoundTripExclusive(
+    const std::string& request, std::unique_lock<std::mutex>& lock) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.call_timeout_ms);
+  for (;;) {
+    if (shutdown_) return Status::Unavailable("mux transport shut down");
+    if (broken_ && !TryReviveLocked()) {
+      return Status::Unavailable("mux connection broken");
+    }
+    if (!exclusive_active_ && pending_.empty()) break;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::DeadlineExceeded(
+          "mux pipe did not drain for a v1 round trip before the deadline");
+    }
+  }
+
+  PendingCall call;
+  exclusive_active_ = true;
+  exclusive_waiter_ = &call;
+  lock.unlock();
+  const Status sent = channel_->Send(request);
+  lock.lock();
+  if (!sent.ok()) {
+    exclusive_active_ = false;
+    if (exclusive_waiter_ == &call) exclusive_waiter_ = nullptr;
+    cv_.notify_all();
+    if (call.done && !call.status.ok()) return call.status;
+    return sent;
+  }
+  while (!call.done) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !call.done) {
+      exclusive_active_ = false;
+      exclusive_waiter_ = nullptr;
+      ++stale_v1_expected_;
+      cv_.notify_all();
+      return Status::DeadlineExceeded(
+          "mux v1 round trip timed out after " +
+          std::to_string(options_.call_timeout_ms) + "ms");
+    }
+  }
+  exclusive_active_ = false;
+  cv_.notify_all();
+  FXDIST_RETURN_NOT_OK(call.status);
+  return std::move(call.reply);
+}
+
+void MuxTransport::ReceiveLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    if (broken_) {
+      cv_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    auto raw = channel_->Recv();
+    lock.lock();
+    if (shutdown_) break;
+    if (!raw.ok()) {
+      FailAllLocked(raw.status());
+      broken_ = true;
+      continue;
+    }
+    const std::string& bytes = *raw;
+    if (bytes.size() < kWireHeaderSize ||
+        LoadU32(bytes.data()) != kWireMagic) {
+      FailAllLocked(Status::DataLoss("mux received an unframed reply"));
+      broken_ = true;
+      continue;
+    }
+    if (LoadU16(bytes.data() + 4) != kWireVersionMux) {
+      // v1 reply: only the exclusive round trip can have asked for it.
+      if (exclusive_waiter_ != nullptr) {
+        exclusive_waiter_->reply = *std::move(raw);
+        exclusive_waiter_->done = true;
+        exclusive_waiter_ = nullptr;
+        cv_.notify_all();
+      } else if (stale_v1_expected_ > 0) {
+        --stale_v1_expected_;
+        ++stale_replies_;
+      } else {
+        FailAllLocked(Status::DataLoss("mux received an unsolicited v1 reply"));
+        broken_ = true;
+      }
+      continue;
+    }
+    if (bytes.size() < kWireHeaderSizeMux) {
+      FailAllLocked(Status::DataLoss("mux reply header truncated"));
+      broken_ = true;
+      continue;
+    }
+    const std::uint64_t cid = LoadU64(bytes.data() + 8);
+    auto it = pending_.find(cid);
+    if (it != pending_.end()) {
+      it->second->reply = *std::move(raw);
+      it->second->done = true;
+      pending_.erase(it);
+      cv_.notify_all();
+    } else if (cid <= max_cid_issued_) {
+      // Issued but abandoned — its waiter already returned.
+      ++stale_replies_;
+    } else {
+      FailAllLocked(
+          Status::DataLoss("mux reply names a correlation id never issued"));
+      broken_ = true;
+    }
+  }
+}
+
+}  // namespace fxdist

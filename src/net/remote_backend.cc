@@ -5,70 +5,175 @@
 #include <thread>
 #include <utility>
 
+#include "net/mux_transport.h"
 #include "net/socket_transport.h"
 #include "sim/persistence.h"
+#include "util/random.h"
 
 namespace fxdist {
 
 Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
     std::unique_ptr<Transport> transport, Options options) {
   std::unique_ptr<RemoteBackend> backend(
-      new RemoteBackend(std::move(transport), options));
+      new RemoteBackend(std::move(transport), std::move(options)));
+  if (!backend->options_.force_wire_v1) {
+    backend->wire_version_ = kWireVersionMux;
+    PayloadWriter hello;
+    hello.U64(kWireMaxPayload);
+    hello.U32(kWireFeatureScanMany);
+    auto body = backend->Call(WireOp::kHandshake, hello.Take(),
+                              /*idempotent=*/true, /*max_attempts_override=*/1);
+    if (body.ok()) {
+      FXDIST_RETURN_NOT_OK(backend->FinishHandshake(*body, /*v2=*/true));
+      return backend;
+    }
+    // A v1 server rejects the v2 frame at the header: an InvalidArgument
+    // error reply on a plain transport, or DataLoss through a mux whose
+    // receiver finds an unsolicited v1 frame.  Fall back to the classic
+    // dialect — a genuinely dead shard fails the v1 handshake too.
+    std::lock_guard<std::mutex> lock(backend->mutex_);
+    backend->terminal_.clear();
+  }
+  backend->wire_version_ = kWireVersion;
+  backend->features_ = 0;
+  backend->negotiated_max_payload_ = kWireMaxPayload;
   auto body = backend->Call(WireOp::kHandshake, "", /*idempotent=*/true);
   FXDIST_RETURN_NOT_OK(body.status());
-  PayloadReader reader(*body);
-  auto blueprint = reader.Str();
-  FXDIST_RETURN_NOT_OK(blueprint.status());
-  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
-  auto twin = BuildBackendFromBlueprintText(*blueprint);
-  if (!twin.ok()) {
-    return Status::Internal("remote blueprint rejected: " +
-                            twin.status().message());
-  }
-  backend->twin_ = *std::move(twin);
-  backend->twin_replicated_ =
-      dynamic_cast<ReplicatedBackend*>(backend->twin_.get());
+  FXDIST_RETURN_NOT_OK(backend->FinishHandshake(*body, /*v2=*/false));
   return backend;
 }
 
 Result<std::unique_ptr<RemoteBackend>> RemoteBackend::ConnectTcp(
     const std::string& host_port, Options options) {
-  SocketTransport::Options socket_options;
+  SocketTransportOptions socket_options;
   socket_options.io_timeout_ms = options.deadline_ms;
+  if (options.pipeline_window > 1 && !options.force_wire_v1) {
+    auto channel = SocketFrameChannel::ConnectSpec(host_port, socket_options);
+    FXDIST_RETURN_NOT_OK(channel.status());
+    MuxTransportOptions mux_options;
+    mux_options.window = options.pipeline_window;
+    mux_options.call_timeout_ms =
+        static_cast<std::uint64_t>(std::max(1, options.deadline_ms));
+    return Connect(std::make_unique<MuxTransport>(*std::move(channel),
+                                                  mux_options),
+                   std::move(options));
+  }
   auto transport = SocketTransport::ConnectSpec(host_port, socket_options);
   FXDIST_RETURN_NOT_OK(transport.status());
-  return Connect(*std::move(transport), options);
+  return Connect(*std::move(transport), std::move(options));
+}
+
+Status RemoteBackend::FinishHandshake(const std::string& body, bool v2) {
+  PayloadReader reader(body);
+  auto blueprint = reader.Str();
+  FXDIST_RETURN_NOT_OK(blueprint.status());
+  if (v2) {
+    auto server_max = reader.U64();
+    FXDIST_RETURN_NOT_OK(server_max.status());
+    auto features = reader.U32();
+    FXDIST_RETURN_NOT_OK(features.status());
+    FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+    // Negotiated limit: what both sides accept.  A nonsensical server
+    // advertisement is clamped into [64 KiB, ceiling] rather than
+    // crippling the connection.
+    const std::uint64_t floor = 64u << 10;
+    const std::uint64_t server_limit =
+        std::min<std::uint64_t>(std::max<std::uint64_t>(*server_max, floor),
+                                kWireMaxPayloadCeiling);
+    negotiated_max_payload_ = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kWireMaxPayload, server_limit));
+    features_ = *features & kWireFeatureScanMany;
+  } else {
+    FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  }
+  auto twin = BuildBackendFromBlueprintText(*blueprint);
+  if (!twin.ok()) {
+    return Status::Internal("remote blueprint rejected: " +
+                            twin.status().message());
+  }
+  twin_ = *std::move(twin);
+  twin_replicated_ = dynamic_cast<ReplicatedBackend*>(twin_.get());
+  return Status::OK();
 }
 
 Result<std::string> RemoteBackend::Call(WireOp op, std::string payload,
-                                        bool idempotent) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!poisoned_.empty()) return Status::FailedPrecondition(poisoned_);
-  if (!terminal_.empty()) return Status::Unavailable(terminal_);
+                                        bool idempotent,
+                                        int max_attempts_override) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!poisoned_.empty()) return Status::FailedPrecondition(poisoned_);
+    if (!terminal_.empty()) return Status::Unavailable(terminal_);
+  }
 
   WireFrame request;
   request.op = op;
   request.is_reply = false;
   request.payload = std::move(payload);
-  const std::string request_bytes = EncodeFrame(request);
+  request.version = wire_version_;
 
-  const int max_attempts = std::max(1, options_.max_attempts);
-  int backoff_ms = options_.backoff_initial_ms;
+  const int max_attempts = max_attempts_override > 0
+                               ? max_attempts_override
+                               : std::max(1, options_.max_attempts);
+
+  // Decorrelated-jitter backoff: each retry sleeps uniform(initial,
+  // 3 * previous sleep), capped at backoff_max and at whatever is left
+  // of the deadline budget — concurrent clients spread out instead of
+  // retrying in lockstep, and the final sleep can never overshoot the
+  // op deadline.  The RNG is seeded from options (plus the call
+  // sequence number so calls decorrelate from each other), which is
+  // what makes test schedules replayable.
+  Xoshiro256 rng(options_.backoff_seed ^
+                 (0x9e3779b97f4a7c15ull *
+                  seq_.fetch_add(1, std::memory_order_relaxed)));
+  std::uint64_t prev_sleep_ms =
+      static_cast<std::uint64_t>(std::max(0, options_.backoff_initial_ms));
+  std::int64_t budget_ms =
+      static_cast<std::int64_t>(std::max(0, options_.deadline_ms));
+
   Status last;
   int attempts = 0;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0 && backoff_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+    if (attempt > 0 && options_.backoff_initial_ms > 0) {
+      const auto base =
+          static_cast<std::uint64_t>(options_.backoff_initial_ms);
+      const std::uint64_t hi = std::max(base + 1, prev_sleep_ms * 3);
+      std::uint64_t sleep_ms = base + rng.NextBounded(hi - base);
+      sleep_ms = std::min<std::uint64_t>(
+          sleep_ms,
+          static_cast<std::uint64_t>(std::max(0, options_.backoff_max_ms)));
+      sleep_ms = std::min<std::uint64_t>(
+          sleep_ms,
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, budget_ms)));
+      if (sleep_ms > 0) {
+        if (options_.sleep_fn) {
+          options_.sleep_fn(sleep_ms);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        }
+        budget_ms -= static_cast<std::int64_t>(sleep_ms);
+      }
+      prev_sleep_ms = std::max<std::uint64_t>(sleep_ms, 1);
     }
     ++attempts;
 
+    // A fresh correlation id per attempt: a late reply to an abandoned
+    // attempt is dropped as stale instead of completing this one.
+    if (wire_version_ == kWireVersionMux) {
+      request.correlation_id = seq_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto request_bytes = EncodeFrameBounded(request, negotiated_max_payload_);
+    if (!request_bytes.ok()) {
+      // Oversized payload is a caller-level error, not a transport
+      // failure: surface it without retrying or going terminal.
+      return request_bytes.status();
+    }
+
     Status failure;
-    auto raw = transport_->RoundTrip(request_bytes);
+    auto raw = transport_->RoundTrip(*request_bytes);
     if (!raw.ok()) {
       failure = raw.status();
     } else {
-      auto reply = DecodeFrame(*raw);
+      auto reply = DecodeFrame(*raw, kWireMaxPayload);
       if (!reply.ok()) {
         failure = Status::DataLoss("reply rejected: " +
                                    reply.status().message());
@@ -77,6 +182,16 @@ Result<std::string> RemoteBackend::Call(WireOp op, std::string payload,
         failure = Status::DataLoss(
             std::string("protocol desync: expected a ") + WireOpName(op) +
             " reply, got " + WireOpName(reply->op));
+      } else if (reply->op != WireOp::kError &&
+                 wire_version_ == kWireVersionMux &&
+                 (reply->version != kWireVersionMux ||
+                  reply->correlation_id != request.correlation_id)) {
+        // kError replies are exempt: a v1 peer rejecting our dialect can
+        // only answer with an uncorrelated v1 frame.
+        failure = Status::DataLoss(
+            "correlation id mismatch: request " +
+            std::to_string(request.correlation_id) + ", reply " +
+            std::to_string(reply->correlation_id));
       } else {
         PayloadReader reader(reply->payload);
         Status remote_status;
@@ -106,8 +221,11 @@ Result<std::string> RemoteBackend::Call(WireOp op, std::string payload,
 
   // Out of budget (or a mutation hit an indeterminate failure): go
   // terminal so this shard now looks like a local dead child.
-  terminal_ = "remote shard unavailable after " + std::to_string(attempts) +
-              " attempt(s): " + last.ToString();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (terminal_.empty()) {
+    terminal_ = "remote shard unavailable after " + std::to_string(attempts) +
+                " attempt(s): " + last.ToString();
+  }
   return Status::Unavailable(terminal_);
 }
 
@@ -185,7 +303,7 @@ bool RemoteBackend::IsBucketLive(std::uint64_t device,
   return live.ok() && reader.AtEnd() && *live != 0;
 }
 
-void RemoteBackend::ScanBucket(
+void RemoteBackend::ScanBucketRemote(
     std::uint64_t device, std::uint64_t linear_bucket,
     const std::function<bool(const Record&)>& fn) const {
   PayloadWriter writer;
@@ -211,6 +329,76 @@ void RemoteBackend::ScanBucket(
   }
   for (const Record& record : *pinned) {
     if (!fn(record)) return;
+  }
+}
+
+void RemoteBackend::ScanBucket(
+    std::uint64_t device, std::uint64_t linear_bucket,
+    const std::function<bool(const Record&)>& fn) const {
+  ScanBucketRemote(device, linear_bucket, fn);
+}
+
+void RemoteBackend::ScanMany(
+    const std::vector<BucketRef>& refs,
+    const std::function<bool(std::size_t, const Record&)>& fn) const {
+  if (wire_version_ != kWireVersionMux || !scan_many_enabled()) {
+    // Pre-ScanMany peer: the default per-bucket gather (one kScanBucket
+    // round trip per ref).
+    StorageBackend::ScanMany(refs, fn);
+    return;
+  }
+  const std::size_t chunk =
+      std::max<std::size_t>(1, options_.scan_many_chunk);
+  for (std::size_t start = 0; start < refs.size(); start += chunk) {
+    const std::size_t n = std::min(chunk, refs.size() - start);
+    PayloadWriter writer;
+    writer.U64(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      writer.U64(refs[start + j].device);
+      writer.U64(refs[start + j].linear_bucket);
+    }
+    auto body = Call(WireOp::kScanMany, writer.Take(), /*idempotent=*/true);
+    if (!body.ok()) {
+      if (body.status().code() == StatusCode::kInvalidArgument) {
+        // The chunk's reply (or request) outgrew the negotiated frame
+        // limit: gather this chunk bucket-by-bucket instead.
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t i = start + j;
+          ScanBucketRemote(refs[i].device, refs[i].linear_bucket,
+                           [&fn, i](const Record& r) { return fn(i, r); });
+        }
+        continue;
+      }
+      return;  // terminal / transport failure: Health() reports the cause
+    }
+    PayloadReader reader(*body);
+    auto count = reader.U64();
+    if (!count.ok() || *count != n) return;
+    std::vector<std::vector<Record>> lists;
+    lists.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      auto records = reader.ReadRecords();
+      if (!records.ok()) return;
+      lists.push_back(*std::move(records));
+    }
+    if (!reader.AtEnd()) return;
+    // Pin every bucket's records (reuse-if-equal keeps earlier callers'
+    // references valid), then deliver in ref order.
+    std::vector<const std::vector<Record>*> pinned(n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t j = 0; j < n; ++j) {
+        std::vector<Record>& pin =
+            scan_pins_[{refs[start + j].device, refs[start + j].linear_bucket}];
+        if (pin != lists[j]) pin = std::move(lists[j]);
+        pinned[j] = &pin;
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const Record& record : *pinned[j]) {
+        if (!fn(start + j, record)) break;
+      }
+    }
   }
 }
 

@@ -10,9 +10,25 @@
 // counts) goes over the wire.  This is what lets a ShardedBackend treat
 // a remote shard exactly like a local child.
 //
+// Wire dialect: the client first offers a v2 handshake (correlation ids
+// in every frame, frame-limit + feature negotiation in the payload).  A
+// v1 server rejects the v2 frame at the header; the client falls back to
+// the classic v1 dialect — serial frames, no ScanMany — so old peers
+// keep working unchanged.  Against a v2 server every request carries a
+// fresh correlation id (new id per retry attempt, so a late reply to an
+// abandoned attempt can never complete a newer one) and the reply must
+// echo it; a mismatch is DataLoss.  Payloads are bounded by the
+// negotiated frame limit on both sides.  When the server granted the
+// ScanMany feature, the batched scatter-gather op crosses the wire as
+// one kScanMany frame per chunk of bucket refs instead of one
+// kScanBucket frame per bucket.
+//
 // Failure semantics (the transport taxonomy, net/transport.h):
 //   * Unavailable replies are retried for every operation (the request
-//     was never delivered), with bounded exponential backoff.
+//     was never delivered), with decorrelated-jitter backoff (seeded RNG
+//     so tests are deterministic; total sleep is clamped to the
+//     remaining deadline budget, so retries can never overshoot the op
+//     deadline).
 //   * DeadlineExceeded / DataLoss are indeterminate — the request may
 //     have executed — so only idempotent operations (reads) retry;
 //     a mutation that hits one fails immediately rather than risking a
@@ -31,7 +47,9 @@
 #ifndef FXDIST_NET_REMOTE_BACKEND_H_
 #define FXDIST_NET_REMOTE_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,25 +67,44 @@ namespace fxdist {
 
 struct RemoteBackendOptions {
   /// Socket-level per-operation deadline (ConnectTcp only; in-process
-  /// transports have no deadline to miss).
+  /// transports have no deadline to miss).  Also the budget retry
+  /// backoff sleeping is clamped to.
   int deadline_ms = 5000;
   /// Total tries per operation, including the first.
   int max_attempts = 4;
-  /// Exponential backoff between tries: initial doubles up to max.
-  /// 0 disables sleeping (deterministic tests).
+  /// Backoff between tries: decorrelated jitter drawn from
+  /// [initial, 3 * previous), capped at max and at the remaining
+  /// deadline budget.  0 disables sleeping (deterministic tests).
   int backoff_initial_ms = 1;
   int backoff_max_ms = 100;
+  /// Seed of the jitter RNG — injected so tests replay exact schedules.
+  std::uint64_t backoff_seed = 0x5eedafedf00dull;
+  /// Test hook: replaces this_thread::sleep_for when set.  Receives the
+  /// chosen sleep in milliseconds.
+  std::function<void(std::uint64_t)> sleep_fn;
+  /// Forces the classic v1 dialect (no correlation ids, no ScanMany) —
+  /// the PR 4 serial baseline for benches and compatibility tests.
+  bool force_wire_v1 = false;
+  /// Bucket refs per kScanMany frame; a chunk whose reply outgrows the
+  /// frame limit falls back to per-bucket scans.
+  std::size_t scan_many_chunk = 512;
+  /// In-flight window when ConnectTcp builds a multiplexed connection;
+  /// 1 keeps the plain blocking SocketTransport.
+  std::size_t pipeline_window = 32;
 };
 
 class RemoteBackend final : public StorageBackend {
  public:
   using Options = RemoteBackendOptions;
 
-  /// Performs the handshake over `transport` and builds the local twin.
+  /// Performs the handshake over `transport` (v2 first, v1 fallback) and
+  /// builds the local twin.
   static Result<std::unique_ptr<RemoteBackend>> Connect(
       std::unique_ptr<Transport> transport, Options options = {});
 
-  /// Dials "host:port" with a SocketTransport, then Connect().
+  /// Dials "host:port", then Connect().  With pipeline_window > 1 the
+  /// connection is a MuxTransport over a SocketFrameChannel (requests
+  /// overlap on the wire); window 1 keeps the blocking SocketTransport.
   static Result<std::unique_ptr<RemoteBackend>> ConnectTcp(
       const std::string& host_port, Options options = {});
 
@@ -105,6 +142,15 @@ class RemoteBackend final : public StorageBackend {
   void ScanBucket(
       std::uint64_t device, std::uint64_t linear_bucket,
       const std::function<bool(const Record&)>& fn) const override;
+  /// One kScanMany frame per chunk when the server granted the feature;
+  /// per-bucket kScanBucket round trips otherwise.
+  void ScanMany(
+      const std::vector<BucketRef>& refs,
+      const std::function<bool(std::size_t, const Record&)>& fn)
+      const override;
+  /// Every gather is a round trip: a composite parent should overlap
+  /// this shard's scans with its siblings'.
+  bool ScanPrefersFanout() const override { return true; }
   Result<QueryResult> Execute(const ValueQuery& query) const override;
   std::vector<std::uint64_t> RecordCountsPerDevice() const override;
   void ForEachLiveRecord(
@@ -119,21 +165,49 @@ class RemoteBackend final : public StorageBackend {
   /// Terminal (Unavailable) or poisoned (FailedPrecondition) state.
   Status Health() const override;
 
+  /// Negotiated dialect — diagnostics and tests.
+  std::uint16_t wire_version() const { return wire_version_; }
+  bool scan_many_enabled() const {
+    return (features_ & kWireFeatureScanMany) != 0;
+  }
+  std::uint32_t negotiated_max_payload() const {
+    return negotiated_max_payload_;
+  }
+
  private:
   RemoteBackend(std::unique_ptr<Transport> transport, Options options)
-      : transport_(std::move(transport)), options_(options) {}
+      : transport_(std::move(transport)), options_(std::move(options)) {}
 
   /// One operation: encode, round-trip with retries, decode the reply
-  /// status, return the body.  `idempotent` selects the retry policy.
-  Result<std::string> Call(WireOp op, std::string payload,
-                           bool idempotent) const;
+  /// status, return the body.  `idempotent` selects the retry policy;
+  /// `max_attempts_override` (> 0) caps tries below options_ (the
+  /// handshake probe uses 1 so an old server is detected, not retried).
+  Result<std::string> Call(WireOp op, std::string payload, bool idempotent,
+                           int max_attempts_override = 0) const;
+  /// Parses a handshake reply body and builds the twin; records the
+  /// negotiated limit and features (v2 replies carry them).
+  Status FinishHandshake(const std::string& body, bool v2);
+  /// The per-bucket gather used by ScanBucket and the ScanMany fallback.
+  void ScanBucketRemote(std::uint64_t device, std::uint64_t linear_bucket,
+                        const std::function<bool(const Record&)>& fn) const;
 
   std::unique_ptr<Transport> transport_;
   const Options options_;
   std::unique_ptr<StorageBackend> twin_;
   ReplicatedBackend* twin_replicated_ = nullptr;
 
-  /// Serializes transport use and guards the sticky failure state.
+  /// Set during Connect, immutable afterwards.
+  std::uint16_t wire_version_ = kWireVersionMux;
+  std::uint32_t features_ = 0;
+  std::uint32_t negotiated_max_payload_ = kWireMaxPayload;
+
+  /// Correlation ids and jitter streams (monotonic per connection — the
+  /// mux's stale-reply tracking relies on it).
+  mutable std::atomic<std::uint64_t> seq_{1};
+
+  /// Guards the sticky failure state and the scan pins.  NOT held over
+  /// round trips: the transport is internally synchronized, so many
+  /// calls may be on the wire at once (that is the point of the mux).
   mutable std::mutex mutex_;
   mutable std::string terminal_;  ///< non-empty: every op is Unavailable
   mutable std::string poisoned_;  ///< non-empty: every op FailedPrecondition

@@ -16,8 +16,30 @@ namespace fxdist {
 
 namespace {
 
+std::uint16_t LoadU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[0]) |
+                                    static_cast<std::uint16_t>(b[1]) << 8);
+}
+
+std::uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<std::uint32_t>(b[i]);
+  return v;
+}
+
+std::uint64_t LoadU64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<std::uint64_t>(b[i]);
+  return v;
+}
+
 std::string EncodeReply(WireOp op, const Status& status,
-                        const std::string& body) {
+                        const std::string& body,
+                        std::uint16_t version = kWireVersion,
+                        std::uint64_t correlation_id = 0) {
   PayloadWriter writer;
   writer.WriteStatus(status);
   WireFrame reply;
@@ -25,7 +47,33 @@ std::string EncodeReply(WireOp op, const Status& status,
   reply.is_reply = true;
   reply.payload = writer.Take();
   reply.payload.append(body);
+  reply.version = version;
+  reply.correlation_id = correlation_id;
   return EncodeFrame(reply);
+}
+
+/// Error reply for a request that never decoded: best-effort echo of the
+/// request's version and correlation id (a mux client needs the id to
+/// complete the right waiter), falling back to a v1 frame when the
+/// prefix is unreadable.
+std::string EncodeErrorReplyFor(std::string_view request,
+                                const Status& status) {
+  std::uint16_t version = kWireVersion;
+  std::uint64_t correlation_id = 0;
+  if (request.size() >= 6 && LoadU32(request.data()) == kWireMagic &&
+      LoadU16(request.data() + 4) == kWireVersionMux) {
+    version = kWireVersionMux;
+    if (request.size() >= 16) correlation_id = LoadU64(request.data() + 8);
+  }
+  return EncodeReply(WireOp::kError, status, "", version, correlation_id);
+}
+
+/// writer.Take() with the satellite-2 overflow check applied: a payload
+/// whose length field could not be represented never leaves the server
+/// as a well-formed-but-wrong frame.
+Result<std::string> Finish(PayloadWriter& writer) {
+  FXDIST_RETURN_NOT_OK(writer.CheckOk());
+  return writer.Take();
 }
 
 }  // namespace
@@ -37,27 +85,61 @@ ShardService::ShardService(StorageBackend& backend)
 std::string ShardService::HandleFrame(const std::string& request) {
   auto frame = DecodeFrame(request);
   if (!frame.ok()) {
-    return EncodeReply(WireOp::kError, frame.status(), "");
+    return EncodeErrorReplyFor(request, frame.status());
   }
   if (frame->is_reply || frame->op == WireOp::kError) {
-    return EncodeReply(
-        WireOp::kError,
-        Status::InvalidArgument("request expected, got a reply frame"), "");
+    return EncodeErrorReplyFor(
+        request,
+        Status::InvalidArgument("request expected, got a reply frame"));
   }
   PayloadReader reader(frame->payload);
-  auto body = Dispatch(frame->op, reader);
-  if (!body.ok()) return EncodeReply(frame->op, body.status(), "");
-  return EncodeReply(frame->op, Status::OK(), *body);
+  auto body = Dispatch(*frame, reader);
+  if (!body.ok()) {
+    return EncodeReply(frame->op, body.status(), "", frame->version,
+                       frame->correlation_id);
+  }
+  // A reply the negotiated frame limit cannot carry is refused here —
+  // better an explicit error than an undecodable frame at the peer.
+  if (body->size() > kWireMaxPayload - 16) {
+    return EncodeReply(
+        frame->op,
+        Status::InvalidArgument(
+            std::string(WireOpName(frame->op)) + " reply of " +
+            std::to_string(body->size()) +
+            " bytes exceeds the frame payload limit"),
+        "", frame->version, frame->correlation_id);
+  }
+  return EncodeReply(frame->op, Status::OK(), *body, frame->version,
+                     frame->correlation_id);
 }
 
-Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
+Result<std::string> ShardService::Dispatch(const WireFrame& frame,
+                                           PayloadReader& reader) {
+  const WireOp op = frame.op;
   PayloadWriter writer;
   switch (op) {
     case WireOp::kHandshake: {
+      if (frame.version == kWireVersionMux) {
+        // v2 handshake: the client announces its frame limit and feature
+        // wants; the reply carries the blueprint plus this server's
+        // limit and the features it will actually serve.  (A v1 server
+        // never sees this payload — it rejects the v2 frame at the
+        // header, which is the client's cue to fall back.)
+        auto client_max = reader.U64();
+        FXDIST_RETURN_NOT_OK(client_max.status());
+        auto features = reader.U32();
+        FXDIST_RETURN_NOT_OK(features.status());
+        FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+        std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+        writer.Str(BackendBlueprintText(backend_));
+        writer.U64(kWireMaxPayload);
+        writer.U32(*features & kWireFeatureScanMany);
+        return Finish(writer);
+      }
       FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
       std::shared_lock<std::shared_mutex> lock(backend_mutex_);
       writer.Str(BackendBlueprintText(backend_));
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kInsert: {
       auto record = reader.ReadRecord();
@@ -70,7 +152,7 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
       const auto& sizes = backend_.spec().field_sizes();
       writer.U32(static_cast<std::uint32_t>(sizes.size()));
       for (const std::uint64_t size : sizes) writer.U64(size);
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kDelete: {
       auto query = reader.ReadQuery();
@@ -80,7 +162,7 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
       auto removed = backend_.Delete(*query);
       FXDIST_RETURN_NOT_OK(removed.status());
       writer.U64(*removed);
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kExecute: {
       auto query = reader.ReadQuery();
@@ -90,7 +172,7 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
       auto result = backend_.Execute(*query);
       FXDIST_RETURN_NOT_OK(result.status());
       writer.WriteResult(*result);
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kScanBucket:
     case WireOp::kIsBucketLive: {
@@ -110,7 +192,7 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
       }
       if (op == WireOp::kIsBucketLive) {
         writer.U8(backend_.IsBucketLive(*device, *bucket) ? 1 : 0);
-        return writer.Take();
+        return Finish(writer);
       }
       std::vector<Record> records;
       backend_.ScanBucket(*device, *bucket, [&](const Record& record) {
@@ -118,13 +200,56 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
         return true;
       });
       writer.WriteRecords(records);
-      return writer.Take();
+      return Finish(writer);
+    }
+    case WireOp::kScanMany: {
+      // The batched scatter-gather op: (device, bucket)... in, one
+      // record list per ref out, in request order.  v2-only (the client
+      // learns it from the handshake feature bits).
+      if (frame.version != kWireVersionMux) {
+        return Status::InvalidArgument("ScanMany requires a v2 frame");
+      }
+      auto count = reader.U64();
+      FXDIST_RETURN_NOT_OK(count.status());
+      // Every ref costs 16 payload bytes; a larger count is corruption.
+      if (*count > reader.remaining() / 16) {
+        return Status::DataLoss("wire payload truncated reading bucket refs");
+      }
+      std::vector<BucketRef> refs;
+      refs.reserve(*count);
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto device = reader.U64();
+        FXDIST_RETURN_NOT_OK(device.status());
+        auto bucket = reader.U64();
+        FXDIST_RETURN_NOT_OK(bucket.status());
+        refs.push_back({*device, *bucket});
+      }
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      for (const BucketRef& ref : refs) {
+        if (ref.device >= backend_.num_devices()) {
+          return Status::OutOfRange("device " + std::to_string(ref.device) +
+                                    " out of range");
+        }
+        if (ref.linear_bucket >= backend_.spec().TotalBuckets()) {
+          return Status::OutOfRange(
+              "bucket " + std::to_string(ref.linear_bucket) + " out of range");
+        }
+      }
+      std::vector<std::vector<Record>> gathered(refs.size());
+      backend_.ScanMany(refs, [&](std::size_t i, const Record& record) {
+        gathered[i].push_back(record);
+        return true;
+      });
+      writer.U64(gathered.size());
+      for (const auto& records : gathered) writer.WriteRecords(records);
+      return Finish(writer);
     }
     case WireOp::kNumRecords: {
       FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
       std::shared_lock<std::shared_mutex> lock(backend_mutex_);
       writer.U64(backend_.num_records());
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kRecordCounts: {
       FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
@@ -132,7 +257,7 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
       const auto counts = backend_.RecordCountsPerDevice();
       writer.U32(static_cast<std::uint32_t>(counts.size()));
       for (const std::uint64_t count : counts) writer.U64(count);
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kMarkDown:
     case WireOp::kMarkUp: {
@@ -147,7 +272,7 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
       FXDIST_RETURN_NOT_OK(op == WireOp::kMarkDown
                                ? replicated_->MarkDown(*device)
                                : replicated_->MarkUp(*device));
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kListRecords: {
       FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
@@ -156,7 +281,7 @@ Result<std::string> ShardService::Dispatch(WireOp op, PayloadReader& reader) {
       backend_.ForEachLiveRecord(
           [&](const Record& record) { records.push_back(record); });
       writer.WriteRecords(records);
-      return writer.Take();
+      return Finish(writer);
     }
     case WireOp::kError:
       break;  // rejected by HandleFrame
@@ -276,16 +401,24 @@ void ShardServer::ServeConnection(int fd) {
   for (;;) {
     std::string request;
     if (!recv_exact(request, kWireHeaderSize)) break;
-    auto total = FrameSizeFromHeader(request);
+    // Both header layouts share the first kWireHeaderSize bytes; a v2
+    // header needs another 8 before the length field is visible.
+    auto header_size = WireHeaderSizeFromPrefix(request);
+    if (header_size.ok() && *header_size > request.size() &&
+        !recv_exact(request, *header_size - request.size())) {
+      break;
+    }
+    auto total = header_size.ok()
+                     ? FrameSizeFromHeader(request, kWireMaxPayload)
+                     : Result<std::size_t>(header_size.status());
     // An unframed or oversized request leaves the stream unrecoverable:
     // answer with an error frame and drop the connection.
     if (!total.ok()) {
-      const std::string reply =
-          EncodeReply(WireOp::kError, total.status(), "");
+      const std::string reply = EncodeErrorReplyFor(request, total.status());
       (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
       break;
     }
-    if (!recv_exact(request, *total - kWireHeaderSize)) break;
+    if (!recv_exact(request, *total - request.size())) break;
 
     const std::string reply = service_.HandleFrame(request);
     std::size_t sent = 0;

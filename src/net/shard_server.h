@@ -46,7 +46,7 @@ class ShardService {
   std::string HandleFrame(const std::string& request);
 
  private:
-  Result<std::string> Dispatch(WireOp op, PayloadReader& reader);
+  Result<std::string> Dispatch(const WireFrame& frame, PayloadReader& reader);
 
   StorageBackend& backend_;
   ReplicatedBackend* replicated_;  ///< backend_ downcast, or nullptr

@@ -26,6 +26,63 @@ timeval TimeoutToTimeval(int timeout_ms) {
 
 bool IsTimeoutErrno(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
 
+/// Resolves `host` and opens a connected SOCK_STREAM fd with the send /
+/// receive deadlines and TCP_NODELAY applied — the dial step shared by
+/// SocketTransport and SocketFrameChannel.
+Result<int> DialStream(const std::string& host, std::uint16_t port,
+                       int io_timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &found);
+  if (rc != 0) {
+    return Status::Unavailable("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+
+  int fd = -1;
+  int last_errno = 0;
+  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    const timeval tv = TimeoutToTimeval(io_timeout_ms);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) {
+    return Status::Unavailable("connect " + host + ":" + port_str + ": " +
+                               std::strerror(last_errno));
+  }
+  return fd;
+}
+
+Result<std::uint16_t> ParsePortSpec(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    return Status::InvalidArgument("bad remote address (want host:port): " +
+                                   host_port);
+  }
+  char* end = nullptr;
+  const unsigned long long port =
+      std::strtoull(host_port.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad remote port in: " + host_port);
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
 }  // namespace
 
 Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
@@ -43,20 +100,9 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
 
 Result<std::unique_ptr<SocketTransport>> SocketTransport::ConnectSpec(
     const std::string& host_port, Options options) {
-  const std::size_t colon = host_port.rfind(':');
-  if (colon == std::string::npos || colon == 0 ||
-      colon + 1 == host_port.size()) {
-    return Status::InvalidArgument("bad remote address (want host:port): " +
-                                   host_port);
-  }
-  char* end = nullptr;
-  const unsigned long long port =
-      std::strtoull(host_port.c_str() + colon + 1, &end, 10);
-  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
-    return Status::InvalidArgument("bad remote port in: " + host_port);
-  }
-  return Connect(host_port.substr(0, colon), static_cast<std::uint16_t>(port),
-                 options);
+  auto port = ParsePortSpec(host_port);
+  FXDIST_RETURN_NOT_OK(port.status());
+  return Connect(host_port.substr(0, host_port.rfind(':')), *port, options);
 }
 
 SocketTransport::~SocketTransport() {
@@ -73,43 +119,9 @@ void SocketTransport::CloseLocked() {
 
 Status SocketTransport::EnsureConnectedLocked() {
   if (fd_ >= 0) return Status::OK();
-
-  addrinfo hints{};
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* found = nullptr;
-  const std::string port_str = std::to_string(port_);
-  const int rc = ::getaddrinfo(host_.c_str(), port_str.c_str(), &hints,
-                               &found);
-  if (rc != 0) {
-    return Status::Unavailable("resolve " + host_ + ": " +
-                               ::gai_strerror(rc));
-  }
-
-  int fd = -1;
-  int last_errno = 0;
-  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) {
-      last_errno = errno;
-      continue;
-    }
-    const timeval tv = TimeoutToTimeval(options_.io_timeout_ms);
-    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    const int one = 1;
-    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last_errno = errno;
-    ::close(fd);
-    fd = -1;
-  }
-  ::freeaddrinfo(found);
-  if (fd < 0) {
-    return Status::Unavailable("connect " + host_ + ":" + port_str + ": " +
-                               std::strerror(last_errno));
-  }
-  fd_ = fd;
+  auto fd = DialStream(host_, port_, options_.io_timeout_ms);
+  FXDIST_RETURN_NOT_OK(fd.status());
+  fd_ = *fd;
   return Status::OK();
 }
 
@@ -170,15 +182,183 @@ Result<std::string> SocketTransport::RoundTrip(const std::string& request) {
   };
 
   FXDIST_RETURN_NOT_OK(recv_exact(kWireHeaderSize));
-  auto total = FrameSizeFromHeader(reply);
+  auto header_size = WireHeaderSizeFromPrefix(reply);
+  if (!header_size.ok()) {
+    CloseLocked();
+    return Status::DataLoss("reply from " + host_ + " rejected: " +
+                            header_size.status().message());
+  }
+  if (*header_size > reply.size()) {
+    FXDIST_RETURN_NOT_OK(recv_exact(*header_size - reply.size()));
+  }
+  auto total =
+      FrameSizeFromHeader(reply, max_payload_.load(std::memory_order_relaxed));
   if (!total.ok()) {
     // Garbage header: the stream is beyond recovery.
     CloseLocked();
     return Status::DataLoss("reply from " + host_ + " rejected: " +
                             total.status().message());
   }
-  FXDIST_RETURN_NOT_OK(recv_exact(*total - kWireHeaderSize));
+  FXDIST_RETURN_NOT_OK(recv_exact(*total - reply.size()));
   return reply;
+}
+
+// -- SocketFrameChannel --------------------------------------------------
+
+Result<std::unique_ptr<SocketFrameChannel>> SocketFrameChannel::Connect(
+    const std::string& host, std::uint16_t port, Options options) {
+  if (host.empty()) return Status::InvalidArgument("empty host");
+  if (port == 0) return Status::InvalidArgument("port 0");
+  std::unique_ptr<SocketFrameChannel> channel(
+      new SocketFrameChannel(host, port, options));
+  {
+    std::lock_guard<std::mutex> lock(channel->state_mutex_);
+    FXDIST_RETURN_NOT_OK(channel->EnsureConnectedLocked());
+  }
+  return channel;
+}
+
+Result<std::unique_ptr<SocketFrameChannel>> SocketFrameChannel::ConnectSpec(
+    const std::string& host_port, Options options) {
+  auto port = ParsePortSpec(host_port);
+  FXDIST_RETURN_NOT_OK(port.status());
+  return Connect(host_port.substr(0, host_port.rfind(':')), *port, options);
+}
+
+SocketFrameChannel::~SocketFrameChannel() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SocketFrameChannel::EnsureConnectedLocked() {
+  if (shutdown_) return Status::Unavailable("frame channel shut down");
+  if (fd_ >= 0) return Status::OK();
+  auto fd = DialStream(host_, port_, options_.io_timeout_ms);
+  FXDIST_RETURN_NOT_OK(fd.status());
+  fd_ = *fd;
+  return Status::OK();
+}
+
+int SocketFrameChannel::CurrentFd() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return fd_;
+}
+
+Status SocketFrameChannel::Send(const std::string& frame) {
+  // Serialized under state_mutex_ so concurrent senders cannot
+  // interleave bytes on the stream; Recv runs on an fd snapshot and
+  // never blocks on this lock mid-frame.
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (shutdown_) return Status::Unavailable("frame channel shut down");
+  if (fd_ < 0) return Status::Unavailable("frame channel not connected");
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      const int err = errno;
+      const std::string detail =
+          n == 0 ? "connection closed" : std::strerror(err);
+      if (sent == 0 && !IsTimeoutErrno(err)) {
+        return Status::Unavailable("send to " + host_ + ": " + detail);
+      }
+      if (IsTimeoutErrno(err)) {
+        return Status::DeadlineExceeded("send to " + host_ + " timed out");
+      }
+      return Status::DataLoss("send to " + host_ + " died mid-request: " +
+                              detail);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> SocketFrameChannel::Recv() {
+  const int fd = CurrentFd();
+  if (fd < 0) return Status::Unavailable("frame channel not connected");
+
+  std::string frame;
+  // `idle_ok` marks the wait for a frame's first byte: a receive timeout
+  // there means the connection is merely quiet, so keep waiting.  Once
+  // any byte of a frame has arrived, a timeout is a real error.
+  auto recv_exact = [&](std::size_t want, bool idle_ok) -> Status {
+    const std::size_t base = frame.size();
+    frame.resize(base + want);
+    std::size_t got = 0;
+    while (got < want) {
+      const ssize_t n = ::recv(fd, frame.data() + base + got, want - got, 0);
+      if (n == 0) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (shutdown_) return Status::Unavailable("frame channel shut down");
+        return base + got == 0
+                   ? Status::Unavailable("connection to " + host_ +
+                                         " closed by peer")
+                   : Status::DataLoss("connection to " + host_ +
+                                      " closed mid-frame");
+      }
+      if (n < 0) {
+        const int err = errno;
+        if (IsTimeoutErrno(err)) {
+          if (idle_ok && base + got == 0) {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            if (shutdown_) {
+              return Status::Unavailable("frame channel shut down");
+            }
+            continue;  // idle between frames
+          }
+          return Status::DeadlineExceeded("reply from " + host_ +
+                                          " stalled mid-frame");
+        }
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (shutdown_) return Status::Unavailable("frame channel shut down");
+        return Status::DataLoss("recv from " + host_ + ": " +
+                                std::strerror(err));
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return Status::OK();
+  };
+
+  FXDIST_RETURN_NOT_OK(recv_exact(kWireHeaderSize, /*idle_ok=*/true));
+  auto header_size = WireHeaderSizeFromPrefix(frame);
+  if (!header_size.ok()) {
+    return Status::DataLoss("frame from " + host_ + " rejected: " +
+                            header_size.status().message());
+  }
+  if (*header_size > frame.size()) {
+    FXDIST_RETURN_NOT_OK(
+        recv_exact(*header_size - frame.size(), /*idle_ok=*/false));
+  }
+  auto total =
+      FrameSizeFromHeader(frame, max_payload_.load(std::memory_order_relaxed));
+  if (!total.ok()) {
+    return Status::DataLoss("frame from " + host_ + " rejected: " +
+                            total.status().message());
+  }
+  FXDIST_RETURN_NOT_OK(recv_exact(*total - frame.size(), /*idle_ok=*/false));
+  return frame;
+}
+
+Status SocketFrameChannel::Reset() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (shutdown_) return Status::Unavailable("frame channel shut down");
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return EnsureConnectedLocked();
+}
+
+void SocketFrameChannel::Shutdown() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  shutdown_ = true;
+  if (fd_ >= 0) {
+    // Unblocks a Recv parked on the socket without racing the fd close.
+    (void)::shutdown(fd_, SHUT_RDWR);
+  }
 }
 
 }  // namespace fxdist

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace fxdist {
@@ -45,10 +46,14 @@ std::uint64_t LoadU64(const char* p) {
 
 constexpr std::uint8_t kFlagReply = 0x01;
 
+std::size_t HeaderSizeForVersion(std::uint16_t version) {
+  return version == kWireVersionMux ? kWireHeaderSizeMux : kWireHeaderSize;
+}
+
 }  // namespace
 
 Result<WireOp> ParseWireOp(std::uint8_t raw) {
-  if ((raw >= 1 && raw <= 11) ||
+  if ((raw >= 1 && raw <= 12) ||
       raw == static_cast<std::uint8_t>(WireOp::kError)) {
     return static_cast<WireOp>(raw);
   }
@@ -69,6 +74,7 @@ const char* WireOpName(WireOp op) {
     case WireOp::kMarkDown: return "MarkDown";
     case WireOp::kMarkUp: return "MarkUp";
     case WireOp::kListRecords: return "ListRecords";
+    case WireOp::kScanMany: return "ScanMany";
     case WireOp::kError: return "Error";
   }
   return "?";
@@ -85,43 +91,81 @@ std::uint64_t WireChecksum(std::string_view bytes) {
 }
 
 std::string EncodeFrame(const WireFrame& frame) {
-  FXDIST_DCHECK(frame.payload.size() <= kWireMaxPayload);
+  FXDIST_DCHECK(frame.version == kWireVersion ||
+                frame.version == kWireVersionMux);
+  FXDIST_DCHECK(frame.payload.size() <= kWireMaxPayloadCeiling);
   std::string out;
-  out.reserve(kWireHeaderSize + frame.payload.size() + kWireChecksumSize);
+  out.reserve(HeaderSizeForVersion(frame.version) + frame.payload.size() +
+              kWireChecksumSize);
   AppendU32(out, kWireMagic);
-  AppendU16(out, kWireVersion);
+  AppendU16(out, frame.version);
   out.push_back(static_cast<char>(frame.op));
   out.push_back(static_cast<char>(frame.is_reply ? kFlagReply : 0));
+  if (frame.version == kWireVersionMux) {
+    AppendU64(out, frame.correlation_id);
+  }
   AppendU32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.append(frame.payload);
   AppendU64(out, WireChecksum(out));
   return out;
 }
 
-Result<std::size_t> FrameSizeFromHeader(std::string_view header) {
-  if (header.size() < kWireHeaderSize) {
-    return Status::DataLoss("wire header truncated");
+Result<std::string> EncodeFrameBounded(const WireFrame& frame,
+                                       std::uint32_t max_payload) {
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(max_payload, kWireMaxPayloadCeiling);
+  if (frame.payload.size() > limit) {
+    return Status::InvalidArgument(
+        std::string(WireOpName(frame.op)) + " payload of " +
+        std::to_string(frame.payload.size()) +
+        " bytes exceeds the frame limit of " + std::to_string(limit));
   }
-  if (LoadU32(header.data()) != kWireMagic) {
-    return Status::InvalidArgument("bad wire magic");
-  }
-  const std::uint16_t version = LoadU16(header.data() + 4);
-  if (version != kWireVersion) {
-    return Status::InvalidArgument("wire version mismatch: peer speaks v" +
-                                   std::to_string(version) + ", this build v" +
-                                   std::to_string(kWireVersion));
-  }
-  const std::uint32_t payload_len = LoadU32(header.data() + 8);
-  if (payload_len > kWireMaxPayload) {
-    return Status::InvalidArgument("wire payload length " +
-                                   std::to_string(payload_len) +
-                                   " exceeds limit");
-  }
-  return kWireHeaderSize + payload_len + kWireChecksumSize;
+  return EncodeFrame(frame);
 }
 
-Result<WireFrame> DecodeFrame(std::string_view bytes) {
-  auto total = FrameSizeFromHeader(bytes);
+Result<std::size_t> WireHeaderSizeFromPrefix(std::string_view prefix) {
+  if (prefix.size() < 6) {
+    return Status::DataLoss("wire header truncated");
+  }
+  if (LoadU32(prefix.data()) != kWireMagic) {
+    return Status::InvalidArgument("bad wire magic");
+  }
+  const std::uint16_t version = LoadU16(prefix.data() + 4);
+  if (version != kWireVersion && version != kWireVersionMux) {
+    return Status::InvalidArgument("wire version mismatch: peer speaks v" +
+                                   std::to_string(version) +
+                                   ", this build v1/v" +
+                                   std::to_string(kWireVersionMux));
+  }
+  return HeaderSizeForVersion(version);
+}
+
+Result<std::size_t> FrameSizeFromHeader(std::string_view header,
+                                        std::uint32_t max_payload) {
+  auto header_size = WireHeaderSizeFromPrefix(header);
+  FXDIST_RETURN_NOT_OK(header_size.status());
+  if (header.size() < *header_size) {
+    return Status::DataLoss("wire header truncated");
+  }
+  const std::uint32_t payload_len =
+      LoadU32(header.data() + (*header_size - 4));
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(max_payload, kWireMaxPayloadCeiling);
+  if (payload_len > limit) {
+    // DataLoss, not InvalidArgument: the length is read before the
+    // checksum can vouch for it, so an over-limit value is treated as
+    // corruption and never allocated for.
+    return Status::DataLoss("wire payload length " +
+                            std::to_string(payload_len) +
+                            " exceeds the frame limit of " +
+                            std::to_string(limit));
+  }
+  return *header_size + payload_len + kWireChecksumSize;
+}
+
+Result<WireFrame> DecodeFrame(std::string_view bytes,
+                              std::uint32_t max_payload) {
+  auto total = FrameSizeFromHeader(bytes, max_payload);
   FXDIST_RETURN_NOT_OK(total.status());
   if (bytes.size() != *total) {
     return Status::DataLoss("wire frame size mismatch: have " +
@@ -137,18 +181,52 @@ Result<WireFrame> DecodeFrame(std::string_view bytes) {
   WireFrame frame;
   frame.op = *op;
   frame.is_reply = (static_cast<std::uint8_t>(bytes[7]) & kFlagReply) != 0;
-  frame.payload.assign(bytes.data() + kWireHeaderSize,
-                       body - kWireHeaderSize);
+  frame.version = LoadU16(bytes.data() + 4);
+  std::size_t header_size = kWireHeaderSize;
+  if (frame.version == kWireVersionMux) {
+    frame.correlation_id = LoadU64(bytes.data() + 8);
+    header_size = kWireHeaderSizeMux;
+  }
+  frame.payload.assign(bytes.data() + header_size, body - header_size);
   return frame;
 }
 
 // -- PayloadWriter -------------------------------------------------------
 
-void PayloadWriter::U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-void PayloadWriter::U32(std::uint32_t v) { AppendU32(out_, v); }
-void PayloadWriter::U64(std::uint64_t v) { AppendU64(out_, v); }
+bool PayloadWriter::Len(std::size_t n, const char* what) {
+  if (overflow_) return false;
+  if (n > 0xffffffffull) {
+    overflow_ = true;
+    overflow_what_ = what;
+    return false;
+  }
+  AppendU32(out_, static_cast<std::uint32_t>(n));
+  return true;
+}
+
+Status PayloadWriter::CheckOk() const {
+  if (!overflow_) return Status::OK();
+  return Status::InvalidArgument("wire payload " + overflow_what_ +
+                                 " length exceeds the 32-bit wire slot");
+}
+
+void PayloadWriter::U8(std::uint8_t v) {
+  if (overflow_) return;
+  out_.push_back(static_cast<char>(v));
+}
+
+void PayloadWriter::U32(std::uint32_t v) {
+  if (overflow_) return;
+  AppendU32(out_, v);
+}
+
+void PayloadWriter::U64(std::uint64_t v) {
+  if (overflow_) return;
+  AppendU64(out_, v);
+}
 
 void PayloadWriter::F64(double v) {
+  if (overflow_) return;
   std::uint64_t bits = 0;
   static_assert(sizeof(bits) == sizeof(v));
   std::memcpy(&bits, &v, sizeof(bits));
@@ -156,7 +234,9 @@ void PayloadWriter::F64(double v) {
 }
 
 void PayloadWriter::Str(std::string_view s) {
-  U32(static_cast<std::uint32_t>(s.size()));
+  // The length gate runs before the body is touched, so a poisoned write
+  // never half-appends (and never dereferences) an oversized view.
+  if (!Len(s.size(), "string")) return;
   out_.append(s);
 }
 
@@ -181,17 +261,17 @@ void PayloadWriter::WriteValue(const FieldValue& value) {
 }
 
 void PayloadWriter::WriteRecord(const Record& record) {
-  U32(static_cast<std::uint32_t>(record.size()));
+  if (!Len(record.size(), "record arity")) return;
   for (const FieldValue& value : record) WriteValue(value);
 }
 
 void PayloadWriter::WriteRecords(const std::vector<Record>& records) {
-  U32(static_cast<std::uint32_t>(records.size()));
+  if (!Len(records.size(), "record count")) return;
   for (const Record& record : records) WriteRecord(record);
 }
 
 void PayloadWriter::WriteQuery(const ValueQuery& query) {
-  U32(static_cast<std::uint32_t>(query.size()));
+  if (!Len(query.size(), "query arity")) return;
   for (const auto& field : query) {
     U8(field.has_value() ? 1 : 0);
     if (field.has_value()) WriteValue(*field);
@@ -199,7 +279,7 @@ void PayloadWriter::WriteQuery(const ValueQuery& query) {
 }
 
 void PayloadWriter::WriteStats(const QueryStats& stats) {
-  U32(static_cast<std::uint32_t>(stats.qualified_per_device.size()));
+  if (!Len(stats.qualified_per_device.size(), "device count")) return;
   for (const std::uint64_t q : stats.qualified_per_device) U64(q);
   U64(stats.total_qualified);
   U64(stats.largest_response);
@@ -211,7 +291,7 @@ void PayloadWriter::WriteStats(const QueryStats& stats) {
   F64(stats.disk_timing.serial_ms);
   F64(stats.disk_timing.speedup);
   F64(stats.wall_ms);
-  U32(static_cast<std::uint32_t>(stats.device_wall_ms.size()));
+  if (!Len(stats.device_wall_ms.size(), "device wall count")) return;
   for (const double w : stats.device_wall_ms) F64(w);
 }
 

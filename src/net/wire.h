@@ -1,26 +1,51 @@
 // Framed wire protocol for remote StorageBackend access.
 //
-// Every message is one frame:
+// Two header layouts are in service.  Version 1 (the PR 4 format, still
+// fully supported for old peers):
 //
 //   offset  size  field
 //   0       4     magic   0x46585721 ("FXW!"), little-endian
-//   4       2     version (kWireVersion; peers must match exactly)
+//   4       2     version (1)
 //   6       1     opcode  (WireOp)
 //   7       1     flags   (bit 0: reply)
-//   8       4     payload length, little-endian (<= kWireMaxPayload)
+//   8       4     payload length, little-endian
 //   12      n     payload
 //   12+n    8     FNV-1a 64 checksum over header + payload, little-endian
 //
+// Version 2 adds a correlation id so replies can complete out of order on
+// a multiplexed connection:
+//
+//   offset  size  field
+//   0       4     magic   0x46585721 ("FXW!"), little-endian
+//   4       2     version (2)
+//   6       1     opcode  (WireOp)
+//   7       1     flags   (bit 0: reply)
+//   8       8     correlation id, little-endian (echoed verbatim in reply)
+//   16      4     payload length, little-endian
+//   20      n     payload
+//   20+n    8     FNV-1a 64 checksum over header + payload, little-endian
+//
 // All integers on the wire are little-endian and written byte-by-byte, so
-// the format is host-endianness independent.  DecodeFrame validates magic,
-// version, opcode, length and checksum before returning; a frame that
-// fails any check is rejected with DataLoss (corruption) or
-// InvalidArgument (wrong protocol/version) and never causes an over-read.
+// the format is host-endianness independent.  A stream reader pulls the
+// first kWireHeaderSize bytes, asks WireHeaderSizeFromPrefix how long the
+// header actually is (both layouts share the magic/version prefix), then
+// FrameSizeFromHeader for the full frame length.  DecodeFrame validates
+// magic, version, opcode, length and checksum before returning; a frame
+// that fails any check is rejected with DataLoss (corruption / over-limit
+// length) or InvalidArgument (wrong protocol/version) and never causes an
+// over-read or an attacker-sized allocation.
 //
 // Payloads are op-specific and built with PayloadWriter / parsed with
 // PayloadReader, a bounds-checked cursor whose every read can fail.
 // Reply payloads always start with an encoded Status; body fields follow
 // only when the status is OK.
+//
+// Payload size limits: kWireMaxPayload (4 MiB) is the default per-frame
+// cap; peers may negotiate a higher one at handshake up to
+// kWireMaxPayloadCeiling (64 MiB), past which every build refuses the
+// frame outright.  FrameSizeFromHeader takes the negotiated cap so the
+// limit is enforced from the header alone, before the payload is ever
+// buffered.
 
 #ifndef FXDIST_NET_WIRE_H_
 #define FXDIST_NET_WIRE_H_
@@ -40,10 +65,15 @@ namespace fxdist {
 
 inline constexpr std::uint32_t kWireMagic = 0x46585721u;  // "FXW!"
 inline constexpr std::uint16_t kWireVersion = 1;
-inline constexpr std::size_t kWireHeaderSize = 12;
+inline constexpr std::uint16_t kWireVersionMux = 2;
+inline constexpr std::size_t kWireHeaderSize = 12;      ///< v1 layout
+inline constexpr std::size_t kWireHeaderSizeMux = 20;   ///< v2 layout
 inline constexpr std::size_t kWireChecksumSize = 8;
-/// Frames larger than this are rejected before any allocation.
-inline constexpr std::uint32_t kWireMaxPayload = 64u << 20;
+/// Default per-frame payload cap, enforced from the header before any
+/// allocation.  Handshake negotiation may raise it per connection.
+inline constexpr std::uint32_t kWireMaxPayload = 4u << 20;
+/// Absolute ceiling no negotiation can exceed.
+inline constexpr std::uint32_t kWireMaxPayloadCeiling = 64u << 20;
 
 /// Operations of the remote StorageBackend surface.  Values are part of
 /// the wire format; append only.
@@ -59,8 +89,12 @@ enum class WireOp : std::uint8_t {
   kMarkDown = 9,      ///< device -> ()
   kMarkUp = 10,       ///< device -> ()
   kListRecords = 11,  ///< -> every live record (persistence hook)
+  kScanMany = 12,     ///< (device, bucket)... -> records per ref (v2 only)
   kError = 127,       ///< reply to an undecodable request: Status only
 };
+
+/// Feature bits exchanged in the v2 handshake.
+inline constexpr std::uint32_t kWireFeatureScanMany = 1u << 0;
 
 /// The opcode, or InvalidArgument for a byte outside the enum.
 Result<WireOp> ParseWireOp(std::uint8_t raw);
@@ -68,30 +102,56 @@ Result<WireOp> ParseWireOp(std::uint8_t raw);
 /// Stable name for diagnostics ("Insert", "ScanBucket", ...).
 const char* WireOpName(WireOp op);
 
-/// One decoded frame.
+/// One decoded frame.  `version` / `correlation_id` default to the v1
+/// layout (no correlation), so aggregate-initializing the first three
+/// members keeps producing frames old peers understand.
 struct WireFrame {
   WireOp op = WireOp::kHandshake;
   bool is_reply = false;
   std::string payload;
+  std::uint16_t version = kWireVersion;
+  std::uint64_t correlation_id = 0;
 };
 
 /// FNV-1a 64 over `bytes`.
 std::uint64_t WireChecksum(std::string_view bytes);
 
-/// Serializes header + payload + checksum.  The payload must not exceed
-/// kWireMaxPayload (DCHECK'd; oversized payloads indicate a caller bug).
+/// Serializes header + payload + checksum in the layout `frame.version`
+/// names.  The payload must not exceed kWireMaxPayloadCeiling (DCHECK'd;
+/// oversized payloads indicate a caller bug — fallible callers go through
+/// EncodeFrameBounded).
 std::string EncodeFrame(const WireFrame& frame);
 
-/// Total frame size (header + payload + checksum) announced by a header
-/// prefix of at least kWireHeaderSize bytes, after validating magic,
-/// version and payload length — what a stream reader needs before the
-/// full frame has arrived.
-Result<std::size_t> FrameSizeFromHeader(std::string_view header);
+/// EncodeFrame with the limit enforced as a returned error instead of a
+/// DCHECK: InvalidArgument when the payload exceeds `max_payload` (or the
+/// absolute ceiling).  The choke point for anything that serializes
+/// unbounded user data (record lists, scan results).
+Result<std::string> EncodeFrameBounded(const WireFrame& frame,
+                                       std::uint32_t max_payload);
+
+/// Header length (kWireHeaderSize or kWireHeaderSizeMux) announced by a
+/// frame prefix of at least 6 bytes, after validating magic and version.
+/// Stream readers call this on the first kWireHeaderSize bytes to learn
+/// whether more header follows.
+Result<std::size_t> WireHeaderSizeFromPrefix(std::string_view prefix);
+
+/// Total frame size (header + payload + checksum) announced by a complete
+/// header, after validating magic, version and payload length against
+/// `max_payload` — what a stream reader needs before the full frame has
+/// arrived.  Over-limit lengths are DataLoss: the bytes are not trusted
+/// enough to allocate for.
+Result<std::size_t> FrameSizeFromHeader(
+    std::string_view header, std::uint32_t max_payload = kWireMaxPayload);
 
 /// Validates and decodes one complete frame.
-Result<WireFrame> DecodeFrame(std::string_view bytes);
+Result<WireFrame> DecodeFrame(std::string_view bytes,
+                              std::uint32_t max_payload = kWireMaxPayload);
 
-/// Append-only payload builder.  All writes are infallible.
+/// Append-only payload builder.  Writes cannot fail mid-stream; instead a
+/// length field that cannot be represented in its 32-bit wire slot
+/// poisons the writer (sticky), every later write becomes a no-op, and
+/// the encode choke points turn `ok() == false` into InvalidArgument.
+/// Nothing oversized is ever half-appended.
 class PayloadWriter {
  public:
   void U8(std::uint8_t v);
@@ -108,11 +168,22 @@ class PayloadWriter {
   void WriteStats(const QueryStats& stats);
   void WriteResult(const QueryResult& result);
 
+  /// False once any length field overflowed its wire slot.
+  bool ok() const { return !overflow_; }
+  /// OK, or the InvalidArgument describing the first overflow.
+  Status CheckOk() const;
+
   const std::string& payload() const { return out_; }
   std::string Take() { return std::move(out_); }
 
  private:
+  /// Encodes a size_t into a u32 length slot; poisons on overflow and
+  /// reports whether the caller may proceed with the variable part.
+  bool Len(std::size_t n, const char* what);
+
   std::string out_;
+  bool overflow_ = false;
+  std::string overflow_what_;
 };
 
 /// Bounds-checked payload cursor.  Every read returns an error instead of

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <ostream>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "analysis/optimality.h"
 #include "core/rotation.h"
@@ -30,12 +32,16 @@ std::string SizesToString(const std::vector<std::uint64_t>& sizes) {
   return out.str();
 }
 
-// Shared serial executor: enumerates qualified buckets in the primary
-// placement's ascending order, charges each bucket to its serving device,
-// and fetches records via the backend's own (possibly re-routed)
-// ScanBucket.  With the default ServingDevice this is exactly the
-// monolithic Execute loop, so results and accounting stay bit-identical;
-// ReplicatedBackend reuses it for honest degraded accounting.
+// Shared executor: enumerates qualified buckets in the primary
+// placement's ascending order, charges each bucket to its serving
+// device, then gathers every bucket with ONE ScanMany scatter — a
+// remote shard sees one frame per chunk instead of one round trip per
+// bucket, and a sharded backend overlaps its children.  Records are
+// staged per bucket and assembled in enumeration order afterwards, so
+// results and accounting stay bit-identical to the monolithic
+// bucket-by-bucket loop; ReplicatedBackend reuses it for honest
+// degraded accounting.  Per-device wall times are not attributable in
+// the batched gather and read as zero.
 Result<QueryResult> ExecuteRouted(const StorageBackend& backend,
                                   const ValueQuery& query) {
   auto hashed = backend.HashQuery(query);
@@ -48,25 +54,47 @@ Result<QueryResult> ExecuteRouted(const StorageBackend& backend,
   stats.device_wall_ms.assign(m, 0.0);
 
   const auto start = std::chrono::steady_clock::now();
+  std::vector<BucketRef> refs;
   for (std::uint64_t d = 0; d < m; ++d) {
-    const auto device_start = std::chrono::steady_clock::now();
     backend.device_map().ForEachQualifiedLinearOnDevice(
         *hashed, d, [&](std::uint64_t linear) {
           ++stats.qualified_per_device[backend.ServingDevice(d, linear)];
-          backend.ScanBucket(d, linear, [&](const Record& record) {
-            ++stats.records_examined;
-            if (RecordMatchesValueQuery(query, record)) {
-              ++stats.records_matched;
-              result.records.push_back(record);
-            }
-            return true;
-          });
+          refs.push_back({d, linear});
           return true;
         });
-    stats.device_wall_ms[d] = std::chrono::duration<double, std::milli>(
-                                  std::chrono::steady_clock::now() -
-                                  device_start)
-                                  .count();
+  }
+
+  if (!backend.ScanPrefersFanout()) {
+    // All children are local: the gather is serial and in ref order, so
+    // counters and the result vector are written directly.
+    backend.ScanMany(refs, [&](std::size_t, const Record& record) {
+      ++stats.records_examined;
+      if (RecordMatchesValueQuery(query, record)) {
+        ++stats.records_matched;
+        result.records.push_back(record);
+      }
+      return true;
+    });
+  } else {
+    // Distinct ref indices may be visited concurrently (remote children
+    // overlap), so each bucket stages into its own slot; the serial
+    // assembly below restores enumeration order.
+    std::vector<std::uint64_t> examined(refs.size(), 0);
+    std::vector<std::vector<Record>> matched(refs.size());
+    backend.ScanMany(refs, [&](std::size_t i, const Record& record) {
+      ++examined[i];
+      if (RecordMatchesValueQuery(query, record)) {
+        matched[i].push_back(record);
+      }
+      return true;
+    });
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      stats.records_examined += examined[i];
+      stats.records_matched += matched[i].size();
+      for (Record& record : matched[i]) {
+        result.records.push_back(std::move(record));
+      }
+    }
   }
   stats.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
@@ -176,6 +204,79 @@ Result<std::uint64_t> ShardedBackend::Delete(const ValueQuery& query) {
     total += *removed;
   }
   return total;
+}
+
+void ShardedBackend::ScanMany(
+    const std::vector<BucketRef>& refs,
+    const std::function<bool(std::size_t, const Record&)>& fn) const {
+  // All-local composites skip the scatter/gather machinery: a direct
+  // serial sweep in ref order satisfies the delivery contract with no
+  // grouping allocations.
+  if (!ScanPrefersFanout()) {
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      children_[refs[i].device]->ScanBucket(
+          refs[i].device, refs[i].linear_bucket,
+          [&fn, i](const Record& record) { return fn(i, record); });
+    }
+    return;
+  }
+  // Scatter: group refs by owning child, preserving each child's ref
+  // order (the per-ref delivery order contract is per child, and the
+  // grouping keeps it).
+  std::vector<std::vector<std::size_t>> by_child(children_.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    by_child[refs[i].device].push_back(i);
+  }
+  const auto run_child = [this, &refs, &by_child,
+                          &fn](std::uint64_t device) {
+    const std::vector<std::size_t>& indices = by_child[device];
+    std::vector<BucketRef> child_refs;
+    child_refs.reserve(indices.size());
+    for (std::size_t i : indices) child_refs.push_back(refs[i]);
+    children_[device]->ScanMany(
+        child_refs, [&fn, &indices](std::size_t j, const Record& record) {
+          return fn(indices[j], record);
+        });
+  };
+  // Gather: children whose scans block on the wire are overlapped on
+  // their own threads — each is bounded by its own deadline budget, so
+  // one slow shard delays the gather by at most that budget instead of
+  // serializing behind every other shard's wait.  Local children run
+  // inline: their scans are pure CPU and a thread spawn costs more than
+  // the scan it would overlap.
+  std::vector<std::uint64_t> inline_children;
+  std::vector<std::uint64_t> fanout_children;
+  for (std::uint64_t d = 0; d < children_.size(); ++d) {
+    if (by_child[d].empty()) continue;
+    if (children_[d]->ScanPrefersFanout()) {
+      fanout_children.push_back(d);
+    } else {
+      inline_children.push_back(d);
+    }
+  }
+  // The first fanout child runs on this thread when there is no inline
+  // work to overlap with (so a single remote child never pays a spawn).
+  std::size_t first_threaded = inline_children.empty() ? 1 : 0;
+  std::vector<std::thread> workers;
+  if (fanout_children.size() > first_threaded) {
+    workers.reserve(fanout_children.size() - first_threaded);
+    for (std::size_t k = first_threaded; k < fanout_children.size(); ++k) {
+      workers.emplace_back(
+          [&run_child, device = fanout_children[k]] { run_child(device); });
+    }
+  }
+  if (inline_children.empty() && !fanout_children.empty()) {
+    run_child(fanout_children.front());
+  }
+  for (std::uint64_t d : inline_children) run_child(d);
+  for (std::thread& worker : workers) worker.join();
+}
+
+bool ShardedBackend::ScanPrefersFanout() const {
+  for (const auto& child : children_) {
+    if (child->ScanPrefersFanout()) return true;
+  }
+  return false;
 }
 
 Result<QueryResult> ShardedBackend::Execute(const ValueQuery& query) const {

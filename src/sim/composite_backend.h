@@ -74,6 +74,18 @@ class ShardedBackend : public StorageBackend {
       const std::function<bool(const Record&)>& fn) const override {
     children_[device]->ScanBucket(device, linear_bucket, fn);
   }
+  /// Scatter-gather: the refs are grouped by owning child and each
+  /// child gets its whole group as one ScanMany (a remote child turns
+  /// that into one frame per chunk instead of one per bucket).  Groups
+  /// for distinct children run concurrently, each bounded by that
+  /// child's own deadline budget; `fn` must therefore tolerate
+  /// concurrent calls for distinct ref indices.
+  void ScanMany(
+      const std::vector<BucketRef>& refs,
+      const std::function<bool(std::size_t, const Record&)>& fn)
+      const override;
+  /// True when any child's gather blocks on the wire.
+  bool ScanPrefersFanout() const override;
   bool IsBucketLive(std::uint64_t device,
                     std::uint64_t linear_bucket) const override {
     return children_[device]->IsBucketLive(device, linear_bucket);

@@ -12,6 +12,15 @@ bool StorageBackend::IsBucketLive(std::uint64_t device,
   return live;
 }
 
+void StorageBackend::ScanMany(
+    const std::vector<BucketRef>& refs,
+    const std::function<bool(std::size_t, const Record&)>& fn) const {
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    ScanBucket(refs[i].device, refs[i].linear_bucket,
+               [&fn, i](const Record& record) { return fn(i, record); });
+  }
+}
+
 bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record) {
   for (std::size_t f = 0; f < query.size(); ++f) {
     if (query[f].has_value() && record[f] != *query[f]) return false;

@@ -64,6 +64,16 @@ struct QueryResult {
   QueryStats stats;
 };
 
+/// One bucket coordinate of a batched scatter-gather scan.
+struct BucketRef {
+  std::uint64_t device = 0;
+  std::uint64_t linear_bucket = 0;
+
+  friend bool operator==(const BucketRef& a, const BucketRef& b) {
+    return a.device == b.device && a.linear_bucket == b.linear_bucket;
+  }
+};
+
 /// True iff `record` satisfies every specified field of `query` by value
 /// equality (the filter applied after bucket-level candidates are
 /// fetched).  Shared by every backend and the batch QueryEngine so all
@@ -143,6 +153,27 @@ class StorageBackend {
   virtual void ScanBucket(
       std::uint64_t device, std::uint64_t linear_bucket,
       const std::function<bool(const Record&)>& fn) const = 0;
+
+  /// Batched scatter-gather scan: visits the records of every ref in
+  /// `refs`, calling `fn(index_into_refs, record)` with each record in
+  /// that ref's ScanBucket order.  `fn` returning false abandons the rest
+  /// of that ref (other refs still complete).  Distinct indices may be
+  /// visited concurrently — and interleaved — but records of one ref are
+  /// always delivered in order by a single thread at a time, so per-index
+  /// accumulation needs no locking while cross-index state does.  The
+  /// default loops ScanBucket serially; composite and remote backends
+  /// override it to fan the whole batch out (one frame per shard instead
+  /// of one per bucket).
+  virtual void ScanMany(
+      const std::vector<BucketRef>& refs,
+      const std::function<bool(std::size_t, const Record&)>& fn) const;
+
+  /// True when a ScanMany call on this backend is dominated by waiting
+  /// (a network round trip) rather than CPU, so a composite parent
+  /// should overlap this child's gather with its siblings' on separate
+  /// threads.  Local in-memory backends return false — for them the
+  /// thread fan-out costs far more than the scans it would overlap.
+  virtual bool ScanPrefersFanout() const { return false; }
 
   /// Executes one partial match query serially (wildcards are
   /// std::nullopt), with full QueryStats accounting.

@@ -55,8 +55,9 @@ TEST(WireFrameTest, RejectsBadMagicVersionOpcodeAndLength) {
   EXPECT_FALSE(FrameSizeFromHeader(bad_magic).ok());
   EXPECT_FALSE(DecodeFrame(bad_magic).ok());
 
+  // Version 2 is a real dialect now; the first unassigned version is 3.
   std::string bad_version = good;
-  bad_version[4] = static_cast<char>(kWireVersion + 1);
+  bad_version[4] = static_cast<char>(kWireVersionMux + 1);
   EXPECT_FALSE(FrameSizeFromHeader(bad_version).ok());
   EXPECT_FALSE(DecodeFrame(bad_version).ok());
 
