@@ -9,8 +9,12 @@
 //
 // Part B runs one Zipf-popular query stream through the QueryEngine over
 // each StorageBackend (flat ParallelFile, PagedParallelFile,
-// DynamicParallelFile) holding the same records, with every batched
-// result checked bit-for-bit against that backend's own serial Execute.
+// DynamicParallelFile, and a PackedBackend built from the flat file)
+// holding the same records, with every batched result checked
+// bit-for-bit against that backend's own serial Execute.  The packed
+// row's serial results are additionally checked against the flat row's
+// (same placement plane, so stats and records must agree exactly), and
+// its memory density must beat flat's by at least 5x records/MB.
 //
 // Exits nonzero on any divergence, so CI can run it as a smoke test
 // (`--quick` shrinks the workload to seconds).
@@ -30,6 +34,7 @@
 #include "core/registry.h"
 #include "engine/query_engine.h"
 #include "sim/dynamic_parallel_file.h"
+#include "sim/packed_backend.h"
 #include "sim/paged_parallel_file.h"
 #include "sim/parallel_file.h"
 #include "util/random.h"
@@ -50,6 +55,10 @@ struct RunConfig {
   std::size_t placement_reps = 200;
   double zipf_theta = 1.1;
   std::uint64_t seed = 42;
+  /// --quick shrinks the workload below the point where record storage
+  /// dominates the fixed per-bucket directories, so the packed density
+  /// gate only applies at full scale.
+  bool quick = false;
 };
 
 double NowMs() {
@@ -207,16 +216,56 @@ bool EngineBench(const RunConfig& config) {
               static_cast<unsigned long long>(config.num_devices),
               static_cast<unsigned long long>(config.num_records));
   TablePrinter table({"backend", "serial qps", "engine qps", "speedup",
-                      "identical"});
+                      "recs/MB", "identical"});
   bool all_identical = true;
-  for (const std::string kind : {"flat", "paged", "dynamic"}) {
+  // The flat row's serial results double as the packed row's oracle:
+  // both backends share one placement plane, so every stat and every
+  // record list must match bit for bit.
+  std::vector<QueryResult> flat_serial;
+  std::uint64_t flat_memory_bytes = 0;
+  std::uint64_t packed_memory_bytes = 0;
+  bool packed_identical_to_flat = true;
+  for (const std::string kind : {"flat", "paged", "dynamic", "packed"}) {
     std::fprintf(stderr, "[backend_matrix] running %s\n", kind.c_str());
-    auto backend = MakeBackend(kind, schema, config);
-    for (const Record& r : records) {
-      if (auto st = backend->Insert(r); !st.ok()) {
-        std::fprintf(stderr, "insert failed on %s: %s\n", kind.c_str(),
-                     st.ToString().c_str());
+    std::unique_ptr<StorageBackend> backend;
+    if (kind == "packed") {
+      // Built from a freshly loaded flat file: insert, pack to disk,
+      // reopen mapped.  The flat source dies here — only the packed
+      // image serves the stream.
+      auto source = MakeBackend("flat", schema, config);
+      for (const Record& r : records) {
+        if (auto st = source->Insert(r); !st.ok()) {
+          std::fprintf(stderr, "insert failed on flat source: %s\n",
+                       st.ToString().c_str());
+          std::abort();
+        }
+      }
+      const std::string pack_path = "/tmp/fxdist-backend-matrix.pack";
+      if (auto written = PackBackend(*source, pack_path); !written.ok()) {
+        std::fprintf(stderr, "pack failed: %s\n",
+                     written.status().ToString().c_str());
         std::abort();
+      }
+      // A small decode cache is the configuration the density gate
+      // measures: the point of the packed format is serving out of the
+      // mapped file, not holding every block decoded.
+      PackedOptions popts;
+      popts.cache_blocks = 2;
+      auto opened = PackedBackend::Open(pack_path, popts);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "packed open failed: %s\n",
+                     opened.status().ToString().c_str());
+        std::abort();
+      }
+      backend = *std::move(opened);
+    } else {
+      backend = MakeBackend(kind, schema, config);
+      for (const Record& r : records) {
+        if (auto st = backend->Insert(r); !st.ok()) {
+          std::fprintf(stderr, "insert failed on %s: %s\n", kind.c_str(),
+                       st.ToString().c_str());
+          std::abort();
+        }
       }
     }
 
@@ -275,14 +324,72 @@ bool EngineBench(const RunConfig& config) {
                   batched[i].stats.largest_response ==
                       serial[i].stats.largest_response;
     }
+    if (kind == "flat") {
+      flat_serial = std::move(serial);
+      flat_memory_bytes = backend->ApproxMemoryBytes();
+    } else if (kind == "packed") {
+      packed_memory_bytes = backend->ApproxMemoryBytes();
+      packed_identical_to_flat = flat_serial.size() == serial.size();
+      for (std::size_t i = 0;
+           packed_identical_to_flat && i < serial.size(); ++i) {
+        packed_identical_to_flat =
+            serial[i].records == flat_serial[i].records &&
+            serial[i].stats.records_matched ==
+                flat_serial[i].stats.records_matched &&
+            serial[i].stats.records_examined ==
+                flat_serial[i].stats.records_examined &&
+            serial[i].stats.qualified_per_device ==
+                flat_serial[i].stats.qualified_per_device &&
+            serial[i].stats.largest_response ==
+                flat_serial[i].stats.largest_response &&
+            serial[i].stats.optimal_bound ==
+                flat_serial[i].stats.optimal_bound;
+      }
+      identical = identical && packed_identical_to_flat;
+    }
     all_identical = all_identical && identical;
+    const std::uint64_t mem = backend->ApproxMemoryBytes();
+    const double recs_per_mb =
+        mem == 0 ? 0.0
+                 : static_cast<double>(config.num_records) /
+                       (static_cast<double>(mem) / (1024.0 * 1024.0));
     table.AddRow({kind, TablePrinter::Cell(Qps(stream.size(), serial_ms), 0),
                   TablePrinter::Cell(Qps(stream.size(), engine_ms), 0),
                   TablePrinter::Cell(
                       engine_ms <= 0.0 ? 0.0 : serial_ms / engine_ms, 2),
+                  TablePrinter::Cell(recs_per_mb, 0),
                   identical ? "yes" : "NO"});
   }
   table.Print(std::cout);
+  if (!packed_identical_to_flat) {
+    std::fprintf(stderr,
+                 "[backend_matrix] packed serial results DIVERGE from "
+                 "flat serial results\n");
+  }
+  // The density gate the packed format exists for: a mapped packed file
+  // must hold at least 5x more records per resident MB than the flat
+  // in-memory file (measured after serving the whole stream, so the
+  // decode cache and touched pages are charged).
+  if (flat_memory_bytes > 0 && packed_memory_bytes > 0) {
+    const double density_gain = static_cast<double>(flat_memory_bytes) /
+                                static_cast<double>(packed_memory_bytes);
+    std::printf("\npacked density: %.1fx more records per resident MB "
+                "than flat (%llu vs %llu bytes)\n",
+                density_gain,
+                static_cast<unsigned long long>(packed_memory_bytes),
+                static_cast<unsigned long long>(flat_memory_bytes));
+    if (config.quick) {
+      std::printf("(density gate skipped under --quick: the shrunken "
+                  "record count does not dominate the fixed per-bucket "
+                  "directories)\n");
+    } else if (density_gain < 5.0) {
+      std::fprintf(stderr,
+                   "[backend_matrix] packed density gain %.2fx is below "
+                   "the 5x gate\n",
+                   density_gain);
+      return false;
+    }
+  }
   return all_identical;
 }
 
@@ -296,6 +403,7 @@ int main(int argc, char** argv) {
       config.num_queries = 192;
       config.batch_size = 48;
       config.placement_reps = 10;
+      config.quick = true;
     }
   }
   const bool placement_ok = PlacementBench(config);

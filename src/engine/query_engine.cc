@@ -32,6 +32,11 @@ struct DeviceOutcome {
   /// device planned but a degraded backend served elsewhere.  Only
   /// populated while the backend re-routes.
   std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> rerouted;
+  /// Owned copies of the gathered records, one list per scanned bucket,
+  /// populated only when the backend's scan references are not stable
+  /// (packed backends decode out of a bounded cache).  `matched` then
+  /// points into these lists, which live as long as the outcome.
+  std::vector<std::vector<Record>> pinned;
   std::uint64_t buckets_scanned = 0;
   std::uint64_t reroutes = 0;        // scans served away from this device
   std::uint64_t routed_queries = 0;  // reps with any qualified bucket here
@@ -194,11 +199,31 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
       refs.push_back({d, linear});
     }
     std::vector<std::vector<const Record*>> gathered(refs.size());
-    backend_.ScanMany(refs,
-                      [&gathered](std::size_t s, const Record& record) {
-                        gathered[s].push_back(&record);
-                        return true;
-                      });
+    if (backend_.ScanRecordsAreStable()) {
+      backend_.ScanMany(refs,
+                        [&gathered](std::size_t s, const Record& record) {
+                          gathered[s].push_back(&record);
+                          return true;
+                        });
+    } else {
+      // Unstable scan references (packed backends materialize records
+      // out of a bounded decode cache) die with the callback: copy each
+      // record into the outcome's pinned storage and point at the
+      // copies.  The pointer lists are built only after the gather —
+      // push_back may reallocate a pinned list mid-scan.
+      out.pinned.assign(refs.size(), {});
+      backend_.ScanMany(refs,
+                        [&out](std::size_t s, const Record& record) {
+                          out.pinned[s].push_back(record);
+                          return true;
+                        });
+      for (std::size_t s = 0; s < refs.size(); ++s) {
+        gathered[s].reserve(out.pinned[s].size());
+        for (const Record& record : out.pinned[s]) {
+          gathered[s].push_back(&record);
+        }
+      }
+    }
     std::vector<std::vector<std::vector<const Record*>>> scan_matches(
         plan.scan_buckets.size());
     for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {

@@ -6,6 +6,7 @@
 #include "core/registry.h"
 #include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
+#include "sim/packed_backend.h"
 #include "sim/paged_parallel_file.h"
 #include "sim/parallel_file.h"
 
@@ -94,6 +95,26 @@ Result<std::unique_ptr<StorageBackend>> MakeChildBackend(
     return std::unique_ptr<StorageBackend>(
         std::make_unique<DynamicParallelFile>(*std::move(file)));
   }
+  if (kind == "packed") {
+    if (arg.empty()) {
+      return Status::InvalidArgument("packed spec needs a path: packed:<path>");
+    }
+    auto packed = PackedBackend::Open(arg);
+    FXDIST_RETURN_NOT_OK(packed.status());
+    if ((*packed)->num_devices() != num_devices) {
+      return Status::InvalidArgument(
+          "packed file " + arg + " is built for " +
+          std::to_string((*packed)->num_devices()) + " devices, want " +
+          std::to_string(num_devices));
+    }
+    if ((*packed)->spec().num_fields() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "packed file " + arg + " has " +
+          std::to_string((*packed)->spec().num_fields()) +
+          " fields, want " + std::to_string(schema.num_fields()));
+    }
+    return std::unique_ptr<StorageBackend>(*std::move(packed));
+  }
   if (kind == "remote") {
     auto remote = RemoteBackend::ConnectTcp(arg, options.remote);
     FXDIST_RETURN_NOT_OK(remote.status());
@@ -113,7 +134,7 @@ Result<std::unique_ptr<StorageBackend>> MakeChildBackend(
   }
   return Status::InvalidArgument(
       "unknown child backend spec (want flat|paged[:P]|dynamic[:C]|"
-      "remote:host:port): " +
+      "packed:path|remote:host:port): " +
       child_spec);
 }
 

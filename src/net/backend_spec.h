@@ -6,6 +6,9 @@
 //   "dynamic" | "dynamic:C" in-process DynamicParallelFile, page capacity
 //                          C, directories provisioned to the schema's
 //                          sizes (the frozen plane must not grow)
+//   "packed:path"          read-only PackedBackend mapped from a packed
+//                          file (see `fxdistctl pack`); arrives full, so
+//                          the composite accepts it pre-loaded
 //   "remote:host:port"     RemoteBackend dialing a `fxdistctl
 //                          shard-serve` process
 //

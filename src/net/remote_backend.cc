@@ -361,12 +361,21 @@ void RemoteBackend::ScanMany(
     if (!body.ok()) {
       if (body.status().code() == StatusCode::kInvalidArgument) {
         // The chunk's reply (or request) outgrew the negotiated frame
-        // limit: gather this chunk bucket-by-bucket instead.
-        for (std::size_t j = 0; j < n; ++j) {
+        // limit: gather this chunk bucket-by-bucket instead.  fn
+        // returning false cancels the rest of the scatter.
+        bool cancelled = false;
+        for (std::size_t j = 0; j < n && !cancelled; ++j) {
           const std::size_t i = start + j;
           ScanBucketRemote(refs[i].device, refs[i].linear_bucket,
-                           [&fn, i](const Record& r) { return fn(i, r); });
+                           [&fn, &cancelled, i](const Record& r) {
+                             if (!fn(i, r)) {
+                               cancelled = true;
+                               return false;
+                             }
+                             return true;
+                           });
         }
+        if (cancelled) return;
         continue;
       }
       return;  // terminal / transport failure: Health() reports the cause
@@ -396,7 +405,9 @@ void RemoteBackend::ScanMany(
     }
     for (std::size_t j = 0; j < n; ++j) {
       for (const Record& record : *pinned[j]) {
-        if (!fn(start + j, record)) break;
+        // fn returning false cancels the whole scatter: abandon this
+        // bucket, the rest of the chunk, and every later chunk.
+        if (!fn(start + j, record)) return;
       }
     }
   }

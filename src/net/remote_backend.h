@@ -129,6 +129,9 @@ class RemoteBackend final : public StorageBackend {
   bool HasDegradedRouting() const override {
     return twin_->HasDegradedRouting();
   }
+  std::vector<ValueType> FieldTypes() const override {
+    return twin_->FieldTypes();
+  }
   void SaveParams(std::ostream& out) const override {
     twin_->SaveParams(out);
   }

@@ -1,6 +1,7 @@
 #include "sim/composite_backend.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <ostream>
 #include <sstream>
@@ -155,7 +156,10 @@ Result<ShardedBackend> ShardedBackend::Create(
       return Status::InvalidArgument(
           "sharded children disagree on bucket-space shape");
     }
-    if (child->num_records() != 0) {
+    // Read-only children (packed shards) arrive full by design; mutable
+    // children must start empty so every record routes through the
+    // composite's Insert.
+    if (child->num_records() != 0 && !child->IsReadOnly()) {
       return Status::InvalidArgument(
           "sharded children must start empty (records arrive through the "
           "composite's Insert)");
@@ -213,10 +217,17 @@ void ShardedBackend::ScanMany(
   // serial sweep in ref order satisfies the delivery contract with no
   // grouping allocations.
   if (!ScanPrefersFanout()) {
-    for (std::size_t i = 0; i < refs.size(); ++i) {
+    bool cancelled = false;
+    for (std::size_t i = 0; i < refs.size() && !cancelled; ++i) {
       children_[refs[i].device]->ScanBucket(
           refs[i].device, refs[i].linear_bucket,
-          [&fn, i](const Record& record) { return fn(i, record); });
+          [&fn, &cancelled, i](const Record& record) {
+            if (!fn(i, record)) {
+              cancelled = true;
+              return false;
+            }
+            return true;
+          });
     }
     return;
   }
@@ -227,15 +238,27 @@ void ShardedBackend::ScanMany(
   for (std::size_t i = 0; i < refs.size(); ++i) {
     by_child[refs[i].device].push_back(i);
   }
-  const auto run_child = [this, &refs, &by_child,
-                          &fn](std::uint64_t device) {
+  // fn returning false cancels the whole scatter: the flag stops this
+  // child's delivery at once and every other child's at its next record
+  // (concurrently-delivering children cannot be stopped mid-call, only
+  // between records — exactly the contract's allowance).
+  std::atomic<bool> cancelled{false};
+  const auto run_child = [this, &refs, &by_child, &fn,
+                          &cancelled](std::uint64_t device) {
+    if (cancelled.load(std::memory_order_relaxed)) return;
     const std::vector<std::size_t>& indices = by_child[device];
     std::vector<BucketRef> child_refs;
     child_refs.reserve(indices.size());
     for (std::size_t i : indices) child_refs.push_back(refs[i]);
     children_[device]->ScanMany(
-        child_refs, [&fn, &indices](std::size_t j, const Record& record) {
-          return fn(indices[j], record);
+        child_refs,
+        [&fn, &indices, &cancelled](std::size_t j, const Record& record) {
+          if (cancelled.load(std::memory_order_relaxed)) return false;
+          if (!fn(indices[j], record)) {
+            cancelled.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return true;
         });
   };
   // Gather: children whose scans block on the wire are overlapped on

@@ -79,7 +79,9 @@ class ShardedBackend : public StorageBackend {
   /// that into one frame per chunk instead of one per bucket).  Groups
   /// for distinct children run concurrently, each bounded by that
   /// child's own deadline budget; `fn` must therefore tolerate
-  /// concurrent calls for distinct ref indices.
+  /// concurrent calls for distinct ref indices.  `fn` returning false
+  /// cancels the whole scatter: children not yet started are skipped and
+  /// concurrently-delivering children stop at their next record.
   void ScanMany(
       const std::vector<BucketRef>& refs,
       const std::function<bool(std::size_t, const Record&)>& fn)
@@ -97,6 +99,21 @@ class ShardedBackend : public StorageBackend {
   /// Poisoned state, or the first unhealthy child (a remote shard past
   /// its retry budget surfaces here as Unavailable).
   Status Health() const override;
+
+  bool ScanRecordsAreStable() const override {
+    for (const auto& child : children_) {
+      if (!child->ScanRecordsAreStable()) return false;
+    }
+    return true;
+  }
+  std::vector<ValueType> FieldTypes() const override {
+    return children_.front()->FieldTypes();
+  }
+  std::uint64_t ApproxMemoryBytes() const override {
+    std::uint64_t bytes = 0;
+    for (const auto& child : children_) bytes += child->ApproxMemoryBytes();
+    return bytes;
+  }
 
   void SaveParams(std::ostream& out) const override;
   void ForEachLiveRecord(
@@ -209,6 +226,17 @@ class ReplicatedBackend : public StorageBackend {
   Status Health() const override {
     if (auto st = primary_->Health(); !st.ok()) return st;
     return replica_->Health();
+  }
+
+  bool ScanRecordsAreStable() const override {
+    return primary_->ScanRecordsAreStable() &&
+           replica_->ScanRecordsAreStable();
+  }
+  std::vector<ValueType> FieldTypes() const override {
+    return primary_->FieldTypes();
+  }
+  std::uint64_t ApproxMemoryBytes() const override {
+    return primary_->ApproxMemoryBytes() + replica_->ApproxMemoryBytes();
   }
 
   void SaveParams(std::ostream& out) const override;

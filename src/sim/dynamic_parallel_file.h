@@ -87,6 +87,13 @@ class DynamicParallelFile : public StorageBackend {
       std::uint64_t device, std::uint64_t linear_bucket,
       const std::function<bool(const Record&)>& fn) const override;
 
+  std::vector<ValueType> FieldTypes() const override {
+    std::vector<ValueType> types;
+    types.reserve(fields_.size());
+    for (const DynamicFieldDecl& field : fields_) types.push_back(field.type);
+    return types;
+  }
+
   std::vector<std::uint64_t> RecordCountsPerDevice() const override;
 
   /// Construction parameters, remembered for persistence.

@@ -1,0 +1,187 @@
+// On-disk layout of the packed (immutable, mmap-able) backend.
+//
+// A packed file is one block-compressed image of a whole backend,
+// designed for lazy scanning through a read-only mapping (the plocate
+// shape: a tiny fixed header, per-block directories with offset /
+// compressed length / raw length / checksum, and varint-compressed
+// payload blocks that decode independently):
+//
+//   +--------------------------------------------------------------+
+//   | header (104 bytes, fixed): magic "FXPK", version, file size, |
+//   |   counts, section offsets/lengths, FNV-1a-64 header checksum |
+//   +--------------------------------------------------------------+
+//   | record blocks: records_per_block records each, fields encoded|
+//   |   back to back (int64 zigzag varint, double raw 8B LE,       |
+//   |   string varint length + bytes)                              |
+//   +--------------------------------------------------------------+
+//   | posting blocks: one per non-empty bucket — the bucket's      |
+//   |   record ids, strictly ascending, delta/varint encoded       |
+//   |   (first id, then delta-1 per successor)                     |
+//   +--------------------------------------------------------------+
+//   | bucket directory: per-device record counts, field type tags, |
+//   |   one entry per posting block (device, linear bucket, count, |
+//   |   offset, clen, rlen, checksum), section checksum            |
+//   +--------------------------------------------------------------+
+//   | record-block directory: offset/clen/checksum per block,      |
+//   |   section checksum                                           |
+//   +--------------------------------------------------------------+
+//   | blueprint: BackendBlueprintText of the source backend — how  |
+//   |   the reader rebuilds the placement plane (sim/persistence.h)|
+//   +--------------------------------------------------------------+
+//
+// Record ids are dense, assigned in the source's ForEachLiveRecord
+// order, so each bucket's posting list is ascending (within a bucket,
+// scan order equals insertion order for every monolithic backend) and
+// decoding a bucket reproduces the source's ScanBucket order exactly.
+//
+// Every decode here faces possibly-corrupted bytes: all reads are
+// bounds-checked against the mapped range and every mismatch — bad
+// magic, truncation, checksum, varint running off a block, directory
+// offset past EOF — fails with DataLoss, never a crash or over-read.
+
+#ifndef FXDIST_SIM_PACKED_FORMAT_H_
+#define FXDIST_SIM_PACKED_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hashing/value.h"
+#include "util/status.h"
+
+namespace fxdist {
+namespace packed {
+
+/// "FXPK" little-endian.
+constexpr std::uint32_t kMagic = 0x4B505846;
+constexpr std::uint32_t kVersion = 1;
+/// Fixed header size in bytes (checksum included).
+constexpr std::size_t kHeaderSize = 104;
+/// Default records per record block.
+constexpr std::uint64_t kDefaultRecordsPerBlock = 256;
+
+/// FNV-1a 64 over `bytes` — the same function the wire protocol uses, so
+/// one corrupted byte anywhere in a section flips its checksum.
+std::uint64_t Checksum(std::string_view bytes);
+
+// -- Primitive encoders -------------------------------------------------
+void AppendU32(std::string& out, std::uint32_t v);
+void AppendU64(std::string& out, std::uint64_t v);
+/// LEB128 varint (7 bits per byte, at most 10 bytes).
+void PutVarint(std::string& out, std::uint64_t v);
+/// Zigzag-mapped varint for signed values.
+void PutZigzag(std::string& out, std::int64_t v);
+
+/// Bounds-checked cursor over an immutable byte range.  Every failure is
+/// DataLoss: the bytes came from a file that claims to be well-formed.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  /// Rejects varints longer than 10 bytes or running off the range.
+  Result<std::uint64_t> Varint();
+  Result<std::int64_t> Zigzag();
+  Result<std::string_view> Bytes(std::size_t n);
+  /// DataLoss unless the cursor consumed the range exactly.
+  Status ExpectEnd() const;
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// -- Header --------------------------------------------------------------
+struct Header {
+  std::uint64_t file_size = 0;
+  std::uint64_t num_devices = 0;
+  std::uint64_t num_records = 0;
+  std::uint64_t num_buckets = 0;  ///< non-empty buckets (posting blocks)
+  std::uint64_t directory_off = 0, directory_len = 0;
+  std::uint64_t rblock_dir_off = 0, rblock_dir_len = 0;
+  std::uint64_t blueprint_off = 0, blueprint_len = 0;
+  std::uint32_t records_per_block = 0;
+  std::uint32_t num_record_blocks = 0;
+};
+
+/// Exactly kHeaderSize bytes, trailing checksum over the rest.
+std::string EncodeHeader(const Header& header);
+
+/// Validates magic, version, header checksum, the recorded file size
+/// against the actual byte count (truncation), and that every section
+/// range lies inside the file.
+Result<Header> DecodeHeader(std::string_view file);
+
+// -- Directories ----------------------------------------------------------
+/// One non-empty bucket's posting block.
+struct BucketEntry {
+  std::uint64_t device = 0;
+  std::uint64_t linear = 0;  ///< linear bucket index in the frozen spec
+  std::uint64_t count = 0;   ///< record ids in the block (> 0)
+  std::uint64_t offset = 0;  ///< file offset of the encoded block
+  std::uint64_t clen = 0;    ///< encoded (compressed) length in the file
+  std::uint64_t rlen = 0;    ///< decoded length (count * 8)
+  std::uint64_t checksum = 0;
+};
+
+/// One record block.
+struct BlockEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t clen = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct Directory {
+  std::vector<std::uint64_t> device_records;  ///< per-device record counts
+  std::vector<ValueType> field_types;         ///< record decode schema
+  std::vector<BucketEntry> buckets;  ///< ascending (device, linear)
+};
+
+std::string EncodeDirectory(const Directory& directory);
+
+/// Decodes and cross-validates: section checksum, strictly ascending
+/// (device, linear) order, per-entry count > 0, every block range inside
+/// [kHeaderSize, file_size), device ids below num_devices, and both the
+/// per-device and per-bucket counts summing to num_records.
+Result<Directory> DecodeDirectory(std::string_view bytes,
+                                  std::uint64_t file_size,
+                                  std::uint64_t num_devices,
+                                  std::uint64_t num_records,
+                                  std::uint64_t num_buckets);
+
+std::string EncodeBlockDirectory(const std::vector<BlockEntry>& blocks);
+
+Result<std::vector<BlockEntry>> DecodeBlockDirectory(
+    std::string_view bytes, std::uint64_t file_size,
+    std::uint64_t num_blocks);
+
+// -- Payload blocks --------------------------------------------------------
+/// Delta/varint posting block of strictly ascending record ids.
+std::string EncodePostings(const std::vector<std::uint64_t>& ids);
+
+/// Decodes exactly `count` ids, each below `num_records`, rejecting
+/// varint overruns, id overflow (wrap-around deltas), and trailing bytes.
+Status DecodePostings(std::string_view bytes, std::uint64_t count,
+                      std::uint64_t num_records,
+                      std::vector<std::uint64_t>* out);
+
+void EncodeRecord(std::string& out, const Record& record);
+
+/// Decodes exactly `count` records of `types` shape; trailing bytes and
+/// string lengths past the block are DataLoss.
+Status DecodeRecordBlock(std::string_view bytes, std::uint64_t count,
+                         const std::vector<ValueType>& types,
+                         std::vector<Record>* out);
+
+}  // namespace packed
+}  // namespace fxdist
+
+#endif  // FXDIST_SIM_PACKED_FORMAT_H_

@@ -95,6 +95,15 @@ class ParallelFile : public StorageBackend {
       std::uint64_t device, std::uint64_t linear_bucket,
       const std::function<bool(const Record&)>& fn) const override;
 
+  std::vector<ValueType> FieldTypes() const override {
+    std::vector<ValueType> types;
+    types.reserve(schema().num_fields());
+    for (unsigned f = 0; f < schema().num_fields(); ++f) {
+      types.push_back(schema().field(f).type);
+    }
+    return types;
+  }
+
   /// Per-device record counts — storage balance diagnostics.
   std::vector<std::uint64_t> RecordCountsPerDevice() const override;
 

@@ -335,6 +335,20 @@ Result<EmptyBackend> BuildEmptyBackend(Reader& reader, int version,
     out.arity = bp->arity();
     return out;
   }
+  if (kind == "packed") {
+    // A packed save carries its source backend's blueprint ("child
+    // <kind>" + params): loading "unpacks" back to the source kind —
+    // the packed file itself is immutable, so replaying records into a
+    // fresh PackedBackend is impossible by design.  Recurse so nested
+    // composite sources round-trip too.
+    if (version < 3) {
+      return Status::InvalidArgument("packed backends need format v3");
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto child_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(child_kind.status());
+    return BuildEmptyBackend(reader, version, *child_kind);
+  }
   auto bp = ReadBlueprint(reader, version, kind);
   FXDIST_RETURN_NOT_OK(bp.status());
   auto built = bp->Build();

@@ -43,6 +43,11 @@
 //     "down <count> <device>...", then "child <kind>" plus the primary's
 //     params; loading rebuilds the rotated replica from the same
 //     blueprint, replays into both copies, then re-applies the down set.
+//   * kind "packed" writes "child <kind>" plus the *source* backend's
+//     params (the blueprint embedded in the packed file); loading
+//     "unpacks" — it builds an empty backend of the source kind and
+//     replays the records into it.  The packed file itself is rebuilt
+//     with PackBackend, not by replay.
 
 #ifndef FXDIST_SIM_PERSISTENCE_H_
 #define FXDIST_SIM_PERSISTENCE_H_

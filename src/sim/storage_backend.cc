@@ -1,5 +1,7 @@
 #include "sim/storage_backend.h"
 
+#include <variant>
+
 namespace fxdist {
 
 bool StorageBackend::IsBucketLive(std::uint64_t device,
@@ -15,10 +17,48 @@ bool StorageBackend::IsBucketLive(std::uint64_t device,
 void StorageBackend::ScanMany(
     const std::vector<BucketRef>& refs,
     const std::function<bool(std::size_t, const Record&)>& fn) const {
-  for (std::size_t i = 0; i < refs.size(); ++i) {
+  bool cancelled = false;
+  for (std::size_t i = 0; i < refs.size() && !cancelled; ++i) {
     ScanBucket(refs[i].device, refs[i].linear_bucket,
-               [&fn, i](const Record& record) { return fn(i, record); });
+               [&fn, &cancelled, i](const Record& record) {
+                 if (!fn(i, record)) {
+                   cancelled = true;
+                   return false;
+                 }
+                 return true;
+               });
   }
+}
+
+std::vector<ValueType> StorageBackend::FieldTypes() const {
+  std::vector<ValueType> types;
+  bool probed = false;
+  ForEachLiveRecord([&types, &probed](const Record& record) {
+    if (probed) return;
+    probed = true;
+    types.reserve(record.size());
+    for (const FieldValue& value : record) types.push_back(TypeOf(value));
+  });
+  return types;
+}
+
+std::uint64_t StorageBackend::ApproxMemoryBytes() const {
+  std::uint64_t bytes = 0;
+  ForEachLiveRecord(
+      [&bytes](const Record& record) { bytes += ApproxRecordBytes(record); });
+  return bytes;
+}
+
+std::uint64_t ApproxRecordBytes(const Record& record) {
+  std::uint64_t bytes =
+      sizeof(Record) + record.capacity() * sizeof(FieldValue);
+  for (const FieldValue& value : record) {
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      // Count only heap allocations past the small-string buffer.
+      if (s->capacity() > sizeof(std::string) - 1) bytes += s->capacity() + 1;
+    }
+  }
+  return bytes;
 }
 
 bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record) {

@@ -34,6 +34,7 @@
 #include "core/device_map.h"
 #include "core/distribution.h"
 #include "hashing/multikey_hash.h"
+#include "hashing/value.h"
 #include "sim/timing.h"
 #include "util/status.h"
 
@@ -79,6 +80,11 @@ struct BucketRef {
 /// fetched).  Shared by every backend and the batch QueryEngine so all
 /// paths match bit-identically.
 bool RecordMatchesValueQuery(const ValueQuery& query, const Record& record);
+
+/// Heap cost of one record as the in-memory backends store it: the
+/// Record vector, its FieldValue slots, and any string heap allocations
+/// past the small-string buffer.  The unit ApproxMemoryBytes sums.
+std::uint64_t ApproxRecordBytes(const Record& record);
 
 class StorageBackend {
  public:
@@ -156,14 +162,16 @@ class StorageBackend {
 
   /// Batched scatter-gather scan: visits the records of every ref in
   /// `refs`, calling `fn(index_into_refs, record)` with each record in
-  /// that ref's ScanBucket order.  `fn` returning false abandons the rest
-  /// of that ref (other refs still complete).  Distinct indices may be
-  /// visited concurrently — and interleaved — but records of one ref are
-  /// always delivered in order by a single thread at a time, so per-index
-  /// accumulation needs no locking while cross-index state does.  The
-  /// default loops ScanBucket serially; composite and remote backends
-  /// override it to fan the whole batch out (one frame per shard instead
-  /// of one per bucket).
+  /// that ref's ScanBucket order.  `fn` returning false cancels the whole
+  /// scatter: the rest of that ref is abandoned and no ref that has not
+  /// yet begun delivery is visited (refs a fanned-out backend is already
+  /// delivering concurrently stop at their next record).  Distinct
+  /// indices may be visited concurrently — and interleaved — but records
+  /// of one ref are always delivered in order by a single thread at a
+  /// time, so per-index accumulation needs no locking while cross-index
+  /// state does.  The default loops ScanBucket serially; composite and
+  /// remote backends override it to fan the whole batch out (one frame
+  /// per shard instead of one per bucket).
   virtual void ScanMany(
       const std::vector<BucketRef>& refs,
       const std::function<bool(std::size_t, const Record&)>& fn) const;
@@ -174,6 +182,32 @@ class StorageBackend {
   /// threads.  Local in-memory backends return false — for them the
   /// thread fan-out costs far more than the scans it would overlap.
   virtual bool ScanPrefersFanout() const { return false; }
+
+  /// True while references handed to scan callbacks stay valid until the
+  /// backend's next mutation (in-memory backends hand out references
+  /// into their own storage; a remote backend pins decoded buckets).
+  /// Backends that materialize records out of a bounded decode cache
+  /// (packed) return false: their references die with the callback, so
+  /// executors must copy instead of keeping pointers across the sweep.
+  virtual bool ScanRecordsAreStable() const { return true; }
+
+  /// True for immutable backends whose Insert/Delete always fail with
+  /// FailedPrecondition.  Composites accept read-only children
+  /// pre-loaded with records (a packed shard arrives full by design).
+  virtual bool IsReadOnly() const { return false; }
+
+  /// Value types of the schema's fields in declaration order — the
+  /// decode shape converters (PackBackend) persist.  The default probes
+  /// the first live record, so empty backends without an override
+  /// return {}; concrete backends override with their schema's answer.
+  virtual std::vector<ValueType> FieldTypes() const;
+
+  /// Rough resident bytes this backend costs the process: record
+  /// storage, bucket indexes, caches.  The default sums
+  /// ApproxRecordBytes over the live records (every current in-memory
+  /// backend keeps all records resident); backends with lazily-mapped
+  /// storage override it with what is actually paged in.
+  virtual std::uint64_t ApproxMemoryBytes() const;
 
   /// Executes one partial match query serially (wildcards are
   /// std::nullopt), with full QueryStats accounting.

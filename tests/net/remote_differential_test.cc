@@ -224,6 +224,48 @@ TEST_P(RemoteDifferentialTest, DeletesStayInLockstep) {
   EXPECT_EQ(remote->RecordCountsPerDevice(), local->RecordCountsPerDevice());
 }
 
+TEST_P(RemoteDifferentialTest, ScanManyFalseCancelsAcrossTheWire) {
+  const std::string kind = GetParam();
+  auto remote = MakeRemoteSharded(kind);
+  ASSERT_NE(remote, nullptr);
+  const std::vector<Record> records = TestRecords();
+  for (const Record& r : records) ASSERT_TRUE(remote->Insert(r).ok());
+
+  const PartialMatchQuery hashed =
+      remote->HashQuery(ValueQuery(2)).value();
+  std::vector<BucketRef> all_refs;
+  std::vector<BucketRef> one_device;
+  for (std::uint64_t d = 0; d < remote->num_devices(); ++d) {
+    remote->device_map().ForEachQualifiedLinearOnDevice(
+        hashed, d, [&](std::uint64_t linear) {
+          all_refs.push_back({d, linear});
+          if (d == 0) one_device.push_back({d, linear});
+          return true;
+        });
+  }
+
+  // One remote child, many chunked frames: fn returning false must
+  // abandon the rest of the chunk and every later chunk, not just the
+  // current bucket.  Deterministic: the child runs inline.
+  std::size_t delivered = 0;
+  remote->ScanMany(one_device, [&delivered](std::size_t, const Record&) {
+    ++delivered;
+    return false;
+  });
+  EXPECT_EQ(delivered, 1u) << kind;
+
+  // Across overlapped remote children the cancel is best-effort (each
+  // concurrently-delivering child stops at its next record), but it must
+  // not degenerate into a full sweep of every shard.
+  delivered = 0;
+  remote->ScanMany(all_refs, [&delivered](std::size_t, const Record&) {
+    ++delivered;
+    return false;
+  });
+  EXPECT_GE(delivered, 1u) << kind;
+  EXPECT_LT(delivered, remote->num_records()) << kind;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllChildKinds, RemoteDifferentialTest,
                          testing::Values("flat", "paged", "dynamic"));
 

@@ -177,6 +177,32 @@ TEST_P(CompositeBackendTest, PersistenceRoundTripsSharded) {
   std::remove(path.c_str());
 }
 
+TEST_P(CompositeBackendTest, ScanManyFalseCancelsAcrossChildren) {
+  // All-local composites take the serial gather path: fn returning
+  // false must abandon every remaining ref, including refs owned by
+  // children that have not been touched yet.
+  const auto data = MakeRecords(300);
+  auto sharded = MakeShardedOf(GetParam());
+  for (const Record& r : data) ASSERT_TRUE(sharded->Insert(r).ok());
+
+  const PartialMatchQuery hashed =
+      sharded->HashQuery(ValueQuery(3)).value();
+  std::vector<BucketRef> refs;
+  for (std::uint64_t d = 0; d < sharded->num_devices(); ++d) {
+    sharded->device_map().ForEachQualifiedLinearOnDevice(
+        hashed, d, [&refs, d](std::uint64_t linear) {
+          refs.push_back({d, linear});
+          return true;
+        });
+  }
+  std::size_t delivered = 0;
+  sharded->ScanMany(refs, [&delivered](std::size_t, const Record&) {
+    ++delivered;
+    return false;
+  });
+  EXPECT_EQ(delivered, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(ChildKinds, CompositeBackendTest,
                          testing::Values("flat", "paged", "dynamic"));
 

@@ -137,6 +137,53 @@ TEST_P(StorageBackendTest, ScanBucketCoversEveryMatch) {
   EXPECT_EQ(seen, backend->num_records());
 }
 
+TEST_P(StorageBackendTest, DefaultVirtualsReportMutableStableBackend) {
+  const auto data = MakeRecords(50);
+  const auto backend = MakeBackend(GetParam(), data);
+  EXPECT_TRUE(backend->ScanRecordsAreStable());
+  EXPECT_FALSE(backend->IsReadOnly());
+  EXPECT_EQ(backend->FieldTypes(),
+            (std::vector<ValueType>{ValueType::kInt64, ValueType::kString,
+                                    ValueType::kInt64}));
+  // ApproxMemoryBytes must at least account for the stored payloads.
+  EXPECT_GT(backend->ApproxMemoryBytes(), 50 * sizeof(Record));
+}
+
+TEST_P(StorageBackendTest, ScanManyFalseCancelsWholeScatter) {
+  // The contract: fn returning false abandons not just the current
+  // bucket but every remaining ref of the scatter.
+  const auto data = MakeRecords(200);
+  const auto backend = MakeBackend(GetParam(), data);
+  const PartialMatchQuery hashed = backend->HashQuery(ValueQuery(3)).value();
+  std::vector<BucketRef> refs;
+  for (std::uint64_t d = 0; d < backend->num_devices(); ++d) {
+    backend->device_map().ForEachQualifiedLinearOnDevice(
+        hashed, d, [&refs, d](std::uint64_t linear) {
+          refs.push_back({d, linear});
+          return true;
+        });
+  }
+  ASSERT_GT(refs.size(), 1u);
+
+  // Cancel on the very first record: exactly one delivery.
+  std::size_t delivered = 0;
+  backend->ScanMany(refs, [&delivered](std::size_t, const Record&) {
+    ++delivered;
+    return false;
+  });
+  EXPECT_EQ(delivered, 1u);
+
+  // Cancel midway: deliveries stop at the limit even though later refs
+  // still hold records.
+  const std::size_t limit = backend->num_records() / 2;
+  delivered = 0;
+  backend->ScanMany(refs, [&delivered, limit](std::size_t, const Record&) {
+    ++delivered;
+    return delivered < limit;
+  });
+  EXPECT_EQ(delivered, limit);
+}
+
 INSTANTIATE_TEST_SUITE_P(Kinds, StorageBackendTest,
                          testing::Values("flat", "paged", "dynamic"));
 

@@ -18,6 +18,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,6 +36,8 @@
 #include "net/shard_server.h"
 #include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
+#include "sim/packed_backend.h"
+#include "sim/persistence.h"
 #include "sim/paged_parallel_file.h"
 #include "sim/parallel_file.h"
 #include "sim/queueing.h"
@@ -71,7 +74,8 @@ int Usage() {
          "               --fields ... --devices M [--spec-prob P]\n"
          "  serve-bench  batch engine vs serial baseline + metrics\n"
          "               --fields ... --devices M [--method SPEC]\n"
-         "               [--backend flat|paged|dynamic|sharded|replicated]\n"
+         "               [--backend flat|paged|dynamic|sharded|replicated\n"
+         "                |packed] [--packfile PATH]\n"
          "               [--remote host:port,...]  (RemoteBackend shards)\n"
          "               [--window W] [--wire v1|v2]  (remote pipelining)\n"
          "               [--placement mirrored|chained] [--fail D1,D2,...]\n"
@@ -91,6 +95,8 @@ int Usage() {
          "  replay       run a trace against a parallel file\n"
          "               --schema ... --trace FILE --devices M\n"
          "               [--method SPEC]\n"
+         "  pack         convert a saved backend to a packed file\n"
+         "               --in SAVED --out PACKED [--block N] [--device D]\n"
          "  help         this text\n";
   return 2;
 }
@@ -430,6 +436,9 @@ int CmdServeBench(const Flags& flags) {
   // Kept non-null for --backend replicated so --fail can flip device
   // state after the load phase (degraded mode is read-only).
   ReplicatedBackend* replicated = nullptr;
+  // --backend packed: load a flat file first, then pack + reopen after
+  // the insert phase (a packed file is immutable).
+  bool pack_after_load = false;
   if (auto remote_it = flags.find("remote"); remote_it != flags.end()) {
     if (backend_it != flags.end()) {
       std::cerr << "--remote picks the backend (sharded over remote "
@@ -461,7 +470,7 @@ int CmdServeBench(const Flags& flags) {
     }
     file = *std::move(created);
     backend_kind = "remote";
-  } else if (backend_kind == "flat") {
+  } else if (backend_kind == "flat" || backend_kind == "packed") {
     auto created =
         ParallelFile::Create(*schema, num_devices, method_spec, seed);
     if (!created.ok()) {
@@ -469,6 +478,7 @@ int CmdServeBench(const Flags& flags) {
       return 1;
     }
     file = std::make_unique<ParallelFile>(*std::move(created));
+    pack_after_load = backend_kind == "packed";
   } else if (backend_kind == "paged") {
     auto created = PagedParallelFile::Create(
         *schema, num_devices, method_spec, get_u64("pagesize", 8), seed);
@@ -531,8 +541,8 @@ int CmdServeBench(const Flags& flags) {
     file = *std::move(created);
   } else {
     std::cerr << "unknown --backend " << backend_kind
-              << " (expected flat, paged, dynamic, sharded, or "
-                 "replicated)\n";
+              << " (expected flat, paged, dynamic, sharded, replicated, "
+                 "or packed)\n";
     return 1;
   }
   if (flags.count("fail") != 0 && replicated == nullptr) {
@@ -562,6 +572,22 @@ int CmdServeBench(const Flags& flags) {
       std::cerr << st.ToString() << "\n";
       return 1;
     }
+  }
+  if (pack_after_load) {
+    const auto packfile_it = flags.find("packfile");
+    const std::string pack_path = packfile_it == flags.end()
+                                      ? "/tmp/fxdist-serve-bench.pack"
+                                      : packfile_it->second;
+    if (auto packed = PackBackend(*file, pack_path); !packed.ok()) {
+      std::cerr << packed.status().ToString() << "\n";
+      return 1;
+    }
+    auto reopened = PackedBackend::Open(pack_path);
+    if (!reopened.ok()) {
+      std::cerr << reopened.status().ToString() << "\n";
+      return 1;
+    }
+    file = *std::move(reopened);
   }
   // Device failures apply after the load: a replicated backend refuses
   // writes while degraded, so the bench loads healthy and then serves
@@ -926,6 +952,64 @@ int CmdReplay(const Flags& flags) {
   return 0;
 }
 
+int CmdPack(const Flags& flags) {
+  auto in_it = flags.find("in");
+  auto out_it = flags.find("out");
+  if (in_it == flags.end() || out_it == flags.end()) {
+    std::cerr << "--in and --out are required\n";
+    return 1;
+  }
+  auto source = LoadBackend(in_it->second);
+  if (!source.ok()) {
+    std::cerr << source.status().ToString() << "\n";
+    return 1;
+  }
+  PackedOptions options;
+  if (auto it = flags.find("block"); it != flags.end()) {
+    options.records_per_block = std::strtoull(it->second.c_str(), nullptr, 10);
+    if (options.records_per_block == 0) {
+      std::cerr << "--block must be positive\n";
+      return 1;
+    }
+  }
+  std::optional<std::uint64_t> only_device;
+  if (auto it = flags.find("device"); it != flags.end()) {
+    only_device = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  auto written =
+      PackBackend(**source, out_it->second, options, only_device);
+  if (!written.ok()) {
+    std::cerr << written.status().ToString() << "\n";
+    return 1;
+  }
+  // Reopen to report the validated result (and prove the file loads).
+  auto packed = PackedBackend::Open(out_it->second);
+  if (!packed.ok()) {
+    std::cerr << "packed file fails to reopen: "
+              << packed.status().ToString() << "\n";
+    return 1;
+  }
+  const std::uint64_t source_bytes = (*source)->ApproxMemoryBytes();
+  const std::uint64_t file_bytes = (*packed)->file_size();
+  std::cout << "packed " << *written << " records from "
+            << (*source)->backend_name() << " backend\n"
+            << "  source resident : " << source_bytes << " bytes\n"
+            << "  packed file     : " << file_bytes << " bytes\n";
+  if (*written > 0 && file_bytes > 0) {
+    std::cout << "  bytes/record    : "
+              << TablePrinter::Cell(
+                     static_cast<double>(file_bytes) /
+                         static_cast<double>(*written), 2)
+              << "\n"
+              << "  compression     : "
+              << TablePrinter::Cell(
+                     static_cast<double>(source_bytes) /
+                         static_cast<double>(file_bytes), 2)
+              << "x vs resident\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -947,6 +1031,7 @@ int main(int argc, char** argv) {
   if (cmd == "shard-serve") return CmdShardServe(flags);
   if (cmd == "gen-trace") return CmdGenTrace(flags);
   if (cmd == "replay") return CmdReplay(flags);
+  if (cmd == "pack") return CmdPack(flags);
   std::cerr << "unknown subcommand: " << cmd << "\n";
   return Usage();
 }
