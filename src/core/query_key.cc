@@ -1,0 +1,86 @@
+#include "core/query_key.h"
+
+#include <algorithm>
+
+namespace fxdist {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void FnvMix(std::uint64_t* h, const void* bytes, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void FnvMixU64(std::uint64_t* h, std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  FnvMix(h, bytes, sizeof(bytes));
+}
+
+}  // namespace
+
+Result<QueryKey> QueryKey::Create(unsigned arity,
+                                  std::vector<Specified> specified) {
+  std::sort(specified.begin(), specified.end());
+  QueryKey key(arity);
+  for (auto& [field, token] : specified) {
+    if (field >= arity) {
+      return Status::InvalidArgument(
+          "specified field " + std::to_string(field) +
+          " out of range for arity " + std::to_string(arity));
+    }
+    if (!key.specified_.empty() && key.specified_.back().first == field) {
+      if (key.specified_.back().second != token) {
+        return Status::InvalidArgument(
+            "conflicting values for field " + std::to_string(field));
+      }
+      continue;  // duplicate mention with the same value collapses
+    }
+    key.specified_.emplace_back(field, std::move(token));
+  }
+  key.Rehash();
+  return key;
+}
+
+void QueryKey::Rehash() {
+  std::uint64_t h = kFnvOffset;
+  FnvMixU64(&h, arity_);
+  for (const auto& [field, token] : specified_) {
+    FnvMixU64(&h, field);
+    // The token length participates so "ab"+"c" and "a"+"bc" in
+    // adjacent fields cannot collide byte-wise.
+    FnvMixU64(&h, token.size());
+    FnvMix(&h, token.data(), token.size());
+  }
+  hash_ = h;
+}
+
+std::uint64_t QueryKey::ApproxBytes() const {
+  std::uint64_t bytes = sizeof(QueryKey);
+  for (const auto& [field, token] : specified_) {
+    (void)field;
+    bytes += sizeof(Specified) + token.capacity();
+  }
+  return bytes;
+}
+
+std::string QueryKey::ToString() const {
+  std::string out = std::to_string(arity_);
+  for (const auto& [field, token] : specified_) {
+    out += '|';
+    out += std::to_string(field);
+    out += '=';
+    out += token;
+  }
+  return out;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,89 @@
+// QueryKey: the canonical, hashable identity of a partial-match query.
+//
+// Several layers need to answer "are these two queries the same query?"
+// cheaply and consistently: the engine's duplicate collapse executes
+// value-identical batch neighbours once, and the frontend's result cache
+// keys entries by query.  Before this header each did its own ad-hoc
+// comparison; a cache keyed differently from the dedup would be unsound
+// (a "hit" could return another query's rows).  QueryKey is the single
+// canonical form both share:
+//
+//  * positional arity plus the *set* of specified fields, each reduced
+//    to an exact, type-tagged value token (the value_codec encoding:
+//    "i:42", "d:<hex bits>", "s:<len>:<bytes>") — tokens are injective,
+//    so key equality implies the queries filter records identically;
+//  * field order independent: specified fields are kept sorted by field
+//    index, so any enumeration order of the same (field, value) set
+//    canonicalizes to the same key, and duplicate mentions of a field
+//    with the same value collapse (conflicting mentions are rejected —
+//    such a "query" matches nothing and has no canonical form here);
+//  * a precomputed FNV-1a-64 hash, so hash-map dedup and sharded caches
+//    index keys without re-walking the tokens.
+//
+// The token form deliberately lives below the value layer: core does not
+// know FieldValue (hashing depends on core, not vice versa), so this
+// class works on opaque tokens and hashing/query_key.h provides the
+// ValueQuery -> QueryKey canonicalization.
+
+#ifndef FXDIST_CORE_QUERY_KEY_H_
+#define FXDIST_CORE_QUERY_KEY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fxdist {
+
+class QueryKey {
+ public:
+  /// One specified field: (field index, exact value token).
+  using Specified = std::pair<unsigned, std::string>;
+
+  /// All-wildcard key of the given arity.
+  explicit QueryKey(unsigned arity = 0) : arity_(arity) { Rehash(); }
+
+  /// Canonicalizes `specified` (any order, duplicates allowed when they
+  /// agree).  Rejects a field index >= arity and conflicting duplicate
+  /// mentions of one field — a self-contradictory query matches nothing
+  /// and must not silently alias another key.
+  static Result<QueryKey> Create(unsigned arity,
+                                 std::vector<Specified> specified);
+
+  unsigned arity() const { return arity_; }
+  /// Specified fields in ascending field order, duplicates collapsed.
+  const std::vector<Specified>& specified() const { return specified_; }
+  bool all_wildcard() const { return specified_.empty(); }
+  std::uint64_t hash() const { return hash_; }
+
+  /// Heap bytes this key costs a cache (tokens + vector slots).
+  std::uint64_t ApproxBytes() const;
+
+  /// e.g. "3|1=i:7|2=s:1:x" — diagnostics only, not a wire format.
+  std::string ToString() const;
+
+  friend bool operator==(const QueryKey& a, const QueryKey& b) {
+    return a.arity_ == b.arity_ && a.specified_ == b.specified_;
+  }
+
+ private:
+  void Rehash();
+
+  unsigned arity_ = 0;
+  std::vector<Specified> specified_;
+  std::uint64_t hash_ = 0;
+};
+
+/// Hasher for unordered containers (the precomputed FNV value).
+struct QueryKeyHash {
+  std::size_t operator()(const QueryKey& key) const {
+    return static_cast<std::size_t>(key.hash());
+  }
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_QUERY_KEY_H_

@@ -1,10 +1,13 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "analysis/batch.h"
 #include "analysis/optimality.h"
+#include "core/query_key.h"
+#include "hashing/query_key.h"
 
 namespace fxdist {
 
@@ -110,23 +113,24 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
   max_batch_size_seen_.UpdateMax(static_cast<std::int64_t>(batch.size()));
 
   // Collapse value-identical queries: representatives execute, duplicates
-  // copy the representative's result.
+  // copy the representative's result.  Keyed on the canonical QueryKey —
+  // one hash probe per query instead of the old pairwise ValueQuery==
+  // sweep, and the same identity the front-door result cache uses, so
+  // collapse and cache hits agree on what "the same query" means.  (Key
+  // equality is bit-level: a +0.0/-0.0 pair stays uncollapsed — a
+  // harmless missed share — while bit-identical NaN queries collapse
+  // safely, both filtering identically.)
   std::vector<std::uint32_t> rep_of(batch.size(), 0);
   std::vector<std::uint32_t> reps;
   if (options_.collapse_duplicates) {
+    std::unordered_map<QueryKey, std::uint32_t, QueryKeyHash> rep_index;
+    rep_index.reserve(batch.size());
     for (std::uint32_t i = 0; i < batch.size(); ++i) {
-      bool found = false;
-      for (std::uint32_t j = 0; j < reps.size(); ++j) {
-        if (batch[reps[j]] == batch[i]) {
-          rep_of[i] = j;
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        rep_of[i] = static_cast<std::uint32_t>(reps.size());
-        reps.push_back(i);
-      }
+      auto [slot, inserted] = rep_index.try_emplace(
+          CanonicalQueryKey(batch[i]),
+          static_cast<std::uint32_t>(reps.size()));
+      rep_of[i] = slot->second;
+      if (inserted) reps.push_back(i);
     }
   } else {
     reps.resize(batch.size());
@@ -199,6 +203,7 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
       refs.push_back({d, linear});
     }
     std::vector<std::vector<const Record*>> gathered(refs.size());
+    scan_many_calls_.Increment();
     if (backend_.ScanRecordsAreStable()) {
       backend_.ScanMany(refs,
                         [&gathered](std::size_t s, const Record& record) {
@@ -452,6 +457,7 @@ StatsSnapshot QueryEngine::Snapshot() const {
   snap.duplicates_collapsed = duplicates_collapsed_.Value();
   snap.bucket_scans_requested = bucket_scans_requested_.Value();
   snap.bucket_scans_performed = bucket_scans_performed_.Value();
+  snap.scan_many_calls = scan_many_calls_.Value();
   snap.records_examined = records_examined_.Value();
   snap.records_matched = records_matched_.Value();
   snap.queue_depth = queue_depth_.Value();
@@ -470,6 +476,8 @@ StatsSnapshot QueryEngine::Snapshot() const {
         static_cast<double>(counters->busy_nanos.Value()) / 1e6;
     device.utilization =
         snap.uptime_ms <= 0.0 ? 0.0 : device.busy_ms / snap.uptime_ms;
+    snap.routed_queries += device.routed_queries;
+    snap.degraded_reroutes += device.degraded_reroutes;
     snap.devices.push_back(device);
   }
   return snap;

@@ -126,6 +126,7 @@ class QueryEngine {
   Counter duplicates_collapsed_;
   Counter bucket_scans_requested_;
   Counter bucket_scans_performed_;
+  Counter scan_many_calls_;
   Counter records_examined_;
   Counter records_matched_;
   Gauge queue_depth_;

@@ -24,15 +24,22 @@ std::string StatsSnapshot::ToString() const {
                 static_cast<unsigned long long>(duplicates_collapsed));
   os << line;
   std::snprintf(line, sizeof(line),
-                "scans      requested %llu  performed %llu  sharing %.2fx\n",
+                "scans      requested %llu  performed %llu  sharing %.2fx  "
+                "scan-many %llu\n",
                 static_cast<unsigned long long>(bucket_scans_requested),
                 static_cast<unsigned long long>(bucket_scans_performed),
-                sharing_factor());
+                sharing_factor(),
+                static_cast<unsigned long long>(scan_many_calls));
   os << line;
   std::snprintf(line, sizeof(line),
                 "records    examined %llu  matched %llu\n",
                 static_cast<unsigned long long>(records_examined),
                 static_cast<unsigned long long>(records_matched));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "routing    routed %llu  rerouted %llu\n",
+                static_cast<unsigned long long>(routed_queries),
+                static_cast<unsigned long long>(degraded_reroutes));
   os << line;
   std::snprintf(line, sizeof(line),
                 "queue      depth %lld  max depth %lld\n",
@@ -79,8 +86,11 @@ std::string StatsSnapshot::ToJson() const {
      << ",\"bucket_scans_requested\":" << bucket_scans_requested
      << ",\"bucket_scans_performed\":" << bucket_scans_performed
      << ",\"sharing_factor\":" << sharing_factor()
+     << ",\"scan_many_calls\":" << scan_many_calls
      << ",\"records_examined\":" << records_examined
      << ",\"records_matched\":" << records_matched
+     << ",\"routed_queries\":" << routed_queries
+     << ",\"degraded_reroutes\":" << degraded_reroutes
      << ",\"queue_depth\":" << queue_depth
      << ",\"max_queue_depth\":" << max_queue_depth
      << ",\"uptime_ms\":" << uptime_ms;

@@ -43,8 +43,15 @@ struct StatsSnapshot {
   std::uint64_t bucket_scans_requested = 0;
   /// Distinct (bucket, batch) scans actually performed.
   std::uint64_t bucket_scans_performed = 0;
+  /// ScanMany scatter-gathers issued to the backend (one per device per
+  /// batch; against a remote shard each becomes one frame per chunk).
+  std::uint64_t scan_many_calls = 0;
   std::uint64_t records_examined = 0;
   std::uint64_t records_matched = 0;
+  /// Sums of the per-device counters (devices[i].routed_queries /
+  /// .degraded_reroutes) so aggregate dashboards need not re-sum.
+  std::uint64_t routed_queries = 0;
+  std::uint64_t degraded_reroutes = 0;
 
   // -- Point-in-time levels --------------------------------------------
   std::int64_t queue_depth = 0;

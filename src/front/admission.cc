@@ -1,0 +1,54 @@
+#include "front/admission.h"
+
+#include <algorithm>
+
+namespace fxdist {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options),
+      burst_(options.burst > 0.0
+                 ? options.burst
+                 : std::max(options.rate_per_sec, 1.0)) {}
+
+bool AdmissionController::Admit(const std::string& client_id,
+                                std::uint64_t now_ms) {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = buckets_.try_emplace(client_id);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = burst_;
+    bucket.refilled_ms = now_ms;
+  } else if (now_ms > bucket.refilled_ms) {
+    const double elapsed_s =
+        static_cast<double>(now_ms - bucket.refilled_ms) / 1000.0;
+    bucket.tokens =
+        std::min(burst_, bucket.tokens + elapsed_s * options_.rate_per_sec);
+    bucket.refilled_ms = now_ms;
+  }
+  if (bucket.tokens < 1.0) {
+    ++bucket.shed;
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  ++bucket.admitted;
+  return true;
+}
+
+std::vector<AdmissionClientStats> AdmissionController::Stats() const {
+  std::vector<AdmissionClientStats> stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.reserve(buckets_.size());
+    for (const auto& [id, bucket] : buckets_) {
+      stats.push_back({id, bucket.admitted, bucket.shed});
+    }
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const AdmissionClientStats& a, const AdmissionClientStats& b) {
+              return a.client_id < b.client_id;
+            });
+  return stats;
+}
+
+}  // namespace fxdist

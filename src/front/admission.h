@@ -1,0 +1,69 @@
+// AdmissionController: per-client token-bucket rate limiting.
+//
+// The front door is multi-tenant: one chatty client must not starve the
+// rest of the queue.  Each client id meters against its own token
+// bucket — `rate_per_sec` tokens refill continuously, up to `burst`
+// capacity — and a query that finds no token is *shed* before it ever
+// queues (the caller maps that to ResourceExhausted).  Shedding at
+// admission keeps the rejected work at O(1) cost; queue-time rejection
+// would already have paid for canonicalization and a queue slot.
+//
+// Time is passed in (milliseconds on the caller's clock) rather than
+// read here, so tests drive the refill deterministically and the
+// frontend can share one clock across cache TTL and admission.
+
+#ifndef FXDIST_FRONT_ADMISSION_H_
+#define FXDIST_FRONT_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fxdist {
+
+struct AdmissionOptions {
+  /// Sustained per-client admission rate; <= 0 admits everything.
+  double rate_per_sec = 0.0;
+  /// Bucket capacity (burst size); <= 0 defaults to max(rate, 1).
+  double burst = 0.0;
+};
+
+struct AdmissionClientStats {
+  std::string client_id;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Takes one token from `client_id`'s bucket.  Returns false (shed)
+  /// when the bucket is empty.  Unknown clients start with a full
+  /// bucket.  `now_ms` must be monotone per client.
+  bool Admit(const std::string& client_id, std::uint64_t now_ms);
+
+  bool enabled() const { return options_.rate_per_sec > 0.0; }
+
+  /// Per-client counters, sorted by client id.
+  std::vector<AdmissionClientStats> Stats() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::uint64_t refilled_ms = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  };
+
+  const AdmissionOptions options_;
+  const double burst_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_FRONT_ADMISSION_H_

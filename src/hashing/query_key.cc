@@ -1,0 +1,30 @@
+#include "hashing/query_key.h"
+
+#include <sstream>
+
+#include "hashing/value_codec.h"
+
+namespace fxdist {
+
+std::string QueryKeyToken(const FieldValue& value) {
+  std::ostringstream os;
+  EncodeValue(os, value);
+  return os.str();
+}
+
+QueryKey CanonicalQueryKey(const ValueQuery& query) {
+  std::vector<QueryKey::Specified> specified;
+  specified.reserve(query.size());
+  for (unsigned i = 0; i < query.size(); ++i) {
+    if (query[i].has_value()) {
+      specified.emplace_back(i, QueryKeyToken(*query[i]));
+    }
+  }
+  // Positional queries cannot carry out-of-range or conflicting fields,
+  // so Create cannot fail here.
+  auto key = QueryKey::Create(static_cast<unsigned>(query.size()),
+                              std::move(specified));
+  return *std::move(key);
+}
+
+}  // namespace fxdist

@@ -1,0 +1,34 @@
+// ValueQuery -> QueryKey canonicalization.
+//
+// The token side of the canonical key (core/query_key.h) is opaque; this
+// header binds it to the value layer: every specified FieldValue is
+// reduced to its exact value_codec encoding ("i:42", "d:<hex bits>",
+// "s:<len>:<bytes>").  The tokens are injective on values, so two
+// queries with equal keys apply byte-identical filters and may share one
+// execution or one cache entry.
+//
+// Exactness caveat (doubles): tokens encode IEEE bits, so 0.0 and -0.0 —
+// equal under operator== — canonicalize to *different* keys.  That
+// direction is safe (distinct keys merely miss a collapse); the unsafe
+// direction cannot happen (equal keys always mean bit-identical values,
+// which filter identically — NaN payloads included).
+
+#ifndef FXDIST_HASHING_QUERY_KEY_H_
+#define FXDIST_HASHING_QUERY_KEY_H_
+
+#include "core/query_key.h"
+#include "hashing/multikey_hash.h"
+
+namespace fxdist {
+
+/// The canonical key of `query`: arity = query.size(), one token per
+/// specified field.  Total function — any ValueQuery (including
+/// all-wildcard) has a key.
+QueryKey CanonicalQueryKey(const ValueQuery& query);
+
+/// The exact token CanonicalQueryKey would use for one value.
+std::string QueryKeyToken(const FieldValue& value);
+
+}  // namespace fxdist
+
+#endif  // FXDIST_HASHING_QUERY_KEY_H_

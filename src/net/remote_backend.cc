@@ -21,6 +21,14 @@ Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
     PayloadWriter hello;
     hello.U64(kWireMaxPayload);
     hello.U32(kWireFeatureScanMany);
+    // Optional trailing tenant id (only sent when set): current servers
+    // read it when present; a pre-front-door v2 server rejects the
+    // longer hello, which lands in the v1 fallback below — anonymous but
+    // functional, the right degradation for an id only QoS-aware
+    // servers use.
+    if (!backend->options_.client_id.empty()) {
+      hello.Str(backend->options_.client_id);
+    }
     auto body = backend->Call(WireOp::kHandshake, hello.Take(),
                               /*idempotent=*/true, /*max_attempts_override=*/1);
     if (body.ok()) {
@@ -272,6 +280,10 @@ Status RemoteBackend::Insert(Record record) {
         "space no longer matches the handshake blueprint";
     return Status::FailedPrecondition(poisoned_);
   }
+  // Epoch counts mutations issued through this client handle (see the
+  // StorageBackend contract); out-of-band server writes are already
+  // outside the no-overlapping-mutation rule.
+  BumpMutationEpoch();
   return Status::OK();
 }
 
@@ -288,6 +300,7 @@ Result<std::uint64_t> RemoteBackend::Delete(const ValueQuery& query) {
   auto removed = reader.U64();
   FXDIST_RETURN_NOT_OK(removed.status());
   FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  if (*removed > 0) BumpMutationEpoch();
   return *removed;
 }
 
@@ -462,6 +475,9 @@ Status RemoteBackend::MarkDown(std::uint64_t device) {
     return Status::Internal("remote accepted MarkDown but the twin has no "
                             "replica plane");
   }
+  // A device-state flip changes degraded routing and accounting, so it
+  // invalidates cached results like any other mutation.
+  BumpMutationEpoch();
   // Mirror onto the twin so ServingDevice routes like the server.
   return twin_replicated_->MarkDown(device);
 }
@@ -475,6 +491,7 @@ Status RemoteBackend::MarkUp(std::uint64_t device) {
     return Status::Internal("remote accepted MarkUp but the twin has no "
                             "replica plane");
   }
+  BumpMutationEpoch();
   return twin_replicated_->MarkUp(device);
 }
 

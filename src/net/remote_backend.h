@@ -91,6 +91,11 @@ struct RemoteBackendOptions {
   /// In-flight window when ConnectTcp builds a multiplexed connection;
   /// 1 keeps the plain blocking SocketTransport.
   std::size_t pipeline_window = 32;
+  /// Tenant identity announced in the v2 handshake (trailing optional
+  /// field — old servers that stop reading at the feature word still
+  /// interoperate).  Empty means anonymous; servers use it for per-
+  /// client admission/QoS accounting, never for placement.
+  std::string client_id;
 };
 
 class RemoteBackend final : public StorageBackend {

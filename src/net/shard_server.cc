@@ -82,6 +82,11 @@ ShardService::ShardService(StorageBackend& backend)
     : backend_(backend),
       replicated_(dynamic_cast<ReplicatedBackend*>(&backend)) {}
 
+std::vector<std::string> ShardService::AnnouncedClients() const {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  return announced_clients_;
+}
+
 std::string ShardService::HandleFrame(const std::string& request) {
   auto frame = DecodeFrame(request);
   if (!frame.ok()) {
@@ -129,7 +134,20 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
         FXDIST_RETURN_NOT_OK(client_max.status());
         auto features = reader.U32();
         FXDIST_RETURN_NOT_OK(features.status());
-        FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+        // Optional trailing tenant id (absent from older clients).
+        if (!reader.AtEnd()) {
+          auto client_id = reader.Str();
+          FXDIST_RETURN_NOT_OK(client_id.status());
+          FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+          if (!client_id->empty()) {
+            std::lock_guard<std::mutex> clients_lock(clients_mutex_);
+            if (std::find(announced_clients_.begin(),
+                          announced_clients_.end(),
+                          *client_id) == announced_clients_.end()) {
+              announced_clients_.push_back(*std::move(client_id));
+            }
+          }
+        }
         std::shared_lock<std::shared_mutex> lock(backend_mutex_);
         writer.Str(BackendBlueprintText(backend_));
         writer.U64(kWireMaxPayload);

@@ -45,12 +45,18 @@ class ShardService {
   /// Thread-safe; never throws, never returns an unframed error.
   std::string HandleFrame(const std::string& request);
 
+  /// Distinct tenant ids announced by v2 handshakes so far, in first-
+  /// seen order.  Anonymous clients (no trailing id) are not listed.
+  std::vector<std::string> AnnouncedClients() const;
+
  private:
   Result<std::string> Dispatch(const WireFrame& frame, PayloadReader& reader);
 
   StorageBackend& backend_;
   ReplicatedBackend* replicated_;  ///< backend_ downcast, or nullptr
   std::shared_mutex backend_mutex_;
+  mutable std::mutex clients_mutex_;
+  std::vector<std::string> announced_clients_;
 };
 
 struct ShardServerOptions {
@@ -77,6 +83,12 @@ class ShardServer {
 
   /// The bound port (useful with Options::port == 0).
   std::uint16_t port() const { return port_; }
+
+  /// Tenant ids announced by connected clients (see
+  /// ShardService::AnnouncedClients).
+  std::vector<std::string> AnnouncedClients() const {
+    return service_.AnnouncedClients();
+  }
 
   void Stop();
   /// Blocks until Stop() is called from another thread (or the process

@@ -358,7 +358,7 @@ Status PayloadReader::ExpectEnd() const {
 Status PayloadReader::ReadStatusInto(Status* out) {
   auto code = U8();
   FXDIST_RETURN_NOT_OK(code.status());
-  if (*code > static_cast<std::uint8_t>(StatusCode::kDataLoss)) {
+  if (*code > static_cast<std::uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::DataLoss("wire status code out of range");
   }
   auto message = Str();

@@ -433,6 +433,9 @@ Status ReplicatedBackend::MarkDown(std::uint64_t device) {
     }
   }
   if (num_down_ == 1) single_down_ = device;
+  // A state flip re-routes scans and changes QueryStats accounting, so
+  // results cached before it must invalidate (see MutationEpoch).
+  BumpMutationEpoch();
   return Status::OK();
 }
 
@@ -452,6 +455,7 @@ Status ReplicatedBackend::MarkUp(std::uint64_t device) {
       if (down_[d] != 0) single_down_ = d;
     }
   }
+  BumpMutationEpoch();
   return Status::OK();
 }
 

@@ -96,6 +96,15 @@ class ShardedBackend : public StorageBackend {
   Result<QueryResult> Execute(const ValueQuery& query) const override;
   std::vector<std::uint64_t> RecordCountsPerDevice() const override;
 
+  /// Sum of the children's epochs: every routed Insert/Delete bumps its
+  /// owning child, so the aggregate is monotone and changes iff some
+  /// child's state did.
+  std::uint64_t MutationEpoch() const override {
+    std::uint64_t sum = 0;
+    for (const auto& child : children_) sum += child->MutationEpoch();
+    return sum;
+  }
+
   /// Poisoned state, or the first unhealthy child (a remote shard past
   /// its retry budget surfaces here as Unavailable).
   Status Health() const override;
@@ -221,6 +230,15 @@ class ReplicatedBackend : public StorageBackend {
   Result<QueryResult> Execute(const ValueQuery& query) const override;
   std::vector<std::uint64_t> RecordCountsPerDevice() const override {
     return primary_->RecordCountsPerDevice();
+  }
+
+  /// Children's epochs plus this composite's own counter, which
+  /// MarkDown/MarkUp bump: a device-state flip changes degraded routing
+  /// (and with it QueryStats accounting), so cached results computed
+  /// before the flip must invalidate even though no record moved.
+  std::uint64_t MutationEpoch() const override {
+    return StorageBackend::MutationEpoch() + primary_->MutationEpoch() +
+           replica_->MutationEpoch();
   }
 
   Status Health() const override {

@@ -102,6 +102,9 @@ Status DynamicParallelFile::Insert(Record record) {
   if (!RebuildIfGrown()) {
     PlaceRecord(index);
   }
+  // Growth re-plans placement inside the same Insert, so one bump covers
+  // both the new record and any directory rebuild.
+  BumpMutationEpoch();
   return Status::OK();
 }
 

@@ -56,6 +56,7 @@ Status PagedParallelFile::Insert(Record record) {
   records_.push_back(std::move(record));
   stores_[device].Add(LinearIndex(spec_, *bucket), index);
   ++live_records_;
+  BumpMutationEpoch();
   return Status::OK();
 }
 
@@ -166,6 +167,7 @@ Result<std::uint64_t> PagedParallelFile::Delete(const ValueQuery& query) {
     records_[entry.second].clear();  // tombstone
     --live_records_;
   }
+  if (!victims.empty()) BumpMutationEpoch();
   return static_cast<std::uint64_t>(victims.size());
 }
 

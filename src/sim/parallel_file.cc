@@ -50,6 +50,7 @@ Status ParallelFile::Insert(Record record) {
   records_.push_back(std::move(record));
   devices_[device].AddRecord(LinearIndex(spec_, *bucket), index);
   ++live_records_;
+  BumpMutationEpoch();
   return Status::OK();
 }
 
@@ -82,6 +83,7 @@ Result<std::uint64_t> ParallelFile::Delete(const ValueQuery& query) {
     records_[entry.second].clear();  // tombstone
     --live_records_;
   }
+  if (!victims.empty()) BumpMutationEpoch();
   return static_cast<std::uint64_t>(victims.size());
 }
 

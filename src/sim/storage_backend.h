@@ -25,6 +25,7 @@
 #ifndef FXDIST_SIM_STORAGE_BACKEND_H_
 #define FXDIST_SIM_STORAGE_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -89,6 +90,20 @@ std::uint64_t ApproxRecordBytes(const Record& record);
 class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
+
+  /// Mutation epoch: 0 at construction, strictly increased by every
+  /// successful state-changing Insert/Delete on this handle.  Result
+  /// caches tag entries with the epoch they were computed at and treat
+  /// any later epoch as invalidation — sound because an unchanged epoch
+  /// means no mutation ran through this backend, so a cached result is
+  /// still what Execute would return.  Composites report an aggregate of
+  /// their children (monotone; only equality matters); read-only
+  /// backends (packed) stay frozen at 0 forever; a RemoteBackend counts
+  /// mutations issued through *this client* — out-of-band server writes
+  /// are outside the contract anyway (no call may overlap a mutation).
+  virtual std::uint64_t MutationEpoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Stable kind tag: "flat", "paged", "dynamic", "sharded", or
   /// "replicated".  Doubles as the persistence format's kind token.
@@ -223,6 +238,28 @@ class StorageBackend {
   /// Visits every live record (replayed by LoadBackend in this order).
   virtual void ForEachLiveRecord(
       const std::function<void(const Record&)>& fn) const = 0;
+
+ protected:
+  // The epoch is a base-class member so every backend shares one bump
+  // discipline, but backends stay movable (ParallelFile et al. are
+  // returned by value): copies/moves start from the source's current
+  // count — a copied backend has the same visible state, so reusing the
+  // epoch keeps any equal-epoch cache comparison conservative.
+  StorageBackend() = default;
+  StorageBackend(const StorageBackend& other)
+      : mutation_epoch_(other.MutationEpoch()) {}
+  StorageBackend& operator=(const StorageBackend& other) {
+    mutation_epoch_.store(other.MutationEpoch(), std::memory_order_release);
+    return *this;
+  }
+
+  /// Called by mutators after a successful state change.
+  void BumpMutationEpoch() {
+    mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::uint64_t> mutation_epoch_{0};
 };
 
 }  // namespace fxdist

@@ -33,6 +33,8 @@ enum class StatusCode {
                       ///< executed (retry only idempotent operations).
   kDataLoss,  ///< Reply truncated or failed checksum; the request may have
               ///< executed (retry only idempotent operations).
+  kResourceExhausted,  ///< Shed by admission control or a full queue; the
+                       ///< request never executed (retry after backoff).
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...).
@@ -78,6 +80,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -31,7 +31,14 @@ Status SaveTrace(const WorkloadTrace& trace, const std::string& path) {
   if (!out) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  out << "fxdist-trace v1\n";
+  if (trace.meta.empty()) {
+    out << "fxdist-trace v1\n";
+  } else {
+    out << "fxdist-trace v2\n";
+    out << "meta ";
+    EncodeLengthPrefixed(out, trace.meta);
+    out << '\n';
+  }
   out << "fields " << trace.num_fields << '\n';
   out << "records " << trace.records.size() << '\n';
   for (const Record& r : trace.records) {
@@ -67,7 +74,19 @@ Result<WorkloadTrace> LoadTrace(const std::string& path) {
   if (!in) return Status::NotFound("cannot open: " + path);
 
   FXDIST_RETURN_NOT_OK(ExpectWord(in, "fxdist-trace"));
-  FXDIST_RETURN_NOT_OK(ExpectWord(in, "v1"));
+  std::string version;
+  if (!(in >> version)) return Status::InvalidArgument("unexpected EOF");
+  if (version != "v1" && version != "v2") {
+    return Status::InvalidArgument("unsupported trace version '" + version +
+                                   "'");
+  }
+  WorkloadTrace trace;
+  if (version == "v2") {
+    FXDIST_RETURN_NOT_OK(ExpectWord(in, "meta"));
+    auto meta = DecodeLengthPrefixed(in);
+    FXDIST_RETURN_NOT_OK(meta.status());
+    trace.meta = *std::move(meta);
+  }
   FXDIST_RETURN_NOT_OK(ExpectWord(in, "fields"));
   auto num_fields = ReadU64(in);
   FXDIST_RETURN_NOT_OK(num_fields.status());
@@ -75,7 +94,6 @@ Result<WorkloadTrace> LoadTrace(const std::string& path) {
     return Status::InvalidArgument("implausible field count");
   }
 
-  WorkloadTrace trace;
   trace.num_fields = static_cast<unsigned>(*num_fields);
 
   FXDIST_RETURN_NOT_OK(ExpectWord(in, "records"));

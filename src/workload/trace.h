@@ -13,6 +13,17 @@
 //   <value> ... <value>                  (one line per record)
 //   queries <count>
 //   <value-or-*> ... <value-or-*>        (one line per query)
+//
+// v2 adds one provenance line between the header and the fields line:
+//   fxdist-trace v2
+//   meta <length-prefixed string>
+//   fields <n>
+//   ...
+// `meta` is free-form generator provenance (seed, zipf exponent,
+// spec-prob, ...) so a replayed run can report how its workload was
+// produced.  SaveTrace writes v1 when meta is empty — existing traces
+// and their readers stay byte-identical — and v2 otherwise; LoadTrace
+// accepts both.
 
 #ifndef FXDIST_WORKLOAD_TRACE_H_
 #define FXDIST_WORKLOAD_TRACE_H_
@@ -27,6 +38,8 @@ namespace fxdist {
 
 struct WorkloadTrace {
   unsigned num_fields = 0;
+  /// Generator provenance (v2 traces); empty round-trips as v1.
+  std::string meta;
   std::vector<Record> records;
   std::vector<ValueQuery> queries;
 };

@@ -1,0 +1,120 @@
+// Canonicalization corner cases for QueryKey (core/query_key.h): the
+// identity the engine dedup and the frontend cache share.  A wrong key
+// here is a cache returning another query's rows, so the corner cases
+// are load-bearing.
+
+#include "core/query_key.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+namespace fxdist {
+namespace {
+
+TEST(QueryKeyTest, DefaultIsAllWildcard) {
+  QueryKey key(3);
+  EXPECT_EQ(key.arity(), 3u);
+  EXPECT_TRUE(key.all_wildcard());
+  EXPECT_TRUE(key.specified().empty());
+  EXPECT_EQ(key.ToString(), "3");
+}
+
+TEST(QueryKeyTest, CreateEmptyEqualsDefault) {
+  auto key = QueryKey::Create(3, {});
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, QueryKey(3));
+  EXPECT_EQ(key->hash(), QueryKey(3).hash());
+}
+
+TEST(QueryKeyTest, AllWildcardKeysOfDifferentArityDiffer) {
+  EXPECT_FALSE(QueryKey(2) == QueryKey(3));
+}
+
+TEST(QueryKeyTest, SpecifiedFieldsSortByIndex) {
+  auto key = QueryKey::Create(4, {{2, "i:5"}, {0, "i:1"}, {3, "s:1:x"}});
+  ASSERT_TRUE(key.ok());
+  ASSERT_EQ(key->specified().size(), 3u);
+  EXPECT_EQ(key->specified()[0], (QueryKey::Specified{0, "i:1"}));
+  EXPECT_EQ(key->specified()[1], (QueryKey::Specified{2, "i:5"}));
+  EXPECT_EQ(key->specified()[2], (QueryKey::Specified{3, "s:1:x"}));
+}
+
+TEST(QueryKeyTest, EqualAcrossFieldOrderings) {
+  // Every enumeration order of one (field, value) set is the same query;
+  // the canonical form — and therefore the hash — must not depend on it.
+  const std::vector<QueryKey::Specified> fields = {
+      {0, "i:1"}, {1, "d:3ff0000000000000"}, {3, "s:2:ab"}};
+  std::vector<std::vector<QueryKey::Specified>> orders = {
+      {fields[0], fields[1], fields[2]},
+      {fields[2], fields[0], fields[1]},
+      {fields[1], fields[2], fields[0]},
+  };
+  auto first = QueryKey::Create(4, orders[0]);
+  ASSERT_TRUE(first.ok());
+  for (const auto& order : orders) {
+    auto key = QueryKey::Create(4, order);
+    ASSERT_TRUE(key.ok());
+    EXPECT_EQ(*key, *first);
+    EXPECT_EQ(key->hash(), first->hash());
+    EXPECT_EQ(key->ToString(), first->ToString());
+  }
+}
+
+TEST(QueryKeyTest, AgreeingDuplicateMentionsCollapse) {
+  auto dup = QueryKey::Create(3, {{1, "i:7"}, {1, "i:7"}, {0, "i:2"}});
+  ASSERT_TRUE(dup.ok());
+  auto single = QueryKey::Create(3, {{0, "i:2"}, {1, "i:7"}});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(dup->specified().size(), 2u);
+  EXPECT_EQ(*dup, *single);
+  EXPECT_EQ(dup->hash(), single->hash());
+}
+
+TEST(QueryKeyTest, ConflictingDuplicateMentionsRejected) {
+  // field 1 = 7 AND field 1 = 8 matches nothing; giving it a canonical
+  // key would alias some real query's cache line.
+  EXPECT_FALSE(QueryKey::Create(3, {{1, "i:7"}, {1, "i:8"}}).ok());
+}
+
+TEST(QueryKeyTest, OutOfRangeFieldRejected) {
+  EXPECT_FALSE(QueryKey::Create(2, {{2, "i:0"}}).ok());
+  EXPECT_FALSE(QueryKey::Create(0, {{0, "i:0"}}).ok());
+}
+
+TEST(QueryKeyTest, DistinctTokensDistinctKeys) {
+  auto a = QueryKey::Create(2, {{0, "i:5"}}).value();
+  auto b = QueryKey::Create(2, {{0, "s:1:5"}}).value();  // "5" as a string
+  auto c = QueryKey::Create(2, {{1, "i:5"}}).value();    // other field
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(b == c);
+}
+
+TEST(QueryKeyTest, HashSpreadsOverDistinctKeys) {
+  // Not a collision-freedom proof — just that the FNV mix is wired up
+  // (a constant hash would also "work" until the first cache shard melts).
+  std::unordered_set<std::uint64_t> hashes;
+  for (unsigned f = 0; f < 4; ++f) {
+    for (int v = 0; v < 64; ++v) {
+      auto key =
+          QueryKey::Create(4, {{f, "i:" + std::to_string(v)}}).value();
+      hashes.insert(key.hash());
+    }
+  }
+  EXPECT_GT(hashes.size(), 4u * 64u - 8u);
+}
+
+TEST(QueryKeyTest, ApproxBytesGrowsWithTokens) {
+  auto small = QueryKey::Create(4, {{0, "i:1"}}).value();
+  auto large =
+      QueryKey::Create(
+          4, {{0, "i:1"}, {1, std::string("s:64:") + std::string(64, 'x')}})
+          .value();
+  EXPECT_GT(small.ApproxBytes(), 0u);
+  EXPECT_GT(large.ApproxBytes(), small.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace fxdist

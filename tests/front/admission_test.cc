@@ -1,0 +1,88 @@
+// AdmissionController unit tests: token-bucket refill driven by an
+// explicit clock, so every admit/shed decision is deterministic.
+
+#include "front/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace fxdist {
+namespace {
+
+TEST(AdmissionTest, ZeroRateAdmitsEverything) {
+  AdmissionController admission;  // rate 0
+  EXPECT_FALSE(admission.enabled());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(admission.Admit("anyone", 0));
+  }
+}
+
+TEST(AdmissionTest, BurstBoundsBackToBackAdmits) {
+  AdmissionOptions options;
+  options.rate_per_sec = 1.0;
+  options.burst = 2.0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.enabled());
+  // A new client starts with a full bucket: exactly `burst` admits at
+  // one instant, then shed.
+  EXPECT_TRUE(admission.Admit("a", 0));
+  EXPECT_TRUE(admission.Admit("a", 0));
+  EXPECT_FALSE(admission.Admit("a", 0));
+}
+
+TEST(AdmissionTest, TokensRefillWithTime) {
+  AdmissionOptions options;
+  options.rate_per_sec = 1.0;
+  options.burst = 1.0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.Admit("a", 0));
+  EXPECT_FALSE(admission.Admit("a", 0));
+  // Half a second refills half a token — still shed.
+  EXPECT_FALSE(admission.Admit("a", 500));
+  // A full second since the spend refills one.
+  EXPECT_TRUE(admission.Admit("a", 1000));
+}
+
+TEST(AdmissionTest, RefillCapsAtBurst) {
+  AdmissionOptions options;
+  options.rate_per_sec = 10.0;
+  options.burst = 2.0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.Admit("a", 0));
+  EXPECT_TRUE(admission.Admit("a", 0));
+  // An hour idle must not bank 36000 tokens: capacity is still 2.
+  EXPECT_TRUE(admission.Admit("a", 3'600'000));
+  EXPECT_TRUE(admission.Admit("a", 3'600'000));
+  EXPECT_FALSE(admission.Admit("a", 3'600'000));
+}
+
+TEST(AdmissionTest, ClientsMeterIndependently) {
+  AdmissionOptions options;
+  options.rate_per_sec = 1.0;
+  options.burst = 1.0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.Admit("a", 0));
+  EXPECT_FALSE(admission.Admit("a", 0));
+  // Client b is untouched by a's exhaustion.
+  EXPECT_TRUE(admission.Admit("b", 0));
+}
+
+TEST(AdmissionTest, StatsSortedAndCounted) {
+  AdmissionOptions options;
+  options.rate_per_sec = 1.0;
+  options.burst = 1.0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.Admit("zeta", 0));
+  EXPECT_TRUE(admission.Admit("alpha", 0));
+  EXPECT_FALSE(admission.Admit("alpha", 0));
+  const auto stats = admission.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].client_id, "alpha");
+  EXPECT_EQ(stats[0].admitted, 1u);
+  EXPECT_EQ(stats[0].shed, 1u);
+  EXPECT_EQ(stats[1].client_id, "zeta");
+  EXPECT_EQ(stats[1].admitted, 1u);
+  EXPECT_EQ(stats[1].shed, 0u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -1,0 +1,88 @@
+// ValueQuery -> QueryKey canonicalization (hashing/query_key.h): the
+// binding between values and the opaque tokens core hashes.
+
+#include "hashing/query_key.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fxdist {
+namespace {
+
+TEST(CanonicalQueryKeyTest, AllWildcardQuery) {
+  QueryKey key = CanonicalQueryKey(ValueQuery(3));
+  EXPECT_EQ(key.arity(), 3u);
+  EXPECT_TRUE(key.all_wildcard());
+}
+
+TEST(CanonicalQueryKeyTest, SpecifiedFieldsKeepPositions) {
+  const ValueQuery q{std::nullopt, FieldValue{std::int64_t{7}},
+                     std::nullopt, FieldValue{std::string("x")}};
+  QueryKey key = CanonicalQueryKey(q);
+  ASSERT_EQ(key.specified().size(), 2u);
+  EXPECT_EQ(key.specified()[0].first, 1u);
+  EXPECT_EQ(key.specified()[1].first, 3u);
+}
+
+TEST(CanonicalQueryKeyTest, EqualQueriesEqualKeys) {
+  const ValueQuery a{FieldValue{std::int64_t{42}}, std::nullopt,
+                     FieldValue{std::string("tag")}};
+  const ValueQuery b = a;
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+  EXPECT_EQ(CanonicalQueryKey(a).hash(), CanonicalQueryKey(b).hash());
+}
+
+TEST(CanonicalQueryKeyTest, TokensAreTypeTagged) {
+  // int64 5, double 5.0, and string "5" look alike printed but filter
+  // differently; their tokens — and keys — must stay distinct.
+  const ValueQuery as_int{FieldValue{std::int64_t{5}}};
+  const ValueQuery as_double{FieldValue{5.0}};
+  const ValueQuery as_string{FieldValue{std::string("5")}};
+  const QueryKey ik = CanonicalQueryKey(as_int);
+  const QueryKey dk = CanonicalQueryKey(as_double);
+  const QueryKey sk = CanonicalQueryKey(as_string);
+  EXPECT_FALSE(ik == dk);
+  EXPECT_FALSE(ik == sk);
+  EXPECT_FALSE(dk == sk);
+}
+
+TEST(CanonicalQueryKeyTest, SamePositionDifferentValueDiffers) {
+  const ValueQuery a{FieldValue{std::int64_t{1}}, std::nullopt};
+  const ValueQuery b{FieldValue{std::int64_t{2}}, std::nullopt};
+  EXPECT_FALSE(CanonicalQueryKey(a) == CanonicalQueryKey(b));
+}
+
+TEST(CanonicalQueryKeyTest, SameValueDifferentPositionDiffers) {
+  const ValueQuery a{FieldValue{std::int64_t{1}}, std::nullopt};
+  const ValueQuery b{std::nullopt, FieldValue{std::int64_t{1}}};
+  EXPECT_FALSE(CanonicalQueryKey(a) == CanonicalQueryKey(b));
+}
+
+TEST(CanonicalQueryKeyTest, TokenPrefixesMatchValueCodec) {
+  EXPECT_EQ(QueryKeyToken(FieldValue{std::int64_t{-3}}).rfind("i:", 0), 0u);
+  EXPECT_EQ(QueryKeyToken(FieldValue{1.5}).rfind("d:", 0), 0u);
+  EXPECT_EQ(QueryKeyToken(FieldValue{std::string("ab")}).rfind("s:", 0),
+            0u);
+}
+
+TEST(CanonicalQueryKeyTest, SignedZerosGetDistinctKeys) {
+  // 0.0 == -0.0 under operator==, but the tokens encode IEEE bits: the
+  // keys differ.  Safe direction — a missed collapse, never a wrong hit.
+  const ValueQuery pos{FieldValue{0.0}};
+  const ValueQuery neg{FieldValue{-0.0}};
+  EXPECT_FALSE(CanonicalQueryKey(pos) == CanonicalQueryKey(neg));
+}
+
+TEST(CanonicalQueryKeyTest, NanBitPatternsCollapseWhenIdentical) {
+  const double nan = std::nan("");
+  const ValueQuery a{FieldValue{nan}};
+  const ValueQuery b{FieldValue{nan}};
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "workload/query_gen.h"
 #include "workload/record_gen.h"
@@ -76,6 +77,55 @@ TEST(TraceTest, CorruptAndMissingFilesRejected) {
   {
     std::FILE* f = std::fopen(path.c_str(), "w");
     std::fputs("fxdist-trace v1 fields 9999 records 1", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadTrace(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MetaRoundTripsAsV2) {
+  WorkloadTrace trace = MakeTrace();
+  trace.meta = "serve-bench seed=42 zipf=1.1 \"quoted\" and spaces";
+  const std::string path = TempPath("meta.fxt");
+  ASSERT_TRUE(SaveTrace(trace, path).ok());
+  {
+    std::ifstream in(path);
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line, "fxdist-trace v2");
+  }
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta, trace.meta);
+  EXPECT_EQ(loaded->records, trace.records);
+  EXPECT_EQ(loaded->queries, trace.queries);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EmptyMetaWritesV1Verbatim) {
+  // Backward compatibility is byte-level: a meta-less trace must be the
+  // exact v1 file older readers already parse.
+  const WorkloadTrace trace = MakeTrace();
+  const std::string path = TempPath("v1.fxt");
+  ASSERT_TRUE(SaveTrace(trace, path).ok());
+  std::ifstream in(path);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "fxdist-trace v1");
+  std::string second_line;
+  std::getline(in, second_line);
+  EXPECT_EQ(second_line.rfind("fields ", 0), 0u);
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->meta.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V2MissingMetaLineRejected) {
+  const std::string path = TempPath("badv2.fxt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("fxdist-trace v2\nfields 2\nrecords 0\nqueries 0\n", f);
     std::fclose(f);
   }
   EXPECT_FALSE(LoadTrace(path).ok());

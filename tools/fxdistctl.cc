@@ -32,6 +32,7 @@
 #include "analysis/report.h"
 #include "core/fx.h"
 #include "core/registry.h"
+#include "front/frontend.h"
 #include "net/backend_spec.h"
 #include "net/shard_server.h"
 #include "sim/composite_backend.h"
@@ -83,6 +84,10 @@ int Usage() {
          "               [--batch B] [--threads T] [--templates K]\n"
          "               [--zipf THETA] [--spec-prob P] [--domain D]\n"
          "               [--seed S] [--format text|json]\n"
+         "               [--frontend] [--cache-mb MB] [--qos on|off]\n"
+         "               [--tenants N] [--rate QPS]  (front door)\n"
+         "               [--client-id ID]  (tenant id on the wire handshake)\n"
+         "               [--trace-out FILE] [--trace-in FILE]\n"
          "  shard-serve  serve a backend over the shard wire protocol\n"
          "               --fields ... --devices M [--method SPEC]\n"
          "               [--backend flat|paged|dynamic|replicated]\n"
@@ -133,10 +138,16 @@ Result<Schema> ParseSchema(const std::string& schema_string) {
 
 Flags ParseFlags(int argc, char** argv, int start) {
   Flags flags;
-  for (int i = start; i + 1 < argc; i += 2) {
+  for (int i = start; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
-    flags[key] = argv[i + 1];
+    // A flag whose next token is another --flag (or absent) is a bare
+    // boolean, e.g. --frontend; presence is its value.
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      flags[key] = "";
+    } else {
+      flags[key] = argv[++i];
+    }
   }
   return flags;
 }
@@ -454,6 +465,9 @@ int CmdServeBench(const Flags& flags) {
     // --window 1 keeps the plain blocking connection; --wire v1 forces
     // the classic dialect (the pre-pipelining serial baseline).
     child_options.remote.pipeline_window = get_u64("window", 32);
+    if (auto id_it = flags.find("client-id"); id_it != flags.end()) {
+      child_options.remote.client_id = id_it->second;
+    }
     if (auto wire_it = flags.find("wire"); wire_it != flags.end()) {
       if (wire_it->second == "v1") {
         child_options.remote.force_wire_v1 = true;
@@ -554,19 +568,44 @@ int CmdServeBench(const Flags& flags) {
     return 1;
   }
 
-  // Field domains well above the directory size (--domain to override):
-  // specified fields stay selective, as real attributes would be.
-  FieldDistribution serve_dist;
-  serve_dist.domain = get_u64("domain", 512);
-  auto gen = RecordGenerator::Create(
-      *schema,
-      std::vector<FieldDistribution>(schema->num_fields(), serve_dist),
-      seed);
-  if (!gen.ok()) {
-    std::cerr << gen.status().ToString() << "\n";
-    return 1;
+  // Workload: either replayed from a recorded trace (--trace-in pins the
+  // exact record and query streams) or drawn from the seeded generators.
+  std::vector<Record> records;
+  std::vector<ValueQuery> stream;
+  const auto trace_in_it = flags.find("trace-in");
+  if (trace_in_it != flags.end()) {
+    auto trace = LoadTrace(trace_in_it->second);
+    if (!trace.ok()) {
+      std::cerr << trace.status().ToString() << "\n";
+      return 1;
+    }
+    if (trace->num_fields != schema->num_fields()) {
+      std::cerr << "trace arity " << trace->num_fields
+                << " does not match --fields arity "
+                << schema->num_fields() << "\n";
+      return 1;
+    }
+    if (!trace->meta.empty()) {
+      std::cerr << "replaying trace: " << trace->meta << "\n";
+    }
+    records = std::move(trace->records);
+    stream = std::move(trace->queries);
+  } else {
+    // Field domains well above the directory size (--domain to
+    // override): specified fields stay selective, as real attributes
+    // would be.
+    FieldDistribution serve_dist;
+    serve_dist.domain = get_u64("domain", 512);
+    auto gen = RecordGenerator::Create(
+        *schema,
+        std::vector<FieldDistribution>(schema->num_fields(), serve_dist),
+        seed);
+    if (!gen.ok()) {
+      std::cerr << gen.status().ToString() << "\n";
+      return 1;
+    }
+    records = gen->Take(get_u64("records", 12000));
   }
-  const std::vector<Record> records = gen->Take(get_u64("records", 12000));
   for (const Record& r : records) {
     if (auto st = file->Insert(r); !st.ok()) {
       std::cerr << st.ToString() << "\n";
@@ -602,29 +641,47 @@ int CmdServeBench(const Flags& flags) {
       }
     }
   }
-  auto qgen = QueryGenerator::Create(&records,
-                                     get_double("spec-prob", 0.5), seed);
-  if (!qgen.ok()) {
-    std::cerr << qgen.status().ToString() << "\n";
-    return 1;
+  if (stream.empty()) {
+    auto qgen = QueryGenerator::Create(&records,
+                                       get_double("spec-prob", 0.5), seed);
+    if (!qgen.ok()) {
+      std::cerr << qgen.status().ToString() << "\n";
+      return 1;
+    }
+    const std::uint64_t num_templates = std::max<std::uint64_t>(
+        1, get_u64("templates", 32));
+    std::vector<ValueQuery> templates;
+    while (templates.size() < num_templates) {
+      // A partial-match query names at least one field; fully
+      // unspecified draws degenerate to full scans and are redrawn.
+      ValueQuery q = qgen->Next();
+      const bool specified = std::any_of(
+          q.begin(), q.end(), [](const auto& f) { return f.has_value(); });
+      if (specified) templates.push_back(std::move(q));
+    }
+    ZipfSampler popularity(num_templates, get_double("zipf", 1.1));
+    Xoshiro256 rng(seed + 1);
+    for (std::uint64_t i = 0; i < get_u64("queries", 2048); ++i) {
+      stream.push_back(templates[popularity.Sample(&rng)]);
+    }
   }
-  const std::uint64_t num_templates = std::max<std::uint64_t>(
-      1, get_u64("templates", 32));
-  std::vector<ValueQuery> templates;
-  while (templates.size() < num_templates) {
-    // A partial-match query names at least one field; fully
-    // unspecified draws degenerate to full scans and are redrawn.
-    ValueQuery q = qgen->Next();
-    const bool specified = std::any_of(
-        q.begin(), q.end(), [](const auto& f) { return f.has_value(); });
-    if (specified) templates.push_back(std::move(q));
-  }
-  ZipfSampler popularity(num_templates, get_double("zipf", 1.1));
-  Xoshiro256 rng(seed + 1);
-  std::vector<ValueQuery> stream;
-  const std::uint64_t num_queries = get_u64("queries", 2048);
-  for (std::uint64_t i = 0; i < num_queries; ++i) {
-    stream.push_back(templates[popularity.Sample(&rng)]);
+  const std::uint64_t num_queries = stream.size();
+  if (auto trace_out_it = flags.find("trace-out");
+      trace_out_it != flags.end()) {
+    WorkloadTrace trace;
+    trace.num_fields = static_cast<unsigned>(schema->num_fields());
+    std::ostringstream meta;
+    meta << "serve-bench seed=" << seed << " zipf=" << get_double("zipf", 1.1)
+         << " spec-prob=" << get_double("spec-prob", 0.5)
+         << " templates=" << get_u64("templates", 32)
+         << " domain=" << get_u64("domain", 512);
+    trace.meta = meta.str();
+    trace.records = records;
+    trace.queries = stream;
+    if (auto st = SaveTrace(trace, trace_out_it->second); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
   }
 
   // Untimed warm-up of both paths so the timed sections are not charged
@@ -682,6 +739,76 @@ int CmdServeBench(const Flags& flags) {
           .count();
   engine.Flush();
 
+  // Front door (--frontend): admission + result cache + QoS over a
+  // fresh engine.  Two passes replay the same stream — the cold pass
+  // fills the cache, the warm pass hits it — and both must match the
+  // serial baseline's match count (bench/frontend_matrix gates full
+  // per-query digests).
+  const bool run_frontend = flags.count("frontend") != 0;
+  std::uint64_t front_cold_matched = 0;
+  std::uint64_t front_warm_matched = 0;
+  std::uint64_t front_shed = 0;
+  double front_cold_ms = 0.0;
+  double front_warm_ms = 0.0;
+  std::string frontend_text;
+  std::string frontend_json;
+  if (run_frontend) {
+    FrontendOptions front_options;
+    front_options.cache.max_bytes = get_u64("cache-mb", 64) << 20;
+    front_options.admission.rate_per_sec = get_double("rate", 0.0);
+    if (auto it = flags.find("qos"); it != flags.end()) {
+      if (it->second == "off") {
+        front_options.qos_enabled = false;
+      } else if (it->second != "on") {
+        std::cerr << "--qos takes on or off\n";
+        return 1;
+      }
+    }
+    const std::uint64_t tenants =
+        std::max<std::uint64_t>(1, get_u64("tenants", 4));
+    QueryEngine front_engine(*file, options);
+    Frontend frontend(front_engine, front_options);
+    auto run_pass = [&](std::uint64_t* matched, double* ms) {
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::future<Result<QueryResult>>> pass;
+      pass.reserve(stream.size());
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        // Tenants round-robin; every 8th query is interactive so the
+        // QoS path is exercised alongside the batch backlog.
+        pass.push_back(frontend.Submit(
+            "tenant-" + std::to_string(i % tenants),
+            i % 8 == 0 ? QueryPriority::kInteractive : QueryPriority::kBatch,
+            stream[i]));
+      }
+      for (auto& f : pass) {
+        auto result = f.get();
+        if (!result.ok()) {
+          // Shed queries (ResourceExhausted) are the expected outcome of
+          // a --rate cap, not a failure; they just don't count matches.
+          if (result.status().code() == StatusCode::kResourceExhausted) {
+            ++front_shed;
+            continue;
+          }
+          std::cerr << result.status().ToString() << "\n";
+          return false;
+        }
+        *matched += result->stats.records_matched;
+      }
+      *ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+      return true;
+    };
+    if (!run_pass(&front_cold_matched, &front_cold_ms) ||
+        !run_pass(&front_warm_matched, &front_warm_ms)) {
+      return 1;
+    }
+    frontend.Flush();
+    const FrontendStats front_stats = frontend.Stats();
+    frontend_text = front_stats.ToString();
+    frontend_json = front_stats.ToJson();
+  }
+
   const auto qps = [&](double ms) {
     return ms <= 0.0 ? 0.0
                      : static_cast<double>(num_queries) / (ms / 1e3);
@@ -709,6 +836,16 @@ int CmdServeBench(const Flags& flags) {
     degraded_text << (failed.empty() ? "\n" : ")\n");
   }
   if (format_it != flags.end() && format_it->second == "json") {
+    std::ostringstream front_json;
+    if (run_frontend) {
+      front_json << ",\"frontend_cold_qps\":" << qps(front_cold_ms)
+                 << ",\"frontend_cold_ms\":" << front_cold_ms
+                 << ",\"frontend_cold_matched\":" << front_cold_matched
+                 << ",\"frontend_warm_qps\":" << qps(front_warm_ms)
+                 << ",\"frontend_warm_ms\":" << front_warm_ms
+                 << ",\"frontend_warm_matched\":" << front_warm_matched
+                 << ",\"frontend\":" << frontend_json;
+    }
     std::cout << "{\"backend\":\"" << backend_kind << "\",\"spec\":\""
               << file->spec().ToString() << "\",\"method\":\""
               << file->method().name() << "\"" << degraded_json.str()
@@ -719,7 +856,7 @@ int CmdServeBench(const Flags& flags) {
               << ",\"engine_qps\":" << qps(engine_ms)
               << ",\"engine_ms\":" << engine_ms
               << ",\"engine_matched\":" << engine_matched
-              << ",\"speedup\":" << speedup
+              << ",\"speedup\":" << speedup << front_json.str()
               << ",\"stats\":" << engine.Snapshot().ToJson() << "}\n";
   } else if (format_it != flags.end() && format_it->second != "text") {
     std::cerr << "unknown --format " << format_it->second
@@ -737,13 +874,30 @@ int CmdServeBench(const Flags& flags) {
               << "engine (batched): "
               << TablePrinter::Cell(qps(engine_ms), 0) << " qps  ("
               << TablePrinter::Cell(engine_ms, 1) << " ms, "
-              << engine_matched << " matches)\n"
-              << "speedup         : " << TablePrinter::Cell(speedup, 2)
+              << engine_matched << " matches)\n";
+    if (run_frontend) {
+      std::cout << "frontend (cold) : "
+                << TablePrinter::Cell(qps(front_cold_ms), 0) << " qps  ("
+                << TablePrinter::Cell(front_cold_ms, 1) << " ms, "
+                << front_cold_matched << " matches)\n"
+                << "frontend (warm) : "
+                << TablePrinter::Cell(qps(front_warm_ms), 0) << " qps  ("
+                << TablePrinter::Cell(front_warm_ms, 1) << " ms, "
+                << front_warm_matched << " matches)\n";
+    }
+    std::cout << "speedup         : " << TablePrinter::Cell(speedup, 2)
               << "x\n\n"
               << engine.Snapshot().ToString();
+    if (run_frontend) std::cout << "\n" << frontend_text;
   }
   if (engine_matched != serial_matched) {
     std::cerr << "MISMATCH: engine and serial matched counts differ\n";
+    return 1;
+  }
+  if (run_frontend && front_shed == 0 &&
+      (front_cold_matched != serial_matched ||
+       front_warm_matched != serial_matched)) {
+    std::cerr << "MISMATCH: frontend and serial matched counts differ\n";
     return 1;
   }
   return 0;
