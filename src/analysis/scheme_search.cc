@@ -1,0 +1,208 @@
+#include "analysis/scheme_search.h"
+
+#include <algorithm>
+
+#include "core/bucket.h"
+#include "core/device_map.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "core/table_dist.h"
+#include "util/math.h"
+
+namespace fxdist {
+
+namespace {
+
+/// One query of the exhaustive sweep, pre-resolved to its qualified
+/// linear buckets and strict bound.
+struct SweepQuery {
+  std::vector<std::uint32_t> buckets;
+  std::uint64_t bound = 0;
+};
+
+Result<std::vector<SweepQuery>> BuildSweep(const FieldSpec& spec,
+                                           std::uint64_t max_buckets) {
+  if (spec.TotalBuckets() > max_buckets) {
+    return Status::InvalidArgument(
+        "scheme search is exhaustive and gated to small bucket spaces: " +
+        std::to_string(spec.TotalBuckets()) + " buckets > cap " +
+        std::to_string(max_buckets));
+  }
+  const unsigned n = spec.num_fields();
+  if (n >= 20) {
+    return Status::InvalidArgument("too many fields for the sweep");
+  }
+  std::vector<SweepQuery> sweep;
+  // Every nonempty unspecified set (fully-specified queries hit one
+  // bucket — excess 0 by construction), every specified assignment:
+  // arbitrary tables are not shift-invariant, so one representative per
+  // class is not enough.
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<std::uint64_t> values(n, 0);
+    while (true) {
+      PartialMatchQuery query(n);
+      for (unsigned i = 0; i < n; ++i) {
+        if ((mask & (1u << i)) == 0) query.Specify(i, values[i]);
+      }
+      SweepQuery sq;
+      ForEachQualifiedLinear(spec, query, [&sq](std::uint64_t linear) {
+        sq.buckets.push_back(static_cast<std::uint32_t>(linear));
+        return true;
+      });
+      sq.bound = CeilDiv(static_cast<std::uint64_t>(sq.buckets.size()),
+                         spec.num_devices());
+      sweep.push_back(std::move(sq));
+      // Odometer over the specified fields.
+      unsigned i = n;
+      bool advanced = false;
+      while (i > 0) {
+        --i;
+        if ((mask & (1u << i)) != 0) continue;
+        if (++values[i] < spec.field_size(i)) {
+          advanced = true;
+          break;
+        }
+        values[i] = 0;
+      }
+      if (!advanced) break;
+    }
+  }
+  return sweep;
+}
+
+AllocationScore ScoreOnSweep(const std::vector<SweepQuery>& sweep,
+                             std::uint64_t num_devices,
+                             const std::vector<std::uint32_t>& table) {
+  AllocationScore score;
+  score.queries = sweep.size();
+  std::vector<std::uint64_t> counts(num_devices);
+  for (const SweepQuery& q : sweep) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::uint32_t b : q.buckets) ++counts[table[b]];
+    const std::uint64_t largest =
+        *std::max_element(counts.begin(), counts.end());
+    const std::uint64_t excess = largest > q.bound ? largest - q.bound : 0;
+    score.worst_excess = std::max(score.worst_excess, excess);
+    score.total_excess += excess;
+  }
+  return score;
+}
+
+Result<std::vector<std::uint32_t>> TableOfScheme(const FieldSpec& spec,
+                                                 const std::string& scheme) {
+  auto method = MakeDistribution(spec, scheme);
+  FXDIST_RETURN_NOT_OK(method.status());
+  std::vector<std::uint32_t> table(spec.TotalBuckets());
+  for (std::uint64_t b = 0; b < table.size(); ++b) {
+    table[b] = static_cast<std::uint32_t>(
+        (*method)->DeviceOf(BucketFromLinear(spec, b)));
+  }
+  return table;
+}
+
+/// Greedy single-bucket-reassignment descent from `table` to a local
+/// optimum of (worst, total); mutates `table` and returns its score.
+AllocationScore DescendFrom(const std::vector<SweepQuery>& sweep,
+                            std::uint64_t m, unsigned max_passes,
+                            std::vector<std::uint32_t>& table) {
+  AllocationScore best = ScoreOnSweep(sweep, m, table);
+  for (unsigned pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (std::uint64_t b = 0; b < table.size(); ++b) {
+      const std::uint32_t original = table[b];
+      std::uint32_t best_device = original;
+      for (std::uint32_t d = 0; d < m; ++d) {
+        if (d == original) continue;
+        table[b] = d;
+        const AllocationScore candidate = ScoreOnSweep(sweep, m, table);
+        if (candidate < best) {
+          best = candidate;
+          best_device = d;
+        }
+      }
+      table[b] = best_device;
+      if (best_device != original) changed = true;
+    }
+    if (!changed) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<AllocationScore> ScoreScheme(const FieldSpec& spec,
+                                    const std::string& scheme,
+                                    std::uint64_t max_buckets) {
+  auto table = TableOfScheme(spec, scheme);
+  FXDIST_RETURN_NOT_OK(table.status());
+  return ScoreTable(spec, *table, max_buckets);
+}
+
+Result<AllocationScore> ScoreTable(const FieldSpec& spec,
+                                   const std::vector<std::uint32_t>& table,
+                                   std::uint64_t max_buckets) {
+  if (table.size() != spec.TotalBuckets()) {
+    return Status::InvalidArgument("table size != bucket count");
+  }
+  auto sweep = BuildSweep(spec, max_buckets);
+  FXDIST_RETURN_NOT_OK(sweep.status());
+  return ScoreOnSweep(*sweep, spec.num_devices(), table);
+}
+
+Result<SchemeSearchResult> SearchAllocation(
+    const FieldSpec& spec, const SchemeSearchOptions& options) {
+  auto sweep = BuildSweep(spec, options.max_buckets);
+  FXDIST_RETURN_NOT_OK(sweep.status());
+  auto table = TableOfScheme(spec, options.seed);
+  FXDIST_RETURN_NOT_OK(table.status());
+
+  const std::uint64_t m = spec.num_devices();
+  SchemeSearchResult result;
+  result.seed_score = ScoreOnSweep(*sweep, m, *table);
+  result.table = *std::move(table);
+  AllocationScore best =
+      DescendFrom(*sweep, m, options.max_passes, result.table);
+
+  // The descent only moves downhill, so a seed sitting in a local
+  // optimum (FX usually is — it is excellent, just not always optimal)
+  // goes nowhere.  Restart from the other closed-form schemes: their
+  // basins differ, and descents from a *worse* start routinely end
+  // *below* FX's local optimum.  All deterministic, so the search stays
+  // reproducible.
+  static const char* kRestarts[] = {"modulo", "gdm1", "spanning"};
+  for (const char* restart : kRestarts) {
+    if (restart == options.seed) continue;
+    auto restart_table = TableOfScheme(spec, restart);
+    if (!restart_table.ok()) continue;  // scheme inapplicable to spec
+    const AllocationScore candidate =
+        DescendFrom(*sweep, m, options.max_passes, *restart_table);
+    if (candidate < best) {
+      best = candidate;
+      result.table = *std::move(restart_table);
+    }
+  }
+
+  result.score = best;
+  result.improved = best.worst_excess < result.seed_score.worst_excess;
+  auto dist = TableDistribution::Make(spec, result.table);
+  FXDIST_RETURN_NOT_OK(dist.status());
+  result.spec_string = (*dist)->name();
+  return result;
+}
+
+Result<std::string> ChooseReshardScheme(const FieldSpec& spec,
+                                        const SchemeSearchOptions& options) {
+  if (spec.TotalBuckets() > options.max_buckets) {
+    // Too large to sweep — FX's closed form is the only honest answer.
+    return options.seed;
+  }
+  auto seed_score = ScoreScheme(spec, options.seed, options.max_buckets);
+  FXDIST_RETURN_NOT_OK(seed_score.status());
+  if (seed_score->worst_excess == 0) return options.seed;
+  auto searched = SearchAllocation(spec, options);
+  FXDIST_RETURN_NOT_OK(searched.status());
+  if (searched->improved) return searched->spec_string;
+  return options.seed;
+}
+
+}  // namespace fxdist

@@ -1,0 +1,100 @@
+// Scheme search beyond FX.
+//
+// The paper's FX allocation is strictly optimal for broad classes of
+// (field sizes, M), but not for every M — Doerr/Hebbinghaus/Werth's
+// declustering discrepancy bounds (PAPERS.md) prove gaps for general
+// device counts.  When live resharding changes M, the new M may be one
+// FX does not serve optimally; this module searches for an explicit
+// allocation (core/table_dist) that beats it.
+//
+// The objective is the paper's own yardstick: worst-case *excess*
+// response over all partial match queries,
+//
+//     max_q ( L(q) − ceil(|R(q)| / M) ),
+//
+// i.e. how far the largest per-device response sits above the strict
+// optimal bound; 0 means strictly optimal on every query.  The sweep is
+// exhaustive over every query (all unspecified-field subsets, all
+// specified values), so it is honest for arbitrary tables — which are
+// not shift-invariant — and therefore gated to small bucket spaces.
+//
+// Search: greedy local descent — repeated passes reassigning single
+// buckets to the device that lexicographically improves (worst excess,
+// total excess) until a fixed point — run from the seed scheme (FX by
+// default) and restarted from the other closed-form schemes (modulo,
+// GDM, spanning), keeping the best local optimum.  FX is usually itself
+// a local optimum, so the restarts are what actually find the
+// improvements.  Deterministic: no randomness, stable tie-breaks.
+
+#ifndef FXDIST_ANALYSIS_SCHEME_SEARCH_H_
+#define FXDIST_ANALYSIS_SCHEME_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/field_spec.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// (worst, total) excess of an allocation over the exhaustive query
+/// sweep; compared lexicographically.
+struct AllocationScore {
+  std::uint64_t worst_excess = 0;
+  std::uint64_t total_excess = 0;
+  std::uint64_t queries = 0;
+
+  friend bool operator<(const AllocationScore& a, const AllocationScore& b) {
+    if (a.worst_excess != b.worst_excess) {
+      return a.worst_excess < b.worst_excess;
+    }
+    return a.total_excess < b.total_excess;
+  }
+};
+
+struct SchemeSearchOptions {
+  /// Registry spec string of the starting allocation.
+  std::string seed = "fx";
+  /// Full single-bucket-reassignment passes before giving up.
+  unsigned max_passes = 16;
+  /// Refuse bucket spaces larger than this (the sweep is exhaustive).
+  std::uint64_t max_buckets = 4096;
+};
+
+struct SchemeSearchResult {
+  /// The searched allocation, one device per linear bucket.
+  std::vector<std::uint32_t> table;
+  /// Registry spec string ("table:<csv>") of `table`.
+  std::string spec_string;
+  AllocationScore score;
+  /// The seed scheme's score on the same sweep.
+  AllocationScore seed_score;
+  /// True iff the search strictly beat the seed's worst-case excess.
+  bool improved = false;
+};
+
+/// Scores a registry scheme on the exhaustive sweep.
+Result<AllocationScore> ScoreScheme(const FieldSpec& spec,
+                                    const std::string& scheme,
+                                    std::uint64_t max_buckets = 4096);
+
+/// Scores an explicit table on the exhaustive sweep.
+Result<AllocationScore> ScoreTable(const FieldSpec& spec,
+                                   const std::vector<std::uint32_t>& table,
+                                   std::uint64_t max_buckets = 4096);
+
+/// Runs the local search (see file comment).
+Result<SchemeSearchResult> SearchAllocation(
+    const FieldSpec& spec, const SchemeSearchOptions& options = {});
+
+/// The resharding hook: the scheme a migration onto `spec` should use.
+/// Returns the seed scheme when it is already excess-0 (FX optimal at
+/// this M) or when the search cannot beat it; otherwise the searched
+/// "table:<csv>" allocation.
+Result<std::string> ChooseReshardScheme(
+    const FieldSpec& spec, const SchemeSearchOptions& options = {});
+
+}  // namespace fxdist
+
+#endif  // FXDIST_ANALYSIS_SCHEME_SEARCH_H_

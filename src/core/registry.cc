@@ -10,6 +10,7 @@
 #include "core/random_dist.h"
 #include "core/rotation.h"
 #include "core/spanning.h"
+#include "core/table_dist.h"
 
 namespace fxdist {
 
@@ -151,6 +152,26 @@ Result<std::unique_ptr<DistributionMethod>> MakeDistribution(
     auto rot = RotatedDistribution::Make(*std::move(inner), offset);
     FXDIST_RETURN_NOT_OK(rot.status());
     return std::unique_ptr<DistributionMethod>(std::move(*rot));
+  }
+  if (spec_string.rfind("table:", 0) == 0) {
+    // Explicit bucket→device table, one device id per linear bucket —
+    // how searched allocations (analysis/scheme_search) round-trip
+    // through blueprints and persistence.
+    auto entries = ParseMultiplierList(spec_string.substr(6));
+    FXDIST_RETURN_NOT_OK(entries.status());
+    std::vector<std::uint32_t> table;
+    table.reserve(entries->size());
+    for (std::uint64_t v : *entries) {
+      if (v >= spec.num_devices()) {
+        return Status::InvalidArgument("table entry " + std::to_string(v) +
+                                       " out of range for M=" +
+                                       std::to_string(spec.num_devices()));
+      }
+      table.push_back(static_cast<std::uint32_t>(v));
+    }
+    auto dist = TableDistribution::Make(spec, std::move(table));
+    FXDIST_RETURN_NOT_OK(dist.status());
+    return std::unique_ptr<DistributionMethod>(std::move(*dist));
   }
   if (spec_string == "gdm1") return MakePaperGdm(spec, kGdm1);
   if (spec_string == "gdm2") return MakePaperGdm(spec, kGdm2);

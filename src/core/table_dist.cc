@@ -1,0 +1,41 @@
+#include "core/table_dist.h"
+
+#include <sstream>
+
+#include "core/bucket.h"
+
+namespace fxdist {
+
+Result<std::unique_ptr<TableDistribution>> TableDistribution::Make(
+    const FieldSpec& spec, std::vector<std::uint32_t> table) {
+  if (table.size() != spec.TotalBuckets()) {
+    return Status::InvalidArgument(
+        "table size " + std::to_string(table.size()) + " != bucket count " +
+        std::to_string(spec.TotalBuckets()));
+  }
+  for (std::uint32_t device : table) {
+    if (device >= spec.num_devices()) {
+      return Status::InvalidArgument("table entry " + std::to_string(device) +
+                                     " out of range for M=" +
+                                     std::to_string(spec.num_devices()));
+    }
+  }
+  return std::unique_ptr<TableDistribution>(
+      new TableDistribution(spec, std::move(table)));
+}
+
+std::uint64_t TableDistribution::DeviceOf(const BucketId& bucket) const {
+  return table_[LinearIndex(spec_, bucket)];
+}
+
+std::string TableDistribution::name() const {
+  std::ostringstream out;
+  out << "table:";
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (i != 0) out << ',';
+    out << table_[i];
+  }
+  return out.str();
+}
+
+}  // namespace fxdist

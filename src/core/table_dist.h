@@ -1,0 +1,46 @@
+// TableDistribution: an explicit bucket→device table as a first-class
+// DistributionMethod.
+//
+// The analysis-side scheme search (analysis/scheme_search) produces
+// allocations that no closed-form method generates; to serve them, ship
+// the table itself.  The name() round-trips through the registry
+// ("table:<csv>" with one device id per linear bucket), so searched
+// allocations flow through blueprints, persistence, and the wire
+// handshake exactly like FX/Modulo/GDM.  Intended for small bucket
+// spaces (the search is exhaustive anyway); the name grows linearly
+// with the bucket count.
+
+#ifndef FXDIST_CORE_TABLE_DIST_H_
+#define FXDIST_CORE_TABLE_DIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distribution.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+class TableDistribution : public DistributionMethod {
+ public:
+  /// Validates `table` (one entry per linear bucket, each < M).
+  static Result<std::unique_ptr<TableDistribution>> Make(
+      const FieldSpec& spec, std::vector<std::uint32_t> table);
+
+  std::uint64_t DeviceOf(const BucketId& bucket) const override;
+  std::string name() const override;
+
+  const std::vector<std::uint32_t>& table() const { return table_; }
+
+ private:
+  TableDistribution(FieldSpec spec, std::vector<std::uint32_t> table)
+      : DistributionMethod(std::move(spec)), table_(std::move(table)) {}
+
+  std::vector<std::uint32_t> table_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_TABLE_DIST_H_

@@ -1,0 +1,53 @@
+#include "core/topology.h"
+
+namespace fxdist {
+
+Result<ReshardPlan> BuildReshardPlan(const DeviceMap& from,
+                                     const DeviceMap& to,
+                                     std::uint64_t from_version) {
+  const FieldSpec& from_spec = from.spec();
+  const FieldSpec& to_spec = to.spec();
+  if (from_spec.num_fields() != to_spec.num_fields()) {
+    return Status::InvalidArgument("reshard plan: field arity mismatch");
+  }
+  for (unsigned i = 0; i < from_spec.num_fields(); ++i) {
+    if (from_spec.field_size(i) != to_spec.field_size(i)) {
+      return Status::InvalidArgument(
+          "reshard plan: field " + std::to_string(i) +
+          " size mismatch (bucket spaces must be identical)");
+    }
+  }
+  ReshardPlan plan;
+  plan.from.version = from_version;
+  plan.from.num_devices = from_spec.num_devices();
+  plan.from.scheme = from.method().name();
+  plan.to.version = from_version + 1;
+  plan.to.num_devices = to_spec.num_devices();
+  plan.to.scheme = to.method().name();
+
+  const std::uint64_t total = from_spec.TotalBuckets();
+  for (std::uint64_t linear = 0; linear < total; ++linear) {
+    const std::uint64_t old_device = from.DeviceOfLinear(linear);
+    const std::uint64_t new_device = to.DeviceOfLinear(linear);
+    if (old_device == new_device) {
+      ++plan.unmoved;
+    } else {
+      plan.moves.push_back(BucketMove{linear, old_device, new_device});
+    }
+  }
+  return plan;
+}
+
+Status VersionedTopologyHandle::Publish(TopologyVersionInfo next) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next.version <= info_.version) {
+    return Status::InvalidArgument(
+        "topology version must advance: " + std::to_string(next.version) +
+        " <= " + std::to_string(info_.version));
+  }
+  info_ = std::move(next);
+  version_.store(info_.version, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace fxdist

@@ -1,0 +1,110 @@
+// The versioned topology plane.
+//
+// Until now the serving stack froze its placement at construction: the
+// ShardedBackend cached one DeviceMap forever and poisoned itself if the
+// shape drifted.  Live resharding needs placement to *change* under
+// traffic, so this file introduces the three vocabulary types the
+// migration machinery is built from:
+//
+//   * TopologyVersion — a monotonically increasing version number plus
+//     the placement it describes (M and the distribution spec string).
+//     Version 1 is the backend's construction-time placement.
+//   * ReshardPlan — the diff between two placements over the *same*
+//     bucket space: which linear buckets move, from where, to where.
+//     Linear bucket ids are M-independent (row-major over the field
+//     sizes), which is exactly what makes resharding a re-placement of
+//     existing buckets rather than a rehash of records.
+//   * VersionedTopologyHandle — the publication point.  Readers get the
+//     current version with one atomic load (cheap enough for the
+//     engine's seqlock-style check around every batch) and the full
+//     TopologyVersion under a short critical section; writers publish a
+//     new topology atomically with a version bump.
+
+#ifndef FXDIST_CORE_TOPOLOGY_H_
+#define FXDIST_CORE_TOPOLOGY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/device_map.h"
+#include "core/field_spec.h"
+#include "util/status.h"
+
+namespace fxdist {
+
+/// One generation of the placement plane.
+struct TopologyVersionInfo {
+  /// Monotonically increasing; 1 = construction-time placement.
+  std::uint64_t version = 1;
+  /// Device count of this generation.
+  std::uint64_t num_devices = 0;
+  /// Registry spec string of the distribution ("fx-iu2", "table:...").
+  std::string scheme;
+
+  bool operator==(const TopologyVersionInfo& other) const = default;
+};
+
+/// One bucket changing owner between two placements.
+struct BucketMove {
+  std::uint64_t linear_bucket = 0;
+  std::uint64_t from_device = 0;
+  std::uint64_t to_device = 0;
+
+  bool operator==(const BucketMove& other) const = default;
+};
+
+/// The diff between an old and a new placement of the same bucket
+/// space: every bucket whose owner changes, in ascending linear order.
+struct ReshardPlan {
+  TopologyVersionInfo from;
+  TopologyVersionInfo to;
+  std::vector<BucketMove> moves;
+
+  /// Buckets that keep their owner across the move.
+  std::uint64_t unmoved = 0;
+};
+
+/// Diffs two placements bucket-by-bucket.  The maps must share field
+/// sizes (same linear bucket space); device counts may differ — that is
+/// the point.  `from_version` seeds the plan's version numbers
+/// (to.version = from_version + 1).
+Result<ReshardPlan> BuildReshardPlan(const DeviceMap& from,
+                                     const DeviceMap& to,
+                                     std::uint64_t from_version = 1);
+
+/// Publication point for the active topology.  version() is one relaxed
+/// atomic load — cheap enough to bracket every engine batch; Get() and
+/// Publish() take a short mutex so the non-trivial payload (the scheme
+/// string) stays race-free under TSan.  The version counter is bumped
+/// *after* the payload swap, so a reader that observes the new version
+/// also observes the new payload.
+class VersionedTopologyHandle {
+ public:
+  explicit VersionedTopologyHandle(TopologyVersionInfo initial)
+      : info_(std::move(initial)), version_(info_.version) {}
+
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  TopologyVersionInfo Get() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return info_;
+  }
+
+  /// Publishes `next`; its version must be strictly greater than the
+  /// current one (enforced — topology only moves forward).
+  Status Publish(TopologyVersionInfo next);
+
+ private:
+  mutable std::mutex mutex_;
+  TopologyVersionInfo info_;
+  std::atomic<std::uint64_t> version_;
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_CORE_TOPOLOGY_H_

@@ -88,8 +88,9 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
     const std::vector<ValueQuery>& batch) {
   if (batch.empty()) return std::vector<QueryResult>{};
   const auto start = Clock::now();
+  // Only the field *sizes* matter here (budget accounting); they are
+  // invariant across a topology cutover, unlike the device count.
   const FieldSpec& spec = backend_.spec();
-  const std::uint64_t num_devices = backend_.num_devices();
 
   std::vector<PartialMatchQuery> hashed;
   hashed.reserve(batch.size());
@@ -145,210 +146,259 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
   rep_hashed.reserve(reps.size());
   for (std::uint32_t r : reps) rep_hashed.push_back(hashed[r]);
 
-  // Degraded re-routing and the sparse live-bucket filter are mutually
-  // exclusive by design: a filtered (dead) bucket never learns its
-  // serving device, and a re-routing backend needs every bucket charged
-  // to its server.  Healthy backends route in place, so the filter is
-  // safe whenever the bucket space dwarfs the live records (grown
-  // dynamic directories) — skipping dead buckets changes no results,
-  // only the plan bookkeeping that was losing to the serial fast path.
-  const bool rerouting = backend_.HasDegradedRouting();
-  const bool sparse =
-      !rerouting &&
-      spec.TotalBuckets() >
-          4 * std::max<std::uint64_t>(1, backend_.num_records());
+  // Topology-stable execution (seqlock-style): each attempt runs the
+  // whole plan/scan/merge against ONE DeviceMap captured up front, with
+  // the backend's TopologyVersion loaded before and re-checked after.
+  // A migrating backend that cut over mid-attempt may have served later
+  // scans from the new placement while the plan addressed the old one —
+  // those results are untrustworthy, so the attempt is discarded and
+  // the batch re-planned against the new map.  The retired plane stays
+  // allocated inside the wrapper, so references captured just before
+  // the swap stay valid (stale) rather than dangling.  Cutovers are
+  // rare; more than a few inside one batch means something is thrashing
+  // and the batch fails honestly instead of spinning.
+  constexpr int kMaxTopologyRetries = 4;
 
-  // Per-device shared scans: plan each device's distinct buckets, make one
-  // pass per bucket, evaluate every covering query against its records.
-  const auto scan_start = Clock::now();
-  std::vector<DeviceOutcome> outcomes(num_devices);
-  auto run_device = [&](std::uint64_t d) {
-    const auto device_start = Clock::now();
-    const DeviceBatchPlan plan =
-        sparse ? PlanDeviceBatch(
-                     backend_.device_map(), rep_hashed, d,
-                     [&](std::uint64_t linear) {
-                       return backend_.IsBucketLive(d, linear);
-                     })
-               : PlanDeviceBatch(backend_.device_map(), rep_hashed, d);
-    DeviceOutcome& out = outcomes[d];
-    const std::size_t num_reps = reps.size();
-    out.qualified.assign(num_reps, 0);
-    out.examined.assign(num_reps, 0);
-    out.matched.resize(num_reps);
-    // Resolve each scanned bucket's serving device once; the scan itself
-    // already fetches from the right copy (backend_.ScanBucket routes),
-    // so this is purely the accounting side of degraded mode.
-    std::vector<std::uint32_t> server_of;
-    if (rerouting) {
-      out.rerouted.resize(num_reps);
-      server_of.resize(plan.scan_buckets.size());
-      for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
-        server_of[s] = static_cast<std::uint32_t>(
-            backend_.ServingDevice(d, plan.scan_buckets[s]));
-        if (server_of[s] != d) ++out.reroutes;
-      }
-    }
-    // Gather every planned bucket ONCE with the device's batch as a
-    // single ScanMany scatter — a remote shard sees one frame per chunk
-    // instead of one round trip per (bucket, covering slot) — then
-    // stream each covering slot past the gathered records.  The
-    // pointers stay valid until the next mutation (local backends hand
-    // out references into their own storage; a remote backend pins the
-    // decoded bucket), and the per-slot pass preserves exactly the
-    // order and examined accounting of the old scan-per-slot loop.
-    std::vector<BucketRef> refs;
-    refs.reserve(plan.scan_buckets.size());
-    for (std::uint64_t linear : plan.scan_buckets) {
-      refs.push_back({d, linear});
-    }
-    std::vector<std::vector<const Record*>> gathered(refs.size());
-    scan_many_calls_.Increment();
-    if (backend_.ScanRecordsAreStable()) {
-      backend_.ScanMany(refs,
-                        [&gathered](std::size_t s, const Record& record) {
-                          gathered[s].push_back(&record);
-                          return true;
-                        });
-    } else {
-      // Unstable scan references (packed backends materialize records
-      // out of a bounded decode cache) die with the callback: copy each
-      // record into the outcome's pinned storage and point at the
-      // copies.  The pointer lists are built only after the gather —
-      // push_back may reallocate a pinned list mid-scan.
-      out.pinned.assign(refs.size(), {});
-      backend_.ScanMany(refs,
-                        [&out](std::size_t s, const Record& record) {
-                          out.pinned[s].push_back(record);
-                          return true;
-                        });
-      for (std::size_t s = 0; s < refs.size(); ++s) {
-        gathered[s].reserve(out.pinned[s].size());
-        for (const Record& record : out.pinned[s]) {
-          gathered[s].push_back(&record);
-        }
-      }
-    }
-    std::vector<std::vector<std::vector<const Record*>>> scan_matches(
-        plan.scan_buckets.size());
-    for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
-      const auto& covering = plan.scan_queries[s];
-      scan_matches[s].resize(covering.size());
-      for (std::size_t slot = 0; slot < covering.size(); ++slot) {
-        const std::uint32_t q = covering[slot];
-        const ValueQuery& value_query = batch[reps[q]];
-        auto& hits = scan_matches[s][slot];
-        for (const Record* record : gathered[s]) {
-          ++out.examined[q];
-          if (RecordMatchesValueQuery(value_query, *record)) {
-            hits.push_back(record);
-          }
-        }
-      }
-    }
-    // Reassemble each query's matches in its solo enumeration order.
-    // qualified_counts (not slot counts) feed the stats: a sparse plan
-    // filters dead buckets out of the scan list but solo Execute still
-    // counts them; a re-routing backend instead splits each count
-    // between this device and the server that actually fetched.
-    std::uint64_t device_examined = 0;
-    for (std::size_t q = 0; q < num_reps; ++q) {
-      if (plan.qualified_counts[q] > 0) ++out.routed_queries;
-      if (rerouting) {
-        auto& moved = out.rerouted[q];
-        for (const auto& [scan, slot] : plan.query_slots[q]) {
-          (void)slot;
-          const std::uint32_t server = server_of[scan];
-          if (server == static_cast<std::uint32_t>(d)) {
-            ++out.qualified[q];
-            continue;
-          }
-          auto it = std::find_if(
-              moved.begin(), moved.end(),
-              [server](const auto& p) { return p.first == server; });
-          if (it == moved.end()) {
-            moved.emplace_back(server, 1);
-          } else {
-            ++it->second;
-          }
-        }
-      } else {
-        out.qualified[q] = plan.qualified_counts[q];
-      }
-      device_examined += out.examined[q];
-      auto& matched = out.matched[q];
-      for (const auto& [scan, slot] : plan.query_slots[q]) {
-        const auto& hits = scan_matches[scan][slot];
-        matched.insert(matched.end(), hits.begin(), hits.end());
-      }
-    }
-    out.buckets_scanned = plan.scan_buckets.size();
-    out.busy_ms = MillisSince(device_start);
-    DeviceCounters& counters = *device_counters_[d];
-    counters.bucket_scans.Increment(out.buckets_scanned);
-    counters.records_examined.Increment(device_examined);
-    counters.routed_queries.Increment(out.routed_queries);
-    counters.degraded_reroutes.Increment(out.reroutes);
-    counters.busy_nanos.Increment(
-        static_cast<std::uint64_t>(out.busy_ms * 1e6));
-  };
-  if (pool_.num_threads() > 1 && num_devices > 1) {
-    pool_.ParallelFor(num_devices, run_device);
-  } else {
-    for (std::uint64_t d = 0; d < num_devices; ++d) run_device(d);
-  }
-  const double scan_wall_ms = MillisSince(scan_start);
-
-  // ScanBucket cannot report errors, so a backend that lost storage
-  // mid-sweep (remote shard past its retry budget, poisoned composite)
-  // silently contributed nothing.  Re-check health and fail the batch
-  // instead of returning partial results.
-  if (Status health = backend_.Health(); !health.ok()) {
-    queries_failed_.Increment(batch.size());
-    return health;
-  }
-
-  // Merge per-device shares into per-representative results.
-  std::vector<QueryResult> rep_results(reps.size());
+  std::vector<QueryResult> rep_results;
   std::uint64_t performed = 0, examined_total = 0, matched_total = 0;
-  for (std::uint64_t d = 0; d < num_devices; ++d) {
-    performed += outcomes[d].buckets_scanned;
-  }
-  for (std::size_t q = 0; q < reps.size(); ++q) {
-    QueryResult& result = rep_results[q];
-    QueryStats& stats = result.stats;
-    stats.qualified_per_device.assign(num_devices, 0);
-    stats.device_wall_ms.assign(num_devices, 0.0);
-    for (std::uint64_t d = 0; d < num_devices; ++d) {
-      const DeviceOutcome& out = outcomes[d];
-      stats.qualified_per_device[d] += out.qualified[q];
-      if (!out.rerouted.empty()) {
-        // Degraded mode: charge re-routed buckets to their servers, the
-        // same accounting the backend's own Execute reports.
-        for (const auto& [server, count] : out.rerouted[q]) {
-          stats.qualified_per_device[server] += count;
+
+  auto attempt = [&]() -> Status {
+    rep_results.assign(reps.size(), QueryResult{});
+    performed = examined_total = matched_total = 0;
+
+    // One map, one spec, one device count for the whole attempt: every
+    // index below (outcomes, qualified_per_device, counters) derives
+    // from this single capture, so a cutover landing between two loads
+    // can never mix sizes from two placements.
+    const DeviceMap& map = backend_.device_map();
+    const FieldSpec& map_spec = map.spec();
+    const std::uint64_t num_devices = map_spec.num_devices();
+    EnsureDeviceCounters(num_devices);
+
+    // Degraded re-routing and the sparse live-bucket filter are mutually
+    // exclusive by design: a filtered (dead) bucket never learns its
+    // serving device, and a re-routing backend needs every bucket charged
+    // to its server.  Healthy backends route in place, so the filter is
+    // safe whenever the bucket space dwarfs the live records (grown
+    // dynamic directories) — skipping dead buckets changes no results,
+    // only the plan bookkeeping that was losing to the serial fast path.
+    const bool rerouting = backend_.HasDegradedRouting();
+    const bool sparse =
+        !rerouting &&
+        map_spec.TotalBuckets() >
+            4 * std::max<std::uint64_t>(1, backend_.num_records());
+
+    // Per-device shared scans: plan each device's distinct buckets, make
+    // one pass per bucket, evaluate every covering query against its
+    // records.
+    const auto scan_start = Clock::now();
+    std::vector<DeviceOutcome> outcomes(num_devices);
+    auto run_device = [&](std::uint64_t d) {
+      const auto device_start = Clock::now();
+      const DeviceBatchPlan plan =
+          sparse ? PlanDeviceBatch(
+                       map, rep_hashed, d,
+                       [&](std::uint64_t linear) {
+                         return backend_.IsBucketLive(d, linear);
+                       })
+                 : PlanDeviceBatch(map, rep_hashed, d);
+      DeviceOutcome& out = outcomes[d];
+      const std::size_t num_reps = reps.size();
+      out.qualified.assign(num_reps, 0);
+      out.examined.assign(num_reps, 0);
+      out.matched.resize(num_reps);
+      // Resolve each scanned bucket's serving device once; the scan
+      // itself already fetches from the right copy (backend_.ScanBucket
+      // routes), so this is purely the accounting side of degraded mode.
+      std::vector<std::uint32_t> server_of;
+      if (rerouting) {
+        out.rerouted.resize(num_reps);
+        server_of.resize(plan.scan_buckets.size());
+        for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
+          server_of[s] = static_cast<std::uint32_t>(
+              backend_.ServingDevice(d, plan.scan_buckets[s]));
+          if (server_of[s] != d) ++out.reroutes;
         }
       }
-      stats.device_wall_ms[d] = out.busy_ms;
-      stats.records_examined += out.examined[q];
-      stats.records_matched += out.matched[q].size();
-    }
-    result.records.reserve(stats.records_matched);
-    for (std::uint64_t d = 0; d < num_devices; ++d) {
-      for (const Record* record : outcomes[d].matched[q]) {
-        result.records.push_back(*record);
+      // Gather every planned bucket ONCE with the device's batch as a
+      // single ScanMany scatter — a remote shard sees one frame per
+      // chunk instead of one round trip per (bucket, covering slot) —
+      // then stream each covering slot past the gathered records.  The
+      // pointers stay valid until the next mutation (local backends hand
+      // out references into their own storage; a remote backend pins the
+      // decoded bucket), and the per-slot pass preserves exactly the
+      // order and examined accounting of the old scan-per-slot loop.
+      std::vector<BucketRef> refs;
+      refs.reserve(plan.scan_buckets.size());
+      for (std::uint64_t linear : plan.scan_buckets) {
+        refs.push_back({d, linear});
       }
+      std::vector<std::vector<const Record*>> gathered(refs.size());
+      scan_many_calls_.Increment();
+      if (backend_.ScanRecordsAreStable()) {
+        backend_.ScanMany(refs,
+                          [&gathered](std::size_t s, const Record& record) {
+                            gathered[s].push_back(&record);
+                            return true;
+                          });
+      } else {
+        // Unstable scan references (packed backends materialize records
+        // out of a bounded decode cache; a migrating wrapper only pins
+        // them for the scan's shared lock) die with the callback: copy
+        // each record into the outcome's pinned storage and point at the
+        // copies.  The pointer lists are built only after the gather —
+        // push_back may reallocate a pinned list mid-scan.
+        out.pinned.assign(refs.size(), {});
+        backend_.ScanMany(refs,
+                          [&out](std::size_t s, const Record& record) {
+                            out.pinned[s].push_back(record);
+                            return true;
+                          });
+        for (std::size_t s = 0; s < refs.size(); ++s) {
+          gathered[s].reserve(out.pinned[s].size());
+          for (const Record& record : out.pinned[s]) {
+            gathered[s].push_back(&record);
+          }
+        }
+      }
+      std::vector<std::vector<std::vector<const Record*>>> scan_matches(
+          plan.scan_buckets.size());
+      for (std::size_t s = 0; s < plan.scan_buckets.size(); ++s) {
+        const auto& covering = plan.scan_queries[s];
+        scan_matches[s].resize(covering.size());
+        for (std::size_t slot = 0; slot < covering.size(); ++slot) {
+          const std::uint32_t q = covering[slot];
+          const ValueQuery& value_query = batch[reps[q]];
+          auto& hits = scan_matches[s][slot];
+          for (const Record* record : gathered[s]) {
+            ++out.examined[q];
+            if (RecordMatchesValueQuery(value_query, *record)) {
+              hits.push_back(record);
+            }
+          }
+        }
+      }
+      // Reassemble each query's matches in its solo enumeration order.
+      // qualified_counts (not slot counts) feed the stats: a sparse plan
+      // filters dead buckets out of the scan list but solo Execute still
+      // counts them; a re-routing backend instead splits each count
+      // between this device and the server that actually fetched.
+      std::uint64_t device_examined = 0;
+      for (std::size_t q = 0; q < num_reps; ++q) {
+        if (plan.qualified_counts[q] > 0) ++out.routed_queries;
+        if (rerouting) {
+          auto& moved = out.rerouted[q];
+          for (const auto& [scan, slot] : plan.query_slots[q]) {
+            (void)slot;
+            const std::uint32_t server = server_of[scan];
+            if (server == static_cast<std::uint32_t>(d)) {
+              ++out.qualified[q];
+              continue;
+            }
+            auto it = std::find_if(
+                moved.begin(), moved.end(),
+                [server](const auto& p) { return p.first == server; });
+            if (it == moved.end()) {
+              moved.emplace_back(server, 1);
+            } else {
+              ++it->second;
+            }
+          }
+        } else {
+          out.qualified[q] = plan.qualified_counts[q];
+        }
+        device_examined += out.examined[q];
+        auto& matched = out.matched[q];
+        for (const auto& [scan, slot] : plan.query_slots[q]) {
+          const auto& hits = scan_matches[scan][slot];
+          matched.insert(matched.end(), hits.begin(), hits.end());
+        }
+      }
+      out.buckets_scanned = plan.scan_buckets.size();
+      out.busy_ms = MillisSince(device_start);
+      // Fetch the cell pointer under the vector lock; the cell itself is
+      // atomic and outlives any growth.
+      DeviceCounters* counters;
+      {
+        std::shared_lock<std::shared_mutex> lock(counters_mutex_);
+        counters = device_counters_[d].get();
+      }
+      counters->bucket_scans.Increment(out.buckets_scanned);
+      counters->records_examined.Increment(device_examined);
+      counters->routed_queries.Increment(out.routed_queries);
+      counters->degraded_reroutes.Increment(out.reroutes);
+      counters->busy_nanos.Increment(
+          static_cast<std::uint64_t>(out.busy_ms * 1e6));
+    };
+    if (pool_.num_threads() > 1 && num_devices > 1) {
+      pool_.ParallelFor(num_devices, run_device);
+    } else {
+      for (std::uint64_t d = 0; d < num_devices; ++d) run_device(d);
     }
-    for (std::uint64_t c : stats.qualified_per_device) {
-      stats.total_qualified += c;
-      stats.largest_response = std::max(stats.largest_response, c);
+    const double scan_wall_ms = MillisSince(scan_start);
+
+    // ScanBucket cannot report errors, so a backend that lost storage
+    // mid-sweep (remote shard past its retry budget, poisoned composite)
+    // silently contributed nothing.  Re-check health and fail the batch
+    // instead of returning partial results.
+    FXDIST_RETURN_NOT_OK(backend_.Health());
+
+    // Merge per-device shares into per-representative results.
+    for (std::uint64_t d = 0; d < num_devices; ++d) {
+      performed += outcomes[d].buckets_scanned;
     }
-    stats.optimal_bound = StrictOptimalBound(spec, rep_hashed[q]);
-    stats.strict_optimal = stats.largest_response <= stats.optimal_bound;
-    stats.disk_timing = DiskQueryTiming(stats.qualified_per_device);
-    stats.wall_ms = scan_wall_ms;
-    examined_total += stats.records_examined;
-    matched_total += stats.records_matched;
+    for (std::size_t q = 0; q < reps.size(); ++q) {
+      QueryResult& result = rep_results[q];
+      QueryStats& stats = result.stats;
+      stats.qualified_per_device.assign(num_devices, 0);
+      stats.device_wall_ms.assign(num_devices, 0.0);
+      for (std::uint64_t d = 0; d < num_devices; ++d) {
+        const DeviceOutcome& out = outcomes[d];
+        stats.qualified_per_device[d] += out.qualified[q];
+        if (!out.rerouted.empty()) {
+          // Degraded mode: charge re-routed buckets to their servers,
+          // the same accounting the backend's own Execute reports.
+          for (const auto& [server, count] : out.rerouted[q]) {
+            stats.qualified_per_device[server] += count;
+          }
+        }
+        stats.device_wall_ms[d] = out.busy_ms;
+        stats.records_examined += out.examined[q];
+        stats.records_matched += out.matched[q].size();
+      }
+      result.records.reserve(stats.records_matched);
+      for (std::uint64_t d = 0; d < num_devices; ++d) {
+        for (const Record* record : outcomes[d].matched[q]) {
+          result.records.push_back(*record);
+        }
+      }
+      for (std::uint64_t c : stats.qualified_per_device) {
+        stats.total_qualified += c;
+        stats.largest_response = std::max(stats.largest_response, c);
+      }
+      stats.optimal_bound = StrictOptimalBound(map_spec, rep_hashed[q]);
+      stats.strict_optimal = stats.largest_response <= stats.optimal_bound;
+      stats.disk_timing = DiskQueryTiming(stats.qualified_per_device);
+      stats.wall_ms = scan_wall_ms;
+      examined_total += stats.records_examined;
+      matched_total += stats.records_matched;
+    }
+    return Status::OK();
+  };
+
+  for (int tries = 0;; ++tries) {
+    const std::uint64_t version = backend_.TopologyVersion();
+    if (Status st = attempt(); !st.ok()) {
+      queries_failed_.Increment(batch.size());
+      return st;
+    }
+    if (backend_.TopologyVersion() == version) break;
+    topology_retries_.Increment();
+    if (tries + 1 >= kMaxTopologyRetries) {
+      queries_failed_.Increment(batch.size());
+      return Status::Unavailable(
+          "topology kept changing while the batch executed; resubmit");
+    }
   }
 
   bucket_scans_requested_.Increment(requested);
@@ -368,6 +418,17 @@ Result<std::vector<QueryResult>> QueryEngine::ExecuteBatchInternal(
     results[reps[j]] = std::move(rep_results[j]);
   }
   return results;
+}
+
+void QueryEngine::EnsureDeviceCounters(std::uint64_t count) {
+  {
+    std::shared_lock<std::shared_mutex> lock(counters_mutex_);
+    if (device_counters_.size() >= count) return;
+  }
+  std::unique_lock<std::shared_mutex> lock(counters_mutex_);
+  while (device_counters_.size() < count) {
+    device_counters_.push_back(std::make_unique<DeviceCounters>());
+  }
 }
 
 std::future<Result<QueryResult>> QueryEngine::Submit(ValueQuery query) {
@@ -460,11 +521,15 @@ StatsSnapshot QueryEngine::Snapshot() const {
   snap.scan_many_calls = scan_many_calls_.Value();
   snap.records_examined = records_examined_.Value();
   snap.records_matched = records_matched_.Value();
+  snap.topology_retries = topology_retries_.Value();
+  snap.topology_version = backend_.TopologyVersion();
+  snap.migrating_buckets = backend_.BucketsInMigration();
   snap.queue_depth = queue_depth_.Value();
   snap.max_queue_depth = max_queue_depth_.Value();
   snap.uptime_ms = MillisSince(start_);
   snap.query_latency = query_latency_.Snapshot();
   snap.batch_latency = batch_latency_.Snapshot();
+  std::shared_lock<std::shared_mutex> counters_lock(counters_mutex_);
   snap.devices.reserve(device_counters_.size());
   for (const auto& counters : device_counters_) {
     DeviceStats device;

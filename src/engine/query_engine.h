@@ -28,7 +28,14 @@
 //    naturally under backlog.  Returns a future per query.
 //
 // The engine is read-only over the backend: callers must not mutate it
-// while an engine serves it.
+// while an engine serves it.  The one sanctioned exception is a
+// MigratingBackend (sim/migration.h), which is internally synchronized
+// and changes its topology — device count and scheme — at cutover.  The
+// engine brackets every batch with two TopologyVersion() loads
+// (seqlock-style): the whole plan/scan/merge runs against ONE DeviceMap
+// captured at the start, and if the version moved by the end the
+// attempt is discarded and re-planned against the new map, so no batch
+// ever mixes accounting (or bucket routing) from two placements.
 
 #ifndef FXDIST_ENGINE_QUERY_ENGINE_H_
 #define FXDIST_ENGINE_QUERY_ENGINE_H_
@@ -40,6 +47,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -112,6 +120,9 @@ class QueryEngine {
   /// (each entry point measures its own admission-to-completion time).
   Result<std::vector<QueryResult>> ExecuteBatchInternal(
       const std::vector<ValueQuery>& batch);
+  /// Grows device_counters_ to at least `count` slots (a cutover can
+  /// raise the device count mid-serve).  Existing slots keep counting.
+  void EnsureDeviceCounters(std::uint64_t count);
 
   const StorageBackend& backend_;
   const EngineOptions options_;
@@ -129,11 +140,17 @@ class QueryEngine {
   Counter scan_many_calls_;
   Counter records_examined_;
   Counter records_matched_;
+  Counter topology_retries_;
   Gauge queue_depth_;
   Gauge max_queue_depth_;
   Gauge max_batch_size_seen_;
   LatencyHistogram query_latency_;
   LatencyHistogram batch_latency_;
+  /// Guards the device_counters_ *vector* (it grows at a cutover to more
+  /// devices); the Counter cells themselves are atomic and are reached
+  /// through stable unique_ptrs, so holders of a cell pointer never need
+  /// the lock.
+  mutable std::shared_mutex counters_mutex_;
   std::vector<std::unique_ptr<DeviceCounters>> device_counters_;
 
   // Admission queue.

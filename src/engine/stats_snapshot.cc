@@ -42,6 +42,13 @@ std::string StatsSnapshot::ToString() const {
                 static_cast<unsigned long long>(degraded_reroutes));
   os << line;
   std::snprintf(line, sizeof(line),
+                "topology   version %llu  migrating buckets %llu  "
+                "batch retries %llu\n",
+                static_cast<unsigned long long>(topology_version),
+                static_cast<unsigned long long>(migrating_buckets),
+                static_cast<unsigned long long>(topology_retries));
+  os << line;
+  std::snprintf(line, sizeof(line),
                 "queue      depth %lld  max depth %lld\n",
                 static_cast<long long>(queue_depth),
                 static_cast<long long>(max_queue_depth));
@@ -91,6 +98,9 @@ std::string StatsSnapshot::ToJson() const {
      << ",\"records_matched\":" << records_matched
      << ",\"routed_queries\":" << routed_queries
      << ",\"degraded_reroutes\":" << degraded_reroutes
+     << ",\"topology_version\":" << topology_version
+     << ",\"migrating_buckets\":" << migrating_buckets
+     << ",\"topology_retries\":" << topology_retries
      << ",\"queue_depth\":" << queue_depth
      << ",\"max_queue_depth\":" << max_queue_depth
      << ",\"uptime_ms\":" << uptime_ms;

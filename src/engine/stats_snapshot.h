@@ -52,6 +52,15 @@ struct StatsSnapshot {
   /// .degraded_reroutes) so aggregate dashboards need not re-sum.
   std::uint64_t routed_queries = 0;
   std::uint64_t degraded_reroutes = 0;
+  /// Batches re-planned because a topology cutover landed mid-batch.
+  std::uint64_t topology_retries = 0;
+
+  // -- Topology plane ---------------------------------------------------
+  /// The backend's active topology generation (1 unless a migrating
+  /// wrapper has cut over).
+  std::uint64_t topology_version = 1;
+  /// Buckets an in-progress migration has not yet copied (0 when idle).
+  std::uint64_t migrating_buckets = 0;
 
   // -- Point-in-time levels --------------------------------------------
   std::int64_t queue_depth = 0;

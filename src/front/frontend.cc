@@ -250,6 +250,8 @@ std::string FrontendStats::ToString() const {
      << cache.epoch_invalidations << "  ttl-expired "
      << cache.ttl_expirations << "  memo-hits " << cache.hot_memo_hits
      << "\n";
+  os << "cache neg  hits " << cache.negative_hits << "  entries "
+     << cache.negative_entries << "\n";
   os << "shed       admission " << shed_admission << "  overflow "
      << shed_overflow << "\n";
   os << "queue      depth " << queue_depth << "  max depth "
@@ -283,8 +285,9 @@ std::string FrontendStats::ToJson() const {
      << ",\"epoch_invalidations\":" << cache.epoch_invalidations
      << ",\"ttl_expirations\":" << cache.ttl_expirations
      << ",\"hot_memo_hits\":" << cache.hot_memo_hits
+     << ",\"negative_hits\":" << cache.negative_hits
      << ",\"entries\":" << cache.entries << ",\"bytes\":" << cache.bytes
-     << "}";
+     << ",\"negative_entries\":" << cache.negative_entries << "}";
   os << ",\"interactive_latency_us\":{\"p50\":"
      << interactive_latency.PercentileMicros(0.50)
      << ",\"p95\":" << interactive_latency.PercentileMicros(0.95)

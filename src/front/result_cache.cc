@@ -40,6 +40,7 @@ std::uint64_t ResultCache::EntryBytes(const QueryKey& key,
 
 void ResultCache::EraseLocked(Shard& shard, std::list<Entry>::iterator it) {
   shard.bytes -= it->bytes;
+  if (it->result.records.empty()) --shard.negative_entries;
   shard.index.erase(it->key);
   if (shard.hot == it) shard.hot = shard.lru.end();
   shard.lru.erase(it);
@@ -80,6 +81,7 @@ std::optional<QueryResult> ResultCache::Lookup(const QueryKey& key,
 
   ++shard.hits;
   if (via_memo) ++shard.hot_memo_hits;
+  if (it->result.records.empty()) ++shard.negative_hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it);
   shard.hot = it;
   return it->result;
@@ -87,6 +89,8 @@ std::optional<QueryResult> ResultCache::Lookup(const QueryKey& key,
 
 void ResultCache::Insert(const QueryKey& key, const QueryResult& result,
                          std::uint64_t epoch, std::uint64_t now_ms) {
+  const bool negative = result.records.empty();
+  if (negative && !options_.cache_negative) return;
   const std::uint64_t bytes = EntryBytes(key, result);
   if (bytes > shard_budget_) return;  // would evict the whole shard
 
@@ -102,6 +106,7 @@ void ResultCache::Insert(const QueryKey& key, const QueryResult& result,
   shard.lru.push_front(Entry{key, result, epoch, now_ms, bytes});
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
+  if (negative) ++shard.negative_entries;
   shard.hot = shard.lru.begin();
 }
 
@@ -112,6 +117,7 @@ void ResultCache::Clear() {
     shard->index.clear();
     shard->hot = shard->lru.end();
     shard->bytes = 0;
+    shard->negative_entries = 0;
   }
 }
 
@@ -125,8 +131,10 @@ ResultCacheStats ResultCache::Stats() const {
     stats.epoch_invalidations += shard->epoch_invalidations;
     stats.ttl_expirations += shard->ttl_expirations;
     stats.hot_memo_hits += shard->hot_memo_hits;
+    stats.negative_hits += shard->negative_hits;
     stats.entries += shard->lru.size();
     stats.bytes += shard->bytes;
+    stats.negative_entries += shard->negative_entries;
   }
   return stats;
 }

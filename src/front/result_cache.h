@@ -24,6 +24,14 @@
 // Entries can also carry a TTL (ttl_ms > 0): epoch invalidation covers
 // mutations through *this* process's backend handle, while a TTL bounds
 // staleness against out-of-band change the epoch cannot see.
+//
+// Negative results — queries that matched nothing — are cached like any
+// other (cache_negative, on by default): an empty answer is certified by
+// the same epoch the full ones are, it is the cheapest entry the cache
+// can hold, and miss-heavy workloads (point probes for absent keys) are
+// exactly the ones that re-ask.  Negative entries get their own hit and
+// residency counters so a dashboard can tell "hot empty answers" from a
+// cold cache.
 
 #ifndef FXDIST_FRONT_RESULT_CACHE_H_
 #define FXDIST_FRONT_RESULT_CACHE_H_
@@ -50,6 +58,9 @@ struct ResultCacheOptions {
   std::size_t num_shards = 16;
   /// Entry lifetime in milliseconds; 0 disables TTL expiry.
   std::uint64_t ttl_ms = 0;
+  /// Cache empty (negative) results too.  Off restores the store-only-
+  /// nonempty behavior for workloads whose misses never repeat.
+  bool cache_negative = true;
 };
 
 /// Point-in-time counters (monotonic except entries/bytes).
@@ -60,8 +71,10 @@ struct ResultCacheStats {
   std::uint64_t epoch_invalidations = 0;  ///< dropped: backend mutated
   std::uint64_t ttl_expirations = 0;      ///< dropped: entry outlived TTL
   std::uint64_t hot_memo_hits = 0;        ///< hits served by the memo slot
+  std::uint64_t negative_hits = 0;        ///< hits whose answer was empty
   std::uint64_t entries = 0;              ///< resident entries now
   std::uint64_t bytes = 0;                ///< resident bytes now
+  std::uint64_t negative_entries = 0;     ///< resident empty-answer entries
 };
 
 class ResultCache {
@@ -114,6 +127,8 @@ class ResultCache {
     std::uint64_t epoch_invalidations = 0;
     std::uint64_t ttl_expirations = 0;
     std::uint64_t hot_memo_hits = 0;
+    std::uint64_t negative_hits = 0;
+    std::uint64_t negative_entries = 0;
   };
 
   Shard& ShardFor(const QueryKey& key) {

@@ -20,7 +20,7 @@ Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
     backend->wire_version_ = kWireVersionMux;
     PayloadWriter hello;
     hello.U64(kWireMaxPayload);
-    hello.U32(kWireFeatureScanMany);
+    hello.U32(kWireFeatureScanMany | kWireFeatureInsertBatch);
     // Optional trailing tenant id (only sent when set): current servers
     // read it when present; a pre-front-door v2 server rejects the
     // longer hello, which lands in the v1 fallback below — anonymous but
@@ -90,7 +90,8 @@ Status RemoteBackend::FinishHandshake(const std::string& body, bool v2) {
                                 kWireMaxPayloadCeiling);
     negotiated_max_payload_ = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kWireMaxPayload, server_limit));
-    features_ = *features & kWireFeatureScanMany;
+    features_ =
+        *features & (kWireFeatureScanMany | kWireFeatureInsertBatch);
   } else {
     FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
   }
@@ -258,11 +259,21 @@ Status RemoteBackend::Insert(Record record) {
   auto body = Call(WireOp::kInsert, writer.Take(), /*idempotent=*/false);
   FXDIST_RETURN_NOT_OK(body.status());
 
-  // The reply echoes the remote's current bucket-space shape; a remote
-  // dynamic child that grew past the blueprint the twin was built from
-  // breaks the frozen placement plane — poison, exactly as ShardedBackend
-  // does for a local child.
   PayloadReader reader(*body);
+  FXDIST_RETURN_NOT_OK(CheckShapeEcho(reader));
+  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  // Epoch counts mutations issued through this client handle (see the
+  // StorageBackend contract); out-of-band server writes are already
+  // outside the no-overlapping-mutation rule.
+  BumpMutationEpoch();
+  return Status::OK();
+}
+
+Status RemoteBackend::CheckShapeEcho(PayloadReader& reader) {
+  // Every mutation reply echoes the remote's current bucket-space shape;
+  // a remote dynamic child that grew past the blueprint the twin was
+  // built from breaks the frozen placement plane — poison, exactly as
+  // ShardedBackend does for a local child.
   auto arity = reader.U32();
   FXDIST_RETURN_NOT_OK(arity.status());
   std::vector<std::uint64_t> sizes;
@@ -272,7 +283,6 @@ Status RemoteBackend::Insert(Record record) {
     FXDIST_RETURN_NOT_OK(size.status());
     sizes.push_back(*size);
   }
-  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
   if (sizes != twin_->spec().field_sizes()) {
     std::lock_guard<std::mutex> lock(mutex_);
     poisoned_ =
@@ -280,11 +290,74 @@ Status RemoteBackend::Insert(Record record) {
         "space no longer matches the handshake blueprint";
     return Status::FailedPrecondition(poisoned_);
   }
-  // Epoch counts mutations issued through this client handle (see the
-  // StorageBackend contract); out-of-band server writes are already
-  // outside the no-overlapping-mutation rule.
-  BumpMutationEpoch();
   return Status::OK();
+}
+
+Status RemoteBackend::InsertBatch(std::vector<Record> records) {
+  if (wire_version_ != kWireVersionMux || !insert_batch_enabled()) {
+    // Pre-InsertBatch peer: the default per-record loop (one kInsert
+    // round trip each).
+    return StorageBackend::InsertBatch(std::move(records));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scan_pins_.clear();
+  }
+  const std::size_t chunk =
+      std::max<std::size_t>(1, options_.insert_batch_chunk);
+  for (std::size_t start = 0; start < records.size(); start += chunk) {
+    const std::size_t n = std::min(chunk, records.size() - start);
+    PayloadWriter writer;
+    writer.U32(static_cast<std::uint32_t>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+      writer.WriteRecord(records[start + j]);
+    }
+    auto body = Call(WireOp::kInsertBatch, writer.Take(),
+                     /*idempotent=*/false);
+    if (!body.ok()) {
+      if (body.status().code() == StatusCode::kInvalidArgument) {
+        // The chunk's request outgrew the negotiated frame limit (or a
+        // record is genuinely bad — the per-record path reproduces that
+        // error faithfully): insert this chunk record-by-record.
+        for (std::size_t j = 0; j < n; ++j) {
+          FXDIST_RETURN_NOT_OK(Insert(std::move(records[start + j])));
+        }
+        continue;
+      }
+      return body.status();
+    }
+    PayloadReader reader(*body);
+    auto count = reader.U64();
+    FXDIST_RETURN_NOT_OK(count.status());
+    if (*count != n) {
+      return Status::DataLoss("InsertBatch reply acknowledges " +
+                              std::to_string(*count) + " of " +
+                              std::to_string(n) + " records");
+    }
+    FXDIST_RETURN_NOT_OK(CheckShapeEcho(reader));
+    FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+    BumpMutationEpoch();
+  }
+  return Status::OK();
+}
+
+Result<RemoteBackend::TopologySnapshot> RemoteBackend::RemoteTopology()
+    const {
+  auto body = Call(WireOp::kTopology, "", /*idempotent=*/true);
+  FXDIST_RETURN_NOT_OK(body.status());
+  PayloadReader reader(*body);
+  TopologySnapshot snapshot;
+  auto version = reader.U64();
+  FXDIST_RETURN_NOT_OK(version.status());
+  snapshot.version = *version;
+  auto migrating = reader.U64();
+  FXDIST_RETURN_NOT_OK(migrating.status());
+  snapshot.migrating_buckets = *migrating;
+  auto blueprint = reader.Str();
+  FXDIST_RETURN_NOT_OK(blueprint.status());
+  snapshot.blueprint = *std::move(blueprint);
+  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  return snapshot;
 }
 
 Result<std::uint64_t> RemoteBackend::Delete(const ValueQuery& query) {

@@ -88,6 +88,9 @@ struct RemoteBackendOptions {
   /// Bucket refs per kScanMany frame; a chunk whose reply outgrows the
   /// frame limit falls back to per-bucket scans.
   std::size_t scan_many_chunk = 512;
+  /// Records per kInsertBatch frame; a chunk whose request outgrows the
+  /// frame limit falls back to per-record inserts.
+  std::size_t insert_batch_chunk = 512;
   /// In-flight window when ConnectTcp builds a multiplexed connection;
   /// 1 keeps the plain blocking SocketTransport.
   std::size_t pipeline_window = 32;
@@ -144,6 +147,11 @@ class RemoteBackend final : public StorageBackend {
   // -- Storage plane: one round trip each ------------------------------
   std::uint64_t num_records() const override;
   Status Insert(Record record) override;
+  /// One kInsertBatch frame per chunk when the server granted the
+  /// feature (a migration copy crosses the wire as a handful of frames
+  /// instead of one per record); per-record kInsert round trips
+  /// otherwise.
+  Status InsertBatch(std::vector<Record> records) override;
   Result<std::uint64_t> Delete(const ValueQuery& query) override;
   bool IsBucketLive(std::uint64_t device,
                     std::uint64_t linear_bucket) const override;
@@ -178,9 +186,21 @@ class RemoteBackend final : public StorageBackend {
   bool scan_many_enabled() const {
     return (features_ & kWireFeatureScanMany) != 0;
   }
+  bool insert_batch_enabled() const {
+    return (features_ & kWireFeatureInsertBatch) != 0;
+  }
   std::uint32_t negotiated_max_payload() const {
     return negotiated_max_payload_;
   }
+
+  /// What the server's topology plane reports right now (kTopology).
+  /// An old server answers the unknown opcode with InvalidArgument.
+  struct TopologySnapshot {
+    std::uint64_t version = 1;
+    std::uint64_t migrating_buckets = 0;
+    std::string blueprint;  ///< serving plane's construction text
+  };
+  Result<TopologySnapshot> RemoteTopology() const;
 
  private:
   RemoteBackend(std::unique_ptr<Transport> transport, Options options)
@@ -198,6 +218,9 @@ class RemoteBackend final : public StorageBackend {
   /// The per-bucket gather used by ScanBucket and the ScanMany fallback.
   void ScanBucketRemote(std::uint64_t device, std::uint64_t linear_bucket,
                         const std::function<bool(const Record&)>& fn) const;
+  /// Parses the bucket-space shape every mutation reply echoes and
+  /// poisons the client when the remote outgrew the frozen plane.
+  Status CheckShapeEcho(PayloadReader& reader);
 
   std::unique_ptr<Transport> transport_;
   const Options options_;

@@ -149,14 +149,20 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
           }
         }
         std::shared_lock<std::shared_mutex> lock(backend_mutex_);
-        writer.Str(BackendBlueprintText(backend_));
+        // The blueprint describes the *serving plane*: a migrating
+        // wrapper hands out its active plane's construction (the
+        // "migrating" kind itself is a persistence-v4 body, not a wire
+        // blueprint — old readers must get a buildable text, not a
+        // crash).
+        writer.Str(BackendBlueprintText(backend_.ServingPlane()));
         writer.U64(kWireMaxPayload);
-        writer.U32(*features & kWireFeatureScanMany);
+        writer.U32(*features &
+                   (kWireFeatureScanMany | kWireFeatureInsertBatch));
         return Finish(writer);
       }
       FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
       std::shared_lock<std::shared_mutex> lock(backend_mutex_);
-      writer.Str(BackendBlueprintText(backend_));
+      writer.Str(BackendBlueprintText(backend_.ServingPlane()));
       return Finish(writer);
     }
     case WireOp::kInsert: {
@@ -261,6 +267,38 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
       });
       writer.U64(gathered.size());
       for (const auto& records : gathered) writer.WriteRecords(records);
+      return Finish(writer);
+    }
+    case WireOp::kInsertBatch: {
+      // The bulk-load / migration-copy op: a record list in, the count
+      // and the bucket-space shape out (the same frozen-plane echo as
+      // kInsert, checked once per chunk instead of once per record).
+      // v2-only, like ScanMany: the client learns it from the handshake
+      // feature bits.
+      if (frame.version != kWireVersionMux) {
+        return Status::InvalidArgument("InsertBatch requires a v2 frame");
+      }
+      auto records = reader.ReadRecords();
+      FXDIST_RETURN_NOT_OK(records.status());
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      const std::uint64_t count = records->size();
+      std::unique_lock<std::shared_mutex> lock(backend_mutex_);
+      FXDIST_RETURN_NOT_OK(backend_.InsertBatch(*std::move(records)));
+      writer.U64(count);
+      const auto& sizes = backend_.spec().field_sizes();
+      writer.U32(static_cast<std::uint32_t>(sizes.size()));
+      for (const std::uint64_t size : sizes) writer.U64(size);
+      return Finish(writer);
+    }
+    case WireOp::kTopology: {
+      // Topology probe: active version, buckets an in-progress migration
+      // has not copied yet, and the serving plane's blueprint — what a
+      // control tool needs to watch a live reshard from outside.
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      writer.U64(backend_.TopologyVersion());
+      writer.U64(backend_.BucketsInMigration());
+      writer.Str(BackendBlueprintText(backend_.ServingPlane()));
       return Finish(writer);
     }
     case WireOp::kNumRecords: {

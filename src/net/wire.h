@@ -90,11 +90,14 @@ enum class WireOp : std::uint8_t {
   kMarkUp = 10,       ///< device -> ()
   kListRecords = 11,  ///< -> every live record (persistence hook)
   kScanMany = 12,     ///< (device, bucket)... -> records per ref (v2 only)
+  kInsertBatch = 13,  ///< records -> inserted count + shape (v2 only)
+  kTopology = 14,     ///< -> version + migrating buckets + plane blueprint
   kError = 127,       ///< reply to an undecodable request: Status only
 };
 
 /// Feature bits exchanged in the v2 handshake.
 inline constexpr std::uint32_t kWireFeatureScanMany = 1u << 0;
+inline constexpr std::uint32_t kWireFeatureInsertBatch = 1u << 1;
 
 /// The opcode, or InvalidArgument for a byte outside the enum.
 Result<WireOp> ParseWireOp(std::uint8_t raw);

@@ -197,6 +197,31 @@ Status ShardedBackend::Insert(Record record) {
   return Status::OK();
 }
 
+Status ShardedBackend::InsertBatch(std::vector<Record> records) {
+  if (!poisoned_.empty()) return Status::FailedPrecondition(poisoned_);
+  std::vector<std::vector<Record>> by_child(children_.size());
+  for (Record& record : records) {
+    auto bucket = children_.front()->HashRecord(record);
+    FXDIST_RETURN_NOT_OK(bucket.status());
+    by_child[device_map().DeviceOf(*bucket)].push_back(std::move(record));
+  }
+  for (std::uint64_t device = 0; device < children_.size(); ++device) {
+    if (by_child[device].empty()) continue;
+    FXDIST_RETURN_NOT_OK(
+        children_[device]->InsertBatch(std::move(by_child[device])));
+    if (SpecSizes(children_[device]->spec()) != frozen_sizes_) {
+      poisoned_ =
+          "shard " + std::to_string(device) +
+          " outgrew the frozen composite plane (bucket space " +
+          SizesToString(SpecSizes(children_[device]->spec())) +
+          " vs frozen " + SizesToString(frozen_sizes_) +
+          "): re-shard with larger provisioned directories";
+      return Status::FailedPrecondition(poisoned_);
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::uint64_t> ShardedBackend::Delete(const ValueQuery& query) {
   if (!poisoned_.empty()) return Status::FailedPrecondition(poisoned_);
   // Each shard holds a disjoint slice of the qualified buckets; the sum

@@ -59,6 +59,12 @@ class ShardedBackend : public StorageBackend {
   std::uint64_t num_records() const override;
 
   Status Insert(Record record) override;
+  /// Routes the batch in one pass: records are grouped by owning child
+  /// (preserving arrival order within each group — same-bucket records
+  /// land on the same child, so per-bucket scan order matches a loop of
+  /// Insert) and each touched child gets one InsertBatch call.  A remote
+  /// child turns its group into one frame per chunk.
+  Status InsertBatch(std::vector<Record> records) override;
   Result<std::uint64_t> Delete(const ValueQuery& query) override;
 
   Result<PartialMatchQuery> HashQuery(

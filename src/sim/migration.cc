@@ -1,0 +1,464 @@
+#include "sim/migration.h"
+
+#include <algorithm>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+namespace fxdist {
+
+namespace {
+
+std::vector<std::uint64_t> SpecSizes(const FieldSpec& spec) {
+  std::vector<std::uint64_t> sizes(spec.num_fields());
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    sizes[i] = spec.field_size(i);
+  }
+  return sizes;
+}
+
+TopologyVersionInfo DescribePlane(const StorageBackend& backend,
+                                  std::uint64_t version) {
+  TopologyVersionInfo info;
+  info.version = version;
+  info.num_devices = backend.num_devices();
+  info.scheme = backend.method().name();
+  return info;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// MigratingBackend
+
+MigratingBackend::MigratingBackend(std::unique_ptr<StorageBackend> source)
+    : active_(std::move(source)),
+      pending_(DescribePlane(*active_, 1)),
+      handle_(DescribePlane(*active_, 1)) {}
+
+Result<std::unique_ptr<MigratingBackend>> MigratingBackend::Create(
+    std::unique_ptr<StorageBackend> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("migrating backend needs a source");
+  }
+  if (source->backend_name() == "migrating") {
+    return Status::InvalidArgument("migrating backends do not nest");
+  }
+  return std::unique_ptr<MigratingBackend>(
+      new MigratingBackend(std::move(source)));
+}
+
+Status MigratingBackend::BeginMigration(
+    std::unique_ptr<StorageBackend> target) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (migrating_) {
+    return Status::FailedPrecondition("a migration is already in progress");
+  }
+  if (target == nullptr) {
+    return Status::InvalidArgument("migration target is null");
+  }
+  if (target->backend_name() == "migrating") {
+    return Status::InvalidArgument("migrating backends do not nest");
+  }
+  if (target->IsReadOnly()) {
+    return Status::InvalidArgument("migration target is read-only");
+  }
+  if (target->num_records() != 0) {
+    return Status::InvalidArgument(
+        "migration target must start empty (records arrive by copy)");
+  }
+  if (SpecSizes(target->spec()) != SpecSizes(active_->spec())) {
+    return Status::InvalidArgument(
+        "migration target must keep the bucket space (field sizes differ); "
+        "only the device count and scheme may change");
+  }
+  target_ = std::move(target);
+  migrating_ = true;
+  cursor_ = 0;
+  failed_ = Status::OK();
+  pending_ = DescribePlane(*target_, handle_.version() + 1);
+  // Dual-write begins now.  Results are unchanged (reads still serve
+  // the source), but degraded-routing accounting flips on — bump so
+  // epoch-tagged caches re-validate conservatively.
+  BumpMutationEpoch();
+  return Status::OK();
+}
+
+Result<std::uint64_t> MigratingBackend::CopyChunk(std::uint64_t max_buckets) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!migrating_) {
+    return Status::FailedPrecondition("no migration in progress");
+  }
+  FXDIST_RETURN_NOT_OK(failed_);
+  const std::uint64_t total = active_->spec().TotalBuckets();
+  const std::uint64_t end = std::min(total, cursor_ + max_buckets);
+  if (end == cursor_) return std::uint64_t{0};
+
+  // One scatter over the chunk: a remote source shard sees one frame
+  // per chunk instead of one round trip per bucket.  Distinct refs may
+  // deliver concurrently, so each bucket stages into its own slot; the
+  // flatten below restores ascending-bucket order, which is exactly the
+  // insert order a fresh build of the target would replay.
+  std::vector<BucketRef> refs;
+  refs.reserve(static_cast<std::size_t>(end - cursor_));
+  const DeviceMap& map = active_->device_map();
+  for (std::uint64_t b = cursor_; b < end; ++b) {
+    refs.push_back({map.DeviceOfLinear(b), b});
+  }
+  std::vector<std::vector<Record>> staged(refs.size());
+  active_->ScanMany(refs, [&staged](std::size_t i, const Record& record) {
+    staged[i].push_back(record);
+    return true;
+  });
+  if (Status st = active_->Health(); !st.ok()) {
+    failed_ = st;
+    return st;
+  }
+  std::vector<Record> batch;
+  for (std::vector<Record>& bucket : staged) {
+    for (Record& record : bucket) batch.push_back(std::move(record));
+  }
+  if (!batch.empty()) {
+    if (Status st = target_->InsertBatch(std::move(batch)); !st.ok()) {
+      // The target may now hold a partial chunk; this attempt cannot be
+      // completed (re-copying would duplicate) — only aborted.
+      failed_ = st;
+      return st;
+    }
+  }
+  cursor_ = end;
+  return static_cast<std::uint64_t>(refs.size());
+}
+
+Status MigratingBackend::CopyUntil(std::uint64_t cursor) {
+  while (true) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      if (!migrating_) {
+        return Status::FailedPrecondition("no migration in progress");
+      }
+      if (cursor_ >= cursor) return Status::OK();
+    }
+    auto copied = CopyChunk(cursor - CopyCursor());
+    FXDIST_RETURN_NOT_OK(copied.status());
+    if (*copied == 0) return Status::OK();
+  }
+}
+
+Status MigratingBackend::Cutover() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!migrating_) {
+    return Status::FailedPrecondition("no migration in progress");
+  }
+  FXDIST_RETURN_NOT_OK(failed_);
+  const std::uint64_t total = active_->spec().TotalBuckets();
+  if (cursor_ < total) {
+    return Status::FailedPrecondition(
+        "cutover with " + std::to_string(total - cursor_) +
+        " buckets still in flight");
+  }
+  FXDIST_RETURN_NOT_OK(target_->Health());
+  // Absorb the retiring plane's epoch so the aggregate stays monotone
+  // through the swap, then retire it (never destroy — see header).
+  epoch_base_ += active_->MutationEpoch();
+  retired_.push_back(std::move(active_));
+  active_ = std::move(target_);
+  migrating_ = false;
+  cursor_ = 0;
+  FXDIST_RETURN_NOT_OK(handle_.Publish(pending_));
+  // Placement changed: per-device accounting of every cached result is
+  // stale even though the record sets match.
+  BumpMutationEpoch();
+  return Status::OK();
+}
+
+Status MigratingBackend::Abort() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!migrating_) {
+    return Status::FailedPrecondition("no migration in progress");
+  }
+  // Safe unconditionally: writes go source-first, so the source holds
+  // every record.  Absorb the dead target's epoch for monotonicity.
+  epoch_base_ += target_->MutationEpoch();
+  target_.reset();
+  migrating_ = false;
+  cursor_ = 0;
+  failed_ = Status::OK();
+  pending_ = handle_.Get();
+  BumpMutationEpoch();
+  return Status::OK();
+}
+
+bool MigratingBackend::IsMigrating() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return migrating_;
+}
+
+bool MigratingBackend::CopyDone() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return migrating_ && cursor_ >= active_->spec().TotalBuckets();
+}
+
+std::uint64_t MigratingBackend::CopyCursor() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return cursor_;
+}
+
+Status MigratingBackend::MigrationHealth() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return failed_;
+}
+
+TopologyVersionInfo MigratingBackend::PendingTopology() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return pending_;
+}
+
+const FieldSpec& MigratingBackend::spec() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  // Safe to hand out: retired planes stay allocated for the wrapper's
+  // lifetime, so a reference captured just before a cutover goes stale,
+  // not dangling (the engine's version check discards its results).
+  return active_->spec();
+}
+
+const DistributionMethod& MigratingBackend::method() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->method();
+}
+
+const DeviceMap& MigratingBackend::device_map() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->device_map();
+}
+
+std::uint64_t MigratingBackend::num_records() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->num_records();
+}
+
+Status MigratingBackend::InsertLocked(Record record) {
+  const bool dual = migrating_ && failed_.ok();
+  Record copy;
+  std::uint64_t linear = 0;
+  if (dual) {
+    auto bucket = active_->HashRecord(record);
+    FXDIST_RETURN_NOT_OK(bucket.status());
+    linear = LinearIndex(active_->spec(), *bucket);
+    if (linear < cursor_) copy = record;
+  }
+  FXDIST_RETURN_NOT_OK(active_->Insert(std::move(record)));
+  if (dual && linear < cursor_) {
+    // The copied prefix must stay a faithful mirror: records landing
+    // behind the cursor are forwarded, ahead of it the copy will pick
+    // them up.  A target failure fails the attempt, not the write — the
+    // source is still complete.
+    if (Status st = target_->Insert(std::move(copy)); !st.ok()) {
+      failed_ = st;
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status MigratingBackend::Insert(Record record) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return InsertLocked(std::move(record));
+}
+
+Status MigratingBackend::InsertBatch(std::vector<Record> records) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (Record& record : records) {
+    FXDIST_RETURN_NOT_OK(InsertLocked(std::move(record)));
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> MigratingBackend::Delete(const ValueQuery& query) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto removed = active_->Delete(query);
+  FXDIST_RETURN_NOT_OK(removed.status());
+  if (migrating_ && failed_.ok()) {
+    // Matches ahead of the cursor do not exist in the target yet; the
+    // query simply removes nothing there.
+    auto target_removed = target_->Delete(query);
+    if (!target_removed.ok()) {
+      failed_ = target_removed.status();
+      return failed_;
+    }
+  }
+  return removed;
+}
+
+Result<PartialMatchQuery> MigratingBackend::HashQuery(
+    const ValueQuery& query) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->HashQuery(query);
+}
+
+Result<BucketId> MigratingBackend::HashRecord(const Record& record) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->HashRecord(record);
+}
+
+void MigratingBackend::ScanBucket(
+    std::uint64_t device, std::uint64_t linear_bucket,
+    const std::function<bool(const Record&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  // A plan built against the pre-cutover placement may name devices the
+  // new plane does not have; serve nothing rather than crash — the
+  // caller's version check discards the batch anyway.
+  if (device >= active_->num_devices()) return;
+  active_->ScanBucket(device, linear_bucket, fn);
+}
+
+void MigratingBackend::ScanMany(
+    const std::vector<BucketRef>& refs,
+    const std::function<bool(std::size_t, const Record&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const std::uint64_t m = active_->num_devices();
+  bool in_range = true;
+  for (const BucketRef& ref : refs) {
+    if (ref.device >= m) {
+      in_range = false;
+      break;
+    }
+  }
+  if (in_range) {
+    active_->ScanMany(refs, fn);
+    return;
+  }
+  // Cross-version plan (see ScanBucket): drop the out-of-range refs but
+  // keep index correspondence for the rest.
+  std::vector<BucketRef> safe;
+  std::vector<std::size_t> original;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (refs[i].device < m) {
+      safe.push_back(refs[i]);
+      original.push_back(i);
+    }
+  }
+  active_->ScanMany(safe,
+                    [&fn, &original](std::size_t j, const Record& record) {
+                      return fn(original[j], record);
+                    });
+}
+
+bool MigratingBackend::ScanPrefersFanout() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->ScanPrefersFanout();
+}
+
+bool MigratingBackend::IsBucketLive(std::uint64_t device,
+                                    std::uint64_t linear_bucket) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (device >= active_->num_devices()) return false;
+  return active_->IsBucketLive(device, linear_bucket);
+}
+
+Result<QueryResult> MigratingBackend::Execute(const ValueQuery& query) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->Execute(query);
+}
+
+std::vector<std::uint64_t> MigratingBackend::RecordCountsPerDevice() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->RecordCountsPerDevice();
+}
+
+std::uint64_t MigratingBackend::MutationEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return StorageBackend::MutationEpoch() + epoch_base_ +
+         active_->MutationEpoch() +
+         (target_ != nullptr ? target_->MutationEpoch() : 0);
+}
+
+Status MigratingBackend::Health() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->Health();
+}
+
+bool MigratingBackend::HasDegradedRouting() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return migrating_ || active_->HasDegradedRouting();
+}
+
+bool MigratingBackend::IsReadOnly() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->IsReadOnly();
+}
+
+std::vector<ValueType> MigratingBackend::FieldTypes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->FieldTypes();
+}
+
+std::uint64_t MigratingBackend::ApproxMemoryBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->ApproxMemoryBytes() +
+         (target_ != nullptr ? target_->ApproxMemoryBytes() : 0);
+}
+
+std::uint64_t MigratingBackend::BucketsInMigration() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (!migrating_) return 0;
+  const std::uint64_t total = active_->spec().TotalBuckets();
+  return total > cursor_ ? total - cursor_ : 0;
+}
+
+const StorageBackend& MigratingBackend::ServingPlane() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_->ServingPlane();
+}
+
+void MigratingBackend::SaveParams(std::ostream& out) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  out << "phase " << (migrating_ ? "copying" : "idle") << '\n';
+  out << "cursor " << cursor_ << '\n';
+  if (migrating_) {
+    out << "target " << target_->backend_name() << '\n';
+    target_->SaveParams(out);
+  }
+  out << "source " << active_->backend_name() << '\n';
+  active_->SaveParams(out);
+}
+
+void MigratingBackend::ForEachLiveRecord(
+    const std::function<void(const Record&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  active_->ForEachLiveRecord(fn);
+}
+
+// ---------------------------------------------------------------------
+// MigrationController
+
+MigrationController::MigrationController(MigratingBackend& backend,
+                                         Options options)
+    : backend_(backend), options_(options) {}
+
+Status MigrationController::Run(const TargetFactory& make_target) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    ++attempts_;
+    auto target = make_target();
+    FXDIST_RETURN_NOT_OK(target.status());
+    FXDIST_RETURN_NOT_OK(backend_.BeginMigration(*std::move(target)));
+    Status copy = Status::OK();
+    while (!backend_.CopyDone()) {
+      auto copied = backend_.CopyChunk(options_.chunk_buckets);
+      if (!copied.ok()) {
+        copy = copied.status();
+        break;
+      }
+    }
+    if (copy.ok()) copy = backend_.MigrationHealth();
+    if (copy.ok()) return backend_.Cutover();
+    last = copy;
+    FXDIST_RETURN_NOT_OK(backend_.Abort());
+  }
+  return Status::Unavailable(
+      "migration failed after " + std::to_string(attempts_) +
+      " attempt(s): " + last.message());
+}
+
+}  // namespace fxdist

@@ -7,6 +7,7 @@
 #include "hashing/value_codec.h"
 #include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
+#include "sim/migration.h"
 #include "sim/paged_parallel_file.h"
 
 namespace fxdist {
@@ -262,6 +263,12 @@ struct EmptyBackend {
   std::unique_ptr<StorageBackend> backend;
   unsigned arity = 0;
   std::vector<std::uint64_t> down;
+  /// An interrupted migration to resume after the replay: records go
+  /// into the wrapper while it is idle (source only), then the target
+  /// is attached and the copy re-run to the saved cursor — replaying
+  /// through a live dual-write would double the copied prefix.
+  std::unique_ptr<StorageBackend> pending_target;
+  std::uint64_t pending_cursor = 0;
 };
 
 /// Dispatches on the kind token already consumed by the caller and builds
@@ -335,6 +342,49 @@ Result<EmptyBackend> BuildEmptyBackend(Reader& reader, int version,
     out.arity = bp->arity();
     return out;
   }
+  if (kind == "migrating") {
+    if (version < 4) {
+      return Status::InvalidArgument("migrating backends need format v4");
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("phase"));
+    auto phase = reader.Word();
+    FXDIST_RETURN_NOT_OK(phase.status());
+    if (*phase != "copying" && *phase != "idle") {
+      return Status::InvalidArgument("unknown migration phase: " + *phase);
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("cursor"));
+    auto cursor = reader.U64();
+    FXDIST_RETURN_NOT_OK(cursor.status());
+    std::unique_ptr<StorageBackend> target;
+    if (*phase == "copying") {
+      FXDIST_RETURN_NOT_OK(reader.Expect("target"));
+      auto target_kind = reader.Word();
+      FXDIST_RETURN_NOT_OK(target_kind.status());
+      auto built = BuildEmptyBackend(reader, version, *target_kind);
+      FXDIST_RETURN_NOT_OK(built.status());
+      if (!built->down.empty()) {
+        return Status::InvalidArgument(
+            "migration target cannot carry a down set");
+      }
+      target = std::move(built->backend);
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("source"));
+    auto source_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(source_kind.status());
+    auto source = BuildEmptyBackend(reader, version, *source_kind);
+    FXDIST_RETURN_NOT_OK(source.status());
+    if (!source->down.empty()) {
+      return Status::InvalidArgument(
+          "cannot resume a migration over a degraded replicated backend");
+    }
+    auto wrapper = MigratingBackend::Create(std::move(source->backend));
+    FXDIST_RETURN_NOT_OK(wrapper.status());
+    out.backend = *std::move(wrapper);
+    out.arity = source->arity;
+    out.pending_target = std::move(target);
+    out.pending_cursor = *cursor;
+    return out;
+  }
   if (kind == "packed") {
     // A packed save carries its source backend's blueprint ("child
     // <kind>" + params): loading "unpacks" back to the source kind —
@@ -392,11 +442,20 @@ Result<ParallelFile> LoadParallelFile(const std::string& path) {
 }
 
 Status SaveBackend(const StorageBackend& backend, const std::string& path) {
+  const bool migrating = backend.backend_name() == "migrating";
+  if (migrating) {
+    // An idle wrapper is indistinguishable from its active plane; save
+    // that as an ordinary blob so v4 only ever holds in-flight state.
+    const auto* wrapper = dynamic_cast<const MigratingBackend*>(&backend);
+    if (wrapper != nullptr && !wrapper->IsMigrating()) {
+      return SaveBackend(backend.ServingPlane(), path);
+    }
+  }
   std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  out << "fxdist-backend v3\n";
+  out << (migrating ? "fxdist-backend v4\n" : "fxdist-backend v3\n");
   out << "kind " << backend.backend_name() << '\n';
   backend.SaveParams(out);
   FXDIST_RETURN_NOT_OK(WriteRecords(out, backend));
@@ -417,6 +476,8 @@ Result<std::unique_ptr<StorageBackend>> LoadBackend(const std::string& path) {
     version = 2;
   } else if (*version_tag == "v3") {
     version = 3;
+  } else if (*version_tag == "v4") {
+    version = 4;
   } else {
     return Status::InvalidArgument("unsupported backend format version: " +
                                    *version_tag);
@@ -437,6 +498,19 @@ Result<std::unique_ptr<StorageBackend>> LoadBackend(const std::string& path) {
     for (std::uint64_t d : empty->down) {
       FXDIST_RETURN_NOT_OK(replicated->MarkDown(d));
     }
+  }
+  if (empty->pending_target != nullptr) {
+    // Resume the interrupted migration: the records above replayed into
+    // the idle wrapper (source only); re-attach a fresh target and
+    // re-copy to the saved cursor — which reproduces the target's
+    // contents exactly, dual-written records included.
+    auto* wrapper = dynamic_cast<MigratingBackend*>(empty->backend.get());
+    if (wrapper == nullptr) {
+      return Status::Internal("pending migration on a non-migrating backend");
+    }
+    FXDIST_RETURN_NOT_OK(
+        wrapper->BeginMigration(std::move(empty->pending_target)));
+    FXDIST_RETURN_NOT_OK(wrapper->CopyUntil(empty->pending_cursor));
   }
   return std::move(empty->backend);
 }
@@ -467,6 +541,106 @@ Result<std::unique_ptr<StorageBackend>> BuildBackendFromBlueprintText(
     }
   }
   return std::move(empty->backend);
+}
+
+Result<std::unique_ptr<StorageBackend>> BuildRetargetedEmptyBackend(
+    const StorageBackend& source, std::uint64_t new_devices,
+    const std::string& new_distribution) {
+  if (new_devices == 0) {
+    return Status::InvalidArgument("reshard target needs devices > 0");
+  }
+  std::istringstream in(BackendBlueprintText(source.ServingPlane()));
+  Reader reader(in);
+  FXDIST_RETURN_NOT_OK(reader.Expect("kind"));
+  auto kind_token = reader.Word();
+  FXDIST_RETURN_NOT_OK(kind_token.status());
+  std::string kind = *kind_token;
+  // A packed plane is immutable; its blueprint carries the mutable
+  // source kind — retarget onto that.
+  while (kind == "packed") {
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto inner = reader.Word();
+    FXDIST_RETURN_NOT_OK(inner.status());
+    kind = *inner;
+  }
+  if (kind == "dynamic") {
+    return Status::InvalidArgument(
+        "reshard target for dynamic backends is not supported (their "
+        "placement is derived from directory depths, not a blueprint "
+        "parameter)");
+  }
+  if (kind == "flat" || kind == "paged") {
+    auto bp = ReadBlueprint(reader, /*version=*/3, kind);
+    FXDIST_RETURN_NOT_OK(bp.status());
+    bp->devices = new_devices;
+    if (!new_distribution.empty()) bp->distribution = new_distribution;
+    return bp->Build();
+  }
+  if (kind == "sharded") {
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto child_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(child_kind.status());
+    if (*child_kind == "dynamic") {
+      return Status::InvalidArgument(
+          "reshard target for dynamic-child shards is not supported");
+    }
+    auto bp = ReadBlueprint(reader, /*version=*/3, *child_kind);
+    FXDIST_RETURN_NOT_OK(bp.status());
+    bp->devices = new_devices;
+    if (!new_distribution.empty()) bp->distribution = new_distribution;
+    std::vector<std::unique_ptr<StorageBackend>> children;
+    for (std::uint64_t d = 0; d < new_devices; ++d) {
+      auto child = bp->Build();
+      FXDIST_RETURN_NOT_OK(child.status());
+      children.push_back(*std::move(child));
+    }
+    auto sharded = ShardedBackend::Create(std::move(children));
+    FXDIST_RETURN_NOT_OK(sharded.status());
+    return std::unique_ptr<StorageBackend>(
+        std::make_unique<ShardedBackend>(*std::move(sharded)));
+  }
+  if (kind == "replicated") {
+    FXDIST_RETURN_NOT_OK(reader.Expect("placement"));
+    auto placement_tag = reader.Word();
+    FXDIST_RETURN_NOT_OK(placement_tag.status());
+    ReplicaPlacement placement;
+    if (*placement_tag == "mirrored") {
+      placement = ReplicaPlacement::kMirrored;
+    } else if (*placement_tag == "chained") {
+      placement = ReplicaPlacement::kChained;
+    } else {
+      return Status::InvalidArgument("unknown replica placement: " +
+                                     *placement_tag);
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("down"));
+    auto down_count = reader.U64();
+    FXDIST_RETURN_NOT_OK(down_count.status());
+    if (*down_count != 0) {
+      return Status::FailedPrecondition(
+          "cannot reshard a degraded replicated backend (mark devices up "
+          "first)");
+    }
+    FXDIST_RETURN_NOT_OK(reader.Expect("child"));
+    auto child_kind = reader.Word();
+    FXDIST_RETURN_NOT_OK(child_kind.status());
+    auto bp = ReadBlueprint(reader, /*version=*/3, *child_kind);
+    FXDIST_RETURN_NOT_OK(bp.status());
+    bp->devices = new_devices;
+    if (!new_distribution.empty()) bp->distribution = new_distribution;
+    auto primary = bp->Build();
+    FXDIST_RETURN_NOT_OK(primary.status());
+    const std::uint64_t offset =
+        ReplicatedBackend::ReplicaOffset(placement, new_devices);
+    auto replica =
+        bp->Build("rot" + std::to_string(offset) + ":" + bp->distribution);
+    FXDIST_RETURN_NOT_OK(replica.status());
+    auto replicated = ReplicatedBackend::Create(
+        *std::move(primary), *std::move(replica), placement);
+    FXDIST_RETURN_NOT_OK(replicated.status());
+    return std::unique_ptr<StorageBackend>(
+        std::make_unique<ReplicatedBackend>(*std::move(replicated)));
+  }
+  return Status::InvalidArgument("cannot retarget backend kind: " + kind);
 }
 
 }  // namespace fxdist

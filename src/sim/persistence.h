@@ -48,6 +48,24 @@
 //     "unpacks" — it builds an empty backend of the source kind and
 //     replays the records into it.  The packed file itself is rebuilt
 //     with PackBackend, not by replay.
+//
+// v4 extends v3 with one kind, written ONLY while a live migration is
+// in flight (an idle MigratingBackend saves as its active plane, in
+// v3):
+//
+//   * kind "migrating" writes "phase <copying|idle>", "cursor <b>",
+//     (while copying) "target <kind>" plus the target's params, then
+//     "source <kind>" plus the source's params.  The records section
+//     holds the SOURCE's records — the target's contents are derivable
+//     (they are exactly the copy of buckets [0, cursor)), so loading
+//     replays the source, restarts the migration, and re-copies to the
+//     saved cursor.  Dual-written records re-materialize identically:
+//     a forwarded record sits at the end of its source bucket, which is
+//     where the re-copy replays it.
+//
+//   Loading a v4 blob with a v3-era reader fails with InvalidArgument
+//   ("unsupported backend format version"), never a crash; "migrating"
+//   under v2/v3 headers is likewise rejected.
 
 #ifndef FXDIST_SIM_PERSISTENCE_H_
 #define FXDIST_SIM_PERSISTENCE_H_
@@ -85,6 +103,16 @@ std::string BackendBlueprintText(const StorageBackend& backend);
 /// replay first).
 Result<std::unique_ptr<StorageBackend>> BuildBackendFromBlueprintText(
     const std::string& text);
+
+/// Builds an empty *reshard target* from `source`'s blueprint: the same
+/// kind and schema over the same bucket space, re-cut for `new_devices`
+/// and (when non-empty) distribution spec `new_distribution`.  A sharded
+/// source yields a sharded target with `new_devices` children.  Dynamic
+/// and packed sources are rejected (their placement is not a free
+/// parameter of the blueprint).
+Result<std::unique_ptr<StorageBackend>> BuildRetargetedEmptyBackend(
+    const StorageBackend& source, std::uint64_t new_devices,
+    const std::string& new_distribution);
 
 }  // namespace fxdist
 

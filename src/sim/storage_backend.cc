@@ -4,6 +4,13 @@
 
 namespace fxdist {
 
+Status StorageBackend::InsertBatch(std::vector<Record> records) {
+  for (Record& record : records) {
+    FXDIST_RETURN_NOT_OK(Insert(std::move(record)));
+  }
+  return Status::OK();
+}
+
 bool StorageBackend::IsBucketLive(std::uint64_t device,
                                   std::uint64_t linear_bucket) const {
   bool live = false;

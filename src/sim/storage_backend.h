@@ -124,6 +124,15 @@ class StorageBackend {
   /// Hashes and stores one record.
   virtual Status Insert(Record record) = 0;
 
+  /// Stores a batch of records.  Semantically a loop of Insert (and that
+  /// is the default), but overridable where batching buys real work:
+  /// ShardedBackend groups by owning child so each child sees one call,
+  /// and RemoteBackend ships one kInsertBatch frame per chunk instead of
+  /// one round trip per record — the data-movement primitive bucket
+  /// migration is built on.  Stops at the first failure; records before
+  /// the failure stay inserted (callers needing atomicity replay).
+  virtual Status InsertBatch(std::vector<Record> records);
+
   /// Deletes every record matching the partial match query (Execute's
   /// filter semantics); returns the number removed.  Backends without
   /// delete support return Unimplemented.
@@ -210,6 +219,27 @@ class StorageBackend {
   /// FailedPrecondition.  Composites accept read-only children
   /// pre-loaded with records (a packed shard arrives full by design).
   virtual bool IsReadOnly() const { return false; }
+
+  // -- Topology plane ---------------------------------------------------
+  /// Active topology version: 1 at construction, advanced by live
+  /// resharding cutovers (sim/migration.h).  The engine brackets every
+  /// batch with two loads of this and retries on change (seqlock-style),
+  /// so a cutover mid-batch can never mix accounting from two
+  /// placements.
+  virtual std::uint64_t TopologyVersion() const { return 1; }
+
+  /// Buckets whose contents have not yet reached the target placement of
+  /// an in-progress migration (0 when no migration is running) — the
+  /// honest degraded-stats signal StatsSnapshot surfaces.
+  virtual std::uint64_t BucketsInMigration() const { return 0; }
+
+  /// The backend whose blueprint describes this backend to the outside
+  /// world — what the wire handshake ships and persistence embeds as a
+  /// *placement twin*.  Monolithic and composite backends describe
+  /// themselves; a MigratingBackend answers with its active plane
+  /// (source before cutover, target after), so a "migrating" wrapper
+  /// never leaks across the wire to clients that only need placement.
+  virtual const StorageBackend& ServingPlane() const { return *this; }
 
   /// Value types of the schema's fields in declaration order — the
   /// decode shape converters (PackBackend) persist.  The default probes

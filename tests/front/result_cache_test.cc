@@ -150,5 +150,68 @@ TEST(ResultCacheTest, ClearDropsEntriesKeepsCounters) {
   EXPECT_FALSE(cache.Lookup(KeyOf(0, 1), 1, 0).has_value());
 }
 
+QueryResult EmptyResult() {
+  QueryResult result;
+  result.stats.records_matched = 0;
+  return result;
+}
+
+TEST(ResultCacheTest, NegativeResultsAreCachedAndServed) {
+  ResultCache cache;
+  const QueryKey key = KeyOf(0, 1);
+  cache.Insert(key, EmptyResult(), /*epoch=*/3, /*now_ms=*/0);
+  auto hit = cache.Lookup(key, 3, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->records.empty());
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.negative_entries, 1u);
+}
+
+TEST(ResultCacheTest, NegativeEntriesDieWithTheEpochLikeAnyOther) {
+  ResultCache cache;
+  const QueryKey key = KeyOf(0, 1);
+  cache.Insert(key, EmptyResult(), /*epoch=*/3, /*now_ms=*/0);
+  // A mutation may have created the very record this key asks for: the
+  // cached "nothing" must not survive it.
+  EXPECT_FALSE(cache.Lookup(key, /*epoch=*/4, 0).has_value());
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.epoch_invalidations, 1u);
+  EXPECT_EQ(stats.negative_entries, 0u);
+  EXPECT_EQ(stats.negative_hits, 0u);
+}
+
+TEST(ResultCacheTest, NegativeCachingCanBeDisabled) {
+  ResultCacheOptions options;
+  options.cache_negative = false;
+  ResultCache cache(options);
+  const QueryKey key = KeyOf(0, 1);
+  cache.Insert(key, EmptyResult(), 3, 0);
+  EXPECT_FALSE(cache.Lookup(key, 3, 0).has_value());
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  // Non-empty results still cache as before.
+  cache.Insert(key, ResultOf(7), 3, 0);
+  EXPECT_TRUE(cache.Lookup(key, 3, 0).has_value());
+  EXPECT_EQ(cache.Stats().negative_entries, 0u);
+}
+
+TEST(ResultCacheTest, NegativeCountersTrackReplacementAndClear) {
+  ResultCache cache;
+  const QueryKey key = KeyOf(0, 1);
+  cache.Insert(key, EmptyResult(), 1, 0);
+  EXPECT_EQ(cache.Stats().negative_entries, 1u);
+  // Replacing the empty answer with rows flips the residency counter.
+  cache.Insert(key, ResultOf(7), 1, 0);
+  EXPECT_EQ(cache.Stats().negative_entries, 0u);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  cache.Insert(KeyOf(0, 2), EmptyResult(), 1, 0);
+  EXPECT_EQ(cache.Stats().negative_entries, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().negative_entries, 0u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
 }  // namespace
 }  // namespace fxdist

@@ -305,13 +305,29 @@ TEST(GoldenFormatTest, V2DynamicBackendWithoutDepthsStillLoads) {
 }
 
 TEST(GoldenFormatTest, UnknownVersionsRejected) {
+  // v4 is now a real format (in-flight migrations); the first unknown
+  // version is v5.
   const std::string path = WriteGolden(
-      "golden_v4.fxdist",
-      "fxdist-backend v4\n"
+      "golden_v5.fxdist",
+      "fxdist-backend v5\n"
       "kind flat\n");
   auto loaded = LoadBackend(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GoldenFormatTest, V4HeaderRecognizedButBodyStillValidated) {
+  // A v4 header passes the version gate (it is not "unknown"), but a
+  // truncated body is still a clean error, never a crash.
+  const std::string path = WriteGolden(
+      "golden_v4_truncated.fxdist",
+      "fxdist-backend v4\n"
+      "kind flat\n");
+  auto loaded = LoadBackend(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().message().find("unsupported backend format"),
+            std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -30,6 +30,7 @@
 #include "analysis/gdm_search.h"
 #include "analysis/plan_search.h"
 #include "analysis/report.h"
+#include "analysis/scheme_search.h"
 #include "core/fx.h"
 #include "core/registry.h"
 #include "front/frontend.h"
@@ -37,6 +38,7 @@
 #include "net/shard_server.h"
 #include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
+#include "sim/migration.h"
 #include "sim/packed_backend.h"
 #include "sim/persistence.h"
 #include "sim/paged_parallel_file.h"
@@ -100,8 +102,15 @@ int Usage() {
          "  replay       run a trace against a parallel file\n"
          "               --schema ... --trace FILE --devices M\n"
          "               [--method SPEC]\n"
+         "  build        build and save a seeded parallel file\n"
+         "               --schema name:type:size,... --devices M --out SAVED\n"
+         "               [--method SPEC] [--records N] [--seed S]\n"
          "  pack         convert a saved backend to a packed file\n"
          "               --in SAVED --out PACKED [--block N] [--device D]\n"
+         "  reshard      migrate a saved backend to a new device count\n"
+         "               --in SAVED --devices M [--out SAVED]\n"
+         "               [--scheme SPEC]  (default: searched vs FX)\n"
+         "               [--chunk BUCKETS] [--attempts N]\n"
          "  help         this text\n";
   return 2;
 }
@@ -1106,6 +1115,58 @@ int CmdReplay(const Flags& flags) {
   return 0;
 }
 
+int CmdBuild(const Flags& flags) {
+  auto schema_it = flags.find("schema");
+  auto devices_it = flags.find("devices");
+  auto out_it = flags.find("out");
+  if (schema_it == flags.end() || devices_it == flags.end() ||
+      out_it == flags.end()) {
+    std::cerr << "--schema, --devices and --out are required\n";
+    return 1;
+  }
+  auto schema = ParseSchema(schema_it->second);
+  if (!schema.ok()) {
+    std::cerr << schema.status().ToString() << "\n";
+    return 1;
+  }
+  auto get_u64 = [&](const char* key, std::uint64_t fallback) {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+  const std::uint64_t devices =
+      std::strtoull(devices_it->second.c_str(), nullptr, 10);
+  const std::uint64_t seed = get_u64("seed", 42);
+  const std::string method =
+      flags.count("method") ? flags.at("method") : "fx-iu2";
+  auto file = ParallelFile::Create(*schema, devices, method, seed);
+  if (!file.ok()) {
+    std::cerr << file.status().ToString() << "\n";
+    return 1;
+  }
+  auto gen = RecordGenerator::Uniform(*schema, seed);
+  if (!gen.ok()) {
+    std::cerr << gen.status().ToString() << "\n";
+    return 1;
+  }
+  const std::uint64_t num_records = get_u64("records", 10000);
+  for (Record& record : gen->Take(num_records)) {
+    if (auto st = file->Insert(std::move(record)); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (auto st = SaveBackend(*file, out_it->second); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "built " << file->num_records() << " records on M="
+            << devices << " (" << method << ") -> " << out_it->second
+            << "\n";
+  return 0;
+}
+
 int CmdPack(const Flags& flags) {
   auto in_it = flags.find("in");
   auto out_it = flags.find("out");
@@ -1164,6 +1225,138 @@ int CmdPack(const Flags& flags) {
   return 0;
 }
 
+int CmdReshard(const Flags& flags) {
+  auto in_it = flags.find("in");
+  if (in_it == flags.end()) {
+    std::cerr << "--in is required\n";
+    return 1;
+  }
+  const std::string out_path =
+      flags.count("out") ? flags.at("out") : in_it->second;
+
+  auto loaded = LoadBackend(in_it->second);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status().ToString() << "\n";
+    return 1;
+  }
+
+  MigrationController::Options copts;
+  if (auto it = flags.find("chunk"); it != flags.end()) {
+    copts.chunk_buckets = std::strtoull(it->second.c_str(), nullptr, 10);
+    if (copts.chunk_buckets == 0) {
+      std::cerr << "--chunk must be positive\n";
+      return 1;
+    }
+  }
+  if (auto it = flags.find("attempts"); it != flags.end()) {
+    copts.max_attempts = std::atoi(it->second.c_str());
+    if (copts.max_attempts <= 0) {
+      std::cerr << "--attempts must be positive\n";
+      return 1;
+    }
+  }
+
+  // A v4 file loads as a MigratingBackend with the saved migration
+  // already resumed to its cursor; finish that one instead of starting
+  // another (--devices/--scheme would describe a different target than
+  // the one mid-copy).
+  if (auto* resumed = dynamic_cast<MigratingBackend*>(loaded->get());
+      resumed != nullptr && resumed->IsMigrating()) {
+    loaded->release();
+    std::unique_ptr<MigratingBackend> wrapper(resumed);
+    const TopologyVersionInfo from = wrapper->Topology();
+    const TopologyVersionInfo to = wrapper->PendingTopology();
+    std::cout << "resuming saved migration at bucket cursor "
+              << wrapper->CopyCursor() << "\n";
+    while (!wrapper->CopyDone()) {
+      if (auto copied = wrapper->CopyChunk(copts.chunk_buckets);
+          !copied.ok()) {
+        std::cerr << copied.status().ToString() << "\n";
+        return 1;
+      }
+    }
+    if (auto st = wrapper->Cutover(); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    if (auto st = SaveBackend(*wrapper, out_path); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "resharded " << wrapper->num_records() << " records: M="
+              << from.num_devices << " (" << from.scheme << ") -> M="
+              << to.num_devices << " (" << to.scheme << "), topology v"
+              << wrapper->Topology().version << " -> " << out_path << "\n";
+    return 0;
+  }
+
+  auto devices_it = flags.find("devices");
+  if (devices_it == flags.end()) {
+    std::cerr << "--devices is required\n";
+    return 1;
+  }
+  const std::uint64_t new_devices =
+      std::strtoull(devices_it->second.c_str(), nullptr, 10);
+  if (new_devices == 0) {
+    std::cerr << "--devices must be positive\n";
+    return 1;
+  }
+
+  auto wrapped = MigratingBackend::Create(std::move(*loaded));
+  if (!wrapped.ok()) {
+    std::cerr << wrapped.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<MigratingBackend> wrapper = std::move(*wrapped);
+  const TopologyVersionInfo from = wrapper->Topology();
+
+  std::string scheme;
+  if (auto it = flags.find("scheme"); it != flags.end()) {
+    scheme = it->second;
+  } else {
+    // No explicit scheme: let the search hook decide whether FX is
+    // still optimal at the new M or a searched table beats it.
+    auto target_spec =
+        FieldSpec::Create(wrapper->spec().field_sizes(), new_devices);
+    if (!target_spec.ok()) {
+      std::cerr << target_spec.status().ToString() << "\n";
+      return 1;
+    }
+    auto chosen = ChooseReshardScheme(*target_spec);
+    if (chosen.ok()) {
+      scheme = *chosen;
+    } else {
+      // Bucket space too large for the exhaustive sweep: keep FX.
+      std::cout << "scheme search skipped (" << chosen.status().message()
+                << "); staying with fx\n";
+      scheme = "fx";
+    }
+  }
+
+  MigrationController controller(*wrapper, copts);
+  const Status st = controller.Run([&] {
+    return BuildRetargetedEmptyBackend(*wrapper, new_devices, scheme);
+  });
+  if (!st.ok()) {
+    std::cerr << "migration failed after " << controller.attempts()
+              << " attempt(s): " << st.ToString() << "\n";
+    return 1;
+  }
+  if (auto save = SaveBackend(*wrapper, out_path); !save.ok()) {
+    std::cerr << save.ToString() << "\n";
+    return 1;
+  }
+  const TopologyVersionInfo to = wrapper->Topology();
+  std::cout << "resharded " << wrapper->num_records() << " records: M="
+            << from.num_devices << " (" << from.scheme << ") -> M="
+            << to.num_devices << " (" << to.scheme << ")\n"
+            << "  topology        v" << from.version << " -> v" << to.version
+            << "\n"
+            << "  attempts        " << controller.attempts() << "\n"
+            << "  saved           " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1185,7 +1378,9 @@ int main(int argc, char** argv) {
   if (cmd == "shard-serve") return CmdShardServe(flags);
   if (cmd == "gen-trace") return CmdGenTrace(flags);
   if (cmd == "replay") return CmdReplay(flags);
+  if (cmd == "build") return CmdBuild(flags);
   if (cmd == "pack") return CmdPack(flags);
+  if (cmd == "reshard") return CmdReshard(flags);
   std::cerr << "unknown subcommand: " << cmd << "\n";
   return Usage();
 }
