@@ -1,0 +1,220 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fxdist {
+
+namespace {
+
+// Address of a thread_local, used as a cheap thread identity for
+// InLoopThread() without dragging in std::thread::id comparisons.
+const void* ThisThreadTag() {
+  static thread_local char tag;
+  return &tag;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create(std::uint64_t tick_ms) {
+  if (tick_ms == 0) {
+    return Status::InvalidArgument("event loop tick must be >= 1ms");
+  }
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    int err = errno;
+    ::close(epoll_fd);
+    return Status::Internal(std::string("eventfd: ") + std::strerror(err));
+  }
+  std::unique_ptr<EventLoop> loop(new EventLoop(epoll_fd, wake_fd, tick_ms));
+  Status added = loop->Add(wake_fd, EPOLLIN, /*edge_triggered=*/false,
+                           [wake_fd](std::uint32_t) {
+                             std::uint64_t n;
+                             while (::read(wake_fd, &n, sizeof(n)) > 0) {
+                             }
+                           });
+  if (!added.ok()) return added;
+  return loop;
+}
+
+EventLoop::EventLoop(int epoll_fd, int wake_fd, std::uint64_t tick_ms)
+    : epoll_fd_(epoll_fd), wake_fd_(wake_fd), tick_ms_(tick_ms) {}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, std::uint32_t events, bool edge_triggered,
+                      IoCallback callback) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events | (edge_triggered ? EPOLLET : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(ADD): ") +
+                            std::strerror(errno));
+  }
+  FdState state;
+  state.callback = std::move(callback);
+  state.events = events;
+  state.edge = edge_triggered;
+  fds_[fd] = std::move(state);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, std::uint32_t events) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status::NotFound("fd not registered with event loop");
+  }
+  if (it->second.events == events) return Status::OK();
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events | (it->second.edge ? EPOLLET : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(MOD): ") +
+                            std::strerror(errno));
+  }
+  it->second.events = events;
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  if (fds_.erase(fd) == 0) return;
+  // Failure here means the fd is already gone from the kernel set
+  // (closed); nothing to unwind.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::uint64_t EventLoop::AddTimer(std::uint64_t delay_ms,
+                                  std::function<void()> fn) {
+  if (timers_.empty()) {
+    // The wheel freezes while no timers are armed; restart the tick
+    // clock from now so the frozen stretch doesn't count against this
+    // deadline.
+    next_tick_at_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(tick_ms_);
+  }
+  std::uint64_t ticks = (delay_ms + tick_ms_ - 1) / tick_ms_;
+  if (ticks == 0) ticks = 1;
+  auto timer = std::make_shared<Timer>();
+  timer->id = next_timer_id_++;
+  timer->rounds = (ticks - 1) / kWheelSlots;
+  timer->fn = std::move(fn);
+  std::size_t slot =
+      (wheel_pos_ + static_cast<std::size_t>(ticks)) % kWheelSlots;
+  std::uint64_t id = timer->id;
+  wheel_[slot].push_back(timer);
+  timers_[id] = std::move(timer);
+  return id;
+}
+
+void EventLoop::CancelTimer(std::uint64_t id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return;
+  // The wheel slot still holds a (cancelled) entry; the sweep drops it.
+  it->second->cancelled = true;
+  timers_.erase(it);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks_.push_back(std::move(fn));
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::RunTasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) task();
+}
+
+void EventLoop::AdvanceWheel() {
+  if (timers_.empty()) return;
+  auto now = std::chrono::steady_clock::now();
+  while (now >= next_tick_at_) {
+    next_tick_at_ += std::chrono::milliseconds(tick_ms_);
+    wheel_pos_ = (wheel_pos_ + 1) % kWheelSlots;
+    // Splice the slot out so callbacks may arm new timers (possibly
+    // into this very slot) without invalidating the sweep.
+    TimerSlot due;
+    due.swap(wheel_[wheel_pos_]);
+    for (auto& timer : due) {
+      if (timer->cancelled) continue;
+      if (timer->rounds > 0) {
+        --timer->rounds;
+        wheel_[wheel_pos_].push_back(timer);
+        continue;
+      }
+      timers_.erase(timer->id);
+      timer->fn();
+    }
+    if (timers_.empty()) return;
+  }
+}
+
+int EventLoop::NextTimeoutMs() const {
+  if (timers_.empty()) return -1;
+  auto now = std::chrono::steady_clock::now();
+  if (now >= next_tick_at_) return 0;
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                next_tick_at_ - now)
+                .count();
+  // +1 so we wake just after the tick boundary, not a hair before it.
+  if (ms >= 3600 * 1000) return 3600 * 1000;
+  return static_cast<int>(ms) + 1;
+}
+
+void EventLoop::Run() {
+  loop_thread_.store(ThisThreadTag(), std::memory_order_release);
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, NextTimeoutMs());
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;  // removed by an earlier callback
+      // Copy: the callback may Remove(fd) and invalidate the map entry.
+      IoCallback callback = it->second.callback;
+      callback(events[i].events);
+    }
+    RunTasks();
+    AdvanceWheel();
+  }
+  // Teardown tasks posted together with Stop() still run, on this
+  // thread, before Run returns.
+  RunTasks();
+  loop_thread_.store(nullptr, std::memory_order_release);
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool EventLoop::InLoopThread() const {
+  return loop_thread_.load(std::memory_order_acquire) == ThisThreadTag();
+}
+
+}  // namespace fxdist

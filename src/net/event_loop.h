@@ -1,0 +1,145 @@
+// Readiness event loop: epoll + a hashed timer wheel + a cross-thread
+// task queue, the substrate EventShardServer multiplexes thousands of
+// connections on.
+//
+// Threading contract: exactly one thread calls Run() (the "loop
+// thread").  Add/Modify/Remove and AddTimer/CancelTimer are loop-thread
+// only — except before Run() starts, when no concurrency exists yet
+// (the server registers its listener there).  The two thread-safe entry
+// points are Post(), which enqueues a closure the loop thread executes
+// on its next pass (an eventfd wakes an idle epoll_wait), and Stop().
+// Worker threads never touch fds or timers directly; they Post
+// completions back, so all connection state is loop-thread confined —
+// the property that keeps the server data-race free without a lock per
+// connection.
+//
+// Fd readiness: each registered fd carries a callback receiving the
+// epoll event mask.  Registration chooses level- or edge-triggered
+// delivery per fd; EventShardServer drains sockets to EAGAIN either
+// way, so both modes serve correctly (edge is the default — one wakeup
+// per readiness transition instead of one per pass while data sits
+// buffered).
+//
+// Timers: a classic hashed wheel (kWheelSlots slots of tick_ms each,
+// rounds counters for deadlines beyond one revolution).  Insert and
+// cancel are O(1); each tick sweeps one slot.  Resolution is tick_ms —
+// deadlines fire within one tick after expiry, which is exactly what
+// connection read deadlines need and far cheaper than a heap under
+// thousands of armed-and-cancelled timers (every completed frame
+// cancels one).  epoll_wait sleeps until the next tick only while
+// timers are armed; an idle loop with no timers blocks indefinitely
+// until an fd or Post wakes it.
+
+#ifndef FXDIST_NET_EVENT_LOOP_H_
+#define FXDIST_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fxdist {
+
+class EventLoop {
+ public:
+  /// Callback for fd readiness; receives the epoll event mask.
+  using IoCallback = std::function<void(std::uint32_t)>;
+
+  /// `tick_ms` is the timer-wheel resolution (>= 1).
+  static Result<std::unique_ptr<EventLoop>> Create(
+      std::uint64_t tick_ms = 10);
+
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...).  The fd is not
+  /// owned; the caller closes it after Remove().  Loop-thread only (or
+  /// before Run starts).
+  Status Add(int fd, std::uint32_t events, bool edge_triggered,
+             IoCallback callback);
+
+  /// Replaces the interest set; the callback and trigger mode persist.
+  Status Modify(int fd, std::uint32_t events);
+
+  /// Deregisters `fd`.  Safe to call for an fd that was never added.
+  void Remove(int fd);
+
+  /// Arms a one-shot timer `delay_ms` from now; returns its id (never
+  /// 0).  The callback runs on the loop thread.  Loop-thread only.
+  std::uint64_t AddTimer(std::uint64_t delay_ms, std::function<void()> fn);
+
+  /// Disarms a timer; a no-op if it already fired or never existed.
+  void CancelTimer(std::uint64_t id);
+
+  /// Enqueues `fn` for the loop thread and wakes it.  Thread-safe; may
+  /// be called from worker threads and from loop callbacks alike.
+  /// Tasks posted after Stop() (or after Run returned) are discarded on
+  /// destruction, never run on a foreign thread.
+  void Post(std::function<void()> fn);
+
+  /// Runs until Stop().  Executes ready fd callbacks, expired timers
+  /// and posted tasks; drains the task queue once more before
+  /// returning so teardown work posted alongside Stop still runs.
+  void Run();
+
+  /// Requests Run() to return.  Thread-safe, idempotent.
+  void Stop();
+
+  /// True when the calling thread is inside Run().
+  bool InLoopThread() const;
+
+ private:
+  struct FdState {
+    IoCallback callback;
+    std::uint32_t events = 0;
+    bool edge = false;
+  };
+  struct Timer {
+    std::uint64_t id = 0;
+    std::uint64_t rounds = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  using TimerSlot = std::list<std::shared_ptr<Timer>>;
+
+  EventLoop(int epoll_fd, int wake_fd, std::uint64_t tick_ms);
+
+  void RunTasks();
+  /// Fires every timer the elapsed wall time has made due.
+  void AdvanceWheel();
+  /// Milliseconds epoll may sleep before the next due tick (-1: forever).
+  int NextTimeoutMs() const;
+
+  const int epoll_fd_;
+  const int wake_fd_;
+  const std::uint64_t tick_ms_;
+
+  std::unordered_map<int, FdState> fds_;
+
+  static constexpr std::size_t kWheelSlots = 512;
+  std::vector<TimerSlot> wheel_{kWheelSlots};
+  std::unordered_map<std::uint64_t, std::shared_ptr<Timer>> timers_;
+  std::size_t wheel_pos_ = 0;
+  std::uint64_t next_timer_id_ = 1;
+  std::chrono::steady_clock::time_point next_tick_at_{};
+
+  std::mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<const void*> loop_thread_{nullptr};
+};
+
+}  // namespace fxdist
+
+#endif  // FXDIST_NET_EVENT_LOOP_H_

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "net/socket_transport.h"
 #include "sim/persistence.h"
 
 namespace fxdist {
@@ -36,10 +37,19 @@ std::uint64_t LoadU64(const char* p) {
   return v;
 }
 
-std::string EncodeReply(WireOp op, const Status& status,
-                        const std::string& body,
-                        std::uint16_t version = kWireVersion,
-                        std::uint64_t correlation_id = 0) {
+/// writer.Take() with the satellite-2 overflow check applied: a payload
+/// whose length field could not be represented never leaves the server
+/// as a well-formed-but-wrong frame.
+Result<std::string> Finish(PayloadWriter& writer) {
+  FXDIST_RETURN_NOT_OK(writer.CheckOk());
+  return writer.Take();
+}
+
+}  // namespace
+
+std::string EncodeShardReply(WireOp op, const Status& status,
+                             const std::string& body, std::uint16_t version,
+                             std::uint64_t correlation_id) {
   PayloadWriter writer;
   writer.WriteStatus(status);
   WireFrame reply;
@@ -52,12 +62,8 @@ std::string EncodeReply(WireOp op, const Status& status,
   return EncodeFrame(reply);
 }
 
-/// Error reply for a request that never decoded: best-effort echo of the
-/// request's version and correlation id (a mux client needs the id to
-/// complete the right waiter), falling back to a v1 frame when the
-/// prefix is unreadable.
-std::string EncodeErrorReplyFor(std::string_view request,
-                                const Status& status) {
+std::string EncodeShardErrorReplyFor(std::string_view request,
+                                     const Status& status) {
   std::uint16_t version = kWireVersion;
   std::uint64_t correlation_id = 0;
   if (request.size() >= 6 && LoadU32(request.data()) == kWireMagic &&
@@ -65,18 +71,9 @@ std::string EncodeErrorReplyFor(std::string_view request,
     version = kWireVersionMux;
     if (request.size() >= 16) correlation_id = LoadU64(request.data() + 8);
   }
-  return EncodeReply(WireOp::kError, status, "", version, correlation_id);
+  return EncodeShardReply(WireOp::kError, status, "", version,
+                          correlation_id);
 }
-
-/// writer.Take() with the satellite-2 overflow check applied: a payload
-/// whose length field could not be represented never leaves the server
-/// as a well-formed-but-wrong frame.
-Result<std::string> Finish(PayloadWriter& writer) {
-  FXDIST_RETURN_NOT_OK(writer.CheckOk());
-  return writer.Take();
-}
-
-}  // namespace
 
 ShardService::ShardService(StorageBackend& backend)
     : backend_(backend),
@@ -90,23 +87,23 @@ std::vector<std::string> ShardService::AnnouncedClients() const {
 std::string ShardService::HandleFrame(const std::string& request) {
   auto frame = DecodeFrame(request);
   if (!frame.ok()) {
-    return EncodeErrorReplyFor(request, frame.status());
+    return EncodeShardErrorReplyFor(request, frame.status());
   }
   if (frame->is_reply || frame->op == WireOp::kError) {
-    return EncodeErrorReplyFor(
+    return EncodeShardErrorReplyFor(
         request,
         Status::InvalidArgument("request expected, got a reply frame"));
   }
   PayloadReader reader(frame->payload);
   auto body = Dispatch(*frame, reader);
   if (!body.ok()) {
-    return EncodeReply(frame->op, body.status(), "", frame->version,
-                       frame->correlation_id);
+    return EncodeShardReply(frame->op, body.status(), "", frame->version,
+                            frame->correlation_id);
   }
   // A reply the negotiated frame limit cannot carry is refused here —
   // better an explicit error than an undecodable frame at the peer.
   if (body->size() > kWireMaxPayload - 16) {
-    return EncodeReply(
+    return EncodeShardReply(
         frame->op,
         Status::InvalidArgument(
             std::string(WireOpName(frame->op)) + " reply of " +
@@ -114,8 +111,8 @@ std::string ShardService::HandleFrame(const std::string& request) {
             " bytes exceeds the frame payload limit"),
         "", frame->version, frame->correlation_id);
   }
-  return EncodeReply(frame->op, Status::OK(), *body, frame->version,
-                     frame->correlation_id);
+  return EncodeShardReply(frame->op, Status::OK(), *body, frame->version,
+                          frame->correlation_id);
 }
 
 Result<std::string> ShardService::Dispatch(const WireFrame& frame,
@@ -351,41 +348,13 @@ Result<std::unique_ptr<ShardServer>> ShardServer::Start(
     StorageBackend& backend, Options options) {
   std::unique_ptr<ShardServer> server(new ShardServer(backend, options));
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  std::uint16_t bound_port = 0;
+  auto fd = CreateListenSocket(options.port, options.listen_backlog,
+                               &bound_port);
+  if (!fd.ok()) return fd.status();
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(options.port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::Unavailable("bind port " + std::to_string(options.port) +
-                               ": " + std::strerror(err));
-  }
-  if (::listen(fd, 16) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::Internal(std::string("listen: ") + std::strerror(err));
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::Internal(std::string("getsockname: ") +
-                            std::strerror(err));
-  }
-
-  server->listen_fd_ = fd;
-  server->port_ = ntohs(bound.sin_port);
+  server->listen_fd_ = *fd;
+  server->port_ = bound_port;
   server->pool_ = std::make_unique<ThreadPool>(
       std::max(1u, options.max_connections));
   server->accept_thread_ = std::thread([raw = server.get()] {
@@ -470,7 +439,7 @@ void ShardServer::ServeConnection(int fd) {
     // An unframed or oversized request leaves the stream unrecoverable:
     // answer with an error frame and drop the connection.
     if (!total.ok()) {
-      const std::string reply = EncodeErrorReplyFor(request, total.status());
+      const std::string reply = EncodeShardErrorReplyFor(request, total.status());
       (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
       break;
     }

@@ -34,6 +34,22 @@
 
 namespace fxdist {
 
+/// Encodes one reply frame: Status first in the payload, then `body`
+/// (empty on errors).  Shared by the blocking and event-driven servers
+/// so both produce byte-identical replies.
+std::string EncodeShardReply(WireOp op, const Status& status,
+                             const std::string& body,
+                             std::uint16_t version = kWireVersion,
+                             std::uint64_t correlation_id = 0);
+
+/// Error reply for a request that never decoded: best-effort echo of the
+/// request's version and correlation id (a mux client needs the id to
+/// complete the right waiter), falling back to a v1 frame when the
+/// prefix is unreadable.  Also the shed frame the event server sends a
+/// connection over the cap (kResourceExhausted, empty request prefix).
+std::string EncodeShardErrorReplyFor(std::string_view request,
+                                     const Status& status);
+
 class ShardService {
  public:
   /// The backend must outlive the service.  MarkDown/MarkUp are served
@@ -62,6 +78,7 @@ class ShardService {
 struct ShardServerOptions {
   std::uint16_t port = 0;        ///< 0 picks an ephemeral port
   unsigned max_connections = 8;  ///< connection-handler pool size
+  int listen_backlog = 128;      ///< pending-connection queue depth
 };
 
 /// A ShardService listening on a TCP port.

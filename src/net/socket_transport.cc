@@ -1,5 +1,6 @@
 #include "net/socket_transport.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -84,6 +85,63 @@ Result<std::uint16_t> ParsePortSpec(const std::string& host_port) {
 }
 
 }  // namespace
+
+Status SetNonBlocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::Internal(std::string("fcntl(F_GETFL): ") +
+                            std::strerror(errno));
+  }
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    return Status::Internal(std::string("fcntl(F_SETFL): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<int> CreateListenSocket(std::uint16_t port, int backlog,
+                               std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Unavailable("bind port " + std::to_string(port) + ": " +
+                               std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(err));
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+Result<int> DialShardStream(const std::string& host, std::uint16_t port,
+                            int io_timeout_ms) {
+  return DialStream(host, port, io_timeout_ms);
+}
 
 Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
     const std::string& host, std::uint16_t port, Options options) {

@@ -38,6 +38,26 @@
 
 namespace fxdist {
 
+// -- Shared socket plumbing ----------------------------------------------
+// Small fd-level helpers used by both shard servers (blocking and
+// event-driven), the fan-in load generator, and tests.  They live here so
+// net/ has exactly one copy of the bind/listen/dial boilerplate.
+
+/// Sets or clears O_NONBLOCK.
+Status SetNonBlocking(int fd, bool enable = true);
+
+/// Creates an INADDR_ANY TCP listening socket (SO_REUSEADDR, `backlog`
+/// pending connections).  `*bound_port` receives the actual port, which
+/// matters when `port` is 0 (ephemeral).
+Result<int> CreateListenSocket(std::uint16_t port, int backlog,
+                               std::uint16_t* bound_port);
+
+/// Resolves and connects a blocking TCP stream with TCP_NODELAY and
+/// send/receive deadlines applied — the dial step shared by the
+/// transports and by net/loadgen.h clients.
+Result<int> DialShardStream(const std::string& host, std::uint16_t port,
+                            int io_timeout_ms);
+
 struct SocketTransportOptions {
   /// Per-operation socket deadline (send and receive), milliseconds.
   int io_timeout_ms = 5000;

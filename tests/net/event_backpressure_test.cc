@@ -1,0 +1,172 @@
+// Backpressure contract: a client that pipelines far past the
+// in-flight window, or sends but never reads, gets *paused* — reads
+// stop, server-side memory stays bounded — and is served completely
+// once it drains.  A connection over the connection cap is shed with a
+// decodable kResourceExhausted frame, not an accept-queue timeout.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_shard_server.h"
+#include "net/loadgen.h"
+#include "net/socket_transport.h"
+#include "net/wire.h"
+#include "sim/parallel_file.h"
+#include "workload/query_gen.h"
+#include "workload/record_gen.h"
+
+namespace fxdist {
+namespace {
+
+std::unique_ptr<StorageBackend> LoadedBackend() {
+  auto schema = Schema::Create({{"f0", ValueType::kInt64, 8},
+                                {"f1", ValueType::kInt64, 8}})
+                    .value();
+  auto file = std::make_unique<ParallelFile>(
+      ParallelFile::Create(schema, 4, "fx-iu2", 31).value());
+  auto gen = RecordGenerator::Uniform(schema, 32).value();
+  for (const Record& record : gen.Take(400)) {
+    EXPECT_TRUE(file->Insert(record).ok());
+  }
+  return file;
+}
+
+std::string WideQueryFrame(StorageBackend& backend) {
+  // An all-wildcard-ish query qualifies many records, so replies are
+  // fat enough to trip a small write-buffer watermark.
+  std::vector<Record> records;
+  backend.ForEachLiveRecord(
+      [&](const Record& record) { records.push_back(record); });
+  auto gen = QueryGenerator::Create(&records, 0.9, 33).value();
+  return EncodeExecuteFrame(gen.Next());
+}
+
+TEST(EventBackpressureTest, NonReadingPipelinerIsPausedBoundedAndDrained) {
+  auto backend = LoadedBackend();
+  EventShardServer::Options options;
+  options.workers = 2;
+  options.max_in_flight = 4;
+  options.max_write_buffer = 16 << 10;  // tiny: replies trip it fast
+  auto server = EventShardServer::Start(*backend, options).value();
+
+  const std::string request = WideQueryFrame(*backend);
+  constexpr std::size_t kBatch = 120;
+
+  auto fd = DialShardStream("127.0.0.1", server->port(), 15000);
+  ASSERT_TRUE(fd.ok());
+  // One serial round trip to learn the reply size for the bound below.
+  auto first = RoundTripOnFd(*fd, request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::size_t reply_size = first->size();
+
+  // Blast the whole batch without reading a byte.  The send side may
+  // itself hit backpressure (the server stops reading us) — keep
+  // pushing from a helper thread while the main thread stays silent.
+  std::thread sender([&] {
+    std::string batch;
+    for (std::size_t i = 0; i < kBatch; ++i) batch += request;
+    std::size_t sent = 0;
+    while (sent < batch.size()) {
+      const ssize_t n = ::send(*fd, batch.data() + sent,
+                               batch.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    EXPECT_EQ(sent, batch.size());
+  });
+
+  // Give the server time to fill the window and hit the watermark
+  // while the client reads nothing.
+  bool paused = false;
+  for (int i = 0; i < 500 && !paused; ++i) {
+    paused = server->Stats().reads_paused > 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(paused) << "server never paused a non-reading pipeliner";
+
+  // Now drain: every reply arrives, in order, intact.
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    auto reply = RecvFrameOnFd(*fd);
+    ASSERT_TRUE(reply.ok()) << i << ": " << reply.status().ToString();
+    EXPECT_EQ(reply->size(), reply_size) << "reply " << i;
+  }
+  sender.join();
+  ::close(*fd);
+
+  const EventServerStats stats = server->Stats();
+  EXPECT_EQ(stats.frames_in, kBatch + 1);
+  EXPECT_EQ(stats.replies_out, kBatch + 1);
+  EXPECT_GE(stats.reads_paused, 1u);
+  // Bounded memory: the write buffer may overshoot the watermark by at
+  // most the window's worth of replies emitted after the last check.
+  EXPECT_LE(stats.max_write_buffer_bytes,
+            options.max_write_buffer +
+                (options.max_in_flight + 1) * reply_size)
+      << "write buffer not bounded by watermark + window";
+  EXPECT_EQ(stats.dropped_replies, 0u);
+}
+
+TEST(EventBackpressureTest, OneOverTheConnectionCapIsShedWithAReason) {
+  auto backend = LoadedBackend();
+  EventShardServer::Options options;
+  options.max_connections = 2;
+  auto server = EventShardServer::Start(*backend, options).value();
+
+  const std::string request = EncodeFrame({WireOp::kNumRecords, false, ""});
+  // Fill the cap, proving both are fully registered server-side.
+  std::vector<int> held;
+  for (int i = 0; i < 2; ++i) {
+    auto fd = DialShardStream("127.0.0.1", server->port(), 5000);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(RoundTripOnFd(*fd, request).ok());
+    held.push_back(*fd);
+  }
+
+  // One over the cap: a decodable error frame, then close.
+  auto probe = ProbeConnection("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  ASSERT_TRUE(probe->got_frame) << "shed silently (no error frame)";
+  EXPECT_EQ(probe->op, WireOp::kError);
+  EXPECT_EQ(probe->frame_status.code(), StatusCode::kResourceExhausted);
+
+  // The held connections were untouched by the shed.
+  for (const int fd : held) {
+    EXPECT_TRUE(RoundTripOnFd(fd, request).ok());
+  }
+
+  // Capacity freed is capacity reusable.
+  ::close(held[0]);
+  bool freed = false;
+  for (int i = 0; i < 300 && !freed; ++i) {
+    freed = server->Stats().cur_connections < 2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(freed);
+  auto fd = DialShardStream("127.0.0.1", server->port(), 5000);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(RoundTripOnFd(*fd, request).ok());
+  ::close(*fd);
+  ::close(held[1]);
+
+  const EventServerStats stats = server->Stats();
+  EXPECT_EQ(stats.shed_connections, 1u);
+  EXPECT_EQ(stats.max_concurrent, 2u);
+}
+
+}  // namespace
+}  // namespace fxdist

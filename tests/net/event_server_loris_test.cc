@@ -1,0 +1,181 @@
+// Slow-peer wall: a client dribbling a frame one byte at a time must
+// cost the server exactly one connection's state — never a worker
+// thread, never other clients' latency — and must be evicted on the
+// read deadline, which is armed when a frame starts and is NOT reset
+// by per-byte progress.  Idle connections between frames owe nothing.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_shard_server.h"
+#include "net/loadgen.h"
+#include "net/socket_transport.h"
+#include "net/wire.h"
+#include "sim/parallel_file.h"
+#include "workload/record_gen.h"
+
+namespace fxdist {
+namespace {
+
+std::unique_ptr<StorageBackend> SmallBackend() {
+  auto schema = Schema::Create({{"f0", ValueType::kInt64, 8},
+                                {"f1", ValueType::kInt64, 8}})
+                    .value();
+  auto file = std::make_unique<ParallelFile>(
+      ParallelFile::Create(schema, 4, "fx-iu2", 11).value());
+  auto gen = RecordGenerator::Uniform(schema, 12).value();
+  for (const Record& record : gen.Take(200)) {
+    EXPECT_TRUE(file->Insert(record).ok());
+  }
+  return file;
+}
+
+std::uint64_t Evictions(const EventShardServer& server) {
+  return server.Stats().deadline_evictions;
+}
+
+/// Waits until `fn` is true or ~3s elapse; returns the final value.
+bool WaitFor(const std::function<bool()>& fn) {
+  for (int i = 0; i < 300; ++i) {
+    if (fn()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return fn();
+}
+
+TEST(EventServerLorisTest, DribblerIsEvictedOnDeadline) {
+  auto backend = SmallBackend();
+  EventShardServer::Options options;
+  options.read_deadline_ms = 200;
+  options.tick_ms = 5;
+  auto server = EventShardServer::Start(*backend, options).value();
+
+  auto fd = DialShardStream("127.0.0.1", server->port(), 5000);
+  ASSERT_TRUE(fd.ok());
+  const std::string frame = EncodeFrame({WireOp::kNumRecords, false, ""});
+  // Half a header, then silence: the frame has started, so the
+  // deadline is armed.
+  ASSERT_EQ(::send(*fd, frame.data(), 5, MSG_NOSIGNAL), 5);
+
+  ASSERT_TRUE(WaitFor([&] { return Evictions(*server) == 1; }));
+
+  // The eviction is announced (best-effort DeadlineExceeded frame)
+  // and the socket closed; either the frame or a bare close is
+  // acceptable, but the connection must be gone.
+  auto reply = RecvFrameOnFd(*fd);
+  if (reply.ok()) {
+    auto decoded = DecodeFrame(*reply);
+    ASSERT_TRUE(decoded.ok());
+    PayloadReader reader(decoded->payload);
+    Status status;
+    ASSERT_TRUE(reader.ReadStatusInto(&status).ok());
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_FALSE(RecvFrameOnFd(*fd).ok());  // then EOF
+  }
+  ::close(*fd);
+  EXPECT_EQ(server->Stats().cur_connections, 0u);
+}
+
+TEST(EventServerLorisTest, PerByteProgressDoesNotResetTheDeadline) {
+  auto backend = SmallBackend();
+  EventShardServer::Options options;
+  options.read_deadline_ms = 250;
+  options.tick_ms = 5;
+  auto server = EventShardServer::Start(*backend, options).value();
+
+  auto fd = DialShardStream("127.0.0.1", server->port(), 5000);
+  ASSERT_TRUE(fd.ok());
+  const std::string frame =
+      EncodeFrame({WireOp::kExecute, false, std::string(64, 'q')});
+
+  // One byte every 20ms: each inter-byte gap is far under the 250ms
+  // deadline, so a per-byte-reset server would tolerate this forever.
+  // The arm-once-per-frame server evicts at ~250ms regardless of
+  // progress.  The cap (120 bytes = 2.4s of dribbling) is a failure
+  // backstop, not the expectation.
+  std::size_t sent = 0;
+  bool evicted = false;
+  while (sent < std::min<std::size_t>(frame.size() - 1, 120)) {
+    if (::send(*fd, frame.data() + sent, 1, MSG_NOSIGNAL) != 1) {
+      evicted = true;  // EPIPE/ECONNRESET: server closed on us
+      break;
+    }
+    ++sent;
+    char sink[256];
+    const ssize_t n = ::recv(*fd, sink, sizeof sink, MSG_DONTWAIT);
+    if (n >= 0) {
+      evicted = true;  // deadline frame (n > 0) or EOF (n == 0)
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(evicted) << "dribbled " << sent
+                       << " bytes without being evicted";
+  ASSERT_TRUE(WaitFor([&] { return Evictions(*server) == 1; }));
+  ::close(*fd);
+}
+
+TEST(EventServerLorisTest, IdleConnectionsBetweenFramesOweNothing) {
+  auto backend = SmallBackend();
+  EventShardServer::Options options;
+  options.read_deadline_ms = 150;
+  options.tick_ms = 5;
+  auto server = EventShardServer::Start(*backend, options).value();
+
+  auto fd = DialShardStream("127.0.0.1", server->port(), 5000);
+  ASSERT_TRUE(fd.ok());
+  const std::string request = EncodeFrame({WireOp::kNumRecords, false, ""});
+  ASSERT_TRUE(RoundTripOnFd(*fd, request).ok());
+  // Idle well past the deadline: no frame in progress, no eviction.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  auto reply = RoundTripOnFd(*fd, request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(Evictions(*server), 0u);
+  ::close(*fd);
+}
+
+TEST(EventServerLorisTest, DribblerDoesNotTieUpTheOnlyWorker) {
+  auto backend = SmallBackend();
+  EventShardServer::Options options;
+  options.workers = 1;  // a blocked worker would be fatal here
+  options.read_deadline_ms = 60000;  // keep the dribbler alive throughout
+  auto server = EventShardServer::Start(*backend, options).value();
+
+  // Three dribblers, all mid-frame for the whole test.
+  std::vector<int> dribblers;
+  const std::string frame = EncodeFrame({WireOp::kNumRecords, false, ""});
+  for (int i = 0; i < 3; ++i) {
+    auto fd = DialShardStream("127.0.0.1", server->port(), 5000);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_EQ(::send(*fd, frame.data(), 7, MSG_NOSIGNAL), 7);
+    dribblers.push_back(*fd);
+  }
+
+  // A healthy client gets prompt, correct service on the single
+  // worker: a parked partial frame costs buffer space, not a thread.
+  auto fd = DialShardStream("127.0.0.1", server->port(), 5000);
+  ASSERT_TRUE(fd.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto reply = RoundTripOnFd(*fd, frame);
+    ASSERT_TRUE(reply.ok()) << i << ": " << reply.status().ToString();
+    auto decoded = DecodeFrame(*reply);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->op, WireOp::kNumRecords);
+  }
+  ::close(*fd);
+  for (const int dribbler : dribblers) ::close(dribbler);
+  EXPECT_EQ(server->Stats().deadline_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -35,6 +35,8 @@
 #include "core/registry.h"
 #include "front/frontend.h"
 #include "net/backend_spec.h"
+#include "net/event_shard_server.h"
+#include "net/loadgen.h"
 #include "net/shard_server.h"
 #include "sim/composite_backend.h"
 #include "sim/dynamic_parallel_file.h"
@@ -89,12 +91,17 @@ int Usage() {
          "               [--frontend] [--cache-mb MB] [--qos on|off]\n"
          "               [--tenants N] [--rate QPS]  (front door)\n"
          "               [--client-id ID]  (tenant id on the wire handshake)\n"
+         "               [--clients N] [--waves W] [--client-threads T]\n"
+         "               [--event-loop]  (socket fan-in phase)\n"
          "               [--trace-out FILE] [--trace-in FILE]\n"
          "  shard-serve  serve a backend over the shard wire protocol\n"
          "               --fields ... --devices M [--method SPEC]\n"
          "               [--backend flat|paged|dynamic|replicated]\n"
          "               [--placement mirrored|chained] [--pagesize P]\n"
          "               [--port P] [--connections N] [--seed S]\n"
+         "               [--event-loop] [--workers N] [--max-conns N]\n"
+         "               (epoll server: thousands of connections on a\n"
+         "                small worker pool, explicit backpressure)\n"
          "  gen-trace    synthesize a reproducible workload trace\n"
          "               --schema name:type:size,... --out FILE\n"
          "               [--records N] [--queries N] [--spec-prob P]\n"
@@ -709,6 +716,10 @@ int CmdServeBench(const Flags& flags) {
   // Serial baseline: one query at a time, no pool.
   const auto serial_start = std::chrono::steady_clock::now();
   std::uint64_t serial_matched = 0;
+  // Per-query tallies let the socket fan-in phase (--clients) compute
+  // the exact expected total for its own stream-index multiset.
+  std::vector<std::uint64_t> serial_per_query;
+  serial_per_query.reserve(stream.size());
   for (const ValueQuery& q : stream) {
     auto result = file->Execute(q);
     if (!result.ok()) {
@@ -716,6 +727,7 @@ int CmdServeBench(const Flags& flags) {
       return 1;
     }
     serial_matched += result->stats.records_matched;
+    serial_per_query.push_back(result->stats.records_matched);
   }
   const double serial_ms =
       std::chrono::duration<double, std::milli>(
@@ -818,6 +830,74 @@ int CmdServeBench(const Flags& flags) {
     frontend_json = front_stats.ToJson();
   }
 
+  // Socket fan-in (--clients): the same backend behind a real shard
+  // server on loopback, hammered by N concurrent connections.  The
+  // deterministic stream indexing (see net/loadgen.h) makes the total
+  // matched count predictable from the serial per-query tallies, so
+  // the event-driven and blocking servers gate against the same
+  // expected number — bit-identity through the full socket path.
+  const std::uint64_t fanin_clients = get_u64("clients", 0);
+  const bool fanin_event = flags.count("event-loop") != 0;
+  FanInReport fanin;
+  EventServerStats fanin_server_stats;
+  std::uint64_t fanin_expected = 0;
+  std::uint64_t fanin_total = 0;
+  if (fanin_clients > 0) {
+    FanInOptions fanin_options;
+    fanin_options.clients = fanin_clients;
+    fanin_options.waves =
+        std::max<std::uint64_t>(1, get_u64("waves", 4));
+    fanin_options.threads = std::max<std::uint64_t>(
+        1, get_u64("client-threads", 16));
+    std::unique_ptr<EventShardServer> event_server;
+    std::unique_ptr<ShardServer> blocking_server;
+    if (fanin_event) {
+      EventShardServer::Options server_options;
+      server_options.workers =
+          static_cast<unsigned>(get_u64("workers", 4));
+      server_options.max_connections =
+          std::max<std::uint64_t>(fanin_clients, 4096);
+      TryRaiseNoFileLimit(fanin_clients * 2 + 512);
+      auto started = EventShardServer::Start(*file, server_options);
+      if (!started.ok()) {
+        std::cerr << started.status().ToString() << "\n";
+        return 1;
+      }
+      event_server = *std::move(started);
+      fanin_options.port = event_server->port();
+    } else {
+      // The blocking server pins a pool thread per connection, so the
+      // baseline needs a thread per client to serve them all at once.
+      ShardServer::Options server_options;
+      server_options.max_connections =
+          static_cast<unsigned>(fanin_clients);
+      TryRaiseNoFileLimit(fanin_clients * 2 + 512);
+      auto started = ShardServer::Start(*file, server_options);
+      if (!started.ok()) {
+        std::cerr << started.status().ToString() << "\n";
+        return 1;
+      }
+      blocking_server = *std::move(started);
+      fanin_options.port = blocking_server->port();
+    }
+    auto ran = RunQueryFanIn(stream, fanin_options);
+    if (!ran.ok()) {
+      std::cerr << ran.status().ToString() << "\n";
+      return 1;
+    }
+    fanin = *ran;
+    fanin_total = fanin_clients * fanin_options.waves;
+    for (std::uint64_t s = 0; s < fanin_total; ++s) {
+      fanin_expected += serial_per_query[s % serial_per_query.size()];
+    }
+    if (event_server != nullptr) {
+      fanin_server_stats = event_server->Stats();
+      event_server->Stop();
+    } else {
+      blocking_server->Stop();
+    }
+  }
+
   const auto qps = [&](double ms) {
     return ms <= 0.0 ? 0.0
                      : static_cast<double>(num_queries) / (ms / 1e3);
@@ -844,6 +924,52 @@ int CmdServeBench(const Flags& flags) {
     for (std::uint64_t d : failed) degraded_text << ' ' << d;
     degraded_text << (failed.empty() ? "\n" : ")\n");
   }
+  std::ostringstream fanin_json;
+  std::ostringstream fanin_text;
+  if (fanin_clients > 0) {
+    const double fanin_qps =
+        fanin.elapsed_ms <= 0.0
+            ? 0.0
+            : static_cast<double>(fanin.replies) /
+                  (fanin.elapsed_ms / 1e3);
+    fanin_json << ",\"fanin_mode\":\""
+               << (fanin_event ? "event" : "blocking")
+               << "\",\"fanin_clients\":" << fanin_clients
+               << ",\"fanin_replies\":" << fanin.replies
+               << ",\"fanin_transport_errors\":" << fanin.transport_errors
+               << ",\"fanin_error_replies\":" << fanin.error_replies
+               << ",\"fanin_matched\":" << fanin.matched_total
+               << ",\"fanin_expected\":" << fanin_expected
+               << ",\"fanin_qps\":" << fanin_qps
+               << ",\"fanin_ms\":" << fanin.elapsed_ms
+               << ",\"fanin_p50_ms\":" << fanin.p50_ms
+               << ",\"fanin_p99_ms\":" << fanin.p99_ms;
+    if (fanin_event) {
+      fanin_json << ",\"fanin_shed\":"
+                 << fanin_server_stats.shed_connections
+                 << ",\"fanin_max_concurrent\":"
+                 << fanin_server_stats.max_concurrent
+                 << ",\"fanin_dropped_replies\":"
+                 << fanin_server_stats.dropped_replies
+                 << ",\"fanin_reads_paused\":"
+                 << fanin_server_stats.reads_paused;
+    }
+    fanin_text << "fan-in ("
+               << (fanin_event ? "event loop" : "blocking") << "): "
+               << TablePrinter::Cell(fanin_qps, 0) << " qps  ("
+               << TablePrinter::Cell(fanin.elapsed_ms, 1) << " ms, "
+               << fanin_clients << " clients, " << fanin.replies
+               << " replies, " << fanin.matched_total << " matches, p99 "
+               << TablePrinter::Cell(fanin.p99_ms, 1) << " ms)\n";
+    if (fanin_event) {
+      fanin_text << "  server          : peak "
+                 << fanin_server_stats.max_concurrent
+                 << " conns, shed " << fanin_server_stats.shed_connections
+                 << ", reads paused " << fanin_server_stats.reads_paused
+                 << ", dropped replies "
+                 << fanin_server_stats.dropped_replies << "\n";
+    }
+  }
   if (format_it != flags.end() && format_it->second == "json") {
     std::ostringstream front_json;
     if (run_frontend) {
@@ -866,6 +992,7 @@ int CmdServeBench(const Flags& flags) {
               << ",\"engine_ms\":" << engine_ms
               << ",\"engine_matched\":" << engine_matched
               << ",\"speedup\":" << speedup << front_json.str()
+              << fanin_json.str()
               << ",\"stats\":" << engine.Snapshot().ToJson() << "}\n";
   } else if (format_it != flags.end() && format_it->second != "text") {
     std::cerr << "unknown --format " << format_it->second
@@ -894,7 +1021,8 @@ int CmdServeBench(const Flags& flags) {
                 << TablePrinter::Cell(front_warm_ms, 1) << " ms, "
                 << front_warm_matched << " matches)\n";
     }
-    std::cout << "speedup         : " << TablePrinter::Cell(speedup, 2)
+    std::cout << fanin_text.str()
+              << "speedup         : " << TablePrinter::Cell(speedup, 2)
               << "x\n\n"
               << engine.Snapshot().ToString();
     if (run_frontend) std::cout << "\n" << frontend_text;
@@ -908,6 +1036,22 @@ int CmdServeBench(const Flags& flags) {
        front_warm_matched != serial_matched)) {
     std::cerr << "MISMATCH: frontend and serial matched counts differ\n";
     return 1;
+  }
+  if (fanin_clients > 0) {
+    if (fanin.transport_errors != 0 || fanin.error_replies != 0 ||
+        fanin.replies != fanin_total) {
+      std::cerr << "FAN-IN FAILURE: " << fanin.transport_errors
+                << " transport errors, " << fanin.error_replies
+                << " error replies, " << fanin.replies << "/"
+                << fanin_total << " replies\n";
+      return 1;
+    }
+    if (fanin.matched_total != fanin_expected) {
+      std::cerr << "MISMATCH: fan-in and serial matched counts differ ("
+                << fanin.matched_total << " vs " << fanin_expected
+                << ")\n";
+      return 1;
+    }
   }
   return 0;
 }
@@ -978,6 +1122,26 @@ int CmdShardServe(const Flags& flags) {
       return 1;
     }
     file = *std::move(created);
+  }
+  if (flags.count("event-loop") != 0) {
+    EventShardServer::Options server_options;
+    server_options.port = static_cast<std::uint16_t>(get_u64("port", 0));
+    server_options.workers = static_cast<unsigned>(get_u64("workers", 4));
+    server_options.max_connections = get_u64("max-conns", 4096);
+    TryRaiseNoFileLimit(server_options.max_connections + 256);
+    auto server = EventShardServer::Start(*file, server_options);
+    if (!server.ok()) {
+      std::cerr << server.status().ToString() << "\n";
+      return 1;
+    }
+    // Scripts scrape this line for the (possibly ephemeral) port, so it
+    // must be flushed before the blocking Wait().
+    std::cout << "serving " << file->backend_name() << " [" << backend_kind
+              << "] on port " << (*server)->port() << " (event loop, "
+              << server_options.workers << " workers, cap "
+              << server_options.max_connections << " conns)" << std::endl;
+    (*server)->Wait();
+    return 0;
   }
   ShardServer::Options server_options;
   server_options.port = static_cast<std::uint16_t>(get_u64("port", 0));
