@@ -10,7 +10,7 @@ for b in build/bench/*; do
   case "$(basename "$b")" in
     core_kernels|cpu_address_computation|ablation_inverse_mapping|ablation_fast_response)
       "$b" --benchmark_min_time=0.05 || status=1 ;;
-    engine_throughput|backend_matrix|shard_matrix|frontend_matrix|reshard_matrix|connection_scaling)
+    engine_throughput|backend_matrix|shard_matrix|frontend_matrix|reshard_matrix|connection_scaling|dist_matrix)
       "$b" --quick || status=1 ;;
     *)
       "$b" || status=1 ;;

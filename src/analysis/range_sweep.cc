@@ -1,0 +1,142 @@
+#include "analysis/range_sweep.h"
+
+#include <string>
+
+#include "util/math.h"
+
+namespace fxdist {
+
+Result<RangePartial> AnalyzeBucketRange(const DeviceMap& map,
+                                        std::uint64_t unspecified_mask,
+                                        std::uint64_t start,
+                                        std::uint64_t end) {
+  const FieldSpec& spec = map.spec();
+  const unsigned n = spec.num_fields();
+  if (n < 64 && (unspecified_mask >> n) != 0) {
+    return Status::InvalidArgument("unspecified mask has bits beyond field " +
+                                   std::to_string(n - 1));
+  }
+  const std::uint64_t total = spec.TotalBuckets();
+  if (start > end || end > total) {
+    return Status::InvalidArgument(
+        "bucket range [" + std::to_string(start) + ", " + std::to_string(end) +
+        ") outside [0, " + std::to_string(total) + ")");
+  }
+
+  // Row-major strides, field 0 most significant — the linear-id layout
+  // every enumeration in the repo shares (see ForEachQualifiedLinear).
+  std::vector<std::uint64_t> stride(n);
+  std::uint64_t s = 1;
+  for (unsigned i = n; i > 0;) {
+    --i;
+    stride[i] = s;
+    s *= spec.field_size(i);
+  }
+  std::vector<unsigned> specified;
+  for (unsigned i = 0; i < n; ++i) {
+    if (((unspecified_mask >> i) & 1u) == 0) specified.push_back(i);
+  }
+
+  RangePartial out;
+  out.per_device.assign(spec.num_devices(), 0);
+  for (std::uint64_t linear = start; linear < end; ++linear) {
+    bool qualifies = true;
+    for (const unsigned f : specified) {
+      if ((linear / stride[f]) % spec.field_size(f) != 0) {
+        qualifies = false;
+        break;
+      }
+    }
+    if (!qualifies) continue;
+    ++out.qualified;
+    ++out.per_device[map.DeviceOfLinear(linear)];
+  }
+  return out;
+}
+
+Status MergeRangePartial(RangePartial* into, const RangePartial& part) {
+  if (into->per_device.empty()) {
+    *into = part;
+    return Status::OK();
+  }
+  if (into->per_device.size() != part.per_device.size()) {
+    return Status::InvalidArgument(
+        "cannot merge partials over " + std::to_string(part.per_device.size()) +
+        " devices into " + std::to_string(into->per_device.size()));
+  }
+  for (std::size_t i = 0; i < part.per_device.size(); ++i) {
+    into->per_device[i] += part.per_device[i];
+  }
+  into->qualified += part.qualified;
+  return Status::OK();
+}
+
+Result<MaskSweepStats> FinalizeMaskSweep(const FieldSpec& spec,
+                                         std::uint64_t unspecified_mask,
+                                         const RangePartial& merged) {
+  // Closed form for |R(q)|: product of the unspecified field sizes.  A
+  // merge that lost or double-counted a range cannot match it.
+  std::uint64_t expect = 1;
+  for (unsigned i = 0; i < spec.num_fields(); ++i) {
+    if ((unspecified_mask >> i) & 1u) expect *= spec.field_size(i);
+  }
+  if (merged.qualified != expect) {
+    return Status::DataLoss("merged sweep of mask " +
+                            std::to_string(unspecified_mask) + " covered " +
+                            std::to_string(merged.qualified) +
+                            " qualified buckets, expected " +
+                            std::to_string(expect));
+  }
+  MaskSweepStats stats;
+  stats.unspecified_mask = unspecified_mask;
+  stats.response.per_device = merged.per_device;
+  stats.qualified = merged.qualified;
+  stats.bound = CeilDiv(merged.qualified, spec.num_devices());
+  const std::uint64_t max = stats.response.Max();
+  stats.worst_excess = max > stats.bound ? max - stats.bound : 0;
+  stats.strict_optimal = stats.worst_excess == 0;
+  return stats;
+}
+
+OptimalityProbability SweepOptimality(const FieldSpec& spec,
+                                      const std::vector<MaskSweepStats>& masks,
+                                      double specified_probability) {
+  const unsigned n = spec.num_fields();
+  OptimalityProbability out;
+  out.total_masks = std::uint64_t{1} << n;
+  for (const MaskSweepStats& stats : masks) {
+    if (!stats.strict_optimal) continue;
+    ++out.optimal_masks;
+    double weight = 1.0;
+    for (unsigned i = 0; i < n; ++i) {
+      weight *= ((stats.unspecified_mask >> i) & 1u)
+                    ? (1.0 - specified_probability)
+                    : specified_probability;
+    }
+    out.probability += weight;
+  }
+  return out;
+}
+
+AllocationScore SweepScore(const FieldSpec& spec,
+                           const std::vector<MaskSweepStats>& masks) {
+  AllocationScore score;
+  for (const MaskSweepStats& stats : masks) {
+    // One representative stands for every specified-value combination —
+    // identical excess under shift invariance.
+    std::uint64_t multiplicity = 1;
+    for (unsigned i = 0; i < spec.num_fields(); ++i) {
+      if (((stats.unspecified_mask >> i) & 1u) == 0) {
+        multiplicity *= spec.field_size(i);
+      }
+    }
+    score.queries += multiplicity;
+    score.total_excess += multiplicity * stats.worst_excess;
+    if (stats.worst_excess > score.worst_excess) {
+      score.worst_excess = stats.worst_excess;
+    }
+  }
+  return score;
+}
+
+}  // namespace fxdist

@@ -20,7 +20,8 @@ Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
     backend->wire_version_ = kWireVersionMux;
     PayloadWriter hello;
     hello.U64(kWireMaxPayload);
-    hello.U32(kWireFeatureScanMany | kWireFeatureInsertBatch);
+    hello.U32(kWireFeatureScanMany | kWireFeatureInsertBatch |
+              kWireFeatureAnalyzeRange);
     // Optional trailing tenant id (only sent when set): current servers
     // read it when present; a pre-front-door v2 server rejects the
     // longer hello, which lands in the v1 fallback below — anonymous but
@@ -90,8 +91,8 @@ Status RemoteBackend::FinishHandshake(const std::string& body, bool v2) {
                                 kWireMaxPayloadCeiling);
     negotiated_max_payload_ = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kWireMaxPayload, server_limit));
-    features_ =
-        *features & (kWireFeatureScanMany | kWireFeatureInsertBatch);
+    features_ = *features & (kWireFeatureScanMany | kWireFeatureInsertBatch |
+                             kWireFeatureAnalyzeRange);
   } else {
     FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
   }
@@ -235,6 +236,14 @@ Result<std::string> RemoteBackend::Call(WireOp op, std::string payload,
     terminal_ = "remote shard unavailable after " + std::to_string(attempts) +
                 " attempt(s): " + last.ToString();
   }
+  if (!idempotent && (last.code() == StatusCode::kDeadlineExceeded ||
+                      last.code() == StatusCode::kDataLoss)) {
+    // Indeterminate mutation outcome: the server may or may not have
+    // applied it.  Surface the real code instead of masking it as
+    // Unavailable (= "never delivered, safe to resend") so callers know
+    // a blind re-send risks a duplicate side effect.
+    return last;
+  }
   return Status::Unavailable(terminal_);
 }
 
@@ -261,11 +270,24 @@ Status RemoteBackend::Insert(Record record) {
 
   PayloadReader reader(*body);
   FXDIST_RETURN_NOT_OK(CheckShapeEcho(reader));
+  FXDIST_RETURN_NOT_OK(ObserveServerEpoch(reader));
   FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
-  // Epoch counts mutations issued through this client handle (see the
-  // StorageBackend contract); out-of-band server writes are already
-  // outside the no-overlapping-mutation rule.
+  // The local count still bumps (old servers echo no epoch); the echo
+  // observed above is what makes other writers' mutations visible.
   BumpMutationEpoch();
+  return Status::OK();
+}
+
+Status RemoteBackend::ObserveServerEpoch(PayloadReader& reader) const {
+  if (reader.AtEnd()) return Status::OK();  // pre-epoch server
+  auto epoch = reader.U64();
+  FXDIST_RETURN_NOT_OK(epoch.status());
+  // Max-observed: replies may complete out of order on the mux, and the
+  // counter must never run backwards.
+  std::uint64_t seen = server_epoch_.load(std::memory_order_relaxed);
+  while (seen < *epoch && !server_epoch_.compare_exchange_weak(
+                              seen, *epoch, std::memory_order_acq_rel)) {
+  }
   return Status::OK();
 }
 
@@ -294,6 +316,21 @@ Status RemoteBackend::CheckShapeEcho(PayloadReader& reader) {
 }
 
 Status RemoteBackend::InsertBatch(std::vector<Record> records) {
+  return InsertBatchImpl(std::move(records), nullptr);
+}
+
+Status RemoteBackend::InsertBatchTagged(std::vector<Record> records,
+                                        std::uint64_t token) {
+  if (wire_version_ != kWireVersionMux || !insert_batch_enabled()) {
+    return Status::Unimplemented(
+        "remote peer has no InsertBatch feature; tagged exactly-once "
+        "ingest needs the server-side dedup registry");
+  }
+  return InsertBatchImpl(std::move(records), &token);
+}
+
+Status RemoteBackend::InsertBatchImpl(std::vector<Record> records,
+                                      const std::uint64_t* token) {
   if (wire_version_ != kWireVersionMux || !insert_batch_enabled()) {
     // Pre-InsertBatch peer: the default per-record loop (one kInsert
     // round trip each).
@@ -312,13 +349,25 @@ Status RemoteBackend::InsertBatch(std::vector<Record> records) {
     for (std::size_t j = 0; j < n; ++j) {
       writer.WriteRecord(records[start + j]);
     }
+    if (token != nullptr) {
+      // Deterministic per-chunk token: same batch + same base token
+      // always re-sends identical tagged chunks, so a coordinator
+      // re-running a task cannot double-apply on the same server.
+      writer.U64(*token ^ (0x9e3779b97f4a7c15ull * (start / chunk + 1)));
+    }
+    // A tagged chunk is effectively idempotent — the server's dedup
+    // registry turns a re-send into an ack — so indeterminate failures
+    // may be retried; an untagged chunk must not be.
     auto body = Call(WireOp::kInsertBatch, writer.Take(),
-                     /*idempotent=*/false);
+                     /*idempotent=*/token != nullptr);
     if (!body.ok()) {
-      if (body.status().code() == StatusCode::kInvalidArgument) {
+      if (token == nullptr &&
+          body.status().code() == StatusCode::kInvalidArgument) {
         // The chunk's request outgrew the negotiated frame limit (or a
         // record is genuinely bad — the per-record path reproduces that
-        // error faithfully): insert this chunk record-by-record.
+        // error faithfully): insert this chunk record-by-record.  (The
+        // tagged path never falls back: per-record kInsert has no dedup
+        // marker, which would break exactly-once.)
         for (std::size_t j = 0; j < n; ++j) {
           FXDIST_RETURN_NOT_OK(Insert(std::move(records[start + j])));
         }
@@ -335,6 +384,13 @@ Status RemoteBackend::InsertBatch(std::vector<Record> records) {
                               std::to_string(n) + " records");
     }
     FXDIST_RETURN_NOT_OK(CheckShapeEcho(reader));
+    FXDIST_RETURN_NOT_OK(ObserveServerEpoch(reader));
+    if (token != nullptr && !reader.AtEnd()) {
+      // Trailing dup flag (present iff the request carried a token):
+      // diagnostic only — a set flag means an earlier send of this
+      // chunk already landed and the server acked without re-applying.
+      FXDIST_RETURN_NOT_OK(reader.U8().status());
+    }
     FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
     BumpMutationEpoch();
   }
@@ -356,6 +412,9 @@ Result<RemoteBackend::TopologySnapshot> RemoteBackend::RemoteTopology()
   auto blueprint = reader.Str();
   FXDIST_RETURN_NOT_OK(blueprint.status());
   snapshot.blueprint = *std::move(blueprint);
+  // Trailing authoritative epoch (absent from old servers): the probe a
+  // cache-holding client refreshes multi-writer staleness with.
+  FXDIST_RETURN_NOT_OK(ObserveServerEpoch(reader));
   FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
   return snapshot;
 }
@@ -372,6 +431,7 @@ Result<std::uint64_t> RemoteBackend::Delete(const ValueQuery& query) {
   PayloadReader reader(*body);
   auto removed = reader.U64();
   FXDIST_RETURN_NOT_OK(removed.status());
+  FXDIST_RETURN_NOT_OK(ObserveServerEpoch(reader));
   FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
   if (*removed > 0) BumpMutationEpoch();
   return *removed;
@@ -544,6 +604,11 @@ Status RemoteBackend::MarkDown(std::uint64_t device) {
   writer.U64(device);
   auto body = Call(WireOp::kMarkDown, writer.Take(), /*idempotent=*/false);
   FXDIST_RETURN_NOT_OK(body.status());
+  {
+    PayloadReader reader(*body);
+    FXDIST_RETURN_NOT_OK(ObserveServerEpoch(reader));
+    FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  }
   if (twin_replicated_ == nullptr) {
     return Status::Internal("remote accepted MarkDown but the twin has no "
                             "replica plane");
@@ -560,12 +625,51 @@ Status RemoteBackend::MarkUp(std::uint64_t device) {
   writer.U64(device);
   auto body = Call(WireOp::kMarkUp, writer.Take(), /*idempotent=*/false);
   FXDIST_RETURN_NOT_OK(body.status());
+  {
+    PayloadReader reader(*body);
+    FXDIST_RETURN_NOT_OK(ObserveServerEpoch(reader));
+    FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  }
   if (twin_replicated_ == nullptr) {
     return Status::Internal("remote accepted MarkUp but the twin has no "
                             "replica plane");
   }
   BumpMutationEpoch();
   return twin_replicated_->MarkUp(device);
+}
+
+Result<RangePartial> RemoteBackend::AnalyzeRange(
+    std::uint64_t unspecified_mask, std::uint64_t start,
+    std::uint64_t end) const {
+  if (wire_version_ != kWireVersionMux || !analyze_range_enabled()) {
+    return Status::Unimplemented(
+        "remote peer has no AnalyzeRange feature; run AnalyzeBucketRange "
+        "on device_map() instead");
+  }
+  PayloadWriter writer;
+  writer.U64(unspecified_mask);
+  writer.U64(start);
+  writer.U64(end);
+  auto body = Call(WireOp::kAnalyzeRange, writer.Take(), /*idempotent=*/true);
+  FXDIST_RETURN_NOT_OK(body.status());
+  PayloadReader reader(*body);
+  auto devices = reader.U32();
+  FXDIST_RETURN_NOT_OK(devices.status());
+  if (*devices > reader.remaining() / 8) {
+    return Status::DataLoss("wire payload truncated reading range counts");
+  }
+  RangePartial partial;
+  partial.per_device.reserve(*devices);
+  for (std::uint32_t i = 0; i < *devices; ++i) {
+    auto count = reader.U64();
+    FXDIST_RETURN_NOT_OK(count.status());
+    partial.per_device.push_back(*count);
+  }
+  auto qualified = reader.U64();
+  FXDIST_RETURN_NOT_OK(qualified.status());
+  partial.qualified = *qualified;
+  FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+  return partial;
 }
 
 Status RemoteBackend::Health() const {

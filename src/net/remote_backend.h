@@ -47,6 +47,7 @@
 #ifndef FXDIST_NET_REMOTE_BACKEND_H_
 #define FXDIST_NET_REMOTE_BACKEND_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -57,6 +58,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/range_sweep.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "sim/composite_backend.h"
@@ -152,6 +154,17 @@ class RemoteBackend final : public StorageBackend {
   /// instead of one per record); per-record kInsert round trips
   /// otherwise.
   Status InsertBatch(std::vector<Record> records) override;
+  /// InsertBatch with a caller-chosen dedup token: the server remembers
+  /// the token with the applied count, so a chunk whose ack was lost can
+  /// be *re-sent safely* — a duplicate token acks without re-applying.
+  /// That makes tagged chunks effectively idempotent, so indeterminate
+  /// failures retry here instead of failing the batch.  Chunks derive
+  /// per-chunk tokens from `token` deterministically; the same (records,
+  /// token, chunk size) always re-sends identical tagged chunks.  No
+  /// per-record fallback: a chunk the frame limit cannot carry is an
+  /// error (pick a smaller insert_batch_chunk).  Requires the server's
+  /// InsertBatch feature; Unimplemented otherwise.
+  Status InsertBatchTagged(std::vector<Record> records, std::uint64_t token);
   Result<std::uint64_t> Delete(const ValueQuery& query) override;
   bool IsBucketLive(std::uint64_t device,
                     std::uint64_t linear_bucket) const override;
@@ -181,6 +194,27 @@ class RemoteBackend final : public StorageBackend {
   /// Terminal (Unavailable) or poisoned (FailedPrecondition) state.
   Status Health() const override;
 
+  /// Mutations observed, merging two monotone counters: the local count
+  /// the base class keeps (mutations issued through this handle) and the
+  /// server's authoritative count echoed on every mutating reply and on
+  /// the kTopology probe.  The max of the two is what cache invalidation
+  /// needs: it bumps when *any* writer's mutation has been observed, so
+  /// a shared remote shard no longer serves stale hits forever (old
+  /// servers echo nothing and behave exactly as before).
+  std::uint64_t MutationEpoch() const override {
+    return std::max(StorageBackend::MutationEpoch(),
+                    server_epoch_.load(std::memory_order_acquire));
+  }
+
+  /// Server-side bucket-range sweep (kAnalyzeRange): per-device
+  /// qualified counts of `unspecified_mask`'s representative query over
+  /// linear buckets [start, end).  Unimplemented when the server did not
+  /// grant the feature — callers fall back to AnalyzeBucketRange on
+  /// device_map(), which computes the identical integers locally.
+  Result<RangePartial> AnalyzeRange(std::uint64_t unspecified_mask,
+                                    std::uint64_t start,
+                                    std::uint64_t end) const;
+
   /// Negotiated dialect — diagnostics and tests.
   std::uint16_t wire_version() const { return wire_version_; }
   bool scan_many_enabled() const {
@@ -188,6 +222,9 @@ class RemoteBackend final : public StorageBackend {
   }
   bool insert_batch_enabled() const {
     return (features_ & kWireFeatureInsertBatch) != 0;
+  }
+  bool analyze_range_enabled() const {
+    return (features_ & kWireFeatureAnalyzeRange) != 0;
   }
   std::uint32_t negotiated_max_payload() const {
     return negotiated_max_payload_;
@@ -221,6 +258,13 @@ class RemoteBackend final : public StorageBackend {
   /// Parses the bucket-space shape every mutation reply echoes and
   /// poisons the client when the remote outgrew the frozen plane.
   Status CheckShapeEcho(PayloadReader& reader);
+  /// Consumes an optional trailing authoritative-epoch field (absent
+  /// from old servers) and folds it into server_epoch_ (max-observed).
+  Status ObserveServerEpoch(PayloadReader& reader) const;
+  /// Shared body of InsertBatch / InsertBatchTagged (tagged == token
+  /// != nullptr).
+  Status InsertBatchImpl(std::vector<Record> records,
+                         const std::uint64_t* token);
 
   std::unique_ptr<Transport> transport_;
   const Options options_;
@@ -235,6 +279,10 @@ class RemoteBackend final : public StorageBackend {
   /// Correlation ids and jitter streams (monotonic per connection — the
   /// mux's stale-reply tracking relies on it).
   mutable std::atomic<std::uint64_t> seq_{1};
+
+  /// Highest authoritative epoch any reply has echoed (0 until a v2
+  /// epoch-echoing server answers a mutation or topology probe).
+  mutable std::atomic<std::uint64_t> server_epoch_{0};
 
   /// Guards the sticky failure state and the scan pins.  NOT held over
   /// round trips: the transport is internally synchronized, so many

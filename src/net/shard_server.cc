@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "analysis/range_sweep.h"
 #include "net/socket_transport.h"
 #include "sim/persistence.h"
 
@@ -153,8 +154,9 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
         // crash).
         writer.Str(BackendBlueprintText(backend_.ServingPlane()));
         writer.U64(kWireMaxPayload);
-        writer.U32(*features &
-                   (kWireFeatureScanMany | kWireFeatureInsertBatch));
+        writer.U32(*features & (kWireFeatureScanMany |
+                                kWireFeatureInsertBatch |
+                                kWireFeatureAnalyzeRange));
         return Finish(writer);
       }
       FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
@@ -173,6 +175,9 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
       const auto& sizes = backend_.spec().field_sizes();
       writer.U32(static_cast<std::uint32_t>(sizes.size()));
       for (const std::uint64_t size : sizes) writer.U64(size);
+      // Trailing authoritative epoch (optional for old clients): lets a
+      // client's cache see *other* writers' mutations, not just its own.
+      writer.U64(backend_.MutationEpoch());
       return Finish(writer);
     }
     case WireOp::kDelete: {
@@ -183,6 +188,7 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
       auto removed = backend_.Delete(*query);
       FXDIST_RETURN_NOT_OK(removed.status());
       writer.U64(*removed);
+      writer.U64(backend_.MutationEpoch());
       return Finish(writer);
     }
     case WireOp::kExecute: {
@@ -277,14 +283,47 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
       }
       auto records = reader.ReadRecords();
       FXDIST_RETURN_NOT_OK(records.status());
-      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      // Optional trailing dedup token (absent from untagged senders): a
+      // retried chunk with the same token acks the remembered count
+      // instead of applying twice — the exactly-once marker under
+      // indeterminate failures.
+      bool tagged = false;
+      std::uint64_t token = 0;
+      if (!reader.AtEnd()) {
+        auto t = reader.U64();
+        FXDIST_RETURN_NOT_OK(t.status());
+        FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+        tagged = true;
+        token = *t;
+      }
       const std::uint64_t count = records->size();
       std::unique_lock<std::shared_mutex> lock(backend_mutex_);
-      FXDIST_RETURN_NOT_OK(backend_.InsertBatch(*std::move(records)));
-      writer.U64(count);
+      bool duplicate = false;
+      std::uint64_t applied = count;
+      if (tagged) {
+        auto it = applied_tokens_.find(token);
+        if (it != applied_tokens_.end()) {
+          duplicate = true;
+          applied = it->second;
+        }
+      }
+      if (!duplicate) {
+        FXDIST_RETURN_NOT_OK(backend_.InsertBatch(*std::move(records)));
+        if (tagged) {
+          applied_tokens_.emplace(token, count);
+          token_order_.push_back(token);
+          if (token_order_.size() > kMaxRememberedTokens) {
+            applied_tokens_.erase(token_order_.front());
+            token_order_.pop_front();
+          }
+        }
+      }
+      writer.U64(applied);
       const auto& sizes = backend_.spec().field_sizes();
       writer.U32(static_cast<std::uint32_t>(sizes.size()));
       for (const std::uint64_t size : sizes) writer.U64(size);
+      writer.U64(backend_.MutationEpoch());
+      if (tagged) writer.U8(duplicate ? 1 : 0);
       return Finish(writer);
     }
     case WireOp::kTopology: {
@@ -296,6 +335,9 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
       writer.U64(backend_.TopologyVersion());
       writer.U64(backend_.BucketsInMigration());
       writer.Str(BackendBlueprintText(backend_.ServingPlane()));
+      // Trailing authoritative epoch (optional for old clients) — the
+      // cheap probe a cache refreshes multi-writer staleness with.
+      writer.U64(backend_.MutationEpoch());
       return Finish(writer);
     }
     case WireOp::kNumRecords: {
@@ -325,6 +367,7 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
       FXDIST_RETURN_NOT_OK(op == WireOp::kMarkDown
                                ? replicated_->MarkDown(*device)
                                : replicated_->MarkUp(*device));
+      writer.U64(backend_.MutationEpoch());
       return Finish(writer);
     }
     case WireOp::kListRecords: {
@@ -334,6 +377,32 @@ Result<std::string> ShardService::Dispatch(const WireFrame& frame,
       backend_.ForEachLiveRecord(
           [&](const Record& record) { records.push_back(record); });
       writer.WriteRecords(records);
+      return Finish(writer);
+    }
+    case WireOp::kAnalyzeRange: {
+      // Distributed sweep partial: (mask, [start, end)) in, per-device
+      // qualified counts over the range out.  v2-only and feature-
+      // negotiated; a coordinator that was not granted the bit runs the
+      // same AnalyzeBucketRange on its placement twin instead.
+      if (frame.version != kWireVersionMux) {
+        return Status::InvalidArgument("AnalyzeRange requires a v2 frame");
+      }
+      auto mask = reader.U64();
+      FXDIST_RETURN_NOT_OK(mask.status());
+      auto start = reader.U64();
+      FXDIST_RETURN_NOT_OK(start.status());
+      auto end = reader.U64();
+      FXDIST_RETURN_NOT_OK(end.status());
+      FXDIST_RETURN_NOT_OK(reader.ExpectEnd());
+      std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+      auto partial =
+          AnalyzeBucketRange(backend_.device_map(), *mask, *start, *end);
+      FXDIST_RETURN_NOT_OK(partial.status());
+      writer.U32(static_cast<std::uint32_t>(partial->per_device.size()));
+      for (const std::uint64_t count : partial->per_device) {
+        writer.U64(count);
+      }
+      writer.U64(partial->qualified);
       return Finish(writer);
     }
     case WireOp::kError:

@@ -19,11 +19,13 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/wire.h"
@@ -65,6 +67,13 @@ class ShardService {
   /// seen order.  Anonymous clients (no trailing id) are not listed.
   std::vector<std::string> AnnouncedClients() const;
 
+  /// Most recent distinct kInsertBatch dedup tokens remembered (FIFO
+  /// eviction past this).  Sized so a coordinator's whole task graph
+  /// fits with room to spare; a retry arriving after eviction is
+  /// indistinguishable from a first send, which the client's bounded
+  /// retry budget makes vanishingly unlikely.
+  static constexpr std::size_t kMaxRememberedTokens = 65536;
+
  private:
   Result<std::string> Dispatch(const WireFrame& frame, PayloadReader& reader);
 
@@ -73,6 +82,12 @@ class ShardService {
   std::shared_mutex backend_mutex_;
   mutable std::mutex clients_mutex_;
   std::vector<std::string> announced_clients_;
+  // Dedup registry for tagged kInsertBatch chunks: token -> applied
+  // record count.  Guarded by the exclusive backend_mutex_ every
+  // mutation already holds, so check-then-apply-then-remember is atomic
+  // against concurrent writers.
+  std::unordered_map<std::uint64_t, std::uint64_t> applied_tokens_;
+  std::deque<std::uint64_t> token_order_;
 };
 
 struct ShardServerOptions {

@@ -53,7 +53,7 @@ std::size_t HeaderSizeForVersion(std::uint16_t version) {
 }  // namespace
 
 Result<WireOp> ParseWireOp(std::uint8_t raw) {
-  if ((raw >= 1 && raw <= 14) ||
+  if ((raw >= 1 && raw <= 15) ||
       raw == static_cast<std::uint8_t>(WireOp::kError)) {
     return static_cast<WireOp>(raw);
   }
@@ -77,6 +77,7 @@ const char* WireOpName(WireOp op) {
     case WireOp::kScanMany: return "ScanMany";
     case WireOp::kInsertBatch: return "InsertBatch";
     case WireOp::kTopology: return "Topology";
+    case WireOp::kAnalyzeRange: return "AnalyzeRange";
     case WireOp::kError: return "Error";
   }
   return "?";

@@ -92,12 +92,17 @@ enum class WireOp : std::uint8_t {
   kScanMany = 12,     ///< (device, bucket)... -> records per ref (v2 only)
   kInsertBatch = 13,  ///< records -> inserted count + shape (v2 only)
   kTopology = 14,     ///< -> version + migrating buckets + plane blueprint
+  kAnalyzeRange = 15, ///< (mask, bucket range) -> per-device partial counts
   kError = 127,       ///< reply to an undecodable request: Status only
 };
 
 /// Feature bits exchanged in the v2 handshake.
 inline constexpr std::uint32_t kWireFeatureScanMany = 1u << 0;
 inline constexpr std::uint32_t kWireFeatureInsertBatch = 1u << 1;
+/// Server runs bucket-range response sweeps (kAnalyzeRange) so a
+/// coordinator can fan the fig-1..4 sweeps out; clients talking to a
+/// server without the bit run the range on their own placement twin.
+inline constexpr std::uint32_t kWireFeatureAnalyzeRange = 1u << 2;
 
 /// The opcode, or InvalidArgument for a byte outside the enum.
 Result<WireOp> ParseWireOp(std::uint8_t raw);

@@ -98,9 +98,11 @@ class StorageBackend {
   /// means no mutation ran through this backend, so a cached result is
   /// still what Execute would return.  Composites report an aggregate of
   /// their children (monotone; only equality matters); read-only
-  /// backends (packed) stay frozen at 0 forever; a RemoteBackend counts
-  /// mutations issued through *this client* — out-of-band server writes
-  /// are outside the contract anyway (no call may overlap a mutation).
+  /// backends (packed) stay frozen at 0 forever; a RemoteBackend merges
+  /// its local count with the authoritative epoch the server echoes on
+  /// mutating replies and the topology probe, so a shared remote shard's
+  /// other writers invalidate this client's caches too (max of two
+  /// monotone counters — still monotone, still only equality matters).
   virtual std::uint64_t MutationEpoch() const {
     return mutation_epoch_.load(std::memory_order_acquire);
   }

@@ -63,6 +63,22 @@ Record RecordGenerator::Next() {
   return record;
 }
 
+RecordGenerator& RecordGenerator::Skip(std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    // Mirror Next()'s draw sequence exactly — one sample per field —
+    // discarding the ordinals (ValueFor consumes no randomness).
+    for (unsigned i = 0; i < schema_.num_fields(); ++i) {
+      const FieldDistribution& d = dists_[i];
+      if (d.kind == FieldDistribution::Kind::kZipf) {
+        (void)zipf_[i].Sample(&rng_);
+      } else {
+        (void)rng_.NextBounded(d.domain);
+      }
+    }
+  }
+  return *this;
+}
+
 std::vector<Record> RecordGenerator::Take(std::size_t count) {
   std::vector<Record> out;
   out.reserve(count);

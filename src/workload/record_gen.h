@@ -46,6 +46,17 @@ class RecordGenerator {
   /// Draws `count` records.
   std::vector<Record> Take(std::size_t count);
 
+  /// Advances the generator past `count` records without materializing
+  /// them, consuming exactly the RNG draws Next() would — so
+  ///
+  ///   Gen(seed).Skip(s).Take(n) == records [s, s+n) of Gen(seed)
+  ///
+  /// which is what lets a coordinator hand worker w the task "seed S,
+  /// records [a, b)" and get the *same multiset* a serial build would
+  /// produce, whichever worker runs it and however often it is retried.
+  /// Cost is O(count) RNG draws (no value construction).
+  RecordGenerator& Skip(std::size_t count);
+
   const Schema& schema() const { return schema_; }
 
  private:

@@ -1,0 +1,119 @@
+// The distributed-sweep kernel: range partials must merge to exactly
+// the serial checker's integers (that is the whole mergeability
+// contract the coordinator leans on), and the finalize step must refuse
+// merges that lost or double-counted a range.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/optimality.h"
+#include "analysis/range_sweep.h"
+#include "core/query.h"
+#include "core/registry.h"
+
+namespace fxdist {
+namespace {
+
+FieldSpec TestSpec() {
+  return FieldSpec::Create({4, 4, 8}, 8).value();
+}
+
+// The map delegates to (and so must not outlive) its method.
+struct Plane {
+  std::unique_ptr<DistributionMethod> method;
+  std::unique_ptr<DeviceMap> map;
+};
+
+Plane MakePlane() {
+  Plane plane;
+  plane.method = MakeDistribution(TestSpec(), "fx-iu2").value();
+  plane.map = std::make_unique<DeviceMap>(*plane.method);
+  return plane;
+}
+
+TEST(RangeSweepTest, SplitRangesMergeToSerialChecker) {
+  const Plane plane = MakePlane();
+  const DeviceMap& map = *plane.map;
+  const FieldSpec& spec = map.spec();
+  const std::uint64_t total = spec.TotalBuckets();
+  for (std::uint64_t mask = 0; mask < (1u << spec.num_fields()); ++mask) {
+    // Uneven split on purpose: 0..13, 13..100, 100..total.
+    RangePartial merged;
+    for (const auto& [start, end] :
+         std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+             {0, 13}, {13, 100}, {100, total}}) {
+      auto partial = AnalyzeBucketRange(map, mask, start, end);
+      ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+      ASSERT_TRUE(MergeRangePartial(&merged, *partial).ok());
+    }
+    auto stats = FinalizeMaskSweep(spec, mask, merged);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+    const auto query =
+        PartialMatchQuery::FromUnspecifiedMaskZero(spec, mask).value();
+    const ResponseVector serial = ComputeResponseVector(map, query);
+    EXPECT_EQ(stats->response.per_device, serial.per_device)
+        << "mask=" << mask;
+    EXPECT_EQ(stats->qualified, serial.Total());
+    EXPECT_EQ(stats->bound, StrictOptimalBound(spec, query));
+    EXPECT_EQ(stats->strict_optimal, serial.Max() <= stats->bound);
+  }
+}
+
+TEST(RangeSweepTest, EmptyRangeIsIdentityUnderMerge) {
+  const Plane plane = MakePlane();
+  const DeviceMap& map = *plane.map;
+  auto empty = AnalyzeBucketRange(map, 1, 32, 32);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->qualified, 0u);
+  RangePartial merged;
+  ASSERT_TRUE(MergeRangePartial(&merged, *empty).ok());
+  auto full = AnalyzeBucketRange(map, 1, 0, map.spec().TotalBuckets());
+  ASSERT_TRUE(MergeRangePartial(&merged, *full).ok());
+  EXPECT_EQ(merged.per_device, full->per_device);
+}
+
+TEST(RangeSweepTest, FinalizeRejectsLostAndDuplicatedRanges) {
+  const Plane plane = MakePlane();
+  const DeviceMap& map = *plane.map;
+  const FieldSpec& spec = map.spec();
+  const std::uint64_t total = spec.TotalBuckets();
+
+  // Lost range: first half only.
+  auto half = AnalyzeBucketRange(map, 0b111, 0, total / 2).value();
+  EXPECT_EQ(FinalizeMaskSweep(spec, 0b111, half).status().code(),
+            StatusCode::kDataLoss);
+
+  // Duplicated range: whole space merged twice.
+  auto full = AnalyzeBucketRange(map, 0b111, 0, total).value();
+  RangePartial doubled;
+  ASSERT_TRUE(MergeRangePartial(&doubled, full).ok());
+  ASSERT_TRUE(MergeRangePartial(&doubled, full).ok());
+  EXPECT_EQ(FinalizeMaskSweep(spec, 0b111, doubled).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(RangeSweepTest, RejectsBadArguments) {
+  const Plane plane = MakePlane();
+  const DeviceMap& map = *plane.map;
+  const std::uint64_t total = map.spec().TotalBuckets();
+  EXPECT_EQ(AnalyzeBucketRange(map, 1u << 3, 0, total).status().code(),
+            StatusCode::kInvalidArgument);  // mask bit beyond fields
+  EXPECT_EQ(AnalyzeBucketRange(map, 1, 8, 4).status().code(),
+            StatusCode::kInvalidArgument);  // start > end
+  EXPECT_EQ(AnalyzeBucketRange(map, 1, 0, total + 1).status().code(),
+            StatusCode::kInvalidArgument);  // end beyond space
+
+  RangePartial a;
+  a.per_device = {1, 2};
+  RangePartial b;
+  b.per_device = {1, 2, 3};
+  EXPECT_FALSE(MergeRangePartial(&a, b).ok());  // arity mismatch
+}
+
+}  // namespace
+}  // namespace fxdist

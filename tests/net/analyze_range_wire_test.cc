@@ -1,0 +1,210 @@
+// Wire framing of kAnalyzeRange, the distributed-sweep opcode: golden
+// byte layout of the request, end-to-end service dispatch checked
+// against the in-process analysis kernel, the v1 rejection rule, and
+// feature negotiation against a server that never grants the bit (the
+// "old server" a coordinator must fall back from, client-side).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/range_sweep.h"
+#include "net/mux_transport.h"
+#include "net/remote_backend.h"
+#include "net/shard_server.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "sim/parallel_file.h"
+
+namespace fxdist {
+namespace {
+
+Schema RigSchema() {
+  return Schema::Create({{"f0", ValueType::kInt64, 4},
+                         {"f1", ValueType::kInt64, 4},
+                         {"f2", ValueType::kInt64, 8}})
+      .value();
+}
+
+void AppendLe(std::string* out, std::uint64_t value, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+// The request layout, pinned byte for byte from first principles: v2
+// header (magic u32, version u16, op u8, flags u8, correlation id u64,
+// payload length u32 — all little-endian), three u64 operands (mask,
+// start, end), FNV-1a-64 trailer over header+payload.  A change to any
+// of PayloadWriter, EncodeFrame, or the operand order lands here.
+TEST(AnalyzeRangeWire, GoldenRequestFrame) {
+  PayloadWriter writer;
+  writer.U64(0b101);  // mask: fields 0 and 2 unspecified
+  writer.U64(32);     // start
+  writer.U64(96);     // end
+  WireFrame frame{WireOp::kAnalyzeRange, false, writer.Take(),
+                  kWireVersionMux, 7};
+  const std::string encoded = EncodeFrame(frame);
+
+  std::string expected;
+  AppendLe(&expected, kWireMagic, 4);
+  AppendLe(&expected, kWireVersionMux, 2);
+  AppendLe(&expected, 15, 1);  // the opcode value itself is wire contract
+  AppendLe(&expected, 0, 1);   // request, not reply
+  AppendLe(&expected, 7, 8);   // correlation id
+  AppendLe(&expected, 24, 4);  // payload: three u64s
+  AppendLe(&expected, 0b101, 8);
+  AppendLe(&expected, 32, 8);
+  AppendLe(&expected, 96, 8);
+  AppendLe(&expected, WireChecksum(expected), 8);
+  EXPECT_EQ(encoded, expected);
+
+  auto decoded = DecodeFrame(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, WireOp::kAnalyzeRange);
+  EXPECT_EQ(decoded->correlation_id, 7u);
+}
+
+TEST(AnalyzeRangeWire, ServiceReplyMatchesLocalKernel) {
+  auto served = std::make_shared<ParallelFile>(
+      ParallelFile::Create(RigSchema(), 4, "fx-iu2", 7).value());
+  ShardService service(*served);
+
+  PayloadWriter writer;
+  writer.U64(0b011);
+  writer.U64(16);
+  writer.U64(128);
+  const std::string reply_bytes = service.HandleFrame(EncodeFrame(
+      {WireOp::kAnalyzeRange, false, writer.Take(), kWireVersionMux, 1}));
+
+  auto reply = DecodeFrame(reply_bytes);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->op, WireOp::kAnalyzeRange);
+  EXPECT_TRUE(reply->is_reply);
+  PayloadReader reader(reply->payload);
+  Status status;
+  ASSERT_TRUE(reader.ReadStatusInto(&status).ok());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  auto num_devices = reader.U32();
+  ASSERT_TRUE(num_devices.ok());
+  ASSERT_EQ(*num_devices, 4u);
+  RangePartial wire;
+  for (std::uint32_t d = 0; d < *num_devices; ++d) {
+    auto count = reader.U64();
+    ASSERT_TRUE(count.ok());
+    wire.per_device.push_back(*count);
+  }
+  auto qualified = reader.U64();
+  ASSERT_TRUE(qualified.ok());
+  wire.qualified = *qualified;
+  EXPECT_TRUE(reader.AtEnd());
+
+  const RangePartial local =
+      AnalyzeBucketRange(served->device_map(), 0b011, 16, 128).value();
+  EXPECT_EQ(wire.per_device, local.per_device);
+  EXPECT_EQ(wire.qualified, local.qualified);
+}
+
+TEST(AnalyzeRangeWire, V1FrameIsRejected) {
+  auto served = std::make_shared<ParallelFile>(
+      ParallelFile::Create(RigSchema(), 4, "fx-iu2", 7).value());
+  ShardService service(*served);
+
+  PayloadWriter writer;
+  writer.U64(0);
+  writer.U64(0);
+  writer.U64(8);
+  const std::string reply_bytes = service.HandleFrame(
+      EncodeFrame({WireOp::kAnalyzeRange, false, writer.Take()}));
+  auto reply = DecodeFrame(reply_bytes);
+  ASSERT_TRUE(reply.ok());
+  PayloadReader reader(reply->payload);
+  Status status;
+  ASSERT_TRUE(reader.ReadStatusInto(&status).ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AnalyzeRangeWire, MalformedOperandsAreRejected) {
+  auto served = std::make_shared<ParallelFile>(
+      ParallelFile::Create(RigSchema(), 4, "fx-iu2", 7).value());
+  ShardService service(*served);
+  // Truncated (two operands), trailing garbage, and out-of-space range:
+  // each must come back as a framed error, never a crash or a hang.
+  const struct {
+    std::vector<std::uint64_t> operands;
+    StatusCode expected;
+  } cases[] = {
+      {{1, 0}, StatusCode::kDataLoss},            // truncated
+      {{1, 0, 8, 99}, StatusCode::kDataLoss},     // trailing garbage
+      {{1, 0, 1u << 20}, StatusCode::kInvalidArgument},  // end > space
+      {{1, 64, 32}, StatusCode::kInvalidArgument},       // start > end
+  };
+  for (const auto& c : cases) {
+    PayloadWriter writer;
+    for (const std::uint64_t v : c.operands) writer.U64(v);
+    auto reply = DecodeFrame(service.HandleFrame(EncodeFrame(
+        {WireOp::kAnalyzeRange, false, writer.Take(), kWireVersionMux, 1})));
+    ASSERT_TRUE(reply.ok());
+    PayloadReader reader(reply->payload);
+    Status status;
+    ASSERT_TRUE(reader.ReadStatusInto(&status).ok());
+    EXPECT_EQ(status.code(), c.expected)
+        << "operands=" << c.operands.size() << ": " << status.ToString();
+  }
+}
+
+// A handler that impersonates a pre-AnalyzeRange server: it strips the
+// feature bit from the client's handshake *request*, so the service's
+// grant (an AND with the request) never includes it.
+std::string StripAnalyzeRangeWant(ShardService& service,
+                                  const std::string& request) {
+  auto frame = DecodeFrame(request);
+  if (frame.ok() && frame->op == WireOp::kHandshake && !frame->is_reply &&
+      frame->version == kWireVersionMux) {
+    PayloadReader reader(frame->payload);
+    auto client_max = reader.U64();
+    auto features = reader.U32();
+    if (client_max.ok() && features.ok()) {
+      PayloadWriter writer;
+      writer.U64(*client_max);
+      writer.U32(*features & ~kWireFeatureAnalyzeRange);
+      if (!reader.AtEnd()) {
+        auto id = reader.Str();
+        if (id.ok()) writer.Str(*id);
+      }
+      frame->payload = writer.Take();
+      return service.HandleFrame(EncodeFrame(*frame));
+    }
+  }
+  return service.HandleFrame(request);
+}
+
+TEST(AnalyzeRangeWire, UngrantedFeatureFailsClosed) {
+  auto served = std::make_shared<ParallelFile>(
+      ParallelFile::Create(RigSchema(), 4, "fx-iu2", 7).value());
+  auto service = std::make_shared<ShardService>(*served);
+  auto channel = std::make_unique<LoopbackFrameChannel>(
+      [service](const std::string& request) {
+        return StripAnalyzeRangeWant(*service, request);
+      });
+  RemoteBackend::Options options;
+  options.backoff_initial_ms = 0;
+  auto remote = RemoteBackend::Connect(
+      std::make_unique<MuxTransport>(std::move(channel)), options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  EXPECT_FALSE((*remote)->analyze_range_enabled());
+  auto partial = (*remote)->AnalyzeRange(1, 0, 8);
+  ASSERT_FALSE(partial.ok());
+  // Unimplemented, specifically: the coordinator keys its client-side
+  // fallback on this code, and the connection must stay healthy.
+  EXPECT_EQ(partial.status().code(), StatusCode::kUnimplemented);
+  EXPECT_TRUE((*remote)->Health().ok());
+}
+
+}  // namespace
+}  // namespace fxdist

@@ -136,16 +136,23 @@ TEST(FaultMatrixTest, InsertRetriesDropsWithoutDuplicates) {
 }
 
 TEST(FaultMatrixTest, InsertNeverRetriesIndeterminateFaults) {
-  for (FaultKind kind :
-       {FaultKind::kDelayPastDeadline, FaultKind::kCorruptReply,
-        FaultKind::kDisconnectMidReply}) {
+  const std::pair<FaultKind, StatusCode> kinds[] = {
+      {FaultKind::kDelayPastDeadline, StatusCode::kDeadlineExceeded},
+      {FaultKind::kCorruptReply, StatusCode::kDataLoss},
+      {FaultKind::kDisconnectMidReply, StatusCode::kDataLoss},
+  };
+  for (const auto& [kind, expected] : kinds) {
     RemoteRig rig = MakeRig(/*max_attempts=*/4);
     const std::uint64_t calls_before = rig.faults->calls();
     rig.faults->InjectFault(kind, 1);
 
     const Status status = rig.remote->Insert(RigRecord(5, 6));
     ASSERT_FALSE(status.ok()) << "kind=" << static_cast<int>(kind);
-    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    // The caller sees the *indeterminate* code, not a generic
+    // Unavailable: "your mutation may or may not have applied" and
+    // "never delivered, safe to resend" demand different recovery, and
+    // masking the former as the latter invites blind resends upstream.
+    EXPECT_EQ(status.code(), expected) << "kind=" << static_cast<int>(kind);
     // Exactly one attempt: the request may have executed, so retrying
     // could double-apply it.
     EXPECT_EQ(rig.faults->calls() - calls_before, 1u)
@@ -158,6 +165,42 @@ TEST(FaultMatrixTest, InsertNeverRetriesIndeterminateFaults) {
     // serve reads from a store it may disagree with.
     EXPECT_EQ(rig.remote->Health().code(), StatusCode::kUnavailable);
   }
+}
+
+TEST(FaultMatrixTest, InsertBatchSurfacesIndeterminateCode) {
+  // The regression this pins: a kInsertBatch whose connection dies
+  // between server-apply and client-ack used to come back as
+  // kUnavailable — indistinguishable from "never delivered", so callers
+  // (bulk loaders, the dist coordinator) would re-send and double-apply.
+  RemoteRig rig = MakeRig(/*max_attempts=*/4);
+  const std::uint64_t calls_before = rig.faults->calls();
+  rig.faults->InjectFault(FaultKind::kDisconnectMidReply, 1);
+
+  const Status status =
+      rig.remote->InsertBatch({RigRecord(1, 2), RigRecord(3, 4)});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(rig.faults->calls() - calls_before, 1u);  // no blind retry
+  EXPECT_EQ(rig.served->num_records(), 2u);  // applied exactly once
+  EXPECT_EQ(rig.remote->Health().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultMatrixTest, TaggedBatchRetriesIndeterminateExactlyOnce) {
+  // With a dedup token the same failure is safe to retry: the server
+  // recognises the re-sent chunk and acks without re-applying, so the
+  // client keeps its full retry budget AND the records land once.
+  RemoteRig rig = MakeRig(/*max_attempts=*/4);
+  rig.faults->InjectFault(FaultKind::kDisconnectMidReply, 1);
+
+  const Status status = rig.remote->InsertBatchTagged(
+      {RigRecord(1, 2), RigRecord(3, 4), RigRecord(5, 6)}, 0xfeedu);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(rig.served->num_records(), 3u);  // not 6: dedup ate the resend
+  EXPECT_TRUE(rig.remote->Health().ok());
+
+  // A *different* token is a different batch and applies again.
+  ASSERT_TRUE(rig.remote->InsertBatchTagged({RigRecord(7, 8)}, 0xbeefu).ok());
+  EXPECT_EQ(rig.served->num_records(), 4u);
 }
 
 TEST(FaultMatrixTest, ApplicationErrorsAreNotTransportFailures) {

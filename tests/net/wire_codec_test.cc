@@ -28,7 +28,9 @@ TEST(WireFrameTest, RoundTripsEveryOpcode) {
        {WireOp::kHandshake, WireOp::kInsert, WireOp::kDelete,
         WireOp::kExecute, WireOp::kScanBucket, WireOp::kIsBucketLive,
         WireOp::kNumRecords, WireOp::kRecordCounts, WireOp::kMarkDown,
-        WireOp::kMarkUp, WireOp::kListRecords, WireOp::kError}) {
+        WireOp::kMarkUp, WireOp::kListRecords, WireOp::kScanMany,
+        WireOp::kInsertBatch, WireOp::kTopology, WireOp::kAnalyzeRange,
+        WireOp::kError}) {
     for (bool is_reply : {false, true}) {
       WireFrame frame{op, is_reply, "payload \x00\xff bytes"};
       const WireFrame back = RoundTrip(frame);
@@ -236,6 +238,25 @@ TEST(WireFuzzTest, MutatedFramesAreRejectedCleanly) {
     PayloadWriter writer;
     writer.WriteStatus(Status::InvalidArgument("nope"));
     corpus.push_back(EncodeFrame({WireOp::kError, true, writer.Take()}));
+  }
+  {
+    // kAnalyzeRange request: three u64 operands on a v2 frame.
+    PayloadWriter writer;
+    writer.U64(0b101);
+    writer.U64(0);
+    writer.U64(4096);
+    corpus.push_back(EncodeFrame({WireOp::kAnalyzeRange, false,
+                                  writer.Take(), kWireVersionMux, 42}));
+  }
+  {
+    // kAnalyzeRange reply: status, device count, counts, qualified.
+    PayloadWriter writer;
+    writer.WriteStatus(Status::OK());
+    writer.U32(4);
+    for (std::uint64_t d = 0; d < 4; ++d) writer.U64(16 + d);
+    writer.U64(70);
+    corpus.push_back(EncodeFrame({WireOp::kAnalyzeRange, true,
+                                  writer.Take(), kWireVersionMux, 42}));
   }
 
   Xoshiro256 rng(20260805);

@@ -330,6 +330,102 @@ std::string TempPath(const char* name) {
   return testing::TempDir() + "/" + name;
 }
 
+// ---------------------------------------------------------------------
+// Deletes racing the copy cursor.  The invariant these tests document:
+// CopyChunk's cursor walks *bucket ranges*, not record lists, and every
+// mutation during migration is dual-applied.  So a delete landing in an
+// already-copied bucket removes the record from both planes (it cannot
+// resurrect at cutover), a delete in a not-yet-copied bucket removes it
+// from the source before the cursor arrives (the copy just moves fewer
+// records — nothing dangles), and a bucket emptied under the cursor is
+// simply an empty range to copy.  No hole was found here; the tests pin
+// the invariant so a future cursor optimisation cannot silently break
+// it.
+
+TEST(Migration, DeleteDuringCopyNeverResurrectsAtCutover) {
+  auto wrapper = MakeWrapper(120);
+  auto target =
+      BuildRetargetedEmptyBackend(*wrapper, kTargetDevices, "fx-iu2")
+          .value();
+  ASSERT_TRUE(wrapper->BeginMigration(std::move(target)).ok());
+
+  // Copy roughly half the bucket space, then delete ids spread across
+  // the whole domain — some live in buckets behind the cursor (already
+  // on the target), some ahead of it (source-only still).
+  const std::uint64_t half = wrapper->BucketsInMigration() / 2;
+  ASSERT_TRUE(wrapper->CopyChunk(half).ok());
+  std::vector<std::int64_t> deleted;
+  for (std::int64_t id = 3; id < 120; id += 13) {
+    ValueQuery q(2);
+    q[0] = FieldValue{id};
+    auto removed = wrapper->Delete(q);
+    ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+    EXPECT_EQ(*removed, 1u) << "id " << id;
+    deleted.push_back(id);
+  }
+  while (!wrapper->CopyDone()) {
+    ASSERT_TRUE(wrapper->CopyChunk(3).ok());
+  }
+  ASSERT_TRUE(wrapper->Cutover().ok());
+
+  // None of the deleted ids came back; everything else survived.
+  std::vector<std::int64_t> expected;
+  for (std::int64_t id = 0; id < 120; ++id) {
+    if ((id - 3) % 13 != 0 || id < 3) expected.push_back(id);
+  }
+  EXPECT_EQ(LiveIds(*wrapper), expected);
+  for (const std::int64_t id : deleted) {
+    EXPECT_TRUE(QueryId(*wrapper, id).records.empty()) << "id " << id;
+  }
+
+  // And the post-cutover form equals a fresh build without those ids.
+  auto fresh_seed = MakeWrapper(0);
+  auto fresh =
+      BuildRetargetedEmptyBackend(*fresh_seed, kTargetDevices, "fx-iu2")
+          .value();
+  for (const std::int64_t id : expected) {
+    ASSERT_TRUE(fresh->Insert(RecordOf(id)).ok());
+  }
+  EXPECT_EQ(wrapper->RecordCountsPerDevice(),
+            fresh->RecordCountsPerDevice());
+}
+
+TEST(Migration, BucketEmptiedUnderTheCursorIsJustAnEmptyRange) {
+  // Delete *every* record before the cursor reaches any of them: the
+  // copy then walks a fully emptied bucket space.  The cursor must
+  // reach the end without error, move zero records, and cut over to an
+  // empty target.
+  auto wrapper = MakeWrapper(40);
+  auto target =
+      BuildRetargetedEmptyBackend(*wrapper, kTargetDevices, "fx-iu2")
+          .value();
+  ASSERT_TRUE(wrapper->BeginMigration(std::move(target)).ok());
+  const std::uint64_t total_buckets = wrapper->BucketsInMigration();
+  for (std::int64_t id = 0; id < 40; ++id) {
+    ValueQuery q(2);
+    q[0] = FieldValue{id};
+    auto removed = wrapper->Delete(q);
+    ASSERT_TRUE(removed.ok());
+    EXPECT_EQ(*removed, 1u);
+  }
+  EXPECT_EQ(wrapper->num_records(), 0u);
+  // CopyChunk reports *buckets* walked; over an emptied space it still
+  // advances (the ranges are just empty) and must never error.
+  std::uint64_t copied_buckets = 0;
+  while (!wrapper->CopyDone()) {
+    auto copied = wrapper->CopyChunk(7);
+    ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+    copied_buckets += *copied;
+  }
+  EXPECT_EQ(copied_buckets, total_buckets);
+  ASSERT_TRUE(wrapper->Cutover().ok());
+  EXPECT_EQ(wrapper->num_records(), 0u);
+  EXPECT_TRUE(LiveIds(*wrapper).empty());
+  // The emptied store still serves: a fresh insert lands normally.
+  ASSERT_TRUE(wrapper->Insert(RecordOf(7)).ok());
+  EXPECT_EQ(QueryId(*wrapper, 7).records.size(), 1u);
+}
+
 TEST(MigrationPersistence, IdleWrapperSavesAsPlainBackend) {
   auto wrapper = MakeWrapper(30);
   const std::string path = TempPath("idle_wrapper.fxdist");

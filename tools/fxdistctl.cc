@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "analysis/advisor.h"
+#include "dist/coordinator.h"
 #include "engine/query_engine.h"
 #include "analysis/balance.h"
 #include "analysis/bit_allocation.h"
@@ -102,6 +103,14 @@ int Usage() {
          "               [--event-loop] [--workers N] [--max-conns N]\n"
          "               (epoll server: thousands of connections on a\n"
          "                small worker pool, explicit backpressure)\n"
+         "  bulkload     distributed record build across shard servers\n"
+         "               --workers host:port,... | --local N\n"
+         "               --fields ... --devices M --records N [--seed S]\n"
+         "               [--method SPEC] [--task-records N] [--lease-ms L]\n"
+         "  sweep        distributed fig-1 optimality sweep (kAnalyzeRange)\n"
+         "               --workers host:port,... | --local N\n"
+         "               (--local needs --fields ... --devices M\n"
+         "                [--method SPEC]) [--task-buckets N] [--lease-ms L]\n"
          "  gen-trace    synthesize a reproducible workload trace\n"
          "               --schema name:type:size,... --out FILE\n"
          "               [--records N] [--queries N] [--spec-prob P]\n"
@@ -1160,6 +1169,187 @@ int CmdShardServe(const Flags& flags) {
   return 0;
 }
 
+/// The worker fleet behind `bulkload` / `sweep`: remote servers from
+/// --workers host:port,..., or an in-process --local N fleet (N TCP
+/// shard servers on ephemeral ports — self-contained demos and smoke
+/// tests; all placement flags must then be given so every server is
+/// built from the same blueprint).
+struct DistFleet {
+  std::vector<std::unique_ptr<StorageBackend>> local_backends;
+  std::vector<std::unique_ptr<ShardServer>> local_servers;
+  std::vector<std::unique_ptr<DistWorker>> workers;
+};
+
+Result<DistFleet> ConnectFleet(const Flags& flags) {
+  DistFleet fleet;
+  RemoteBackend::Options remote_options;
+  if (auto it = flags.find("workers"); it != flags.end()) {
+    for (const std::string& address : ParseStringList(it->second)) {
+      auto backend = RemoteBackend::ConnectTcp(address, remote_options);
+      if (!backend.ok()) {
+        return Status::Unavailable("worker '" + address +
+                                   "': " + backend.status().message());
+      }
+      fleet.workers.push_back(
+          std::make_unique<RemoteDistWorker>(address, *std::move(backend)));
+    }
+    return fleet;
+  }
+  auto local_it = flags.find("local");
+  if (local_it == flags.end()) {
+    return Status::InvalidArgument(
+        "--workers host:port,... or --local N is required");
+  }
+  const std::uint64_t n =
+      std::strtoull(local_it->second.c_str(), nullptr, 10);
+  if (n == 0) return Status::InvalidArgument("--local needs N >= 1");
+  auto fields_it = flags.find("fields");
+  auto devices_it = flags.find("devices");
+  if (fields_it == flags.end() || devices_it == flags.end()) {
+    return Status::InvalidArgument("--local needs --fields and --devices");
+  }
+  std::vector<FieldDecl> decls;
+  for (std::uint64_t size : ParseU64List(fields_it->second)) {
+    decls.push_back(
+        {"f" + std::to_string(decls.size()), ValueType::kInt64, size});
+  }
+  auto schema = Schema::Create(std::move(decls));
+  FXDIST_RETURN_NOT_OK(schema.status());
+  const auto method_it = flags.find("method");
+  const std::string method_spec =
+      method_it == flags.end() ? "fx-iu2" : method_it->second;
+  const std::uint64_t num_devices =
+      std::strtoull(devices_it->second.c_str(), nullptr, 10);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto backend =
+        MakeChildBackend("flat", *schema, num_devices, method_spec, 42, {});
+    FXDIST_RETURN_NOT_OK(backend.status());
+    auto server = ShardServer::Start(**backend);
+    FXDIST_RETURN_NOT_OK(server.status());
+    const std::string address =
+        "127.0.0.1:" + std::to_string((*server)->port());
+    auto remote = RemoteBackend::ConnectTcp(address, remote_options);
+    FXDIST_RETURN_NOT_OK(remote.status());
+    fleet.workers.push_back(std::make_unique<RemoteDistWorker>(
+        "local-" + std::to_string(i), *std::move(remote)));
+    fleet.local_backends.push_back(*std::move(backend));
+    fleet.local_servers.push_back(*std::move(server));
+  }
+  return fleet;
+}
+
+CoordinatorOptions CoordinatorOptionsFromFlags(const Flags& flags) {
+  CoordinatorOptions options;
+  auto get_u64 = [&](const char* key, std::uint64_t fallback) {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+  options.records_per_task = get_u64("task-records", options.records_per_task);
+  options.buckets_per_task = get_u64("task-buckets", options.buckets_per_task);
+  options.lease_ms = static_cast<int>(
+      get_u64("lease-ms", static_cast<std::uint64_t>(options.lease_ms)));
+  return options;
+}
+
+int CmdBulkLoad(const Flags& flags) {
+  auto fields_it = flags.find("fields");
+  auto records_it = flags.find("records");
+  if (fields_it == flags.end() || records_it == flags.end()) {
+    std::cerr << "--fields and --records are required\n";
+    return 1;
+  }
+  auto fleet = ConnectFleet(flags);
+  if (!fleet.ok()) {
+    std::cerr << fleet.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<FieldDecl> decls;
+  for (std::uint64_t size : ParseU64List(fields_it->second)) {
+    decls.push_back(
+        {"f" + std::to_string(decls.size()), ValueType::kInt64, size});
+  }
+  auto schema = Schema::Create(std::move(decls));
+  if (!schema.ok()) {
+    std::cerr << schema.status().ToString() << "\n";
+    return 1;
+  }
+  IngestSpec spec{*std::move(schema), {}, 42, 0};
+  spec.total_records = std::strtoull(records_it->second.c_str(), nullptr, 10);
+  if (auto it = flags.find("seed"); it != flags.end()) {
+    spec.seed = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  const std::size_t num_workers = fleet->workers.size();
+  auto coordinator = Coordinator::Create(std::move(fleet->workers),
+                                         CoordinatorOptionsFromFlags(flags));
+  if (!coordinator.ok()) {
+    std::cerr << coordinator.status().ToString() << "\n";
+    return 1;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = (*coordinator)->BulkLoad(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::uint64_t stored = 0;
+  std::cout << "bulkload: " << report->records_sent << " records, "
+            << report->tasks << " tasks over " << num_workers
+            << " workers in " << ms << " ms\n"
+            << "  retries          " << report->retries << "\n";
+  for (const auto& [name, count] : report->records_per_worker) {
+    std::cout << "  " << name << "  " << count << " records\n";
+    stored += count;
+  }
+  for (const std::string& name : report->fenced_workers) {
+    std::cout << "  " << name << "  FENCED (excluded from deployment)\n";
+  }
+  std::cout << "  stored           " << stored << "\n";
+  return stored == report->records_sent ? 0 : 1;
+}
+
+int CmdSweep(const Flags& flags) {
+  auto fleet = ConnectFleet(flags);
+  if (!fleet.ok()) {
+    std::cerr << fleet.status().ToString() << "\n";
+    return 1;
+  }
+  const std::size_t num_workers = fleet->workers.size();
+  auto coordinator = Coordinator::Create(std::move(fleet->workers),
+                                         CoordinatorOptionsFromFlags(flags));
+  if (!coordinator.ok()) {
+    std::cerr << coordinator.status().ToString() << "\n";
+    return 1;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = (*coordinator)->Sweep();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::cout << "sweep: " << report->masks.size() << " masks, "
+            << report->tasks << " range tasks over " << num_workers
+            << " workers in " << ms << " ms\n"
+            << "  strict-optimal probability  " << report->probability.probability
+            << " (" << report->probability.optimal_masks << "/"
+            << report->probability.total_masks << " masks)\n"
+            << "  worst excess over bound     " << report->score.worst_excess
+            << "\n"
+            << "  retries " << report->retries << ", client-side fallbacks "
+            << report->fallback_tasks << "\n";
+  for (const std::string& name : report->fenced_workers) {
+    std::cout << "  " << name << "  FENCED\n";
+  }
+  return 0;
+}
+
 int CmdGenTrace(const Flags& flags) {
   auto schema_it = flags.find("schema");
   auto out_it = flags.find("out");
@@ -1540,6 +1730,8 @@ int main(int argc, char** argv) {
   if (cmd == "recommend") return CmdRecommend(flags);
   if (cmd == "serve-bench") return CmdServeBench(flags);
   if (cmd == "shard-serve") return CmdShardServe(flags);
+  if (cmd == "bulkload") return CmdBulkLoad(flags);
+  if (cmd == "sweep") return CmdSweep(flags);
   if (cmd == "gen-trace") return CmdGenTrace(flags);
   if (cmd == "replay") return CmdReplay(flags);
   if (cmd == "build") return CmdBuild(flags);
